@@ -1,0 +1,58 @@
+//===- Fig2SingleThread.cpp - paper Figure 2 ---------------------------------===//
+//
+// Per-model speedup of limpetMLIR (8-lane vectors ≙ AVX-512, AoSoA layout,
+// vector LUT + math) over the openCARP baseline (scalar, AoS, libm), on a
+// single thread, over all 43 models ordered small -> medium -> large.
+//
+// Paper expectation: geomean 5.25x on AVX-512, peaks >15x on some models,
+// low/irregular speedups for small models, consistent speedups for large
+// ones. Absolute magnitudes here are lower (interpreted engines instead of
+// native MLIR codegen; see EXPERIMENTS.md), but the shape carries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace limpet;
+using namespace limpet::bench;
+using namespace limpet::exec;
+
+int main() {
+  BenchProtocol Protocol = BenchProtocol::fromEnv(4096, 100, 3);
+  printBanner("Figure 2: per-model speedup, 1 thread, 8-lane vectors "
+              "(AVX-512 analogue)",
+              "Fig. 2 (geomean 5.25x, peak >26x)", Protocol);
+
+  ModelCache Cache;
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"model", "class", "baseline(s)", "limpetMLIR(s)",
+                  "speedup"});
+  std::vector<double> All;
+  std::map<char, std::vector<double>> PerClass;
+
+  for (const models::ModelEntry *M : selectedModels()) {
+    const CompiledModel &Base = Cache.get(*M, EngineConfig::baseline());
+    const CompiledModel &Vec = Cache.get(*M, EngineConfig::limpetMLIR(8));
+    double TBase = timeSimulation(Base, Protocol, 1);
+    double TVec = timeSimulation(Vec, Protocol, 1);
+    double Speedup = TBase / TVec;
+    All.push_back(Speedup);
+    PerClass[M->SizeClass].push_back(Speedup);
+    Rows.push_back({M->Name, className(M->SizeClass),
+                    formatFixed(TBase, 4), formatFixed(TVec, 4),
+                    formatFixed(Speedup, 2) + "x"});
+  }
+
+  std::printf("%s", renderTable(Rows).c_str());
+  std::printf("\ngeomean speedup (all):    %.2fx   (paper: 5.25x)\n",
+              geomean(All));
+  for (char C : {'S', 'M', 'L'})
+    if (!PerClass[C].empty())
+      std::printf("geomean speedup (%-6s): %.2fx\n", className(C).c_str(),
+                  geomean(PerClass[C]));
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- Fig3Threads32.cpp - paper Figure 3 -------------------------------------===//
+//
+// Per-model speedup of limpetMLIR over the baseline, both running on 32
+// threads (paper: 32 physical cores; geomean 1.93x — 0.83x small, 1.34x
+// medium, 6.03x large; small models suffer synchronization overheads).
+//
+// Hardware gate: this container exposes a single core, so 32 threads are
+// oversubscribed and parallel scaling is flat; the per-model vector-vs-
+// scalar comparison is still meaningful (see EXPERIMENTS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <map>
+#include <thread>
+
+using namespace limpet;
+using namespace limpet::bench;
+using namespace limpet::exec;
+
+int main() {
+  BenchProtocol Protocol = BenchProtocol::fromEnv(4096, 60, 3);
+  printBanner("Figure 3: per-model speedup, 32 threads, 8-lane vectors",
+              "Fig. 3 (geomean 1.93x; 0.83x/1.34x/6.03x by class)",
+              Protocol);
+  std::printf("hardware: %u core(s) available; 32 threads oversubscribe\n\n",
+              std::thread::hardware_concurrency());
+
+  const unsigned Threads = 32;
+  ModelCache Cache;
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"model", "class", "baseline(s)", "limpetMLIR(s)",
+                  "speedup"});
+  std::vector<double> All;
+  std::map<char, std::vector<double>> PerClass;
+
+  for (const models::ModelEntry *M : selectedModels()) {
+    const CompiledModel &Base = Cache.get(*M, EngineConfig::baseline());
+    const CompiledModel &Vec = Cache.get(*M, EngineConfig::limpetMLIR(8));
+    double TBase = timeSimulation(Base, Protocol, Threads);
+    double TVec = timeSimulation(Vec, Protocol, Threads);
+    double Speedup = TBase / TVec;
+    All.push_back(Speedup);
+    PerClass[M->SizeClass].push_back(Speedup);
+    Rows.push_back({M->Name, className(M->SizeClass),
+                    formatFixed(TBase, 4), formatFixed(TVec, 4),
+                    formatFixed(Speedup, 2) + "x"});
+  }
+
+  std::printf("%s", renderTable(Rows).c_str());
+  std::printf("\ngeomean speedup (all):    %.2fx   (paper: 1.93x)\n",
+              geomean(All));
+  for (char C : {'S', 'M', 'L'})
+    if (!PerClass[C].empty())
+      std::printf("geomean speedup (%-6s): %.2fx\n", className(C).c_str(),
+                  geomean(PerClass[C]));
+  return 0;
+}

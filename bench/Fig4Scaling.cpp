@@ -1,0 +1,67 @@
+//===- Fig4Scaling.cpp - paper Figure 4 ----------------------------------------===//
+//
+// Average execution time of the three model classes (small/medium/large)
+// for the baseline and limpetMLIR versions across 1..32 threads. The
+// paper shows near-ideal scaling for large models, flattening curves for
+// small models, and the limpetMLIR lines consistently below the baseline
+// for medium/large classes.
+//
+// Hardware gate: single-core container — thread curves are flat here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace limpet;
+using namespace limpet::bench;
+using namespace limpet::exec;
+
+int main() {
+  BenchProtocol Protocol = BenchProtocol::fromEnv(2048, 40, 1);
+  printBanner("Figure 4: class-average execution time vs. threads",
+              "Fig. 4 (large models scale near-ideally; small flatten)",
+              Protocol);
+
+  const unsigned ThreadCounts[] = {1, 2, 4, 8, 16, 32};
+  ModelCache Cache;
+
+  // Accumulate average times per (class, version, threads).
+  std::map<char, std::map<unsigned, double>> BaseAvg, VecAvg;
+  std::map<char, int> ClassCount;
+
+  for (const models::ModelEntry *M : selectedModels()) {
+    const CompiledModel &Base = Cache.get(*M, EngineConfig::baseline());
+    const CompiledModel &Vec = Cache.get(*M, EngineConfig::limpetMLIR(8));
+    ++ClassCount[M->SizeClass];
+    for (unsigned T : ThreadCounts) {
+      BaseAvg[M->SizeClass][T] += timeSimulation(Base, Protocol, T);
+      VecAvg[M->SizeClass][T] += timeSimulation(Vec, Protocol, T);
+    }
+  }
+
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"class", "version", "t=1", "t=2", "t=4", "t=8", "t=16",
+                  "t=32"});
+  for (char C : {'S', 'M', 'L'}) {
+    if (!ClassCount[C])
+      continue;
+    for (bool IsVec : {false, true}) {
+      std::vector<std::string> Row = {
+          className(C), IsVec ? "limpetMLIR" : "baseline"};
+      for (unsigned T : ThreadCounts) {
+        double Avg = (IsVec ? VecAvg : BaseAvg)[C][T] / ClassCount[C];
+        Row.push_back(formatFixed(Avg * 1000, 1) + "ms");
+      }
+      Rows.push_back(std::move(Row));
+    }
+  }
+  std::printf("%s", renderTable(Rows).c_str());
+  std::printf("\npaper shape: per-class averages drop ~linearly with "
+              "threads on a 32-core machine;\nlarge-model limpetMLIR stays "
+              "8-10x below baseline at every thread count.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- Fig5VectorArchs.cpp - paper Figure 5 -------------------------------------===//
+//
+// Geometric-mean speedup of limpetMLIR over the baseline for the three
+// vector "architectures" (SSE ≙ 2 lanes, AVX2 ≙ 4, AVX-512 ≙ 8) across
+// thread counts 1..32 (powers of two). Paper expectation: AVX-512 > AVX2
+// > SSE at every thread count; overall geomean across everything 2.90x.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace limpet;
+using namespace limpet::bench;
+using namespace limpet::exec;
+
+int main() {
+  BenchProtocol Protocol = BenchProtocol::fromEnv(2048, 30, 1);
+  printBanner("Figure 5: geomean speedup per vector architecture vs. "
+              "threads",
+              "Fig. 5 (AVX-512 > AVX2 > SSE; overall geomean 2.90x)",
+              Protocol);
+
+  const unsigned ThreadCounts[] = {1, 2, 4, 8, 16, 32};
+  const unsigned Widths[] = {2, 4, 8};
+  const char *WidthNames[] = {"SSE(w2)", "AVX2(w4)", "AVX-512(w8)"};
+
+  ModelCache Cache;
+  // speedups[width][threads] = vector of per-model speedups.
+  std::map<unsigned, std::map<unsigned, std::vector<double>>> Speedups;
+
+  for (const models::ModelEntry *M : selectedModels()) {
+    const CompiledModel &Base = Cache.get(*M, EngineConfig::baseline());
+    std::map<unsigned, double> BaseTime;
+    for (unsigned T : ThreadCounts)
+      BaseTime[T] = timeSimulation(Base, Protocol, T);
+    for (unsigned W : Widths) {
+      const CompiledModel &Vec = Cache.get(*M, EngineConfig::limpetMLIR(W));
+      for (unsigned T : ThreadCounts) {
+        double TVec = timeSimulation(Vec, Protocol, T);
+        Speedups[W][T].push_back(BaseTime[T] / TVec);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"architecture", "t=1", "t=2", "t=4", "t=8", "t=16",
+                  "t=32"});
+  std::vector<double> Everything;
+  for (size_t WI = 0; WI != 3; ++WI) {
+    std::vector<std::string> Row = {WidthNames[WI]};
+    for (unsigned T : ThreadCounts) {
+      auto &V = Speedups[Widths[WI]][T];
+      Row.push_back(formatFixed(geomean(V), 2) + "x");
+      Everything.insert(Everything.end(), V.begin(), V.end());
+    }
+    Rows.push_back(std::move(Row));
+  }
+  std::printf("%s", renderTable(Rows).c_str());
+  std::printf("\noverall geomean (all models x architectures x threads): "
+              "%.2fx   (paper: 2.90x)\n",
+              geomean(Everything));
+  return 0;
+}

@@ -1,0 +1,220 @@
+//===- MicroBenchmarks.cpp - google-benchmark microbenchmarks --------------------===//
+//
+// Component-level microbenchmarks backing the figure-level results:
+// vectorizable math vs libm (the SVML substitution), LUT interpolation vs
+// recomputation, layout access patterns, engine dispatch overhead, and
+// frontend/codegen compile time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "easyml/Sema.h"
+#include "models/Registry.h"
+#include "runtime/Lut.h"
+#include "runtime/VecMath.h"
+
+#include <benchmark/benchmark.h>
+#include <cmath>
+#include <random>
+
+using namespace limpet;
+
+namespace {
+
+std::vector<double> voltages(size_t N) {
+  std::mt19937_64 Rng(42);
+  std::uniform_real_distribution<double> Dist(-90.0, 40.0);
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = Dist(Rng);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// VecMath vs libm (the SVML substitution)
+//===----------------------------------------------------------------------===//
+
+void BM_LibmExp(benchmark::State &State) {
+  auto X = voltages(4096);
+  for (auto _ : State) {
+    double Sum = 0;
+    for (double V : X)
+      Sum += std::exp(V * 0.04);
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+BENCHMARK(BM_LibmExp);
+
+void BM_VecMathExp(benchmark::State &State) {
+  auto X = voltages(4096);
+  for (auto _ : State) {
+    double Sum = 0;
+    for (double V : X)
+      Sum += vecmath::fastExp(V * 0.04);
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+BENCHMARK(BM_VecMathExp);
+
+void BM_LibmTanh(benchmark::State &State) {
+  auto X = voltages(4096);
+  for (auto _ : State) {
+    double Sum = 0;
+    for (double V : X)
+      Sum += std::tanh(V * 0.1);
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+BENCHMARK(BM_LibmTanh);
+
+void BM_VecMathTanh(benchmark::State &State) {
+  auto X = voltages(4096);
+  for (auto _ : State) {
+    double Sum = 0;
+    for (double V : X)
+      Sum += vecmath::fastTanh(V * 0.1);
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+BENCHMARK(BM_VecMathTanh);
+
+//===----------------------------------------------------------------------===//
+// LUT interpolation vs direct recomputation (Sec. 3.4.2 microcosm)
+//===----------------------------------------------------------------------===//
+
+void BM_GateRatesRecompute(benchmark::State &State) {
+  auto X = voltages(4096);
+  for (auto _ : State) {
+    double Sum = 0;
+    for (double V : X) {
+      // A Hodgkin-Huxley-like rate pair.
+      double A = 0.1 * (V + 40.0) / (1.0 - vecmath::fastExp(-(V + 40.0) / 10.0));
+      double B = 4.0 * vecmath::fastExp(-(V + 65.0) / 18.0);
+      Sum += A + B;
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+BENCHMARK(BM_GateRatesRecompute);
+
+void BM_GateRatesLutInterp(benchmark::State &State) {
+  runtime::LutTable T(-100, 100, 0.05, 2);
+  for (int R = 0; R != T.rows(); ++R) {
+    double V = T.rowX(R);
+    T.at(R, 0) = 0.1 * (V + 40.0) / (1.0 - std::exp(-(V + 40.0) / 10.0));
+    T.at(R, 1) = 4.0 * std::exp(-(V + 65.0) / 18.0);
+  }
+  auto X = voltages(4096);
+  for (auto _ : State) {
+    double Sum = 0;
+    for (double V : X) {
+      int64_t Idx;
+      double Frac;
+      T.coord(V, Idx, Frac);
+      Sum += T.interp(Idx, Frac, 0) + T.interp(Idx, Frac, 1);
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+BENCHMARK(BM_GateRatesLutInterp);
+
+//===----------------------------------------------------------------------===//
+// Layout access patterns (Sec. 3.4.1 microcosm)
+//===----------------------------------------------------------------------===//
+
+constexpr int64_t LayoutCells = 8192;
+constexpr int64_t LayoutSv = 20;
+
+template <codegen::StateLayout Layout>
+void BM_LayoutSweep(benchmark::State &State) {
+  std::vector<double> Data(size_t(LayoutCells) * LayoutSv, 1.0);
+  for (auto _ : State) {
+    double Sum = 0;
+    // Vector-style traversal: for each sv, touch 8-cell blocks.
+    for (int64_t C = 0; C + 8 <= LayoutCells; C += 8)
+      for (int64_t Sv = 0; Sv != LayoutSv; ++Sv)
+        for (int64_t L = 0; L != 8; ++L)
+          Sum += Data[size_t(codegen::stateIndex(Layout, C + L, Sv,
+                                                 LayoutSv, LayoutCells, 8))];
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetBytesProcessed(State.iterations() * LayoutCells * LayoutSv * 8);
+}
+BENCHMARK(BM_LayoutSweep<codegen::StateLayout::AoS>)->Name("BM_LayoutAoS");
+BENCHMARK(BM_LayoutSweep<codegen::StateLayout::SoA>)->Name("BM_LayoutSoA");
+BENCHMARK(BM_LayoutSweep<codegen::StateLayout::AoSoA>)
+    ->Name("BM_LayoutAoSoA");
+
+//===----------------------------------------------------------------------===//
+// Whole-kernel step cost per engine (dispatch amortization)
+//===----------------------------------------------------------------------===//
+
+void benchKernelStep(benchmark::State &State, const char *ModelName,
+                     exec::EngineConfig Cfg) {
+  static bench::ModelCache Cache;
+  const models::ModelEntry *M = models::findModel(ModelName);
+  const exec::CompiledModel &Model = Cache.get(*M, Cfg);
+  sim::SimOptions Opts;
+  Opts.NumCells = 4096;
+  Opts.NumSteps = 1;
+  sim::Simulator S(Model, Opts);
+  for (auto _ : State)
+    S.step();
+  State.SetItemsProcessed(State.iterations() * Opts.NumCells);
+}
+
+void BM_StepCourtemancheScalar(benchmark::State &State) {
+  benchKernelStep(State, "Courtemanche", exec::EngineConfig::baseline());
+}
+BENCHMARK(BM_StepCourtemancheScalar);
+
+void BM_StepCourtemancheVec8(benchmark::State &State) {
+  benchKernelStep(State, "Courtemanche", exec::EngineConfig::limpetMLIR(8));
+}
+BENCHMARK(BM_StepCourtemancheVec8);
+
+void BM_StepOHaraScalar(benchmark::State &State) {
+  benchKernelStep(State, "OHara", exec::EngineConfig::baseline());
+}
+BENCHMARK(BM_StepOHaraScalar);
+
+void BM_StepOHaraVec8(benchmark::State &State) {
+  benchKernelStep(State, "OHara", exec::EngineConfig::limpetMLIR(8));
+}
+BENCHMARK(BM_StepOHaraVec8);
+
+//===----------------------------------------------------------------------===//
+// Compile-time cost of the full pipeline
+//===----------------------------------------------------------------------===//
+
+void BM_CompileHodgkinHuxley(benchmark::State &State) {
+  const models::ModelEntry *M = models::findModel("HodgkinHuxley");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+    auto Compiled = exec::CompiledModel::compile(
+        *Info, exec::EngineConfig::limpetMLIR(8));
+    benchmark::DoNotOptimize(Compiled->program().Body.size());
+  }
+}
+BENCHMARK(BM_CompileHodgkinHuxley);
+
+void BM_CompileOHara(benchmark::State &State) {
+  const models::ModelEntry *M = models::findModel("OHara");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+    auto Compiled = exec::CompiledModel::compile(
+        *Info, exec::EngineConfig::limpetMLIR(8));
+    benchmark::DoNotOptimize(Compiled->program().Body.size());
+  }
+}
+BENCHMARK(BM_CompileOHara);
+
+} // namespace

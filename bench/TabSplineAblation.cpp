@@ -1,0 +1,125 @@
+//===- TabSplineAblation.cpp - paper Sec. 7 future work --------------------------===//
+//
+// The paper's conclusion proposes "an efficient spline interpolation
+// method to replace or complement the currently used linear
+// interpolation". This bench implements that study: four-point cubic
+// interpolation permits a much coarser table for the same accuracy, so
+// the interesting trade-off is (rows x columns) memory footprint and
+// per-lookup cost versus accuracy.
+//
+// Protocol: a LUT-heavy model is run with (a) linear interpolation at the
+// model's native step, (b) cubic at the native step, (c) cubic at a 10x
+// coarser step. Accuracy is the state-checksum deviation from the exact
+// (no-LUT) run after a full simulation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "easyml/Sema.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace limpet;
+using namespace limpet::bench;
+using namespace limpet::exec;
+
+namespace {
+
+/// Re-scales every .lookup step in a model source by \p Factor.
+std::string coarsenLookups(const std::string &Source, double Factor) {
+  std::string Out;
+  size_t Pos = 0;
+  while (true) {
+    size_t At = Source.find(".lookup(", Pos);
+    if (At == std::string::npos) {
+      Out += Source.substr(Pos);
+      return Out;
+    }
+    size_t Close = Source.find(')', At);
+    Out += Source.substr(Pos, At - Pos);
+    std::string Args = Source.substr(At + 8, Close - At - 8);
+    auto Parts = splitString(Args, ',');
+    double Step = std::atof(Parts[2].c_str()) * Factor;
+    Out += ".lookup(" + Parts[0] + "," + Parts[1] + ", " +
+           formatDouble(Step) + ")";
+    Pos = Close + 1;
+  }
+}
+
+struct Arm {
+  const char *Label;
+  double Time = 0;
+  double Error = 0;
+  size_t TableDoubles = 0;
+};
+
+} // namespace
+
+int main() {
+  BenchProtocol Protocol = BenchProtocol::fromEnv(4096, 120, 3);
+  printBanner("Sec. 7 future-work table: spline vs linear LUT "
+              "interpolation",
+              "Conclusion ('efficient spline interpolation ... to replace "
+              "or complement')",
+              Protocol);
+
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"model", "arm", "table KiB", "time(s)",
+                  "|err| vs exact"});
+
+  for (const char *Name : {"HodgkinHuxley", "BeelerReuter", "Courtemanche",
+                           "OHara"}) {
+    const models::ModelEntry *M = models::findModel(Name);
+    if (!M)
+      continue;
+
+    auto RunArm = [&](const std::string &Source, EngineConfig Cfg,
+                      Arm &Out) {
+      DiagnosticEngine Diags;
+      auto Info = easyml::compileModelInfo(M->Name, Source, Diags);
+      auto Model = CompiledModel::compile(*Info, Cfg);
+      Out.Time = timeSimulation(*Model, Protocol, 1);
+      sim::SimOptions Opts;
+      Opts.NumCells = 64;
+      Opts.NumSteps = Protocol.NumSteps;
+      Opts.StimPeriod = 100.0;
+      sim::Simulator S(*Model, Opts);
+      S.run();
+      Out.Error = S.stateChecksum();
+      for (const auto &T : Model->luts().Tables)
+        Out.TableDoubles += size_t(T.rows()) * size_t(T.cols());
+    };
+
+    EngineConfig Exact = EngineConfig::limpetMLIR(8);
+    Exact.EnableLuts = false;
+    EngineConfig Linear = EngineConfig::limpetMLIR(8);
+    EngineConfig Cubic = EngineConfig::limpetMLIR(8);
+    Cubic.CubicLut = true;
+
+    Arm ArmExact{"exact"}, ArmLin{"linear"}, ArmCubic{"cubic"},
+        ArmCoarse{"cubic 10x coarser"};
+    RunArm(M->Source, Exact, ArmExact);
+    RunArm(M->Source, Linear, ArmLin);
+    RunArm(M->Source, Cubic, ArmCubic);
+    RunArm(coarsenLookups(M->Source, 10.0), Cubic, ArmCoarse);
+
+    for (Arm *A : {&ArmExact, &ArmLin, &ArmCubic, &ArmCoarse}) {
+      double Err = std::fabs(A->Error - ArmExact.Error) /
+                   std::max(std::fabs(ArmExact.Error), 1e-9);
+      Rows.push_back({M->Name, A->Label,
+                      formatFixed(double(A->TableDoubles) * 8 / 1024, 0),
+                      formatFixed(A->Time, 4),
+                      A == &ArmExact ? std::string("-")
+                                     : formatDouble(Err)});
+    }
+  }
+
+  std::printf("%s", renderTable(Rows).c_str());
+  std::printf("\nexpected shape: cubic at the native step is slightly "
+              "slower but far more\naccurate; cubic at a 10x coarser step "
+              "matches linear accuracy with a 10x\nsmaller table "
+              "footprint — the trade the paper's future work targets.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- drug_block.cpp - virtual sodium-channel block study ----------------------===//
+//
+// The kind of application the paper motivates ("virtual drug testing in
+// cardiac research", Sec. 4.1): sweep the sodium conductance of the
+// Hodgkin-Huxley model to emulate increasing channel block and report how
+// the action potential degrades, running each arm of the sweep on the
+// vectorized engine over a cell population. Parameters are runtime values
+// (LUT tables are rebuilt per arm, as openCARP does at initialization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+#include "models/Registry.h"
+#include "sim/Simulator.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace limpet;
+
+int main() {
+  const models::ModelEntry *Entry = models::findModel("HodgkinHuxley");
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(Entry->Name, Entry->Source, Diags);
+  if (!Info) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  auto Model = exec::CompiledModel::compile(
+      *Info, exec::EngineConfig::limpetMLIR(8));
+  double GNaDefault = Model->defaultParams()[size_t(Info->paramIndex("gNa"))];
+
+  std::printf("virtual INa block on HodgkinHuxley (gNa default %.0f "
+              "mS/cm^2)\n\n",
+              GNaDefault);
+  std::printf("%-8s  %-10s  %-10s  %-12s\n", "block", "gNa", "peak Vm",
+              "AP elicited");
+
+  for (double Block : {0.0, 0.25, 0.5, 0.7, 0.85, 0.95}) {
+    sim::SimOptions Opts;
+    Opts.NumCells = 256;
+    Opts.NumSteps = 2000; // 20 ms
+    Opts.StimStart = 1.0;
+    Opts.StimDuration = 1.0;
+    Opts.StimStrength = 40.0;
+    Opts.RecordTrace = true;
+    sim::Simulator Sim(*Model, Opts);
+    Sim.setParam("gNa", GNaDefault * (1.0 - Block));
+    Sim.run();
+
+    double Peak = -1e30;
+    for (double V : Sim.trace())
+      Peak = std::max(Peak, V);
+    bool Elicited = Peak > 0.0;
+    std::printf("%-8s  %-10s  %-10s  %-12s\n",
+                (formatFixed(Block * 100, 0) + "%").c_str(),
+                formatFixed(GNaDefault * (1.0 - Block), 1).c_str(),
+                (formatFixed(Peak, 1) + " mV").c_str(),
+                Elicited ? "yes" : "no");
+  }
+
+  std::printf("\nexpected shape: the AP amplitude shrinks with increasing "
+              "block and\nexcitability is lost outright at high block "
+              "fractions.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- integrator_study.cpp - comparing the six integration methods ------------===//
+//
+// Reproduces the paper's Sec. 3.3.2 discussion as a runnable study: the
+// same stiff gate equation is integrated with all six methods at several
+// time steps, demonstrating why Rush-Larsen (and its second-order Sundnes
+// variant) is the method of choice for gates, rk4 for accuracy, and
+// markov_be for stiff probability-valued states.
+//
+//===----------------------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+#include "exec/CompiledModel.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace limpet;
+
+namespace {
+
+/// Integrates a single-variable model for 1 ms and returns the final y.
+double integrate(const std::string &Source, double Dt) {
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo("ode", Source, Diags);
+  if (!Info) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return NAN;
+  }
+  auto Model =
+      exec::CompiledModel::compile(*Info, exec::EngineConfig::baseline());
+  std::vector<double> State(Model->stateArraySize(1));
+  Model->initializeState(State.data(), 1);
+  std::vector<double> Params = Model->defaultParams();
+  exec::KernelArgs Args;
+  Args.State = State.data();
+  Args.Params = Params.data();
+  Args.Start = 0;
+  Args.End = 1;
+  Args.NumCells = 1;
+  Args.Dt = Dt;
+  int64_t Steps = int64_t(std::llround(1.0 / Dt));
+  for (int64_t I = 0; I != Steps; ++I) {
+    Args.T = double(I) * Dt;
+    Model->computeStep(Args);
+  }
+  return Model->readState(State.data(), 0, 0, 1);
+}
+
+} // namespace
+
+int main() {
+  // A stiff gate: dy/dt = a(1-y) - b y with a=40/ms, b=160/ms
+  // (tau = 5 microseconds -- far below a typical 10 microsecond dt).
+  const double A = 40.0, B = 160.0, Y0 = 0.9;
+  const double YInf = A / (A + B);
+  const double Exact = YInf + (Y0 - YInf) * std::exp(-(A + B) * 1.0);
+
+  std::printf("stiff gate: dy/dt = %.0f*(1-y) - %.0f*y, y(0)=%.1f, "
+              "y(1ms) exact = %.9f\n\n",
+              A, B, Y0, Exact);
+  std::printf("%-12s", "method");
+  const double Dts[] = {0.1, 0.02, 0.005};
+  for (double Dt : Dts)
+    std::printf("  %14s", ("err @dt=" + formatDouble(Dt)).c_str());
+  std::printf("\n");
+
+  for (const char *Method :
+       {"fe", "rk2", "rk4", "rush_larsen", "sundnes", "markov_be"}) {
+    std::string Src = "diff_y = 40.0*(1.0-y) - 160.0*y;\ny_init = 0.9;\n"
+                      "y; .method(" +
+                      std::string(Method) + ");\n";
+    std::printf("%-12s", Method);
+    for (double Dt : Dts) {
+      double Y = integrate(Src, Dt);
+      double Err = std::fabs(Y - Exact);
+      if (!std::isfinite(Y) || Err > 1e3)
+        std::printf("  %14s", "diverged");
+      else
+        std::printf("  %14.3e", Err);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nexpected shape: fe/rk2/rk4 diverge at dt >= 0.02 "
+              "(dt*(a+b) > 2), while the\nRush-Larsen family and "
+              "markov_be stay stable at every step size — the reason\n"
+              "openCARP integrates gates with rush_larsen by default "
+              "(paper Sec. 3.3.2).\n");
+  return 0;
+}

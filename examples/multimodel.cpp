@@ -1,0 +1,83 @@
+//===- multimodel.cpp - parent/offspring model composition ----------------------===//
+//
+// The paper's multimodel feature (Sec. 3.3.2) as a runnable scenario: a
+// Hodgkin-Huxley parent cell composed with a stretch-activated-channel
+// (SAC) plugin. Both models share the Vm/Iion externals — the plugin
+// accumulates its current with the openCARP idiom `Iion = Iion + I_sac;`
+// — and the plugin additionally *reads the parent's n gate* through a
+// parent-state binding, demonstrating offspring access to parent state
+// with fallback-to-local semantics for unbound externals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+#include "models/Registry.h"
+#include "sim/Multimodel.h"
+
+#include <cstdio>
+
+using namespace limpet;
+
+static const char *SacPluginSrc = R"EASYML(
+# Stretch-activated channel plugin: adds a linear cationic current gated
+# by slow activation, modulated by the parent's potassium gate (read
+# through a parent-state binding).
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+n_parent; .external(); .nodal();
+
+group{ g_sac = 0.25; E_sac = -10.0; tau_s = 20.0; }.param();
+
+s_inf = 1.0/(1.0 + exp(-(Vm + 40.0)/10.0));
+diff_s = (s_inf - s)/tau_s;
+s_init = 0.0;
+s; .method(rush_larsen);
+
+Iion = Iion + g_sac*s*(1.0 - 0.5*n_parent)*(Vm - E_sac);
+)EASYML";
+
+int main() {
+  // Parent: the real Hodgkin-Huxley model from the 43-model suite.
+  const models::ModelEntry *Entry = models::findModel("HodgkinHuxley");
+  DiagnosticEngine Diags;
+  auto ParentInfo =
+      easyml::compileModelInfo(Entry->Name, Entry->Source, Diags);
+  auto PluginInfo = easyml::compileModelInfo("SAC", SacPluginSrc, Diags);
+  if (!ParentInfo || !PluginInfo) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  auto Parent = exec::CompiledModel::compile(
+      *ParentInfo, exec::EngineConfig::limpetMLIR(8));
+  auto Plugin = exec::CompiledModel::compile(
+      *PluginInfo, exec::EngineConfig::limpetMLIR(8));
+
+  sim::SimOptions Opts;
+  Opts.NumCells = 256;
+  Opts.NumSteps = 2500; // 25 ms
+  Opts.StimStart = 1.0;
+  Opts.StimDuration = 1.0;
+  Opts.StimStrength = 40.0;
+
+  sim::MultimodelSimulator Plain(*Parent, Opts);
+  sim::MultimodelSimulator WithSac(*Parent, Opts);
+  WithSac.addPlugin(*Plugin,
+                    {{"n_parent", "n", /*Writable=*/false}});
+
+  std::printf("t_ms,Vm_plain,Vm_with_sac,sac_gate,parent_n\n");
+  for (int64_t Step = 0; Step != Opts.NumSteps; ++Step) {
+    Plain.step();
+    WithSac.step();
+    if (Step % 25 == 0)
+      std::printf("%.2f,%.3f,%.3f,%.4f,%.4f\n", Plain.time(), Plain.vm(0),
+                  WithSac.vm(0), WithSac.pluginState(0, 0, 0),
+                  WithSac.parentState(0, 2));
+  }
+
+  std::fprintf(stderr,
+               "final Vm: plain %.3f mV vs with SAC %.3f mV — the plugin "
+               "current\ndepolarizes the plateau, the classic SAC "
+               "signature.\n",
+               Plain.vm(0), WithSac.vm(0));
+  return 0;
+}

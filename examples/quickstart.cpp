@@ -1,0 +1,97 @@
+//===- quickstart.cpp - 60-second tour of the library --------------------------===//
+//
+// Write an ionic model in EasyML, compile it through the full limpetMLIR
+// pipeline (frontend -> preprocessor -> integrator expansion -> LUT
+// extraction -> IR -> passes -> vectorization -> bytecode), inspect the
+// generated IR, and simulate a small cell population with both the
+// openCARP-baseline and limpetMLIR configurations.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+#include "exec/CompiledModel.h"
+#include "ir/Printer.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+
+using namespace limpet;
+
+// A two-variable excitable membrane in EasyML: Vm and Iion are the
+// externals every openCARP model exposes; `w` is a recovery state
+// integrated with Rush-Larsen; the rate is LUT-accelerated.
+static const char *ModelSource = R"EASYML(
+Vm; .external(); .nodal(); .lookup(-100, 100, 0.05);
+Iion; .external(); .nodal();
+Vm_init = -80.0;
+
+group{ g = 0.3; E_rest = -80.0; }.param();
+
+rate = 0.4*exp(Vm/25.0)/(1.0 + exp(Vm/25.0));
+diff_w = rate*(1.0 - w) - 0.2*w;
+w_init = 0.1;
+w; .method(rush_larsen);
+
+Iion = g*(Vm - E_rest)*(1.0 + 2.0*w);
+)EASYML";
+
+int main() {
+  // 1. Frontend: parse + semantic analysis.
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo("Quickstart", ModelSource, Diags);
+  if (!Info) {
+    std::fprintf(stderr, "frontend errors:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("model '%s': %zu state vars, %zu params, %zu externals, "
+              "%zu LUT(s)\n\n",
+              Info->Name.c_str(), Info->StateVars.size(),
+              Info->Params.size(), Info->Externals.size(),
+              Info->Luts.size());
+
+  // 2. Compile for the limpetMLIR configuration (8 lanes, AoSoA, vector
+  //    LUT + math) and print the vectorized kernel IR.
+  std::string Error;
+  auto Model = exec::CompiledModel::compile(
+      *Info, exec::EngineConfig::limpetMLIR(8), &Error);
+  if (!Model) {
+    std::fprintf(stderr, "compile error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("--- vectorized kernel IR ---\n%s\n",
+              ir::printOp(Model->kernel().Mod->lookupFunction("compute_vec8"))
+                  .c_str());
+  std::printf("--- bytecode: %zu prologue + %zu body instructions, %u "
+              "registers ---\n\n",
+              Model->program().Prologue.size(),
+              Model->program().Body.size(), Model->program().NumRegs);
+
+  // 3. Simulate 1,000 cells for 20 ms with a stimulus at t=1 ms.
+  sim::SimOptions Opts;
+  Opts.NumCells = 1000;
+  Opts.NumSteps = 2000;
+  Opts.Dt = 0.01;
+  Opts.StimStart = 1.0;
+  Opts.StimDuration = 2.0;
+  Opts.StimStrength = 25.0;
+  Opts.RecordTrace = true;
+  sim::Simulator Sim(*Model, Opts);
+  Sim.run();
+
+  std::printf("simulated %lld cells x %lld steps; final Vm(0) = %.3f mV, "
+              "w(0) = %.4f\n",
+              (long long)Opts.NumCells, (long long)Opts.NumSteps,
+              Sim.vm(0), Sim.stateOf(0, 0));
+
+  // 4. Cross-check against the scalar openCARP-baseline configuration.
+  auto Baseline = exec::CompiledModel::compile(
+      *Info, exec::EngineConfig::baseline(), &Error);
+  sim::Simulator Ref(*Baseline, Opts);
+  Ref.run();
+  std::printf("baseline cross-check:      final Vm(0) = %.3f mV (match "
+              "within %.1e)\n",
+              Ref.vm(0), std::abs(Ref.vm(0) - Sim.vm(0)));
+  return 0;
+}

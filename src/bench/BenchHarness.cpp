@@ -1,0 +1,179 @@
+//===- BenchHarness.cpp ---------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+
+#include "easyml/Sema.h"
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace limpet;
+using namespace limpet::bench;
+using namespace limpet::exec;
+
+static int64_t envInt(const char *Name, int64_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  return std::atoll(V);
+}
+
+BenchProtocol BenchProtocol::fromEnv(int64_t DefaultCells,
+                                     int64_t DefaultSteps,
+                                     int DefaultRepeats) {
+  BenchProtocol P;
+  P.NumCells = envInt("LIMPET_BENCH_CELLS", DefaultCells);
+  P.NumSteps = envInt("LIMPET_BENCH_STEPS", DefaultSteps);
+  P.Repeats = int(envInt("LIMPET_BENCH_REPEATS", DefaultRepeats));
+  return P;
+}
+
+std::vector<const models::ModelEntry *> bench::selectedModels() {
+  std::vector<const models::ModelEntry *> Selected;
+  const char *Filter = std::getenv("LIMPET_BENCH_MODELS");
+  if (!Filter || !*Filter) {
+    for (const models::ModelEntry &M : models::modelRegistry())
+      Selected.push_back(&M);
+    return Selected;
+  }
+  for (const std::string &Name : splitString(Filter, ',')) {
+    const models::ModelEntry *M = models::findModel(Name);
+    if (M)
+      Selected.push_back(M);
+    else
+      std::fprintf(stderr, "warning: unknown model '%s' in filter\n",
+                   Name.c_str());
+  }
+  return Selected;
+}
+
+const CompiledModel &ModelCache::get(const models::ModelEntry &Entry,
+                                     const EngineConfig &Cfg) {
+  std::string Key = Entry.Name + "|" + engineConfigName(Cfg);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return *It->second;
+
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(Entry.Name, Entry.Source, Diags);
+  if (!Info) {
+    std::fprintf(stderr, "frontend failed for %s:\n%s", Entry.Name.c_str(),
+                 Diags.str().c_str());
+    std::abort();
+  }
+  std::string Error;
+  auto Model = CompiledModel::compile(*Info, Cfg, &Error);
+  if (!Model) {
+    std::fprintf(stderr, "compile failed for %s: %s\n", Entry.Name.c_str(),
+                 Error.c_str());
+    std::abort();
+  }
+  auto Owned = std::make_unique<CompiledModel>(std::move(*Model));
+  const CompiledModel &Ref = *Owned;
+  Cache.emplace(std::move(Key), std::move(Owned));
+  return Ref;
+}
+
+double bench::timeSimulation(const CompiledModel &Model,
+                             const BenchProtocol &Protocol,
+                             unsigned Threads) {
+  std::vector<double> Times;
+  for (int Run = 0; Run != std::max(Protocol.Repeats, 1); ++Run) {
+    sim::SimOptions Opts;
+    Opts.NumCells = Protocol.NumCells;
+    Opts.NumSteps = Protocol.NumSteps;
+    Opts.NumThreads = Threads;
+    Opts.StimPeriod = 100.0;
+    sim::Simulator S(Model, Opts);
+    auto T0 = std::chrono::steady_clock::now();
+    S.run();
+    auto T1 = std::chrono::steady_clock::now();
+    Times.push_back(std::chrono::duration<double>(T1 - T0).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  // Paper protocol: eliminate the two extrema, average the rest.
+  if (Protocol.DropExtrema && Times.size() >= 3) {
+    Times.erase(Times.begin());
+    Times.pop_back();
+  }
+  double Sum = 0;
+  for (double T : Times)
+    Sum += T;
+  return Sum / double(Times.size());
+}
+
+double bench::geomean(const std::vector<double> &Values) {
+  double LogSum = 0;
+  size_t N = 0;
+  for (double V : Values) {
+    if (V <= 0)
+      continue;
+    LogSum += std::log(V);
+    ++N;
+  }
+  return N ? std::exp(LogSum / double(N)) : 0.0;
+}
+
+std::string bench::renderTable(
+    const std::vector<std::vector<std::string>> &Rows) {
+  if (Rows.empty())
+    return "";
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+  }
+  std::string Out;
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    for (size_t C = 0; C != Rows[R].size(); ++C) {
+      Out += C == 0 ? padRight(Rows[R][C], Widths[C])
+                    : padLeft(Rows[R][C], Widths[C]);
+      if (C + 1 != Rows[R].size())
+        Out += "  ";
+    }
+    Out += '\n';
+    if (R == 0) {
+      size_t Total = 0;
+      for (size_t C = 0; C != Widths.size(); ++C)
+        Total += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+      Out += std::string(Total, '-');
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+void bench::printBanner(const std::string &Title,
+                        const std::string &PaperRef,
+                        const BenchProtocol &Protocol) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", Title.c_str());
+  std::printf("Reproduces: %s\n", PaperRef.c_str());
+  std::printf("Protocol: %lld cells, %lld steps, %d repeats "
+              "(paper: 8192 cells, 100000 steps, 5 repeats)\n",
+              (long long)Protocol.NumCells, (long long)Protocol.NumSteps,
+              Protocol.Repeats);
+  std::printf("Scale with LIMPET_BENCH_CELLS / LIMPET_BENCH_STEPS / "
+              "LIMPET_BENCH_REPEATS / LIMPET_BENCH_MODELS.\n");
+  std::printf("==================================================================\n");
+}
+
+std::string bench::className(char SizeClass) {
+  switch (SizeClass) {
+  case 'S':
+    return "small";
+  case 'M':
+    return "medium";
+  case 'L':
+    return "large";
+  default:
+    return "?";
+  }
+}

@@ -1,0 +1,82 @@
+//===- BenchHarness.h - Figure/table regeneration harness -------*- C++-*-===//
+//
+// Shared machinery for the per-figure benchmark binaries (bench/): model
+// compilation for each engine configuration, the paper's timing protocol
+// (several runs, extrema dropped, rest averaged — Sec. 4), environment
+// scaling knobs, geometric means and aligned table rendering.
+//
+// Scale note: the paper's protocol is 100,000 steps x 8,192 cells per
+// model (hours per figure). The benches default to a scaled protocol and
+// honour LIMPET_BENCH_CELLS / LIMPET_BENCH_STEPS / LIMPET_BENCH_REPEATS /
+// LIMPET_BENCH_MODELS to approach the paper's scale when desired.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_BENCH_BENCHHARNESS_H
+#define LIMPET_BENCH_BENCHHARNESS_H
+
+#include "exec/CompiledModel.h"
+#include "models/Registry.h"
+#include "sim/Simulator.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace bench {
+
+/// Scaled benchmark protocol (paper: Cells=8192, Steps=100000, Repeats=5
+/// with the two extrema dropped).
+struct BenchProtocol {
+  int64_t NumCells = 4096;
+  int64_t NumSteps = 100;
+  int Repeats = 3;
+  /// Drop the fastest and slowest run when Repeats >= 3 (paper protocol).
+  bool DropExtrema = true;
+
+  /// Reads LIMPET_BENCH_* environment overrides.
+  static BenchProtocol fromEnv(int64_t DefaultCells = 4096,
+                               int64_t DefaultSteps = 100,
+                               int DefaultRepeats = 3);
+};
+
+/// Returns the LIMPET_BENCH_MODELS filter (comma-separated names), or all
+/// 43 models when unset.
+std::vector<const models::ModelEntry *> selectedModels();
+
+/// A compiled model cache keyed by (model, config) so sweeps do not
+/// recompile.
+class ModelCache {
+public:
+  const exec::CompiledModel &get(const models::ModelEntry &Entry,
+                                 const exec::EngineConfig &Cfg);
+
+private:
+  std::map<std::string, std::unique_ptr<exec::CompiledModel>> Cache;
+};
+
+/// Times one simulation under the paper's protocol: returns seconds
+/// (averaged after dropping extrema).
+double timeSimulation(const exec::CompiledModel &Model,
+                      const BenchProtocol &Protocol, unsigned Threads);
+
+/// Geometric mean (ignores non-positive entries).
+double geomean(const std::vector<double> &Values);
+
+/// Renders an aligned table: first row is the header.
+std::string renderTable(const std::vector<std::vector<std::string>> &Rows);
+
+/// Prints a standard bench banner with the protocol in use.
+void printBanner(const std::string &Title, const std::string &PaperRef,
+                 const BenchProtocol &Protocol);
+
+/// "S" -> "small", 'M' -> "medium", 'L' -> "large".
+std::string className(char SizeClass);
+
+} // namespace bench
+} // namespace limpet
+
+#endif // LIMPET_BENCH_BENCHHARNESS_H

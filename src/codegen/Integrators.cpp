@@ -1,0 +1,147 @@
+//===- Integrators.cpp ----------------------------------------------------===//
+
+#include "codegen/Integrators.h"
+
+#include "easyml/SymbolicDiff.h"
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::codegen;
+using namespace limpet::easyml;
+
+namespace {
+
+ExprPtr num(double V) { return Expr::makeNumber(V); }
+ExprPtr var(const char *Name) { return Expr::makeVarRef(Name); }
+
+ExprPtr bin(BinaryOp Op, ExprPtr A, ExprPtr B) {
+  return Expr::makeBinary(Op, std::move(A), std::move(B));
+}
+ExprPtr add(ExprPtr A, ExprPtr B) {
+  return bin(BinaryOp::Add, std::move(A), std::move(B));
+}
+ExprPtr sub(ExprPtr A, ExprPtr B) {
+  return bin(BinaryOp::Sub, std::move(A), std::move(B));
+}
+ExprPtr mul(ExprPtr A, ExprPtr B) {
+  return bin(BinaryOp::Mul, std::move(A), std::move(B));
+}
+ExprPtr div(ExprPtr A, ExprPtr B) {
+  return bin(BinaryOp::Div, std::move(A), std::move(B));
+}
+
+ExprPtr dt() { return var(DtVarName); }
+
+/// f with X replaced by \p NewX.
+ExprPtr fAt(const ExprPtr &F, const std::string &X, const ExprPtr &NewX) {
+  return substitute(F, X, NewX);
+}
+
+/// Forward Euler: x + dt*f.
+ExprPtr buildFE(const ExprPtr &F, const ExprPtr &X) {
+  return add(X, mul(dt(), F));
+}
+
+/// Explicit midpoint (rk2): x + dt * f(x + dt/2 * f(x)).
+ExprPtr buildRK2(const ExprPtr &F, const std::string &Name,
+                 const ExprPtr &X) {
+  ExprPtr XMid = add(X, mul(mul(dt(), num(0.5)), F));
+  ExprPtr K2 = fAt(F, Name, XMid);
+  return add(X, mul(dt(), K2));
+}
+
+/// Classic rk4.
+ExprPtr buildRK4(const ExprPtr &F, const std::string &Name,
+                 const ExprPtr &X) {
+  ExprPtr HalfDt = mul(dt(), num(0.5));
+  ExprPtr K1 = F;
+  ExprPtr K2 = fAt(F, Name, add(X, mul(HalfDt, K1)));
+  ExprPtr K3 = fAt(F, Name, add(X, mul(HalfDt, K2)));
+  ExprPtr K4 = fAt(F, Name, add(X, mul(dt(), K3)));
+  ExprPtr Sum = add(add(K1, mul(num(2), K2)), add(mul(num(2), K3), K4));
+  return add(X, mul(mul(dt(), num(1.0 / 6.0)), Sum));
+}
+
+/// Rush-Larsen step from \p X with rhs \p FVal and local slope \p BVal:
+///   |b| < eps ? x + dt*f : x + (f/b) * expm1(b*dt)
+/// Exact for linear gates f = (x_inf - x)/tau; the general form is the
+/// exponential integrator on the frozen linearization.
+ExprPtr rushLarsenStep(const ExprPtr &X, const ExprPtr &FVal,
+                       const ExprPtr &BVal, const ExprPtr &StepDt) {
+  ExprPtr Small = bin(BinaryOp::Lt,
+                      Expr::makeCall(BuiltinFn::Fabs, {BVal}),
+                      num(RushLarsenEps));
+  ExprPtr Euler = add(X, mul(StepDt, FVal));
+  ExprPtr Expm1 = Expr::makeCall(BuiltinFn::Expm1, {mul(BVal, StepDt)});
+  ExprPtr Exponential = add(X, mul(div(FVal, BVal), Expm1));
+  return Expr::makeTernary(std::move(Small), std::move(Euler),
+                           std::move(Exponential));
+}
+
+ExprPtr buildRushLarsen(const ExprPtr &F, const std::string &Name,
+                        const ExprPtr &X) {
+  ExprPtr B = differentiate(F, Name);
+  return rushLarsenStep(X, F, B, dt());
+}
+
+/// Sundnes' second-order Rush-Larsen: take a half RL step, re-evaluate the
+/// local linearization (a, b) at the midpoint, then take the full
+/// exponential step from x with the midpoint coefficients. The step
+/// formula consumes the linearization evaluated at x:
+///   f_lin(x) = f(x_half) + b_half * (x - x_half).
+ExprPtr buildSundnes(const ExprPtr &F, const std::string &Name,
+                     const ExprPtr &X) {
+  ExprPtr B = differentiate(F, Name);
+  ExprPtr HalfDt = mul(dt(), num(0.5));
+  ExprPtr XHalf = rushLarsenStep(X, F, B, HalfDt);
+  ExprPtr F2 = fAt(F, Name, XHalf);
+  ExprPtr B2 = fAt(B, Name, XHalf);
+  ExprPtr FLin = add(F2, mul(B2, sub(X, XHalf)));
+  return rushLarsenStep(X, FLin, B2, dt());
+}
+
+/// Backward Euler via Newton iterations on g(y) = y - x - dt f(y), with
+/// the result clamped into [0, 1] (markov models track probabilities; the
+/// paper describes this refinement as keeping values "as precise as
+/// possible").
+ExprPtr buildMarkovBE(const ExprPtr &F, const std::string &Name,
+                      const ExprPtr &X) {
+  ExprPtr FPrime = differentiate(F, Name);
+  ExprPtr Y = X;
+  for (int I = 0; I != MarkovBENewtonIters; ++I) {
+    ExprPtr FY = fAt(F, Name, Y);
+    ExprPtr FPY = fAt(FPrime, Name, Y);
+    ExprPtr G = sub(sub(Y, X), mul(dt(), FY));
+    ExprPtr GPrime = sub(num(1), mul(dt(), FPY));
+    Y = sub(Y, div(G, GPrime));
+  }
+  // Clamp to [0, 1].
+  ExprPtr Below = bin(BinaryOp::Lt, Y, num(0));
+  ExprPtr Above = bin(BinaryOp::Gt, Y, num(1));
+  ExprPtr Clamped =
+      Expr::makeTernary(Below, num(0),
+                        Expr::makeTernary(Above, num(1), Y));
+  return Clamped;
+}
+
+} // namespace
+
+ExprPtr codegen::buildUpdateExpr(const StateVarInfo &SV) {
+  assert(SV.Diff && "state variable has no inlined diff expression");
+  ExprPtr X = Expr::makeVarRef(SV.Name);
+  switch (SV.Method) {
+  case IntegMethod::ForwardEuler:
+    return buildFE(SV.Diff, X);
+  case IntegMethod::RK2:
+    return buildRK2(SV.Diff, SV.Name, X);
+  case IntegMethod::RK4:
+    return buildRK4(SV.Diff, SV.Name, X);
+  case IntegMethod::RushLarsen:
+    return buildRushLarsen(SV.Diff, SV.Name, X);
+  case IntegMethod::Sundnes:
+    return buildSundnes(SV.Diff, SV.Name, X);
+  case IntegMethod::MarkovBE:
+    return buildMarkovBE(SV.Diff, SV.Name, X);
+  }
+  limpet_unreachable("invalid integration method");
+}

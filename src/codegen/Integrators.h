@@ -1,0 +1,42 @@
+//===- Integrators.h - Temporal discretization methods ----------*- C++-*-===//
+//
+// Expands each state variable's diff_X right-hand side into an expression
+// for the variable's next value, according to its integration method
+// (paper Sec. 3.3.2): fe, rk2, rk4, rush_larsen, sundnes and markov_be.
+//
+// The expansion is symbolic: midpoint evaluations substitute the state
+// variable, and the Rush-Larsen family uses the symbolic derivative df/dX
+// for the local linearization. The reserved variables "__dt" and "__t"
+// denote the time step and current time.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_CODEGEN_INTEGRATORS_H
+#define LIMPET_CODEGEN_INTEGRATORS_H
+
+#include "easyml/ModelInfo.h"
+
+namespace limpet {
+namespace codegen {
+
+/// Reserved variable names available to update expressions.
+inline constexpr const char *DtVarName = "__dt";
+inline constexpr const char *TimeVarName = "__t";
+
+/// Threshold below which the Rush-Larsen family falls back to forward
+/// Euler (|df/dy| too small for the exponential form to be stable in
+/// division).
+inline constexpr double RushLarsenEps = 1e-10;
+
+/// Number of Newton iterations of the markov_be method.
+inline constexpr int MarkovBENewtonIters = 3;
+
+/// Builds the expression of the next value of \p SV from its inlined diff
+/// expression. The result references old state/externals/params plus
+/// __dt/__t.
+easyml::ExprPtr buildUpdateExpr(const easyml::StateVarInfo &SV);
+
+} // namespace codegen
+} // namespace limpet
+
+#endif // LIMPET_CODEGEN_INTEGRATORS_H

@@ -1,0 +1,20 @@
+//===- KernelSpec.cpp -----------------------------------------------------===//
+
+#include "codegen/KernelSpec.h"
+
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::codegen;
+
+std::string_view codegen::stateLayoutName(StateLayout L) {
+  switch (L) {
+  case StateLayout::AoS:
+    return "aos";
+  case StateLayout::SoA:
+    return "soa";
+  case StateLayout::AoSoA:
+    return "aosoa";
+  }
+  limpet_unreachable("invalid layout");
+}

@@ -1,0 +1,55 @@
+//===- LutAnalysis.h - Lookup-table extraction ------------------*- C++-*-===//
+//
+// Implements openCARP's LUT acceleration at the AST level (paper Sec.
+// 3.4.2): for every variable marked .lookup(lo,hi,step), maximal
+// subexpressions that depend only on that variable (and on parameters,
+// which are baked into the tables at initialization) are hoisted into
+// table columns. At runtime one linear interpolation per column replaces
+// the original math.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_CODEGEN_LUTANALYSIS_H
+#define LIMPET_CODEGEN_LUTANALYSIS_H
+
+#include "easyml/ModelInfo.h"
+
+#include <vector>
+
+namespace limpet {
+namespace codegen {
+
+/// One extracted table: the spec plus the column expressions (functions of
+/// the lookup variable and parameters only).
+struct LutTablePlan {
+  easyml::LutSpec Spec;
+  std::vector<easyml::ExprPtr> Columns;
+};
+
+/// All tables extracted from a model.
+struct LutPlan {
+  std::vector<LutTablePlan> Tables;
+
+  bool empty() const { return Tables.empty(); }
+  size_t totalColumns() const {
+    size_t N = 0;
+    for (const LutTablePlan &T : Tables)
+      N += T.Columns.size();
+    return N;
+  }
+};
+
+/// Rewrites the expressions rooted at \p Roots in place, replacing
+/// extracted subexpressions with LutRef nodes, and returns the plan. Runs
+/// after integrator expansion so state-variable substitutions and symbolic
+/// derivatives see the full expressions. When \p Enable is false returns an
+/// empty plan and leaves the roots untouched (the "no-LUT" ablation
+/// configuration).
+LutPlan extractLuts(const easyml::ModelInfo &Info,
+                    const std::vector<easyml::ExprPtr *> &Roots,
+                    bool Enable = true);
+
+} // namespace codegen
+} // namespace limpet
+
+#endif // LIMPET_CODEGEN_LUTANALYSIS_H

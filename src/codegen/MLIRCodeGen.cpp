@@ -1,0 +1,430 @@
+//===- MLIRCodeGen.cpp ----------------------------------------------------===//
+
+#include "codegen/MLIRCodeGen.h"
+
+#include "codegen/Integrators.h"
+#include "dialects/Dialects.h"
+#include "easyml/Preprocessor.h"
+#include "support/Casting.h"
+#include "transforms/FoldUtils.h"
+#include "transforms/Pass.h"
+
+#include <map>
+
+using namespace limpet;
+using namespace limpet::codegen;
+using namespace limpet::easyml;
+using namespace limpet::ir;
+
+//===----------------------------------------------------------------------===//
+// Program construction
+//===----------------------------------------------------------------------===//
+
+ModelProgram codegen::buildModelProgram(const ModelInfo &InfoIn,
+                                        bool EnableLuts) {
+  ModelProgram P;
+  P.Info = InfoIn;
+  preprocessModel(P.Info);
+
+  for (const StateVarInfo &SV : P.Info.StateVars) {
+    ExprPtr Update = buildUpdateExpr(SV);
+    // Fold the constants the expansion introduced (dt/2 etc. stay runtime,
+    // but e.g. markov_be clamps produce foldable subtrees).
+    P.StateUpdates.push_back(foldConstants(Update));
+  }
+  for (const ExternalInfo &Ext : P.Info.Externals)
+    P.ExternalUpdates.push_back(Ext.IsComputed ? Ext.Value : nullptr);
+
+  std::vector<ExprPtr *> Roots;
+  for (ExprPtr &E : P.StateUpdates)
+    Roots.push_back(&E);
+  for (ExprPtr &E : P.ExternalUpdates)
+    if (E)
+      Roots.push_back(&E);
+  P.Luts = extractLuts(P.Info, Roots, EnableLuts);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// IR emission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Emits the loop body of the compute kernel for one model program.
+class BodyEmitter {
+public:
+  BodyEmitter(OpBuilder &B, const ModelProgram &Program, const KernelABI &Abi,
+              StateLayout Layout, Block &FuncEntry, Value *Iv)
+      : B(B), Program(Program), Abi(Abi), Layout(Layout),
+        FuncEntry(FuncEntry), Iv(Iv) {}
+
+  /// Emits loads, the full expression DAG, and the final stores.
+  void emitBody() {
+    // New values first (they reference only old loads), stores last, so
+    // the state update is simultaneous across variables.
+    std::vector<Value *> NewState(Program.Info.StateVars.size());
+    std::vector<Value *> NewExt(Program.Info.Externals.size(), nullptr);
+
+    for (size_t J = 0; J != Program.Info.Externals.size(); ++J)
+      if (Program.ExternalUpdates[J])
+        NewExt[J] = ensureFloat(emit(Program.ExternalUpdates[J]));
+    for (size_t K = 0; K != Program.Info.StateVars.size(); ++K)
+      NewState[K] = ensureFloat(emit(Program.StateUpdates[K]));
+
+    for (size_t K = 0; K != Program.Info.StateVars.size(); ++K) {
+      Operation *Store =
+          B.create(OpCode::MemStore,
+                   {NewState[K], stateMemRef(), stateIndexValue(K)}, {});
+      Store->setAttr(attrs::Role, Attribute::makeString("state"));
+      Store->setAttr(attrs::Index, Attribute::makeInt(int64_t(K)));
+    }
+    for (size_t J = 0; J != Program.Info.Externals.size(); ++J) {
+      if (!NewExt[J])
+        continue;
+      Operation *Store =
+          B.create(OpCode::MemStore, {NewExt[J], extMemRef(unsigned(J)), Iv},
+                   {});
+      Store->setAttr(attrs::Role, Attribute::makeString("ext"));
+      Store->setAttr(attrs::Index, Attribute::makeInt(int64_t(J)));
+    }
+  }
+
+private:
+  OpBuilder &B;
+  const ModelProgram &Program;
+  const KernelABI &Abi;
+  StateLayout Layout;
+  Block &FuncEntry;
+  Value *Iv;
+
+  std::map<const Expr *, Value *> Memo;
+  std::map<std::string, Value *> VarValues;
+  std::map<int, std::pair<Value *, Value *>> LutCoords; // table -> idx,frac
+
+  Context &ctx() { return B.context(); }
+
+  Value *stateMemRef() { return FuncEntry.argument(Abi.stateArg()); }
+  Value *extMemRef(unsigned J) {
+    return FuncEntry.argument(Abi.externalArg(J));
+  }
+  Value *paramsMemRef() { return FuncEntry.argument(Abi.paramsArg()); }
+  Value *numCellsValue() { return FuncEntry.argument(Abi.numCellsArg()); }
+  Value *dtValue() { return FuncEntry.argument(Abi.dtArg()); }
+  Value *tValue() { return FuncEntry.argument(Abi.tArg()); }
+
+  /// Emits the flat state index of (Iv, Sv) for the active layout. The
+  /// vectorizer recognizes accesses by their role attributes and rebuilds
+  /// the addressing, so this scalar chain is only executed by the scalar
+  /// engine (and the vector engine's epilogue).
+  Value *stateIndexValue(size_t Sv) {
+    int64_t NumSv = int64_t(Program.Info.StateVars.size());
+    switch (Layout) {
+    case StateLayout::AoS: {
+      Value *Base = makeMulI(B, Iv, makeConstantI(B, NumSv));
+      return makeAddI(B, Base, makeConstantI(B, int64_t(Sv)));
+    }
+    case StateLayout::SoA: {
+      Value *Col = makeMulI(B, makeConstantI(B, int64_t(Sv)),
+                            numCellsValue());
+      return makeAddI(B, Col, Iv);
+    }
+    case StateLayout::AoSoA: {
+      // Block size equals the SIMD width the state was laid out for; the
+      // runtime fixes it to the engine's width. Use the layout's W here.
+      int64_t W = int64_t(AoSoABlock);
+      Value *Block = makeDivI(B, Iv, makeConstantI(B, W));
+      Value *Lane = makeRemI(B, Iv, makeConstantI(B, W));
+      Value *Base = makeMulI(B, Block, makeConstantI(B, NumSv * W));
+      Value *Col = makeAddI(
+          B, Base, makeConstantI(B, int64_t(Sv) * W));
+      return makeAddI(B, Col, Lane);
+    }
+    }
+    limpet_unreachable("invalid layout");
+  }
+
+public:
+  /// AoSoA block width used for scalar addressing; set by the caller
+  /// before emitBody when Layout == AoSoA.
+  unsigned AoSoABlock = 8;
+  /// Emit cubic (Catmull-Rom) LUT interpolation.
+  bool CubicLut = false;
+
+private:
+  Value *loadStateVar(size_t Sv) {
+    Operation *Load = B.create(
+        OpCode::MemLoad, {stateMemRef(), stateIndexValue(Sv)}, {ctx().f64()});
+    Load->setAttr(attrs::Role, Attribute::makeString("state"));
+    Load->setAttr(attrs::Index, Attribute::makeInt(int64_t(Sv)));
+    return Load->result();
+  }
+
+  Value *loadExternal(size_t J) {
+    Operation *Load =
+        B.create(OpCode::MemLoad, {extMemRef(unsigned(J)), Iv},
+                 {ctx().f64()});
+    Load->setAttr(attrs::Role, Attribute::makeString("ext"));
+    Load->setAttr(attrs::Index, Attribute::makeInt(int64_t(J)));
+    return Load->result();
+  }
+
+  Value *loadParam(size_t P) {
+    Operation *Load = B.create(
+        OpCode::MemLoad, {paramsMemRef(), makeConstantI(B, int64_t(P))},
+        {ctx().f64()});
+    Load->setAttr(attrs::Role, Attribute::makeString("param"));
+    Load->setAttr(attrs::Index, Attribute::makeInt(int64_t(P)));
+    return Load->result();
+  }
+
+  /// Resolves a variable reference to its loaded value (cached).
+  Value *varValue(const std::string &Name) {
+    auto It = VarValues.find(Name);
+    if (It != VarValues.end())
+      return It->second;
+    Value *V = nullptr;
+    if (Name == DtVarName) {
+      V = dtValue();
+    } else if (Name == TimeVarName) {
+      V = tValue();
+    } else if (int Idx = Program.Info.stateVarIndex(Name); Idx >= 0) {
+      V = loadStateVar(size_t(Idx));
+    } else if (int Idx2 = Program.Info.externalIndex(Name); Idx2 >= 0) {
+      V = loadExternal(size_t(Idx2));
+    } else if (int Idx3 = Program.Info.paramIndex(Name); Idx3 >= 0) {
+      V = loadParam(size_t(Idx3));
+    } else {
+      limpet_unreachable(
+          ("unresolved variable '" + Name + "' in codegen").c_str());
+    }
+    VarValues.emplace(Name, V);
+    return V;
+  }
+
+  /// Returns the (idx, frac) pair for a LUT, emitting lut.coord once.
+  std::pair<Value *, Value *> lutCoord(int Table) {
+    auto It = LutCoords.find(Table);
+    if (It != LutCoords.end())
+      return It->second;
+    const LutTablePlan &Plan = Program.Luts.Tables[size_t(Table)];
+    Value *X = varValue(Plan.Spec.VarName);
+    Operation *Coord = makeLutCoord(B, X, Table);
+    auto Pair = std::make_pair(Coord->result(0), Coord->result(1));
+    LutCoords.emplace(Table, Pair);
+    return Pair;
+  }
+
+  Value *ensureFloat(Value *V) {
+    if (V->type().isF64())
+      return V;
+    assert(V->type().isI1() && "expected a scalar bool");
+    return makeSelect(B, V, makeConstantF(B, 1.0), makeConstantF(B, 0.0));
+  }
+
+  Value *ensureBool(Value *V) {
+    if (V->type().isI1())
+      return V;
+    assert(V->type().isF64() && "expected a scalar float");
+    return makeCmpF(B, CmpPredicate::NE, V, makeConstantF(B, 0.0));
+  }
+
+  /// Emits \p E; memoized on node identity, so the shared subtrees the
+  /// integrator expansion creates are emitted exactly once.
+  Value *emit(const ExprPtr &E) {
+    auto It = Memo.find(E.get());
+    if (It != Memo.end())
+      return It->second;
+    Value *V = emitImpl(*E);
+    Memo.emplace(E.get(), V);
+    return V;
+  }
+
+  Value *emitImpl(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Number:
+      return makeConstantF(B, E.NumberValue);
+    case ExprKind::VarRef:
+      return varValue(E.VarName);
+    case ExprKind::LutRef: {
+      auto [Idx, Frac] = lutCoord(E.LutTable);
+      Value *V = makeLutInterp(B, Idx, Frac, E.LutTable, E.LutCol);
+      if (CubicLut)
+        cast<OpResult>(V)->owner()->setAttr(
+            "interp", Attribute::makeString("cubic"));
+      return V;
+    }
+    case ExprKind::Unary: {
+      if (E.UnOp == UnaryOp::Neg)
+        return makeNegF(B, ensureFloat(emit(E.Operands[0])));
+      // Logical not: xor with true.
+      Value *A = ensureBool(emit(E.Operands[0]));
+      Value *True = transforms::materializeConstant(
+          B, Attribute::makeBool(true), ctx().i1());
+      return makeXOrI(B, A, True);
+    }
+    case ExprKind::Binary:
+      return emitBinary(E);
+    case ExprKind::Ternary: {
+      Value *Cond = ensureBool(emit(E.Operands[0]));
+      Value *A = ensureFloat(emit(E.Operands[1]));
+      Value *Bv = ensureFloat(emit(E.Operands[2]));
+      return makeSelect(B, Cond, A, Bv);
+    }
+    case ExprKind::Call:
+      return emitCall(E);
+    }
+    limpet_unreachable("invalid expr kind");
+  }
+
+  Value *emitBinary(const Expr &E) {
+    switch (E.BinOp) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div: {
+      Value *L = ensureFloat(emit(E.Operands[0]));
+      Value *R = ensureFloat(emit(E.Operands[1]));
+      OpCode Code = E.BinOp == BinaryOp::Add   ? OpCode::ArithAddF
+                    : E.BinOp == BinaryOp::Sub ? OpCode::ArithSubF
+                    : E.BinOp == BinaryOp::Mul ? OpCode::ArithMulF
+                                               : OpCode::ArithDivF;
+      return makeFloatBinOp(B, Code, L, R);
+    }
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      Value *L = ensureFloat(emit(E.Operands[0]));
+      Value *R = ensureFloat(emit(E.Operands[1]));
+      CmpPredicate Pred = E.BinOp == BinaryOp::Lt   ? CmpPredicate::LT
+                          : E.BinOp == BinaryOp::Le ? CmpPredicate::LE
+                          : E.BinOp == BinaryOp::Gt ? CmpPredicate::GT
+                          : E.BinOp == BinaryOp::Ge ? CmpPredicate::GE
+                          : E.BinOp == BinaryOp::Eq ? CmpPredicate::EQ
+                                                    : CmpPredicate::NE;
+      return makeCmpF(B, Pred, L, R);
+    }
+    case BinaryOp::And:
+      return makeAndI(B, ensureBool(emit(E.Operands[0])),
+                      ensureBool(emit(E.Operands[1])));
+    case BinaryOp::Or:
+      return makeOrI(B, ensureBool(emit(E.Operands[0])),
+                     ensureBool(emit(E.Operands[1])));
+    }
+    limpet_unreachable("invalid binary op");
+  }
+
+  Value *emitCall(const Expr &E) {
+    Value *A = ensureFloat(emit(E.Operands[0]));
+    switch (E.Fn) {
+    case BuiltinFn::Exp:
+      return makeMathUnary(B, OpCode::MathExp, A);
+    case BuiltinFn::Expm1:
+      return makeMathUnary(B, OpCode::MathExpm1, A);
+    case BuiltinFn::Log:
+      return makeMathUnary(B, OpCode::MathLog, A);
+    case BuiltinFn::Log10:
+      return makeMathUnary(B, OpCode::MathLog10, A);
+    case BuiltinFn::Sqrt:
+      return makeMathUnary(B, OpCode::MathSqrt, A);
+    case BuiltinFn::Sin:
+      return makeMathUnary(B, OpCode::MathSin, A);
+    case BuiltinFn::Cos:
+      return makeMathUnary(B, OpCode::MathCos, A);
+    case BuiltinFn::Tan:
+      return makeMathUnary(B, OpCode::MathTan, A);
+    case BuiltinFn::Tanh:
+      return makeMathUnary(B, OpCode::MathTanh, A);
+    case BuiltinFn::Sinh:
+      return makeMathUnary(B, OpCode::MathSinh, A);
+    case BuiltinFn::Cosh:
+      return makeMathUnary(B, OpCode::MathCosh, A);
+    case BuiltinFn::Atan:
+      return makeMathUnary(B, OpCode::MathAtan, A);
+    case BuiltinFn::Asin:
+      return makeMathUnary(B, OpCode::MathAsin, A);
+    case BuiltinFn::Acos:
+      return makeMathUnary(B, OpCode::MathAcos, A);
+    case BuiltinFn::Fabs:
+      return makeMathUnary(B, OpCode::MathAbs, A);
+    case BuiltinFn::Floor:
+      return makeMathUnary(B, OpCode::MathFloor, A);
+    case BuiltinFn::Ceil:
+      return makeMathUnary(B, OpCode::MathCeil, A);
+    case BuiltinFn::Square:
+      return makeMulF(B, A, A);
+    case BuiltinFn::Cube:
+      return makeMulF(B, makeMulF(B, A, A), A);
+    case BuiltinFn::Pow:
+      return makePow(B, A, ensureFloat(emit(E.Operands[1])));
+    }
+    limpet_unreachable("invalid builtin");
+  }
+};
+
+} // namespace
+
+GeneratedKernel codegen::generateKernel(const ModelInfo &Info,
+                                        const CodeGenOptions &Options) {
+  GeneratedKernel K;
+  K.Ctx = std::make_shared<Context>();
+  K.Mod = std::make_unique<Module>();
+  K.Options = Options;
+  K.Program = buildModelProgram(Info, Options.EnableLuts);
+
+  K.Abi.NumExternals = unsigned(K.Program.Info.Externals.size());
+  K.Abi.NumParams = unsigned(K.Program.Info.Params.size());
+  K.Abi.NumStateVars = unsigned(K.Program.Info.StateVars.size());
+
+  Context &Ctx = *K.Ctx;
+  std::vector<Type> ArgTypes(K.Abi.numArgs());
+  ArgTypes[K.Abi.stateArg()] = Ctx.memref();
+  for (unsigned J = 0; J != K.Abi.NumExternals; ++J)
+    ArgTypes[K.Abi.externalArg(J)] = Ctx.memref();
+  ArgTypes[K.Abi.paramsArg()] = Ctx.memref();
+  ArgTypes[K.Abi.startArg()] = Ctx.i64();
+  ArgTypes[K.Abi.endArg()] = Ctx.i64();
+  ArgTypes[K.Abi.numCellsArg()] = Ctx.i64();
+  ArgTypes[K.Abi.dtArg()] = Ctx.f64();
+  ArgTypes[K.Abi.tArg()] = Ctx.f64();
+
+  auto Func = makeFunction(Ctx, "compute", ArgTypes);
+  Func->setAttr(attrs::Layout, Attribute::makeString(
+                                   std::string(stateLayoutName(Options.Layout))));
+  Func->setAttr(attrs::NumSv, Attribute::makeInt(K.Abi.NumStateVars));
+  Block &Entry = funcBody(Func.get());
+
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Entry);
+  Value *Step = makeConstantI(B, 1);
+  Operation *For =
+      makeFor(B, Entry.argument(K.Abi.startArg()),
+              Entry.argument(K.Abi.endArg()), Step);
+  For->setAttr(attrs::CellLoop, Attribute::makeBool(true));
+  Block &Body = forBody(For);
+
+  OpBuilder BodyB(Ctx);
+  BodyB.setInsertionPointToEnd(&Body);
+  BodyEmitter Emitter(BodyB, K.Program, K.Abi, Options.Layout, Entry,
+                      Body.argument(0));
+  Emitter.AoSoABlock = Options.AoSoABlockWidth;
+  Emitter.CubicLut = Options.CubicLut;
+  Emitter.emitBody();
+  makeYield(BodyB, {});
+
+  makeReturn(B);
+
+  K.ScalarFunc = K.Mod->addFunction(std::move(Func));
+
+  if (Options.RunPasses) {
+    transforms::PassManager PM(Ctx);
+    transforms::PassManager::addDefaultPipeline(PM);
+    bool Ok = PM.run(K.ScalarFunc);
+    assert(Ok && "optimization pipeline broke the kernel");
+    (void)Ok;
+  }
+  return K;
+}

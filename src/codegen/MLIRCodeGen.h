@@ -1,0 +1,78 @@
+//===- MLIRCodeGen.h - Ionic model to IR code generation --------*- C++-*-===//
+//
+// The limpetMLIR code generator: lowers an analyzed ionic model to an IR
+// kernel function that computes one time step for a range of cells
+// (paper Sec. 3.3). The emitted kernel is scalar (one cell per iteration);
+// the vectorizer (Vectorize.h) rewrites it to W cells per iteration.
+//
+// Pipeline:  ModelInfo -> preprocessor -> integrator expansion ->
+//            LUT extraction -> IR emission -> optimization passes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_CODEGEN_MLIRCODEGEN_H
+#define LIMPET_CODEGEN_MLIRCODEGEN_H
+
+#include "codegen/KernelSpec.h"
+#include "codegen/LutAnalysis.h"
+#include "easyml/ModelInfo.h"
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+
+namespace limpet {
+namespace codegen {
+
+/// The integrator-expanded, LUT-extracted program of one model.
+struct ModelProgram {
+  easyml::ModelInfo Info;
+  /// Next-value expression per state variable (aligned with
+  /// Info.StateVars), in terms of old state/externals/params and __dt/__t.
+  std::vector<easyml::ExprPtr> StateUpdates;
+  /// Value expression per external (aligned with Info.Externals; null for
+  /// externals the model does not compute).
+  std::vector<easyml::ExprPtr> ExternalUpdates;
+  LutPlan Luts;
+};
+
+/// Builds the update program: runs the preprocessor, expands integrators
+/// and extracts LUT columns (if \p EnableLuts).
+ModelProgram buildModelProgram(const easyml::ModelInfo &Info,
+                               bool EnableLuts = true);
+
+/// Code generation options.
+struct CodeGenOptions {
+  StateLayout Layout = StateLayout::AoS;
+  /// Block width of the AoSoA layout (must match the engine's SIMD width
+  /// and the runtime allocation). Ignored for AoS/SoA.
+  unsigned AoSoABlockWidth = 8;
+  bool EnableLuts = true;
+  /// Emit Catmull-Rom cubic LUT interpolation instead of linear (the
+  /// spline variant the paper lists as future work).
+  bool CubicLut = false;
+  /// Run the default optimization pipeline on the generated function.
+  bool RunPasses = true;
+};
+
+/// A generated kernel: the module owning @compute plus everything needed
+/// to execute it.
+struct GeneratedKernel {
+  std::shared_ptr<ir::Context> Ctx;
+  std::unique_ptr<ir::Module> Mod;
+  ir::Operation *ScalarFunc = nullptr; ///< @compute (one cell per iteration)
+  KernelABI Abi;
+  ModelProgram Program;
+  CodeGenOptions Options;
+};
+
+/// Generates the scalar kernel for \p Info. Asserts the model is valid
+/// (run Sema first).
+GeneratedKernel generateKernel(const easyml::ModelInfo &Info,
+                               const CodeGenOptions &Options);
+
+} // namespace codegen
+} // namespace limpet
+
+#endif // LIMPET_CODEGEN_MLIRCODEGEN_H

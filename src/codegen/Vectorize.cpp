@@ -1,0 +1,305 @@
+//===- Vectorize.cpp ------------------------------------------------------===//
+
+#include "codegen/Vectorize.h"
+
+#include "dialects/Dialects.h"
+#include "support/Casting.h"
+#include "transforms/Pass.h"
+
+#include <map>
+
+using namespace limpet;
+using namespace limpet::codegen;
+using namespace limpet::ir;
+
+namespace {
+
+class Vectorizer {
+public:
+  Vectorizer(GeneratedKernel &K, unsigned W) : K(K), W(W), Ctx(*K.Ctx) {}
+
+  Operation *run() {
+    Operation *Scalar = K.ScalarFunc;
+    Block &OldEntry = funcBody(Scalar);
+
+    // Create the vector function with the same ABI.
+    std::vector<Type> ArgTypes;
+    for (unsigned I = 0, E = OldEntry.numArguments(); I != E; ++I)
+      ArgTypes.push_back(OldEntry.argument(I)->type());
+    std::string Name = "compute_vec" + std::to_string(W);
+    auto NewFuncOwned = makeFunction(Ctx, Name, ArgTypes);
+    Operation *NewFunc = NewFuncOwned.get();
+    for (const NamedAttribute &A : Scalar->attrs())
+      if (A.Name != "sym_name")
+        NewFunc->setAttr(A.Name, A.Value);
+    NewFunc->setAttr(attrs::Width, Attribute::makeInt(W));
+    Block &NewEntry = funcBody(NewFunc);
+    for (unsigned I = 0, E = OldEntry.numArguments(); I != E; ++I)
+      Map[OldEntry.argument(I)] = NewEntry.argument(I);
+
+    PreB.setInsertionPointToEnd(&NewEntry);
+
+    // Walk the old entry block: clone preheader ops scalar, rewrite the
+    // cell loop, clone the return.
+    for (Operation *Op : OldEntry.ops()) {
+      if (Op->opcode() == OpCode::ScfFor && Op->hasAttr(attrs::CellLoop)) {
+        rewriteLoop(Op);
+        // Broadcasts may have moved the preheader insertion point; put it
+        // back behind the loop for the trailing func.return.
+        PreB.setInsertionPointToEnd(&NewEntry);
+        continue;
+      }
+      if (Op->opcode() == OpCode::FuncReturn) {
+        makeReturn(PreB);
+        continue;
+      }
+      cloneScalar(Op, PreB);
+    }
+
+    K.Mod->addFunction(std::move(NewFuncOwned));
+
+    if (K.Options.RunPasses) {
+      transforms::PassManager PM(Ctx);
+      transforms::PassManager::addDefaultPipeline(PM);
+      bool Ok = PM.run(NewFunc);
+      assert(Ok && "pass pipeline broke the vector kernel");
+      (void)Ok;
+    }
+    return NewFunc;
+  }
+
+private:
+  GeneratedKernel &K;
+  unsigned W;
+  Context &Ctx;
+  OpBuilder PreB{Ctx}, BodyB{Ctx};
+  std::map<Value *, Value *> Map;        // old value -> new value
+  std::map<Value *, Value *> Broadcasts; // new scalar -> cached broadcast
+  Operation *NewFor = nullptr;
+
+  Value *mapped(Value *Old) {
+    auto It = Map.find(Old);
+    assert(It != Map.end() && "operand not mapped during vectorization");
+    return It->second;
+  }
+
+  /// Clones \p Op with mapped operands and identical result types.
+  void cloneScalar(Operation *Op, OpBuilder &B) {
+    std::vector<Value *> Operands;
+    for (Value *V : Op->operands())
+      Operands.push_back(mapped(V));
+    std::vector<Type> ResultTypes;
+    for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+      ResultTypes.push_back(Op->result(I)->type());
+    Operation *New = B.create(Op->opcode(), Operands, ResultTypes, Op->loc());
+    for (const NamedAttribute &A : Op->attrs())
+      New->setAttr(A.Name, A.Value);
+    for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+      Map[Op->result(I)] = New->result(I);
+  }
+
+  /// Returns the vector form of \p Old: its mapped value when already a
+  /// vector, otherwise a broadcast of the mapped scalar (cached, placed in
+  /// the preheader when the scalar is loop-invariant, else in the body).
+  Value *getVec(Value *Old) {
+    Value *New = mapped(Old);
+    if (New->type().isVector())
+      return New;
+    auto It = Broadcasts.find(New);
+    if (It != Broadcasts.end())
+      return It->second;
+    // A scalar defined in the new preheader (or a function argument) can
+    // be broadcast in the preheader; body-defined scalars do not occur
+    // (every body value is vectorized).
+    Value *Bc = makeBroadcast(bcBuilder(New), New, W);
+    Broadcasts[New] = Bc;
+    return Bc;
+  }
+
+  OpBuilder &bcBuilder(Value *NewScalar) {
+    // Broadcast right before the loop when possible.
+    if (NewFor) {
+      PreB.setInsertionPoint(NewFor);
+      return PreB;
+    }
+    return PreB;
+  }
+
+  void rewriteLoop(Operation *OldFor) {
+    Block &OldBody = forBody(OldFor);
+
+    Value *Lb = mapped(OldFor->operand(0));
+    Value *Ub = mapped(OldFor->operand(1));
+    Value *Step = makeConstantI(PreB, int64_t(W));
+    NewFor = makeFor(PreB, Lb, Ub, Step);
+    NewFor->setAttr(attrs::CellLoop, Attribute::makeBool(true));
+    Block &NewBody = forBody(NewFor);
+    Value *Iv = NewBody.argument(0);
+    Map[OldBody.argument(0)] = Iv;
+
+    BodyB.setInsertionPointToEnd(&NewBody);
+
+    int64_t NumSv = int64_t(K.Abi.NumStateVars);
+    StateLayout Layout = K.Options.Layout;
+
+    for (Operation *Op : OldBody.ops()) {
+      switch (Op->opcode()) {
+      case OpCode::ScfYield:
+        makeYield(BodyB, {});
+        break;
+      case OpCode::MemLoad:
+        rewriteLoad(Op, Iv, NumSv, Layout);
+        break;
+      case OpCode::MemStore:
+        rewriteStore(Op, Iv, NumSv, Layout);
+        break;
+      case OpCode::LutCoord: {
+        Value *X = getVec(Op->operand(0));
+        Operation *Coord =
+            makeLutCoord(BodyB, X, Op->attr("table").asInt());
+        Map[Op->result(0)] = Coord->result(0);
+        Map[Op->result(1)] = Coord->result(1);
+        break;
+      }
+      case OpCode::LutInterp: {
+        Value *Interp =
+            makeLutInterp(BodyB, getVec(Op->operand(0)),
+                          getVec(Op->operand(1)), Op->attr("table").asInt(),
+                          Op->attr("col").asInt());
+        if (Attribute Mode = Op->attr("interp"))
+          cast<OpResult>(Interp)->owner()->setAttr("interp", Mode);
+        Map[Op->result(0)] = Interp;
+        break;
+      }
+      default:
+        rewriteCompute(Op, Iv);
+        break;
+      }
+    }
+  }
+
+  /// Vectorizes a pure compute op: operands become vectors, result types
+  /// become vector types. Scalar i64 address arithmetic left over from the
+  /// scalar kernel is skipped (the addressing is rebuilt per layout).
+  void rewriteCompute(Operation *Op, Value *Iv) {
+    assert((Op->isPure() || Op->isReadOnly()) &&
+           "unexpected side-effecting op in cell loop body");
+    // Skip scalar address arithmetic: integer-typed ops in the body feed
+    // only loads/stores whose addressing is rebuilt.
+    bool AllIntResults = Op->numResults() > 0;
+    for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+      AllIntResults &= Op->result(I)->type().isI64();
+    if (AllIntResults)
+      return;
+
+    std::vector<Value *> Operands;
+    for (Value *V : Op->operands())
+      Operands.push_back(getVec(V));
+    std::vector<Type> ResultTypes;
+    for (unsigned I = 0, E = Op->numResults(); I != E; ++I) {
+      Type Old = Op->result(I)->type();
+      assert(!Old.isVector() && !Old.isMemRef() && "unexpected result type");
+      ResultTypes.push_back(Ctx.vectorTypeOf(Old, W));
+    }
+    Operation *New =
+        BodyB.create(Op->opcode(), Operands, ResultTypes, Op->loc());
+    for (const NamedAttribute &A : Op->attrs())
+      New->setAttr(A.Name, A.Value);
+    for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+      Map[Op->result(I)] = New->result(I);
+  }
+
+  /// Emits the vector address of lane 0 for a state access to \p Sv.
+  Value *stateBaseAddress(Value *Iv, int64_t Sv, int64_t NumSv,
+                          StateLayout Layout) {
+    switch (Layout) {
+    case StateLayout::AoSoA: {
+      // Cells are blocked by W: lane-0 address = iv*NumSv + Sv*W.
+      Value *Base = makeMulI(BodyB, Iv, makeConstantI(BodyB, NumSv));
+      return makeAddI(BodyB, Base, makeConstantI(BodyB, Sv * int64_t(W)));
+    }
+    case StateLayout::SoA: {
+      Value *NumCells =
+          funcBody(NewFor->parentOp()).argument(K.Abi.numCellsArg());
+      Value *Col =
+          makeMulI(BodyB, makeConstantI(BodyB, Sv), NumCells);
+      return makeAddI(BodyB, Col, Iv);
+    }
+    case StateLayout::AoS: {
+      Value *Base = makeMulI(BodyB, Iv, makeConstantI(BodyB, NumSv));
+      return makeAddI(BodyB, Base, makeConstantI(BodyB, Sv));
+    }
+    }
+    limpet_unreachable("invalid layout");
+  }
+
+  void rewriteLoad(Operation *Op, Value *Iv, int64_t NumSv,
+                   StateLayout Layout) {
+    std::string Role = Op->attr(attrs::Role).asString();
+    Value *MemRef = mapped(Op->operand(0));
+    Value *Result = nullptr;
+    Operation *New = nullptr;
+    if (Role == "state") {
+      int64_t Sv = Op->attr(attrs::Index).asInt();
+      Value *Addr = stateBaseAddress(Iv, Sv, NumSv, Layout);
+      if (Layout == StateLayout::AoS) {
+        New = BodyB.create(OpCode::VecGather, {MemRef, Addr},
+                           {Ctx.vecF64(W)});
+        New->setAttr("stride", Attribute::makeInt(NumSv));
+      } else {
+        New = BodyB.create(OpCode::VecLoad, {MemRef, Addr},
+                           {Ctx.vecF64(W)});
+      }
+    } else if (Role == "ext") {
+      New = BodyB.create(OpCode::VecLoad, {MemRef, Iv}, {Ctx.vecF64(W)});
+    } else if (Role == "param") {
+      // Parameter loads normally get hoisted to the preheader by LICM and
+      // never reach this path. A load still in the body stays scalar and
+      // is broadcast immediately after (keeping dominance intact).
+      cloneScalar(Op, BodyB);
+      Map[Op->result(0)] = makeBroadcast(BodyB, Map[Op->result(0)], W);
+      return;
+    } else {
+      limpet_unreachable("load without a limpet.role attribute");
+    }
+    for (const NamedAttribute &A : Op->attrs())
+      New->setAttr(A.Name, A.Value);
+    Result = New->result(0);
+    Map[Op->result(0)] = Result;
+  }
+
+  void rewriteStore(Operation *Op, Value *Iv, int64_t NumSv,
+                    StateLayout Layout) {
+    std::string Role = Op->attr(attrs::Role).asString();
+    Value *Stored = getVec(Op->operand(0));
+    Value *MemRef = mapped(Op->operand(1));
+    Operation *New = nullptr;
+    if (Role == "state") {
+      int64_t Sv = Op->attr(attrs::Index).asInt();
+      Value *Addr = stateBaseAddress(Iv, Sv, NumSv, Layout);
+      if (Layout == StateLayout::AoS) {
+        New = BodyB.create(OpCode::VecScatter, {Stored, MemRef, Addr}, {});
+        New->setAttr("stride", Attribute::makeInt(NumSv));
+      } else {
+        New = BodyB.create(OpCode::VecStore, {Stored, MemRef, Addr}, {});
+      }
+    } else if (Role == "ext") {
+      New = BodyB.create(OpCode::VecStore, {Stored, MemRef, Iv}, {});
+    } else {
+      limpet_unreachable("store without a limpet.role attribute");
+    }
+    for (const NamedAttribute &A : Op->attrs())
+      New->setAttr(A.Name, A.Value);
+  }
+};
+
+} // namespace
+
+Operation *codegen::vectorizeKernel(GeneratedKernel &K, unsigned Width) {
+  assert(Width > 1 && "vector width must be at least 2");
+  assert((K.Options.Layout != StateLayout::AoSoA ||
+          K.Options.AoSoABlockWidth == Width) &&
+         "AoSoA block width must match the vector width");
+  Vectorizer V(K, Width);
+  return V.run();
+}

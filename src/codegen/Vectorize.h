@@ -1,0 +1,31 @@
+//===- Vectorize.h - Kernel SIMDfication ------------------------*- C++-*-===//
+//
+// Rewrites a scalar compute kernel into its W-lane vector form: "each cell
+// can be thought of as representing one element of a vector operand"
+// (paper Sec. 3.3). The cell loop's step becomes W; every float value
+// becomes vector<Wxf64>; state accesses become contiguous vector
+// load/store on the AoSoA/SoA layouts or gather/scatter with stride NumSv
+// on AoS; parameter loads stay scalar (hoistable) and are broadcast.
+//
+// The vector kernel processes ⌊(end-start)/W⌋*W cells; the engine runs the
+// scalar kernel as the epilogue for the remaining cells.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_CODEGEN_VECTORIZE_H
+#define LIMPET_CODEGEN_VECTORIZE_H
+
+#include "codegen/MLIRCodeGen.h"
+
+namespace limpet {
+namespace codegen {
+
+/// Creates "compute_vec<W>" in \p K's module from its scalar kernel and
+/// returns it. Runs the default pass pipeline on the new function when
+/// K.Options.RunPasses is set.
+ir::Operation *vectorizeKernel(GeneratedKernel &K, unsigned Width);
+
+} // namespace codegen
+} // namespace limpet
+
+#endif // LIMPET_CODEGEN_VECTORIZE_H

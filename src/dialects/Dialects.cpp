@@ -1,0 +1,226 @@
+//===- Dialects.cpp -------------------------------------------------------===//
+
+#include "dialects/Dialects.h"
+
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::ir;
+
+//===----------------------------------------------------------------------===//
+// arith
+//===----------------------------------------------------------------------===//
+
+Value *ir::makeConstantF(OpBuilder &B, double V, Type Ty) {
+  if (!Ty)
+    Ty = B.context().f64();
+  assert(Ty.isFloatLike() && "arith.constant requires a float-like type");
+  Operation *Op = B.create(OpCode::ArithConstantF, {}, {Ty});
+  Op->setAttr("value", Attribute::makeFloat(V));
+  return Op->result();
+}
+
+Value *ir::makeConstantI(OpBuilder &B, int64_t V) {
+  Operation *Op = B.create(OpCode::ArithConstantI, {}, {B.context().i64()});
+  Op->setAttr("value", Attribute::makeInt(V));
+  return Op->result();
+}
+
+Value *ir::makeFloatBinOp(OpBuilder &B, OpCode Code, Value *L, Value *R) {
+  assert(L->type() == R->type() && "mismatched operand types");
+  assert(L->type().isFloatLike() && "expected float-like operands");
+  return B.create(Code, {L, R}, {L->type()})->result();
+}
+
+Value *ir::makeNegF(OpBuilder &B, Value *V) {
+  assert(V->type().isFloatLike() && "expected a float-like operand");
+  return B.create(OpCode::ArithNegF, {V}, {V->type()})->result();
+}
+
+static Type boolTypeFor(Context &Ctx, Type OperandTy) {
+  if (OperandTy.isVector())
+    return Ctx.vecI1(OperandTy.vectorWidth());
+  return Ctx.i1();
+}
+
+Value *ir::makeCmpF(OpBuilder &B, CmpPredicate Pred, Value *L, Value *R) {
+  assert(L->type() == R->type() && "mismatched operand types");
+  assert(L->type().isFloatLike() && "expected float-like operands");
+  Operation *Op = B.create(OpCode::ArithCmpF, {L, R},
+                           {boolTypeFor(B.context(), L->type())});
+  Op->setAttr("predicate",
+              Attribute::makeString(std::string(cmpPredicateName(Pred))));
+  return Op->result();
+}
+
+Value *ir::makeCmpI(OpBuilder &B, CmpPredicate Pred, Value *L, Value *R) {
+  assert(L->type() == R->type() && "mismatched operand types");
+  assert(L->type().isIntLike() && "expected int-like operands");
+  Operation *Op = B.create(OpCode::ArithCmpI, {L, R},
+                           {boolTypeFor(B.context(), L->type())});
+  Op->setAttr("predicate",
+              Attribute::makeString(std::string(cmpPredicateName(Pred))));
+  return Op->result();
+}
+
+Value *ir::makeSelect(OpBuilder &B, Value *Cond, Value *A, Value *Bv) {
+  assert(A->type() == Bv->type() && "mismatched select arm types");
+  assert(Cond->type().isBoolLike() && "select condition must be bool-like");
+  return B.create(OpCode::ArithSelect, {Cond, A, Bv}, {A->type()})->result();
+}
+
+Value *ir::makeIntBinOp(OpBuilder &B, OpCode Code, Value *L, Value *R) {
+  assert(L->type() == R->type() && "mismatched operand types");
+  assert(L->type().isIntLike() && "expected int-like operands");
+  return B.create(Code, {L, R}, {L->type()})->result();
+}
+
+Value *ir::makeAndI(OpBuilder &B, Value *L, Value *R) {
+  assert(L->type() == R->type() && "mismatched operand types");
+  return B.create(OpCode::ArithAndI, {L, R}, {L->type()})->result();
+}
+
+Value *ir::makeOrI(OpBuilder &B, Value *L, Value *R) {
+  assert(L->type() == R->type() && "mismatched operand types");
+  return B.create(OpCode::ArithOrI, {L, R}, {L->type()})->result();
+}
+
+Value *ir::makeXOrI(OpBuilder &B, Value *L, Value *R) {
+  assert(L->type() == R->type() && "mismatched operand types");
+  return B.create(OpCode::ArithXOrI, {L, R}, {L->type()})->result();
+}
+
+//===----------------------------------------------------------------------===//
+// math
+//===----------------------------------------------------------------------===//
+
+Value *ir::makeMathUnary(OpBuilder &B, OpCode Code, Value *V) {
+  assert(V->type().isFloatLike() && "expected a float-like operand");
+  return B.create(Code, {V}, {V->type()})->result();
+}
+
+Value *ir::makePow(OpBuilder &B, Value *Base, Value *Exp) {
+  assert(Base->type() == Exp->type() && "mismatched operand types");
+  return B.create(OpCode::MathPow, {Base, Exp}, {Base->type()})->result();
+}
+
+//===----------------------------------------------------------------------===//
+// memref
+//===----------------------------------------------------------------------===//
+
+Value *ir::makeMemLoad(OpBuilder &B, Value *MemRef, Value *Index) {
+  assert(MemRef->type().isMemRef() && "expected a memref operand");
+  assert(Index->type().isI64() && "index must be i64");
+  return B.create(OpCode::MemLoad, {MemRef, Index}, {B.context().f64()})
+      ->result();
+}
+
+void ir::makeMemStore(OpBuilder &B, Value *V, Value *MemRef, Value *Index) {
+  assert(MemRef->type().isMemRef() && "expected a memref operand");
+  assert(V->type().isF64() && "stored value must be f64");
+  B.create(OpCode::MemStore, {V, MemRef, Index}, {});
+}
+
+//===----------------------------------------------------------------------===//
+// vector
+//===----------------------------------------------------------------------===//
+
+Value *ir::makeBroadcast(OpBuilder &B, Value *V, unsigned Width) {
+  Type VecTy = B.context().vectorTypeOf(V->type(), Width);
+  return B.create(OpCode::VecBroadcast, {V}, {VecTy})->result();
+}
+
+Value *ir::makeVecLoad(OpBuilder &B, Value *MemRef, Value *Index,
+                       unsigned Width) {
+  assert(MemRef->type().isMemRef() && "expected a memref operand");
+  return B.create(OpCode::VecLoad, {MemRef, Index},
+                  {B.context().vecF64(Width)})
+      ->result();
+}
+
+void ir::makeVecStore(OpBuilder &B, Value *Vec, Value *MemRef, Value *Index) {
+  assert(Vec->type().isVector() && "expected a vector value");
+  B.create(OpCode::VecStore, {Vec, MemRef, Index}, {});
+}
+
+Value *ir::makeVecGather(OpBuilder &B, Value *MemRef, Value *Base,
+                         int64_t Stride, unsigned Width) {
+  Operation *Op = B.create(OpCode::VecGather, {MemRef, Base},
+                           {B.context().vecF64(Width)});
+  Op->setAttr("stride", Attribute::makeInt(Stride));
+  return Op->result();
+}
+
+void ir::makeVecScatter(OpBuilder &B, Value *Vec, Value *MemRef, Value *Base,
+                        int64_t Stride) {
+  Operation *Op = B.create(OpCode::VecScatter, {Vec, MemRef, Base}, {});
+  Op->setAttr("stride", Attribute::makeInt(Stride));
+}
+
+//===----------------------------------------------------------------------===//
+// scf
+//===----------------------------------------------------------------------===//
+
+Operation *ir::makeFor(OpBuilder &B, Value *Lb, Value *Ub, Value *Step) {
+  assert(Lb->type().isI64() && Ub->type().isI64() && Step->type().isI64() &&
+         "scf.for bounds must be i64");
+  Operation *Op = B.create(OpCode::ScfFor, {Lb, Ub, Step}, {});
+  Block &Body = Op->addRegion().emplaceBlock();
+  Body.addArgument(B.context().i64());
+  return Op;
+}
+
+Operation *ir::makeIf(OpBuilder &B, Value *Cond,
+                      const std::vector<Type> &ResultTypes) {
+  assert(Cond->type().isI1() && "scf.if condition must be scalar i1");
+  Operation *Op = B.create(OpCode::ScfIf, {Cond}, ResultTypes);
+  Op->addRegion().emplaceBlock();
+  Op->addRegion().emplaceBlock();
+  return Op;
+}
+
+Operation *ir::makeYield(OpBuilder &B, const std::vector<Value *> &Operands) {
+  return B.create(OpCode::ScfYield, Operands, {});
+}
+
+//===----------------------------------------------------------------------===//
+// func
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Operation> ir::makeFunction(Context &Ctx,
+                                            std::string_view Name,
+                                            const std::vector<Type> &ArgTypes) {
+  auto Func = std::make_unique<Operation>(OpCode::FuncFunc);
+  Func->setAttr("sym_name", Attribute::makeString(std::string(Name)));
+  Block &Entry = Func->addRegion().emplaceBlock();
+  for (Type Ty : ArgTypes)
+    Entry.addArgument(Ty);
+  return Func;
+}
+
+Operation *ir::makeReturn(OpBuilder &B) {
+  return B.create(OpCode::FuncReturn, {}, {});
+}
+
+//===----------------------------------------------------------------------===//
+// lut
+//===----------------------------------------------------------------------===//
+
+Operation *ir::makeLutCoord(OpBuilder &B, Value *X, int64_t TableId) {
+  assert(X->type().isFloatLike() && "lut.coord input must be float-like");
+  Context &Ctx = B.context();
+  Type IdxTy = X->type().isVector() ? Ctx.vecI64(X->type().vectorWidth())
+                                    : Ctx.i64();
+  Operation *Op = B.create(OpCode::LutCoord, {X}, {IdxTy, X->type()});
+  Op->setAttr("table", Attribute::makeInt(TableId));
+  return Op;
+}
+
+Value *ir::makeLutInterp(OpBuilder &B, Value *Idx, Value *Frac,
+                         int64_t TableId, int64_t Col) {
+  assert(Frac->type().isFloatLike() && "lut.interp frac must be float-like");
+  Operation *Op = B.create(OpCode::LutInterp, {Idx, Frac}, {Frac->type()});
+  Op->setAttr("table", Attribute::makeInt(TableId));
+  Op->setAttr("col", Attribute::makeInt(Col));
+  return Op->result();
+}

@@ -1,0 +1,161 @@
+//===- Dialects.h - Typed op construction helpers ---------------*- C++-*-===//
+//
+// Thin, typed wrappers over OpBuilder::create for every dialect op the code
+// generator emits. Result types are inferred from operands where possible,
+// so codegen reads close to the MLIR builders in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_DIALECTS_DIALECTS_H
+#define LIMPET_DIALECTS_DIALECTS_H
+
+#include "ir/Builder.h"
+
+namespace limpet {
+namespace ir {
+
+// --- arith ---------------------------------------------------------------
+
+/// arith.constant : f64 (or vector thereof when \p Ty is a vector).
+Value *makeConstantF(OpBuilder &B, double V, Type Ty = Type());
+
+/// arith.constant_int : i64.
+Value *makeConstantI(OpBuilder &B, int64_t V);
+
+/// Elementwise float binary op (arith.addf & co). Operand types must match;
+/// the result has the same type.
+Value *makeFloatBinOp(OpBuilder &B, OpCode Code, Value *L, Value *R);
+
+inline Value *makeAddF(OpBuilder &B, Value *L, Value *R) {
+  return makeFloatBinOp(B, OpCode::ArithAddF, L, R);
+}
+inline Value *makeSubF(OpBuilder &B, Value *L, Value *R) {
+  return makeFloatBinOp(B, OpCode::ArithSubF, L, R);
+}
+inline Value *makeMulF(OpBuilder &B, Value *L, Value *R) {
+  return makeFloatBinOp(B, OpCode::ArithMulF, L, R);
+}
+inline Value *makeDivF(OpBuilder &B, Value *L, Value *R) {
+  return makeFloatBinOp(B, OpCode::ArithDivF, L, R);
+}
+inline Value *makeRemF(OpBuilder &B, Value *L, Value *R) {
+  return makeFloatBinOp(B, OpCode::ArithRemF, L, R);
+}
+inline Value *makeMinF(OpBuilder &B, Value *L, Value *R) {
+  return makeFloatBinOp(B, OpCode::ArithMinF, L, R);
+}
+inline Value *makeMaxF(OpBuilder &B, Value *L, Value *R) {
+  return makeFloatBinOp(B, OpCode::ArithMaxF, L, R);
+}
+
+/// arith.negf.
+Value *makeNegF(OpBuilder &B, Value *V);
+
+/// arith.cmpf with the given predicate; result is i1 (or vector<i1>).
+Value *makeCmpF(OpBuilder &B, CmpPredicate Pred, Value *L, Value *R);
+
+/// arith.cmpi with the given predicate.
+Value *makeCmpI(OpBuilder &B, CmpPredicate Pred, Value *L, Value *R);
+
+/// arith.select: Cond ? A : B. A and B must have the same type; Cond must
+/// be bool-like of matching shape.
+Value *makeSelect(OpBuilder &B, Value *Cond, Value *A, Value *Bv);
+
+/// Integer binary ops.
+Value *makeIntBinOp(OpBuilder &B, OpCode Code, Value *L, Value *R);
+inline Value *makeAddI(OpBuilder &B, Value *L, Value *R) {
+  return makeIntBinOp(B, OpCode::ArithAddI, L, R);
+}
+inline Value *makeSubI(OpBuilder &B, Value *L, Value *R) {
+  return makeIntBinOp(B, OpCode::ArithSubI, L, R);
+}
+inline Value *makeMulI(OpBuilder &B, Value *L, Value *R) {
+  return makeIntBinOp(B, OpCode::ArithMulI, L, R);
+}
+inline Value *makeDivI(OpBuilder &B, Value *L, Value *R) {
+  return makeIntBinOp(B, OpCode::ArithDivI, L, R);
+}
+inline Value *makeRemI(OpBuilder &B, Value *L, Value *R) {
+  return makeIntBinOp(B, OpCode::ArithRemI, L, R);
+}
+
+/// Boolean logic (i1 or vector<i1>).
+Value *makeAndI(OpBuilder &B, Value *L, Value *R);
+Value *makeOrI(OpBuilder &B, Value *L, Value *R);
+Value *makeXOrI(OpBuilder &B, Value *L, Value *R);
+
+// --- math ----------------------------------------------------------------
+
+/// Unary math op (math.exp & co); result type equals operand type.
+Value *makeMathUnary(OpBuilder &B, OpCode Code, Value *V);
+
+/// math.powf.
+Value *makePow(OpBuilder &B, Value *Base, Value *Exp);
+
+// --- memref ----------------------------------------------------------------
+
+/// memref.load %m[%idx] : f64.
+Value *makeMemLoad(OpBuilder &B, Value *MemRef, Value *Index);
+
+/// memref.store %v, %m[%idx].
+void makeMemStore(OpBuilder &B, Value *V, Value *MemRef, Value *Index);
+
+// --- vector ----------------------------------------------------------------
+
+/// vector.broadcast %v : f64 -> vector<Wxf64> (kind follows the operand).
+Value *makeBroadcast(OpBuilder &B, Value *V, unsigned Width);
+
+/// vector.load %m[%idx] : vector<Wxf64> (contiguous lanes).
+Value *makeVecLoad(OpBuilder &B, Value *MemRef, Value *Index, unsigned Width);
+
+/// vector.store %v, %m[%idx].
+void makeVecStore(OpBuilder &B, Value *Vec, Value *MemRef, Value *Index);
+
+/// vector.gather %m[%base + lane*Stride] : vector<Wxf64>.
+Value *makeVecGather(OpBuilder &B, Value *MemRef, Value *Base, int64_t Stride,
+                     unsigned Width);
+
+/// vector.scatter %v -> %m[%base + lane*Stride].
+void makeVecScatter(OpBuilder &B, Value *Vec, Value *MemRef, Value *Base,
+                    int64_t Stride);
+
+// --- scf -------------------------------------------------------------------
+
+/// Creates scf.for %iv = %lb to %ub step %step with an empty body block
+/// (one i64 argument, the induction variable). The caller populates the
+/// body and must terminate it with scf.yield.
+Operation *makeFor(OpBuilder &B, Value *Lb, Value *Ub, Value *Step);
+
+/// Creates scf.if %cond with empty then/else blocks and \p ResultTypes.
+Operation *makeIf(OpBuilder &B, Value *Cond,
+                  const std::vector<Type> &ResultTypes);
+
+/// scf.yield with the given operands.
+Operation *makeYield(OpBuilder &B, const std::vector<Value *> &Operands);
+
+// --- func ------------------------------------------------------------------
+
+/// Creates a detached func.func named \p Name with an entry block whose
+/// arguments have \p ArgTypes. Returns the op; funcBody() gives the block.
+std::unique_ptr<Operation> makeFunction(Context &Ctx, std::string_view Name,
+                                        const std::vector<Type> &ArgTypes);
+
+/// func.return.
+Operation *makeReturn(OpBuilder &B);
+
+// --- lut -------------------------------------------------------------------
+
+/// lut.coord %x {table}: computes (row index : i64, fraction : f64) for the
+/// interpolation of table \p TableId at position %x. Vector forms follow
+/// the operand type.
+Operation *makeLutCoord(OpBuilder &B, Value *X, int64_t TableId);
+
+/// lut.interp %idx, %frac {table, col}: linearly interpolates column
+/// \p Col of table \p TableId.
+Value *makeLutInterp(OpBuilder &B, Value *Idx, Value *Frac, int64_t TableId,
+                     int64_t Col);
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_DIALECTS_DIALECTS_H

@@ -1,0 +1,333 @@
+//===- Ast.cpp ------------------------------------------------------------===//
+
+#include "easyml/Ast.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+//===----------------------------------------------------------------------===//
+// Builtins
+//===----------------------------------------------------------------------===//
+
+unsigned easyml::builtinArity(BuiltinFn Fn) {
+  return Fn == BuiltinFn::Pow ? 2 : 1;
+}
+
+std::string_view easyml::builtinName(BuiltinFn Fn) {
+  switch (Fn) {
+  case BuiltinFn::Exp:
+    return "exp";
+  case BuiltinFn::Expm1:
+    return "expm1";
+  case BuiltinFn::Log:
+    return "log";
+  case BuiltinFn::Log10:
+    return "log10";
+  case BuiltinFn::Pow:
+    return "pow";
+  case BuiltinFn::Sqrt:
+    return "sqrt";
+  case BuiltinFn::Sin:
+    return "sin";
+  case BuiltinFn::Cos:
+    return "cos";
+  case BuiltinFn::Tan:
+    return "tan";
+  case BuiltinFn::Tanh:
+    return "tanh";
+  case BuiltinFn::Sinh:
+    return "sinh";
+  case BuiltinFn::Cosh:
+    return "cosh";
+  case BuiltinFn::Atan:
+    return "atan";
+  case BuiltinFn::Asin:
+    return "asin";
+  case BuiltinFn::Acos:
+    return "acos";
+  case BuiltinFn::Fabs:
+    return "fabs";
+  case BuiltinFn::Floor:
+    return "floor";
+  case BuiltinFn::Ceil:
+    return "ceil";
+  case BuiltinFn::Square:
+    return "square";
+  case BuiltinFn::Cube:
+    return "cube";
+  }
+  limpet_unreachable("invalid builtin");
+}
+
+bool easyml::lookupBuiltin(std::string_view Name, BuiltinFn &Out) {
+  static constexpr BuiltinFn All[] = {
+      BuiltinFn::Exp,   BuiltinFn::Expm1, BuiltinFn::Log,
+      BuiltinFn::Log10, BuiltinFn::Pow,   BuiltinFn::Sqrt,
+      BuiltinFn::Sin,   BuiltinFn::Cos,   BuiltinFn::Tan,
+      BuiltinFn::Tanh,  BuiltinFn::Sinh,  BuiltinFn::Cosh,
+      BuiltinFn::Atan,  BuiltinFn::Asin,  BuiltinFn::Acos,
+      BuiltinFn::Fabs,  BuiltinFn::Floor, BuiltinFn::Ceil,
+      BuiltinFn::Square, BuiltinFn::Cube};
+  for (BuiltinFn Fn : All)
+    if (builtinName(Fn) == Name) {
+      Out = Fn;
+      return true;
+    }
+  // "abs" is accepted as an alias for fabs.
+  if (Name == "abs") {
+    Out = BuiltinFn::Fabs;
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Expr factories
+//===----------------------------------------------------------------------===//
+
+ExprPtr Expr::makeNumber(double V, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>();
+  E->Kind = ExprKind::Number;
+  E->NumberValue = V;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeVarRef(std::string Name, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>();
+  E->Kind = ExprKind::VarRef;
+  E->VarName = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeUnary(UnaryOp Op, ExprPtr A, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>();
+  E->Kind = ExprKind::Unary;
+  E->UnOp = Op;
+  E->Operands = {std::move(A)};
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeBinary(BinaryOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>();
+  E->Kind = ExprKind::Binary;
+  E->BinOp = Op;
+  E->Operands = {std::move(L), std::move(R)};
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeTernary(ExprPtr Cond, ExprPtr A, ExprPtr B, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>();
+  E->Kind = ExprKind::Ternary;
+  E->Operands = {std::move(Cond), std::move(A), std::move(B)};
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeCall(BuiltinFn Fn, std::vector<ExprPtr> Args,
+                       SourceLoc Loc) {
+  assert(Args.size() == builtinArity(Fn) && "wrong builtin arity");
+  auto E = std::make_shared<Expr>();
+  E->Kind = ExprKind::Call;
+  E->Fn = Fn;
+  E->Operands = std::move(Args);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeLutRef(int Table, int Col, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>();
+  E->Kind = ExprKind::LutRef;
+  E->LutTable = Table;
+  E->LutCol = Col;
+  E->Loc = Loc;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Expr utilities
+//===----------------------------------------------------------------------===//
+
+static std::string_view binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  limpet_unreachable("invalid binary op");
+}
+
+std::string easyml::printExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return formatDouble(E.NumberValue);
+  case ExprKind::VarRef:
+    return E.VarName;
+  case ExprKind::Unary:
+    return (E.UnOp == UnaryOp::Neg ? std::string("-") : std::string("!")) +
+           "(" + printExpr(*E.Operands[0]) + ")";
+  case ExprKind::Binary:
+    return "(" + printExpr(*E.Operands[0]) + " " +
+           std::string(binaryOpName(E.BinOp)) + " " +
+           printExpr(*E.Operands[1]) + ")";
+  case ExprKind::Ternary:
+    return "(" + printExpr(*E.Operands[0]) + " ? " +
+           printExpr(*E.Operands[1]) + " : " + printExpr(*E.Operands[2]) +
+           ")";
+  case ExprKind::Call: {
+    std::string Out = std::string(builtinName(E.Fn)) + "(";
+    for (size_t I = 0; I != E.Operands.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(*E.Operands[I]);
+    }
+    return Out + ")";
+  }
+  case ExprKind::LutRef:
+    return "lut[" + std::to_string(E.LutTable) + "][" +
+           std::to_string(E.LutCol) + "]";
+  }
+  limpet_unreachable("invalid expr kind");
+}
+
+bool easyml::exprEquals(const Expr &A, const Expr &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  switch (A.Kind) {
+  case ExprKind::Number:
+    return A.NumberValue == B.NumberValue;
+  case ExprKind::VarRef:
+    return A.VarName == B.VarName;
+  case ExprKind::Unary:
+    if (A.UnOp != B.UnOp)
+      return false;
+    break;
+  case ExprKind::Binary:
+    if (A.BinOp != B.BinOp)
+      return false;
+    break;
+  case ExprKind::Ternary:
+    break;
+  case ExprKind::Call:
+    if (A.Fn != B.Fn)
+      return false;
+    break;
+  case ExprKind::LutRef:
+    return A.LutTable == B.LutTable && A.LutCol == B.LutCol;
+  }
+  if (A.Operands.size() != B.Operands.size())
+    return false;
+  for (size_t I = 0; I != A.Operands.size(); ++I)
+    if (!exprEquals(*A.Operands[I], *B.Operands[I]))
+      return false;
+  return true;
+}
+
+bool easyml::exprReferences(const Expr &E, std::string_view Name) {
+  if (E.Kind == ExprKind::VarRef)
+    return E.VarName == Name;
+  for (const ExprPtr &Op : E.Operands)
+    if (exprReferences(*Op, Name))
+      return true;
+  return false;
+}
+
+static void collectFreeVars(const Expr &E, std::vector<std::string> &Out) {
+  if (E.Kind == ExprKind::VarRef) {
+    if (std::find(Out.begin(), Out.end(), E.VarName) == Out.end())
+      Out.push_back(E.VarName);
+    return;
+  }
+  for (const ExprPtr &Op : E.Operands)
+    collectFreeVars(*Op, Out);
+}
+
+std::vector<std::string> easyml::exprFreeVars(const Expr &E) {
+  std::vector<std::string> Out;
+  collectFreeVars(E, Out);
+  return Out;
+}
+
+ExprPtr easyml::substitute(const ExprPtr &E, std::string_view Name,
+                           const ExprPtr &Replacement) {
+  if (E->Kind == ExprKind::VarRef)
+    return E->VarName == Name ? Replacement : E;
+  if (!exprReferences(*E, Name))
+    return E;
+  auto Copy = std::make_shared<Expr>(*E);
+  for (ExprPtr &Op : Copy->Operands)
+    Op = substitute(Op, Name, Replacement);
+  return Copy;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Stmt::makeAssign(std::string Target, ExprPtr Value, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Assign;
+  S->Target = std::move(Target);
+  S->Value = std::move(Value);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::makeIf(ExprPtr Cond, std::vector<StmtPtr> Then,
+                     std::vector<StmtPtr> Else, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::If;
+  S->Cond = std::move(Cond);
+  S->Then = std::move(Then);
+  S->Else = std::move(Else);
+  S->Loc = Loc;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// ParsedModel
+//===----------------------------------------------------------------------===//
+
+VarMarkups &ParsedModel::markupsFor(const std::string &Name) {
+  for (auto &[N, M] : Markups)
+    if (N == Name)
+      return M;
+  Markups.push_back({Name, VarMarkups()});
+  return Markups.back().second;
+}
+
+const VarMarkups *ParsedModel::findMarkups(std::string_view Name) const {
+  for (const auto &[N, M] : Markups)
+    if (N == Name)
+      return &M;
+  return nullptr;
+}

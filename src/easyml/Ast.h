@@ -1,0 +1,229 @@
+//===- Ast.h - EasyML abstract syntax trees ---------------------*- C++-*-===//
+//
+// Expression and statement trees produced by the EasyML parser. EasyML is
+// the declarative, SSA-style markup language openCARP uses to describe
+// ionic models (Sec. 2.2 of the paper): single-assignment equations,
+// `diff_x` derivatives, `x_init` initial values, and markup statements
+// (.external(), .param(), .lookup(), .method(), ...).
+//
+// Expressions use shared_ptr nodes so the symbolic differentiator and the
+// preprocessor can share subtrees without deep copies.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EASYML_AST_H
+#define LIMPET_EASYML_AST_H
+
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace easyml {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  Number,
+  VarRef,
+  Unary,
+  Binary,
+  Ternary,
+  Call,
+  LutRef, ///< reference to a precomputed LUT column (inserted by LutAnalysis)
+};
+
+enum class UnaryOp : uint8_t { Neg, Not };
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+};
+
+/// Builtin functions callable from EasyML (the openCARP helper set).
+enum class BuiltinFn : uint8_t {
+  Exp,
+  Expm1,
+  Log,
+  Log10,
+  Pow,
+  Sqrt,
+  Sin,
+  Cos,
+  Tan,
+  Tanh,
+  Sinh,
+  Cosh,
+  Atan,
+  Asin,
+  Acos,
+  Fabs,
+  Floor,
+  Ceil,
+  Square, ///< openCARP helper: square(x) == x*x
+  Cube,   ///< openCARP helper: cube(x) == x*x*x
+};
+
+/// Number of arguments the builtin takes (1 or 2).
+unsigned builtinArity(BuiltinFn Fn);
+
+/// Textual name as written in EasyML ("exp", "square", ...).
+std::string_view builtinName(BuiltinFn Fn);
+
+/// Maps a function name to a builtin; returns false for unknown names.
+bool lookupBuiltin(std::string_view Name, BuiltinFn &Out);
+
+/// An expression tree node.
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  // Number
+  double NumberValue = 0;
+  // VarRef
+  std::string VarName;
+  // Unary / Binary / Ternary operands; Call arguments.
+  UnaryOp UnOp = UnaryOp::Neg;
+  BinaryOp BinOp = BinaryOp::Add;
+  BuiltinFn Fn = BuiltinFn::Exp;
+  // LutRef payload.
+  int LutTable = -1;
+  int LutCol = -1;
+  std::vector<ExprPtr> Operands;
+
+  static ExprPtr makeNumber(double V, SourceLoc Loc = SourceLoc());
+  static ExprPtr makeVarRef(std::string Name, SourceLoc Loc = SourceLoc());
+  static ExprPtr makeUnary(UnaryOp Op, ExprPtr A,
+                           SourceLoc Loc = SourceLoc());
+  static ExprPtr makeBinary(BinaryOp Op, ExprPtr L, ExprPtr R,
+                            SourceLoc Loc = SourceLoc());
+  static ExprPtr makeTernary(ExprPtr Cond, ExprPtr A, ExprPtr B,
+                             SourceLoc Loc = SourceLoc());
+  static ExprPtr makeCall(BuiltinFn Fn, std::vector<ExprPtr> Args,
+                          SourceLoc Loc = SourceLoc());
+  static ExprPtr makeLutRef(int Table, int Col, SourceLoc Loc = SourceLoc());
+
+  bool isNumber(double V) const {
+    return Kind == ExprKind::Number && NumberValue == V;
+  }
+};
+
+/// Renders an expression with minimal parentheses, for tests and debugging.
+std::string printExpr(const Expr &E);
+
+/// Structural equality of two expression trees.
+bool exprEquals(const Expr &A, const Expr &B);
+
+/// Returns true if \p Name occurs as a VarRef anywhere in \p E.
+bool exprReferences(const Expr &E, std::string_view Name);
+
+/// Collects the distinct variable names referenced by \p E (in first-use
+/// order).
+std::vector<std::string> exprFreeVars(const Expr &E);
+
+/// Returns a tree where every reference to \p Name is replaced by \p
+/// Replacement (subtrees are shared, not copied).
+ExprPtr substitute(const ExprPtr &E, std::string_view Name,
+                   const ExprPtr &Replacement);
+
+//===----------------------------------------------------------------------===//
+// Statements and parsed model
+//===----------------------------------------------------------------------===//
+
+/// Markup kinds attachable to a variable.
+enum class MarkupKind : uint8_t {
+  External, ///< .external(): value flows in/out of the cell (Vm, Iion).
+  Nodal,    ///< .nodal(): per-node value (informational).
+  Param,    ///< .param(): runtime-adjustable constant.
+  Lookup,   ///< .lookup(lo, hi, step): LUT-accelerate expressions of this.
+  Method,   ///< .method(name): integration method for the state variable.
+  Units,    ///< .units("..."): documentation only.
+  Regional, ///< .regional(): informational.
+};
+
+/// One parsed markup application.
+struct Markup {
+  MarkupKind Kind;
+  SourceLoc Loc;
+  // Lookup parameters.
+  double Lo = 0, Hi = 0, Step = 0;
+  // Method / units payload.
+  std::string Text;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t { Assign, If };
+
+/// An assignment `name = expr;` or a (possibly nested) if statement over
+/// assignments.
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  // Assign
+  std::string Target;
+  ExprPtr Value;
+
+  // If
+  ExprPtr Cond;
+  std::vector<StmtPtr> Then;
+  std::vector<StmtPtr> Else;
+
+  static StmtPtr makeAssign(std::string Target, ExprPtr Value,
+                            SourceLoc Loc = SourceLoc());
+  static StmtPtr makeIf(ExprPtr Cond, std::vector<StmtPtr> Then,
+                        std::vector<StmtPtr> Else,
+                        SourceLoc Loc = SourceLoc());
+};
+
+/// A variable's accumulated markups.
+struct VarMarkups {
+  bool External = false;
+  bool Nodal = false;
+  bool Param = false;
+  bool Regional = false;
+  bool HasLookup = false;
+  double LookupLo = 0, LookupHi = 0, LookupStep = 0;
+  std::string Method; ///< empty = default integration method.
+  std::string Units;
+};
+
+/// The direct output of the parser: declared names with their markups and
+/// the ordered statement list, before semantic analysis.
+struct ParsedModel {
+  std::string Name;
+  /// Declaration order of every name that appeared as a declaration or
+  /// assignment target.
+  std::vector<std::string> DeclOrder;
+  /// Markups per variable name.
+  std::vector<std::pair<std::string, VarMarkups>> Markups;
+  /// Top-level assignments / if statements, in source order.
+  std::vector<StmtPtr> Statements;
+
+  VarMarkups &markupsFor(const std::string &Name);
+  const VarMarkups *findMarkups(std::string_view Name) const;
+};
+
+} // namespace easyml
+} // namespace limpet
+
+#endif // LIMPET_EASYML_AST_H

@@ -1,0 +1,139 @@
+//===- ConstEval.cpp ------------------------------------------------------===//
+
+#include "easyml/ConstEval.h"
+
+#include "support/Casting.h"
+
+#include <cmath>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+double easyml::applyBuiltin(BuiltinFn Fn, double A, double B) {
+  switch (Fn) {
+  case BuiltinFn::Exp:
+    return std::exp(A);
+  case BuiltinFn::Expm1:
+    return std::expm1(A);
+  case BuiltinFn::Log:
+    return std::log(A);
+  case BuiltinFn::Log10:
+    return std::log10(A);
+  case BuiltinFn::Pow:
+    return std::pow(A, B);
+  case BuiltinFn::Sqrt:
+    return std::sqrt(A);
+  case BuiltinFn::Sin:
+    return std::sin(A);
+  case BuiltinFn::Cos:
+    return std::cos(A);
+  case BuiltinFn::Tan:
+    return std::tan(A);
+  case BuiltinFn::Tanh:
+    return std::tanh(A);
+  case BuiltinFn::Sinh:
+    return std::sinh(A);
+  case BuiltinFn::Cosh:
+    return std::cosh(A);
+  case BuiltinFn::Atan:
+    return std::atan(A);
+  case BuiltinFn::Asin:
+    return std::asin(A);
+  case BuiltinFn::Acos:
+    return std::acos(A);
+  case BuiltinFn::Fabs:
+    return std::fabs(A);
+  case BuiltinFn::Floor:
+    return std::floor(A);
+  case BuiltinFn::Ceil:
+    return std::ceil(A);
+  case BuiltinFn::Square:
+    return A * A;
+  case BuiltinFn::Cube:
+    return A * A * A;
+  }
+  limpet_unreachable("invalid builtin");
+}
+
+std::optional<double> easyml::evalExpr(const Expr &E, const EvalEnv &Env) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return E.NumberValue;
+  case ExprKind::VarRef:
+    return Env(E.VarName);
+  case ExprKind::LutRef:
+    return std::nullopt;
+  case ExprKind::Unary: {
+    auto A = evalExpr(*E.Operands[0], Env);
+    if (!A)
+      return std::nullopt;
+    return E.UnOp == UnaryOp::Neg ? -*A : double(*A == 0.0);
+  }
+  case ExprKind::Binary: {
+    auto A = evalExpr(*E.Operands[0], Env);
+    if (!A)
+      return std::nullopt;
+    // Short-circuit semantics are not required (no side effects), but we
+    // still avoid evaluating the RHS when the LHS decides && / ||.
+    if (E.BinOp == BinaryOp::And && *A == 0.0)
+      return 0.0;
+    if (E.BinOp == BinaryOp::Or && *A != 0.0)
+      return 1.0;
+    auto B = evalExpr(*E.Operands[1], Env);
+    if (!B)
+      return std::nullopt;
+    switch (E.BinOp) {
+    case BinaryOp::Add:
+      return *A + *B;
+    case BinaryOp::Sub:
+      return *A - *B;
+    case BinaryOp::Mul:
+      return *A * *B;
+    case BinaryOp::Div:
+      return *A / *B;
+    case BinaryOp::Lt:
+      return double(*A < *B);
+    case BinaryOp::Le:
+      return double(*A <= *B);
+    case BinaryOp::Gt:
+      return double(*A > *B);
+    case BinaryOp::Ge:
+      return double(*A >= *B);
+    case BinaryOp::Eq:
+      return double(*A == *B);
+    case BinaryOp::Ne:
+      return double(*A != *B);
+    case BinaryOp::And:
+      return double(*B != 0.0);
+    case BinaryOp::Or:
+      return double(*B != 0.0);
+    }
+    limpet_unreachable("invalid binary op");
+  }
+  case ExprKind::Ternary: {
+    auto C = evalExpr(*E.Operands[0], Env);
+    if (!C)
+      return std::nullopt;
+    return evalExpr(*E.Operands[*C != 0.0 ? 1 : 2], Env);
+  }
+  case ExprKind::Call: {
+    auto A = evalExpr(*E.Operands[0], Env);
+    if (!A)
+      return std::nullopt;
+    double B = 0;
+    if (E.Operands.size() > 1) {
+      auto BOpt = evalExpr(*E.Operands[1], Env);
+      if (!BOpt)
+        return std::nullopt;
+      B = *BOpt;
+    }
+    return applyBuiltin(E.Fn, *A, B);
+  }
+  }
+  limpet_unreachable("invalid expr kind");
+}
+
+std::optional<double> easyml::evalConstExpr(const Expr &E) {
+  return evalExpr(
+      E, [](std::string_view) -> std::optional<double> { return std::nullopt; });
+}

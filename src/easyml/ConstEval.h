@@ -1,0 +1,37 @@
+//===- ConstEval.h - AST constant evaluation --------------------*- C++-*-===//
+//
+// Evaluates EasyML expressions over a name->double environment. Booleans
+// are represented as 0.0 / 1.0 (the semantics the engines implement).
+// Shared by the preprocessor, semantic analysis (param/init evaluation)
+// and the LUT table builder.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EASYML_CONSTEVAL_H
+#define LIMPET_EASYML_CONSTEVAL_H
+
+#include "easyml/Ast.h"
+
+#include <functional>
+#include <optional>
+
+namespace limpet {
+namespace easyml {
+
+/// Resolves a variable name to a value; return nullopt for unknown names.
+using EvalEnv = std::function<std::optional<double>(std::string_view)>;
+
+/// Evaluates \p E. Returns nullopt when a referenced name is not resolved
+/// by \p Env or the tree contains a LutRef.
+std::optional<double> evalExpr(const Expr &E, const EvalEnv &Env);
+
+/// Evaluates an expression with no free variables.
+std::optional<double> evalConstExpr(const Expr &E);
+
+/// Applies a builtin function to already-evaluated arguments.
+double applyBuiltin(BuiltinFn Fn, double A, double B = 0);
+
+} // namespace easyml
+} // namespace limpet
+
+#endif // LIMPET_EASYML_CONSTEVAL_H

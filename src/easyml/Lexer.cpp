@@ -1,0 +1,283 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "easyml/Lexer.h"
+
+#include "support/Casting.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      skipWhitespaceAndComments();
+      Token T = next();
+      Tokens.push_back(T);
+      if (T.Kind == TokenKind::Eof)
+        return Tokens;
+    }
+  }
+
+private:
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+  SourceLoc loc() const { return {Line, Col}; }
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  bool match(char C) {
+    if (atEnd() || peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+
+  void skipWhitespaceAndComments() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '#' || (C == '/' && peek(1) == '/')) {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = loc();
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (atEnd()) {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokenKind Kind, SourceLoc Loc, std::string Text = "") {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = Loc;
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  Token next() {
+    SourceLoc Start = loc();
+    if (atEnd())
+      return make(TokenKind::Eof, Start);
+
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text(1, C);
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        Text += advance();
+      if (Text == "if")
+        return make(TokenKind::KwIf, Start, Text);
+      if (Text == "else")
+        return make(TokenKind::KwElse, Start, Text);
+      return make(TokenKind::Identifier, Start, std::move(Text));
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+      std::string Text(1, C);
+      bool SeenExp = false;
+      while (!atEnd()) {
+        char N = peek();
+        if (std::isdigit(static_cast<unsigned char>(N)) || N == '.') {
+          Text += advance();
+          continue;
+        }
+        if ((N == 'e' || N == 'E') && !SeenExp) {
+          SeenExp = true;
+          Text += advance();
+          if (peek() == '+' || peek() == '-')
+            Text += advance();
+          continue;
+        }
+        break;
+      }
+      Token T = make(TokenKind::Number, Start, Text);
+      char *End = nullptr;
+      T.NumberValue = std::strtod(Text.c_str(), &End);
+      if (End != Text.c_str() + Text.size()) {
+        Diags.error(Start, "malformed number '" + Text + "'");
+        T.Kind = TokenKind::Error;
+      }
+      return T;
+    }
+
+    switch (C) {
+    case '(':
+      return make(TokenKind::LParen, Start);
+    case ')':
+      return make(TokenKind::RParen, Start);
+    case '{':
+      return make(TokenKind::LBrace, Start);
+    case '}':
+      return make(TokenKind::RBrace, Start);
+    case ',':
+      return make(TokenKind::Comma, Start);
+    case ';':
+      return make(TokenKind::Semicolon, Start);
+    case '.':
+      return make(TokenKind::Dot, Start);
+    case '+':
+      return make(TokenKind::Plus, Start);
+    case '-':
+      return make(TokenKind::Minus, Start);
+    case '*':
+      return make(TokenKind::Star, Start);
+    case '/':
+      return make(TokenKind::Slash, Start);
+    case '?':
+      return make(TokenKind::Question, Start);
+    case ':':
+      return make(TokenKind::Colon, Start);
+    case '=':
+      return make(match('=') ? TokenKind::EqEq : TokenKind::Assign, Start);
+    case '<':
+      return make(match('=') ? TokenKind::Le : TokenKind::Lt, Start);
+    case '>':
+      return make(match('=') ? TokenKind::Ge : TokenKind::Gt, Start);
+    case '!':
+      return make(match('=') ? TokenKind::NotEq : TokenKind::Not, Start);
+    case '&':
+      if (match('&'))
+        return make(TokenKind::AndAnd, Start);
+      Diags.error(Start, "expected '&&'");
+      return make(TokenKind::Error, Start);
+    case '|':
+      if (match('|'))
+        return make(TokenKind::OrOr, Start);
+      Diags.error(Start, "expected '||'");
+      return make(TokenKind::Error, Start);
+    case '"': {
+      std::string Text;
+      while (!atEnd() && peek() != '"')
+        Text += advance();
+      if (atEnd()) {
+        Diags.error(Start, "unterminated string literal");
+        return make(TokenKind::Error, Start);
+      }
+      advance();
+      return make(TokenKind::String, Start, std::move(Text));
+    }
+    default:
+      Diags.error(Start, std::string("unexpected character '") + C + "'");
+      return make(TokenKind::Error, Start);
+    }
+  }
+};
+
+} // namespace
+
+std::vector<Token> easyml::tokenize(std::string_view Source,
+                                    DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}
+
+std::string_view easyml::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  limpet_unreachable("invalid token kind");
+}

@@ -1,0 +1,71 @@
+//===- Lexer.h - EasyML tokenizer -------------------------------*- C++-*-===//
+//
+// Tokenizes EasyML source. Comments start with '#' or '//' (to end of
+// line) or use C-style '/* ... */'.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EASYML_LEXER_H
+#define LIMPET_EASYML_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace limpet {
+namespace easyml {
+
+enum class TokenKind : uint8_t {
+  Identifier,
+  Number,
+  String,    // "..." inside markup arguments
+  LParen,    // (
+  RParen,    // )
+  LBrace,    // {
+  RBrace,    // }
+  Comma,     // ,
+  Semicolon, // ;
+  Dot,       // .
+  Assign,    // =
+  Plus,      // +
+  Minus,     // -
+  Star,      // *
+  Slash,     // /
+  Lt,        // <
+  Le,        // <=
+  Gt,        // >
+  Ge,        // >=
+  EqEq,      // ==
+  NotEq,     // !=
+  AndAnd,    // &&
+  OrOr,      // ||
+  Not,       // !
+  Question,  // ?
+  Colon,     // :
+  KwIf,      // if
+  KwElse,    // else
+  Eof,
+  Error,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  double NumberValue = 0;
+  SourceLoc Loc;
+};
+
+/// Tokenizes a whole buffer. Lexing errors are reported through \p Diags
+/// and produce an Error token (lexing continues).
+std::vector<Token> tokenize(std::string_view Source,
+                            DiagnosticEngine &Diags);
+
+/// Human-readable description for diagnostics ("';'", "identifier", ...).
+std::string_view tokenKindName(TokenKind Kind);
+
+} // namespace easyml
+} // namespace limpet
+
+#endif // LIMPET_EASYML_LEXER_H

@@ -1,0 +1,513 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "easyml/Parser.h"
+
+#include "easyml/Lexer.h"
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+class ParserImpl {
+public:
+  ParserImpl(std::string_view ModelName, std::string_view Source,
+             DiagnosticEngine &Diags)
+      : Diags(Diags) {
+    Model.Name = std::string(ModelName);
+    Tokens = tokenize(Source, Diags);
+  }
+
+  ParsedModel run() {
+    while (!at(TokenKind::Eof)) {
+      if (!parseTopLevelStatement())
+        recover();
+    }
+    return std::move(Model);
+  }
+
+private:
+  DiagnosticEngine &Diags;
+  ParsedModel Model;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  /// Names the next markup statement applies to.
+  std::vector<std::string> MarkupTargets;
+
+  // --- token helpers ------------------------------------------------------
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokenKind Kind) const { return peek().Kind == Kind; }
+  const Token &advance() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+
+  bool expect(TokenKind Kind, std::string_view What) {
+    if (at(Kind)) {
+      advance();
+      return true;
+    }
+    Diags.error(peek().Loc, "expected " + std::string(tokenKindName(Kind)) +
+                                " " + std::string(What) + ", got " +
+                                std::string(tokenKindName(peek().Kind)));
+    return false;
+  }
+
+  /// Skips to just past the next ';' (or a '}') for error recovery.
+  void recover() {
+    while (!at(TokenKind::Eof)) {
+      TokenKind K = advance().Kind;
+      if (K == TokenKind::Semicolon || K == TokenKind::RBrace)
+        return;
+    }
+  }
+
+  void declare(const std::string &Name) {
+    for (const std::string &N : Model.DeclOrder)
+      if (N == Name)
+        return;
+    Model.DeclOrder.push_back(Name);
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  bool parseTopLevelStatement() {
+    if (at(TokenKind::Dot))
+      return parseMarkupStatement();
+    if (at(TokenKind::KwIf)) {
+      StmtPtr S = parseIfStatement();
+      if (!S)
+        return false;
+      Model.Statements.push_back(std::move(S));
+      return true;
+    }
+    if (at(TokenKind::Identifier) && peek().Text == "group" &&
+        peek(1).Kind == TokenKind::LBrace)
+      return parseGroupStatement();
+    if (at(TokenKind::Identifier))
+      return parseDeclOrAssign();
+    Diags.error(peek().Loc, "expected a statement, got " +
+                                std::string(tokenKindName(peek().Kind)));
+    return false;
+  }
+
+  /// IDENT ';' (declaration) or IDENT '=' expr ';' (assignment).
+  bool parseDeclOrAssign() {
+    Token Name = advance();
+    declare(Name.Text);
+    MarkupTargets = {Name.Text};
+
+    if (at(TokenKind::Semicolon)) {
+      advance();
+      // Markup applications may follow on the same or subsequent lines.
+      return true;
+    }
+    if (!expect(TokenKind::Assign, "in assignment"))
+      return false;
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return false;
+    if (!expect(TokenKind::Semicolon, "after assignment"))
+      return false;
+    Model.Statements.push_back(
+        Stmt::makeAssign(Name.Text, std::move(Value), Name.Loc));
+    return true;
+  }
+
+  /// '.' IDENT '(' args ')' ';' applied to the current markup targets.
+  bool parseMarkupStatement() {
+    SourceLoc Loc = peek().Loc;
+    advance(); // '.'
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected markup name after '.'");
+      return false;
+    }
+    std::string Name = advance().Text;
+    if (!applyMarkup(Name, Loc))
+      return false;
+    // Allow chained markups: .nodal().units("mV");
+    while (at(TokenKind::Dot)) {
+      advance();
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected markup name after '.'");
+        return false;
+      }
+      std::string Next = advance().Text;
+      if (!applyMarkup(Next, Loc))
+        return false;
+    }
+    return expect(TokenKind::Semicolon, "after markup");
+  }
+
+  /// Parses '(' args ')' and applies the markup named \p Name to the
+  /// current targets.
+  bool applyMarkup(const std::string &Name, SourceLoc Loc) {
+    if (!expect(TokenKind::LParen, "after markup name"))
+      return false;
+
+    // Collect raw arguments (numbers with optional sign, identifiers,
+    // strings).
+    std::vector<Token> Args;
+    std::vector<double> NumArgs;
+    if (!at(TokenKind::RParen)) {
+      while (true) {
+        double Sign = 1;
+        if (at(TokenKind::Minus)) {
+          advance();
+          Sign = -1;
+        }
+        Token Arg = peek();
+        if (Arg.Kind != TokenKind::Number &&
+            Arg.Kind != TokenKind::Identifier &&
+            Arg.Kind != TokenKind::String) {
+          Diags.error(Arg.Loc, "invalid markup argument");
+          return false;
+        }
+        advance();
+        Arg.NumberValue *= Sign;
+        Args.push_back(Arg);
+        if (Arg.Kind == TokenKind::Number)
+          NumArgs.push_back(Arg.NumberValue);
+        if (!at(TokenKind::Comma))
+          break;
+        advance();
+      }
+    }
+    if (!expect(TokenKind::RParen, "after markup arguments"))
+      return false;
+
+    if (MarkupTargets.empty()) {
+      Diags.error(Loc, "markup '." + Name + "()' has no target variable");
+      return false;
+    }
+
+    for (const std::string &Target : MarkupTargets) {
+      VarMarkups &M = Model.markupsFor(Target);
+      if (Name == "external") {
+        M.External = true;
+      } else if (Name == "nodal") {
+        M.Nodal = true;
+      } else if (Name == "param") {
+        M.Param = true;
+      } else if (Name == "regional") {
+        M.Regional = true;
+      } else if (Name == "lookup") {
+        if (NumArgs.size() != 3) {
+          Diags.error(Loc, "'.lookup()' expects (lo, hi, step)");
+          return false;
+        }
+        M.HasLookup = true;
+        M.LookupLo = NumArgs[0];
+        M.LookupHi = NumArgs[1];
+        M.LookupStep = NumArgs[2];
+      } else if (Name == "method") {
+        if (Args.size() != 1 || Args[0].Kind != TokenKind::Identifier) {
+          Diags.error(Loc, "'.method()' expects an integration method name");
+          return false;
+        }
+        M.Method = Args[0].Text;
+      } else if (Name == "units") {
+        if (!Args.empty())
+          M.Units = Args[0].Text;
+      } else {
+        Diags.warning(Loc, "ignoring unknown markup '." + Name + "()'");
+      }
+    }
+    return true;
+  }
+
+  /// group '{' member* '}' ('.' markup)* ';'
+  bool parseGroupStatement() {
+    advance(); // 'group'
+    advance(); // '{'
+    std::vector<std::string> Members;
+    while (!at(TokenKind::RBrace)) {
+      if (at(TokenKind::Eof)) {
+        Diags.error(peek().Loc, "unterminated group");
+        return false;
+      }
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected group member name");
+        return false;
+      }
+      Token Name = advance();
+      declare(Name.Text);
+      Members.push_back(Name.Text);
+      if (at(TokenKind::Assign)) {
+        advance();
+        ExprPtr Value = parseExpr();
+        if (!Value)
+          return false;
+        Model.Statements.push_back(
+            Stmt::makeAssign(Name.Text, std::move(Value), Name.Loc));
+      }
+      if (!expect(TokenKind::Semicolon, "after group member"))
+        return false;
+    }
+    advance(); // '}'
+
+    MarkupTargets = Members;
+    while (at(TokenKind::Dot)) {
+      SourceLoc Loc = peek().Loc;
+      advance();
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected markup name after '.'");
+        return false;
+      }
+      std::string Name = advance().Text;
+      if (!applyMarkup(Name, Loc))
+        return false;
+    }
+    return expect(TokenKind::Semicolon, "after group");
+  }
+
+  /// if '(' expr ')' '{' stmts '}' [else '{' stmts '}'].
+  StmtPtr parseIfStatement() {
+    SourceLoc Loc = peek().Loc;
+    advance(); // 'if'
+    if (!expect(TokenKind::LParen, "after 'if'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after if condition"))
+      return nullptr;
+    std::vector<StmtPtr> Then, Else;
+    if (!parseBlock(Then))
+      return nullptr;
+    if (at(TokenKind::KwElse)) {
+      advance();
+      if (at(TokenKind::KwIf)) {
+        StmtPtr Nested = parseIfStatement();
+        if (!Nested)
+          return nullptr;
+        Else.push_back(std::move(Nested));
+      } else if (!parseBlock(Else)) {
+        return nullptr;
+      }
+    }
+    return Stmt::makeIf(std::move(Cond), std::move(Then), std::move(Else),
+                        Loc);
+  }
+
+  /// '{' (assign | if)* '}'.
+  bool parseBlock(std::vector<StmtPtr> &Out) {
+    if (!expect(TokenKind::LBrace, "to open a block"))
+      return false;
+    while (!at(TokenKind::RBrace)) {
+      if (at(TokenKind::Eof)) {
+        Diags.error(peek().Loc, "unterminated block");
+        return false;
+      }
+      if (at(TokenKind::KwIf)) {
+        StmtPtr S = parseIfStatement();
+        if (!S)
+          return false;
+        Out.push_back(std::move(S));
+        continue;
+      }
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected assignment inside block");
+        return false;
+      }
+      Token Name = advance();
+      declare(Name.Text);
+      if (!expect(TokenKind::Assign, "in assignment"))
+        return false;
+      ExprPtr Value = parseExpr();
+      if (!Value)
+        return false;
+      if (!expect(TokenKind::Semicolon, "after assignment"))
+        return false;
+      Out.push_back(Stmt::makeAssign(Name.Text, std::move(Value), Name.Loc));
+    }
+    advance(); // '}'
+    return true;
+  }
+
+  // --- expressions (precedence climbing) ----------------------------------
+
+  ExprPtr parseExpr() { return parseTernary(); }
+
+  ExprPtr parseTernary() {
+    ExprPtr Cond = parseOr();
+    if (!Cond || !at(TokenKind::Question))
+      return Cond;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr A = parseTernary();
+    if (!A || !expect(TokenKind::Colon, "in conditional expression"))
+      return nullptr;
+    ExprPtr B = parseTernary();
+    if (!B)
+      return nullptr;
+    return Expr::makeTernary(std::move(Cond), std::move(A), std::move(B),
+                             Loc);
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr L = parseAnd();
+    while (L && at(TokenKind::OrOr)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseAnd();
+      if (!R)
+        return nullptr;
+      L = Expr::makeBinary(BinaryOp::Or, std::move(L), std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr L = parseComparison();
+    while (L && at(TokenKind::AndAnd)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseComparison();
+      if (!R)
+        return nullptr;
+      L = Expr::makeBinary(BinaryOp::And, std::move(L), std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseComparison() {
+    ExprPtr L = parseAdditive();
+    while (L) {
+      BinaryOp Op;
+      switch (peek().Kind) {
+      case TokenKind::Lt:
+        Op = BinaryOp::Lt;
+        break;
+      case TokenKind::Le:
+        Op = BinaryOp::Le;
+        break;
+      case TokenKind::Gt:
+        Op = BinaryOp::Gt;
+        break;
+      case TokenKind::Ge:
+        Op = BinaryOp::Ge;
+        break;
+      case TokenKind::EqEq:
+        Op = BinaryOp::Eq;
+        break;
+      case TokenKind::NotEq:
+        Op = BinaryOp::Ne;
+        break;
+      default:
+        return L;
+      }
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseAdditive();
+      if (!R)
+        return nullptr;
+      L = Expr::makeBinary(Op, std::move(L), std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr L = parseMultiplicative();
+    while (L && (at(TokenKind::Plus) || at(TokenKind::Minus))) {
+      BinaryOp Op = at(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseMultiplicative();
+      if (!R)
+        return nullptr;
+      L = Expr::makeBinary(Op, std::move(L), std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr L = parseUnary();
+    while (L && (at(TokenKind::Star) || at(TokenKind::Slash))) {
+      BinaryOp Op = at(TokenKind::Star) ? BinaryOp::Mul : BinaryOp::Div;
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseUnary();
+      if (!R)
+        return nullptr;
+      L = Expr::makeBinary(Op, std::move(L), std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    if (at(TokenKind::Minus)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr A = parseUnary();
+      if (!A)
+        return nullptr;
+      return Expr::makeUnary(UnaryOp::Neg, std::move(A), Loc);
+    }
+    if (at(TokenKind::Not)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr A = parseUnary();
+      if (!A)
+        return nullptr;
+      return Expr::makeUnary(UnaryOp::Not, std::move(A), Loc);
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokenKind::Number: {
+      advance();
+      return Expr::makeNumber(T.NumberValue, T.Loc);
+    }
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr Inner = parseExpr();
+      if (!Inner || !expect(TokenKind::RParen, "to close expression"))
+        return nullptr;
+      return Inner;
+    }
+    case TokenKind::Identifier: {
+      Token Name = advance();
+      if (!at(TokenKind::LParen))
+        return Expr::makeVarRef(Name.Text, Name.Loc);
+      // Function call.
+      BuiltinFn Fn;
+      if (!lookupBuiltin(Name.Text, Fn)) {
+        Diags.error(Name.Loc, "unknown function '" + Name.Text + "'");
+        return nullptr;
+      }
+      advance(); // '('
+      std::vector<ExprPtr> Args;
+      if (!at(TokenKind::RParen)) {
+        while (true) {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+          if (!at(TokenKind::Comma))
+            break;
+          advance();
+        }
+      }
+      if (!expect(TokenKind::RParen, "after call arguments"))
+        return nullptr;
+      if (Args.size() != builtinArity(Fn)) {
+        Diags.error(Name.Loc,
+                    "'" + Name.Text + "' expects " +
+                        std::to_string(builtinArity(Fn)) + " argument(s)");
+        return nullptr;
+      }
+      return Expr::makeCall(Fn, std::move(Args), Name.Loc);
+    }
+    default:
+      Diags.error(T.Loc, "expected an expression, got " +
+                             std::string(tokenKindName(T.Kind)));
+      return nullptr;
+    }
+  }
+};
+
+} // namespace
+
+ParsedModel easyml::parseModel(std::string_view ModelName,
+                               std::string_view Source,
+                               DiagnosticEngine &Diags) {
+  return ParserImpl(ModelName, Source, Diags).run();
+}

@@ -1,0 +1,37 @@
+//===- Parser.h - EasyML parser ---------------------------------*- C++-*-===//
+//
+// Recursive-descent parser producing a ParsedModel. Syntax follows the
+// openCARP EasyML conventions used in the paper's Listing 1:
+//
+//   Vm; .external(); .nodal(); .lookup(-100,100,0.05);
+//   group{ u1; u2; u3; }.nodal();
+//   group{ Cm = 200; beta = 1; }.param();
+//   u1_init = 0;  diff_u1 = ...;  u1;.method(rk2);
+//   Iion = ...;
+//   if (cond) { a = ...; } else { a = ...; }
+//
+// Markup statements apply to the most recently declared/assigned names.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EASYML_PARSER_H
+#define LIMPET_EASYML_PARSER_H
+
+#include "easyml/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace limpet {
+namespace easyml {
+
+/// Parses \p Source into a ParsedModel named \p ModelName. Errors are
+/// reported via \p Diags; the returned model is meaningful only when
+/// !Diags.hasErrors().
+ParsedModel parseModel(std::string_view ModelName, std::string_view Source,
+                       DiagnosticEngine &Diags);
+
+} // namespace easyml
+} // namespace limpet
+
+#endif // LIMPET_EASYML_PARSER_H

@@ -1,0 +1,98 @@
+//===- Preprocessor.cpp ---------------------------------------------------===//
+
+#include "easyml/Preprocessor.h"
+
+#include "easyml/ConstEval.h"
+
+#include <map>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+/// Folding with memoization on node identity: inlined model expressions
+/// share subtrees heavily, and each distinct node must be visited once.
+class Folder {
+public:
+  explicit Folder(PreprocessorStats *Stats) : Stats(Stats) {}
+
+  ExprPtr fold(const ExprPtr &E) {
+    auto It = Memo.find(E.get());
+    if (It != Memo.end())
+      return It->second;
+    ExprPtr Result = foldImpl(E);
+    Memo.emplace(E.get(), Result);
+    return Result;
+  }
+
+private:
+  PreprocessorStats *Stats;
+  std::map<const Expr *, ExprPtr> Memo;
+
+  ExprPtr foldImpl(const ExprPtr &E) {
+    if (E->Kind == ExprKind::Number || E->Kind == ExprKind::VarRef ||
+        E->Kind == ExprKind::LutRef)
+      return E;
+
+    // Fold children first.
+    bool Changed = false;
+    std::vector<ExprPtr> Folded;
+    Folded.reserve(E->Operands.size());
+    for (const ExprPtr &Op : E->Operands) {
+      ExprPtr F = fold(Op);
+      Changed |= F != Op;
+      Folded.push_back(std::move(F));
+    }
+
+    // If every child is a number, evaluate the node.
+    bool AllConst = true;
+    for (const ExprPtr &Op : Folded)
+      AllConst &= Op->Kind == ExprKind::Number;
+    if (AllConst) {
+      ExprPtr Candidate = E;
+      if (Changed) {
+        Candidate = std::make_shared<Expr>(*E);
+        Candidate->Operands = Folded;
+      }
+      if (auto V = evalConstExpr(*Candidate)) {
+        if (Stats)
+          ++Stats->FoldedNodes;
+        return Expr::makeNumber(*V, E->Loc);
+      }
+    }
+
+    // Constant-condition ternaries select an arm even when the arms are
+    // not constant.
+    if (E->Kind == ExprKind::Ternary &&
+        Folded[0]->Kind == ExprKind::Number) {
+      if (Stats)
+        ++Stats->FoldedNodes;
+      return Folded[0]->NumberValue != 0.0 ? Folded[1] : Folded[2];
+    }
+
+    if (!Changed)
+      return E;
+    auto Copy = std::make_shared<Expr>(*E);
+    Copy->Operands = std::move(Folded);
+    return Copy;
+  }
+};
+
+} // namespace
+
+ExprPtr easyml::foldConstants(const ExprPtr &E, PreprocessorStats *Stats) {
+  return Folder(Stats).fold(E);
+}
+
+PreprocessorStats easyml::preprocessModel(ModelInfo &Info) {
+  PreprocessorStats Stats;
+  Folder F(&Stats);
+  for (StateVarInfo &SV : Info.StateVars)
+    if (SV.Diff)
+      SV.Diff = F.fold(SV.Diff);
+  for (ExternalInfo &Ext : Info.Externals)
+    if (Ext.IsComputed && Ext.Value)
+      Ext.Value = F.fold(Ext.Value);
+  return Stats;
+}

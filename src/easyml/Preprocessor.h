@@ -1,0 +1,34 @@
+//===- Preprocessor.h - AST compile-time constant folding -------*- C++-*-===//
+//
+// The analogue of limpetMLIR's preprocessor (paper Sec. 3.2): analyzes AST
+// nodes to determine which values can be calculated at compile time —
+// arithmetic, mathematical calls and conditionals over constants — and
+// propagates them before code generation. Runs over the inlined
+// expressions of a ModelInfo.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EASYML_PREPROCESSOR_H
+#define LIMPET_EASYML_PREPROCESSOR_H
+
+#include "easyml/ModelInfo.h"
+
+namespace limpet {
+namespace easyml {
+
+/// Statistics of a preprocessor run.
+struct PreprocessorStats {
+  size_t FoldedNodes = 0;
+};
+
+/// Folds every compile-time-constant subtree of \p E into a Number node.
+/// Shares unchanged subtrees; counts folds into \p Stats when non-null.
+ExprPtr foldConstants(const ExprPtr &E, PreprocessorStats *Stats = nullptr);
+
+/// Runs constant folding over all inlined expressions of \p Info in place.
+PreprocessorStats preprocessModel(ModelInfo &Info);
+
+} // namespace easyml
+} // namespace limpet
+
+#endif // LIMPET_EASYML_PREPROCESSOR_H

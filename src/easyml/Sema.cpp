@@ -1,0 +1,528 @@
+//===- Sema.cpp -----------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+
+#include "easyml/ConstEval.h"
+#include "easyml/Parser.h"
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+struct FlatAssign {
+  std::string Target;
+  ExprPtr Value;
+  SourceLoc Loc;
+};
+
+class SemaImpl {
+public:
+  SemaImpl(const ParsedModel &PM, DiagnosticEngine &Diags)
+      : PM(PM), Diags(Diags) {}
+
+  std::optional<ModelInfo> run() {
+    Info.Name = PM.Name;
+    if (!flattenStatements())
+      return std::nullopt;
+    if (!collectAssignments())
+      return std::nullopt;
+    classifyNames();
+    if (!evaluateParams())
+      return std::nullopt;
+    if (!buildExternals())
+      return std::nullopt;
+    if (!buildStateVars())
+      return std::nullopt;
+    if (!checkReferences())
+      return std::nullopt;
+    if (!orderIntermediates())
+      return std::nullopt;
+    inlineAll();
+    buildLuts();
+    if (Diags.hasErrors())
+      return std::nullopt;
+    return std::move(Info);
+  }
+
+private:
+  const ParsedModel &PM;
+  DiagnosticEngine &Diags;
+  ModelInfo Info;
+
+  std::vector<FlatAssign> Assigns;
+  std::map<std::string, size_t> AssignIndex; // target -> index in Assigns
+  std::set<std::string> ParamNames, ExternalNames, StateNames,
+      IntermediateNames;
+  std::vector<std::string> IntermediateOrder; // topologically sorted
+  std::map<std::string, ExprPtr> InlinedIntermediate;
+
+  static bool isInitName(std::string_view Name) {
+    return endsWith(Name, "_init");
+  }
+  static bool isDiffName(std::string_view Name) {
+    return startsWith(Name, "diff_");
+  }
+  static std::string baseOfInit(std::string_view Name) {
+    return std::string(Name.substr(0, Name.size() - 5));
+  }
+  static std::string baseOfDiff(std::string_view Name) {
+    return std::string(Name.substr(5));
+  }
+
+  // --- step 1: desugar if statements into ternaries ----------------------
+
+  bool flattenStatements() {
+    for (const StmtPtr &S : PM.Statements)
+      if (!flattenStmt(*S))
+        return false;
+    return true;
+  }
+
+  bool flattenStmt(const Stmt &S) {
+    if (S.Kind == StmtKind::Assign) {
+      Assigns.push_back({S.Target, S.Value, S.Loc});
+      return true;
+    }
+    // If statement: recursively flatten both branches into local lists,
+    // then merge per assigned variable with a ternary on the condition.
+    std::vector<FlatAssign> Then, Else;
+    if (!flattenInto(S.Then, Then) || !flattenInto(S.Else, Else))
+      return false;
+    // Both branches must assign exactly the same set of variables: EasyML
+    // is single-assignment, so a variable assigned in only one branch
+    // would be undefined on the other path.
+    auto FindIn = [](std::vector<FlatAssign> &List, const std::string &Name)
+        -> FlatAssign * {
+      for (FlatAssign &A : List)
+        if (A.Target == Name)
+          return &A;
+      return nullptr;
+    };
+    for (FlatAssign &T : Then) {
+      FlatAssign *E = FindIn(Else, T.Target);
+      if (!E) {
+        Diags.error(T.Loc, "'" + T.Target +
+                               "' is assigned in the 'if' branch but not "
+                               "in the 'else' branch");
+        return false;
+      }
+      Assigns.push_back(
+          {T.Target, Expr::makeTernary(S.Cond, T.Value, E->Value, S.Loc),
+           T.Loc});
+    }
+    for (FlatAssign &E : Else)
+      if (!FindIn(Then, E.Target)) {
+        Diags.error(E.Loc, "'" + E.Target +
+                               "' is assigned in the 'else' branch but not "
+                               "in the 'if' branch");
+        return false;
+      }
+    return true;
+  }
+
+  bool flattenInto(const std::vector<StmtPtr> &Stmts,
+                   std::vector<FlatAssign> &Out) {
+    // Temporarily flatten into Out using a scratch SemaImpl-free recursion.
+    for (const StmtPtr &S : Stmts) {
+      if (S->Kind == StmtKind::Assign) {
+        Out.push_back({S->Target, S->Value, S->Loc});
+        continue;
+      }
+      std::vector<FlatAssign> Then, Else;
+      if (!flattenInto(S->Then, Then) || !flattenInto(S->Else, Else))
+        return false;
+      for (FlatAssign &T : Then) {
+        FlatAssign *Match = nullptr;
+        for (FlatAssign &E : Else)
+          if (E.Target == T.Target)
+            Match = &E;
+        if (!Match) {
+          Diags.error(T.Loc,
+                      "'" + T.Target +
+                          "' is assigned in only one branch of a nested if");
+          return false;
+        }
+        Out.push_back({T.Target,
+                       Expr::makeTernary(S->Cond, T.Value, Match->Value,
+                                         S->Loc),
+                       T.Loc});
+      }
+      for (FlatAssign &E : Else) {
+        bool Found = false;
+        for (FlatAssign &T : Then)
+          Found |= T.Target == E.Target;
+        if (!Found) {
+          Diags.error(E.Loc,
+                      "'" + E.Target +
+                          "' is assigned in only one branch of a nested if");
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // --- step 2: single-assignment check ------------------------------------
+
+  bool collectAssignments() {
+    for (size_t I = 0; I != Assigns.size(); ++I) {
+      auto [It, Inserted] = AssignIndex.try_emplace(Assigns[I].Target, I);
+      if (!Inserted) {
+        Diags.error(Assigns[I].Loc,
+                    "'" + Assigns[I].Target +
+                        "' is assigned more than once (EasyML follows "
+                        "single static assignment)");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const FlatAssign *findAssign(const std::string &Name) const {
+    auto It = AssignIndex.find(Name);
+    return It == AssignIndex.end() ? nullptr : &Assigns[It->second];
+  }
+
+  // --- step 3: name classification -----------------------------------------
+
+  void classifyNames() {
+    for (const auto &[Name, M] : PM.Markups) {
+      if (M.Param)
+        ParamNames.insert(Name);
+      if (M.External)
+        ExternalNames.insert(Name);
+    }
+    for (const FlatAssign &A : Assigns)
+      if (isDiffName(A.Target))
+        StateNames.insert(baseOfDiff(A.Target));
+    for (const FlatAssign &A : Assigns) {
+      const std::string &T = A.Target;
+      if (isDiffName(T) || isInitName(T) || ParamNames.count(T) ||
+          ExternalNames.count(T) || StateNames.count(T))
+        continue;
+      IntermediateNames.insert(T);
+    }
+  }
+
+  // --- step 4: parameters ---------------------------------------------------
+
+  bool evaluateParams() {
+    // Parameters may reference other parameters; iterate to a fixpoint.
+    std::map<std::string, double> Values;
+    EvalEnv Env = [&](std::string_view Name) -> std::optional<double> {
+      auto It = Values.find(std::string(Name));
+      if (It == Values.end())
+        return std::nullopt;
+      return It->second;
+    };
+    // Keep declaration order for the parameter table.
+    std::vector<std::string> Order;
+    for (const std::string &Name : PM.DeclOrder)
+      if (ParamNames.count(Name))
+        Order.push_back(Name);
+
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (const std::string &Name : Order) {
+        if (Values.count(Name))
+          continue;
+        const FlatAssign *A = findAssign(Name);
+        if (!A) {
+          Diags.error(SourceLoc(), "parameter '" + Name +
+                                       "' has no initializer");
+          return false;
+        }
+        if (auto V = evalExpr(*A->Value, Env)) {
+          Values[Name] = *V;
+          Progress = true;
+        }
+      }
+    }
+    for (const std::string &Name : Order) {
+      if (!Values.count(Name)) {
+        const FlatAssign *A = findAssign(Name);
+        Diags.error(A->Loc, "parameter '" + Name +
+                                "' initializer is not a constant expression");
+        return false;
+      }
+      Info.Params.push_back({Name, Values[Name]});
+    }
+    return true;
+  }
+
+  /// Evaluates a constant expression allowing references to parameters.
+  std::optional<double> evalWithParams(const Expr &E) {
+    return evalExpr(E, [&](std::string_view Name) -> std::optional<double> {
+      int Idx = Info.paramIndex(Name);
+      if (Idx < 0)
+        return std::nullopt;
+      return Info.Params[Idx].DefaultValue;
+    });
+  }
+
+  double initValueFor(const std::string &Name, bool &Found) {
+    const FlatAssign *A = findAssign(Name + "_init");
+    Found = A != nullptr;
+    if (!A)
+      return 0;
+    auto V = evalWithParams(*A->Value);
+    if (!V) {
+      Diags.error(A->Loc, "'" + Name +
+                              "_init' is not a constant expression");
+      return 0;
+    }
+    return *V;
+  }
+
+  // --- step 5: externals ------------------------------------------------------
+
+  bool buildExternals() {
+    for (const std::string &Name : PM.DeclOrder) {
+      if (!ExternalNames.count(Name))
+        continue;
+      ExternalInfo Ext;
+      Ext.Name = Name;
+      bool HasInit = false;
+      Ext.Init = initValueFor(Name, HasInit);
+      const FlatAssign *A = findAssign(Name);
+      if (A) {
+        Ext.IsComputed = true;
+        Ext.Value = A->Value;
+      }
+      if (const FlatAssign *D = findAssign("diff_" + Name)) {
+        Diags.error(D->Loc, "external variable '" + Name +
+                                "' cannot have a differential equation");
+        return false;
+      }
+      Info.Externals.push_back(std::move(Ext));
+    }
+    // Mark reads.
+    auto MarkReads = [&](const Expr &E) {
+      for (const std::string &V : exprFreeVars(E)) {
+        int Idx = Info.externalIndex(V);
+        if (Idx >= 0)
+          Info.Externals[Idx].IsRead = true;
+      }
+    };
+    for (const FlatAssign &A : Assigns)
+      if (!isInitName(A.Target) && !ParamNames.count(A.Target))
+        MarkReads(*A.Value);
+    return true;
+  }
+
+  // --- step 6: state variables -------------------------------------------------
+
+  /// State variables in first-mention order: a state variable may only
+  /// ever appear as "diff_X" / "X_init" targets, so derive the order from
+  /// any of its spellings in the declaration order.
+  std::vector<std::string> stateVarOrder() const {
+    std::vector<std::string> Order;
+    auto Push = [&](const std::string &Name) {
+      if (!StateNames.count(Name))
+        return;
+      for (const std::string &Existing : Order)
+        if (Existing == Name)
+          return;
+      Order.push_back(Name);
+    };
+    for (const std::string &Name : PM.DeclOrder) {
+      Push(Name);
+      if (isDiffName(Name))
+        Push(baseOfDiff(Name));
+      if (isInitName(Name))
+        Push(baseOfInit(Name));
+    }
+    return Order;
+  }
+
+  bool buildStateVars() {
+    for (const std::string &Name : stateVarOrder()) {
+      if (!StateNames.count(Name))
+        continue;
+      if (ParamNames.count(Name)) {
+        Diags.error(SourceLoc(), "parameter '" + Name +
+                                     "' cannot have a differential equation");
+        return false;
+      }
+      StateVarInfo SV;
+      SV.Name = Name;
+      bool HasInit = false;
+      SV.Init = initValueFor(Name, HasInit);
+      if (!HasInit)
+        Diags.warning(SourceLoc(), "state variable '" + Name +
+                                       "' has no '_init'; defaulting to 0");
+      SV.DiffRaw = findAssign("diff_" + Name)->Value;
+      if (const VarMarkups *M = PM.findMarkups(Name); M && !M->Method.empty()) {
+        if (!parseIntegMethod(M->Method, SV.Method)) {
+          Diags.error(SourceLoc(),
+                      "unknown integration method '" + M->Method + "' on '" +
+                          Name + "'");
+          return false;
+        }
+      }
+      if (const FlatAssign *Direct = findAssign(Name)) {
+        Diags.error(Direct->Loc,
+                    "state variable '" + Name +
+                        "' cannot be assigned directly (it is integrated "
+                        "from diff_" +
+                        Name + ")");
+        return false;
+      }
+      Info.StateVars.push_back(std::move(SV));
+    }
+    // A model without state variables cannot be integrated.
+    if (Info.StateVars.empty())
+      Diags.warning(SourceLoc(),
+                    "model has no state variables (no diff_ equations)");
+    return true;
+  }
+
+  // --- step 7: reference checking -----------------------------------------------
+
+  bool isKnownName(const std::string &Name) const {
+    return ParamNames.count(Name) || ExternalNames.count(Name) ||
+           StateNames.count(Name) || IntermediateNames.count(Name);
+  }
+
+  bool checkReferences() {
+    bool Ok = true;
+    for (const FlatAssign &A : Assigns) {
+      if (isInitName(A.Target) || ParamNames.count(A.Target))
+        continue; // already constant-evaluated
+      for (const std::string &Ref : exprFreeVars(*A.Value)) {
+        if (isKnownName(Ref))
+          continue;
+        Diags.error(A.Loc, "use of undefined variable '" + Ref + "' in '" +
+                               A.Target + "'");
+        Ok = false;
+      }
+    }
+    // Unknown init/diff targets.
+    for (const FlatAssign &A : Assigns) {
+      if (isInitName(A.Target)) {
+        std::string Base = baseOfInit(A.Target);
+        if (!isKnownName(Base))
+          Diags.warning(A.Loc, "'" + A.Target +
+                                   "' initializes unknown variable '" + Base +
+                                   "'");
+      }
+    }
+    return Ok;
+  }
+
+  // --- step 8: topological ordering of intermediates ------------------------------
+
+  bool orderIntermediates() {
+    std::set<std::string> Visiting, Done;
+    bool Ok = true;
+    std::function<void(const std::string &)> Visit =
+        [&](const std::string &Name) {
+          if (Done.count(Name) || !Ok)
+            return;
+          if (Visiting.count(Name)) {
+            Diags.error(findAssign(Name)->Loc,
+                        "cyclic dependency through intermediate '" + Name +
+                            "'");
+            Ok = false;
+            return;
+          }
+          Visiting.insert(Name);
+          for (const std::string &Ref :
+               exprFreeVars(*findAssign(Name)->Value))
+            if (IntermediateNames.count(Ref))
+              Visit(Ref);
+          Visiting.erase(Name);
+          Done.insert(Name);
+          IntermediateOrder.push_back(Name);
+        };
+    for (const std::string &Name : PM.DeclOrder)
+      if (IntermediateNames.count(Name))
+        Visit(Name);
+    if (!Ok)
+      return false;
+    for (const std::string &Name : IntermediateOrder)
+      Info.Intermediates.push_back({Name, findAssign(Name)->Value});
+    return true;
+  }
+
+  // --- step 9: inlining ---------------------------------------------------------
+
+  /// Rewrites \p E replacing references to already-inlined definitions
+  /// (intermediates and computed externals). Shares unchanged subtrees.
+  /// A reference to a name that is inlinable but not yet in the map (a
+  /// computed external's self-reference, e.g. `Iion = Iion + ...`) stays a
+  /// plain load of the incoming value.
+  ExprPtr inlineExpr(const ExprPtr &E) {
+    if (E->Kind == ExprKind::VarRef) {
+      auto It = InlinedIntermediate.find(E->VarName);
+      return It == InlinedIntermediate.end() ? E : It->second;
+    }
+    bool AnyRef = false;
+    for (const std::string &Ref : exprFreeVars(*E))
+      AnyRef |= InlinedIntermediate.count(Ref) != 0;
+    if (!AnyRef)
+      return E;
+    auto Copy = std::make_shared<Expr>(*E);
+    for (ExprPtr &Op : Copy->Operands)
+      Op = inlineExpr(Op);
+    return Copy;
+  }
+
+  void inlineAll() {
+    for (const std::string &Name : IntermediateOrder)
+      InlinedIntermediate[Name] = inlineExpr(findAssign(Name)->Value);
+    // Computed externals participate in inlining: EasyML is SSA, so a
+    // reference to e.g. Iion elsewhere means its equation's value.
+    for (ExternalInfo &Ext : Info.Externals)
+      if (Ext.IsComputed) {
+        Ext.Value = inlineExpr(Ext.Value);
+        InlinedIntermediate[Ext.Name] = Ext.Value;
+      }
+    for (StateVarInfo &SV : Info.StateVars)
+      SV.Diff = inlineExpr(SV.DiffRaw);
+  }
+
+  // --- step 10: LUT specs ----------------------------------------------------------
+
+  void buildLuts() {
+    for (const auto &[Name, M] : PM.Markups) {
+      if (!M.HasLookup)
+        continue;
+      if (Info.externalIndex(Name) < 0 && Info.stateVarIndex(Name) < 0) {
+        Diags.error(SourceLoc(),
+                    "'.lookup()' target '" + Name +
+                        "' must be an external or a state variable");
+        continue;
+      }
+      if (M.LookupStep <= 0 || M.LookupHi <= M.LookupLo) {
+        Diags.error(SourceLoc(), "invalid '.lookup()' range on '" + Name +
+                                     "'");
+        continue;
+      }
+      Info.Luts.push_back({Name, M.LookupLo, M.LookupHi, M.LookupStep});
+    }
+  }
+};
+
+} // namespace
+
+std::optional<ModelInfo> easyml::analyzeModel(const ParsedModel &PM,
+                                              DiagnosticEngine &Diags) {
+  return SemaImpl(PM, Diags).run();
+}
+
+std::optional<ModelInfo> easyml::compileModelInfo(std::string_view Name,
+                                                  std::string_view Source,
+                                                  DiagnosticEngine &Diags) {
+  ParsedModel PM = parseModel(Name, Source, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return analyzeModel(PM, Diags);
+}

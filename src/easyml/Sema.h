@@ -1,0 +1,36 @@
+//===- Sema.h - EasyML semantic analysis ------------------------*- C++-*-===//
+//
+// Turns a ParsedModel into a ModelInfo: classifies names into parameters /
+// externals / state variables / intermediates, desugars if statements into
+// conditional expressions, checks the single-assignment property, orders
+// intermediates topologically, and produces fully inlined right-hand sides
+// for every state derivative and computed external.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EASYML_SEMA_H
+#define LIMPET_EASYML_SEMA_H
+
+#include "easyml/ModelInfo.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace limpet {
+namespace easyml {
+
+struct ParsedModel;
+
+/// Analyzes \p PM. Returns nullopt (with errors in \p Diags) on failure.
+std::optional<ModelInfo> analyzeModel(const ParsedModel &PM,
+                                      DiagnosticEngine &Diags);
+
+/// Convenience: parse + analyze in one step.
+std::optional<ModelInfo> compileModelInfo(std::string_view Name,
+                                          std::string_view Source,
+                                          DiagnosticEngine &Diags);
+
+} // namespace easyml
+} // namespace limpet
+
+#endif // LIMPET_EASYML_SEMA_H

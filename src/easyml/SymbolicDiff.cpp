@@ -1,0 +1,209 @@
+//===- SymbolicDiff.cpp ---------------------------------------------------===//
+
+#include "easyml/SymbolicDiff.h"
+
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+ExprPtr num(double V) { return Expr::makeNumber(V); }
+
+bool isZero(const ExprPtr &E) { return E->isNumber(0.0); }
+bool isOne(const ExprPtr &E) { return E->isNumber(1.0); }
+
+/// a + b with zero-propagation.
+ExprPtr add(ExprPtr A, ExprPtr B) {
+  if (isZero(A))
+    return B;
+  if (isZero(B))
+    return A;
+  return Expr::makeBinary(BinaryOp::Add, std::move(A), std::move(B));
+}
+
+/// a - b with zero-propagation.
+ExprPtr sub(ExprPtr A, ExprPtr B) {
+  if (isZero(B))
+    return A;
+  if (isZero(A))
+    return Expr::makeUnary(UnaryOp::Neg, std::move(B));
+  return Expr::makeBinary(BinaryOp::Sub, std::move(A), std::move(B));
+}
+
+/// a * b with zero/one-propagation.
+ExprPtr mul(ExprPtr A, ExprPtr B) {
+  if (isZero(A) || isZero(B))
+    return num(0);
+  if (isOne(A))
+    return B;
+  if (isOne(B))
+    return A;
+  return Expr::makeBinary(BinaryOp::Mul, std::move(A), std::move(B));
+}
+
+/// a / b with zero-propagation on the numerator.
+ExprPtr div(ExprPtr A, ExprPtr B) {
+  if (isZero(A))
+    return num(0);
+  if (isOne(B))
+    return A;
+  return Expr::makeBinary(BinaryOp::Div, std::move(A), std::move(B));
+}
+
+ExprPtr call1(BuiltinFn Fn, ExprPtr A) {
+  return Expr::makeCall(Fn, {std::move(A)});
+}
+
+ExprPtr neg(ExprPtr A) {
+  if (isZero(A))
+    return A;
+  return Expr::makeUnary(UnaryOp::Neg, std::move(A));
+}
+
+class Differ {
+public:
+  explicit Differ(std::string_view Var) : Var(Var) {}
+
+  ExprPtr diff(const ExprPtr &E) {
+    // Entire subtrees not mentioning Var have derivative zero; this keeps
+    // the results small without a full simplifier.
+    if (!exprReferences(*E, Var))
+      return num(0);
+
+    switch (E->Kind) {
+    case ExprKind::Number:
+    case ExprKind::LutRef:
+      return num(0);
+    case ExprKind::VarRef:
+      return E->VarName == Var ? num(1) : num(0);
+    case ExprKind::Unary:
+      if (E->UnOp == UnaryOp::Neg)
+        return neg(diff(E->Operands[0]));
+      // d(!x)/dx is zero almost everywhere.
+      return num(0);
+    case ExprKind::Binary:
+      return diffBinary(*E);
+    case ExprKind::Ternary:
+      // Differentiate both arms; keep the original condition.
+      return Expr::makeTernary(E->Operands[0], diff(E->Operands[1]),
+                               diff(E->Operands[2]));
+    case ExprKind::Call:
+      return diffCall(*E);
+    }
+    limpet_unreachable("invalid expr kind");
+  }
+
+private:
+  std::string_view Var;
+
+  ExprPtr diffBinary(const Expr &E) {
+    const ExprPtr &A = E.Operands[0];
+    const ExprPtr &B = E.Operands[1];
+    switch (E.BinOp) {
+    case BinaryOp::Add:
+      return add(diff(A), diff(B));
+    case BinaryOp::Sub:
+      return sub(diff(A), diff(B));
+    case BinaryOp::Mul:
+      return add(mul(diff(A), B), mul(A, diff(B)));
+    case BinaryOp::Div: {
+      // (a/b)' = a'/b - a b' / b^2
+      ExprPtr Da = diff(A), Db = diff(B);
+      if (isZero(Db))
+        return div(std::move(Da), B);
+      return sub(div(Da, B),
+                 div(mul(A, Db), mul(B, B)));
+    }
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      // Piecewise-constant almost everywhere.
+      return num(0);
+    }
+    limpet_unreachable("invalid binary op");
+  }
+
+  ExprPtr diffCall(const Expr &E) {
+    const ExprPtr &A = E.Operands[0];
+    ExprPtr Da = diff(A);
+    auto Shared = std::make_shared<Expr>(E); // the original call f(a)
+
+    switch (E.Fn) {
+    case BuiltinFn::Exp:
+      return mul(std::move(Da), Shared);
+    case BuiltinFn::Expm1:
+      return mul(std::move(Da), call1(BuiltinFn::Exp, A));
+    case BuiltinFn::Log:
+      return div(std::move(Da), A);
+    case BuiltinFn::Log10:
+      return div(std::move(Da), mul(A, num(2.302585092994046)));
+    case BuiltinFn::Sqrt:
+      return div(std::move(Da), mul(num(2), Shared));
+    case BuiltinFn::Sin:
+      return mul(std::move(Da), call1(BuiltinFn::Cos, A));
+    case BuiltinFn::Cos:
+      return neg(mul(std::move(Da), call1(BuiltinFn::Sin, A)));
+    case BuiltinFn::Tan: {
+      // 1 + tan^2
+      ExprPtr T = call1(BuiltinFn::Tan, A);
+      return mul(std::move(Da), add(num(1), mul(T, T)));
+    }
+    case BuiltinFn::Tanh: {
+      ExprPtr T = call1(BuiltinFn::Tanh, A);
+      return mul(std::move(Da), sub(num(1), mul(T, T)));
+    }
+    case BuiltinFn::Sinh:
+      return mul(std::move(Da), call1(BuiltinFn::Cosh, A));
+    case BuiltinFn::Cosh:
+      return mul(std::move(Da), call1(BuiltinFn::Sinh, A));
+    case BuiltinFn::Atan:
+      return div(std::move(Da), add(num(1), mul(A, A)));
+    case BuiltinFn::Asin:
+      return div(std::move(Da),
+                 call1(BuiltinFn::Sqrt, sub(num(1), mul(A, A))));
+    case BuiltinFn::Acos:
+      return neg(div(std::move(Da),
+                     call1(BuiltinFn::Sqrt, sub(num(1), mul(A, A)))));
+    case BuiltinFn::Fabs: {
+      // sign(a) * a' expressed as a >= 0 ? a' : -a'.
+      ExprPtr Cond = Expr::makeBinary(BinaryOp::Ge, A, num(0));
+      return Expr::makeTernary(std::move(Cond), Da, neg(Da));
+    }
+    case BuiltinFn::Floor:
+    case BuiltinFn::Ceil:
+      return num(0);
+    case BuiltinFn::Square:
+      return mul(mul(num(2), A), std::move(Da));
+    case BuiltinFn::Cube:
+      return mul(mul(num(3), mul(A, A)), std::move(Da));
+    case BuiltinFn::Pow: {
+      const ExprPtr &B = E.Operands[1];
+      ExprPtr Db = diff(B);
+      if (isZero(Db)) {
+        // d(a^c) = c * a^(c-1) * a'
+        ExprPtr Exponent = sub(B, num(1));
+        return mul(mul(B, Expr::makeCall(BuiltinFn::Pow, {A, Exponent})),
+                   std::move(Da));
+      }
+      // General case: a^b * (b' ln a + b a'/a).
+      ExprPtr Term = add(mul(Db, call1(BuiltinFn::Log, A)),
+                         div(mul(B, Da), A));
+      return mul(Shared, std::move(Term));
+    }
+    }
+    limpet_unreachable("invalid builtin");
+  }
+};
+
+} // namespace
+
+ExprPtr easyml::differentiate(const ExprPtr &E, std::string_view Var) {
+  return Differ(Var).diff(E);
+}

@@ -1,0 +1,27 @@
+//===- SymbolicDiff.h - Symbolic differentiation ----------------*- C++-*-===//
+//
+// Computes d(expr)/d(var) symbolically. Used by the Rush-Larsen and Sundnes
+// integrators (which need the local linearization df/dy) and by markov_be
+// (which needs f' for Newton iterations). Ternaries differentiate each arm
+// under the original condition; comparisons/conditions are treated as
+// locally constant (their derivative contribution is zero almost
+// everywhere).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EASYML_SYMBOLICDIFF_H
+#define LIMPET_EASYML_SYMBOLICDIFF_H
+
+#include "easyml/Ast.h"
+
+namespace limpet {
+namespace easyml {
+
+/// Returns d\p E / d\p Var as a new expression tree (lightly simplified:
+/// zero/one propagation is applied on the fly).
+ExprPtr differentiate(const ExprPtr &E, std::string_view Var);
+
+} // namespace easyml
+} // namespace limpet
+
+#endif // LIMPET_EASYML_SYMBOLICDIFF_H

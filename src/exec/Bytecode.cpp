@@ -1,0 +1,178 @@
+//===- Bytecode.cpp -------------------------------------------------------===//
+
+#include "exec/Bytecode.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+using namespace limpet;
+using namespace limpet::exec;
+
+std::string_view exec::bcOpName(BcOp Op) {
+  switch (Op) {
+  case BcOp::ConstF:
+    return "const";
+  case BcOp::Copy:
+    return "copy";
+  case BcOp::LoadState:
+    return "load.state";
+  case BcOp::StoreState:
+    return "store.state";
+  case BcOp::LoadExt:
+    return "load.ext";
+  case BcOp::StoreExt:
+    return "store.ext";
+  case BcOp::LoadParam:
+    return "load.param";
+  case BcOp::Add:
+    return "add";
+  case BcOp::Sub:
+    return "sub";
+  case BcOp::Mul:
+    return "mul";
+  case BcOp::Div:
+    return "div";
+  case BcOp::Rem:
+    return "rem";
+  case BcOp::Neg:
+    return "neg";
+  case BcOp::Min:
+    return "min";
+  case BcOp::Max:
+    return "max";
+  case BcOp::CmpLT:
+    return "cmp.lt";
+  case BcOp::CmpLE:
+    return "cmp.le";
+  case BcOp::CmpGT:
+    return "cmp.gt";
+  case BcOp::CmpGE:
+    return "cmp.ge";
+  case BcOp::CmpEQ:
+    return "cmp.eq";
+  case BcOp::CmpNE:
+    return "cmp.ne";
+  case BcOp::And:
+    return "and";
+  case BcOp::Or:
+    return "or";
+  case BcOp::Xor:
+    return "xor";
+  case BcOp::Select:
+    return "select";
+  case BcOp::Exp:
+    return "exp";
+  case BcOp::Expm1:
+    return "expm1";
+  case BcOp::Log:
+    return "log";
+  case BcOp::Log10:
+    return "log10";
+  case BcOp::Sqrt:
+    return "sqrt";
+  case BcOp::Sin:
+    return "sin";
+  case BcOp::Cos:
+    return "cos";
+  case BcOp::Tan:
+    return "tan";
+  case BcOp::Tanh:
+    return "tanh";
+  case BcOp::Sinh:
+    return "sinh";
+  case BcOp::Cosh:
+    return "cosh";
+  case BcOp::Atan:
+    return "atan";
+  case BcOp::Asin:
+    return "asin";
+  case BcOp::Acos:
+    return "acos";
+  case BcOp::Abs:
+    return "abs";
+  case BcOp::Floor:
+    return "floor";
+  case BcOp::Ceil:
+    return "ceil";
+  case BcOp::Pow:
+    return "pow";
+  case BcOp::LutCoord:
+    return "lut.coord";
+  case BcOp::LutInterp:
+    return "lut.interp";
+  case BcOp::LutInterpCubic:
+    return "lut.interp_cubic";
+  }
+  limpet_unreachable("invalid bytecode op");
+}
+
+static void printInstr(std::string &Out, const BcInstr &I) {
+  Out += "  r" + std::to_string(I.Dst) + " = " + std::string(bcOpName(I.Op));
+  switch (I.Op) {
+  case BcOp::ConstF:
+    Out += " " + formatDouble(I.Imm);
+    break;
+  case BcOp::LoadState:
+  case BcOp::LoadExt:
+  case BcOp::LoadParam:
+    Out += " [" + std::to_string(I.Aux) + "]";
+    break;
+  case BcOp::StoreState:
+  case BcOp::StoreExt:
+    Out += " [" + std::to_string(I.Aux) + "], r" + std::to_string(I.A);
+    break;
+  case BcOp::LutCoord:
+    Out += " table " + std::to_string(I.Aux) + ", r" + std::to_string(I.A) +
+           " -> frac r" + std::to_string(I.C);
+    break;
+  case BcOp::LutInterp:
+  case BcOp::LutInterpCubic:
+    Out += " table " + std::to_string(I.Aux) + " col " +
+           std::to_string(I.Aux2) + ", r" + std::to_string(I.A) + ", r" +
+           std::to_string(I.B);
+    break;
+  case BcOp::Select:
+    Out += " r" + std::to_string(I.A) + ", r" + std::to_string(I.B) + ", r" +
+           std::to_string(I.C);
+    break;
+  case BcOp::Copy:
+  case BcOp::Neg:
+  case BcOp::Exp:
+  case BcOp::Expm1:
+  case BcOp::Log:
+  case BcOp::Log10:
+  case BcOp::Sqrt:
+  case BcOp::Sin:
+  case BcOp::Cos:
+  case BcOp::Tan:
+  case BcOp::Tanh:
+  case BcOp::Sinh:
+  case BcOp::Cosh:
+  case BcOp::Atan:
+  case BcOp::Asin:
+  case BcOp::Acos:
+  case BcOp::Abs:
+  case BcOp::Floor:
+  case BcOp::Ceil:
+    Out += " r" + std::to_string(I.A);
+    break;
+  default:
+    Out += " r" + std::to_string(I.A) + ", r" + std::to_string(I.B);
+    break;
+  }
+  Out += "\n";
+}
+
+std::string BcProgram::str() const {
+  std::string Out;
+  Out += "program regs=" + std::to_string(NumRegs) +
+         " layout=" + std::string(stateLayoutName(Layout)) +
+         " numsv=" + std::to_string(NumSv) + "\n";
+  Out += "prologue:\n";
+  for (const BcInstr &I : Prologue)
+    printInstr(Out, I);
+  Out += "body:\n";
+  for (const BcInstr &I : Body)
+    printInstr(Out, I);
+  return Out;
+}

@@ -1,0 +1,140 @@
+//===- Bytecode.h - Register bytecode for compute kernels -------*- C++-*-===//
+//
+// The execution format of compiled kernels. IR kernels are linearized into
+// a register program: a prologue executed once per kernel invocation
+// (constants, parameter loads, hoisted invariants) and a straight-line
+// body executed per cell (scalar engine) or per W-cell block (vector
+// engine). Registers hold doubles; boolean masks are 0.0/1.0 and LUT row
+// indices are stored as exact small doubles.
+//
+// This substitutes for the paper's clang/LLVM native code generation: the
+// relative cost structure (per-op dispatch amortized over W lanes,
+// layout-dependent memory access, vectorized math) mirrors the native
+// story while remaining portable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EXEC_BYTECODE_H
+#define LIMPET_EXEC_BYTECODE_H
+
+#include "codegen/KernelSpec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace exec {
+
+enum class BcOp : uint8_t {
+  // Data movement.
+  ConstF,     ///< dst = Imm
+  Copy,       ///< dst = A
+  LoadState,  ///< dst = state[cell, sv=Aux] (layout-aware)
+  StoreState, ///< state[cell, sv=Aux] = A
+  LoadExt,    ///< dst = ext[Aux][cell]
+  StoreExt,   ///< ext[Aux][cell] = A
+  LoadParam,  ///< dst = params[Aux]
+  // Arithmetic.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Neg,
+  Min,
+  Max,
+  // Comparisons (produce 0.0 / 1.0).
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  CmpEQ,
+  CmpNE,
+  // Mask logic over 0/1 doubles.
+  And,
+  Or,
+  Xor,
+  Select, ///< dst = A != 0 ? B : C
+  // Math calls.
+  Exp,
+  Expm1,
+  Log,
+  Log10,
+  Sqrt,
+  Sin,
+  Cos,
+  Tan,
+  Tanh,
+  Sinh,
+  Cosh,
+  Atan,
+  Asin,
+  Acos,
+  Abs,
+  Floor,
+  Ceil,
+  Pow, ///< dst = A ** B
+  // Lookup tables.
+  LutCoord,  ///< dst = rowIndex(table=Aux, x=A), C = fraction register
+  LutInterp, ///< dst = interp(table=Aux, col=Aux2, idx=A, frac=B)
+  /// dst = Catmull-Rom cubic interp(table=Aux, col=Aux2, idx=A, frac=B)
+  LutInterpCubic,
+};
+
+/// Human-readable opcode name ("add", "lut.coord", ...).
+std::string_view bcOpName(BcOp Op);
+
+/// One instruction. Dst/A/B/C are register numbers; Aux/Aux2 carry
+/// table/column/variable indices; Imm carries the ConstF payload.
+struct BcInstr {
+  BcOp Op;
+  uint16_t Dst = 0;
+  uint16_t A = 0;
+  uint16_t B = 0;
+  uint16_t C = 0;
+  int32_t Aux = 0;
+  int32_t Aux2 = 0;
+  double Imm = 0;
+};
+
+/// Static cost/traffic model of one program, used by the roofline bench
+/// (paper Fig. 6) in place of hardware performance counters.
+struct InstrCounts {
+  double FlopsPerCell = 0;
+  double LoadBytesPerCell = 0;
+  double StoreBytesPerCell = 0;
+
+  double operationalIntensity() const {
+    double Bytes = LoadBytesPerCell + StoreBytesPerCell;
+    return Bytes > 0 ? FlopsPerCell / Bytes : 0;
+  }
+};
+
+/// A compiled kernel program.
+struct BcProgram {
+  std::vector<BcInstr> Prologue;
+  std::vector<BcInstr> Body;
+  unsigned NumRegs = 0;
+
+  /// Registers preloaded with the dt / t kernel arguments (when used).
+  bool HasDt = false, HasT = false;
+  uint16_t DtReg = 0, TReg = 0;
+
+  // Layout metadata for state addressing.
+  codegen::StateLayout Layout = codegen::StateLayout::AoS;
+  unsigned NumSv = 0;
+  unsigned AoSoAW = 1; ///< AoSoA block width (1 for other layouts)
+  unsigned NumExternals = 0;
+  unsigned NumParams = 0;
+
+  InstrCounts Counts;
+
+  /// Disassembles the program for tests and debugging.
+  std::string str() const;
+};
+
+} // namespace exec
+} // namespace limpet
+
+#endif // LIMPET_EXEC_BYTECODE_H

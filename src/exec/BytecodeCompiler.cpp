@@ -1,0 +1,457 @@
+//===- BytecodeCompiler.cpp -----------------------------------------------===//
+
+#include "exec/BytecodeCompiler.h"
+
+#include "runtime/VecMath.h"
+#include "support/Casting.h"
+
+#include <map>
+
+using namespace limpet;
+using namespace limpet::exec;
+using namespace limpet::ir;
+using namespace limpet::codegen;
+
+namespace {
+
+/// True for ops that exist only to compute scalar addresses; the engines
+/// re-derive addressing, so these are not compiled.
+static bool isAddressArith(const Operation *Op) {
+  if (Op->opcode() == OpCode::LutCoord)
+    return false;
+  if (Op->numResults() == 0)
+    return false;
+  for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+    if (!Op->result(I)->type().isI64())
+      return false;
+  return true;
+}
+
+class CompilerImpl {
+public:
+  CompilerImpl(const GeneratedKernel &K, Operation *Func) : K(K), Func(Func) {}
+
+  BcProgram run() {
+    P.Layout = K.Options.Layout;
+    P.NumSv = K.Abi.NumStateVars;
+    P.AoSoAW =
+        K.Options.Layout == StateLayout::AoSoA ? K.Options.AoSoABlockWidth : 1;
+    P.NumExternals = K.Abi.NumExternals;
+    P.NumParams = K.Abi.NumParams;
+
+    Block &Entry = funcBody(Func);
+
+    // dt / t live in fixed persistent registers the engines preload.
+    P.HasDt = P.HasT = true;
+    P.DtReg = allocReg();
+    P.TReg = allocReg();
+    RegOf[Entry.argument(K.Abi.dtArg())] = P.DtReg;
+    RegOf[Entry.argument(K.Abi.tArg())] = P.TReg;
+
+    // Locate the cell loop.
+    Operation *CellLoop = nullptr;
+    for (Operation *Op : Entry.ops())
+      if (Op->opcode() == OpCode::ScfFor && Op->hasAttr(attrs::CellLoop))
+        CellLoop = Op;
+    assert(CellLoop && "kernel has no cell loop");
+
+    // Compile the prologue (everything before/after the loop except
+    // return). Prologue results live in persistent registers.
+    InPrologue = true;
+    for (Operation *Op : Entry.ops()) {
+      if (Op == CellLoop || Op->opcode() == OpCode::FuncReturn)
+        continue;
+      compileOp(Op, P.Prologue);
+    }
+
+    // Liveness pre-pass over the body: count compiled uses per value.
+    InPrologue = false;
+    Block &Body = forBody(CellLoop);
+    for (Operation *Op : Body.ops()) {
+      if (Op->opcode() == OpCode::ScfYield || isAddressArith(Op))
+        continue;
+      for (Value *V : Op->operands())
+        if (!V->type().isI64() || definedByLutCoord(V))
+          ++BodyUseCount[V];
+    }
+
+    for (Operation *Op : Body.ops()) {
+      if (Op->opcode() == OpCode::ScfYield || isAddressArith(Op))
+        continue;
+      compileOp(Op, P.Body);
+    }
+
+    P.NumRegs = NextReg;
+    computeCounts();
+    return std::move(P);
+  }
+
+private:
+  const GeneratedKernel &K;
+  Operation *Func;
+  BcProgram P;
+  bool InPrologue = true;
+
+  std::map<Value *, uint16_t> RegOf;
+  std::map<Value *, unsigned> BodyUseCount;
+  std::vector<uint16_t> FreeRegs;
+  /// Registers whose last use is the current instruction. They become
+  /// reusable only after the destination is allocated, so a destination
+  /// never aliases a source (the engines rely on this for __restrict lane
+  /// loops).
+  std::vector<uint16_t> PendingFrees;
+  unsigned NextReg = 0;
+  /// Registers allocated during the prologue are persistent.
+  unsigned PersistentRegs = 0;
+
+  static bool definedByLutCoord(Value *V) {
+    auto *Res = dyn_cast<OpResult>(V);
+    return Res && Res->owner()->opcode() == OpCode::LutCoord;
+  }
+
+  uint16_t allocReg() {
+    if (!InPrologue && !FreeRegs.empty()) {
+      uint16_t R = FreeRegs.back();
+      FreeRegs.pop_back();
+      return R;
+    }
+    assert(NextReg < 0xFFFF && "register file overflow");
+    uint16_t R = uint16_t(NextReg++);
+    if (InPrologue)
+      PersistentRegs = NextReg;
+    return R;
+  }
+
+  /// Returns the register of \p V.
+  uint16_t regOf(Value *V) {
+    auto It = RegOf.find(V);
+    if (It != RegOf.end())
+      return It->second;
+    limpet_unreachable("operand has no register (unexpected kernel shape)");
+  }
+
+  /// Consumes one use of \p V in the body; its register becomes reusable
+  /// after this instruction's destination is allocated.
+  uint16_t useOperand(Value *V) {
+    uint16_t R = regOf(V);
+    if (InPrologue)
+      return R;
+    auto It = BodyUseCount.find(V);
+    if (It != BodyUseCount.end() && --It->second == 0 &&
+        R >= PersistentRegs)
+      PendingFrees.push_back(R);
+    return R;
+  }
+
+  /// Makes the registers released by the current instruction available.
+  void flushFrees() {
+    FreeRegs.insert(FreeRegs.end(), PendingFrees.begin(),
+                    PendingFrees.end());
+    PendingFrees.clear();
+  }
+
+  void define(Value *V, uint16_t R) { RegOf[V] = R; }
+
+  void emit(std::vector<BcInstr> &Out, BcInstr I) {
+    Out.push_back(I);
+    // Destinations are allocated before emit() in every case, so operand
+    // registers released by this instruction become reusable only now.
+    flushFrees();
+  }
+
+  void compileOp(Operation *Op, std::vector<BcInstr> &Out) {
+    if (isAddressArith(Op))
+      return;
+    switch (Op->opcode()) {
+    case OpCode::ArithConstantF: {
+      BcInstr I{BcOp::ConstF};
+      I.Imm = Op->attr("value").asFloat();
+      I.Dst = allocReg();
+      define(Op->result(0), I.Dst);
+      emit(Out, I);
+      return;
+    }
+    case OpCode::ArithConstantI: {
+      // Only i1 constants reach here (i64 ones are address arithmetic).
+      BcInstr I{BcOp::ConstF};
+      I.Imm = double(Op->attr("value").asInt());
+      I.Dst = allocReg();
+      define(Op->result(0), I.Dst);
+      emit(Out, I);
+      return;
+    }
+    case OpCode::VecBroadcast: {
+      BcInstr I{BcOp::Copy};
+      I.A = useOperand(Op->operand(0));
+      I.Dst = allocReg();
+      define(Op->result(0), I.Dst);
+      emit(Out, I);
+      return;
+    }
+    case OpCode::MemLoad:
+    case OpCode::VecLoad:
+    case OpCode::VecGather: {
+      std::string Role = Op->attr(attrs::Role).asString();
+      int32_t Index = int32_t(Op->attr(attrs::Index).asInt());
+      BcInstr I{Role == "state"  ? BcOp::LoadState
+                : Role == "ext"  ? BcOp::LoadExt
+                                 : BcOp::LoadParam};
+      I.Aux = Index;
+      I.Dst = allocReg();
+      define(Op->result(0), I.Dst);
+      emit(Out, I);
+      return;
+    }
+    case OpCode::MemStore:
+    case OpCode::VecStore:
+    case OpCode::VecScatter: {
+      std::string Role = Op->attr(attrs::Role).asString();
+      BcInstr I{Role == "state" ? BcOp::StoreState : BcOp::StoreExt};
+      I.Aux = int32_t(Op->attr(attrs::Index).asInt());
+      I.A = useOperand(Op->operand(0));
+      emit(Out, I);
+      return;
+    }
+    case OpCode::LutCoord: {
+      BcInstr I{BcOp::LutCoord};
+      I.Aux = int32_t(Op->attr("table").asInt());
+      I.A = useOperand(Op->operand(0));
+      I.Dst = allocReg();
+      I.C = allocReg();
+      define(Op->result(0), I.Dst);
+      define(Op->result(1), I.C);
+      emit(Out, I);
+      return;
+    }
+    case OpCode::LutInterp: {
+      Attribute Mode = Op->attr("interp");
+      BcInstr I{Mode && Mode.asString() == "cubic" ? BcOp::LutInterpCubic
+                                                   : BcOp::LutInterp};
+      I.Aux = int32_t(Op->attr("table").asInt());
+      I.Aux2 = int32_t(Op->attr("col").asInt());
+      I.A = useOperand(Op->operand(0));
+      I.B = useOperand(Op->operand(1));
+      I.Dst = allocReg();
+      define(Op->result(0), I.Dst);
+      emit(Out, I);
+      return;
+    }
+    case OpCode::ArithCmpF:
+    case OpCode::ArithCmpI: {
+      CmpPredicate Pred;
+      bool Ok = parseCmpPredicate(Op->attr("predicate").asString(), Pred);
+      assert(Ok && "invalid predicate");
+      (void)Ok;
+      BcOp Code;
+      switch (Pred) {
+      case CmpPredicate::LT:
+        Code = BcOp::CmpLT;
+        break;
+      case CmpPredicate::LE:
+        Code = BcOp::CmpLE;
+        break;
+      case CmpPredicate::GT:
+        Code = BcOp::CmpGT;
+        break;
+      case CmpPredicate::GE:
+        Code = BcOp::CmpGE;
+        break;
+      case CmpPredicate::EQ:
+        Code = BcOp::CmpEQ;
+        break;
+      case CmpPredicate::NE:
+        Code = BcOp::CmpNE;
+        break;
+      }
+      emitSimple(Op, Code, Out);
+      return;
+    }
+    default:
+      emitSimple(Op, mapSimpleOp(Op->opcode()), Out);
+      return;
+    }
+  }
+
+  /// Maps 1:1 pure ops.
+  static BcOp mapSimpleOp(OpCode Code) {
+    switch (Code) {
+    case OpCode::ArithAddF:
+      return BcOp::Add;
+    case OpCode::ArithSubF:
+      return BcOp::Sub;
+    case OpCode::ArithMulF:
+      return BcOp::Mul;
+    case OpCode::ArithDivF:
+      return BcOp::Div;
+    case OpCode::ArithRemF:
+      return BcOp::Rem;
+    case OpCode::ArithNegF:
+      return BcOp::Neg;
+    case OpCode::ArithMinF:
+      return BcOp::Min;
+    case OpCode::ArithMaxF:
+      return BcOp::Max;
+    case OpCode::ArithSelect:
+      return BcOp::Select;
+    case OpCode::ArithAndI:
+      return BcOp::And;
+    case OpCode::ArithOrI:
+      return BcOp::Or;
+    case OpCode::ArithXOrI:
+      return BcOp::Xor;
+    case OpCode::MathExp:
+      return BcOp::Exp;
+    case OpCode::MathExpm1:
+      return BcOp::Expm1;
+    case OpCode::MathLog:
+      return BcOp::Log;
+    case OpCode::MathLog10:
+      return BcOp::Log10;
+    case OpCode::MathPow:
+      return BcOp::Pow;
+    case OpCode::MathSqrt:
+      return BcOp::Sqrt;
+    case OpCode::MathSin:
+      return BcOp::Sin;
+    case OpCode::MathCos:
+      return BcOp::Cos;
+    case OpCode::MathTan:
+      return BcOp::Tan;
+    case OpCode::MathTanh:
+      return BcOp::Tanh;
+    case OpCode::MathSinh:
+      return BcOp::Sinh;
+    case OpCode::MathCosh:
+      return BcOp::Cosh;
+    case OpCode::MathAtan:
+      return BcOp::Atan;
+    case OpCode::MathAsin:
+      return BcOp::Asin;
+    case OpCode::MathAcos:
+      return BcOp::Acos;
+    case OpCode::MathAbs:
+      return BcOp::Abs;
+    case OpCode::MathFloor:
+      return BcOp::Floor;
+    case OpCode::MathCeil:
+      return BcOp::Ceil;
+    default:
+      limpet_unreachable("op not supported by the bytecode compiler");
+    }
+  }
+
+  void emitSimple(Operation *Op, BcOp Code, std::vector<BcInstr> &Out) {
+    BcInstr I{Code};
+    assert(Op->numOperands() >= 1 && Op->numOperands() <= 3 &&
+           "unexpected operand count");
+    I.A = useOperand(Op->operand(0));
+    if (Op->numOperands() > 1)
+      I.B = useOperand(Op->operand(1));
+    if (Op->numOperands() > 2)
+      I.C = useOperand(Op->operand(2));
+    I.Dst = allocReg();
+    define(Op->result(0), I.Dst);
+    emit(Out, I);
+  }
+
+  void computeCounts() {
+    InstrCounts &C = P.Counts;
+    using FC = vecmath::FlopCost;
+    for (const BcInstr &I : P.Body) {
+      switch (I.Op) {
+      case BcOp::ConstF:
+      case BcOp::Copy:
+        break;
+      case BcOp::LoadState:
+      case BcOp::LoadExt:
+      case BcOp::LoadParam:
+        C.LoadBytesPerCell += 8;
+        break;
+      case BcOp::StoreState:
+      case BcOp::StoreExt:
+        C.StoreBytesPerCell += 8;
+        break;
+      case BcOp::Add:
+      case BcOp::Sub:
+      case BcOp::Mul:
+      case BcOp::Neg:
+      case BcOp::Min:
+      case BcOp::Max:
+      case BcOp::CmpLT:
+      case BcOp::CmpLE:
+      case BcOp::CmpGT:
+      case BcOp::CmpGE:
+      case BcOp::CmpEQ:
+      case BcOp::CmpNE:
+      case BcOp::And:
+      case BcOp::Or:
+      case BcOp::Xor:
+      case BcOp::Select:
+      case BcOp::Abs:
+      case BcOp::Floor:
+      case BcOp::Ceil:
+      case BcOp::Sqrt:
+        C.FlopsPerCell += 1;
+        break;
+      case BcOp::Div:
+        C.FlopsPerCell += 4;
+        break;
+      case BcOp::Rem:
+        C.FlopsPerCell += 8;
+        break;
+      case BcOp::Exp:
+        C.FlopsPerCell += FC::Exp;
+        break;
+      case BcOp::Expm1:
+        C.FlopsPerCell += FC::Expm1;
+        break;
+      case BcOp::Log:
+        C.FlopsPerCell += FC::Log;
+        break;
+      case BcOp::Log10:
+        C.FlopsPerCell += FC::Log10;
+        break;
+      case BcOp::Pow:
+        C.FlopsPerCell += FC::Pow;
+        break;
+      case BcOp::Sin:
+      case BcOp::Cos:
+      case BcOp::Tan:
+        C.FlopsPerCell += FC::Trig;
+        break;
+      case BcOp::Tanh:
+        C.FlopsPerCell += FC::Tanh;
+        break;
+      case BcOp::Sinh:
+      case BcOp::Cosh:
+        C.FlopsPerCell += FC::SinhCosh;
+        break;
+      case BcOp::Atan:
+        C.FlopsPerCell += FC::ATan;
+        break;
+      case BcOp::Asin:
+      case BcOp::Acos:
+        C.FlopsPerCell += FC::ASinCos;
+        break;
+      case BcOp::LutCoord:
+        C.FlopsPerCell += 4;
+        break;
+      case BcOp::LutInterp:
+        C.FlopsPerCell += 3;
+        C.LoadBytesPerCell += 16;
+        break;
+      case BcOp::LutInterpCubic:
+        C.FlopsPerCell += 12;
+        C.LoadBytesPerCell += 32;
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+BcProgram exec::compileToBytecode(const GeneratedKernel &K,
+                                  Operation *Func) {
+  return CompilerImpl(K, Func).run();
+}

@@ -1,0 +1,28 @@
+//===- BytecodeCompiler.h - IR kernel to bytecode ----------------*- C++-*-===//
+//
+// Linearizes a generated kernel function (scalar or vectorized form) into
+// a BcProgram. State/external accesses are recognized by their limpet.role
+// attributes; leftover scalar address arithmetic is dropped (the engines
+// re-derive addressing from the layout metadata). Registers are allocated
+// with last-use reuse so the hot register file stays small.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EXEC_BYTECODECOMPILER_H
+#define LIMPET_EXEC_BYTECODECOMPILER_H
+
+#include "codegen/MLIRCodeGen.h"
+#include "exec/Bytecode.h"
+
+namespace limpet {
+namespace exec {
+
+/// Compiles \p Func (the scalar kernel or a vectorized clone from the same
+/// GeneratedKernel) into a bytecode program.
+BcProgram compileToBytecode(const codegen::GeneratedKernel &K,
+                            ir::Operation *Func);
+
+} // namespace exec
+} // namespace limpet
+
+#endif // LIMPET_EXEC_BYTECODECOMPILER_H

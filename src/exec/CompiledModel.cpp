@@ -1,0 +1,161 @@
+//===- CompiledModel.cpp --------------------------------------------------===//
+
+#include "exec/CompiledModel.h"
+
+#include "codegen/Vectorize.h"
+#include "easyml/ConstEval.h"
+#include "exec/BytecodeCompiler.h"
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::exec;
+using namespace limpet::codegen;
+
+EngineConfig EngineConfig::baseline() {
+  EngineConfig Cfg;
+  Cfg.Width = 1;
+  Cfg.Layout = StateLayout::AoS;
+  Cfg.FastMath = false;
+  Cfg.EnableLuts = true;
+  return Cfg;
+}
+
+EngineConfig EngineConfig::limpetMLIR(unsigned Width) {
+  EngineConfig Cfg;
+  Cfg.Width = Width;
+  Cfg.Layout = StateLayout::AoSoA;
+  Cfg.FastMath = true;
+  Cfg.EnableLuts = true;
+  return Cfg;
+}
+
+EngineConfig EngineConfig::autoVecLike(unsigned Width) {
+  EngineConfig Cfg;
+  Cfg.Width = Width;
+  Cfg.Layout = StateLayout::AoS;
+  Cfg.FastMath = true;
+  Cfg.EnableLuts = true;
+  return Cfg;
+}
+
+std::string exec::engineConfigName(const EngineConfig &Cfg) {
+  std::string Name = Cfg.Width == 1 ? "scalar" : "vec" + std::to_string(Cfg.Width);
+  Name += "/";
+  Name += stateLayoutName(Cfg.Layout);
+  Name += Cfg.FastMath ? "/fastmath" : "/libm";
+  Name += Cfg.EnableLuts ? (Cfg.CubicLut ? "/cubiclut" : "/lut") : "/nolut";
+  return Name;
+}
+
+std::optional<CompiledModel>
+CompiledModel::compile(const easyml::ModelInfo &Info, const EngineConfig &Cfg,
+                       std::string *Error) {
+  if (!isSupportedWidth(Cfg.Width)) {
+    if (Error)
+      *Error = "unsupported vector width " + std::to_string(Cfg.Width);
+    return std::nullopt;
+  }
+  if (Cfg.Width == 1 && Cfg.Layout == StateLayout::AoSoA) {
+    if (Error)
+      *Error = "AoSoA layout requires a vector engine";
+    return std::nullopt;
+  }
+
+  CompiledModel M;
+  M.Cfg = Cfg;
+
+  CodeGenOptions Options;
+  Options.Layout = Cfg.Layout;
+  Options.AoSoABlockWidth = Cfg.Width;
+  Options.EnableLuts = Cfg.EnableLuts;
+  Options.CubicLut = Cfg.CubicLut;
+  Options.RunPasses = Cfg.RunPasses;
+  M.Kernel = generateKernel(Info, Options);
+
+  ir::Operation *Func = M.Kernel.ScalarFunc;
+  if (Cfg.Width > 1)
+    Func = vectorizeKernel(M.Kernel, Cfg.Width);
+  M.Program = compileToBytecode(M.Kernel, Func);
+
+  std::vector<double> Params = M.defaultParams();
+  M.rebuildLuts(Params.data());
+  return M;
+}
+
+size_t CompiledModel::stateArraySize(int64_t NumCells) const {
+  return size_t(paddedCells(NumCells)) * Program.NumSv;
+}
+
+int64_t CompiledModel::paddedCells(int64_t NumCells) const {
+  if (Cfg.Layout != StateLayout::AoSoA)
+    return NumCells;
+  int64_t W = int64_t(Program.AoSoAW);
+  return (NumCells + W - 1) / W * W;
+}
+
+void CompiledModel::initializeState(double *State, int64_t NumCells) const {
+  const easyml::ModelInfo &Info = Kernel.Program.Info;
+  int64_t Padded = paddedCells(NumCells);
+  for (int64_t Cell = 0; Cell != Padded; ++Cell)
+    for (size_t Sv = 0; Sv != Info.StateVars.size(); ++Sv)
+      State[stateIndex(Cfg.Layout, Cell, int64_t(Sv), Program.NumSv,
+                       NumCells, Program.AoSoAW)] = Info.StateVars[Sv].Init;
+}
+
+std::vector<double> CompiledModel::externalInits() const {
+  std::vector<double> Inits;
+  for (const easyml::ExternalInfo &Ext : Kernel.Program.Info.Externals)
+    Inits.push_back(Ext.Init);
+  return Inits;
+}
+
+std::vector<double> CompiledModel::defaultParams() const {
+  std::vector<double> Params;
+  for (const easyml::ParamInfo &P : Kernel.Program.Info.Params)
+    Params.push_back(P.DefaultValue);
+  return Params;
+}
+
+void CompiledModel::rebuildLuts(const double *Params) {
+  Luts = buildLuts(Params);
+}
+
+runtime::LutTableSet CompiledModel::buildLuts(const double *Params) const {
+  const easyml::ModelInfo &Info = Kernel.Program.Info;
+  runtime::LutTableSet Set;
+  for (const LutTablePlan &Plan : Kernel.Program.Luts.Tables) {
+    runtime::LutTable Table(Plan.Spec.Lo, Plan.Spec.Hi, Plan.Spec.Step,
+                            int(Plan.Columns.size()));
+    for (int Row = 0; Row != Table.rows(); ++Row) {
+      double X = Table.rowX(Row);
+      easyml::EvalEnv Env =
+          [&](std::string_view Name) -> std::optional<double> {
+        if (Name == Plan.Spec.VarName)
+          return X;
+        int Idx = Info.paramIndex(Name);
+        if (Idx >= 0)
+          return Params[Idx];
+        return std::nullopt;
+      };
+      for (size_t Col = 0; Col != Plan.Columns.size(); ++Col) {
+        auto V = easyml::evalExpr(*Plan.Columns[Col], Env);
+        assert(V && "LUT column expression references a non-table variable");
+        Table.at(Row, int(Col)) = *V;
+      }
+    }
+    Set.Tables.push_back(std::move(Table));
+  }
+  return Set;
+}
+
+void CompiledModel::computeStep(KernelArgs Args) const {
+  if (!Args.Luts)
+    Args.Luts = &Luts;
+  runKernel(Program, Args, Cfg.Width, Cfg.FastMath);
+}
+
+double CompiledModel::readState(const double *State, int64_t Cell,
+                                int64_t Sv, int64_t NumCells) const {
+  return State[stateIndex(Cfg.Layout, Cell, Sv, Program.NumSv, NumCells,
+                          Program.AoSoAW)];
+}

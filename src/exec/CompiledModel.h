@@ -1,0 +1,109 @@
+//===- CompiledModel.h - End-to-end compiled ionic model --------*- C++-*-===//
+//
+// The main user-facing entry point of the library: compiles an analyzed
+// EasyML model through the full pipeline (preprocessor, integrator
+// expansion, LUT extraction, IR emission, optimization passes, optional
+// vectorization, bytecode) for a chosen engine configuration, builds the
+// runtime LUT tables, and executes time steps over cell populations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EXEC_COMPILEDMODEL_H
+#define LIMPET_EXEC_COMPILEDMODEL_H
+
+#include "codegen/MLIRCodeGen.h"
+#include "exec/Bytecode.h"
+#include "exec/Engine.h"
+#include "runtime/Lut.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace limpet {
+namespace exec {
+
+/// Selects which of the paper's configurations a model is compiled for.
+struct EngineConfig {
+  /// SIMD width: 1 (scalar), 2 (SSE), 4 (AVX2), 8 (AVX-512).
+  unsigned Width = 1;
+  codegen::StateLayout Layout = codegen::StateLayout::AoS;
+  /// VecMath (SVML analogue) vs libm.
+  bool FastMath = false;
+  bool EnableLuts = true;
+  /// Cubic (Catmull-Rom) LUT interpolation instead of linear.
+  bool CubicLut = false;
+  bool RunPasses = true;
+
+  /// openCARP's original code generation: scalar, AoS, libm, scalar LUTs.
+  static EngineConfig baseline();
+  /// Full limpetMLIR: W lanes, AoSoA layout, vector math, vector LUTs.
+  static EngineConfig limpetMLIR(unsigned Width);
+  /// The Sec. 5 "auto-vectorizer" comparison point: vector arithmetic but
+  /// no data-layout transformation (AoS gathers).
+  static EngineConfig autoVecLike(unsigned Width);
+};
+
+std::string engineConfigName(const EngineConfig &Cfg);
+
+/// A fully compiled model ready to run.
+class CompiledModel {
+public:
+  /// Compiles \p Info under \p Cfg. Returns nullopt with \p Error set on
+  /// failure (e.g. pipeline verification errors).
+  static std::optional<CompiledModel>
+  compile(const easyml::ModelInfo &Info, const EngineConfig &Cfg,
+          std::string *Error = nullptr);
+
+  const easyml::ModelInfo &info() const { return Kernel.Program.Info; }
+  const EngineConfig &config() const { return Cfg; }
+  const BcProgram &program() const { return Program; }
+  const runtime::LutTableSet &luts() const { return Luts; }
+  const codegen::GeneratedKernel &kernel() const { return Kernel; }
+
+  /// Number of doubles the state array needs for \p NumCells (AoSoA pads
+  /// to full blocks).
+  size_t stateArraySize(int64_t NumCells) const;
+
+  /// Number of cells the kernel addressing covers given padding.
+  int64_t paddedCells(int64_t NumCells) const;
+
+  /// Writes every state variable's initial value for cells [0, NumCells).
+  void initializeState(double *State, int64_t NumCells) const;
+
+  /// Initial values for every external variable.
+  std::vector<double> externalInits() const;
+
+  /// The default parameter vector.
+  std::vector<double> defaultParams() const;
+
+  /// Rebuilds the internal LUT tables for a modified parameter vector
+  /// (tables bake parameter values in, as openCARP does at
+  /// initialization).
+  void rebuildLuts(const double *Params);
+
+  /// Builds a standalone LUT table set for \p Params (used by simulators
+  /// that adjust parameters without mutating the compiled model).
+  runtime::LutTableSet buildLuts(const double *Params) const;
+
+  /// Runs one compute step over [Args.Start, Args.End). When Args.Luts is
+  /// null the model's internal tables are used.
+  void computeStep(KernelArgs Args) const;
+
+  /// Reads sv \p Sv of cell \p Cell from a state array of this layout.
+  double readState(const double *State, int64_t Cell, int64_t Sv,
+                   int64_t NumCells) const;
+
+private:
+  CompiledModel() = default;
+
+  codegen::GeneratedKernel Kernel;
+  BcProgram Program;
+  runtime::LutTableSet Luts;
+  EngineConfig Cfg;
+};
+
+} // namespace exec
+} // namespace limpet
+
+#endif // LIMPET_EXEC_COMPILEDMODEL_H

@@ -1,0 +1,49 @@
+//===- Attribute.cpp ------------------------------------------------------===//
+
+#include "ir/Attribute.h"
+
+#include "support/StringUtils.h"
+
+#include <cstring>
+#include <functional>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+uint64_t Attribute::bitsOf(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+std::string Attribute::str() const {
+  switch (TheKind) {
+  case Kind::None:
+    return "<none>";
+  case Kind::Float:
+    return formatDouble(FloatVal);
+  case Kind::Int:
+    return std::to_string(IntVal);
+  case Kind::Bool:
+    return BoolVal ? "true" : "false";
+  case Kind::String:
+    return "\"" + StringVal + "\"";
+  }
+  return "<invalid>";
+}
+
+size_t Attribute::hash() const {
+  switch (TheKind) {
+  case Kind::None:
+    return 0;
+  case Kind::Float:
+    return std::hash<uint64_t>()(bitsOf(FloatVal)) * 31 + 1;
+  case Kind::Int:
+    return std::hash<int64_t>()(IntVal) * 31 + 2;
+  case Kind::Bool:
+    return BoolVal ? 0x9e3779b9u : 0x85ebca6bu;
+  case Kind::String:
+    return std::hash<std::string>()(StringVal) * 31 + 4;
+  }
+  return 0;
+}

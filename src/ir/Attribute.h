@@ -1,0 +1,116 @@
+//===- Attribute.h - Constant op metadata -----------------------*- C++-*-===//
+//
+// Attributes are small immutable constants attached to operations by name
+// (e.g. the value of arith.constant, a cmpf predicate, a gather stride).
+// Unlike MLIR they are stored by value; the payload is a tagged union.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_ATTRIBUTE_H
+#define LIMPET_IR_ATTRIBUTE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace limpet {
+namespace ir {
+
+/// A tagged constant value: none, float, int, bool or string.
+class Attribute {
+public:
+  enum class Kind : uint8_t { None, Float, Int, Bool, String };
+
+  Attribute() = default;
+  static Attribute makeFloat(double V) {
+    Attribute A;
+    A.TheKind = Kind::Float;
+    A.FloatVal = V;
+    return A;
+  }
+  static Attribute makeInt(int64_t V) {
+    Attribute A;
+    A.TheKind = Kind::Int;
+    A.IntVal = V;
+    return A;
+  }
+  static Attribute makeBool(bool V) {
+    Attribute A;
+    A.TheKind = Kind::Bool;
+    A.BoolVal = V;
+    return A;
+  }
+  static Attribute makeString(std::string V) {
+    Attribute A;
+    A.TheKind = Kind::String;
+    A.StringVal = std::move(V);
+    return A;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isNone() const { return TheKind == Kind::None; }
+  explicit operator bool() const { return TheKind != Kind::None; }
+
+  double asFloat() const {
+    assert(TheKind == Kind::Float && "not a float attribute");
+    return FloatVal;
+  }
+  int64_t asInt() const {
+    assert(TheKind == Kind::Int && "not an int attribute");
+    return IntVal;
+  }
+  bool asBool() const {
+    assert(TheKind == Kind::Bool && "not a bool attribute");
+    return BoolVal;
+  }
+  const std::string &asString() const {
+    assert(TheKind == Kind::String && "not a string attribute");
+    return StringVal;
+  }
+
+  bool operator==(const Attribute &O) const {
+    if (TheKind != O.TheKind)
+      return false;
+    switch (TheKind) {
+    case Kind::None:
+      return true;
+    case Kind::Float:
+      // Bitwise comparison so that -0.0 != 0.0 and NaN == NaN for uniquing.
+      return bitsOf(FloatVal) == bitsOf(O.FloatVal);
+    case Kind::Int:
+      return IntVal == O.IntVal;
+    case Kind::Bool:
+      return BoolVal == O.BoolVal;
+    case Kind::String:
+      return StringVal == O.StringVal;
+    }
+    return false;
+  }
+  bool operator!=(const Attribute &O) const { return !(*this == O); }
+
+  /// Renders the attribute for the IR printer.
+  std::string str() const;
+
+  /// Stable hash suitable for CSE keys.
+  size_t hash() const;
+
+private:
+  static uint64_t bitsOf(double V);
+
+  Kind TheKind = Kind::None;
+  double FloatVal = 0;
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  std::string StringVal;
+};
+
+/// A named attribute entry as stored on an Operation.
+struct NamedAttribute {
+  std::string Name;
+  Attribute Value;
+};
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_ATTRIBUTE_H

@@ -1,0 +1,40 @@
+//===- Builder.cpp --------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+using namespace limpet;
+using namespace limpet::ir;
+
+Operation *OpBuilder::createDetached(OpCode Code,
+                                     const std::vector<Value *> &Operands,
+                                     const std::vector<Type> &ResultTypes,
+                                     SourceLoc Loc) {
+  auto *Op = new Operation(Code, Loc);
+  for (Value *V : Operands)
+    Op->addOperand(V);
+  for (Type Ty : ResultTypes)
+    Op->addResult(Ty);
+  return Op;
+}
+
+Operation *OpBuilder::create(OpCode Code,
+                             const std::vector<Value *> &Operands,
+                             const std::vector<Type> &ResultTypes,
+                             SourceLoc Loc) {
+  Operation *Op = createDetached(Code, Operands, ResultTypes, Loc);
+  if (InsertBlock) {
+    if (InsertBefore)
+      InsertBlock->insertBefore(InsertBefore, Op);
+    else
+      InsertBlock->push_back(Op);
+  }
+  return Op;
+}
+
+Operation *OpBuilder::create(OpCode Code,
+                             std::initializer_list<Value *> Operands,
+                             std::initializer_list<Type> ResultTypes,
+                             SourceLoc Loc) {
+  return create(Code, std::vector<Value *>(Operands),
+                std::vector<Type>(ResultTypes), Loc);
+}

@@ -1,0 +1,65 @@
+//===- Builder.h - Operation builder ----------------------------*- C++-*-===//
+//
+// OpBuilder creates operations at an insertion point, in the style of
+// mlir::OpBuilder. Typed per-op helpers live in dialects/Dialects.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_BUILDER_H
+#define LIMPET_IR_BUILDER_H
+
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+#include <initializer_list>
+
+namespace limpet {
+namespace ir {
+
+/// Creates operations at a (block, position) insertion point.
+class OpBuilder {
+public:
+  explicit OpBuilder(Context &Ctx) : Ctx(Ctx) {}
+
+  Context &context() { return Ctx; }
+
+  /// Subsequent ops are appended at the end of \p B.
+  void setInsertionPointToEnd(Block *B) {
+    InsertBlock = B;
+    InsertBefore = nullptr;
+  }
+
+  /// Subsequent ops are inserted immediately before \p Op.
+  void setInsertionPoint(Operation *Op) {
+    InsertBlock = Op->parentBlock();
+    InsertBefore = Op;
+  }
+
+  Block *insertionBlock() const { return InsertBlock; }
+
+  /// Creates an operation and inserts it at the insertion point (if one is
+  /// set). Result values are created from \p ResultTypes.
+  Operation *create(OpCode Code, std::initializer_list<Value *> Operands,
+                    std::initializer_list<Type> ResultTypes,
+                    SourceLoc Loc = SourceLoc());
+
+  Operation *create(OpCode Code, const std::vector<Value *> &Operands,
+                    const std::vector<Type> &ResultTypes,
+                    SourceLoc Loc = SourceLoc());
+
+  /// Creates an op without inserting it; the caller must place it.
+  static Operation *createDetached(OpCode Code,
+                                   const std::vector<Value *> &Operands,
+                                   const std::vector<Type> &ResultTypes,
+                                   SourceLoc Loc = SourceLoc());
+
+private:
+  Context &Ctx;
+  Block *InsertBlock = nullptr;
+  Operation *InsertBefore = nullptr;
+};
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_BUILDER_H

@@ -1,0 +1,56 @@
+//===- Context.cpp --------------------------------------------------------===//
+
+#include "ir/Context.h"
+
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::ir;
+
+Context::Context() {
+  F64Ty = makeType(TypeKind::F64);
+  I1Ty = makeType(TypeKind::I1);
+  I64Ty = makeType(TypeKind::I64);
+  MemRefTy = makeType(TypeKind::MemRef);
+}
+
+Type Context::makeType(TypeKind Kind, TypeKind Elem, unsigned Width) {
+  auto Storage = std::make_unique<TypeStorage>();
+  Storage->Kind = Kind;
+  Storage->ElemKind = Elem;
+  Storage->Width = Width;
+  TypeStorages.push_back(std::move(Storage));
+  return Type(TypeStorages.back().get());
+}
+
+Type Context::vector(TypeKind Elem, unsigned Width) {
+  assert(Width > 0 && "vector width must be positive");
+  assert((Elem == TypeKind::F64 || Elem == TypeKind::I1 ||
+          Elem == TypeKind::I64) &&
+         "vector element must be a scalar kind");
+  for (const auto &S : TypeStorages)
+    if (S->Kind == TypeKind::Vector && S->ElemKind == Elem &&
+        S->Width == Width)
+      return Type(S.get());
+  return makeType(TypeKind::Vector, Elem, Width);
+}
+
+Type Context::scalarTypeOf(Type Ty) {
+  if (!Ty.isVector())
+    return Ty;
+  switch (Ty.vectorElemKind()) {
+  case TypeKind::F64:
+    return f64();
+  case TypeKind::I1:
+    return i1();
+  case TypeKind::I64:
+    return i64();
+  default:
+    limpet_unreachable("invalid vector element kind");
+  }
+}
+
+Type Context::vectorTypeOf(Type Ty, unsigned Width) {
+  assert(!Ty.isVector() && !Ty.isMemRef() && "expected a scalar type");
+  return vector(Ty.kind(), Width);
+}

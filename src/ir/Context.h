@@ -1,0 +1,60 @@
+//===- Context.h - IR context and type uniquer ------------------*- C++-*-===//
+//
+// The Context owns all uniqued TypeStorage instances, so Type handles stay
+// valid for the lifetime of the Context (the analogue of MLIRContext).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_CONTEXT_H
+#define LIMPET_IR_CONTEXT_H
+
+#include "ir/Type.h"
+
+#include <memory>
+#include <vector>
+
+namespace limpet {
+namespace ir {
+
+/// Owns uniqued types. One Context typically lives for a whole compilation.
+class Context {
+public:
+  Context();
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  Type f64() const { return F64Ty; }
+  Type i1() const { return I1Ty; }
+  Type i64() const { return I64Ty; }
+  Type memref() const { return MemRefTy; }
+
+  /// Returns the uniqued vector type of \p Width lanes of \p Elem (a scalar
+  /// kind: F64, I1 or I64).
+  Type vector(TypeKind Elem, unsigned Width);
+
+  /// Shorthand for vector(F64, Width).
+  Type vecF64(unsigned Width) { return vector(TypeKind::F64, Width); }
+  /// Shorthand for vector(I1, Width).
+  Type vecI1(unsigned Width) { return vector(TypeKind::I1, Width); }
+  /// Shorthand for vector(I64, Width).
+  Type vecI64(unsigned Width) { return vector(TypeKind::I64, Width); }
+
+  /// For a vector type returns its scalar element type; scalars are returned
+  /// unchanged.
+  Type scalarTypeOf(Type Ty);
+
+  /// Returns the vector type with the same element kind as the scalar \p Ty.
+  Type vectorTypeOf(Type Ty, unsigned Width);
+
+private:
+  std::vector<std::unique_ptr<TypeStorage>> TypeStorages;
+  Type F64Ty, I1Ty, I64Ty, MemRefTy;
+
+  Type makeType(TypeKind Kind, TypeKind Elem = TypeKind::F64,
+                unsigned Width = 0);
+};
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_CONTEXT_H

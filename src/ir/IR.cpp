@@ -1,0 +1,169 @@
+//===- IR.cpp -------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+Operation::Operation(OpCode Code, SourceLoc Loc) : Code(Code), Loc(Loc) {}
+
+Operation::~Operation() = default;
+
+OpResult *Operation::addResult(Type Ty) {
+  Results.push_back(
+      std::make_unique<OpResult>(this, Results.size(), Ty));
+  return Results.back().get();
+}
+
+Attribute Operation::attr(std::string_view Name) const {
+  for (const NamedAttribute &A : Attrs)
+    if (A.Name == Name)
+      return A.Value;
+  return Attribute();
+}
+
+void Operation::setAttr(std::string_view Name, Attribute Value) {
+  for (NamedAttribute &A : Attrs) {
+    if (A.Name == Name) {
+      A.Value = std::move(Value);
+      return;
+    }
+  }
+  Attrs.push_back({std::string(Name), std::move(Value)});
+}
+
+Region &Operation::addRegion() {
+  Regions.push_back(std::make_unique<Region>(this));
+  return *Regions.back();
+}
+
+Operation *Operation::parentOp() const {
+  if (!Parent)
+    return nullptr;
+  return Parent->parentOp();
+}
+
+void Operation::walk(const std::function<void(Operation *)> &Fn) {
+  Fn(this);
+  for (auto &R : Regions)
+    for (unsigned I = 0, E = R->numBlocks(); I != E; ++I)
+      for (Operation *Op : R->front().ops())
+        Op->walk(Fn);
+}
+
+void Operation::replaceUsesOfWith(Value *From, Value *To) {
+  walk([&](Operation *Op) {
+    for (unsigned I = 0, E = Op->numOperands(); I != E; ++I)
+      if (Op->operand(I) == From)
+        Op->setOperand(I, To);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+Block::~Block() {
+  for (Operation *Op : Ops)
+    delete Op;
+}
+
+Operation *Block::parentOp() const {
+  return Parent ? Parent->parentOp() : nullptr;
+}
+
+BlockArgument *Block::addArgument(Type Ty) {
+  Arguments.push_back(
+      std::make_unique<BlockArgument>(this, Arguments.size(), Ty));
+  return Arguments.back().get();
+}
+
+void Block::push_back(Operation *Op) {
+  assert(!Op->parentBlock() && "op already placed in a block");
+  Ops.push_back(Op);
+  Op->setParentBlock(this);
+}
+
+void Block::insertBefore(Operation *Anchor, Operation *Op) {
+  assert(Anchor->parentBlock() == this && "anchor not in this block");
+  assert(!Op->parentBlock() && "op already placed in a block");
+  auto It = std::find(Ops.begin(), Ops.end(), Anchor);
+  assert(It != Ops.end() && "anchor not found");
+  Ops.insert(It, Op);
+  Op->setParentBlock(this);
+}
+
+void Block::remove(Operation *Op) {
+  assert(Op->parentBlock() == this && "op not in this block");
+  auto It = std::find(Ops.begin(), Ops.end(), Op);
+  assert(It != Ops.end() && "op not found");
+  Ops.erase(It);
+  Op->setParentBlock(nullptr);
+}
+
+void Block::erase(Operation *Op) {
+  remove(Op);
+  delete Op;
+}
+
+Operation *Block::terminator() const {
+  if (Ops.empty())
+    return nullptr;
+  Operation *Last = Ops.back();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+Block &Region::emplaceBlock() {
+  Blocks.push_back(std::make_unique<Block>());
+  Blocks.back()->setParentRegion(this);
+  return *Blocks.back();
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Operation *Module::addFunction(std::unique_ptr<Operation> Func) {
+  assert(Func->opcode() == OpCode::FuncFunc && "expected a func.func op");
+  Functions.push_back(std::move(Func));
+  return Functions.back().get();
+}
+
+Operation *Module::lookupFunction(std::string_view Name) const {
+  for (const auto &F : Functions) {
+    Attribute SymName = F->attr("sym_name");
+    if (SymName && SymName.asString() == Name)
+      return F.get();
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Free helpers
+//===----------------------------------------------------------------------===//
+
+Block &ir::funcBody(Operation *Func) {
+  assert(Func->opcode() == OpCode::FuncFunc && "expected func.func");
+  assert(Func->numRegions() == 1 && !Func->region(0).empty() &&
+         "func has no body");
+  return Func->region(0).front();
+}
+
+Block &ir::forBody(Operation *ForOp) {
+  assert(ForOp->opcode() == OpCode::ScfFor && "expected scf.for");
+  assert(ForOp->numRegions() == 1 && !ForOp->region(0).empty() &&
+         "for has no body");
+  return ForOp->region(0).front();
+}

@@ -1,0 +1,298 @@
+//===- IR.h - Values, Operations, Blocks, Regions, Module -------*- C++-*-===//
+//
+// The structural core of the limpetMLIR IR, mirroring the slice of MLIR the
+// paper relies on: SSA values produced by operations or block arguments,
+// generic operations carrying operands / results / attributes / regions,
+// single-block regions for scf.for / scf.if bodies, and a Module holding
+// func.func operations.
+//
+// Ownership: a Module owns its functions; an Operation owns its results and
+// regions; a Region owns its blocks; a Block owns its operations and
+// arguments. Values are therefore stable for the lifetime of their owner.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_IR_H
+#define LIMPET_IR_IR_H
+
+#include "ir/Attribute.h"
+#include "ir/OpCodes.h"
+#include "ir/Type.h"
+#include "support/Diagnostics.h"
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace ir {
+
+class Block;
+class Operation;
+class Region;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+/// An SSA value: either the result of an operation or a block argument.
+class Value {
+public:
+  enum class Kind : uint8_t { OpResult, BlockArgument };
+
+  Kind kind() const { return TheKind; }
+  Type type() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+  virtual ~Value() = default;
+
+protected:
+  Value(Kind K, Type Ty) : TheKind(K), Ty(Ty) {}
+
+private:
+  Kind TheKind;
+  Type Ty;
+};
+
+/// A result of an Operation.
+class OpResult : public Value {
+public:
+  OpResult(Operation *Owner, unsigned Index, Type Ty)
+      : Value(Kind::OpResult, Ty), Owner(Owner), Index(Index) {}
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::OpResult;
+  }
+
+  Operation *owner() const { return Owner; }
+  unsigned index() const { return Index; }
+
+private:
+  Operation *Owner;
+  unsigned Index;
+};
+
+/// An argument of a Block (e.g. the induction variable of scf.for, or a
+/// kernel function parameter).
+class BlockArgument : public Value {
+public:
+  BlockArgument(Block *Owner, unsigned Index, Type Ty)
+      : Value(Kind::BlockArgument, Ty), Owner(Owner), Index(Index) {}
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::BlockArgument;
+  }
+
+  Block *owner() const { return Owner; }
+  unsigned index() const { return Index; }
+
+private:
+  Block *Owner;
+  unsigned Index;
+};
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+/// A generic operation: opcode + operands + owned results + attributes +
+/// owned regions. All ops (including func.func) share this representation.
+class Operation {
+public:
+  Operation(OpCode Code, SourceLoc Loc = SourceLoc());
+  ~Operation();
+  Operation(const Operation &) = delete;
+  Operation &operator=(const Operation &) = delete;
+
+  OpCode opcode() const { return Code; }
+  SourceLoc loc() const { return Loc; }
+  std::string_view name() const { return opcodeName(Code); }
+
+  // Operands -------------------------------------------------------------
+  unsigned numOperands() const { return Operands.size(); }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  void addOperand(Value *V) { Operands.push_back(V); }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  // Results --------------------------------------------------------------
+  unsigned numResults() const { return Results.size(); }
+  OpResult *result(unsigned I = 0) const {
+    assert(I < Results.size() && "result index out of range");
+    return Results[I].get();
+  }
+  /// Appends a new result of type \p Ty (builder use only).
+  OpResult *addResult(Type Ty);
+
+  // Attributes -----------------------------------------------------------
+  /// Returns the attribute named \p Name, or a None attribute if absent.
+  Attribute attr(std::string_view Name) const;
+  bool hasAttr(std::string_view Name) const { return bool(attr(Name)); }
+  void setAttr(std::string_view Name, Attribute Value);
+  const std::vector<NamedAttribute> &attrs() const { return Attrs; }
+
+  // Regions --------------------------------------------------------------
+  unsigned numRegions() const { return Regions.size(); }
+  Region &region(unsigned I) const {
+    assert(I < Regions.size() && "region index out of range");
+    return *Regions[I];
+  }
+  Region &addRegion();
+
+  // Placement ------------------------------------------------------------
+  Block *parentBlock() const { return Parent; }
+  void setParentBlock(Block *B) { Parent = B; }
+  /// The operation owning the block this op lives in, or null at top level.
+  Operation *parentOp() const;
+
+  // Traits ---------------------------------------------------------------
+  bool isPure() const { return opcodeIsPure(Code); }
+  bool isTerminator() const { return opcodeIsTerminator(Code); }
+  bool isReadOnly() const { return opcodeIsReadOnly(Code); }
+
+  /// Walks this op and all nested ops pre-order. The callback may not
+  /// mutate the structure.
+  void walk(const std::function<void(Operation *)> &Fn);
+
+  /// Replaces every use of \p From with \p To in this op and nested regions.
+  void replaceUsesOfWith(Value *From, Value *To);
+
+private:
+  OpCode Code;
+  SourceLoc Loc;
+  std::vector<Value *> Operands;
+  std::vector<std::unique_ptr<OpResult>> Results;
+  std::vector<NamedAttribute> Attrs;
+  std::vector<std::unique_ptr<Region>> Regions;
+  Block *Parent = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+/// A straight-line list of operations with typed arguments. Blocks own
+/// their operations.
+class Block {
+public:
+  Block() = default;
+  ~Block();
+  Block(const Block &) = delete;
+  Block &operator=(const Block &) = delete;
+
+  using OpListT = std::list<Operation *>;
+
+  Region *parentRegion() const { return Parent; }
+  void setParentRegion(Region *R) { Parent = R; }
+  /// The operation owning this block's region, or null.
+  Operation *parentOp() const;
+
+  // Arguments ------------------------------------------------------------
+  BlockArgument *addArgument(Type Ty);
+  unsigned numArguments() const { return Arguments.size(); }
+  BlockArgument *argument(unsigned I) const {
+    assert(I < Arguments.size() && "argument index out of range");
+    return Arguments[I].get();
+  }
+
+  // Operations -----------------------------------------------------------
+  OpListT &ops() { return Ops; }
+  const OpListT &ops() const { return Ops; }
+  bool empty() const { return Ops.empty(); }
+
+  /// Appends \p Op, taking ownership.
+  void push_back(Operation *Op);
+  /// Inserts \p Op before \p Anchor (which must be in this block), taking
+  /// ownership.
+  void insertBefore(Operation *Anchor, Operation *Op);
+  /// Removes \p Op from the list without deleting it; the caller takes
+  /// ownership.
+  void remove(Operation *Op);
+  /// Removes and deletes \p Op. The op must have no remaining uses.
+  void erase(Operation *Op);
+
+  /// The trailing terminator, or null if the block is empty or unterminated.
+  Operation *terminator() const;
+
+private:
+  Region *Parent = nullptr;
+  std::vector<std::unique_ptr<BlockArgument>> Arguments;
+  OpListT Ops;
+};
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+/// A list of blocks owned by an operation. All regions in this IR hold
+/// exactly one block, but the structure mirrors MLIR.
+class Region {
+public:
+  explicit Region(Operation *Parent) : Parent(Parent) {}
+  Region(const Region &) = delete;
+  Region &operator=(const Region &) = delete;
+
+  Operation *parentOp() const { return Parent; }
+
+  Block &emplaceBlock();
+  bool empty() const { return Blocks.empty(); }
+  unsigned numBlocks() const { return Blocks.size(); }
+  Block &front() {
+    assert(!Blocks.empty() && "region has no blocks");
+    return *Blocks.front();
+  }
+  const Block &front() const {
+    assert(!Blocks.empty() && "region has no blocks");
+    return *Blocks.front();
+  }
+
+private:
+  Operation *Parent;
+  std::vector<std::unique_ptr<Block>> Blocks;
+};
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+/// Top-level container of func.func operations.
+class Module {
+public:
+  Module() = default;
+
+  /// Adds \p Func (must be a func.func op), taking ownership.
+  Operation *addFunction(std::unique_ptr<Operation> Func);
+
+  /// Finds a function by its "sym_name" attribute, or null.
+  Operation *lookupFunction(std::string_view Name) const;
+
+  const std::vector<std::unique_ptr<Operation>> &functions() const {
+    return Functions;
+  }
+
+private:
+  std::vector<std::unique_ptr<Operation>> Functions;
+};
+
+//===----------------------------------------------------------------------===//
+// Free helpers
+//===----------------------------------------------------------------------===//
+
+/// The entry block of a func.func operation.
+Block &funcBody(Operation *Func);
+
+/// The body block of an scf.for operation.
+Block &forBody(Operation *ForOp);
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_IR_H

@@ -1,0 +1,431 @@
+//===- IRParser.cpp -------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "dialects/Dialects.h"
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+namespace {
+
+/// Character-level cursor with line tracking for error messages.
+class Cursor {
+public:
+  explicit Cursor(std::string_view Text) : Text(Text) {}
+
+  int line() const { return Line; }
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos]))) {
+      if (Text[Pos] == '\n')
+        ++Line;
+      ++Pos;
+    }
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  /// Consumes \p Literal if it is next (after whitespace).
+  bool consume(std::string_view Literal) {
+    skipSpace();
+    if (Text.substr(Pos, Literal.size()) != Literal)
+      return false;
+    for (char C : Literal)
+      if (C == '\n')
+        ++Line;
+    Pos += Literal.size();
+    return true;
+  }
+
+  /// Reads an identifier-like word: [A-Za-z0-9_.%@?<>]+ style tokens are
+  /// split by the callers; this reads [A-Za-z0-9_.]+ .
+  std::string word() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '.'))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  /// Reads a value name: %N or %argN.
+  std::string valueName() {
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != '%')
+      return "";
+    size_t Start = Pos++;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos]))))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  /// Reads a signed numeric literal as text.
+  std::string number() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == '+' || Text[Pos] == '-')) {
+      // Allow exponents like 1e-06 but stop at structure characters.
+      if ((Text[Pos] == '+' || Text[Pos] == '-') &&
+          !(Text[Pos - 1] == 'e' || Text[Pos - 1] == 'E'))
+        break;
+      ++Pos;
+    }
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+class ParserImpl {
+public:
+  ParserImpl(std::string_view Text, Context &Ctx) : Cur(Text), Ctx(Ctx) {}
+
+  ParseIRResult run() {
+    auto Mod = std::make_unique<Module>();
+    while (!Cur.atEnd()) {
+      auto Func = parseFunc();
+      if (!Func)
+        return {nullptr, ErrorMsg};
+      Mod->addFunction(std::move(Func));
+    }
+    if (Mod->functions().empty())
+      return {nullptr, "no functions found"};
+    return {std::move(Mod), ""};
+  }
+
+private:
+  Cursor Cur;
+  Context &Ctx;
+  std::string ErrorMsg;
+  std::map<std::string, Value *> Values;
+
+  std::nullptr_t fail(const std::string &Msg) {
+    if (ErrorMsg.empty())
+      ErrorMsg = "line " + std::to_string(Cur.line()) + ": " + Msg;
+    return nullptr;
+  }
+
+  bool expect(std::string_view Literal) {
+    if (Cur.consume(Literal))
+      return true;
+    fail("expected '" + std::string(Literal) + "'");
+    return false;
+  }
+
+  /// f64 | i1 | i64 | vector<WxK> | memref<?xf64>
+  bool parseType(Type &Out) {
+    std::string Name = Cur.word();
+    if (Name == "f64") {
+      Out = Ctx.f64();
+      return true;
+    }
+    if (Name == "i1") {
+      Out = Ctx.i1();
+      return true;
+    }
+    if (Name == "i64") {
+      Out = Ctx.i64();
+      return true;
+    }
+    if (Name == "memref") {
+      if (!expect("<?xf64>"))
+        return false;
+      Out = Ctx.memref();
+      return true;
+    }
+    if (Name == "vector") {
+      if (!expect("<"))
+        return false;
+      std::string Dim = Cur.word(); // e.g. "8xf64"
+      if (!expect(">"))
+        return false;
+      size_t X = Dim.find('x');
+      if (X == std::string::npos)
+        return fail("malformed vector type '" + Dim + "'"), false;
+      unsigned W = unsigned(std::atoi(Dim.substr(0, X).c_str()));
+      std::string Elem = Dim.substr(X + 1);
+      TypeKind Kind;
+      if (Elem == "f64")
+        Kind = TypeKind::F64;
+      else if (Elem == "i1")
+        Kind = TypeKind::I1;
+      else if (Elem == "i64")
+        Kind = TypeKind::I64;
+      else
+        return fail("unknown vector element '" + Elem + "'"), false;
+      Out = Ctx.vector(Kind, W);
+      return true;
+    }
+    fail("unknown type '" + Name + "'");
+    return false;
+  }
+
+  /// Looks an opcode up by its printed name.
+  bool parseOpcode(const std::string &Name, OpCode &Out) {
+    for (unsigned I = 0; I != unsigned(OpCode::NumOpCodes); ++I)
+      if (opcodeName(OpCode(I)) == Name) {
+        Out = OpCode(I);
+        return true;
+      }
+    fail("unknown operation '" + Name + "'");
+    return false;
+  }
+
+  Value *lookup(const std::string &Name) {
+    auto It = Values.find(Name);
+    if (It == Values.end()) {
+      fail("use of undefined value '" + Name + "'");
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  /// func.func @name(%arg0: type, ...) { body }
+  std::unique_ptr<Operation> parseFunc() {
+    if (!expect("func.func") || !expect("@"))
+      return nullptr;
+    std::string Name = Cur.word();
+    if (!expect("("))
+      return nullptr;
+    std::vector<std::string> ArgNames;
+    std::vector<Type> ArgTypes;
+    if (!Cur.consume(")")) {
+      while (true) {
+        std::string Arg = Cur.valueName();
+        if (Arg.empty())
+          return fail("expected argument name");
+        if (!expect(":"))
+          return nullptr;
+        Type Ty;
+        if (!parseType(Ty))
+          return nullptr;
+        ArgNames.push_back(Arg);
+        ArgTypes.push_back(Ty);
+        if (Cur.consume(")"))
+          break;
+        if (!expect(","))
+          return nullptr;
+      }
+    }
+    auto Func = makeFunction(Ctx, Name, ArgTypes);
+    Block &Body = funcBody(Func.get());
+    for (size_t I = 0; I != ArgNames.size(); ++I)
+      Values[ArgNames[I]] = Body.argument(unsigned(I));
+    if (!expect("{"))
+      return nullptr;
+    if (!parseBlockBody(Body))
+      return nullptr;
+    return Func;
+  }
+
+  /// Parses operations until the closing '}' (consumed).
+  bool parseBlockBody(Block &B) {
+    while (!Cur.consume("}")) {
+      if (Cur.atEnd()) {
+        fail("unterminated block");
+        return false;
+      }
+      if (!parseOp(B))
+        return false;
+    }
+    return true;
+  }
+
+  bool parseOp(Block &B) {
+    // Results (if any): %N, %M = ...
+    std::vector<std::string> ResultNames;
+    if (Cur.peek() == '%') {
+      while (true) {
+        std::string R = Cur.valueName();
+        if (R.empty()) {
+          fail("expected result name");
+          return false;
+        }
+        ResultNames.push_back(R);
+        if (!Cur.consume(","))
+          break;
+      }
+      if (!expect("="))
+        return false;
+    }
+
+    std::string Name = Cur.word();
+
+    // scf.for has dedicated loop syntax; its "result" slot above is
+    // never taken (prints no results), so Name is the op name here.
+    if (Name == "scf.for")
+      return parseFor(B);
+
+    OpCode Code;
+    if (!parseOpcode(Name, Code))
+      return false;
+
+    // Operands.
+    std::vector<Value *> Operands;
+    if (Cur.peek() == '%') {
+      while (true) {
+        std::string V = Cur.valueName();
+        Value *Val = lookup(V);
+        if (!Val)
+          return false;
+        Operands.push_back(Val);
+        if (!Cur.consume(","))
+          break;
+      }
+    }
+
+    auto *Op = new Operation(Code);
+    for (Value *V : Operands)
+      Op->addOperand(V);
+    B.push_back(Op);
+
+    // Attributes.
+    if (Cur.consume("{")) {
+      while (true) {
+        std::string AttrName = Cur.word();
+        if (!expect("="))
+          return false;
+        Attribute A;
+        if (!parseAttrValue(A))
+          return false;
+        // Float constants print integral values without a decimal point;
+        // restore the attribute kind arith.constant requires.
+        if (Code == OpCode::ArithConstantF && AttrName == "value" &&
+            A.kind() == Attribute::Kind::Int)
+          A = Attribute::makeFloat(double(A.asInt()));
+        Op->setAttr(AttrName, A);
+        if (Cur.consume("}"))
+          break;
+        if (!expect(","))
+          return false;
+      }
+    }
+
+    // Result types.
+    if (!ResultNames.empty()) {
+      if (!expect(":"))
+        return false;
+      for (size_t I = 0; I != ResultNames.size(); ++I) {
+        Type Ty;
+        if (!parseType(Ty))
+          return false;
+        Values[ResultNames[I]] = Op->addResult(Ty);
+        if (I + 1 != ResultNames.size() && !expect(","))
+          return false;
+      }
+    }
+
+    // Regions (scf.if prints "{...} else {...}" after the types).
+    int Regions = opcodeNumRegions(Code);
+    for (int R = 0; R != Regions; ++R) {
+      if (R == 1 && !expect("else"))
+        return false;
+      if (!expect("{"))
+        return false;
+      Block &Inner = Op->addRegion().emplaceBlock();
+      if (!parseBlockBody(Inner))
+        return false;
+    }
+    return true;
+  }
+
+  /// scf.for %iv = %lb to %ub step %step { body }
+  bool parseFor(Block &B) {
+    std::string Iv = Cur.valueName();
+    if (Iv.empty() || !expect("="))
+      return false;
+    Value *Lb = lookup(Cur.valueName());
+    if (!Lb || !expect("to"))
+      return false;
+    Value *Ub = lookup(Cur.valueName());
+    if (!Ub || !expect("step"))
+      return false;
+    Value *Step = lookup(Cur.valueName());
+    if (!Step || !expect("{"))
+      return false;
+
+    auto *Op = new Operation(OpCode::ScfFor);
+    Op->addOperand(Lb);
+    Op->addOperand(Ub);
+    Op->addOperand(Step);
+    Block &Body = Op->addRegion().emplaceBlock();
+    Values[Iv] = Body.addArgument(Ctx.i64());
+    B.push_back(Op);
+    return parseBlockBody(Body);
+  }
+
+  /// number | true | false | "string"
+  bool parseAttrValue(Attribute &Out) {
+    if (Cur.consume("true")) {
+      Out = Attribute::makeBool(true);
+      return true;
+    }
+    if (Cur.consume("false")) {
+      Out = Attribute::makeBool(false);
+      return true;
+    }
+    if (Cur.consume("\"")) {
+      std::string S;
+      while (Cur.peek() != '"' && Cur.peek() != '\0')
+        S += [&] {
+          std::string W = Cur.word();
+          if (!W.empty())
+            return W;
+          // Punctuation inside strings (rare): consume one char.
+          std::string One(1, Cur.peek());
+          Cur.consume(One);
+          return One;
+        }();
+      if (!expect("\""))
+        return false;
+      Out = Attribute::makeString(S);
+      return true;
+    }
+    std::string Num = Cur.number();
+    if (Num.empty()) {
+      fail("expected an attribute value");
+      return false;
+    }
+    // Integer when it round-trips as one (no '.', 'e', 'inf', 'nan').
+    bool IsInt = Num.find('.') == std::string::npos &&
+                 Num.find('e') == std::string::npos &&
+                 Num.find('E') == std::string::npos &&
+                 Num.find("inf") == std::string::npos &&
+                 Num.find("nan") == std::string::npos;
+    if (IsInt)
+      Out = Attribute::makeInt(std::atoll(Num.c_str()));
+    else
+      Out = Attribute::makeFloat(std::strtod(Num.c_str(), nullptr));
+    return true;
+  }
+};
+
+} // namespace
+
+ParseIRResult ir::parseIR(std::string_view Text, Context &Ctx) {
+  return ParserImpl(Text, Ctx).run();
+}

@@ -1,0 +1,38 @@
+//===- IRParser.h - Textual IR parser ---------------------------*- C++-*-===//
+//
+// Parses the textual form produced by ir/Printer.h back into IR, giving
+// the usual mlir-opt-style round trip:  parse(print(F)) prints
+// identically to F. Used by tests to write pass inputs as text and by
+// tooling.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_IRPARSER_H
+#define LIMPET_IR_IRPARSER_H
+
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace limpet {
+namespace ir {
+
+/// Result of a parse: the module, or an error message with a line number.
+struct ParseIRResult {
+  std::unique_ptr<Module> Mod;
+  std::string Error;
+
+  explicit operator bool() const { return Mod != nullptr; }
+};
+
+/// Parses one or more func.func definitions. Types are uniqued in \p Ctx,
+/// which must outlive the module.
+ParseIRResult parseIR(std::string_view Text, Context &Ctx);
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_IRPARSER_H

@@ -1,0 +1,72 @@
+//===- OpCodes.cpp --------------------------------------------------------===//
+
+#include "ir/OpCodes.h"
+
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::ir;
+
+namespace {
+struct OpInfo {
+  std::string_view Name;
+  int NumOperands;
+  int NumResults;
+  int NumRegions;
+  uint8_t Traits;
+};
+
+constexpr OpInfo OpInfos[] = {
+#define OP(Enum, Name, NumOperands, NumResults, NumRegions, Traits)           \
+  {Name, NumOperands, NumResults, NumRegions, Traits},
+#include "ir/Ops.def"
+};
+} // namespace
+
+static const OpInfo &infoOf(OpCode Op) {
+  auto Index = static_cast<size_t>(Op);
+  assert(Index < static_cast<size_t>(OpCode::NumOpCodes) && "invalid opcode");
+  return OpInfos[Index];
+}
+
+std::string_view ir::opcodeName(OpCode Op) { return infoOf(Op).Name; }
+int ir::opcodeNumOperands(OpCode Op) { return infoOf(Op).NumOperands; }
+int ir::opcodeNumResults(OpCode Op) { return infoOf(Op).NumResults; }
+int ir::opcodeNumRegions(OpCode Op) { return infoOf(Op).NumRegions; }
+uint8_t ir::opcodeTraits(OpCode Op) { return infoOf(Op).Traits; }
+
+std::string_view ir::cmpPredicateName(CmpPredicate Pred) {
+  switch (Pred) {
+  case CmpPredicate::LT:
+    return "lt";
+  case CmpPredicate::LE:
+    return "le";
+  case CmpPredicate::GT:
+    return "gt";
+  case CmpPredicate::GE:
+    return "ge";
+  case CmpPredicate::EQ:
+    return "eq";
+  case CmpPredicate::NE:
+    return "ne";
+  }
+  limpet_unreachable("invalid predicate");
+}
+
+bool ir::parseCmpPredicate(std::string_view Name, CmpPredicate &Out) {
+  if (Name == "lt")
+    Out = CmpPredicate::LT;
+  else if (Name == "le")
+    Out = CmpPredicate::LE;
+  else if (Name == "gt")
+    Out = CmpPredicate::GT;
+  else if (Name == "ge")
+    Out = CmpPredicate::GE;
+  else if (Name == "eq")
+    Out = CmpPredicate::EQ;
+  else if (Name == "ne")
+    Out = CmpPredicate::NE;
+  else
+    return false;
+  return true;
+}

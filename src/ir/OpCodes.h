@@ -1,0 +1,72 @@
+//===- OpCodes.h - Opcode enum and metadata ---------------------*- C++-*-===//
+//
+// The opcode enum for all operations (see Ops.def) plus per-opcode metadata
+// queries used by the builder, verifier, printer and passes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_OPCODES_H
+#define LIMPET_IR_OPCODES_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace limpet {
+namespace ir {
+
+/// Operation traits, usable as a bitmask.
+struct OpTraits {
+  enum : uint8_t {
+    None = 0,
+    /// No side effects, freely speculatable, CSE-able, hoistable.
+    Pure = 1,
+    /// Must be the last operation of its block.
+    Terminator = 2,
+    /// Reads memory but does not write it; hoistable when the read buffer
+    /// is not written inside the loop.
+    ReadOnly = 4,
+  };
+};
+
+enum class OpCode : uint16_t {
+#define OP(Enum, Name, NumOperands, NumResults, NumRegions, Traits) Enum,
+#include "ir/Ops.def"
+  NumOpCodes
+};
+
+/// Textual name, e.g. "arith.addf".
+std::string_view opcodeName(OpCode Op);
+
+/// Expected operand count; -1 for variadic.
+int opcodeNumOperands(OpCode Op);
+
+/// Expected result count; -1 for variadic.
+int opcodeNumResults(OpCode Op);
+
+/// Number of attached regions.
+int opcodeNumRegions(OpCode Op);
+
+/// Trait bitmask (see OpTraits).
+uint8_t opcodeTraits(OpCode Op);
+
+inline bool opcodeIsPure(OpCode Op) {
+  return opcodeTraits(Op) & OpTraits::Pure;
+}
+inline bool opcodeIsTerminator(OpCode Op) {
+  return opcodeTraits(Op) & OpTraits::Terminator;
+}
+inline bool opcodeIsReadOnly(OpCode Op) {
+  return opcodeTraits(Op) & OpTraits::ReadOnly;
+}
+
+/// Comparison predicates shared by arith.cmpf / arith.cmpi, stored as the
+/// "predicate" string attribute.
+enum class CmpPredicate : uint8_t { LT, LE, GT, GE, EQ, NE };
+
+std::string_view cmpPredicateName(CmpPredicate Pred);
+bool parseCmpPredicate(std::string_view Name, CmpPredicate &Out);
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_OPCODES_H

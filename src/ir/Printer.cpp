@@ -1,0 +1,162 @@
+//===- Printer.cpp --------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/IR.h"
+#include "support/Casting.h"
+
+#include <map>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+namespace {
+
+/// Stateful printer assigning %N / %argN names to values.
+class PrinterImpl {
+public:
+  std::string print(const Operation *Op) {
+    printOpRec(Op, 0);
+    return Out;
+  }
+
+private:
+  std::string Out;
+  std::map<const Value *, std::string> Names;
+  unsigned NextValue = 0;
+  unsigned NextArg = 0;
+
+  const std::string &nameOf(const Value *V) {
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    // A use before the def was printed (verifier would reject); name it
+    // anyway so the printer is total.
+    return Names[V] = "%u" + std::to_string(NextValue++);
+  }
+
+  void defineResult(const Value *V) {
+    Names[V] = "%" + std::to_string(NextValue++);
+  }
+
+  void defineArg(const Value *V) {
+    Names[V] = "%arg" + std::to_string(NextArg++);
+  }
+
+  void indent(int Depth) { Out.append(2 * Depth, ' '); }
+
+  void printBlock(const Block &B, int Depth) {
+    for (const Operation *Op : B.ops())
+      printOpRec(Op, Depth);
+  }
+
+  void printOpRec(const Operation *Op, int Depth) {
+    // func.func gets dedicated syntax.
+    if (Op->opcode() == OpCode::FuncFunc) {
+      indent(Depth);
+      Out += "func.func @";
+      Attribute SymName = Op->attr("sym_name");
+      Out += SymName ? SymName.asString() : "<unnamed>";
+      Out += "(";
+      const Block &Body = Op->region(0).front();
+      for (unsigned I = 0, E = Body.numArguments(); I != E; ++I) {
+        if (I)
+          Out += ", ";
+        defineArg(Body.argument(I));
+        Out += nameOf(Body.argument(I)) + ": " +
+               Body.argument(I)->type().str();
+      }
+      Out += ") {\n";
+      printBlock(Body, Depth + 1);
+      indent(Depth);
+      Out += "}\n";
+      return;
+    }
+
+    // scf.for gets loop syntax with a named induction variable.
+    if (Op->opcode() == OpCode::ScfFor) {
+      indent(Depth);
+      const Block &Body = Op->region(0).front();
+      defineArg(Body.argument(0));
+      Out += "scf.for " + nameOf(Body.argument(0)) + " = " +
+             nameOf(Op->operand(0)) + " to " + nameOf(Op->operand(1)) +
+             " step " + nameOf(Op->operand(2)) + " {\n";
+      printBlock(Body, Depth + 1);
+      indent(Depth);
+      Out += "}\n";
+      return;
+    }
+
+    indent(Depth);
+
+    // Results.
+    for (unsigned I = 0, E = Op->numResults(); I != E; ++I) {
+      defineResult(Op->result(I));
+      if (I)
+        Out += ", ";
+      Out += nameOf(Op->result(I));
+    }
+    if (Op->numResults())
+      Out += " = ";
+
+    Out += std::string(Op->name());
+
+    // Operands.
+    if (Op->numOperands()) {
+      Out += " ";
+      for (unsigned I = 0, E = Op->numOperands(); I != E; ++I) {
+        if (I)
+          Out += ", ";
+        Out += nameOf(Op->operand(I));
+      }
+    }
+
+    // Attributes.
+    if (!Op->attrs().empty()) {
+      Out += " {";
+      bool First = true;
+      for (const NamedAttribute &A : Op->attrs()) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        Out += A.Name + " = " + A.Value.str();
+      }
+      Out += "}";
+    }
+
+    // Result types.
+    if (Op->numResults()) {
+      Out += " : ";
+      for (unsigned I = 0, E = Op->numResults(); I != E; ++I) {
+        if (I)
+          Out += ", ";
+        Out += Op->result(I)->type().str();
+      }
+    }
+
+    // Regions (scf.if).
+    if (Op->numRegions()) {
+      for (unsigned I = 0, E = Op->numRegions(); I != E; ++I) {
+        Out += I == 0 ? " {\n" : " else {\n";
+        printBlock(Op->region(I).front(), Depth + 1);
+        indent(Depth);
+        Out += "}";
+      }
+    }
+    Out += "\n";
+  }
+};
+
+} // namespace
+
+std::string ir::printOp(const Operation *Op) {
+  PrinterImpl P;
+  return P.print(Op);
+}
+
+std::string ir::printModule(const Module &M) {
+  std::string Out;
+  for (const auto &F : M.functions())
+    Out += printOp(F.get());
+  return Out;
+}

@@ -1,0 +1,28 @@
+//===- Printer.h - Textual IR output ----------------------------*- C++-*-===//
+//
+// Prints modules / functions / operations in a generic MLIR-like textual
+// form, used by tests (golden outputs) and for debugging generated kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_PRINTER_H
+#define LIMPET_IR_PRINTER_H
+
+#include <string>
+
+namespace limpet {
+namespace ir {
+
+class Module;
+class Operation;
+
+/// Prints a whole module.
+std::string printModule(const Module &M);
+
+/// Prints a single operation (recursively, including regions).
+std::string printOp(const Operation *Op);
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_PRINTER_H

@@ -1,0 +1,40 @@
+//===- Type.cpp -----------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Casting.h"
+
+using namespace limpet;
+using namespace limpet::ir;
+
+static std::string scalarKindName(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::F64:
+    return "f64";
+  case TypeKind::I1:
+    return "i1";
+  case TypeKind::I64:
+    return "i64";
+  case TypeKind::Vector:
+  case TypeKind::MemRef:
+    break;
+  }
+  limpet_unreachable("not a scalar kind");
+}
+
+std::string Type::str() const {
+  if (!Storage)
+    return "<null-type>";
+  switch (Storage->Kind) {
+  case TypeKind::F64:
+  case TypeKind::I1:
+  case TypeKind::I64:
+    return scalarKindName(Storage->Kind);
+  case TypeKind::Vector:
+    return "vector<" + std::to_string(Storage->Width) + "x" +
+           scalarKindName(Storage->ElemKind) + ">";
+  case TypeKind::MemRef:
+    return "memref<?xf64>";
+  }
+  limpet_unreachable("invalid type kind");
+}

@@ -1,0 +1,103 @@
+//===- Type.h - IR type system ----------------------------------*- C++-*-===//
+//
+// Types for the limpetMLIR IR. Mirrors the slice of MLIR's type system the
+// paper's code generation uses: f64, i1, i64, fixed-width vectors thereof,
+// and a 1-D dynamically-sized memref of f64. Types are uniqued in the
+// Context and passed around as small value handles.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_TYPE_H
+#define LIMPET_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace limpet {
+namespace ir {
+
+class Context;
+
+/// Discriminator for TypeStorage.
+enum class TypeKind : uint8_t {
+  F64,    ///< 64-bit IEEE float.
+  I1,     ///< boolean / comparison result.
+  I64,    ///< 64-bit integer, also used as index type.
+  Vector, ///< fixed-width vector of a scalar type.
+  MemRef, ///< 1-D dynamically sized buffer of f64.
+};
+
+/// Uniqued immutable payload of a Type; owned by the Context.
+struct TypeStorage {
+  TypeKind Kind;
+  /// For Vector: element kind. Unused otherwise.
+  TypeKind ElemKind = TypeKind::F64;
+  /// For Vector: number of lanes. Unused otherwise.
+  unsigned Width = 0;
+};
+
+/// A small value handle onto a uniqued TypeStorage. A default-constructed
+/// Type is null; every Type vended by a Context is non-null.
+class Type {
+public:
+  Type() = default;
+  explicit Type(const TypeStorage *Storage) : Storage(Storage) {}
+
+  explicit operator bool() const { return Storage != nullptr; }
+  bool operator==(const Type &Other) const { return Storage == Other.Storage; }
+  bool operator!=(const Type &Other) const { return Storage != Other.Storage; }
+
+  TypeKind kind() const {
+    assert(Storage && "querying a null Type");
+    return Storage->Kind;
+  }
+
+  bool isF64() const { return Storage && Storage->Kind == TypeKind::F64; }
+  bool isI1() const { return Storage && Storage->Kind == TypeKind::I1; }
+  bool isI64() const { return Storage && Storage->Kind == TypeKind::I64; }
+  bool isVector() const {
+    return Storage && Storage->Kind == TypeKind::Vector;
+  }
+  bool isMemRef() const {
+    return Storage && Storage->Kind == TypeKind::MemRef;
+  }
+
+  /// True for f64 or vector-of-f64.
+  bool isFloatLike() const {
+    return isF64() || (isVector() && Storage->ElemKind == TypeKind::F64);
+  }
+  /// True for i1 or vector-of-i1.
+  bool isBoolLike() const {
+    return isI1() || (isVector() && Storage->ElemKind == TypeKind::I1);
+  }
+  /// True for i64 or vector-of-i64.
+  bool isIntLike() const {
+    return isI64() || (isVector() && Storage->ElemKind == TypeKind::I64);
+  }
+
+  /// Vector element kind; only valid on vector types.
+  TypeKind vectorElemKind() const {
+    assert(isVector() && "not a vector type");
+    return Storage->ElemKind;
+  }
+
+  /// Vector lane count; only valid on vector types.
+  unsigned vectorWidth() const {
+    assert(isVector() && "not a vector type");
+    return Storage->Width;
+  }
+
+  /// Renders e.g. "f64", "vector<8xf64>", "memref<?xf64>".
+  std::string str() const;
+
+  const TypeStorage *storage() const { return Storage; }
+
+private:
+  const TypeStorage *Storage = nullptr;
+};
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_TYPE_H

@@ -1,0 +1,312 @@
+//===- Verifier.cpp -------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IR.h"
+#include "support/Casting.h"
+
+#include <set>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifyResult run(const Operation *Func) {
+    if (Func->opcode() != OpCode::FuncFunc)
+      return fail(Func, "top-level op must be func.func");
+    if (Func->numRegions() != 1 || Func->region(0).empty())
+      return fail(Func, "func.func must have a single-block region");
+    const Block &Body = Func->region(0).front();
+    for (unsigned I = 0, E = Body.numArguments(); I != E; ++I)
+      Visible.insert(Body.argument(I));
+    if (VerifyResult R = verifyBlock(Body, /*RequireTerminator=*/true);
+        !R)
+      return R;
+    return VerifyResult::success();
+  }
+
+private:
+  std::set<const Value *> Visible;
+
+  static VerifyResult fail(const Operation *Op, const std::string &Msg) {
+    return VerifyResult::failure("'" + std::string(Op->name()) +
+                                 "': " + Msg);
+  }
+
+  VerifyResult verifyBlock(const Block &B, bool RequireTerminator) {
+    unsigned Index = 0;
+    for (const Operation *Op : B.ops()) {
+      bool IsLast = ++Index == B.ops().size();
+      if (Op->isTerminator() && !IsLast)
+        return fail(Op, "terminator must be the last op of its block");
+      if (IsLast && RequireTerminator && !Op->isTerminator())
+        return fail(Op, "block must end with a terminator");
+      if (VerifyResult R = verifyOp(Op); !R)
+        return R;
+    }
+    if (B.empty() && RequireTerminator)
+      return VerifyResult::failure("empty block requires a terminator");
+    return VerifyResult::success();
+  }
+
+  VerifyResult verifyOp(const Operation *Op) {
+    // Arity vs. the registry.
+    int ExpectedOperands = opcodeNumOperands(Op->opcode());
+    if (ExpectedOperands >= 0 &&
+        Op->numOperands() != unsigned(ExpectedOperands))
+      return fail(Op, "expected " + std::to_string(ExpectedOperands) +
+                          " operands, got " +
+                          std::to_string(Op->numOperands()));
+    int ExpectedResults = opcodeNumResults(Op->opcode());
+    if (ExpectedResults >= 0 && Op->numResults() != unsigned(ExpectedResults))
+      return fail(Op, "expected " + std::to_string(ExpectedResults) +
+                          " results, got " +
+                          std::to_string(Op->numResults()));
+    if (Op->numRegions() != unsigned(opcodeNumRegions(Op->opcode())))
+      return fail(Op, "wrong region count");
+
+    // Dominance: all operands must be visible here.
+    for (unsigned I = 0, E = Op->numOperands(); I != E; ++I) {
+      if (!Op->operand(I))
+        return fail(Op, "null operand #" + std::to_string(I));
+      if (!Visible.count(Op->operand(I)))
+        return fail(Op, "operand #" + std::to_string(I) +
+                            " does not dominate this use");
+    }
+
+    if (VerifyResult R = verifyTyping(Op); !R)
+      return R;
+
+    // Nested regions see the outer scope plus their block arguments.
+    for (unsigned RI = 0, RE = Op->numRegions(); RI != RE; ++RI) {
+      if (Op->region(RI).empty())
+        return fail(Op, "region #" + std::to_string(RI) + " has no block");
+      const Block &Inner = Op->region(RI).front();
+      std::vector<const Value *> Added;
+      for (unsigned AI = 0, AE = Inner.numArguments(); AI != AE; ++AI)
+        if (Visible.insert(Inner.argument(AI)).second)
+          Added.push_back(Inner.argument(AI));
+      bool RequireTerm = Op->opcode() == OpCode::ScfFor ||
+                         Op->opcode() == OpCode::ScfIf;
+      if (VerifyResult R = verifyBlock(Inner, RequireTerm); !R)
+        return R;
+      for (const Value *V : Added)
+        Visible.erase(V);
+      // The inner block's op results go out of scope as well; they were
+      // added during verifyBlock.
+      for (const Operation *InnerOp : Inner.ops())
+        for (unsigned ResI = 0, ResE = InnerOp->numResults(); ResI != ResE;
+             ++ResI)
+          Visible.erase(InnerOp->result(ResI));
+    }
+
+    // Results become visible after the op.
+    for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+      Visible.insert(Op->result(I));
+    return VerifyResult::success();
+  }
+
+  VerifyResult verifyTyping(const Operation *Op) {
+    auto Operand = [&](unsigned I) { return Op->operand(I)->type(); };
+    auto Result = [&](unsigned I) { return Op->result(I)->type(); };
+
+    switch (Op->opcode()) {
+    case OpCode::ArithConstantF:
+      if (!Op->hasAttr("value"))
+        return fail(Op, "missing 'value' attribute");
+      if (!Result(0).isFloatLike())
+        return fail(Op, "result must be float-like");
+      return VerifyResult::success();
+    case OpCode::ArithConstantI:
+      if (!Op->hasAttr("value"))
+        return fail(Op, "missing 'value' attribute");
+      return VerifyResult::success();
+    case OpCode::ArithAddF:
+    case OpCode::ArithSubF:
+    case OpCode::ArithMulF:
+    case OpCode::ArithDivF:
+    case OpCode::ArithRemF:
+    case OpCode::ArithMinF:
+    case OpCode::ArithMaxF:
+    case OpCode::MathPow:
+      if (Operand(0) != Operand(1) || Operand(0) != Result(0) ||
+          !Operand(0).isFloatLike())
+        return fail(Op, "operands/result must share a float-like type");
+      return VerifyResult::success();
+    case OpCode::ArithNegF:
+    case OpCode::MathExp:
+    case OpCode::MathExpm1:
+    case OpCode::MathLog:
+    case OpCode::MathLog10:
+    case OpCode::MathSqrt:
+    case OpCode::MathSin:
+    case OpCode::MathCos:
+    case OpCode::MathTan:
+    case OpCode::MathTanh:
+    case OpCode::MathSinh:
+    case OpCode::MathCosh:
+    case OpCode::MathAtan:
+    case OpCode::MathAsin:
+    case OpCode::MathAcos:
+    case OpCode::MathAbs:
+    case OpCode::MathFloor:
+    case OpCode::MathCeil:
+      if (Operand(0) != Result(0) || !Operand(0).isFloatLike())
+        return fail(Op, "operand/result must share a float-like type");
+      return VerifyResult::success();
+    case OpCode::ArithCmpF: {
+      CmpPredicate Pred;
+      Attribute PredAttr = Op->attr("predicate");
+      if (!PredAttr || !parseCmpPredicate(PredAttr.asString(), Pred))
+        return fail(Op, "missing or invalid 'predicate' attribute");
+      if (Operand(0) != Operand(1) || !Operand(0).isFloatLike())
+        return fail(Op, "operands must share a float-like type");
+      if (!Result(0).isBoolLike())
+        return fail(Op, "result must be bool-like");
+      return VerifyResult::success();
+    }
+    case OpCode::ArithCmpI: {
+      CmpPredicate Pred;
+      Attribute PredAttr = Op->attr("predicate");
+      if (!PredAttr || !parseCmpPredicate(PredAttr.asString(), Pred))
+        return fail(Op, "missing or invalid 'predicate' attribute");
+      if (Operand(0) != Operand(1) || !Operand(0).isIntLike())
+        return fail(Op, "operands must share an int-like type");
+      if (!Result(0).isBoolLike())
+        return fail(Op, "result must be bool-like");
+      return VerifyResult::success();
+    }
+    case OpCode::ArithSelect:
+      if (!Operand(0).isBoolLike())
+        return fail(Op, "condition must be bool-like");
+      if (Operand(1) != Operand(2) || Operand(1) != Result(0))
+        return fail(Op, "select arms/result types must match");
+      return VerifyResult::success();
+    case OpCode::ArithAddI:
+    case OpCode::ArithSubI:
+    case OpCode::ArithMulI:
+    case OpCode::ArithDivI:
+    case OpCode::ArithRemI:
+      if (Operand(0) != Operand(1) || Operand(0) != Result(0) ||
+          !Operand(0).isIntLike())
+        return fail(Op, "operands/result must share an int-like type");
+      return VerifyResult::success();
+    case OpCode::ArithAndI:
+    case OpCode::ArithOrI:
+    case OpCode::ArithXOrI:
+      if (Operand(0) != Operand(1) || Operand(0) != Result(0))
+        return fail(Op, "operands/result types must match");
+      return VerifyResult::success();
+    case OpCode::MemLoad:
+      if (!Operand(0).isMemRef() || !Operand(1).isI64())
+        return fail(Op, "expected (memref, i64) operands");
+      if (!Result(0).isF64())
+        return fail(Op, "result must be f64");
+      return VerifyResult::success();
+    case OpCode::MemStore:
+      if (!Operand(0).isF64() || !Operand(1).isMemRef() ||
+          !Operand(2).isI64())
+        return fail(Op, "expected (f64, memref, i64) operands");
+      return VerifyResult::success();
+    case OpCode::VecBroadcast:
+      if (!Result(0).isVector())
+        return fail(Op, "result must be a vector");
+      if (Operand(0).isVector())
+        return fail(Op, "operand must be scalar");
+      return VerifyResult::success();
+    case OpCode::VecLoad:
+      if (!Operand(0).isMemRef() || !Operand(1).isI64())
+        return fail(Op, "expected (memref, i64) operands");
+      if (!Result(0).isVector())
+        return fail(Op, "result must be a vector");
+      return VerifyResult::success();
+    case OpCode::VecStore:
+      if (!Operand(0).isVector() || !Operand(1).isMemRef() ||
+          !Operand(2).isI64())
+        return fail(Op, "expected (vector, memref, i64) operands");
+      return VerifyResult::success();
+    case OpCode::VecGather:
+      if (!Operand(0).isMemRef() || !Operand(1).isI64())
+        return fail(Op, "expected (memref, i64) operands");
+      if (!Op->hasAttr("stride"))
+        return fail(Op, "missing 'stride' attribute");
+      if (!Result(0).isVector())
+        return fail(Op, "result must be a vector");
+      return VerifyResult::success();
+    case OpCode::VecScatter:
+      if (!Operand(0).isVector() || !Operand(1).isMemRef() ||
+          !Operand(2).isI64())
+        return fail(Op, "expected (vector, memref, i64) operands");
+      if (!Op->hasAttr("stride"))
+        return fail(Op, "missing 'stride' attribute");
+      return VerifyResult::success();
+    case OpCode::VecStepVector:
+      if (!Result(0).isVector() ||
+          Result(0).vectorElemKind() != TypeKind::I64)
+        return fail(Op, "result must be a vector of i64");
+      return VerifyResult::success();
+    case OpCode::ScfFor:
+      if (!Operand(0).isI64() || !Operand(1).isI64() || !Operand(2).isI64())
+        return fail(Op, "bounds must be i64");
+      if (Op->region(0).front().numArguments() != 1 ||
+          !Op->region(0).front().argument(0)->type().isI64())
+        return fail(Op, "body must have a single i64 induction argument");
+      return VerifyResult::success();
+    case OpCode::ScfIf: {
+      if (!Operand(0).isI1())
+        return fail(Op, "condition must be i1");
+      // Both region terminators must yield the result types.
+      for (unsigned RI = 0; RI != 2; ++RI) {
+        const Operation *Term = Op->region(RI).front().terminator();
+        if (!Term || Term->opcode() != OpCode::ScfYield)
+          return fail(Op, "region must end with scf.yield");
+        if (Term->numOperands() != Op->numResults())
+          return fail(Op, "yield arity must match if results");
+        for (unsigned I = 0, E = Term->numOperands(); I != E; ++I)
+          if (Term->operand(I)->type() != Op->result(I)->type())
+            return fail(Op, "yield operand type mismatch");
+      }
+      return VerifyResult::success();
+    }
+    case OpCode::ScfYield:
+    case OpCode::FuncReturn:
+      return VerifyResult::success();
+    case OpCode::LutCoord:
+      if (!Op->hasAttr("table"))
+        return fail(Op, "missing 'table' attribute");
+      if (!Operand(0).isFloatLike())
+        return fail(Op, "input must be float-like");
+      if (!Result(0).isIntLike() || !Result(1).isFloatLike())
+        return fail(Op, "results must be (int-like, float-like)");
+      return VerifyResult::success();
+    case OpCode::LutInterp:
+      if (!Op->hasAttr("table") || !Op->hasAttr("col"))
+        return fail(Op, "missing 'table'/'col' attribute");
+      if (!Operand(0).isIntLike() || !Operand(1).isFloatLike())
+        return fail(Op, "operands must be (int-like, float-like)");
+      return VerifyResult::success();
+    case OpCode::FuncFunc:
+      return fail(Op, "nested func.func is not allowed");
+    case OpCode::NumOpCodes:
+      break;
+    }
+    limpet_unreachable("unhandled opcode in verifier");
+  }
+};
+
+} // namespace
+
+VerifyResult ir::verifyFunction(const Operation *Func) {
+  VerifierImpl V;
+  return V.run(Func);
+}
+
+VerifyResult ir::verifyModule(const Module &M) {
+  for (const auto &F : M.functions())
+    if (VerifyResult R = verifyFunction(F.get()); !R)
+      return R;
+  return VerifyResult::success();
+}

@@ -1,0 +1,41 @@
+//===- Verifier.h - IR structural and type verification ---------*- C++-*-===//
+//
+// Verifies module / function invariants: operand and result arities per
+// opcode, per-op typing rules, required attributes, terminator placement and
+// SSA dominance (defs precede uses, respecting region nesting).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_IR_VERIFIER_H
+#define LIMPET_IR_VERIFIER_H
+
+#include <string>
+
+namespace limpet {
+namespace ir {
+
+class Module;
+class Operation;
+
+/// Result of a verification run. Empty message means success.
+struct VerifyResult {
+  bool Ok = true;
+  std::string Message;
+
+  explicit operator bool() const { return Ok; }
+  static VerifyResult success() { return {}; }
+  static VerifyResult failure(std::string Msg) {
+    return {false, std::move(Msg)};
+  }
+};
+
+/// Verifies a func.func operation.
+VerifyResult verifyFunction(const Operation *Func);
+
+/// Verifies every function in a module.
+VerifyResult verifyModule(const Module &M);
+
+} // namespace ir
+} // namespace limpet
+
+#endif // LIMPET_IR_VERIFIER_H

@@ -1,0 +1,366 @@
+//===- ClassicModels.cpp --------------------------------------------------===//
+
+#include "models/ClassicModels.h"
+
+using namespace limpet;
+using namespace limpet::models;
+
+namespace {
+
+// --- Hodgkin-Huxley 1952 (squid axon, shifted to mV) ----------------------
+constexpr const char HodgkinHuxleySrc[] = R"EML(
+# Hodgkin & Huxley (1952), J Physiol 117:500-544.
+Vm; .external(); .nodal(); .lookup(-100, 100, 0.05);
+Iion; .external(); .nodal();
+Vm_init = -65.0;
+
+group{ gNa = 120.0; gK = 36.0; gL = 0.3;
+       ENa = 50.0; EK = -77.0; EL = -54.387; }.param();
+
+alpha_m = (fabs(Vm+40.0) < 1e-6) ? 1.0
+          : 0.1*(Vm+40.0)/(1.0-exp(-(Vm+40.0)/10.0));
+beta_m  = 4.0*exp(-(Vm+65.0)/18.0);
+alpha_h = 0.07*exp(-(Vm+65.0)/20.0);
+beta_h  = 1.0/(1.0+exp(-(Vm+35.0)/10.0));
+alpha_n = (fabs(Vm+55.0) < 1e-6) ? 0.1
+          : 0.01*(Vm+55.0)/(1.0-exp(-(Vm+55.0)/10.0));
+beta_n  = 0.125*exp(-(Vm+65.0)/80.0);
+
+diff_m = alpha_m*(1.0-m) - beta_m*m;
+diff_h = alpha_h*(1.0-h) - beta_h*h;
+diff_n = alpha_n*(1.0-n) - beta_n*n;
+m_init = 0.0529; h_init = 0.5961; n_init = 0.3177;
+m; .method(rush_larsen);
+h; .method(rush_larsen);
+n; .method(rush_larsen);
+
+INa = gNa*m*m*m*h*(Vm-ENa);
+IK  = gK*n*n*n*n*(Vm-EK);
+IL  = gL*(Vm-EL);
+Iion = INa + IK + IL;
+)EML";
+
+// --- Beeler-Reuter 1977 -----------------------------------------------------
+constexpr const char BeelerReuterSrc[] = R"EML(
+# Beeler & Reuter (1977), J Physiol 268:177-210. Ventricular myocyte.
+Vm; .external(); .nodal(); .lookup(-100, 100, 0.05);
+Iion; .external(); .nodal();
+Vm_init = -84.574;
+
+group{ gNa = 4.0; gNaC = 0.003; ENa = 50.0; gs = 0.09; }.param();
+
+alpha_m = (fabs(Vm+47.0) < 1e-6) ? 10.0
+          : -(Vm+47.0)/(exp(-0.1*(Vm+47.0))-1.0);
+beta_m  = 40.0*exp(-0.056*(Vm+72.0));
+alpha_h = 0.126*exp(-0.25*(Vm+77.0));
+beta_h  = 1.7/(exp(-0.082*(Vm+22.5))+1.0);
+alpha_j = 0.055*exp(-0.25*(Vm+78.0))/(exp(-0.2*(Vm+78.0))+1.0);
+beta_j  = 0.3/(exp(-0.1*(Vm+32.0))+1.0);
+alpha_d = 0.095*exp(-0.01*(Vm-5.0))/(exp(-0.072*(Vm-5.0))+1.0);
+beta_d  = 0.07*exp(-0.017*(Vm+44.0))/(exp(0.05*(Vm+44.0))+1.0);
+alpha_f = 0.012*exp(-0.008*(Vm+28.0))/(exp(0.15*(Vm+28.0))+1.0);
+beta_f  = 0.0065*exp(-0.02*(Vm+30.0))/(exp(-0.2*(Vm+30.0))+1.0);
+alpha_x1 = 0.0005*exp(0.083*(Vm+50.0))/(exp(0.057*(Vm+50.0))+1.0);
+beta_x1  = 0.0013*exp(-0.06*(Vm+20.0))/(exp(-0.04*(Vm+20.0))+1.0);
+
+diff_m  = alpha_m*(1.0-m) - beta_m*m;
+diff_h  = alpha_h*(1.0-h) - beta_h*h;
+diff_j  = alpha_j*(1.0-j) - beta_j*j;
+diff_d  = alpha_d*(1.0-d) - beta_d*d;
+diff_f  = alpha_f*(1.0-f) - beta_f*f;
+diff_x1 = alpha_x1*(1.0-x1) - beta_x1*x1;
+m_init = 0.011; h_init = 0.988; j_init = 0.975;
+d_init = 0.003; f_init = 0.994; x1_init = 0.0001;
+m;  .method(rush_larsen);
+h;  .method(rush_larsen);
+j;  .method(rush_larsen);
+d;  .method(rush_larsen);
+f;  .method(rush_larsen);
+x1; .method(rush_larsen);
+
+Es = -82.3 - 13.0287*log(Cai);
+INa = (gNa*m*m*m*h*j + gNaC)*(Vm-ENa);
+Is  = gs*d*f*(Vm-Es);
+Ix1 = x1*0.8*(exp(0.04*(Vm+77.0))-1.0)/exp(0.04*(Vm+35.0));
+IK1 = 0.35*(4.0*(exp(0.04*(Vm+85.0))-1.0)
+        /(exp(0.08*(Vm+53.0))+exp(0.04*(Vm+53.0)))
+      + 0.2*((fabs(Vm+23.0) < 1e-6) ? 25.0
+             : (Vm+23.0)/(1.0-exp(-0.04*(Vm+23.0)))));
+
+diff_Cai = -1.0e-7*Is + 0.07*(1.0e-7 - Cai);
+Cai_init = 1.0e-7;
+
+Iion = INa + Is + Ix1 + IK1;
+)EML";
+
+// --- Luo-Rudy 1991 -----------------------------------------------------------
+constexpr const char LuoRudy91Src[] = R"EML(
+# Luo & Rudy (1991), Circ Res 68:1501-1526. Guinea pig ventricle.
+Vm; .external(); .nodal(); .lookup(-100, 100, 0.05);
+Iion; .external(); .nodal();
+Vm_init = -84.38;
+
+group{ gNa = 23.0; ENa = 54.4; gsi = 0.09;
+       gK = 0.282; EK = -77.0; EK1 = -87.2; }.param();
+
+alpha_m = (fabs(Vm+47.13) < 1e-6) ? 3.2
+          : 0.32*(Vm+47.13)/(1.0-exp(-0.1*(Vm+47.13)));
+beta_m  = 0.08*exp(-Vm/11.0);
+alpha_h = (Vm < -40.0) ? 0.135*exp(-(80.0+Vm)/6.8) : 0.0;
+beta_h  = (Vm < -40.0)
+          ? 3.56*exp(0.079*Vm)+310000.0*exp(0.35*Vm)
+          : 1.0/(0.13*(1.0+exp(-(Vm+10.66)/11.1)));
+alpha_j = (Vm < -40.0)
+          ? (-127140.0*exp(0.2444*Vm)-0.00003474*exp(-0.04391*Vm))
+            *(Vm+37.78)/(1.0+exp(0.311*(Vm+79.23)))
+          : 0.0;
+beta_j  = (Vm < -40.0)
+          ? 0.1212*exp(-0.01052*Vm)/(1.0+exp(-0.1378*(Vm+40.14)))
+          : 0.3*exp(-0.0000002535*Vm)/(1.0+exp(-0.1*(Vm+32.0)));
+alpha_d = 0.095*exp(-0.01*(Vm-5.0))/(1.0+exp(-0.072*(Vm-5.0)));
+beta_d  = 0.07*exp(-0.017*(Vm+44.0))/(1.0+exp(0.05*(Vm+44.0)));
+alpha_f = 0.012*exp(-0.008*(Vm+28.0))/(1.0+exp(0.15*(Vm+28.0)));
+beta_f  = 0.0065*exp(-0.02*(Vm+30.0))/(1.0+exp(-0.2*(Vm+30.0)));
+alpha_X = 0.0005*exp(0.083*(Vm+50.0))/(1.0+exp(0.057*(Vm+50.0)));
+beta_X  = 0.0013*exp(-0.06*(Vm+20.0))/(1.0+exp(-0.04*(Vm+20.0)));
+
+diff_m = alpha_m*(1.0-m) - beta_m*m;
+diff_h = alpha_h*(1.0-h) - beta_h*h;
+diff_j = alpha_j*(1.0-j) - beta_j*j;
+diff_d = alpha_d*(1.0-d) - beta_d*d;
+diff_f = alpha_f*(1.0-f) - beta_f*f;
+diff_X = alpha_X*(1.0-X) - beta_X*X;
+m_init = 0.0017; h_init = 0.9832; j_init = 0.9895;
+d_init = 0.003;  f_init = 0.9999; X_init = 0.0057;
+m; .method(rush_larsen);
+h; .method(rush_larsen);
+j; .method(rush_larsen);
+d; .method(rush_larsen);
+f; .method(rush_larsen);
+X; .method(rush_larsen);
+
+Esi = 7.7 - 13.0287*log(Cai);
+INa = gNa*m*m*m*h*j*(Vm-ENa);
+Isi = gsi*d*f*(Vm-Esi);
+Xi  = (Vm > -100.0)
+      ? ((fabs(Vm+77.0) < 1e-6) ? 0.608
+         : 2.837*(exp(0.04*(Vm+77.0))-1.0)/((Vm+77.0)*exp(0.04*(Vm+35.0))))
+      : 1.0;
+IK  = gK*X*Xi*(Vm-EK);
+ak1 = 1.02/(1.0+exp(0.2385*(Vm-EK1-59.215)));
+bk1 = (0.49124*exp(0.08032*(Vm-EK1+5.476))
+       + exp(0.06175*(Vm-EK1-594.31)))
+      /(1.0+exp(-0.5143*(Vm-EK1+4.753)));
+K1inf = ak1/(ak1+bk1);
+IK1 = 0.6047*K1inf*(Vm-EK1);
+Kp  = 1.0/(1.0+exp((7.488-Vm)/5.98));
+IKp = 0.0183*Kp*(Vm-EK1);
+Ib  = 0.03921*(Vm+59.87);
+
+diff_Cai = -0.0001*Isi + 0.07*(0.0001 - Cai);
+Cai_init = 0.0002;
+
+Iion = INa + Isi + IK + IK1 + IKp + Ib;
+)EML";
+
+// --- Drouhard-Roberge 1987 (modified Beeler-Reuter INa) -----------------------
+constexpr const char DrouhardRobergeSrc[] = R"EML(
+# Drouhard & Roberge (1987), Comput Biomed Res 20:333-350.
+Vm; .external(); .nodal(); .lookup(-100, 100, 0.05);
+Iion; .external(); .nodal();
+Vm_init = -84.0;
+
+group{ gNa = 15.0; ENa = 40.0; gs = 0.09; }.param();
+
+alpha_m = (fabs(Vm+42.65) < 1e-6) ? 4.0909
+          : 0.9*(Vm+42.65)/(1.0-exp(-0.22*(Vm+42.65)));
+beta_m  = 1.437*exp(-0.085*(Vm+39.75));
+alpha_h = 0.1*exp(-0.193*(Vm+79.65));
+beta_h  = 1.7/(1.0+exp(-0.095*(Vm+20.4)));
+alpha_d = 0.095*exp(-0.01*(Vm-5.0))/(1.0+exp(-0.072*(Vm-5.0)));
+beta_d  = 0.07*exp(-0.017*(Vm+44.0))/(1.0+exp(0.05*(Vm+44.0)));
+alpha_f = 0.012*exp(-0.008*(Vm+28.0))/(1.0+exp(0.15*(Vm+28.0)));
+beta_f  = 0.0065*exp(-0.02*(Vm+30.0))/(1.0+exp(-0.2*(Vm+30.0)));
+
+diff_m = alpha_m*(1.0-m) - beta_m*m;
+diff_h = alpha_h*(1.0-h) - beta_h*h;
+diff_d = alpha_d*(1.0-d) - beta_d*d;
+diff_f = alpha_f*(1.0-f) - beta_f*f;
+m_init = 0.01; h_init = 0.99; d_init = 0.003; f_init = 0.99;
+m; .method(rush_larsen);
+h; .method(rush_larsen);
+d; .method(rush_larsen);
+f; .method(rush_larsen);
+
+Es = -82.3 - 13.0287*log(Cai);
+INa = gNa*m*m*m*h*(Vm-ENa);
+Is  = gs*d*f*(Vm-Es);
+IK1 = 0.35*(4.0*(exp(0.04*(Vm+85.0))-1.0)
+        /(exp(0.08*(Vm+53.0))+exp(0.04*(Vm+53.0)))
+      + 0.2*((fabs(Vm+23.0) < 1e-6) ? 25.0
+             : (Vm+23.0)/(1.0-exp(-0.04*(Vm+23.0)))));
+
+diff_Cai = -1.0e-7*Is + 0.07*(1.0e-7 - Cai);
+Cai_init = 1.0e-7;
+
+Iion = INa + Is + IK1;
+)EML";
+
+// --- Noble 1962 (Purkinje fibre) -----------------------------------------------
+constexpr const char Noble62Src[] = R"EML(
+# Noble (1962), J Physiol 160:317-352. Purkinje fibre adaptation of HH.
+Vm; .external(); .nodal(); .lookup(-100, 100, 0.05);
+Iion; .external(); .nodal();
+Vm_init = -87.0;
+
+group{ gNaMax = 400.0; ENa = 40.0; gL = 0.075; EL = -60.0; }.param();
+
+alpha_m = (fabs(Vm+48.0) < 1e-6) ? 1.0
+          : 0.1*(Vm+48.0)/(1.0-exp(-(Vm+48.0)/15.0));
+beta_m  = (fabs(Vm+8.0) < 1e-6) ? 0.6
+          : 0.12*(Vm+8.0)/(exp((Vm+8.0)/5.0)-1.0);
+alpha_h = 0.17*exp(-(Vm+90.0)/20.0);
+beta_h  = 1.0/(1.0+exp(-(Vm+42.0)/10.0));
+alpha_n = (fabs(Vm+50.0) < 1e-6) ? 0.001
+          : 0.0001*(Vm+50.0)/(1.0-exp(-(Vm+50.0)/10.0));
+beta_n  = 0.002*exp(-(Vm+90.0)/80.0);
+
+diff_m = alpha_m*(1.0-m) - beta_m*m;
+diff_h = alpha_h*(1.0-h) - beta_h*h;
+diff_n = alpha_n*(1.0-n) - beta_n*n;
+m_init = 0.076; h_init = 0.606; n_init = 0.473;
+m; .method(rush_larsen);
+h; .method(rush_larsen);
+n; .method(rush_larsen);
+
+gNa = gNaMax*m*m*m*h;
+gK1 = 1.2*exp(-(Vm+90.0)/50.0) + 0.015*exp((Vm+90.0)/60.0);
+gK2 = 1.2*n*n*n*n;
+INa = (gNa + 0.14)*(Vm-ENa);
+IK  = (gK1 + gK2)*(Vm+100.0);
+IL  = gL*(Vm-EL);
+Iion = INa + IK + IL;
+)EML";
+
+// --- Mitchell-Schaeffer 2003 ------------------------------------------------------
+constexpr const char MitchellSchaefferSrc[] = R"EML(
+# Mitchell & Schaeffer (2003), Bull Math Biol 65:767-793.
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+Vm_init = -80.0;
+
+group{ tau_in = 0.3; tau_out = 6.0; tau_open = 120.0; tau_close = 150.0;
+       v_gate = 0.13; V_min = -80.0; V_max = 20.0; }.param();
+
+u = (Vm - V_min)/(V_max - V_min);
+J_in  = h*u*u*(1.0-u)/tau_in;
+J_out = -u/tau_out;
+
+if (u < v_gate) {
+  dh = (1.0-h)/tau_open;
+} else {
+  dh = -h/tau_close;
+}
+diff_h = dh;
+h_init = 1.0;
+
+Iion = -(J_in + J_out)*(V_max - V_min);
+)EML";
+
+// --- Aliev-Panfilov 1996 --------------------------------------------------------
+constexpr const char AlievPanfilovSrc[] = R"EML(
+# Aliev & Panfilov (1996), Chaos Solitons Fractals 7:293-301.
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+Vm_init = -80.0;
+
+group{ k = 8.0; a = 0.15; eps0 = 0.002; mu1 = 0.2; mu2 = 0.3;
+       t_scale = 0.0129; }.param();
+
+u = (Vm + 80.0)/100.0;
+eps = eps0 + mu1*w/(u + mu2);
+diff_w = t_scale*eps*(-w - k*u*(u - a - 1.0));
+w_init = 0.0;
+
+Iion = 100.0*t_scale*(k*u*(u - a)*(u - 1.0) + u*w);
+)EML";
+
+// --- Fenton-Karma 1998 -------------------------------------------------------------
+constexpr const char FentonKarmaSrc[] = R"EML(
+# Fenton & Karma (1998), Chaos 8:20-47. Three-variable reentry model.
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+Vm_init = -85.0;
+
+group{ u_c = 0.13; u_v = 0.04; g_fi = 4.0;
+       tau_r = 33.33; tau_si = 29.0; tau_0 = 12.5;
+       tau_vp = 3.33; tau_vm1 = 1250.0; tau_vm2 = 19.6;
+       tau_wp = 870.0; tau_wm = 41.0;
+       u_csi = 0.85; kk = 10.0; }.param();
+
+u = (Vm + 85.0)/100.0;
+p = (u < u_c) ? 0.0 : 1.0;
+q = (u < u_v) ? 0.0 : 1.0;
+
+tau_vm = q*tau_vm1 + (1.0-q)*tau_vm2;
+diff_v = (1.0-p)*(1.0-v)/tau_vm - p*v/tau_vp;
+diff_w = (1.0-p)*(1.0-w)/tau_wm - p*w/tau_wp;
+v_init = 1.0;
+w_init = 1.0;
+
+J_fi = -v*p*(1.0-u)*(u-u_c)*g_fi;
+J_so = u*(1.0-p)/tau_0 + p/tau_r;
+J_si = -w*(1.0+tanh(kk*(u-u_csi)))/(2.0*tau_si);
+
+Iion = 100.0*(J_fi + J_so + J_si);
+)EML";
+
+// --- Plonsey (passive membrane with a single recovery variable) ------------------------
+constexpr const char PlonseySrc[] = R"EML(
+# Plonsey-style passive membrane patch with linear recovery.
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+Vm_init = -85.0;
+
+group{ gm = 0.15; Em = -85.0; gw = 0.02; }.param();
+
+diff_w = 0.05*((Vm - Em) - 4.0*w);
+w_init = 0.0;
+
+Iion = gm*(Vm - Em) + gw*w;
+)EML";
+
+// --- Pathmanathan (paper Listing 1, modified) --------------------------------------------
+constexpr const char PathmanathanSrc[] = R"EML(
+# Modified Pathmanathan-Gray verification model (paper Listing 1).
+Vm; .external(); .nodal(); .lookup(-100, 100, 0.05);
+Iion; .external(); .nodal();
+group{ u1; u2; u3; }.nodal();
+
+group{ Cm = 200.0; beta = 1.0; xi = 3.0; }.param();
+u1_init = 0.0; u2_init = 0.0; u3_init = 0.0; Vm_init = 0.0;
+diff_u3 = 0.0;
+diff_u2 = -(u1+u3-Vm)*cube(u2);
+diff_u1 = square(u1+u3-Vm)*square(u2)+0.5*(u1+u3-Vm);
+u1; .method(rk2);
+
+Iion = (-(Cm/2.0)*(u1+u3-Vm)*square(u2)*(Vm-u3)+beta);
+)EML";
+
+} // namespace
+
+const std::vector<ClassicModel> &models::classicModels() {
+  static const std::vector<ClassicModel> Models = {
+      {"HodgkinHuxley", HodgkinHuxleySrc, 'M'},
+      {"BeelerReuter", BeelerReuterSrc, 'M'},
+      {"LuoRudy91", LuoRudy91Src, 'M'},
+      {"DrouhardRoberge", DrouhardRobergeSrc, 'S'},
+      {"Noble62", Noble62Src, 'M'},
+      {"MitchellSchaeffer", MitchellSchaefferSrc, 'S'},
+      {"AlievPanfilov", AlievPanfilovSrc, 'S'},
+      {"FentonKarma", FentonKarmaSrc, 'M'},
+      {"Plonsey", PlonseySrc, 'S'},
+      {"Pathmanathan", PathmanathanSrc, 'S'},
+  };
+  return Models;
+}

@@ -1,0 +1,32 @@
+//===- ClassicModels.h - Hand-written EasyML ionic models -------*- C++-*-===//
+//
+// Faithful EasyML transcriptions of classical ionic models from the
+// literature (Hodgkin-Huxley 1952, Beeler-Reuter 1977, Luo-Rudy 1991,
+// Drouhard-Roberge 1987, Noble 1962, Mitchell-Schaeffer 2003,
+// Aliev-Panfilov 1996, Fenton-Karma 1998, Plonsey, and the modified
+// Pathmanathan model from the paper's Listing 1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_MODELS_CLASSICMODELS_H
+#define LIMPET_MODELS_CLASSICMODELS_H
+
+#include <string_view>
+#include <vector>
+
+namespace limpet {
+namespace models {
+
+struct ClassicModel {
+  std::string_view Name;
+  std::string_view Source;
+  char SizeClass; ///< 'S', 'M' or 'L' (paper classification)
+};
+
+/// All hand-written classical models.
+const std::vector<ClassicModel> &classicModels();
+
+} // namespace models
+} // namespace limpet
+
+#endif // LIMPET_MODELS_CLASSICMODELS_H

@@ -1,0 +1,159 @@
+//===- Registry.cpp -------------------------------------------------------===//
+
+#include "models/Registry.h"
+
+#include "models/ClassicModels.h"
+#include "models/SyntheticModel.h"
+
+using namespace limpet;
+using namespace limpet::models;
+
+namespace {
+
+struct SynthEntry {
+  const char *Name;
+  char SizeClass;
+  SyntheticSpec Spec;
+};
+
+/// Builds the synthetic entries: openCARP model names carried by
+/// calibrated workloads (DESIGN.md, substitution 4). Gate/pool/current
+/// counts scale with the paper's class: small models have a handful of
+/// state variables, large models tens of them with many currents.
+std::vector<SynthEntry> syntheticEntries() {
+  auto Spec = [](const char *Name, uint64_t Seed, int Gates, int Pools,
+                 int Markov, int Rk2, int Rk4, int Currents, bool Lut,
+                 bool Heavy) {
+    SyntheticSpec S;
+    S.Name = Name;
+    S.Seed = Seed;
+    S.NumGates = Gates;
+    S.NumPools = Pools;
+    S.NumMarkov = Markov;
+    S.NumRk2 = Rk2;
+    S.NumRk4 = Rk4;
+    S.NumCurrents = Currents;
+    S.UseLut = Lut;
+    S.HeavyMath = Heavy;
+    return S;
+  };
+
+  std::vector<SynthEntry> E;
+  // --- small (3 synthetic + 5 classic = 8) -------------------------------
+  // ISAC_Hu: costly math, no LUT (the paper calls this out explicitly).
+  E.push_back({"ISAC_Hu", 'S',
+               Spec("ISAC_Hu", 101, 1, 1, 0, 0, 0, 3, false, true)});
+  E.push_back({"IKChCheng", 'S',
+               Spec("IKChCheng", 102, 2, 0, 0, 0, 0, 2, true, false)});
+  E.push_back({"Stress_Lumens", 'S',
+               Spec("Stress_Lumens", 103, 1, 2, 0, 1, 0, 2, false, false)});
+
+  // --- medium (17 synthetic + 5 classic = 22) ------------------------------
+  E.push_back({"Stress_Niederer", 'M',
+               Spec("Stress_Niederer", 201, 4, 3, 0, 1, 0, 5, false, false)});
+  E.push_back({"MacCannell", 'M',
+               Spec("MacCannell", 202, 4, 1, 0, 0, 0, 4, true, false)});
+  E.push_back({"Maleckar", 'M',
+               Spec("Maleckar", 203, 8, 2, 0, 0, 0, 8, true, false)});
+  E.push_back({"Nygren", 'M',
+               Spec("Nygren", 204, 9, 3, 0, 0, 0, 8, true, false)});
+  E.push_back({"Ramirez", 'M',
+               Spec("Ramirez", 205, 8, 2, 0, 1, 0, 7, true, false)});
+  E.push_back({"Kurata", 'M',
+               Spec("Kurata", 206, 7, 2, 0, 0, 0, 7, true, false)});
+  E.push_back({"HilgemannNoble", 'M',
+               Spec("HilgemannNoble", 207, 5, 3, 0, 0, 0, 6, true, false)});
+  E.push_back({"DiFrancescoNoble", 'M',
+               Spec("DiFrancescoNoble", 208, 6, 3, 0, 0, 0, 7, true, false)});
+  E.push_back({"FoxMcHargGilmour", 'M',
+               Spec("FoxMcHargGilmour", 209, 8, 2, 0, 0, 0, 8, true,
+                    false)});
+  E.push_back({"Campbell", 'M',
+               Spec("Campbell", 210, 5, 2, 0, 1, 0, 5, true, false)});
+  E.push_back({"Sachse", 'M',
+               Spec("Sachse", 211, 5, 1, 1, 0, 0, 5, true, false)});
+  E.push_back({"Stewart", 'M',
+               Spec("Stewart", 212, 9, 2, 0, 0, 0, 8, true, false)});
+  E.push_back({"LuoRudy94", 'M',
+               Spec("LuoRudy94", 213, 8, 3, 0, 0, 0, 8, true, false)});
+  E.push_back({"Demir", 'M',
+               Spec("Demir", 214, 7, 3, 0, 0, 0, 7, true, false)});
+  E.push_back({"Inada", 'M',
+               Spec("Inada", 215, 7, 2, 0, 1, 0, 7, true, false)});
+  E.push_back({"Courtemanche", 'M',
+               Spec("Courtemanche", 216, 10, 3, 0, 0, 0, 9, true, false)});
+  E.push_back({"ARPF", 'M',
+               Spec("ARPF", 217, 8, 2, 0, 0, 1, 7, true, false)});
+
+  // --- large (13 synthetic) --------------------------------------------------
+  E.push_back({"OHara", 'L',
+               Spec("OHara", 301, 14, 4, 2, 1, 0, 14, true, false)});
+  E.push_back({"GrandiPanditVoigt", 'L',
+               Spec("GrandiPanditVoigt", 302, 15, 4, 1, 0, 1, 16, true,
+                    true)});
+  E.push_back({"GrandiPasqualiniBers", 'L',
+               Spec("GrandiPasqualiniBers", 303, 14, 4, 1, 0, 0, 14, true,
+                    true)});
+  E.push_back({"WangSobie", 'L',
+               Spec("WangSobie", 304, 12, 3, 2, 0, 0, 12, true, false)});
+  E.push_back({"TenTusscherPanfilov", 'L',
+               Spec("TenTusscherPanfilov", 305, 12, 4, 0, 1, 0, 12, true,
+                    false)});
+  E.push_back({"IyerMazhariWinslow", 'L',
+               Spec("IyerMazhariWinslow", 306, 13, 3, 3, 0, 0, 13, true,
+                    false)});
+  E.push_back({"Shannon", 'L',
+               Spec("Shannon", 307, 13, 4, 1, 0, 0, 13, true, false)});
+  E.push_back({"UCLA_RAB", 'L',
+               Spec("UCLA_RAB", 308, 12, 4, 1, 1, 0, 12, true, false)});
+  E.push_back({"Mahajan", 'L',
+               Spec("Mahajan", 309, 12, 3, 1, 0, 0, 12, true, false)});
+  E.push_back({"PanditGiles", 'L',
+               Spec("PanditGiles", 310, 11, 3, 1, 0, 0, 11, true, false)});
+  E.push_back({"HundRudy", 'L',
+               Spec("HundRudy", 311, 12, 4, 1, 0, 0, 12, true, false)});
+  E.push_back({"LivshitzRudy", 'L',
+               Spec("LivshitzRudy", 312, 11, 3, 0, 1, 0, 11, true, false)});
+  E.push_back({"ClancyRudy", 'L',
+               Spec("ClancyRudy", 313, 11, 3, 3, 0, 0, 12, true, false)});
+  return E;
+}
+
+std::vector<ModelEntry> buildRegistry() {
+  std::vector<ModelEntry> Registry;
+  for (const ClassicModel &C : classicModels())
+    Registry.push_back({std::string(C.Name), std::string(C.Source),
+                        C.SizeClass, /*IsClassic=*/true});
+  for (const SynthEntry &S : syntheticEntries())
+    Registry.push_back({S.Name, generateSyntheticEasyML(S.Spec), S.SizeClass,
+                        /*IsClassic=*/false});
+  // Order small -> medium -> large, stable within a class.
+  std::vector<ModelEntry> Ordered;
+  for (char Class : {'S', 'M', 'L'})
+    for (ModelEntry &M : Registry)
+      if (M.SizeClass == Class)
+        Ordered.push_back(std::move(M));
+  return Ordered;
+}
+
+} // namespace
+
+const std::vector<ModelEntry> &models::modelRegistry() {
+  static const std::vector<ModelEntry> Registry = buildRegistry();
+  return Registry;
+}
+
+const ModelEntry *models::findModel(std::string_view Name) {
+  for (const ModelEntry &M : modelRegistry())
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+size_t models::countClass(char SizeClass) {
+  size_t N = 0;
+  for (const ModelEntry &M : modelRegistry())
+    if (M.SizeClass == SizeClass)
+      ++N;
+  return N;
+}

@@ -1,0 +1,39 @@
+//===- Registry.h - The 43-model evaluation suite ---------------*- C++-*-===//
+//
+// The registry of the 43 ionic models the paper evaluates (Sec. 4):
+// classical models are faithful hand-written EasyML (ClassicModels.h);
+// the remaining openCARP model names are carried by structurally
+// calibrated synthetic models (SyntheticModel.h). Each entry records the
+// paper's small/medium/large class: 8 small, 22 medium, 13 large.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_MODELS_REGISTRY_H
+#define LIMPET_MODELS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace models {
+
+struct ModelEntry {
+  std::string Name;
+  std::string Source;    ///< EasyML text
+  char SizeClass;        ///< 'S', 'M' or 'L'
+  bool IsClassic;        ///< faithful literature transcription
+};
+
+/// All 43 models, ordered small -> medium -> large.
+const std::vector<ModelEntry> &modelRegistry();
+
+/// Finds a model by name; returns null if absent.
+const ModelEntry *findModel(std::string_view Name);
+
+/// Number of models in each class (8/22/13).
+size_t countClass(char SizeClass);
+
+} // namespace models
+} // namespace limpet
+
+#endif // LIMPET_MODELS_REGISTRY_H

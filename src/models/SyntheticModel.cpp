@@ -1,0 +1,198 @@
+//===- SyntheticModel.cpp -------------------------------------------------===//
+
+#include "models/SyntheticModel.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace limpet;
+using namespace limpet::models;
+
+namespace {
+
+/// Deterministic splitmix64 generator so model sources are reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : X(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t next() {
+    X += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform double in [Lo, Hi].
+  double uniform(double Lo, double Hi) {
+    double U = double(next() >> 11) * 0x1.0p-53;
+    return Lo + U * (Hi - Lo);
+  }
+
+  /// Uniform integer in [0, N).
+  int pick(int N) { return int(next() % uint64_t(N)); }
+
+private:
+  uint64_t X;
+};
+
+std::string fmt(double V) {
+  // Round to a compact but faithful literal.
+  return formatDouble(V);
+}
+
+/// Emits one gate-rate expression of Vm (all four templates are
+/// LUT-tabulatable and physiologically shaped).
+std::string rateExpr(Rng &R) {
+  double Mag = R.uniform(0.02, 2.0);
+  double Off = R.uniform(15.0, 80.0);
+  double Slope = R.uniform(6.0, 25.0);
+  switch (R.pick(4)) {
+  case 0:
+    // Pure exponential rate.
+    return fmt(Mag) + "*exp(-(Vm+" + fmt(Off) + ")/" + fmt(Slope) + ")";
+  case 1: {
+    // Linear-over-expm1 with a singularity guard (the HH alpha_m shape).
+    std::string Shift = "(Vm+" + fmt(Off) + ")";
+    return "((fabs(" + Shift + ")<1e-6) ? " + fmt(Mag * Slope) + " : " +
+           fmt(Mag) + "*" + Shift + "/(1.0-exp(-" + Shift + "/" +
+           fmt(Slope) + ")))";
+  }
+  case 2:
+    // Sigmoidal rate.
+    return fmt(Mag) + "/(1.0+exp((Vm+" + fmt(Off) + ")/" + fmt(Slope) +
+           "))";
+  default:
+    // Exponential over sigmoid (Beeler-Reuter j/d/f shapes).
+    return fmt(Mag) + "*exp(-(Vm+" + fmt(Off) + ")/" + fmt(Slope * 2) +
+           ")/(1.0+exp(-(Vm+" + fmt(Off - 10) + ")/" + fmt(Slope) + "))";
+  }
+}
+
+} // namespace
+
+std::string models::generateSyntheticEasyML(const SyntheticSpec &Spec) {
+  Rng R(Spec.Seed);
+  std::string S;
+  S += "# Synthetic ionic model '" + Spec.Name +
+       "' (structurally calibrated workload; see DESIGN.md)\n";
+  S += "Vm; .external(); .nodal();";
+  if (Spec.UseLut)
+    S += " .lookup(-100, 100, 0.05);";
+  S += "\nIion; .external(); .nodal();\n";
+  S += "Vm_init = -85.0;\n\n";
+
+  // Gates -----------------------------------------------------------------
+  for (int G = 0; G != Spec.NumGates; ++G) {
+    std::string Gate = "g" + std::to_string(G);
+    S += "alpha_" + Gate + " = " + rateExpr(R) + ";\n";
+    S += "beta_" + Gate + " = " + rateExpr(R) + ";\n";
+    S += "diff_" + Gate + " = alpha_" + Gate + "*(1.0-" + Gate + ") - beta_" +
+         Gate + "*" + Gate + ";\n";
+    S += Gate + "_init = " + fmt(R.uniform(0.05, 0.95)) + ";\n";
+    // Mostly Rush-Larsen (the openCARP default for gates); a few Sundnes.
+    S += Gate + "; .method(" + (G % 5 == 4 ? "sundnes" : "rush_larsen") +
+         ");\n\n";
+  }
+
+  // Markov occupancies ------------------------------------------------------
+  for (int M = 0; M != Spec.NumMarkov; ++M) {
+    std::string V = "mk" + std::to_string(M);
+    S += "ropen_" + V + " = " + rateExpr(R) + ";\n";
+    S += "rclose_" + V + " = " + rateExpr(R) + ";\n";
+    S += "diff_" + V + " = ropen_" + V + "*(1.0-" + V + ") - rclose_" + V +
+         "*" + V + ";\n";
+    S += V + "_init = " + fmt(R.uniform(0.1, 0.9)) + ";\n";
+    S += V + "; .method(markov_be);\n\n";
+  }
+
+  // rk2/rk4 relaxation variables ---------------------------------------------
+  auto EmitRelax = [&](const std::string &Prefix, int Count,
+                       const char *Method) {
+    for (int I = 0; I != Count; ++I) {
+      std::string V = Prefix + std::to_string(I);
+      double Tau = R.uniform(2.0, 40.0);
+      double Off = R.uniform(20.0, 70.0);
+      double Slope = R.uniform(5.0, 15.0);
+      S += V + "_inf = 1.0/(1.0+exp(-(Vm+" + fmt(Off) + ")/" + fmt(Slope) +
+           "));\n";
+      S += "diff_" + V + " = (" + V + "_inf - " + V + ")/" + fmt(Tau) +
+           ";\n";
+      S += V + "_init = " + fmt(R.uniform(0.1, 0.9)) + ";\n";
+      S += V + "; .method(" + Method + ");\n\n";
+    }
+  };
+  EmitRelax("r2v", Spec.NumRk2, "rk2");
+  EmitRelax("r4v", Spec.NumRk4, "rk4");
+
+  // Concentration pools --------------------------------------------------------
+  for (int P = 0; P != Spec.NumPools; ++P) {
+    std::string V = "c" + std::to_string(P);
+    double Rest = R.uniform(0.1, 2.0);
+    double Tau = R.uniform(20.0, 200.0);
+    double Couple = R.uniform(1e-5, 5e-4);
+    double ERev = R.uniform(-90.0, 60.0);
+    S += "diff_" + V + " = (" + fmt(Rest) + " - " + V + ")/" + fmt(Tau) +
+         " + " + fmt(Couple) + "*(" + fmt(ERev) + " - Vm);\n";
+    S += V + "_init = " + fmt(Rest) + ";\n\n";
+  }
+
+  // Parameters ---------------------------------------------------------------
+  S += "group{ ";
+  for (int C = 0; C != Spec.NumCurrents; ++C)
+    S += "gcond" + std::to_string(C) + " = " +
+         fmt(R.uniform(0.05, 0.45)) + "; ";
+  S += "}.param();\n\n";
+
+  // Currents -------------------------------------------------------------------
+  std::string Sum;
+  int TotalGateLike = Spec.NumGates + Spec.NumMarkov + Spec.NumRk2 +
+                      Spec.NumRk4;
+  auto GateName = [&](int I) -> std::string {
+    I %= TotalGateLike > 0 ? TotalGateLike : 1;
+    if (I < Spec.NumGates)
+      return "g" + std::to_string(I);
+    I -= Spec.NumGates;
+    if (I < Spec.NumMarkov)
+      return "mk" + std::to_string(I);
+    I -= Spec.NumMarkov;
+    if (I < Spec.NumRk2)
+      return "r2v" + std::to_string(I);
+    I -= Spec.NumRk2;
+    return "r4v" + std::to_string(I);
+  };
+
+  for (int C = 0; C != Spec.NumCurrents; ++C) {
+    std::string I = "I" + std::to_string(C);
+    std::string Ga = TotalGateLike ? GateName(C) : "1.0";
+    std::string Gb = TotalGateLike ? GateName(C + 1) : "1.0";
+    double ERev = R.uniform(0.0, 1.0) < 0.3 ? R.uniform(20.0, 60.0)
+                                            : R.uniform(-95.0, -40.0);
+    int Power = 1 + R.pick(3);
+    std::string GatePart = Ga;
+    for (int Rep = 1; Rep < Power; ++Rep)
+      GatePart += "*" + Ga;
+    std::string Expr = "gcond" + std::to_string(C) + "*" + GatePart + "*" +
+                       Gb + "*(Vm - (" + fmt(ERev) + "))";
+    if (Spec.HeavyMath) {
+      // ISAC_Hu-like models: costly math directly on state (not
+      // LUT-tabulatable because it mixes Vm with state variables).
+      std::string Pool =
+          Spec.NumPools ? "c" + std::to_string(C % Spec.NumPools) : Ga;
+      Expr += " + " + fmt(R.uniform(0.01, 0.1)) + "*sinh((Vm - (" +
+              fmt(ERev) + "))/" + fmt(R.uniform(30.0, 60.0)) + ")*pow(" +
+              Ga + "+0.5, " + fmt(R.uniform(1.2, 2.8)) + ")*log(1.0+fabs(" +
+              Pool + "))";
+    } else if (Spec.NumPools && C % 3 == 2) {
+      // A Nernst-like reversal from a pool concentration.
+      std::string Pool = "c" + std::to_string(C % Spec.NumPools);
+      Expr = "gcond" + std::to_string(C) + "*" + GatePart +
+             "*(Vm - 26.7*log((" + Pool + "+1.0)/0.4))";
+    }
+    S += I + " = " + Expr + ";\n";
+    Sum += (C ? " + " : "") + I;
+  }
+  S += "\nIion = " + Sum + ";\n";
+  return S;
+}

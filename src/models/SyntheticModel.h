@@ -1,0 +1,44 @@
+//===- SyntheticModel.h - Structured ionic-model generator ------*- C++-*-===//
+//
+// Generates EasyML sources for synthetic-but-structurally-faithful ionic
+// models. The openCARP model suite the paper evaluates is not available
+// offline, so the non-classical entries of the 43-model registry are
+// produced by this generator, calibrated per model to the paper's
+// small/medium/large classes: Hodgkin-Huxley-style gates with exponential
+// rate functions (Rush-Larsen integrated, LUT-tabulatable), relaxing
+// concentration pools, Markov-chain occupancies (markov_be), and a sum of
+// conductance currents feeding Iion. See DESIGN.md, substitution 4.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_MODELS_SYNTHETICMODEL_H
+#define LIMPET_MODELS_SYNTHETICMODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace limpet {
+namespace models {
+
+/// Shape parameters of one synthetic ionic model.
+struct SyntheticSpec {
+  std::string Name;
+  uint64_t Seed = 1;
+
+  int NumGates = 4;       ///< HH gates (rush_larsen / sundnes)
+  int NumPools = 1;       ///< concentration-like fe variables
+  int NumMarkov = 0;      ///< Markov occupancies (markov_be)
+  int NumRk2 = 0;         ///< extra rk2-integrated variables
+  int NumRk4 = 0;         ///< extra rk4-integrated variables
+  int NumCurrents = 3;    ///< conductance currents summed into Iion
+  bool UseLut = true;     ///< mark Vm with .lookup(-100, 100, 0.05)
+  bool HeavyMath = false; ///< extra pow/log per current (ISAC_Hu-like)
+};
+
+/// Renders the EasyML source for \p Spec. Deterministic in Seed.
+std::string generateSyntheticEasyML(const SyntheticSpec &Spec);
+
+} // namespace models
+} // namespace limpet
+
+#endif // LIMPET_MODELS_SYNTHETICMODEL_H

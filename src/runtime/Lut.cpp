@@ -1,0 +1,18 @@
+//===- Lut.cpp ------------------------------------------------------------===//
+
+#include "runtime/Lut.h"
+
+#include <cmath>
+
+using namespace limpet;
+using namespace limpet::runtime;
+
+LutTable::LutTable(double Lo, double Hi, double Step, int Cols)
+    : Lo(Lo), Hi(Hi), Step(Step), InvStep(1.0 / Step), Cols(Cols) {
+  assert(Step > 0 && Hi > Lo && "invalid table range");
+  Rows = int(std::floor((Hi - Lo) / Step)) + 1;
+  // interp() reads row Idx+1, so keep at least two rows.
+  if (Rows < 2)
+    Rows = 2;
+  Data.assign(size_t(Rows) * Cols, 0.0);
+}

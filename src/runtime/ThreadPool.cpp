@@ -1,0 +1,104 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+
+#include "runtime/ThreadPool.h"
+
+#include <cassert>
+
+using namespace limpet;
+using namespace limpet::runtime;
+
+ThreadPool::ThreadPool(unsigned MaxThreads) {
+  assert(MaxThreads >= 1 && "pool needs at least the calling thread");
+  for (unsigned I = 1; I < MaxThreads; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::staticChunk(int64_t Begin, int64_t End, unsigned Index,
+                             unsigned NumThreads, int64_t &ChunkBegin,
+                             int64_t &ChunkEnd) {
+  int64_t Total = End - Begin;
+  int64_t Base = Total / NumThreads;
+  int64_t Extra = Total % NumThreads;
+  // The first Extra chunks get one extra element (OpenMP static schedule).
+  int64_t Lo = Begin + int64_t(Index) * Base +
+               int64_t(Index < Extra ? Index : Extra);
+  int64_t Hi = Lo + Base + (Index < Extra ? 1 : 0);
+  ChunkBegin = Lo;
+  ChunkEnd = Hi;
+}
+
+void ThreadPool::parallelFor(int64_t Begin, int64_t End, unsigned NumThreads,
+                             const RangeFn &Fn) {
+  if (End <= Begin)
+    return;
+  if (NumThreads > maxThreads())
+    NumThreads = maxThreads();
+  if (NumThreads <= 1) {
+    Fn(Begin, End);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Current.Fn = &Fn;
+    Current.Begin = Begin;
+    Current.End = End;
+    Current.NumThreads = NumThreads;
+    Current.Generation = ++Generation;
+    // Workers 1..NumThreads-1 participate; the caller runs chunk 0.
+    Remaining = NumThreads - 1;
+  }
+  WakeWorkers.notify_all();
+
+  int64_t ChunkBegin, ChunkEnd;
+  staticChunk(Begin, End, 0, NumThreads, ChunkBegin, ChunkEnd);
+  if (ChunkEnd > ChunkBegin)
+    Fn(ChunkBegin, ChunkEnd);
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Done.wait(Lock, [this] { return Remaining == 0; });
+}
+
+void ThreadPool::workerMain(unsigned WorkerIndex) {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    Task Local;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [&] {
+        return ShuttingDown ||
+               (Current.Generation != SeenGeneration &&
+                WorkerIndex < Current.NumThreads);
+      });
+      if (ShuttingDown)
+        return;
+      Local = Current;
+      SeenGeneration = Local.Generation;
+    }
+    int64_t ChunkBegin, ChunkEnd;
+    staticChunk(Local.Begin, Local.End, WorkerIndex, Local.NumThreads,
+                ChunkBegin, ChunkEnd);
+    if (ChunkEnd > ChunkBegin)
+      (*Local.Fn)(ChunkBegin, ChunkEnd);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Remaining;
+    }
+    Done.notify_one();
+  }
+}
+
+ThreadPool &runtime::globalThreadPool() {
+  static ThreadPool Pool(32);
+  return Pool;
+}

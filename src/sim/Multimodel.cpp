@@ -1,0 +1,168 @@
+//===- Multimodel.cpp -----------------------------------------------------===//
+
+#include "sim/Multimodel.h"
+
+#include "support/Casting.h"
+
+#include <cmath>
+
+using namespace limpet;
+using namespace limpet::sim;
+using namespace limpet::exec;
+
+MultimodelSimulator::MultimodelSimulator(const CompiledModel &Parent,
+                                         const SimOptions &Opts)
+    : Parent(Parent), Opts(Opts) {
+  ParentState.assign(Parent.stateArraySize(Opts.NumCells), 0.0);
+  Parent.initializeState(ParentState.data(), Opts.NumCells);
+  std::vector<double> Inits = Parent.externalInits();
+  SharedExt.resize(Inits.size());
+  for (size_t J = 0; J != Inits.size(); ++J)
+    SharedExt[J].assign(size_t(Opts.NumCells), Inits[J]);
+  ParentParams = Parent.defaultParams();
+  ParentLuts = Parent.buildLuts(ParentParams.data());
+  VmIdx = Parent.info().externalIndex("Vm");
+  IionIdx = Parent.info().externalIndex("Iion");
+}
+
+size_t MultimodelSimulator::addPlugin(const CompiledModel &Plugin,
+                                      std::vector<ParentBinding> Bindings) {
+  PluginInstance Inst;
+  Inst.Model = &Plugin;
+  Inst.State.assign(Plugin.stateArraySize(Opts.NumCells), 0.0);
+  Plugin.initializeState(Inst.State.data(), Opts.NumCells);
+
+  const easyml::ModelInfo &Info = Plugin.info();
+  std::vector<double> Inits = Plugin.externalInits();
+  Inst.SharedIndex.assign(Info.Externals.size(), -1);
+  Inst.LocalExt.resize(Info.Externals.size());
+  Inst.BoundParentSv.assign(Info.Externals.size(), -1);
+  Inst.BoundWritable.assign(Info.Externals.size(), false);
+
+  for (size_t J = 0; J != Info.Externals.size(); ++J) {
+    const std::string &Name = Info.Externals[J].Name;
+    // Parent-state binding takes precedence.
+    const ParentBinding *Binding = nullptr;
+    for (const ParentBinding &B : Bindings)
+      if (B.PluginExternal == Name)
+        Binding = &B;
+    if (Binding) {
+      int Sv = Parent.info().stateVarIndex(Binding->ParentStateVar);
+      assert(Sv >= 0 && "binding references an unknown parent state var");
+      Inst.BoundParentSv[J] = Sv;
+      Inst.BoundWritable[J] = Binding->Writable;
+      Inst.LocalExt[J].assign(size_t(Opts.NumCells), 0.0);
+      continue;
+    }
+    // Same-named parent external: share the array.
+    int Shared = Parent.info().externalIndex(Name);
+    if (Shared >= 0) {
+      Inst.SharedIndex[J] = Shared;
+      continue;
+    }
+    // Fall through to the plugin's local storage.
+    Inst.LocalExt[J].assign(size_t(Opts.NumCells), Inits[J]);
+  }
+
+  PluginParams.push_back(Plugin.defaultParams());
+  PluginLuts.push_back(Plugin.buildLuts(PluginParams.back().data()));
+  Plugins.push_back(std::move(Inst));
+  return Plugins.size() - 1;
+}
+
+void MultimodelSimulator::step() {
+  // 1. Parent compute stage.
+  {
+    KernelArgs Args;
+    Args.State = ParentState.data();
+    for (std::vector<double> &Ext : SharedExt)
+      Args.Exts.push_back(Ext.data());
+    Args.Params = ParentParams.data();
+    Args.Start = 0;
+    Args.End = Opts.NumCells;
+    Args.NumCells = Opts.NumCells;
+    Args.Dt = Opts.Dt;
+    Args.T = T;
+    Args.Luts = &ParentLuts;
+    Parent.computeStep(Args);
+  }
+
+  // 2. Plugins: gather bound parent state, compute, scatter back.
+  for (size_t P = 0; P != Plugins.size(); ++P) {
+    PluginInstance &Inst = Plugins[P];
+    const easyml::ModelInfo &Info = Inst.Model->info();
+
+    for (size_t J = 0; J != Info.Externals.size(); ++J)
+      if (Inst.BoundParentSv[J] >= 0)
+        for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
+          Inst.LocalExt[J][size_t(Cell)] = Parent.readState(
+              ParentState.data(), Cell, Inst.BoundParentSv[J],
+              Opts.NumCells);
+
+    KernelArgs Args;
+    Args.State = Inst.State.data();
+    for (size_t J = 0; J != Info.Externals.size(); ++J)
+      Args.Exts.push_back(Inst.SharedIndex[J] >= 0
+                              ? SharedExt[size_t(Inst.SharedIndex[J])].data()
+                              : Inst.LocalExt[J].data());
+    Args.Params = PluginParams[P].data();
+    Args.Start = 0;
+    Args.End = Opts.NumCells;
+    Args.NumCells = Opts.NumCells;
+    Args.Dt = Opts.Dt;
+    Args.T = T;
+    Args.Luts = &PluginLuts[P];
+    Inst.Model->computeStep(Args);
+
+    // Offspring may modify the parent: scatter writable bindings back
+    // into the parent's (layout-transformed) state.
+    for (size_t J = 0; J != Info.Externals.size(); ++J)
+      if (Inst.BoundParentSv[J] >= 0 && Inst.BoundWritable[J])
+        for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
+          ParentState[size_t(codegen::stateIndex(
+              Parent.config().Layout, Cell, Inst.BoundParentSv[J],
+              Parent.program().NumSv, Opts.NumCells,
+              Parent.program().AoSoAW))] = Inst.LocalExt[J][size_t(Cell)];
+  }
+
+  // 3. Voltage update over the shared arrays.
+  if (VmIdx >= 0 && IionIdx >= 0) {
+    double Phase = Opts.StimPeriod > 0 ? std::fmod(T, Opts.StimPeriod) : T;
+    double Stim = (Phase >= Opts.StimStart &&
+                   Phase < Opts.StimStart + Opts.StimDuration)
+                      ? Opts.StimStrength
+                      : 0.0;
+    double *Vm = SharedExt[size_t(VmIdx)].data();
+    const double *Iion = SharedExt[size_t(IionIdx)].data();
+    for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
+      Vm[Cell] += Opts.Dt * (Stim - Iion[Cell]);
+  }
+  T += Opts.Dt;
+}
+
+void MultimodelSimulator::run() {
+  for (int64_t I = 0; I != Opts.NumSteps; ++I)
+    step();
+}
+
+double MultimodelSimulator::vm(int64_t Cell) const {
+  assert(VmIdx >= 0 && "parent has no Vm external");
+  return SharedExt[size_t(VmIdx)][size_t(Cell)];
+}
+
+double MultimodelSimulator::parentState(int64_t Cell, int64_t Sv) const {
+  return Parent.readState(ParentState.data(), Cell, Sv, Opts.NumCells);
+}
+
+double MultimodelSimulator::pluginState(size_t PluginIdx, int64_t Cell,
+                                        int64_t Sv) const {
+  const PluginInstance &Inst = Plugins[PluginIdx];
+  return Inst.Model->readState(Inst.State.data(), Cell, Sv, Opts.NumCells);
+}
+
+double MultimodelSimulator::sharedExternal(std::string_view Name,
+                                           int64_t Cell) const {
+  int Idx = Parent.info().externalIndex(Name);
+  assert(Idx >= 0 && "unknown shared external");
+  return SharedExt[size_t(Idx)][size_t(Cell)];
+}

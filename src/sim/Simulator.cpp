@@ -1,0 +1,129 @@
+//===- Simulator.cpp ------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "runtime/ThreadPool.h"
+#include "support/Casting.h"
+
+#include <cmath>
+
+using namespace limpet;
+using namespace limpet::sim;
+using namespace limpet::exec;
+
+Simulator::Simulator(const CompiledModel &ModelIn, const SimOptions &Opts)
+    : Model(ModelIn), Opts(Opts) {
+  State.assign(Model.stateArraySize(Opts.NumCells), 0.0);
+  Model.initializeState(State.data(), Opts.NumCells);
+
+  const easyml::ModelInfo &Info = Model.info();
+  std::vector<double> ExtInits = Model.externalInits();
+  Exts.resize(Info.Externals.size());
+  for (size_t J = 0; J != Info.Externals.size(); ++J)
+    Exts[J].assign(size_t(Opts.NumCells), ExtInits[J]);
+
+  Params = Model.defaultParams();
+  SimLuts = Model.buildLuts(Params.data());
+  VmIdx = Info.externalIndex("Vm");
+  IionIdx = Info.externalIndex("Iion");
+  if (Opts.RecordTrace)
+    Trace.reserve(size_t(Opts.NumSteps));
+}
+
+void Simulator::computeStage() {
+  // Chunk on vector-block boundaries so AoSoA chunks stay aligned.
+  int64_t BlockW = std::max<unsigned>(Model.config().Width, 1);
+  int64_t NumBlocks = (Opts.NumCells + BlockW - 1) / BlockW;
+
+  auto RunChunk = [&](int64_t BlockBegin, int64_t BlockEnd) {
+    KernelArgs Args;
+    Args.State = State.data();
+    for (std::vector<double> &Ext : Exts)
+      Args.Exts.push_back(Ext.data());
+    Args.Params = Params.data();
+    Args.Start = BlockBegin * BlockW;
+    Args.End = std::min(BlockEnd * BlockW, Opts.NumCells);
+    Args.NumCells = Opts.NumCells;
+    Args.Dt = Opts.Dt;
+    Args.T = T;
+    Args.Luts = &SimLuts;
+    Model.computeStep(Args);
+  };
+
+  if (Opts.NumThreads <= 1) {
+    RunChunk(0, NumBlocks);
+    return;
+  }
+  runtime::globalThreadPool().parallelFor(0, NumBlocks, Opts.NumThreads,
+                                          RunChunk);
+}
+
+void Simulator::voltageStage() {
+  if (!hasVoltageCoupling())
+    return;
+  // Stimulus window (repeating when StimPeriod > 0).
+  double Phase = T;
+  if (Opts.StimPeriod > 0)
+    Phase = std::fmod(T, Opts.StimPeriod);
+  double Stim = (Phase >= Opts.StimStart &&
+                 Phase < Opts.StimStart + Opts.StimDuration)
+                    ? Opts.StimStrength
+                    : 0.0;
+
+  double *Vm = Exts[size_t(VmIdx)].data();
+  const double *Iion = Exts[size_t(IionIdx)].data();
+  for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
+    Vm[Cell] += Opts.Dt * (Stim - Iion[Cell]);
+}
+
+void Simulator::step() {
+  computeStage();
+  voltageStage();
+  T += Opts.Dt;
+  ++StepCount;
+  if (Opts.RecordTrace)
+    Trace.push_back(VmIdx >= 0 ? Exts[size_t(VmIdx)][Opts.TraceCell]
+                               : stateOf(Opts.TraceCell, 0));
+}
+
+void Simulator::run() {
+  for (int64_t I = 0; I != Opts.NumSteps; ++I)
+    step();
+}
+
+double Simulator::stateOf(int64_t Cell, int64_t Sv) const {
+  return Model.readState(State.data(), Cell, Sv, Opts.NumCells);
+}
+
+double Simulator::externalOf(int64_t Cell, size_t ExtIdx) const {
+  return Exts[ExtIdx][Cell];
+}
+
+double Simulator::vm(int64_t Cell) const {
+  assert(VmIdx >= 0 && "model has no Vm external");
+  return Exts[size_t(VmIdx)][Cell];
+}
+
+void Simulator::setParam(std::string_view Name, double Value) {
+  int Idx = Model.info().paramIndex(Name);
+  assert(Idx >= 0 && "unknown parameter");
+  Params[size_t(Idx)] = Value;
+  SimLuts = Model.buildLuts(Params.data());
+}
+
+double Simulator::param(std::string_view Name) const {
+  int Idx = Model.info().paramIndex(Name);
+  assert(Idx >= 0 && "unknown parameter");
+  return Params[size_t(Idx)];
+}
+
+double Simulator::stateChecksum() const {
+  double Sum = 0;
+  for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
+    for (unsigned Sv = 0; Sv != Model.program().NumSv; ++Sv)
+      Sum += stateOf(Cell, Sv) * (1.0 + 1e-6 * double(Sv));
+  for (const std::vector<double> &Ext : Exts)
+    for (double V : Ext)
+      Sum += V;
+  return Sum;
+}

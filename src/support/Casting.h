@@ -1,0 +1,79 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast helpers ---------*- C++-*-===//
+//
+// Part of the limpetMLIR reproduction. Hand-rolled RTTI in the style of
+// llvm/Support/Casting.h: classes opt in by providing a static
+// `classof(const Base *)` predicate, and clients use isa<>, cast<> and
+// dyn_cast<> instead of dynamic_cast<>.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SUPPORT_CASTING_H
+#define LIMPET_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace limpet {
+
+/// Returns true if \p Val is an instance of the class \p To (or any of the
+/// listed classes, checked left to right).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type!");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type!");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<>, but tolerates a null argument (propagating it).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// Marks a point in the program that is known to be unreachable. In debug
+/// builds aborts with \p Msg; in release builds it is an optimizer hint.
+[[noreturn]] inline void limpet_unreachable_impl(const char *Msg,
+                                                 const char *File, int Line);
+
+} // namespace limpet
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace limpet {
+
+inline void limpet_unreachable_impl(const char *Msg, const char *File,
+                                    int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::abort();
+}
+
+} // namespace limpet
+
+#define limpet_unreachable(MSG)                                               \
+  ::limpet::limpet_unreachable_impl(MSG, __FILE__, __LINE__)
+
+#endif // LIMPET_SUPPORT_CASTING_H

@@ -1,0 +1,59 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <utility>
+
+using namespace limpet;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (Loc.isValid())
+    Out += Loc.str() + ": ";
+  switch (Severity) {
+  case DiagSeverity::Error:
+    Out += "error: ";
+    break;
+  case DiagSeverity::Warning:
+    Out += "warning: ";
+    break;
+  case DiagSeverity::Note:
+    Out += "note: ";
+    break;
+  }
+  Out += Message;
+  return Out;
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

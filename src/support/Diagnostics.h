@@ -1,0 +1,65 @@
+//===- Diagnostics.h - Source locations and diagnostics ---------*- C++-*-===//
+//
+// Diagnostic machinery for the EasyML frontend: a lightweight source
+// location, a severity-tagged diagnostic record, and an engine that collects
+// diagnostics for later rendering. Library code never prints directly; tools
+// render the collected diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SUPPORT_DIAGNOSTICS_H
+#define LIMPET_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace limpet {
+
+/// A (line, column) position within an EasyML source buffer. Lines and
+/// columns are 1-based; a zero line means "unknown location".
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string str() const;
+};
+
+/// Severity of a diagnostic. Errors make the enclosing compilation fail;
+/// warnings and notes are advisory.
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One diagnostic message attached to a source location.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "line:col: error: message" (location omitted when unknown).
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted during a frontend run.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace limpet
+
+#endif // LIMPET_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,105 @@
+//===- CSE.cpp - Common subexpression elimination --------------------------===//
+//
+// Scoped value numbering over pure operations, one of the two in-tree MLIR
+// optimizations the paper highlights (Sec. 3.4). Nested regions see the
+// numbering of their enclosing scope (outer ops dominate inner ones).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Pass.h"
+
+#include <unordered_map>
+
+using namespace limpet;
+using namespace limpet::ir;
+using namespace limpet::transforms;
+
+namespace {
+
+/// Structural key of a pure operation.
+struct OpKey {
+  OpCode Code;
+  std::vector<Value *> Operands;
+  std::vector<NamedAttribute> Attrs;
+  std::vector<const TypeStorage *> ResultTypes;
+
+  bool operator==(const OpKey &O) const {
+    if (Code != O.Code || Operands != O.Operands ||
+        ResultTypes != O.ResultTypes || Attrs.size() != O.Attrs.size())
+      return false;
+    for (size_t I = 0; I != Attrs.size(); ++I)
+      if (Attrs[I].Name != O.Attrs[I].Name ||
+          Attrs[I].Value != O.Attrs[I].Value)
+        return false;
+    return true;
+  }
+};
+
+struct OpKeyHash {
+  size_t operator()(const OpKey &K) const {
+    size_t H = std::hash<uint16_t>()(static_cast<uint16_t>(K.Code));
+    for (Value *V : K.Operands)
+      H = H * 31 + std::hash<const void *>()(V);
+    for (const NamedAttribute &A : K.Attrs)
+      H = H * 31 + std::hash<std::string>()(A.Name) * 7 + A.Value.hash();
+    for (const TypeStorage *T : K.ResultTypes)
+      H = H * 31 + std::hash<const void *>()(T);
+    return H;
+  }
+};
+
+using ValueNumbering = std::unordered_map<OpKey, Operation *, OpKeyHash>;
+
+static OpKey keyOf(Operation *Op) {
+  OpKey K;
+  K.Code = Op->opcode();
+  K.Operands = Op->operands();
+  K.Attrs = Op->attrs();
+  for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+    K.ResultTypes.push_back(Op->result(I)->type().storage());
+  return K;
+}
+
+class CSEPass : public Pass {
+public:
+  std::string_view name() const override { return "cse"; }
+
+  bool run(Operation *Func, Context &Ctx) override {
+    bool Changed = false;
+    ValueNumbering Root;
+    runOnBlock(funcBody(Func), Root, Func, Changed);
+    return Changed;
+  }
+
+private:
+  void runOnBlock(Block &B, ValueNumbering Known, Operation *Func,
+                  bool &Changed) {
+    std::vector<Operation *> ToErase;
+    for (Operation *Op : B.ops()) {
+      if (Op->isPure() && Op->numRegions() == 0) {
+        OpKey K = keyOf(Op);
+        auto [It, Inserted] = Known.try_emplace(std::move(K), Op);
+        if (!Inserted) {
+          Operation *Existing = It->second;
+          for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+            Func->replaceUsesOfWith(Op->result(I), Existing->result(I));
+          ToErase.push_back(Op);
+          Changed = true;
+          continue;
+        }
+      }
+      // Recurse into regions with the current (scoped) numbering.
+      for (unsigned RI = 0, RE = Op->numRegions(); RI != RE; ++RI)
+        if (!Op->region(RI).empty())
+          runOnBlock(Op->region(RI).front(), Known, Func, Changed);
+    }
+    for (Operation *Op : ToErase)
+      B.erase(Op);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> transforms::createCSEPass() {
+  return std::make_unique<CSEPass>();
+}

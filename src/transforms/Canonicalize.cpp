@@ -1,0 +1,145 @@
+//===- Canonicalize.cpp - Algebraic simplification patterns ---------------===//
+//
+// Value-forwarding and strength-reduction rewrites: x+0, x*1, x/1, --x,
+// select on a constant condition, pow with small constant exponents. All
+// rewrites are IEEE-safe for the inputs ionic models produce (we do not
+// rewrite x*0 or x-x, which are unsound under NaN/Inf).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Dialects.h"
+#include "support/Casting.h"
+#include "transforms/FoldUtils.h"
+#include "transforms/Pass.h"
+
+using namespace limpet;
+using namespace limpet::ir;
+using namespace limpet::transforms;
+
+namespace {
+
+class CanonicalizePass : public Pass {
+public:
+  std::string_view name() const override { return "canonicalize"; }
+
+  bool run(Operation *Func, Context &Ctx) override {
+    bool Changed = false;
+    bool LocalChange = true;
+    // Fixpoint over a bounded number of sweeps (each sweep strictly
+    // shrinks or simplifies the IR, so this terminates quickly).
+    while (LocalChange) {
+      LocalChange = false;
+      std::vector<Operation *> Ops;
+      Func->walk([&](Operation *Op) {
+        if (Op != Func)
+          Ops.push_back(Op);
+      });
+      for (Operation *Op : Ops) {
+        Value *Repl = simplify(Op, Ctx);
+        if (!Repl)
+          continue;
+        Func->replaceUsesOfWith(Op->result(0), Repl);
+        Op->parentBlock()->erase(Op);
+        Changed = LocalChange = true;
+      }
+    }
+    return Changed;
+  }
+
+private:
+  static bool isFloatConst(Value *V, double C) {
+    auto F = constantFloat(V);
+    return F && *F == C;
+  }
+
+  /// Returns the replacement value for \p Op, or null if no pattern fires.
+  /// Patterns returning an existing value only; patterns that build new ops
+  /// insert them before \p Op.
+  Value *simplify(Operation *Op, Context &Ctx) {
+    if (!Op->isPure() || Op->numResults() != 1)
+      return nullptr;
+    Value *L = Op->numOperands() > 0 ? Op->operand(0) : nullptr;
+    Value *R = Op->numOperands() > 1 ? Op->operand(1) : nullptr;
+
+    switch (Op->opcode()) {
+    case OpCode::ArithAddF:
+      if (isFloatConst(R, 0.0))
+        return L;
+      if (isFloatConst(L, 0.0))
+        return R;
+      return nullptr;
+    case OpCode::ArithSubF:
+      if (isFloatConst(R, 0.0))
+        return L;
+      return nullptr;
+    case OpCode::ArithMulF:
+      if (isFloatConst(R, 1.0))
+        return L;
+      if (isFloatConst(L, 1.0))
+        return R;
+      return nullptr;
+    case OpCode::ArithDivF:
+      if (isFloatConst(R, 1.0))
+        return L;
+      return nullptr;
+    case OpCode::ArithNegF: {
+      if (auto *Def = dyn_cast<OpResult>(L))
+        if (Def->owner()->opcode() == OpCode::ArithNegF)
+          return Def->owner()->operand(0);
+      return nullptr;
+    }
+    case OpCode::ArithSelect: {
+      auto C = constantBool(Op->operand(0));
+      if (C)
+        return Op->operand(*C ? 1 : 2);
+      if (Op->operand(1) == Op->operand(2))
+        return Op->operand(1);
+      return nullptr;
+    }
+    case OpCode::MathPow: {
+      auto E = constantFloat(R);
+      if (!E)
+        return nullptr;
+      OpBuilder B(Ctx);
+      B.setInsertionPoint(Op);
+      if (*E == 1.0)
+        return L;
+      if (*E == 2.0)
+        return makeMulF(B, L, L);
+      if (*E == 3.0)
+        return makeMulF(B, makeMulF(B, L, L), L);
+      if (*E == 0.5)
+        return makeMathUnary(B, OpCode::MathSqrt, L);
+      if (*E == -1.0)
+        return makeDivF(B, makeConstantF(B, 1.0, L->type()), L);
+      return nullptr;
+    }
+    case OpCode::ArithAddI: {
+      auto C = constantInt(R);
+      if (C && *C == 0)
+        return L;
+      C = constantInt(L);
+      if (C && *C == 0)
+        return R;
+      return nullptr;
+    }
+    case OpCode::ArithMulI: {
+      auto C = constantInt(R);
+      if (C && *C == 1)
+        return L;
+      C = constantInt(L);
+      if (C && *C == 1)
+        return R;
+      return nullptr;
+    }
+    default:
+      return nullptr;
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> transforms::createCanonicalizePass() {
+  return std::make_unique<CanonicalizePass>();
+}

@@ -1,0 +1,52 @@
+//===- ConstantFold.cpp - Constant folding / propagation pass -------------===//
+//
+// The IR-level half of the paper's "preprocessor": evaluates pure scalar
+// operations whose operands are constants and propagates the results, to a
+// fixpoint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/FoldUtils.h"
+#include "transforms/Pass.h"
+
+using namespace limpet;
+using namespace limpet::ir;
+using namespace limpet::transforms;
+
+namespace {
+
+class ConstantFoldPass : public Pass {
+public:
+  std::string_view name() const override { return "constant-fold"; }
+
+  bool run(Operation *Func, Context &Ctx) override {
+    bool Changed = false;
+    bool LocalChange = true;
+    while (LocalChange) {
+      LocalChange = false;
+      std::vector<Operation *> Candidates;
+      Func->walk([&](Operation *Op) {
+        if (Op != Func && Op->isPure() && Op->numResults() == 1)
+          Candidates.push_back(Op);
+      });
+      for (Operation *Op : Candidates) {
+        std::optional<Attribute> Folded = tryFoldScalarOp(Op);
+        if (!Folded)
+          continue;
+        OpBuilder B(Ctx);
+        B.setInsertionPoint(Op);
+        Value *Const = materializeConstant(B, *Folded, Op->result()->type());
+        Func->replaceUsesOfWith(Op->result(), Const);
+        Op->parentBlock()->erase(Op);
+        Changed = LocalChange = true;
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> transforms::createConstantFoldPass() {
+  return std::make_unique<ConstantFoldPass>();
+}

@@ -1,0 +1,58 @@
+//===- DCE.cpp - Dead code elimination -------------------------------------===//
+//
+// Erases side-effect-free operations whose results are unused, to a
+// fixpoint. Read-only loads are also dead when unused.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Pass.h"
+
+#include <unordered_map>
+
+using namespace limpet;
+using namespace limpet::ir;
+using namespace limpet::transforms;
+
+namespace {
+
+class DCEPass : public Pass {
+public:
+  std::string_view name() const override { return "dce"; }
+
+  bool run(Operation *Func, Context &Ctx) override {
+    bool Changed = false;
+    bool LocalChange = true;
+    while (LocalChange) {
+      LocalChange = false;
+
+      std::unordered_map<const Value *, unsigned> UseCount;
+      countUses(Func, [&](Value *V, Operation *) { ++UseCount[V]; });
+
+      // Collect dead ops innermost-last so erasing parents is never an
+      // issue (ops with regions are never erased here).
+      std::vector<Operation *> Dead;
+      Func->walk([&](Operation *Op) {
+        if (Op == Func || Op->numRegions() != 0)
+          return;
+        if (!Op->isPure() && !Op->isReadOnly())
+          return;
+        for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+          if (UseCount.count(Op->result(I)))
+            return;
+        Dead.push_back(Op);
+      });
+
+      for (Operation *Op : Dead) {
+        Op->parentBlock()->erase(Op);
+        Changed = LocalChange = true;
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> transforms::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}

@@ -1,0 +1,98 @@
+//===- IfToSelect.cpp - Flatten scf.if into arith.select -------------------===//
+//
+// Rewrites scf.if operations whose regions are side-effect free into
+// straight-line code: both regions are inlined before the if and each
+// result becomes an arith.select on the condition. This is the paper's
+// vectorization strategy for control flow (Sec. 5): "the vectorization of
+// an if/else condition requires both blocks to be executed and element-wise
+// selected according to a mask".
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Dialects.h"
+#include "transforms/Pass.h"
+
+using namespace limpet;
+using namespace limpet::ir;
+using namespace limpet::transforms;
+
+namespace {
+
+/// True if every op in the region (transitively) is pure or read-only.
+static bool regionIsSpeculatable(Region &R) {
+  if (R.empty())
+    return true;
+  bool Ok = true;
+  for (Operation *Op : R.front().ops())
+    Op->walk([&](Operation *Inner) {
+      if (!Inner->isPure() && !Inner->isReadOnly() &&
+          Inner->opcode() != OpCode::ScfYield &&
+          Inner->opcode() != OpCode::ScfIf)
+        Ok = false;
+    });
+  return Ok;
+}
+
+class IfToSelectPass : public Pass {
+public:
+  std::string_view name() const override { return "if-to-select"; }
+
+  bool run(Operation *Func, Context &Ctx) override {
+    bool Changed = false;
+    // Collect in pre-order and process in reverse so that nested ifs are
+    // flattened before their parents.
+    std::vector<Operation *> Ifs;
+    Func->walk([&](Operation *Op) {
+      if (Op->opcode() == OpCode::ScfIf)
+        Ifs.push_back(Op);
+    });
+    for (auto It = Ifs.rbegin(); It != Ifs.rend(); ++It)
+      Changed |= rewrite(*It, Func, Ctx);
+    return Changed;
+  }
+
+private:
+  bool rewrite(Operation *IfOp, Operation *Func, Context &Ctx) {
+    if (!regionIsSpeculatable(IfOp->region(0)) ||
+        !regionIsSpeculatable(IfOp->region(1)))
+      return false;
+
+    Block *Parent = IfOp->parentBlock();
+    std::vector<Value *> ThenYields, ElseYields;
+
+    for (unsigned RI = 0; RI != 2; ++RI) {
+      Block &Inner = IfOp->region(RI).front();
+      Operation *Term = Inner.terminator();
+      assert(Term && Term->opcode() == OpCode::ScfYield &&
+             "if region must end with scf.yield");
+      auto &Yields = RI == 0 ? ThenYields : ElseYields;
+      Yields = Term->operands();
+      // Move every non-terminator op in front of the if.
+      std::vector<Operation *> ToMove;
+      for (Operation *Op : Inner.ops())
+        if (Op != Term)
+          ToMove.push_back(Op);
+      for (Operation *Op : ToMove) {
+        Inner.remove(Op);
+        Parent->insertBefore(IfOp, Op);
+      }
+    }
+
+    // Replace each result with a select on the condition.
+    OpBuilder B(Ctx);
+    B.setInsertionPoint(IfOp);
+    Value *Cond = IfOp->operand(0);
+    for (unsigned I = 0, E = IfOp->numResults(); I != E; ++I) {
+      Value *Sel = makeSelect(B, Cond, ThenYields[I], ElseYields[I]);
+      Func->replaceUsesOfWith(IfOp->result(I), Sel);
+    }
+    Parent->erase(IfOp);
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> transforms::createIfToSelectPass() {
+  return std::make_unique<IfToSelectPass>();
+}

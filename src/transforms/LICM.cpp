@@ -1,0 +1,122 @@
+//===- LICM.cpp - Loop-invariant code motion --------------------------------===//
+//
+// Hoists loop-invariant pure operations out of scf.for bodies; read-only
+// loads are hoisted when the buffer they read is never written inside the
+// loop (e.g. parameter loads in the cell loop). This is the second of the
+// two in-tree MLIR optimizations the paper highlights (Sec. 3.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Pass.h"
+
+#include <set>
+
+using namespace limpet;
+using namespace limpet::ir;
+using namespace limpet::transforms;
+
+namespace {
+
+/// Collects the memref values written anywhere inside \p Root.
+static std::set<Value *> writtenMemRefs(Operation *Root) {
+  std::set<Value *> Written;
+  Root->walk([&](Operation *Op) {
+    switch (Op->opcode()) {
+    case OpCode::MemStore:
+    case OpCode::VecStore:
+    case OpCode::VecScatter:
+      Written.insert(Op->operand(1));
+      break;
+    default:
+      break;
+    }
+  });
+  return Written;
+}
+
+class LICMPass : public Pass {
+public:
+  std::string_view name() const override { return "licm"; }
+
+  bool run(Operation *Func, Context &Ctx) override {
+    bool Changed = false;
+    // Process loops innermost-first so invariants bubble outward across
+    // nesting levels.
+    std::vector<Operation *> Loops;
+    Func->walk([&](Operation *Op) {
+      if (Op->opcode() == OpCode::ScfFor)
+        Loops.push_back(Op);
+    });
+    // walk() is pre-order, so reversing yields innermost-first.
+    for (auto It = Loops.rbegin(); It != Loops.rend(); ++It)
+      Changed |= runOnLoop(*It);
+    return Changed;
+  }
+
+private:
+  bool runOnLoop(Operation *ForOp) {
+    Block &Body = forBody(ForOp);
+    std::set<Value *> Written = writtenMemRefs(ForOp);
+
+    // Values defined inside the loop (body args + results of body ops,
+    // including nested ones).
+    std::set<const Value *> DefinedInside;
+    for (unsigned I = 0, E = Body.numArguments(); I != E; ++I)
+      DefinedInside.insert(Body.argument(I));
+    ForOp->walk([&](Operation *Op) {
+      if (Op == ForOp)
+        return;
+      for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+        DefinedInside.insert(Op->result(I));
+    });
+    // Also nested block args (e.g. inner loop induction vars).
+    ForOp->walk([&](Operation *Op) {
+      for (unsigned RI = 0, RE = Op->numRegions(); RI != RE; ++RI) {
+        if (Op == ForOp && RI == 0)
+          continue;
+        const Block &Inner = Op->region(RI).front();
+        for (unsigned AI = 0, AE = Inner.numArguments(); AI != AE; ++AI)
+          DefinedInside.insert(Inner.argument(AI));
+      }
+    });
+
+    bool Changed = false;
+    std::vector<Operation *> ToHoist;
+    // A single in-order sweep catches chains: once an op is marked for
+    // hoisting its results are removed from DefinedInside.
+    for (Operation *Op : Body.ops()) {
+      if (Op->isTerminator() || Op->numRegions() != 0)
+        continue;
+      bool Movable =
+          Op->isPure() ||
+          (Op->isReadOnly() && !Written.count(Op->operand(0)));
+      if (!Movable)
+        continue;
+      bool Invariant = true;
+      for (unsigned I = 0, E = Op->numOperands(); I != E; ++I)
+        if (DefinedInside.count(Op->operand(I))) {
+          Invariant = false;
+          break;
+        }
+      if (!Invariant)
+        continue;
+      ToHoist.push_back(Op);
+      for (unsigned I = 0, E = Op->numResults(); I != E; ++I)
+        DefinedInside.erase(Op->result(I));
+    }
+
+    Block *Parent = ForOp->parentBlock();
+    for (Operation *Op : ToHoist) {
+      Body.remove(Op);
+      Parent->insertBefore(ForOp, Op);
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> transforms::createLICMPass() {
+  return std::make_unique<LICMPass>();
+}

@@ -1,0 +1,51 @@
+//===- Pass.cpp -----------------------------------------------------------===//
+
+#include "transforms/Pass.h"
+
+#include "ir/Verifier.h"
+
+using namespace limpet;
+using namespace limpet::transforms;
+
+bool PassManager::run(ir::Operation *Func) {
+  Stats.Entries.clear();
+  ErrorMessage.clear();
+  for (auto &P : Passes) {
+    bool Changed = P->run(Func, Ctx);
+    Stats.Entries.push_back({std::string(P->name()), Changed});
+    if (!VerifyEach)
+      continue;
+    if (ir::VerifyResult R = ir::verifyFunction(Func); !R) {
+      ErrorMessage =
+          "verification failed after pass '" + std::string(P->name()) +
+          "': " + R.Message;
+      return false;
+    }
+  }
+  return true;
+}
+
+void PassManager::addDefaultPipeline(PassManager &PM) {
+  PM.addPass(createIfToSelectPass());
+  PM.addPass(createCanonicalizePass());
+  PM.addPass(createConstantFoldPass());
+  PM.addPass(createCSEPass());
+  PM.addPass(createLICMPass());
+  PM.addPass(createDCEPass());
+}
+
+void transforms::countUses(
+    ir::Operation *Root,
+    std::function<void(ir::Value *, ir::Operation *)> Fn) {
+  Root->walk([&](ir::Operation *Op) {
+    for (unsigned I = 0, E = Op->numOperands(); I != E; ++I)
+      Fn(Op->operand(I), Op);
+  });
+}
+
+ir::Operation *transforms::enclosingFunction(ir::Operation *Op) {
+  ir::Operation *Cur = Op;
+  while (Cur && Cur->opcode() != ir::OpCode::FuncFunc)
+    Cur = Cur->parentOp();
+  return Cur;
+}

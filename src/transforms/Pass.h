@@ -1,0 +1,91 @@
+//===- Pass.h - Pass interface and PassManager ------------------*- C++-*-===//
+//
+// A pass transforms a single func.func operation in place (the analogue of
+// an MLIR function pass). The PassManager runs a pipeline, optionally
+// verifying the IR between passes, and records simple statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_TRANSFORMS_PASS_H
+#define LIMPET_TRANSFORMS_PASS_H
+
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace transforms {
+
+/// Base class of all function passes.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// Human-readable pass name, e.g. "cse".
+  virtual std::string_view name() const = 0;
+
+  /// Transforms \p Func in place. Returns true if anything changed.
+  virtual bool run(ir::Operation *Func, ir::Context &Ctx) = 0;
+};
+
+/// Statistics of one PassManager run.
+struct PassStatistics {
+  struct Entry {
+    std::string PassName;
+    bool Changed;
+  };
+  std::vector<Entry> Entries;
+};
+
+/// Runs a sequence of passes over a function.
+class PassManager {
+public:
+  explicit PassManager(ir::Context &Ctx, bool VerifyEach = true)
+      : Ctx(Ctx), VerifyEach(VerifyEach) {}
+
+  /// Appends a pass to the pipeline.
+  void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  /// Runs the pipeline. Returns false (with \p ErrorMessage set) if
+  /// inter-pass verification fails.
+  bool run(ir::Operation *Func);
+
+  const PassStatistics &statistics() const { return Stats; }
+  const std::string &errorMessage() const { return ErrorMessage; }
+
+  /// Builds the standard optimization pipeline used for generated kernels
+  /// (the analogue of the paper's in-tree MLIR optimizations):
+  /// if-to-select, canonicalize, constant-fold, cse, licm, dce.
+  static void addDefaultPipeline(PassManager &PM);
+
+private:
+  ir::Context &Ctx;
+  bool VerifyEach;
+  std::vector<std::unique_ptr<Pass>> Passes;
+  PassStatistics Stats;
+  std::string ErrorMessage;
+};
+
+// Factory functions for the individual passes.
+std::unique_ptr<Pass> createIfToSelectPass();
+std::unique_ptr<Pass> createCanonicalizePass();
+std::unique_ptr<Pass> createConstantFoldPass();
+std::unique_ptr<Pass> createCSEPass();
+std::unique_ptr<Pass> createLICMPass();
+std::unique_ptr<Pass> createDCEPass();
+
+/// Counts uses of every value inside \p Root (including nested regions).
+/// Shared by DCE / canonicalize.
+void countUses(ir::Operation *Root,
+               std::function<void(ir::Value *, ir::Operation *)> Fn);
+
+/// Finds the enclosing func.func of \p Op (or \p Op itself).
+ir::Operation *enclosingFunction(ir::Operation *Op);
+
+} // namespace transforms
+} // namespace limpet
+
+#endif // LIMPET_TRANSFORMS_PASS_H

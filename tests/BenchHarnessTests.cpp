@@ -1,0 +1,108 @@
+//===- BenchHarnessTests.cpp - src/bench harness unit tests ---------------------===//
+
+#include "bench/BenchHarness.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::bench;
+
+namespace {
+
+TEST(Geomean, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, IgnoresNonPositive) {
+  EXPECT_NEAR(geomean({2.0, 8.0, 0.0, -1.0}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+}
+
+TEST(RenderTable, AlignsColumnsWithHeaderRule) {
+  std::string Out = renderTable({{"name", "x"}, {"abc", "1.50"},
+                                 {"longername", "2"}});
+  // Header, rule, two data rows.
+  auto Lines = splitString(Out, '\n');
+  ASSERT_GE(Lines.size(), 4u);
+  EXPECT_NE(Lines[1].find("---"), std::string::npos);
+  // First column left-aligned, second right-aligned.
+  EXPECT_EQ(Lines[2].find("abc"), 0u);
+  EXPECT_EQ(Lines[3].find("longername"), 0u);
+  EXPECT_EQ(Lines[2].size(), Lines[3].size());
+}
+
+TEST(RenderTable, EmptyInput) { EXPECT_EQ(renderTable({}), ""); }
+
+TEST(Protocol, EnvOverridesApply) {
+  setenv("LIMPET_BENCH_CELLS", "123", 1);
+  setenv("LIMPET_BENCH_STEPS", "45", 1);
+  setenv("LIMPET_BENCH_REPEATS", "7", 1);
+  BenchProtocol P = BenchProtocol::fromEnv(4096, 100, 3);
+  EXPECT_EQ(P.NumCells, 123);
+  EXPECT_EQ(P.NumSteps, 45);
+  EXPECT_EQ(P.Repeats, 7);
+  unsetenv("LIMPET_BENCH_CELLS");
+  unsetenv("LIMPET_BENCH_STEPS");
+  unsetenv("LIMPET_BENCH_REPEATS");
+  BenchProtocol D = BenchProtocol::fromEnv(4096, 100, 3);
+  EXPECT_EQ(D.NumCells, 4096);
+  EXPECT_EQ(D.NumSteps, 100);
+  EXPECT_EQ(D.Repeats, 3);
+}
+
+TEST(Selection, DefaultsToAll43) {
+  unsetenv("LIMPET_BENCH_MODELS");
+  EXPECT_EQ(selectedModels().size(), 43u);
+}
+
+TEST(Selection, FilterSelectsByName) {
+  setenv("LIMPET_BENCH_MODELS", "OHara,HodgkinHuxley", 1);
+  auto Sel = selectedModels();
+  unsetenv("LIMPET_BENCH_MODELS");
+  ASSERT_EQ(Sel.size(), 2u);
+  EXPECT_EQ(Sel[0]->Name, "OHara");
+  EXPECT_EQ(Sel[1]->Name, "HodgkinHuxley");
+}
+
+TEST(ModelCacheT, ReusesCompilations) {
+  ModelCache Cache;
+  const models::ModelEntry *M = models::findModel("Plonsey");
+  ASSERT_NE(M, nullptr);
+  const exec::CompiledModel &A =
+      Cache.get(*M, exec::EngineConfig::baseline());
+  const exec::CompiledModel &B =
+      Cache.get(*M, exec::EngineConfig::baseline());
+  EXPECT_EQ(&A, &B);
+  const exec::CompiledModel &C =
+      Cache.get(*M, exec::EngineConfig::limpetMLIR(8));
+  EXPECT_NE(&A, &C);
+}
+
+TEST(Timing, MeasuresPositiveTime) {
+  ModelCache Cache;
+  const models::ModelEntry *M = models::findModel("Plonsey");
+  const exec::CompiledModel &Model =
+      Cache.get(*M, exec::EngineConfig::baseline());
+  BenchProtocol P;
+  P.NumCells = 64;
+  P.NumSteps = 10;
+  P.Repeats = 3;
+  double T = timeSimulation(Model, P, 1);
+  EXPECT_GT(T, 0.0);
+  EXPECT_LT(T, 5.0);
+}
+
+TEST(ClassNames, AllThree) {
+  EXPECT_EQ(className('S'), "small");
+  EXPECT_EQ(className('M'), "medium");
+  EXPECT_EQ(className('L'), "large");
+}
+
+} // namespace

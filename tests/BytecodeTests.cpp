@@ -1,0 +1,157 @@
+//===- BytecodeTests.cpp - exec/Bytecode + compiler unit tests -----------------===//
+
+#include "codegen/Vectorize.h"
+#include "easyml/Sema.h"
+#include "exec/BytecodeCompiler.h"
+
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+
+using namespace limpet;
+using namespace limpet::codegen;
+using namespace limpet::exec;
+
+namespace {
+
+constexpr const char MiniModel[] = R"(
+Vm; .external(); .nodal();
+Iion; .external();
+group{ g = 0.5; E = -80.0; }.param();
+Vm_init = -80.0;
+diff_w = 0.1*(Vm - E) - 0.2*w + exp(Vm/30.0)*0.01;
+w_init = 0.25;
+Iion = g*(Vm - E) + w;
+)";
+
+GeneratedKernel makeKernel(StateLayout Layout = StateLayout::AoS,
+                           unsigned W = 8) {
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo("mini", MiniModel, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  CodeGenOptions Options;
+  Options.Layout = Layout;
+  Options.AoSoABlockWidth = W;
+  Options.EnableLuts = false;
+  return generateKernel(*Info, Options);
+}
+
+TEST(BytecodeCompiler, CompilesScalarKernel) {
+  GeneratedKernel K = makeKernel();
+  BcProgram P = compileToBytecode(K, K.ScalarFunc);
+  EXPECT_GT(P.NumRegs, 0u);
+  EXPECT_FALSE(P.Body.empty());
+  EXPECT_EQ(P.Layout, StateLayout::AoS);
+  EXPECT_EQ(P.NumSv, 1u);
+  EXPECT_TRUE(P.HasDt);
+  // Parameter loads were hoisted into the prologue.
+  unsigned PrologueParamLoads = 0;
+  for (const BcInstr &I : P.Prologue)
+    PrologueParamLoads += I.Op == BcOp::LoadParam;
+  EXPECT_EQ(PrologueParamLoads, 2u);
+}
+
+TEST(BytecodeCompiler, BodyHasExpectedAccessMix) {
+  GeneratedKernel K = makeKernel();
+  BcProgram P = compileToBytecode(K, K.ScalarFunc);
+  unsigned StateLoads = 0, ExtLoads = 0, StateStores = 0, ExtStores = 0,
+           Exps = 0;
+  for (const BcInstr &I : P.Body) {
+    StateLoads += I.Op == BcOp::LoadState;
+    ExtLoads += I.Op == BcOp::LoadExt;
+    StateStores += I.Op == BcOp::StoreState;
+    ExtStores += I.Op == BcOp::StoreExt;
+    Exps += I.Op == BcOp::Exp;
+  }
+  EXPECT_EQ(StateLoads, 1u);
+  EXPECT_EQ(ExtLoads, 1u);
+  EXPECT_EQ(StateStores, 1u);
+  EXPECT_EQ(ExtStores, 1u);
+  EXPECT_EQ(Exps, 1u);
+}
+
+TEST(BytecodeCompiler, ScalarAndVectorFormsMatchStructurally) {
+  GeneratedKernel K = makeKernel(StateLayout::AoSoA, 8);
+  BcProgram PS = compileToBytecode(K, K.ScalarFunc);
+  ir::Operation *Vec = vectorizeKernel(K, 8);
+  BcProgram PV = compileToBytecode(K, Vec);
+  // Same loads/stores/math; only Copy (broadcast) counts may differ.
+  auto Histogram = [](const BcProgram &P) {
+    std::map<BcOp, unsigned> H;
+    for (const BcInstr &I : P.Body)
+      if (I.Op != BcOp::Copy)
+        ++H[I.Op];
+    return H;
+  };
+  EXPECT_EQ(Histogram(PS), Histogram(PV));
+}
+
+TEST(BytecodeCompiler, RegisterReuseKeepsFileSmall) {
+  GeneratedKernel K = makeKernel();
+  BcProgram P = compileToBytecode(K, K.ScalarFunc);
+  // Without reuse the register count would equal the value count (every
+  // instruction defines one); with last-use reuse it must be well below.
+  EXPECT_LT(P.NumRegs, P.Body.size() + P.Prologue.size());
+}
+
+TEST(BytecodeCompiler, DestinationNeverAliasesSources) {
+  // The engines' __restrict lane loops rely on this guarantee.
+  GeneratedKernel K = makeKernel(StateLayout::AoSoA, 8);
+  ir::Operation *Vec = vectorizeKernel(K, 8);
+  for (ir::Operation *Func : {K.ScalarFunc, Vec}) {
+    BcProgram P = compileToBytecode(K, Func);
+    for (const BcInstr &I : P.Body) {
+      switch (I.Op) {
+      case BcOp::StoreState:
+      case BcOp::StoreExt:
+      case BcOp::ConstF:
+      case BcOp::LoadState:
+      case BcOp::LoadExt:
+      case BcOp::LoadParam:
+        continue;
+      case BcOp::LutCoord:
+        EXPECT_NE(I.Dst, I.A);
+        EXPECT_NE(I.C, I.A);
+        EXPECT_NE(I.Dst, I.C);
+        continue;
+      case BcOp::Select:
+        EXPECT_NE(I.Dst, I.C);
+        [[fallthrough]];
+      default:
+        EXPECT_NE(I.Dst, I.A);
+        if (I.Op != BcOp::Copy && I.Op != BcOp::Neg)
+          EXPECT_NE(I.Dst, I.B);
+      }
+    }
+  }
+}
+
+TEST(BytecodeCompiler, CountsFlopsAndTraffic) {
+  GeneratedKernel K = makeKernel();
+  BcProgram P = compileToBytecode(K, K.ScalarFunc);
+  EXPECT_GT(P.Counts.FlopsPerCell, 0.0);
+  // 2 loads (state + ext) and 2 stores of 8 bytes each.
+  EXPECT_DOUBLE_EQ(P.Counts.LoadBytesPerCell, 16.0);
+  EXPECT_DOUBLE_EQ(P.Counts.StoreBytesPerCell, 16.0);
+  EXPECT_GT(P.Counts.operationalIntensity(), 0.0);
+}
+
+TEST(Bytecode, DisassemblyIsReadable) {
+  GeneratedKernel K = makeKernel();
+  BcProgram P = compileToBytecode(K, K.ScalarFunc);
+  std::string Text = P.str();
+  EXPECT_NE(Text.find("prologue:"), std::string::npos);
+  EXPECT_NE(Text.find("body:"), std::string::npos);
+  EXPECT_NE(Text.find("load.state"), std::string::npos);
+  EXPECT_NE(Text.find("store.ext"), std::string::npos);
+  EXPECT_NE(Text.find("exp"), std::string::npos);
+}
+
+TEST(Bytecode, OpNamesAreUnique) {
+  std::set<std::string_view> Names;
+  for (int I = 0; I <= int(BcOp::LutInterpCubic); ++I)
+    Names.insert(bcOpName(BcOp(I)));
+  EXPECT_EQ(Names.size(), size_t(BcOp::LutInterpCubic) + 1);
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+//===- CodeGenTests.cpp - codegen/MLIRCodeGen unit tests ----------------------===//
+
+#include "codegen/MLIRCodeGen.h"
+#include "easyml/Sema.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::codegen;
+using namespace limpet::ir;
+
+namespace {
+
+constexpr const char MiniModel[] = R"(
+Vm; .external(); .nodal();
+Iion; .external();
+group{ g = 0.5; E = -80.0; }.param();
+Vm_init = -80.0;
+diff_w = 0.1*(Vm - E) - 0.2*w;
+w_init = 0.25;
+Iion = g*(Vm - E) + w;
+)";
+
+easyml::ModelInfo miniInfo() {
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo("mini", MiniModel, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  return *Info;
+}
+
+TEST(CodeGen, KernelVerifies) {
+  for (StateLayout Layout :
+       {StateLayout::AoS, StateLayout::SoA, StateLayout::AoSoA}) {
+    CodeGenOptions Options;
+    Options.Layout = Layout;
+    GeneratedKernel K = generateKernel(miniInfo(), Options);
+    VerifyResult R = verifyFunction(K.ScalarFunc);
+    EXPECT_TRUE(R) << stateLayoutName(Layout) << ": " << R.Message;
+  }
+}
+
+TEST(CodeGen, AbiShape) {
+  GeneratedKernel K = generateKernel(miniInfo(), CodeGenOptions());
+  EXPECT_EQ(K.Abi.NumExternals, 2u);
+  EXPECT_EQ(K.Abi.NumParams, 2u);
+  EXPECT_EQ(K.Abi.NumStateVars, 1u);
+  Block &Entry = funcBody(K.ScalarFunc);
+  EXPECT_EQ(Entry.numArguments(), K.Abi.numArgs());
+  EXPECT_TRUE(Entry.argument(K.Abi.stateArg())->type().isMemRef());
+  EXPECT_TRUE(Entry.argument(K.Abi.dtArg())->type().isF64());
+  EXPECT_TRUE(Entry.argument(K.Abi.startArg())->type().isI64());
+}
+
+TEST(CodeGen, CellLoopMarked) {
+  GeneratedKernel K = generateKernel(miniInfo(), CodeGenOptions());
+  unsigned CellLoops = 0;
+  K.ScalarFunc->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::ScfFor)
+      CellLoops += Op->hasAttr(attrs::CellLoop);
+  });
+  EXPECT_EQ(CellLoops, 1u);
+}
+
+TEST(CodeGen, AccessesCarryRoleAttributes) {
+  GeneratedKernel K = generateKernel(miniInfo(), CodeGenOptions());
+  unsigned StateLoads = 0, ExtLoads = 0, ParamLoads = 0, StateStores = 0,
+           ExtStores = 0;
+  K.ScalarFunc->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::MemLoad) {
+      std::string Role = Op->attr(attrs::Role).asString();
+      StateLoads += Role == "state";
+      ExtLoads += Role == "ext";
+      ParamLoads += Role == "param";
+    }
+    if (Op->opcode() == OpCode::MemStore) {
+      std::string Role = Op->attr(attrs::Role).asString();
+      StateStores += Role == "state";
+      ExtStores += Role == "ext";
+    }
+  });
+  EXPECT_EQ(StateLoads, 1u);  // w
+  EXPECT_EQ(ExtLoads, 1u);    // Vm
+  EXPECT_EQ(ParamLoads, 2u);  // g, E
+  EXPECT_EQ(StateStores, 1u); // w
+  EXPECT_EQ(ExtStores, 1u);   // Iion
+}
+
+TEST(CodeGen, ParamLoadsHoistedByLICM) {
+  GeneratedKernel K = generateKernel(miniInfo(), CodeGenOptions());
+  // After the default pipeline, parameter loads live in the preheader.
+  Block &Entry = funcBody(K.ScalarFunc);
+  unsigned ParamLoadsInPreheader = 0;
+  for (Operation *Op : Entry.ops())
+    if (Op->opcode() == OpCode::MemLoad &&
+        Op->attr(attrs::Role).asString() == "param")
+      ++ParamLoadsInPreheader;
+  EXPECT_EQ(ParamLoadsInPreheader, 2u);
+}
+
+TEST(CodeGen, StoresFollowAllLoads) {
+  // The state update must be simultaneous: every load precedes every
+  // store in the loop body.
+  GeneratedKernel K = generateKernel(miniInfo(), CodeGenOptions());
+  Operation *CellLoop = nullptr;
+  K.ScalarFunc->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::ScfFor)
+      CellLoop = Op;
+  });
+  ASSERT_NE(CellLoop, nullptr);
+  bool SeenStore = false;
+  for (Operation *Op : forBody(CellLoop).ops()) {
+    if (Op->opcode() == OpCode::MemStore)
+      SeenStore = true;
+    if (Op->opcode() == OpCode::MemLoad)
+      EXPECT_FALSE(SeenStore) << "load after store in kernel body";
+  }
+}
+
+TEST(CodeGen, ProgramExpandsIntegrators) {
+  easyml::ModelInfo Info = miniInfo();
+  ModelProgram P = buildModelProgram(Info);
+  ASSERT_EQ(P.StateUpdates.size(), 1u);
+  // fe: w + dt*f — references __dt.
+  EXPECT_TRUE(easyml::exprReferences(*P.StateUpdates[0], "__dt"));
+  ASSERT_EQ(P.ExternalUpdates.size(), 2u);
+  EXPECT_EQ(P.ExternalUpdates[0], nullptr); // Vm not computed
+  EXPECT_NE(P.ExternalUpdates[1], nullptr); // Iion computed
+}
+
+TEST(CodeGen, NoLutOptionDisablesExtraction) {
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(
+      "lutty",
+      "Vm; .external(); .lookup(-100, 100, 0.1);\nIion; .external();\n"
+      "diff_w = exp(Vm/25.0) - w;\nw_init = 0;\nIion = w;",
+      Diags);
+  ASSERT_TRUE(Info.has_value()) << Diags.str();
+
+  CodeGenOptions WithLut;
+  GeneratedKernel K1 = generateKernel(*Info, WithLut);
+  EXPECT_EQ(K1.Program.Luts.Tables.size(), 1u);
+  EXPECT_GE(K1.Program.Luts.totalColumns(), 1u);
+
+  CodeGenOptions NoLut;
+  NoLut.EnableLuts = false;
+  GeneratedKernel K2 = generateKernel(*Info, NoLut);
+  EXPECT_TRUE(K2.Program.Luts.empty());
+  // Without LUTs the exp stays in the kernel.
+  unsigned Exps = 0;
+  K2.ScalarFunc->walk(
+      [&](Operation *Op) { Exps += Op->opcode() == OpCode::MathExp; });
+  EXPECT_GE(Exps, 1u);
+}
+
+TEST(CodeGen, TernaryLowersToSelect) {
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(
+      "tern",
+      "Vm; .external();\nIion; .external();\n"
+      "diff_w = ((Vm < 0.0) ? 1.0 : 2.0) - w;\nw_init = 0;\nIion = w;",
+      Diags);
+  ASSERT_TRUE(Info.has_value());
+  GeneratedKernel K = generateKernel(*Info, CodeGenOptions());
+  unsigned Selects = 0, Cmps = 0;
+  K.ScalarFunc->walk([&](Operation *Op) {
+    Selects += Op->opcode() == OpCode::ArithSelect;
+    Cmps += Op->opcode() == OpCode::ArithCmpF;
+  });
+  EXPECT_EQ(Selects, 1u);
+  EXPECT_EQ(Cmps, 1u);
+}
+
+TEST(CodeGen, SharedSubtreesEmittedOnce) {
+  // rk2 shares f's subtree; CSE plus memoized emission must keep a single
+  // exp in the kernel for the first evaluation.
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(
+      "rk2m",
+      "Vm; .external();\nIion; .external();\n"
+      "diff_w = exp(Vm/25.0) - w;\nw_init = 0;\nw; .method(rk2);\n"
+      "Iion = w;",
+      Diags);
+  ASSERT_TRUE(Info.has_value());
+  CodeGenOptions NoLut;
+  NoLut.EnableLuts = false;
+  GeneratedKernel K = generateKernel(*Info, NoLut);
+  unsigned Exps = 0;
+  K.ScalarFunc->walk(
+      [&](Operation *Op) { Exps += Op->opcode() == OpCode::MathExp; });
+  // f(w) and f(w_mid) share the Vm-only exp: exactly one survives CSE.
+  EXPECT_EQ(Exps, 1u);
+}
+
+} // namespace

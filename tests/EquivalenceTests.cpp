@@ -1,0 +1,119 @@
+//===- EquivalenceTests.cpp - engine equivalence over the whole suite ----------===//
+//
+// The central correctness property of the reproduction: for every one of
+// the 43 models, the limpetMLIR configuration (vector engine, AoSoA
+// layout, vector LUT, vector math) produces the same simulation as the
+// openCARP-baseline configuration (scalar engine, AoS, libm), within
+// floating-point tolerance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+#include "exec/CompiledModel.h"
+#include "models/Registry.h"
+#include "sim/Simulator.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::exec;
+using namespace limpet::models;
+
+namespace {
+
+class ModelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelEquivalence, LimpetMLIRMatchesBaseline) {
+  const ModelEntry &M = modelRegistry()[size_t(GetParam())];
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M.Name, M.Source, Diags);
+  ASSERT_TRUE(Info.has_value()) << Diags.str();
+
+  auto Base = CompiledModel::compile(*Info, EngineConfig::baseline());
+  ASSERT_TRUE(Base.has_value());
+  auto Vec = CompiledModel::compile(*Info, EngineConfig::limpetMLIR(8));
+  ASSERT_TRUE(Vec.has_value());
+
+  sim::SimOptions Opts;
+  Opts.NumCells = 33; // exercises the vector epilogue
+  Opts.NumSteps = 400;
+  Opts.StimPeriod = 100.0;
+  sim::Simulator S1(*Base, Opts), S2(*Vec, Opts);
+  S1.run();
+  S2.run();
+
+  double C1 = S1.stateChecksum(), C2 = S2.stateChecksum();
+  ASSERT_TRUE(std::isfinite(C1)) << M.Name;
+  double Rel = std::fabs(C1 - C2) / std::max(std::fabs(C1), 1e-9);
+  EXPECT_LT(Rel, 1e-8) << M.Name << " base=" << C1 << " vec=" << C2;
+}
+
+INSTANTIATE_TEST_SUITE_P(All43, ModelEquivalence, ::testing::Range(0, 43),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           return modelRegistry()[size_t(I.param)].Name;
+                         });
+
+TEST(Equivalence, AutoVecConfigMatchesToo) {
+  // The Sec. 5 comparison configuration must also be semantically correct.
+  const ModelEntry *M = findModel("HodgkinHuxley");
+  ASSERT_NE(M, nullptr);
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+  ASSERT_TRUE(Info.has_value());
+  auto Base = CompiledModel::compile(*Info, EngineConfig::baseline());
+  auto Auto = CompiledModel::compile(*Info, EngineConfig::autoVecLike(8));
+  sim::SimOptions Opts;
+  Opts.NumCells = 50;
+  Opts.NumSteps = 500;
+  sim::Simulator S1(*Base, Opts), S2(*Auto, Opts);
+  S1.run();
+  S2.run();
+  EXPECT_NEAR(S1.stateChecksum(), S2.stateChecksum(),
+              1e-8 * std::fabs(S1.stateChecksum()));
+}
+
+TEST(Equivalence, NoLutConfigCloseToLut) {
+  // Disabling LUTs changes results only by the interpolation error.
+  const ModelEntry *M = findModel("BeelerReuter");
+  ASSERT_NE(M, nullptr);
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+  ASSERT_TRUE(Info.has_value());
+  EngineConfig NoLut = EngineConfig::baseline();
+  NoLut.EnableLuts = false;
+  auto A = CompiledModel::compile(*Info, EngineConfig::baseline());
+  auto B = CompiledModel::compile(*Info, NoLut);
+  sim::SimOptions Opts;
+  Opts.NumCells = 8;
+  Opts.NumSteps = 2000; // a full action potential
+  Opts.RecordTrace = true;
+  sim::Simulator S1(*A, Opts), S2(*B, Opts);
+  S1.run();
+  S2.run();
+  // Compare the Vm traces pointwise.
+  ASSERT_EQ(S1.trace().size(), S2.trace().size());
+  for (size_t I = 0; I != S1.trace().size(); ++I)
+    EXPECT_NEAR(S1.trace()[I], S2.trace()[I], 0.75)
+        << "step " << I; // mV-level agreement over the AP upstroke
+}
+
+TEST(Equivalence, ThreadedRunMatchesSerial) {
+  const ModelEntry *M = findModel("LuoRudy91");
+  ASSERT_NE(M, nullptr);
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+  auto Model = CompiledModel::compile(*Info, EngineConfig::limpetMLIR(8));
+  ASSERT_TRUE(Model.has_value());
+  sim::SimOptions Serial;
+  Serial.NumCells = 120;
+  Serial.NumSteps = 200;
+  sim::SimOptions Threaded = Serial;
+  Threaded.NumThreads = 4;
+  sim::Simulator S1(*Model, Serial), S2(*Model, Threaded);
+  S1.run();
+  S2.run();
+  EXPECT_DOUBLE_EQ(S1.stateChecksum(), S2.stateChecksum());
+}
+
+} // namespace

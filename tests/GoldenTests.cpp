@@ -1,0 +1,177 @@
+//===- GoldenTests.cpp - physiological golden traces ----------------------------===//
+//
+// End-to-end integration tests: well-known physiological features of the
+// classical models must emerge from the full pipeline (frontend ->
+// preprocessor -> integrators -> LUT -> IR -> passes -> bytecode ->
+// engine -> simulator).
+//
+//===----------------------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+#include "models/Registry.h"
+#include "sim/Simulator.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::exec;
+using namespace limpet::sim;
+
+namespace {
+
+std::vector<double> traceOf(const char *Name, EngineConfig Cfg,
+                            SimOptions Opts) {
+  const models::ModelEntry *M = models::findModel(Name);
+  EXPECT_NE(M, nullptr) << Name;
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  auto Model = CompiledModel::compile(*Info, Cfg);
+  EXPECT_TRUE(Model.has_value());
+  Opts.RecordTrace = true;
+  Simulator S(*Model, Opts);
+  S.run();
+  return S.trace();
+}
+
+struct ApFeatures {
+  double Rest;   ///< voltage before the stimulus
+  double Peak;   ///< maximum voltage
+  double Final;  ///< voltage at the end of the run
+  int UpstrokeStep = -1; ///< first step above 0 mV
+};
+
+ApFeatures featuresOf(const std::vector<double> &Trace) {
+  ApFeatures F;
+  F.Rest = Trace.front();
+  F.Peak = -1e30;
+  for (size_t I = 0; I != Trace.size(); ++I) {
+    if (Trace[I] > F.Peak)
+      F.Peak = Trace[I];
+    if (F.UpstrokeStep < 0 && Trace[I] > 0.0)
+      F.UpstrokeStep = int(I);
+  }
+  F.Final = Trace.back();
+  return F;
+}
+
+TEST(Golden, HodgkinHuxleyActionPotential) {
+  SimOptions Opts;
+  Opts.NumCells = 8;
+  Opts.NumSteps = 2000; // 20 ms
+  Opts.StimStart = 1.0;
+  Opts.StimDuration = 1.0;
+  Opts.StimStrength = 40.0;
+  ApFeatures F =
+      featuresOf(traceOf("HodgkinHuxley", EngineConfig::baseline(), Opts));
+  EXPECT_NEAR(F.Rest, -65.0, 1.0);
+  EXPECT_GT(F.Peak, 20.0); // squid AP overshoots well above 0
+  EXPECT_LT(F.Peak, 60.0);
+  EXPECT_GT(F.UpstrokeStep, 0);
+  EXPECT_LT(F.UpstrokeStep, 600);
+  EXPECT_NEAR(F.Final, -65.0, 12.0); // repolarized by 20 ms
+}
+
+TEST(Golden, HodgkinHuxleyVectorEngineSameAP) {
+  SimOptions Opts;
+  Opts.NumCells = 8;
+  Opts.NumSteps = 2000;
+  Opts.StimStrength = 40.0;
+  auto A = traceOf("HodgkinHuxley", EngineConfig::baseline(), Opts);
+  auto B = traceOf("HodgkinHuxley", EngineConfig::limpetMLIR(8), Opts);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    ASSERT_NEAR(A[I], B[I], 1e-6) << I;
+}
+
+TEST(Golden, BeelerReuterPlateauMorphology) {
+  SimOptions Opts;
+  Opts.NumCells = 4;
+  Opts.NumSteps = 10000; // 100 ms
+  Opts.StimStrength = 40.0;
+  Opts.StimDuration = 2.0;
+  auto Trace = traceOf("BeelerReuter", EngineConfig::baseline(), Opts);
+  ApFeatures F = featuresOf(Trace);
+  EXPECT_NEAR(F.Rest, -84.6, 1.0);
+  EXPECT_GT(F.Peak, 10.0);
+  // Ventricular AP: still depolarized (plateau) at 60 ms.
+  EXPECT_GT(Trace[6000], -60.0);
+}
+
+TEST(Golden, LuoRudy91Upstroke) {
+  SimOptions Opts;
+  Opts.NumCells = 4;
+  Opts.NumSteps = 5000; // 50 ms
+  Opts.StimStrength = 60.0;
+  Opts.StimDuration = 1.0;
+  ApFeatures F =
+      featuresOf(traceOf("LuoRudy91", EngineConfig::baseline(), Opts));
+  EXPECT_NEAR(F.Rest, -84.4, 1.0);
+  EXPECT_GT(F.Peak, 0.0);
+}
+
+TEST(Golden, MitchellSchaefferExcitableThreshold) {
+  // Sub-threshold stimulus: no AP; supra-threshold: AP.
+  SimOptions Weak;
+  Weak.NumCells = 2;
+  Weak.NumSteps = 3000;
+  Weak.StimStrength = 2.0;
+  Weak.StimDuration = 1.0;
+  ApFeatures FWeak = featuresOf(
+      traceOf("MitchellSchaeffer", EngineConfig::baseline(), Weak));
+  EXPECT_LT(FWeak.Peak, -30.0);
+
+  SimOptions Strong = Weak;
+  Strong.StimStrength = 30.0;
+  Strong.StimDuration = 2.0;
+  ApFeatures FStrong = featuresOf(
+      traceOf("MitchellSchaeffer", EngineConfig::baseline(), Strong));
+  EXPECT_GT(FStrong.Peak, -15.0);
+}
+
+TEST(Golden, GatesStayInUnitInterval) {
+  // Property: every Rush-Larsen gate stays within [0, 1] for the whole
+  // simulation (RL guarantees this for exact gate dynamics).
+  const models::ModelEntry *M = models::findModel("BeelerReuter");
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+  auto Model = CompiledModel::compile(*Info, EngineConfig::limpetMLIR(8));
+  SimOptions Opts;
+  Opts.NumCells = 16;
+  Opts.NumSteps = 3000;
+  Opts.StimStrength = 40.0;
+  Simulator S(*Model, Opts);
+  for (int Step = 0; Step != Opts.NumSteps; ++Step) {
+    S.step();
+    if (Step % 250 != 0)
+      continue;
+    // sv 0..5 are the six gates (m,h,j,d,f,x1).
+    for (int64_t Sv = 0; Sv != 6; ++Sv) {
+      double G = S.stateOf(0, Sv);
+      ASSERT_GE(G, -1e-9) << "sv " << Sv << " step " << Step;
+      ASSERT_LE(G, 1.0 + 1e-9) << "sv " << Sv << " step " << Step;
+    }
+  }
+}
+
+TEST(Golden, AllClassicModelsProduceFiniteDynamics) {
+  for (const models::ModelEntry &M : models::modelRegistry()) {
+    if (!M.IsClassic)
+      continue;
+    SimOptions Opts;
+    Opts.NumCells = 4;
+    Opts.NumSteps = 1500;
+    Opts.StimStrength = 30.0;
+    Opts.StimPeriod = 100.0;
+    auto Trace = traceOf(M.Name.c_str(), EngineConfig::baseline(), Opts);
+    for (double V : Trace)
+      ASSERT_TRUE(std::isfinite(V)) << M.Name;
+    // Membrane voltage stays in a physiological window.
+    ApFeatures F = featuresOf(Trace);
+    EXPECT_GT(F.Peak, -120.0) << M.Name;
+    EXPECT_LT(F.Peak, 200.0) << M.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+//===- IRParserTests.cpp - textual IR parser tests -------------------------------===//
+
+#include "codegen/Vectorize.h"
+#include "easyml/Sema.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "models/Registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+namespace {
+
+TEST(IRParser, ParsesTrivialFunction) {
+  Context Ctx;
+  ParseIRResult R = parseIR(R"(func.func @f(%arg0: f64) {
+  %0 = arith.constant {value = 2.5} : f64
+  %1 = arith.addf %arg0, %0 : f64
+  func.return
+}
+)",
+                            Ctx);
+  ASSERT_TRUE(R) << R.Error;
+  Operation *F = R.Mod->lookupFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(verifyFunction(F));
+}
+
+TEST(IRParser, RoundTripsWhatItParses) {
+  Context Ctx;
+  std::string Text = R"(func.func @g(%arg0: memref<?xf64>, %arg1: i64) {
+  %0 = memref.load %arg0, %arg1 {limpet.role = "state", limpet.index = 3} : f64
+  %1 = arith.constant {value = 0.5} : f64
+  %2 = arith.cmpf %0, %1 {predicate = "lt"} : i1
+  %3 = arith.select %2, %0, %1 : f64
+  memref.store %3, %arg0, %arg1
+  func.return
+}
+)";
+  ParseIRResult R = parseIR(Text, Ctx);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(printModule(*R.Mod), Text);
+}
+
+TEST(IRParser, ParsesForLoops) {
+  Context Ctx;
+  std::string Text = R"(func.func @loop(%arg0: i64, %arg1: i64) {
+  %0 = arith.constant_int {value = 2} : i64
+  scf.for %arg2 = %arg0 to %arg1 step %0 {
+    %1 = arith.addi %arg2, %0 : i64
+    scf.yield
+  }
+  func.return
+}
+)";
+  ParseIRResult R = parseIR(Text, Ctx);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_TRUE(verifyFunction(R.Mod->functions()[0].get()));
+  EXPECT_EQ(printModule(*R.Mod), Text);
+}
+
+TEST(IRParser, ParsesVectorTypesAndMultiResultOps) {
+  Context Ctx;
+  std::string Text = R"(func.func @v(%arg0: f64) {
+  %0 = vector.broadcast %arg0 : vector<8xf64>
+  %1, %2 = lut.coord %0 {table = 1} : vector<8xi64>, vector<8xf64>
+  %3 = lut.interp %1, %2 {table = 1, col = 4} : vector<8xf64>
+  func.return
+}
+)";
+  ParseIRResult R = parseIR(Text, Ctx);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_TRUE(verifyFunction(R.Mod->functions()[0].get()));
+  EXPECT_EQ(printModule(*R.Mod), Text);
+}
+
+TEST(IRParser, ParsesIfRegions) {
+  Context Ctx;
+  std::string Text = R"(func.func @cond(%arg0: f64) {
+  %0 = arith.constant {value = 0} : f64
+  %1 = arith.cmpf %arg0, %0 {predicate = "lt"} : i1
+  %2 = scf.if %1 : f64 {
+    %3 = arith.negf %arg0 : f64
+    scf.yield %3
+  } else {
+    scf.yield %arg0
+  }
+  func.return
+}
+)";
+  ParseIRResult R = parseIR(Text, Ctx);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_TRUE(verifyFunction(R.Mod->functions()[0].get()))
+      << verifyFunction(R.Mod->functions()[0].get()).Message;
+}
+
+TEST(IRParser, ReportsErrors) {
+  Context Ctx;
+  EXPECT_FALSE(parseIR("", Ctx));
+  EXPECT_FALSE(parseIR("func.func @f( {", Ctx));
+  ParseIRResult Undef = parseIR(R"(func.func @f() {
+  %0 = arith.negf %9 : f64
+  func.return
+}
+)",
+                                Ctx);
+  ASSERT_FALSE(Undef);
+  EXPECT_NE(Undef.Error.find("undefined value"), std::string::npos);
+  ParseIRResult BadOp = parseIR(R"(func.func @f() {
+  %0 = arith.bogus : f64
+  func.return
+}
+)",
+                                Ctx);
+  ASSERT_FALSE(BadOp);
+  EXPECT_NE(BadOp.Error.find("unknown operation"), std::string::npos);
+}
+
+/// The big property: every generated kernel (scalar and vectorized) of
+/// every suite model round-trips through print -> parse -> print.
+class KernelRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelRoundTrip, PrintParsePrintIsFixpoint) {
+  const models::ModelEntry &M = models::modelRegistry()[size_t(GetParam())];
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M.Name, M.Source, Diags);
+  ASSERT_TRUE(Info.has_value()) << Diags.str();
+  codegen::CodeGenOptions Options;
+  Options.Layout = codegen::StateLayout::AoSoA;
+  Options.AoSoABlockWidth = 8;
+  codegen::GeneratedKernel K = codegen::generateKernel(*Info, Options);
+  codegen::vectorizeKernel(K, 8);
+
+  for (const auto &F : K.Mod->functions()) {
+    std::string Printed = printOp(F.get());
+    Context Ctx2;
+    ParseIRResult R = parseIR(Printed, Ctx2);
+    ASSERT_TRUE(R) << M.Name << ": " << R.Error << "\n" << Printed;
+    Operation *Reparsed = R.Mod->functions()[0].get();
+    VerifyResult V = verifyFunction(Reparsed);
+    EXPECT_TRUE(V) << M.Name << ": " << V.Message;
+    EXPECT_EQ(printOp(Reparsed), Printed) << M.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All43, KernelRoundTrip, ::testing::Range(0, 43),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           return models::modelRegistry()[size_t(I.param)]
+                               .Name;
+                         });
+
+} // namespace

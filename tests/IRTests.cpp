@@ -1,0 +1,230 @@
+//===- IRTests.cpp - ir/ structural unit tests ------------------------------===//
+
+#include "support/Casting.h"
+#include "dialects/Dialects.h"
+#include "ir/Builder.h"
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+namespace {
+
+TEST(Types, UniquingAndQueries) {
+  Context Ctx;
+  EXPECT_TRUE(Ctx.f64().isF64());
+  EXPECT_TRUE(Ctx.i1().isI1());
+  EXPECT_TRUE(Ctx.i64().isI64());
+  EXPECT_TRUE(Ctx.memref().isMemRef());
+
+  Type V8 = Ctx.vecF64(8);
+  EXPECT_TRUE(V8.isVector());
+  EXPECT_TRUE(V8.isFloatLike());
+  EXPECT_EQ(V8.vectorWidth(), 8u);
+  EXPECT_EQ(V8, Ctx.vecF64(8));
+  EXPECT_NE(V8, Ctx.vecF64(4));
+  EXPECT_NE(V8, Ctx.vecI1(8));
+  EXPECT_TRUE(Ctx.vecI1(4).isBoolLike());
+  EXPECT_TRUE(Ctx.vecI64(2).isIntLike());
+}
+
+TEST(Types, ScalarAndVectorConversions) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.scalarTypeOf(Ctx.vecF64(4)), Ctx.f64());
+  EXPECT_EQ(Ctx.scalarTypeOf(Ctx.vecI1(2)), Ctx.i1());
+  EXPECT_EQ(Ctx.scalarTypeOf(Ctx.f64()), Ctx.f64());
+  EXPECT_EQ(Ctx.vectorTypeOf(Ctx.f64(), 8), Ctx.vecF64(8));
+  EXPECT_EQ(Ctx.vectorTypeOf(Ctx.i1(), 2), Ctx.vecI1(2));
+}
+
+TEST(Types, Printing) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.f64().str(), "f64");
+  EXPECT_EQ(Ctx.i1().str(), "i1");
+  EXPECT_EQ(Ctx.vecF64(8).str(), "vector<8xf64>");
+  EXPECT_EQ(Ctx.vecI1(4).str(), "vector<4xi1>");
+  EXPECT_EQ(Ctx.memref().str(), "memref<?xf64>");
+}
+
+TEST(Attributes, PayloadsAndEquality) {
+  Attribute F = Attribute::makeFloat(2.5);
+  EXPECT_EQ(F.asFloat(), 2.5);
+  EXPECT_EQ(F, Attribute::makeFloat(2.5));
+  EXPECT_NE(F, Attribute::makeFloat(2.0));
+  EXPECT_NE(F, Attribute::makeInt(2));
+
+  Attribute I = Attribute::makeInt(42);
+  EXPECT_EQ(I.asInt(), 42);
+  Attribute S = Attribute::makeString("hello");
+  EXPECT_EQ(S.asString(), "hello");
+  Attribute B = Attribute::makeBool(true);
+  EXPECT_TRUE(B.asBool());
+  EXPECT_FALSE(Attribute());
+  EXPECT_TRUE(bool(F));
+}
+
+TEST(Attributes, HashDistinguishesKinds) {
+  EXPECT_NE(Attribute::makeFloat(1.0).hash(), Attribute::makeInt(1).hash());
+  EXPECT_EQ(Attribute::makeString("x").hash(),
+            Attribute::makeString("x").hash());
+}
+
+TEST(Operation, OperandsResultsAttrs) {
+  Context Ctx;
+  OpBuilder B(Ctx);
+  Value *C1 = makeConstantF(B, 1.0);
+  Value *C2 = makeConstantF(B, 2.0);
+  Value *Sum = makeAddF(B, C1, C2);
+  Operation *Op = static_cast<OpResult *>(Sum)->owner();
+  EXPECT_EQ(Op->opcode(), OpCode::ArithAddF);
+  EXPECT_EQ(Op->numOperands(), 2u);
+  EXPECT_EQ(Op->operand(0), C1);
+  EXPECT_EQ(Op->numResults(), 1u);
+  EXPECT_EQ(Op->result()->type(), Ctx.f64());
+  EXPECT_FALSE(Op->hasAttr("nope"));
+  Op->setAttr("note", Attribute::makeString("x"));
+  EXPECT_EQ(Op->attr("note").asString(), "x");
+  // Ops created without an insertion block are detached; clean up.
+  delete Op;
+  delete cast<OpResult>(C1)->owner();
+  delete cast<OpResult>(C2)->owner();
+}
+
+TEST(Function, BodyAndArguments) {
+  Context Ctx;
+  auto Func =
+      makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  EXPECT_EQ(Body.numArguments(), 3u);
+  EXPECT_TRUE(Body.argument(0)->type().isMemRef());
+  EXPECT_TRUE(Body.argument(2)->type().isF64());
+  EXPECT_EQ(Func->attr("sym_name").asString(), "f");
+}
+
+TEST(Block, InsertRemoveErase) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *C1 = makeConstantF(B, 1.0);
+  Value *C2 = makeConstantF(B, 2.0);
+  Operation *Op1 = cast<OpResult>(C1)->owner();
+  Operation *Op2 = cast<OpResult>(C2)->owner();
+  EXPECT_EQ(Body.ops().size(), 2u);
+  EXPECT_EQ(Body.ops().front(), Op1);
+
+  // insertBefore places an op ahead of an anchor.
+  Operation *Det = OpBuilder::createDetached(OpCode::ArithConstantF, {},
+                                             {Ctx.f64()});
+  Det->setAttr("value", Attribute::makeFloat(3.0));
+  Body.insertBefore(Op1, Det);
+  EXPECT_EQ(Body.ops().front(), Det);
+
+  // remove detaches without deleting.
+  Body.remove(Det);
+  EXPECT_EQ(Body.ops().size(), 2u);
+  EXPECT_EQ(Det->parentBlock(), nullptr);
+  delete Det;
+
+  Body.erase(Op2);
+  EXPECT_EQ(Body.ops().size(), 1u);
+}
+
+TEST(Region, ForLoopStructure) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.i64(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 1);
+  Operation *For = makeFor(B, Body.argument(0), Body.argument(1), Step);
+  EXPECT_EQ(For->numRegions(), 1u);
+  Block &Loop = forBody(For);
+  EXPECT_EQ(Loop.numArguments(), 1u);
+  EXPECT_TRUE(Loop.argument(0)->type().isI64());
+  EXPECT_EQ(Loop.parentOp(), For);
+  EXPECT_EQ(For->parentBlock(), &Body);
+}
+
+TEST(Operation, WalkVisitsNestedOps) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.i64(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 1);
+  Operation *For = makeFor(B, Body.argument(0), Body.argument(1), Step);
+  OpBuilder BodyB(Ctx);
+  BodyB.setInsertionPointToEnd(&forBody(For));
+  makeConstantF(BodyB, 7.0);
+  makeYield(BodyB, {});
+  makeReturn(B);
+
+  int Count = 0;
+  Func->walk([&](Operation *) { ++Count; });
+  // func + constant_int + for + (constant + yield) + return.
+  EXPECT_EQ(Count, 6);
+}
+
+TEST(Operation, ReplaceUsesOfWith) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *C1 = makeConstantF(B, 1.0);
+  Value *C2 = makeConstantF(B, 2.0);
+  Value *Sum = makeAddF(B, C1, C1);
+  Operation *SumOp = cast<OpResult>(Sum)->owner();
+  Func->replaceUsesOfWith(C1, C2);
+  EXPECT_EQ(SumOp->operand(0), C2);
+  EXPECT_EQ(SumOp->operand(1), C2);
+}
+
+TEST(Module, LookupFunction) {
+  Context Ctx;
+  Module M;
+  M.addFunction(makeFunction(Ctx, "a", {}));
+  M.addFunction(makeFunction(Ctx, "b", {}));
+  EXPECT_NE(M.lookupFunction("a"), nullptr);
+  EXPECT_NE(M.lookupFunction("b"), nullptr);
+  EXPECT_EQ(M.lookupFunction("c"), nullptr);
+  EXPECT_EQ(M.functions().size(), 2u);
+}
+
+TEST(Dialects, TypedBuildersInferTypes) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+
+  Value *X = makeMemLoad(B, Body.argument(0), Body.argument(1));
+  EXPECT_TRUE(X->type().isF64());
+
+  Value *Cmp = makeCmpF(B, CmpPredicate::LT, X, makeConstantF(B, 0.0));
+  EXPECT_TRUE(Cmp->type().isI1());
+
+  Value *Sel = makeSelect(B, Cmp, X, makeConstantF(B, 1.0));
+  EXPECT_TRUE(Sel->type().isF64());
+
+  Value *Bc = makeBroadcast(B, X, 8);
+  EXPECT_EQ(Bc->type(), Ctx.vecF64(8));
+
+  Value *VecCmp = makeCmpF(B, CmpPredicate::GT, Bc, Bc);
+  EXPECT_EQ(VecCmp->type(), Ctx.vecI1(8));
+
+  Value *G = makeVecGather(B, Body.argument(0), Body.argument(1), 7, 4);
+  EXPECT_EQ(G->type(), Ctx.vecF64(4));
+  EXPECT_EQ(cast<OpResult>(G)->owner()->attr("stride").asInt(), 7);
+
+  Operation *Coord = makeLutCoord(B, Bc, 0);
+  EXPECT_EQ(Coord->result(0)->type(), Ctx.vecI64(8));
+  EXPECT_EQ(Coord->result(1)->type(), Ctx.vecF64(8));
+}
+
+} // namespace

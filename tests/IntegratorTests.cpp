@@ -1,0 +1,164 @@
+//===- IntegratorTests.cpp - integration method property tests ----------------===//
+//
+// Convergence-order and stability properties of the six integration
+// methods (paper Sec. 3.3.2), measured end-to-end through the compiled
+// kernels: fe is first order, rk2 second, rk4 fourth, Rush-Larsen is exact
+// on linear gates, Sundnes is second order on nonlinear problems, and
+// markov_be is stable on stiff problems and clamps to [0, 1].
+//
+//===----------------------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+#include "exec/CompiledModel.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::exec;
+
+namespace {
+
+/// Compiles a single-state-variable model and integrates it for TotalT
+/// time with the given dt on one cell; returns the final state value.
+double integrate(const std::string &Source, double Dt, double TotalT) {
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo("ode", Source, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  auto Model = CompiledModel::compile(*Info, EngineConfig::baseline());
+  EXPECT_TRUE(Model.has_value());
+
+  std::vector<double> State(Model->stateArraySize(1));
+  Model->initializeState(State.data(), 1);
+  std::vector<double> Params = Model->defaultParams();
+
+  KernelArgs Args;
+  Args.State = State.data();
+  Args.Params = Params.data();
+  Args.Start = 0;
+  Args.End = 1;
+  Args.NumCells = 1;
+  Args.Dt = Dt;
+  int64_t Steps = int64_t(std::llround(TotalT / Dt));
+  for (int64_t I = 0; I != Steps; ++I) {
+    Args.T = double(I) * Dt;
+    Model->computeStep(Args);
+  }
+  return Model->readState(State.data(), 0, 0, 1);
+}
+
+/// Measures the observed convergence order of \p Method on a given ODE by
+/// halving dt: order ~= log2(err(2h)/err(h)).
+double convergenceOrder(const std::string &Method, const std::string &Ode,
+                        double Exact, double CoarseDt) {
+  std::string Src = Ode + "\ny; .method(" + Method + ");\n";
+  double ErrCoarse = std::fabs(integrate(Src, CoarseDt, 1.0) - Exact);
+  double ErrFine = std::fabs(integrate(Src, CoarseDt / 2, 1.0) - Exact);
+  EXPECT_GT(ErrCoarse, 0.0);
+  EXPECT_GT(ErrFine, 0.0);
+  return std::log2(ErrCoarse / ErrFine);
+}
+
+// dy/dt = -y, y(0) = 1, y(1) = exp(-1). Nonstiff linear problem.
+const std::string LinearOde = "diff_y = -y;\ny_init = 1.0;";
+const double LinearExact = std::exp(-1.0);
+
+// dy/dt = -y^3, y(0) = 1 -> y(t) = 1/sqrt(1+2t). Nonlinear.
+const std::string CubicOde = "diff_y = -y*y*y;\ny_init = 1.0;";
+const double CubicExact = 1.0 / std::sqrt(3.0);
+
+TEST(Integrators, ForwardEulerIsFirstOrder) {
+  double Order = convergenceOrder("fe", CubicOde, CubicExact, 0.05);
+  EXPECT_NEAR(Order, 1.0, 0.25);
+}
+
+TEST(Integrators, RK2IsSecondOrder) {
+  double Order = convergenceOrder("rk2", CubicOde, CubicExact, 0.05);
+  EXPECT_NEAR(Order, 2.0, 0.35);
+}
+
+TEST(Integrators, RK4IsFourthOrder) {
+  // Measured on the linear problem: the cubic ODE's rk4 error changes
+  // sign near dt ~ 0.2 (apparent superconvergence), and finer steps sit
+  // on the rounding floor. Coarse steps on exp decay are clean.
+  double Order = convergenceOrder("rk4", LinearOde, LinearExact, 0.25);
+  EXPECT_NEAR(Order, 4.0, 0.5);
+}
+
+TEST(Integrators, RushLarsenExactOnLinearGate) {
+  // dy/dt = a(1-y) - b y with constant a, b has an exact exponential
+  // solution; Rush-Larsen must reproduce it to rounding regardless of dt.
+  std::string Src = "diff_y = 0.3*(1.0-y) - 0.7*y;\ny_init = 0.9;\n"
+                    "y; .method(rush_larsen);\n";
+  double A = 0.3, B = 0.7, Y0 = 0.9, T = 1.0;
+  double YInf = A / (A + B);
+  double Exact = YInf + (Y0 - YInf) * std::exp(-(A + B) * T);
+  // Large dt: still exact.
+  EXPECT_NEAR(integrate(Src, 0.5, T), Exact, 1e-12);
+  EXPECT_NEAR(integrate(Src, 0.01, T), Exact, 1e-11);
+}
+
+TEST(Integrators, RushLarsenStableAtLargeDt) {
+  // Stiff gate: fe would explode at dt = 0.5 (|1 - dt*1000| >> 1); RL
+  // remains bounded in [0, 1].
+  std::string Src = "diff_y = 1000.0*(0.5 - y);\ny_init = 0.0;\n"
+                    "y; .method(rush_larsen);\n";
+  double Y = integrate(Src, 0.5, 1.0);
+  EXPECT_NEAR(Y, 0.5, 1e-9);
+}
+
+TEST(Integrators, ForwardEulerUnstableOnStiffGate) {
+  // The contrast case for the test above: |1 - dt*k| = 499 per step, so
+  // the iterates grow by ~499x each of the 8 steps.
+  std::string Src = "diff_y = 1000.0*(0.5 - y);\ny_init = 0.0;\n";
+  double Y = integrate(Src, 0.5, 4.0);
+  EXPECT_GT(std::fabs(Y), 1e10);
+}
+
+TEST(Integrators, SundnesSecondOrderOnNonlinear) {
+  double Order = convergenceOrder("sundnes", CubicOde, CubicExact, 0.1);
+  EXPECT_GT(Order, 1.6);
+}
+
+TEST(Integrators, SundnesExactOnLinearGate) {
+  std::string Src = "diff_y = 0.3*(1.0-y) - 0.7*y;\ny_init = 0.9;\n"
+                    "y; .method(sundnes);\n";
+  double A = 0.3, B = 0.7, Y0 = 0.9;
+  double YInf = A / (A + B);
+  double Exact = YInf + (Y0 - YInf) * std::exp(-(A + B));
+  EXPECT_NEAR(integrate(Src, 0.25, 1.0), Exact, 1e-10);
+}
+
+TEST(Integrators, MarkovBEStableOnStiffProblem) {
+  std::string Src = "diff_y = 200.0*(0.8 - y);\ny_init = 0.1;\n"
+                    "y; .method(markov_be);\n";
+  double Y = integrate(Src, 0.1, 1.0);
+  EXPECT_NEAR(Y, 0.8, 1e-6);
+}
+
+TEST(Integrators, MarkovBEClampsToUnitInterval) {
+  // A drift that would push y above 1; the refinement clamps it.
+  std::string Src = "diff_y = 5.0;\ny_init = 0.9;\ny; .method(markov_be);\n";
+  double Y = integrate(Src, 0.1, 1.0);
+  EXPECT_DOUBLE_EQ(Y, 1.0);
+  std::string Src2 =
+      "diff_y = -5.0;\ny_init = 0.1;\ny; .method(markov_be);\n";
+  EXPECT_DOUBLE_EQ(integrate(Src2, 0.1, 1.0), 0.0);
+}
+
+TEST(Integrators, MarkovBEConvergesFirstOrder) {
+  double Order = convergenceOrder("markov_be", CubicOde, CubicExact, 0.05);
+  EXPECT_GT(Order, 0.7);
+}
+
+TEST(Integrators, AllMethodsAgreeAtSmallDt) {
+  // With dt -> 0 every method converges to the same trajectory.
+  for (const char *Method :
+       {"fe", "rk2", "rk4", "rush_larsen", "sundnes", "markov_be"}) {
+    std::string Src =
+        CubicOde + "\ny; .method(" + std::string(Method) + ");\n";
+    EXPECT_NEAR(integrate(Src, 0.001, 1.0), CubicExact, 2e-3) << Method;
+  }
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- LayoutTests.cpp - state layout indexing tests ----------------------------===//
+
+#include "codegen/KernelSpec.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace limpet::codegen;
+
+namespace {
+
+TEST(StateLayout, Names) {
+  EXPECT_EQ(stateLayoutName(StateLayout::AoS), "aos");
+  EXPECT_EQ(stateLayoutName(StateLayout::SoA), "soa");
+  EXPECT_EQ(stateLayoutName(StateLayout::AoSoA), "aosoa");
+}
+
+TEST(StateLayout, AoSIndexing) {
+  // cell-major: struct of NumSv doubles per cell.
+  EXPECT_EQ(stateIndex(StateLayout::AoS, 0, 0, 5, 100, 8), 0);
+  EXPECT_EQ(stateIndex(StateLayout::AoS, 0, 4, 5, 100, 8), 4);
+  EXPECT_EQ(stateIndex(StateLayout::AoS, 3, 2, 5, 100, 8), 17);
+}
+
+TEST(StateLayout, SoAIndexing) {
+  EXPECT_EQ(stateIndex(StateLayout::SoA, 0, 0, 5, 100, 8), 0);
+  EXPECT_EQ(stateIndex(StateLayout::SoA, 7, 2, 5, 100, 8), 207);
+}
+
+TEST(StateLayout, AoSoAIndexing) {
+  // Block of 8 cells: sv-major within a block, lane-minor.
+  EXPECT_EQ(stateIndex(StateLayout::AoSoA, 0, 0, 5, 100, 8), 0);
+  EXPECT_EQ(stateIndex(StateLayout::AoSoA, 1, 0, 5, 100, 8), 1);
+  EXPECT_EQ(stateIndex(StateLayout::AoSoA, 0, 1, 5, 100, 8), 8);
+  EXPECT_EQ(stateIndex(StateLayout::AoSoA, 8, 0, 5, 100, 8), 40);
+  EXPECT_EQ(stateIndex(StateLayout::AoSoA, 9, 3, 5, 100, 8), 40 + 24 + 1);
+}
+
+TEST(StateLayout, AoSoALanesContiguousPerSv) {
+  // The vector engine requires the W lanes of one sv to be contiguous.
+  for (int64_t Block = 0; Block != 3; ++Block)
+    for (int64_t Sv = 0; Sv != 4; ++Sv) {
+      int64_t Base =
+          stateIndex(StateLayout::AoSoA, Block * 8, Sv, 4, 64, 8);
+      for (int64_t Lane = 0; Lane != 8; ++Lane)
+        EXPECT_EQ(stateIndex(StateLayout::AoSoA, Block * 8 + Lane, Sv, 4,
+                             64, 8),
+                  Base + Lane);
+    }
+}
+
+TEST(StateLayout, BijectiveOverPopulation) {
+  // Every (cell, sv) maps to a distinct slot for each layout.
+  const int64_t Cells = 24, NumSv = 3, W = 8;
+  for (StateLayout L :
+       {StateLayout::AoS, StateLayout::SoA, StateLayout::AoSoA}) {
+    std::set<int64_t> Seen;
+    for (int64_t C = 0; C != Cells; ++C)
+      for (int64_t S = 0; S != NumSv; ++S) {
+        int64_t Idx = stateIndex(L, C, S, NumSv, Cells, W);
+        EXPECT_GE(Idx, 0);
+        EXPECT_TRUE(Seen.insert(Idx).second)
+            << stateLayoutName(L) << " collision at cell " << C << " sv "
+            << S;
+      }
+    EXPECT_EQ(Seen.size(), size_t(Cells * NumSv));
+  }
+}
+
+TEST(KernelABI, ArgumentPositions) {
+  KernelABI Abi;
+  Abi.NumExternals = 2;
+  Abi.NumParams = 3;
+  Abi.NumStateVars = 4;
+  EXPECT_EQ(Abi.stateArg(), 0u);
+  EXPECT_EQ(Abi.externalArg(0), 1u);
+  EXPECT_EQ(Abi.externalArg(1), 2u);
+  EXPECT_EQ(Abi.paramsArg(), 3u);
+  EXPECT_EQ(Abi.startArg(), 4u);
+  EXPECT_EQ(Abi.endArg(), 5u);
+  EXPECT_EQ(Abi.numCellsArg(), 6u);
+  EXPECT_EQ(Abi.dtArg(), 7u);
+  EXPECT_EQ(Abi.tArg(), 8u);
+  EXPECT_EQ(Abi.numArgs(), 9u);
+}
+
+} // namespace

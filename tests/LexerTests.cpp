@@ -1,0 +1,107 @@
+//===- LexerTests.cpp - easyml/Lexer unit tests -----------------------------===//
+
+#include "easyml/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+std::vector<Token> lexOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+TEST(Lexer, Identifiers) {
+  auto T = lexOk("Vm diff_u1 _private x9");
+  ASSERT_EQ(T.size(), 5u); // + EOF
+  EXPECT_EQ(T[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[0].Text, "Vm");
+  EXPECT_EQ(T[1].Text, "diff_u1");
+  EXPECT_EQ(T[2].Text, "_private");
+  EXPECT_EQ(T[3].Text, "x9");
+  EXPECT_EQ(T[4].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Numbers) {
+  auto T = lexOk("1 2.5 .5 1e3 1.5e-4 2E+2");
+  ASSERT_EQ(T.size(), 7u);
+  EXPECT_DOUBLE_EQ(T[0].NumberValue, 1);
+  EXPECT_DOUBLE_EQ(T[1].NumberValue, 2.5);
+  EXPECT_DOUBLE_EQ(T[2].NumberValue, 0.5);
+  EXPECT_DOUBLE_EQ(T[3].NumberValue, 1000);
+  EXPECT_DOUBLE_EQ(T[4].NumberValue, 1.5e-4);
+  EXPECT_DOUBLE_EQ(T[5].NumberValue, 200);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto T = lexOk("= == != <= >= < > && || ! ? : ; , . ( ) { } + - * /");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Assign,   TokenKind::EqEq,     TokenKind::NotEq,
+      TokenKind::Le,       TokenKind::Ge,       TokenKind::Lt,
+      TokenKind::Gt,       TokenKind::AndAnd,   TokenKind::OrOr,
+      TokenKind::Not,      TokenKind::Question, TokenKind::Colon,
+      TokenKind::Semicolon, TokenKind::Comma,   TokenKind::Dot,
+      TokenKind::LParen,   TokenKind::RParen,   TokenKind::LBrace,
+      TokenKind::RBrace,   TokenKind::Plus,     TokenKind::Minus,
+      TokenKind::Star,     TokenKind::Slash,    TokenKind::Eof};
+  ASSERT_EQ(T.size(), Expected.size());
+  for (size_t I = 0; I != Expected.size(); ++I)
+    EXPECT_EQ(T[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, Keywords) {
+  auto T = lexOk("if else iffy");
+  EXPECT_EQ(T[0].Kind, TokenKind::KwIf);
+  EXPECT_EQ(T[1].Kind, TokenKind::KwElse);
+  EXPECT_EQ(T[2].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, Comments) {
+  auto T = lexOk("a # line comment\nb // another\nc /* block\ncomment */ d");
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+  EXPECT_EQ(T[3].Text, "d");
+}
+
+TEST(Lexer, SourceLocations) {
+  auto T = lexOk("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1);
+  EXPECT_EQ(T[0].Loc.Col, 1);
+  EXPECT_EQ(T[1].Loc.Line, 2);
+  EXPECT_EQ(T[1].Loc.Col, 3);
+}
+
+TEST(Lexer, Strings) {
+  auto T = lexOk("\"mV\"");
+  EXPECT_EQ(T[0].Kind, TokenKind::String);
+  EXPECT_EQ(T[0].Text, "mV");
+}
+
+TEST(Lexer, ReportsUnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  tokenize("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  DiagnosticEngine Diags;
+  auto T = tokenize("a @ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues after the error.
+  EXPECT_EQ(T.back().Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, ReportsLoneAmpersand) {
+  DiagnosticEngine Diags;
+  tokenize("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace

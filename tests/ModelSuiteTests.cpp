@@ -1,0 +1,156 @@
+//===- ModelSuiteTests.cpp - 43-model registry tests ----------------------------===//
+
+#include "easyml/Sema.h"
+#include "models/Registry.h"
+#include "models/SyntheticModel.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace limpet;
+using namespace limpet::models;
+
+namespace {
+
+TEST(ModelRegistry, HasExactly43Models) {
+  EXPECT_EQ(modelRegistry().size(), 43u);
+}
+
+TEST(ModelRegistry, ClassSplitMatchesPaper) {
+  // Paper Sec. 4.1: 8 small, 22 medium, 13 large.
+  EXPECT_EQ(countClass('S'), 8u);
+  EXPECT_EQ(countClass('M'), 22u);
+  EXPECT_EQ(countClass('L'), 13u);
+}
+
+TEST(ModelRegistry, NamesAreUnique) {
+  std::set<std::string> Names;
+  for (const ModelEntry &M : modelRegistry())
+    EXPECT_TRUE(Names.insert(M.Name).second) << M.Name;
+}
+
+TEST(ModelRegistry, PaperHighlightedModelsPresent) {
+  for (const char *Name :
+       {"GrandiPanditVoigt", "OHara", "WangSobie", "Courtemanche",
+        "Maleckar", "HodgkinHuxley", "DrouhardRoberge", "ISAC_Hu",
+        "Plonsey", "Stress_Niederer", "Pathmanathan"})
+    EXPECT_NE(findModel(Name), nullptr) << Name;
+}
+
+TEST(ModelRegistry, FindModelReturnsNullForUnknown) {
+  EXPECT_EQ(findModel("NotAModel"), nullptr);
+}
+
+TEST(ModelRegistry, OrderedSmallMediumLarge) {
+  char Prev = 'S';
+  auto Rank = [](char C) { return C == 'S' ? 0 : C == 'M' ? 1 : 2; };
+  for (const ModelEntry &M : modelRegistry()) {
+    EXPECT_GE(Rank(M.SizeClass), Rank(Prev)) << M.Name;
+    Prev = M.SizeClass;
+  }
+}
+
+class ModelFrontend : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelFrontend, ParsesAndAnalyzes) {
+  const ModelEntry &M = modelRegistry()[size_t(GetParam())];
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M.Name, M.Source, Diags);
+  ASSERT_TRUE(Info.has_value()) << M.Name << ":\n" << Diags.str();
+  EXPECT_EQ(Diags.errorCount(), 0u) << M.Name;
+  EXPECT_FALSE(Info->StateVars.empty()) << M.Name;
+  // Every model exposes the Vm/Iion convention.
+  EXPECT_GE(Info->externalIndex("Vm"), 0) << M.Name;
+  EXPECT_GE(Info->externalIndex("Iion"), 0) << M.Name;
+  EXPECT_TRUE(Info->Externals[size_t(Info->externalIndex("Iion"))]
+                  .IsComputed)
+      << M.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All43, ModelFrontend, ::testing::Range(0, 43),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           return modelRegistry()[size_t(I.param)].Name;
+                         });
+
+TEST(ModelRegistry, SizeClassesTrackComplexity) {
+  // Distinct model-op counts must grow small -> large on average.
+  auto AvgOps = [](char Class) {
+    double Sum = 0;
+    size_t N = 0;
+    for (const ModelEntry &M : modelRegistry()) {
+      if (M.SizeClass != Class)
+        continue;
+      DiagnosticEngine Diags;
+      auto Info = easyml::compileModelInfo(M.Name, M.Source, Diags);
+      EXPECT_TRUE(Info.has_value());
+      Sum += double(Info->countDistinctOps());
+      ++N;
+    }
+    return Sum / double(N);
+  };
+  double S = AvgOps('S'), M = AvgOps('M'), L = AvgOps('L');
+  EXPECT_LT(S, M);
+  EXPECT_LT(M, L);
+}
+
+TEST(SyntheticGenerator, DeterministicInSeed) {
+  SyntheticSpec Spec;
+  Spec.Name = "X";
+  Spec.Seed = 42;
+  EXPECT_EQ(generateSyntheticEasyML(Spec), generateSyntheticEasyML(Spec));
+  SyntheticSpec Other = Spec;
+  Other.Seed = 43;
+  EXPECT_NE(generateSyntheticEasyML(Spec), generateSyntheticEasyML(Other));
+}
+
+TEST(SyntheticGenerator, RespectsShapeParameters) {
+  SyntheticSpec Spec;
+  Spec.Name = "Shape";
+  Spec.Seed = 7;
+  Spec.NumGates = 3;
+  Spec.NumPools = 2;
+  Spec.NumMarkov = 1;
+  Spec.NumRk2 = 1;
+  Spec.NumRk4 = 1;
+  Spec.NumCurrents = 4;
+  DiagnosticEngine Diags;
+  auto Info =
+      easyml::compileModelInfo("Shape", generateSyntheticEasyML(Spec), Diags);
+  ASSERT_TRUE(Info.has_value()) << Diags.str();
+  // 3 gates + 2 pools + 1 markov + 1 rk2 + 1 rk4 = 8 state variables.
+  EXPECT_EQ(Info->StateVars.size(), 8u);
+  EXPECT_EQ(Info->Params.size(), 4u); // one conductance per current
+  unsigned Markov = 0, Rk2 = 0, Rk4 = 0, RushLike = 0;
+  for (const auto &SV : Info->StateVars) {
+    Markov += SV.Method == easyml::IntegMethod::MarkovBE;
+    Rk2 += SV.Method == easyml::IntegMethod::RK2;
+    Rk4 += SV.Method == easyml::IntegMethod::RK4;
+    RushLike += SV.Method == easyml::IntegMethod::RushLarsen ||
+                SV.Method == easyml::IntegMethod::Sundnes;
+  }
+  EXPECT_EQ(Markov, 1u);
+  EXPECT_EQ(Rk2, 1u);
+  EXPECT_EQ(Rk4, 1u);
+  EXPECT_EQ(RushLike, 3u);
+}
+
+TEST(SyntheticGenerator, LutFlagControlsMarkup) {
+  SyntheticSpec Spec;
+  Spec.Name = "L";
+  Spec.UseLut = true;
+  EXPECT_NE(generateSyntheticEasyML(Spec).find(".lookup("),
+            std::string::npos);
+  Spec.UseLut = false;
+  EXPECT_EQ(generateSyntheticEasyML(Spec).find(".lookup("),
+            std::string::npos);
+}
+
+TEST(ModelRegistry, ISACHuHasNoLutAndHeavyMath) {
+  // The paper singles ISAC_Hu out: costly vectorized math, no LUT.
+  const ModelEntry *M = findModel("ISAC_Hu");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Source.find(".lookup("), std::string::npos);
+  EXPECT_NE(M->Source.find("sinh("), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- ParserTests.cpp - easyml/Parser unit tests ----------------------------===//
+
+#include "easyml/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+ParsedModel parseOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  ParsedModel PM = parseModel("test", Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return PM;
+}
+
+const Stmt *findAssign(const ParsedModel &PM, std::string_view Target) {
+  for (const StmtPtr &S : PM.Statements)
+    if (S->Kind == StmtKind::Assign && S->Target == Target)
+      return S.get();
+  return nullptr;
+}
+
+TEST(Parser, SimpleAssignment) {
+  ParsedModel PM = parseOk("x = 1 + 2*3;");
+  const Stmt *S = findAssign(PM, "x");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(printExpr(*S->Value), "(1 + (2 * 3))");
+}
+
+TEST(Parser, PrecedenceAndParens) {
+  ParsedModel PM = parseOk("x = (1 + 2)*3 - 4/2;");
+  EXPECT_EQ(printExpr(*findAssign(PM, "x")->Value),
+            "(((1 + 2) * 3) - (4 / 2))");
+}
+
+TEST(Parser, UnaryMinusBinds) {
+  ParsedModel PM = parseOk("x = -a*b;");
+  EXPECT_EQ(printExpr(*findAssign(PM, "x")->Value), "(-(a) * b)");
+}
+
+TEST(Parser, TernaryRightAssociative) {
+  ParsedModel PM = parseOk("x = a < 0 ? 1 : b > 0 ? 2 : 3;");
+  EXPECT_EQ(printExpr(*findAssign(PM, "x")->Value),
+            "((a < 0) ? 1 : ((b > 0) ? 2 : 3))");
+}
+
+TEST(Parser, LogicalOperators) {
+  ParsedModel PM = parseOk("x = a < 1 && b > 2 || !c;");
+  EXPECT_EQ(printExpr(*findAssign(PM, "x")->Value),
+            "(((a < 1) && (b > 2)) || !(c))");
+}
+
+TEST(Parser, BuiltinCalls) {
+  ParsedModel PM = parseOk("x = exp(-a) + pow(b, 2) + square(c);");
+  EXPECT_EQ(printExpr(*findAssign(PM, "x")->Value),
+            "((exp(-(a)) + pow(b, 2)) + square(c))");
+}
+
+TEST(Parser, AbsAliasesFabs) {
+  ParsedModel PM = parseOk("x = abs(a);");
+  EXPECT_EQ(printExpr(*findAssign(PM, "x")->Value), "fabs(a)");
+}
+
+TEST(Parser, RejectsUnknownFunction) {
+  DiagnosticEngine Diags;
+  parseModel("t", "x = frobnicate(a);", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, RejectsWrongArity) {
+  DiagnosticEngine Diags;
+  parseModel("t", "x = exp(a, b);", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, DeclarationAndMarkups) {
+  ParsedModel PM = parseOk(
+      "Vm; .external(); .nodal(); .lookup(-100, 100, 0.05);\n"
+      "Iion; .external();\n");
+  const VarMarkups *Vm = PM.findMarkups("Vm");
+  ASSERT_NE(Vm, nullptr);
+  EXPECT_TRUE(Vm->External);
+  EXPECT_TRUE(Vm->Nodal);
+  ASSERT_TRUE(Vm->HasLookup);
+  EXPECT_DOUBLE_EQ(Vm->LookupLo, -100);
+  EXPECT_DOUBLE_EQ(Vm->LookupHi, 100);
+  EXPECT_DOUBLE_EQ(Vm->LookupStep, 0.05);
+  const VarMarkups *Iion = PM.findMarkups("Iion");
+  ASSERT_NE(Iion, nullptr);
+  EXPECT_TRUE(Iion->External);
+  EXPECT_FALSE(Iion->Nodal);
+}
+
+TEST(Parser, MethodMarkup) {
+  ParsedModel PM = parseOk("u1; .method(rk2);");
+  ASSERT_NE(PM.findMarkups("u1"), nullptr);
+  EXPECT_EQ(PM.findMarkups("u1")->Method, "rk2");
+}
+
+TEST(Parser, MarkupChainedOnSameLine) {
+  ParsedModel PM = parseOk("u1;.method(rk2);");
+  EXPECT_EQ(PM.findMarkups("u1")->Method, "rk2");
+}
+
+TEST(Parser, GroupWithMarkup) {
+  ParsedModel PM = parseOk("group{ u1; u2; u3; }.nodal();");
+  for (const char *Name : {"u1", "u2", "u3"}) {
+    const VarMarkups *M = PM.findMarkups(Name);
+    ASSERT_NE(M, nullptr) << Name;
+    EXPECT_TRUE(M->Nodal);
+  }
+}
+
+TEST(Parser, ParamGroupWithInitializers) {
+  ParsedModel PM = parseOk("group{ Cm = 200; beta = 1; }.param();");
+  EXPECT_TRUE(PM.findMarkups("Cm")->Param);
+  EXPECT_TRUE(PM.findMarkups("beta")->Param);
+  ASSERT_NE(findAssign(PM, "Cm"), nullptr);
+  EXPECT_EQ(printExpr(*findAssign(PM, "Cm")->Value), "200");
+}
+
+TEST(Parser, IfElseStatement) {
+  ParsedModel PM = parseOk(
+      "if (u < 0.5) { a = 1; } else { a = 2; }");
+  ASSERT_EQ(PM.Statements.size(), 1u);
+  const Stmt &S = *PM.Statements[0];
+  EXPECT_EQ(S.Kind, StmtKind::If);
+  EXPECT_EQ(printExpr(*S.Cond), "(u < 0.5)");
+  ASSERT_EQ(S.Then.size(), 1u);
+  ASSERT_EQ(S.Else.size(), 1u);
+}
+
+TEST(Parser, ElseIfChains) {
+  ParsedModel PM = parseOk(
+      "if (u < 0) { a = 1; } else if (u < 1) { a = 2; } else { a = 3; }");
+  const Stmt &S = *PM.Statements[0];
+  ASSERT_EQ(S.Else.size(), 1u);
+  EXPECT_EQ(S.Else[0]->Kind, StmtKind::If);
+}
+
+TEST(Parser, NegativeMarkupArguments) {
+  ParsedModel PM = parseOk("Vm; .lookup(-90, 50, 0.1);");
+  EXPECT_DOUBLE_EQ(PM.findMarkups("Vm")->LookupLo, -90);
+}
+
+TEST(Parser, UnknownMarkupWarnsButParses) {
+  DiagnosticEngine Diags;
+  parseModel("t", "Vm; .fancy();", Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Diags.diagnostics().size(), 1u);
+  EXPECT_EQ(Diags.diagnostics()[0].Severity, DiagSeverity::Warning);
+}
+
+TEST(Parser, MarkupWithoutTargetIsAnError) {
+  DiagnosticEngine Diags;
+  parseModel("t", ".external();", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, LookupArityError) {
+  DiagnosticEngine Diags;
+  parseModel("t", "Vm; .lookup(1, 2);", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, RecoversAfterBadStatement) {
+  DiagnosticEngine Diags;
+  ParsedModel PM = parseModel("t", "x = ;\ny = 2;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // The second statement still parses.
+  bool FoundY = false;
+  for (const StmtPtr &S : PM.Statements)
+    FoundY |= S->Kind == StmtKind::Assign && S->Target == "y";
+  EXPECT_TRUE(FoundY);
+}
+
+TEST(Parser, SurvivesMalformedInputsWithoutCrashing) {
+  // Robustness sweep: every prefix and a set of mutations of a valid
+  // model must either parse or produce diagnostics — never crash.
+  const std::string Valid =
+      "Vm; .external(); .lookup(-100, 100, 0.05);\nIion; .external();\n"
+      "group{ g = 0.5; }.param();\n"
+      "if (Vm < 0.0) { r = 1.0; } else { r = exp(Vm); }\n"
+      "diff_w = r*(1.0-w) - 0.2*w;\nw_init = 0.1;\nIion = g*w;\n";
+  for (size_t Len = 0; Len <= Valid.size(); Len += 3) {
+    DiagnosticEngine Diags;
+    parseModel("prefix", Valid.substr(0, Len), Diags);
+  }
+  const char *Mutations[] = {
+      "group{ group{ a; } }.param();",
+      "x = ((((1);",
+      "x = 1 ? ;",
+      "if (1) { } else",
+      ".lookup();",
+      "x = pow(1,2,3);",
+      "x = -;",
+      "}} {{ ;;; ...",
+      "x = 1e;",
+      "group{",
+  };
+  for (const char *Bad : Mutations) {
+    DiagnosticEngine Diags;
+    parseModel("mut", Bad, Diags);
+    // Must report rather than accept silently (except harmless cases).
+    SUCCEED();
+  }
+}
+
+TEST(Parser, DeclOrderTracksFirstMention) {
+  ParsedModel PM = parseOk("b = 1;\na = 2;\nb2 = a;");
+  ASSERT_GE(PM.DeclOrder.size(), 3u);
+  EXPECT_EQ(PM.DeclOrder[0], "b");
+  EXPECT_EQ(PM.DeclOrder[1], "a");
+  EXPECT_EQ(PM.DeclOrder[2], "b2");
+}
+
+} // namespace

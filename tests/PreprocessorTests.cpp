@@ -1,0 +1,86 @@
+//===- PreprocessorTests.cpp - easyml/Preprocessor unit tests ----------------===//
+
+#include "easyml/Preprocessor.h"
+#include "easyml/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+ExprPtr parseExprOf(std::string_view Rhs) {
+  DiagnosticEngine Diags;
+  std::string Src = "Vm; .external();\nIion; .external();\n"
+                    "diff_w = -w;\nw_init = 0;\nx = " +
+                    std::string(Rhs) + ";\nIion = x + w;";
+  auto Info = compileModelInfo("t", Src, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  // x was inlined into Iion; return the intermediate's raw expression.
+  return Info->Intermediates.at(0).Value;
+}
+
+TEST(Preprocessor, FoldsArithmetic) {
+  ExprPtr E = foldConstants(parseExprOf("1.0 + 2.0*3.0"));
+  EXPECT_EQ(printExpr(*E), "7");
+}
+
+TEST(Preprocessor, FoldsMathCalls) {
+  ExprPtr E = foldConstants(parseExprOf("exp(0.0) + sqrt(4.0)"));
+  EXPECT_EQ(printExpr(*E), "3");
+}
+
+TEST(Preprocessor, FoldsConditionsOverConstants) {
+  ExprPtr E = foldConstants(parseExprOf("(1.0 < 2.0) ? 5.0 : 6.0"));
+  EXPECT_EQ(printExpr(*E), "5");
+}
+
+TEST(Preprocessor, SelectsTernaryArmOnConstantCondition) {
+  // The arms are runtime values, but a constant condition picks one.
+  ExprPtr E = foldConstants(parseExprOf("(3.0 > 2.0) ? Vm : Vm*2.0"));
+  EXPECT_EQ(printExpr(*E), "Vm");
+}
+
+TEST(Preprocessor, FoldsConstantSubtreesInsideRuntimeExpr) {
+  ExprPtr E = foldConstants(parseExprOf("Vm * (2.0/4.0) + (1.0+1.0)"));
+  EXPECT_EQ(printExpr(*E), "((Vm * 0.5) + 2)");
+}
+
+TEST(Preprocessor, LeavesRuntimeExprAlone) {
+  ExprPtr Raw = parseExprOf("Vm + w");
+  ExprPtr E = foldConstants(Raw);
+  EXPECT_EQ(E, Raw); // shared, unchanged
+}
+
+TEST(Preprocessor, CountsFolds) {
+  PreprocessorStats Stats;
+  foldConstants(parseExprOf("1.0 + 2.0 + Vm"), &Stats);
+  EXPECT_GE(Stats.FoldedNodes, 1u);
+}
+
+TEST(Preprocessor, RunsOverWholeModel) {
+  DiagnosticEngine Diags;
+  auto Info = compileModelInfo(
+      "t",
+      "Vm; .external();\nIion; .external();\n"
+      "k = 2.0*3.0;\ndiff_w = k*Vm - w;\nw_init = 0;\nIion = w*(4.0-1.0);",
+      Diags);
+  ASSERT_TRUE(Info.has_value());
+  PreprocessorStats Stats = preprocessModel(*Info);
+  EXPECT_GE(Stats.FoldedNodes, 2u);
+  EXPECT_EQ(printExpr(*Info->StateVars[0].Diff), "((6 * Vm) - w)");
+}
+
+TEST(Preprocessor, MemoizesSharedSubtrees) {
+  // Build an expression with a physically shared constant subtree; the
+  // folder must produce the same folded node for both occurrences.
+  ExprPtr Shared = Expr::makeBinary(BinaryOp::Add, Expr::makeNumber(1),
+                                    Expr::makeNumber(2));
+  ExprPtr Root = Expr::makeBinary(BinaryOp::Mul, Shared, Shared);
+  PreprocessorStats Stats;
+  ExprPtr Folded = foldConstants(Root, &Stats);
+  EXPECT_EQ(printExpr(*Folded), "9");
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+//===- PrinterTests.cpp - ir/Printer golden tests ----------------------------===//
+
+#include "dialects/Dialects.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+namespace {
+
+TEST(Printer, TrivialFunction) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.f64()});
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&funcBody(Func.get()));
+  Value *C = makeConstantF(B, 2.5);
+  makeAddF(B, funcBody(Func.get()).argument(0), C);
+  makeReturn(B);
+
+  EXPECT_EQ(printOp(Func.get()),
+            "func.func @f(%arg0: f64) {\n"
+            "  %0 = arith.constant {value = 2.5} : f64\n"
+            "  %1 = arith.addf %arg0, %0 : f64\n"
+            "  func.return\n"
+            "}\n");
+}
+
+TEST(Printer, ForLoopSyntax) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "loop", {Ctx.i64(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 2);
+  Operation *For = makeFor(B, Body.argument(0), Body.argument(1), Step);
+  OpBuilder LB(Ctx);
+  LB.setInsertionPointToEnd(&forBody(For));
+  makeYield(LB, {});
+  makeReturn(B);
+
+  std::string Out = printOp(Func.get());
+  EXPECT_NE(Out.find("scf.for %arg2 = %arg0 to %arg1 step %0 {"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("scf.yield"), std::string::npos);
+}
+
+TEST(Printer, AttributesAndMultiResult) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "luts", {Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Operation *Coord = makeLutCoord(B, Body.argument(0), 3);
+  makeLutInterp(B, Coord->result(0), Coord->result(1), 3, 7);
+  makeReturn(B);
+
+  std::string Out = printOp(Func.get());
+  EXPECT_NE(Out.find("%0, %1 = lut.coord %arg0 {table = 3} : i64, f64"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("lut.interp %0, %1 {table = 3, col = 7} : f64"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(Printer, VectorTypes) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "v", {Ctx.memref(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *V = makeVecLoad(B, Body.argument(0), Body.argument(1), 8);
+  makeVecStore(B, V, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  std::string Out = printOp(Func.get());
+  EXPECT_NE(Out.find("vector.load %arg0, %arg1 : vector<8xf64>"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("vector.store %0, %arg0, %arg1"), std::string::npos)
+      << Out;
+}
+
+TEST(Printer, ModulePrintsAllFunctions) {
+  Context Ctx;
+  Module M;
+  for (const char *Name : {"a", "b"}) {
+    auto F = makeFunction(Ctx, Name, {});
+    OpBuilder B(Ctx);
+    B.setInsertionPointToEnd(&funcBody(F.get()));
+    makeReturn(B);
+    M.addFunction(std::move(F));
+  }
+  std::string Out = printModule(M);
+  EXPECT_NE(Out.find("func.func @a()"), std::string::npos);
+  EXPECT_NE(Out.find("func.func @b()"), std::string::npos);
+}
+
+} // namespace

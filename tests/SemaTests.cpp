@@ -1,0 +1,256 @@
+//===- SemaTests.cpp - easyml/Sema unit tests -------------------------------===//
+
+#include "easyml/ConstEval.h"
+#include "easyml/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+ModelInfo analyzeOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto Info = compileModelInfo("test", Src, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  return Info ? *Info : ModelInfo();
+}
+
+void expectError(std::string_view Src, std::string_view Fragment) {
+  DiagnosticEngine Diags;
+  auto Info = compileModelInfo("test", Src, Diags);
+  EXPECT_FALSE(Info.has_value());
+  EXPECT_NE(Diags.str().find(Fragment), std::string::npos) << Diags.str();
+}
+
+constexpr const char MiniModel[] = R"(
+Vm; .external(); .nodal();
+Iion; .external();
+group{ g = 0.5; E = -80.0; }.param();
+Vm_init = -80.0;
+diff_w = 0.1*(Vm - E) - 0.2*w;
+w_init = 0.25;
+Iion = g*(Vm - E) + w;
+)";
+
+TEST(Sema, ClassifiesNames) {
+  ModelInfo Info = analyzeOk(MiniModel);
+  ASSERT_EQ(Info.Externals.size(), 2u);
+  EXPECT_EQ(Info.Externals[0].Name, "Vm");
+  EXPECT_TRUE(Info.Externals[0].IsRead);
+  EXPECT_FALSE(Info.Externals[0].IsComputed);
+  EXPECT_EQ(Info.Externals[1].Name, "Iion");
+  EXPECT_TRUE(Info.Externals[1].IsComputed);
+
+  ASSERT_EQ(Info.Params.size(), 2u);
+  EXPECT_EQ(Info.Params[0].Name, "g");
+  EXPECT_DOUBLE_EQ(Info.Params[0].DefaultValue, 0.5);
+  EXPECT_DOUBLE_EQ(Info.Params[1].DefaultValue, -80.0);
+
+  ASSERT_EQ(Info.StateVars.size(), 1u);
+  EXPECT_EQ(Info.StateVars[0].Name, "w");
+  EXPECT_DOUBLE_EQ(Info.StateVars[0].Init, 0.25);
+  EXPECT_EQ(Info.StateVars[0].Method, IntegMethod::ForwardEuler);
+}
+
+TEST(Sema, ExternalInitsCaptured) {
+  ModelInfo Info = analyzeOk(MiniModel);
+  EXPECT_DOUBLE_EQ(Info.Externals[0].Init, -80.0);
+}
+
+TEST(Sema, MethodMarkupParsed) {
+  ModelInfo Info = analyzeOk(
+      "Vm; .external();\nIion; .external();\n"
+      "diff_w = -w; w_init = 1; w; .method(rk4);\nIion = w;");
+  EXPECT_EQ(Info.StateVars[0].Method, IntegMethod::RK4);
+}
+
+TEST(Sema, AllMethodNamesParse) {
+  for (const char *Name :
+       {"fe", "rk2", "rk4", "rush_larsen", "sundnes", "markov_be"}) {
+    IntegMethod M;
+    EXPECT_TRUE(parseIntegMethod(Name, M)) << Name;
+    EXPECT_EQ(integMethodName(M), Name);
+  }
+  IntegMethod M;
+  EXPECT_FALSE(parseIntegMethod("euler", M));
+}
+
+TEST(Sema, UnknownMethodIsError) {
+  expectError("diff_w = -w; w; .method(fancy);", "unknown integration");
+}
+
+TEST(Sema, IntermediatesInlinedIntoDiff) {
+  ModelInfo Info = analyzeOk(
+      "Vm; .external();\nIion; .external();\n"
+      "a = Vm*2.0;\nb = a + 1.0;\ndiff_w = b - w;\nw_init = 0;\nIion = w;");
+  // The inlined diff references only Vm and w.
+  auto Vars = exprFreeVars(*Info.StateVars[0].Diff);
+  std::sort(Vars.begin(), Vars.end());
+  EXPECT_EQ(Vars, (std::vector<std::string>{"Vm", "w"}));
+  // The raw diff still references the intermediate.
+  EXPECT_TRUE(exprReferences(*Info.StateVars[0].DiffRaw, "b"));
+  EXPECT_EQ(Info.Intermediates.size(), 2u);
+}
+
+TEST(Sema, ComputedExternalInlinedIntoOthers) {
+  // A reference to Iion elsewhere must see Iion's equation (SSA), not the
+  // stale array value.
+  ModelInfo Info = analyzeOk(
+      "Vm; .external();\nIion; .external();\n"
+      "Iion = 2.0*Vm;\ndiff_w = Iion - w;\nw_init = 0;");
+  auto Vars = exprFreeVars(*Info.StateVars[0].Diff);
+  std::sort(Vars.begin(), Vars.end());
+  EXPECT_EQ(Vars, (std::vector<std::string>{"Vm", "w"}));
+}
+
+TEST(Sema, SelfReferencingExternalReadsIncomingValue) {
+  // Iion = Iion + ... (accumulation): the RHS reference stays a load.
+  ModelInfo Info = analyzeOk(
+      "Vm; .external();\nIion; .external();\n"
+      "Iion = Iion + Vm;\ndiff_w = -w;\nw_init = 1;");
+  EXPECT_TRUE(exprReferences(*Info.Externals[1].Value, "Iion"));
+}
+
+TEST(Sema, IfDesugarsToTernary) {
+  ModelInfo Info = analyzeOk(
+      "Vm; .external();\nIion; .external();\n"
+      "if (Vm < 0.0) { rate = 1.0; } else { rate = 2.0; }\n"
+      "diff_w = rate - w;\nw_init = 0;\nIion = w;");
+  ASSERT_EQ(Info.Intermediates.size(), 1u);
+  EXPECT_EQ(printExpr(*Info.Intermediates[0].Value),
+            "((Vm < 0) ? 1 : 2)");
+}
+
+TEST(Sema, IfBranchesMustAssignSameVars) {
+  expectError("Vm; .external();\nIion; .external();\n"
+              "if (Vm < 0.0) { a = 1.0; } else { b = 2.0; }\n"
+              "diff_w = -w; Iion = w;",
+              "branch");
+}
+
+TEST(Sema, DoubleAssignmentRejected) {
+  expectError("a = 1.0;\na = 2.0;\ndiff_w = a - w;", "more than once");
+}
+
+TEST(Sema, UndefinedVariableRejected) {
+  expectError("Vm; .external();\nIion; .external();\n"
+              "diff_w = ghost - w;\nIion = w;",
+              "undefined variable 'ghost'");
+}
+
+TEST(Sema, CyclicIntermediatesRejected) {
+  expectError("Vm; .external();\nIion; .external();\n"
+              "a = b + 1.0;\nb = a + 1.0;\ndiff_w = a - w;\nIion = w;",
+              "cyclic");
+}
+
+TEST(Sema, ParamMustBeConstant) {
+  expectError("Vm; .external();\n"
+              "group{ g = Vm; }.param();\ndiff_w = -w;",
+              "not a constant");
+}
+
+TEST(Sema, ParamsMayReferenceParams) {
+  ModelInfo Info = analyzeOk(
+      "Vm; .external();\nIion; .external();\n"
+      "group{ a = 2.0; b = a*3.0; }.param();\n"
+      "diff_w = -b*w;\nw_init = 1;\nIion = w;");
+  EXPECT_DOUBLE_EQ(Info.Params[1].DefaultValue, 6.0);
+}
+
+TEST(Sema, InitMayReferenceParams) {
+  ModelInfo Info = analyzeOk(
+      "Vm; .external();\nIion; .external();\n"
+      "group{ w0 = 0.75; }.param();\n"
+      "diff_w = -w;\nw_init = w0;\nIion = w;");
+  EXPECT_DOUBLE_EQ(Info.StateVars[0].Init, 0.75);
+}
+
+TEST(Sema, DiffOnExternalRejected) {
+  expectError("Vm; .external();\ndiff_Vm = 1.0;", "cannot have a");
+}
+
+TEST(Sema, DirectAssignmentToStateRejected) {
+  expectError("diff_w = -w;\nw = 2.0;", "cannot be assigned");
+}
+
+TEST(Sema, MissingInitWarnsAndDefaultsToZero) {
+  DiagnosticEngine Diags;
+  auto Info = compileModelInfo(
+      "t", "Vm; .external();\nIion; .external();\ndiff_w = -w;\nIion = w;",
+      Diags);
+  ASSERT_TRUE(Info.has_value());
+  EXPECT_DOUBLE_EQ(Info->StateVars[0].Init, 0.0);
+  bool Warned = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    Warned |= D.Severity == DiagSeverity::Warning &&
+              D.Message.find("no '_init'") != std::string::npos;
+  EXPECT_TRUE(Warned);
+}
+
+TEST(Sema, LutSpecValidated) {
+  ModelInfo Info = analyzeOk(
+      "Vm; .external(); .lookup(-100, 100, 0.05);\nIion; .external();\n"
+      "diff_w = exp(Vm/10.0) - w;\nw_init = 0;\nIion = w;");
+  ASSERT_EQ(Info.Luts.size(), 1u);
+  EXPECT_EQ(Info.Luts[0].VarName, "Vm");
+  EXPECT_EQ(Info.Luts[0].numRows(), 4001);
+}
+
+TEST(Sema, LutOnIntermediateRejected) {
+  expectError("Vm; .external();\nIion; .external();\n"
+              "a; .lookup(0, 1, 0.1);\na = Vm*2.0;\ndiff_w = a - w;\n"
+              "Iion = w;",
+              "must be an external or a state");
+}
+
+TEST(Sema, InvalidLutRangeRejected) {
+  expectError("Vm; .external(); .lookup(100, -100, 0.05);\n"
+              "Iion; .external();\ndiff_w = -w;\nIion = w;",
+              "invalid '.lookup()'");
+}
+
+TEST(Sema, StateVarOrderFollowsFirstMention) {
+  ModelInfo Info = analyzeOk(
+      "Vm; .external();\nIion; .external();\n"
+      "diff_b = -b;\nb_init = 1;\ndiff_a = -a;\na_init = 1;\nIion = a + b;");
+  ASSERT_EQ(Info.StateVars.size(), 2u);
+  EXPECT_EQ(Info.StateVars[0].Name, "b");
+  EXPECT_EQ(Info.StateVars[1].Name, "a");
+}
+
+TEST(Sema, CountDistinctOpsIsStable) {
+  ModelInfo Info = analyzeOk(MiniModel);
+  size_t N = Info.countDistinctOps();
+  EXPECT_GT(N, 0u);
+  EXPECT_EQ(N, Info.countDistinctOps());
+}
+
+TEST(ConstEval, EvaluatesEverything) {
+  DiagnosticEngine Diags;
+  ParsedModel PM;
+  // Direct expression checks through evalExpr.
+  auto Num = Expr::makeNumber(2.0);
+  EXPECT_EQ(evalConstExpr(*Num), 2.0);
+  auto Sum = Expr::makeBinary(BinaryOp::Add, Expr::makeNumber(2),
+                              Expr::makeNumber(3));
+  EXPECT_EQ(evalConstExpr(*Sum), 5.0);
+  auto Tern = Expr::makeTernary(
+      Expr::makeBinary(BinaryOp::Lt, Expr::makeNumber(1),
+                       Expr::makeNumber(2)),
+      Expr::makeNumber(10), Expr::makeNumber(20));
+  EXPECT_EQ(evalConstExpr(*Tern), 10.0);
+  auto Call = Expr::makeCall(BuiltinFn::Cube, {Expr::makeNumber(3)});
+  EXPECT_EQ(evalConstExpr(*Call), 27.0);
+  auto Var = Expr::makeVarRef("x");
+  EXPECT_FALSE(evalConstExpr(*Var).has_value());
+  EXPECT_EQ(evalExpr(*Var,
+                     [](std::string_view) -> std::optional<double> {
+                       return 7.0;
+                     }),
+            7.0);
+}
+
+} // namespace

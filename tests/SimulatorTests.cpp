@@ -1,0 +1,152 @@
+//===- SimulatorTests.cpp - sim/Simulator unit tests ----------------------------===//
+
+#include "easyml/Sema.h"
+#include "models/Registry.h"
+#include "sim/Simulator.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::exec;
+using namespace limpet::sim;
+
+namespace {
+
+std::optional<CompiledModel> compileByName(const char *Name,
+                                           EngineConfig Cfg) {
+  const models::ModelEntry *M = models::findModel(Name);
+  EXPECT_NE(M, nullptr);
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  return CompiledModel::compile(*Info, Cfg);
+}
+
+TEST(Simulator, AdvancesTimeAndSteps) {
+  auto M = compileByName("Plonsey", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 10;
+  Opts.NumSteps = 5;
+  Opts.Dt = 0.02;
+  Simulator S(*M, Opts);
+  EXPECT_EQ(S.stepsDone(), 0);
+  S.run();
+  EXPECT_EQ(S.stepsDone(), 5);
+  EXPECT_NEAR(S.time(), 0.1, 1e-12);
+}
+
+TEST(Simulator, StateInitializedFromModelInits) {
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 4;
+  Simulator S(*M, Opts);
+  // m/h/n inits.
+  EXPECT_NEAR(S.stateOf(0, 0), 0.0529, 1e-12);
+  EXPECT_NEAR(S.stateOf(3, 1), 0.5961, 1e-12);
+  EXPECT_NEAR(S.vm(2), -65.0, 1e-12);
+}
+
+TEST(Simulator, StimulusDepolarizes) {
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 4;
+  Opts.NumSteps = 400; // 4 ms
+  Opts.StimStart = 1.0;
+  Opts.StimDuration = 1.0;
+  Opts.StimStrength = 40.0;
+  Opts.RecordTrace = true;
+  Simulator S(*M, Opts);
+  S.run();
+  double Peak = -1e9;
+  for (double V : S.trace())
+    Peak = std::max(Peak, V);
+  EXPECT_GT(Peak, 0.0); // the AP overshoots 0 mV
+  EXPECT_LT(Peak, 60.0);
+}
+
+TEST(Simulator, NoStimulusStaysNearRest) {
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 4;
+  Opts.NumSteps = 500;
+  Opts.StimStrength = 0.0;
+  Simulator S(*M, Opts);
+  S.run();
+  EXPECT_NEAR(S.vm(0), -65.0, 3.0);
+}
+
+TEST(Simulator, PeriodicStimulusRepeats) {
+  // Hodgkin-Huxley repolarizes within ~15 ms, so a 20 ms pacing period
+  // over 40 ms must elicit two action potentials.
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 2;
+  Opts.NumSteps = 4000; // 40 ms
+  Opts.StimPeriod = 20.0;
+  Opts.StimStrength = 40.0;
+  Opts.StimDuration = 1.0;
+  Opts.RecordTrace = true;
+  Simulator S(*M, Opts);
+  S.run();
+  int Upstrokes = 0;
+  bool Above = false;
+  for (double V : S.trace()) {
+    if (!Above && V > -20.0) {
+      ++Upstrokes;
+      Above = true;
+    }
+    if (V < -55.0)
+      Above = false;
+  }
+  EXPECT_GE(Upstrokes, 2);
+}
+
+TEST(Simulator, SetParamAffectsDynamics) {
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 2;
+  Opts.NumSteps = 300;
+  Simulator S1(*M, Opts), S2(*M, Opts);
+  S2.setParam("gNa", 0.0); // block sodium: no AP
+  EXPECT_DOUBLE_EQ(S2.param("gNa"), 0.0);
+  S1.run();
+  S2.run();
+  EXPECT_NE(S1.stateChecksum(), S2.stateChecksum());
+  EXPECT_LT(S2.vm(0), -20.0); // blocked cell never overshoots
+}
+
+TEST(Simulator, TraceRecordsEveryStep) {
+  auto M = compileByName("Plonsey", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 3;
+  Opts.NumSteps = 17;
+  Opts.RecordTrace = true;
+  Opts.TraceCell = 2;
+  Simulator S(*M, Opts);
+  S.run();
+  EXPECT_EQ(S.trace().size(), 17u);
+}
+
+TEST(Simulator, AllCellsEvolveIdenticallyWithUniformState) {
+  auto M = compileByName("FentonKarma", EngineConfig::limpetMLIR(4));
+  SimOptions Opts;
+  Opts.NumCells = 13;
+  Opts.NumSteps = 100;
+  Simulator S(*M, Opts);
+  S.run();
+  for (int64_t C = 1; C != Opts.NumCells; ++C) {
+    EXPECT_DOUBLE_EQ(S.vm(C), S.vm(0)) << C;
+    EXPECT_DOUBLE_EQ(S.stateOf(C, 0), S.stateOf(0, 0)) << C;
+  }
+}
+
+TEST(Simulator, HasVoltageCouplingForSuiteModels) {
+  auto M = compileByName("Pathmanathan", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 2;
+  Simulator S(*M, Opts);
+  EXPECT_TRUE(S.hasVoltageCoupling());
+}
+
+} // namespace

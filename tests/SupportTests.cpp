@@ -1,0 +1,106 @@
+//===- SupportTests.cpp - support/ unit tests ------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+
+namespace {
+
+// A tiny class hierarchy exercising the casting utilities.
+struct Animal {
+  enum class Kind { Cat, Dog };
+  explicit Animal(Kind K) : TheKind(K) {}
+  Kind kind() const { return TheKind; }
+
+private:
+  Kind TheKind;
+};
+
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) { return A->kind() == Kind::Cat; }
+};
+
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) { return A->kind() == Kind::Dog; }
+};
+
+TEST(Casting, IsaAndDynCast) {
+  Cat C;
+  Animal *A = &C;
+  EXPECT_TRUE(isa<Cat>(A));
+  EXPECT_FALSE(isa<Dog>(A));
+  EXPECT_TRUE((isa<Dog, Cat>(A)));
+  EXPECT_EQ(dyn_cast<Cat>(A), &C);
+  EXPECT_EQ(dyn_cast<Dog>(A), nullptr);
+  EXPECT_EQ(cast<Cat>(A), &C);
+}
+
+TEST(Casting, DynCastIfPresent) {
+  Animal *Null = nullptr;
+  EXPECT_EQ(dyn_cast_if_present<Cat>(Null), nullptr);
+  Dog D;
+  Animal *A = &D;
+  EXPECT_EQ(dyn_cast_if_present<Dog>(A), &D);
+}
+
+TEST(Diagnostics, CollectsAndRenders) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 2}, "something odd");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({3, 4}, "something wrong");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("1:2: warning: something odd"), std::string::npos);
+  EXPECT_NE(Text.find("3:4: error: something wrong"), std::string::npos);
+}
+
+TEST(Diagnostics, UnknownLocation) {
+  Diagnostic D;
+  D.Message = "msg";
+  EXPECT_EQ(D.str(), "error: msg");
+}
+
+TEST(StringUtils, FormatDoubleRoundTrips) {
+  for (double V : {0.0, 1.0, -1.5, 0.1, 3.141592653589793, 1e-300, 1e300}) {
+    std::string S = formatDouble(V);
+    double Back = 0;
+    std::sscanf(S.c_str(), "%lf", &Back);
+    EXPECT_EQ(Back, V) << S;
+  }
+}
+
+TEST(StringUtils, FormatDoublePicksShortForm) {
+  EXPECT_EQ(formatDouble(0.5), "0.5");
+  EXPECT_EQ(formatDouble(2.0), "2");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+TEST(StringUtils, SplitString) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("diff_u1", "diff_"));
+  EXPECT_FALSE(startsWith("u1", "diff_"));
+  EXPECT_TRUE(endsWith("u1_init", "_init"));
+  EXPECT_FALSE(endsWith("init", "_init"));
+}
+
+} // namespace

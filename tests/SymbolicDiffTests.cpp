@@ -1,0 +1,136 @@
+//===- SymbolicDiffTests.cpp - easyml/SymbolicDiff unit tests -----------------===//
+
+#include "easyml/ConstEval.h"
+#include "easyml/Parser.h"
+#include "easyml/SymbolicDiff.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::easyml;
+
+namespace {
+
+ExprPtr parseRhs(std::string_view Rhs) {
+  DiagnosticEngine Diags;
+  ParsedModel PM = parseModel("t", "e = " + std::string(Rhs) + ";", Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(PM.Statements.size(), 1u);
+  return PM.Statements[0]->Value;
+}
+
+/// Numerically checks d(Expr)/dx at several points against a central
+/// difference.
+void checkDerivative(std::string_view Rhs,
+                     std::initializer_list<double> Points,
+                     double Tol = 1e-6) {
+  ExprPtr E = parseRhs(Rhs);
+  ExprPtr D = differentiate(E, "x");
+  for (double X : Points) {
+    auto Env = [&](double Xv) {
+      return [Xv](std::string_view Name) -> std::optional<double> {
+        if (Name == "x")
+          return Xv;
+        if (Name == "y")
+          return 0.7;
+        return std::nullopt;
+      };
+    };
+    const double H = 1e-6;
+    auto Lo = evalExpr(*E, Env(X - H));
+    auto Hi = evalExpr(*E, Env(X + H));
+    auto Sym = evalExpr(*D, Env(X));
+    ASSERT_TRUE(Lo && Hi && Sym) << Rhs;
+    double Numeric = (*Hi - *Lo) / (2 * H);
+    EXPECT_NEAR(*Sym, Numeric,
+                Tol * std::max(1.0, std::fabs(Numeric)))
+        << Rhs << " at x=" << X;
+  }
+}
+
+TEST(SymbolicDiff, Polynomials) {
+  checkDerivative("x*x + 3.0*x + 1.0", {-2.0, 0.0, 1.5});
+  checkDerivative("square(x) - cube(x)", {-1.0, 0.5, 2.0});
+  checkDerivative("(x + 1.0)*(x - 2.0)", {0.0, 3.0});
+}
+
+TEST(SymbolicDiff, Quotients) {
+  checkDerivative("1.0/(x + 2.0)", {0.0, 1.0, 5.0});
+  checkDerivative("x/(x*x + 1.0)", {-1.0, 0.0, 2.0});
+}
+
+TEST(SymbolicDiff, Exponentials) {
+  checkDerivative("exp(2.0*x)", {-1.0, 0.0, 1.0});
+  checkDerivative("exp(-x*x)", {-0.5, 0.5});
+  checkDerivative("expm1(x)", {-0.5, 0.5});
+  checkDerivative("log(x + 3.0)", {0.0, 2.0});
+  checkDerivative("log10(x + 3.0)", {0.0, 2.0});
+}
+
+TEST(SymbolicDiff, TrigAndHyperbolic) {
+  checkDerivative("sin(x) + cos(2.0*x)", {-1.0, 0.3, 2.0});
+  checkDerivative("tan(x)", {-0.5, 0.5});
+  checkDerivative("tanh(3.0*x)", {-1.0, 0.2});
+  checkDerivative("sinh(x) - cosh(x)", {-0.5, 0.5});
+  checkDerivative("atan(x)", {-2.0, 0.0, 2.0});
+  checkDerivative("asin(x/2.0)", {-0.8, 0.0, 0.8});
+  checkDerivative("acos(x/2.0)", {-0.8, 0.0, 0.8});
+}
+
+TEST(SymbolicDiff, SqrtAndAbs) {
+  checkDerivative("sqrt(x + 4.0)", {0.0, 5.0});
+  checkDerivative("fabs(x)", {-2.0, 3.0}); // away from the kink
+}
+
+TEST(SymbolicDiff, PowConstantExponent) {
+  checkDerivative("pow(x + 3.0, 2.5)", {0.0, 1.0});
+}
+
+TEST(SymbolicDiff, PowGeneral) {
+  checkDerivative("pow(x + 3.0, x*0.2 + 1.0)", {0.0, 1.0});
+}
+
+TEST(SymbolicDiff, TernaryDifferentiatesArms) {
+  checkDerivative("(x < 0.0) ? x*x : 2.0*x", {-1.0, 1.0});
+}
+
+TEST(SymbolicDiff, OtherVariablesAreConstants) {
+  ExprPtr E = parseRhs("y*x + y*y");
+  ExprPtr D = differentiate(E, "x");
+  // d/dx = y.
+  auto V = evalExpr(*D, [](std::string_view N) -> std::optional<double> {
+    if (N == "x")
+      return 4.0;
+    if (N == "y")
+      return 3.0;
+    return std::nullopt;
+  });
+  ASSERT_TRUE(V.has_value());
+  EXPECT_DOUBLE_EQ(*V, 3.0);
+}
+
+TEST(SymbolicDiff, ConstantSubtreeGivesZero) {
+  ExprPtr E = parseRhs("exp(y) + 5.0");
+  ExprPtr D = differentiate(E, "x");
+  EXPECT_TRUE(D->isNumber(0.0));
+}
+
+TEST(SymbolicDiff, GateFormLinearInGate) {
+  // The Rush-Larsen precondition: d/dg [a*(1-g) - b*g] = -(a+b), constant
+  // in g.
+  ExprPtr E = parseRhs("y*(1.0 - x) - 0.5*x");
+  ExprPtr D = differentiate(E, "x");
+  EXPECT_FALSE(exprReferences(*D, "x"));
+  auto V = evalExpr(*D, [](std::string_view N) -> std::optional<double> {
+    return N == "y" ? std::optional<double>(2.0) : std::nullopt;
+  });
+  EXPECT_DOUBLE_EQ(*V, -2.5);
+}
+
+TEST(SymbolicDiff, FloorCeilDeriveToZero) {
+  EXPECT_TRUE(differentiate(parseRhs("floor(x)"), "x")->isNumber(0.0));
+  EXPECT_TRUE(differentiate(parseRhs("ceil(x)"), "x")->isNumber(0.0));
+}
+
+} // namespace

@@ -1,0 +1,509 @@
+//===- TransformsTests.cpp - pass unit tests ---------------------------------===//
+
+#include "dialects/Dialects.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "transforms/FoldUtils.h"
+#include "transforms/Pass.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::ir;
+using namespace limpet::transforms;
+
+namespace {
+
+/// Counts ops of a given opcode in a function.
+unsigned countOps(Operation *Func, OpCode Code) {
+  unsigned N = 0;
+  Func->walk([&](Operation *Op) { N += Op->opcode() == Code; });
+  return N;
+}
+
+unsigned countAllOps(Operation *Func) {
+  unsigned N = 0;
+  Func->walk([&](Operation *Op) { N += Op != Func; });
+  return N;
+}
+
+/// Runs one pass and verifies the result.
+bool runPass(std::unique_ptr<Pass> P, Operation *Func, Context &Ctx) {
+  bool Changed = P->run(Func, Ctx);
+  VerifyResult R = verifyFunction(Func);
+  EXPECT_TRUE(R) << R.Message;
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+TEST(ConstantFold, FoldsArithChains) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  // (2 + 3) * 4 -> 20, stored so it is not DCE'd.
+  Value *Sum = makeAddF(B, makeConstantF(B, 2.0), makeConstantF(B, 3.0));
+  Value *Prod = makeMulF(B, Sum, makeConstantF(B, 4.0));
+  makeMemStore(B, Prod, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createConstantFoldPass(), Func.get(), Ctx));
+  runPass(createDCEPass(), Func.get(), Ctx);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithAddF), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithMulF), 0u);
+  // The store's operand is now a single constant with value 20.
+  bool Found20 = false;
+  Func->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::ArithConstantF &&
+        Op->attr("value").asFloat() == 20.0)
+      Found20 = true;
+  });
+  EXPECT_TRUE(Found20);
+}
+
+TEST(ConstantFold, FoldsMathCalls) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *E = makeMathUnary(B, OpCode::MathExp, makeConstantF(B, 0.0));
+  makeMemStore(B, E, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createConstantFoldPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::MathExp), 0u);
+}
+
+TEST(ConstantFold, FoldsComparisonsAndSelect) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Cond = makeCmpF(B, CmpPredicate::LT, makeConstantF(B, 1.0),
+                         makeConstantF(B, 2.0));
+  Value *Sel = makeSelect(B, Cond, Body.argument(2), makeConstantF(B, 9.0));
+  makeMemStore(B, Sel, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  runPass(createConstantFoldPass(), Func.get(), Ctx);
+  // Canonicalize forwards select(true, x, _) -> x.
+  runPass(createCanonicalizePass(), Func.get(), Ctx);
+  runPass(createDCEPass(), Func.get(), Ctx);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithSelect), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithCmpF), 0u);
+}
+
+TEST(ConstantFold, LeavesRuntimeValuesAlone) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Sum = makeAddF(B, Body.argument(2), makeConstantF(B, 1.0));
+  makeMemStore(B, Sum, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_FALSE(runPass(createConstantFoldPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithAddF), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalize
+//===----------------------------------------------------------------------===//
+
+TEST(Canonicalize, AlgebraicIdentities) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  Value *X = Body.argument(2);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Zero = makeConstantF(B, 0.0);
+  Value *One = makeConstantF(B, 1.0);
+  Value *A = makeAddF(B, X, Zero);       // x + 0 -> x
+  Value *M = makeMulF(B, One, A);        // 1 * x -> x
+  Value *D = makeDivF(B, M, One);        // x / 1 -> x
+  Value *N = makeNegF(B, makeNegF(B, D)); // --x -> x
+  makeMemStore(B, N, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createCanonicalizePass(), Func.get(), Ctx));
+  runPass(createDCEPass(), Func.get(), Ctx);
+  // Only the store remains (plus func-level bookkeeping).
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithAddF), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithMulF), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithDivF), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithNegF), 0u);
+  // The store now stores the argument directly.
+  Func->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::MemStore)
+      EXPECT_EQ(Op->operand(0), X);
+  });
+}
+
+TEST(Canonicalize, PowStrengthReduction) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *P2 = makePow(B, Body.argument(2), makeConstantF(B, 2.0));
+  Value *P05 = makePow(B, P2, makeConstantF(B, 0.5));
+  makeMemStore(B, P05, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createCanonicalizePass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::MathPow), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithMulF), 1u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::MathSqrt), 1u);
+}
+
+TEST(Canonicalize, SelectSameArms) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Cond = makeCmpF(B, CmpPredicate::LT, Body.argument(2),
+                         makeConstantF(B, 0.0));
+  Value *Sel = makeSelect(B, Cond, Body.argument(2), Body.argument(2));
+  makeMemStore(B, Sel, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createCanonicalizePass(), Func.get(), Ctx));
+  runPass(createDCEPass(), Func.get(), Ctx);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithSelect), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithCmpF), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// CSE
+//===----------------------------------------------------------------------===//
+
+TEST(CSE, DeduplicatesPureOps) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  Value *X = Body.argument(2);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *E1 = makeMathUnary(B, OpCode::MathExp, X);
+  Value *E2 = makeMathUnary(B, OpCode::MathExp, X);
+  Value *Sum = makeAddF(B, E1, E2);
+  makeMemStore(B, Sum, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createCSEPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::MathExp), 1u);
+}
+
+TEST(CSE, RespectsDifferingAttributes) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  Value *X = Body.argument(2);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *C1 = makeCmpF(B, CmpPredicate::LT, X, X);
+  Value *C2 = makeCmpF(B, CmpPredicate::GT, X, X);
+  Value *A = makeAndI(B, C1, C2);
+  Value *Sel = makeSelect(B, A, X, X);
+  makeMemStore(B, Sel, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_FALSE(runPass(createCSEPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithCmpF), 2u);
+}
+
+TEST(CSE, DoesNotMergeLoads) {
+  // Loads are read-only, not pure: a store may intervene.
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *L1 = makeMemLoad(B, Body.argument(0), Body.argument(1));
+  makeMemStore(B, Body.argument(2), Body.argument(0), Body.argument(1));
+  Value *L2 = makeMemLoad(B, Body.argument(0), Body.argument(1));
+  Value *Sum = makeAddF(B, L1, L2);
+  makeMemStore(B, Sum, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  runPass(createCSEPass(), Func.get(), Ctx);
+  EXPECT_EQ(countOps(Func.get(), OpCode::MemLoad), 2u);
+}
+
+TEST(CSE, OuterValuesVisibleInLoopBody) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.i64(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Outer = makeMathUnary(B, OpCode::MathExp, Body.argument(2));
+  Value *Step = makeConstantI(B, 1);
+  Operation *For = makeFor(B, Body.argument(0), Body.argument(1), Step);
+  OpBuilder LB(Ctx);
+  LB.setInsertionPointToEnd(&forBody(For));
+  Value *Inner = makeMathUnary(LB, OpCode::MathExp, Body.argument(2));
+  makeAddF(LB, Outer, Inner);
+  makeYield(LB, {});
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createCSEPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::MathExp), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+TEST(DCE, RemovesDeadChains) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *A = makeAddF(B, Body.argument(0), makeConstantF(B, 1.0));
+  makeMulF(B, A, A); // dead
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createDCEPass(), Func.get(), Ctx));
+  EXPECT_EQ(countAllOps(Func.get()), 1u); // only func.return
+}
+
+TEST(DCE, KeepsSideEffectingOps) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  makeMemStore(B, Body.argument(2), Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_FALSE(runPass(createDCEPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::MemStore), 1u);
+}
+
+TEST(DCE, RemovesUnusedLoads) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  makeMemLoad(B, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createDCEPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::MemLoad), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// LICM
+//===----------------------------------------------------------------------===//
+
+TEST(LICM, HoistsInvariantArithmetic) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f",
+                           {Ctx.memref(), Ctx.i64(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 1);
+  Operation *For = makeFor(B, Body.argument(1), Body.argument(2), Step);
+  OpBuilder LB(Ctx);
+  LB.setInsertionPointToEnd(&forBody(For));
+  // exp(arg) is loop-invariant; store depends on the IV so it stays.
+  Value *Inv = makeMathUnary(LB, OpCode::MathExp, Body.argument(3));
+  makeMemStore(LB, Inv, Body.argument(0), forBody(For).argument(0));
+  makeYield(LB, {});
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createLICMPass(), Func.get(), Ctx));
+  // The exp is now before the loop.
+  bool SeenExpBeforeFor = false, SeenFor = false;
+  for (Operation *Op : Body.ops()) {
+    if (Op->opcode() == OpCode::MathExp && !SeenFor)
+      SeenExpBeforeFor = true;
+    if (Op->opcode() == OpCode::ScfFor)
+      SeenFor = true;
+  }
+  EXPECT_TRUE(SeenExpBeforeFor);
+}
+
+TEST(LICM, HoistsParamLoadsButNotStateLoads) {
+  // Mirrors the generated kernels: parameter loads hoist (their memref is
+  // never written in the loop); state loads do not (the loop stores to the
+  // state memref).
+  Context Ctx;
+  auto Func = makeFunction(
+      Ctx, "f", {Ctx.memref(), Ctx.memref(), Ctx.i64(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  Value *StateRef = Body.argument(0);
+  Value *ParamRef = Body.argument(1);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 1);
+  Operation *For = makeFor(B, Body.argument(2), Body.argument(3), Step);
+  OpBuilder LB(Ctx);
+  LB.setInsertionPointToEnd(&forBody(For));
+  Value *Zero = makeConstantI(LB, 0);
+  Value *P = makeMemLoad(LB, ParamRef, Zero);
+  Value *S = makeMemLoad(LB, StateRef, forBody(For).argument(0));
+  Value *Sum = makeAddF(LB, P, S);
+  makeMemStore(LB, Sum, StateRef, forBody(For).argument(0));
+  makeYield(LB, {});
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createLICMPass(), Func.get(), Ctx));
+  unsigned LoadsInLoop = 0;
+  for (Operation *Op : forBody(For).ops())
+    LoadsInLoop += Op->opcode() == OpCode::MemLoad;
+  EXPECT_EQ(LoadsInLoop, 1u); // only the state load remains inside
+}
+
+TEST(LICM, DoesNotHoistIVDependentOps) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 1);
+  Operation *For = makeFor(B, Body.argument(1), Body.argument(2), Step);
+  OpBuilder LB(Ctx);
+  LB.setInsertionPointToEnd(&forBody(For));
+  Value *Iv = forBody(For).argument(0);
+  Value *Double = makeAddI(LB, Iv, Iv);
+  Value *L = makeMemLoad(LB, Body.argument(0), Double);
+  makeMemStore(LB, L, Body.argument(0), Iv);
+  makeYield(LB, {});
+  makeReturn(B);
+
+  runPass(createLICMPass(), Func.get(), Ctx);
+  unsigned OpsInLoop = 0;
+  for (Operation *Op : forBody(For).ops())
+    (void)Op, ++OpsInLoop;
+  EXPECT_EQ(OpsInLoop, 4u); // addi, load, store, yield all stay
+}
+
+//===----------------------------------------------------------------------===//
+// IfToSelect
+//===----------------------------------------------------------------------===//
+
+TEST(IfToSelect, FlattensSpeculatableIf) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  Value *X = Body.argument(2);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Cond = makeCmpF(B, CmpPredicate::LT, X, makeConstantF(B, 0.0));
+  Operation *If = makeIf(B, Cond, {Ctx.f64()});
+  OpBuilder TB(Ctx), EB(Ctx);
+  TB.setInsertionPointToEnd(&If->region(0).front());
+  Value *Neg = makeNegF(TB, X);
+  makeYield(TB, {Neg});
+  EB.setInsertionPointToEnd(&If->region(1).front());
+  makeYield(EB, {X});
+  makeMemStore(B, If->result(0), Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createIfToSelectPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::ScfIf), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithSelect), 1u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithNegF), 1u);
+}
+
+TEST(IfToSelect, HandlesNestedIfs) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  Value *X = Body.argument(2);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Cond = makeCmpF(B, CmpPredicate::LT, X, makeConstantF(B, 0.0));
+  Operation *Outer = makeIf(B, Cond, {Ctx.f64()});
+  OpBuilder TB(Ctx), EB(Ctx);
+  TB.setInsertionPointToEnd(&Outer->region(0).front());
+  Value *Cond2 = makeCmpF(TB, CmpPredicate::GT, X, makeConstantF(TB, -1.0));
+  Operation *Inner = makeIf(TB, Cond2, {Ctx.f64()});
+  OpBuilder ITB(Ctx), IEB(Ctx);
+  ITB.setInsertionPointToEnd(&Inner->region(0).front());
+  makeYield(ITB, {X});
+  IEB.setInsertionPointToEnd(&Inner->region(1).front());
+  makeYield(IEB, {makeNegF(IEB, X)});
+  makeYield(TB, {Inner->result(0)});
+  EB.setInsertionPointToEnd(&Outer->region(1).front());
+  makeYield(EB, {X});
+  makeMemStore(B, Outer->result(0), Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  EXPECT_TRUE(runPass(createIfToSelectPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::ScfIf), 0u);
+  EXPECT_EQ(countOps(Func.get(), OpCode::ArithSelect), 2u);
+}
+
+TEST(IfToSelect, SkipsSideEffectingBodies) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64(), Ctx.f64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Cond = makeCmpF(B, CmpPredicate::LT, Body.argument(2),
+                         makeConstantF(B, 0.0));
+  Operation *If = makeIf(B, Cond, {});
+  OpBuilder TB(Ctx), EB(Ctx);
+  TB.setInsertionPointToEnd(&If->region(0).front());
+  makeMemStore(TB, Body.argument(2), Body.argument(0), Body.argument(1));
+  makeYield(TB, {});
+  EB.setInsertionPointToEnd(&If->region(1).front());
+  makeYield(EB, {});
+  makeReturn(B);
+
+  EXPECT_FALSE(runPass(createIfToSelectPass(), Func.get(), Ctx));
+  EXPECT_EQ(countOps(Func.get(), OpCode::ScfIf), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// PassManager
+//===----------------------------------------------------------------------===//
+
+TEST(PassManager, RunsPipelineAndRecordsStats) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Sum = makeAddF(B, makeConstantF(B, 1.0), makeConstantF(B, 2.0));
+  makeMemStore(B, Sum, Body.argument(0), Body.argument(1));
+  makeReturn(B);
+
+  PassManager PM(Ctx);
+  PassManager::addDefaultPipeline(PM);
+  EXPECT_TRUE(PM.run(Func.get())) << PM.errorMessage();
+  EXPECT_EQ(PM.statistics().Entries.size(), 6u);
+  EXPECT_TRUE(verifyFunction(Func.get()));
+}
+
+TEST(FoldUtils, EvalFloatOpMatchesLibm) {
+  EXPECT_DOUBLE_EQ(evalFloatOp(OpCode::ArithAddF, 2, 3), 5);
+  EXPECT_DOUBLE_EQ(evalFloatOp(OpCode::MathExp, 1, 0), std::exp(1.0));
+  EXPECT_DOUBLE_EQ(evalFloatOp(OpCode::MathPow, 2, 10), 1024);
+  EXPECT_DOUBLE_EQ(evalFloatOp(OpCode::ArithMinF, 2, -3), -3);
+}
+
+TEST(FoldUtils, EvalCmp) {
+  EXPECT_TRUE(evalCmp(CmpPredicate::LT, 1, 2));
+  EXPECT_FALSE(evalCmp(CmpPredicate::GE, 1, 2));
+  EXPECT_TRUE(evalCmp(CmpPredicate::NE, 1, 2));
+  EXPECT_TRUE(evalCmp(CmpPredicate::EQ, 2, 2));
+}
+
+} // namespace

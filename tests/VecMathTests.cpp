@@ -1,0 +1,149 @@
+//===- VecMathTests.cpp - runtime/VecMath accuracy tests -----------------------===//
+//
+// Validates the SVML-analogue math kernels against libm over the ranges
+// ionic models exercise. Parameterized sweeps act as property tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/VecMath.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace limpet::vecmath;
+
+namespace {
+
+double relError(double Got, double Want) {
+  if (Want == 0.0)
+    return std::fabs(Got);
+  return std::fabs(Got - Want) / std::fabs(Want);
+}
+
+class VecMathSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VecMathSweep, ExpMatchesLibm) {
+  double X = GetParam();
+  EXPECT_LE(relError(fastExp(X), std::exp(X)), 5e-13) << X;
+}
+
+TEST_P(VecMathSweep, Expm1MatchesLibm) {
+  double X = GetParam();
+  EXPECT_LE(relError(fastExpm1(X), std::expm1(X)), 1e-11) << X;
+}
+
+TEST_P(VecMathSweep, TanhMatchesLibm) {
+  double X = GetParam();
+  EXPECT_LE(relError(fastTanh(X), std::tanh(X)), 1e-11) << X;
+}
+
+TEST_P(VecMathSweep, SinCosMatchLibm) {
+  double X = GetParam();
+  EXPECT_NEAR(fastSin(X), std::sin(X), 1e-11) << X;
+  EXPECT_NEAR(fastCos(X), std::cos(X), 1e-11) << X;
+}
+
+TEST_P(VecMathSweep, AtanMatchesLibm) {
+  double X = GetParam();
+  EXPECT_LE(relError(fastAtan(X), std::atan(X)), 1e-11) << X;
+}
+
+TEST_P(VecMathSweep, SinhCoshMatchLibm) {
+  double X = GetParam();
+  if (std::fabs(X) > 700)
+    return;
+  EXPECT_LE(relError(fastSinh(X), std::sinh(X)), 1e-11) << X;
+  EXPECT_LE(relError(fastCosh(X), std::cosh(X)), 1e-11) << X;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelRange, VecMathSweep,
+    ::testing::Values(-709.0, -150.0, -88.7, -21.3, -5.0, -1.0, -0.3,
+                      -1e-5, 0.0, 1e-5, 0.1, 0.5, 1.0, 3.7, 20.0, 88.7,
+                      250.0, 709.0));
+
+class VecMathPositiveSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VecMathPositiveSweep, LogMatchesLibm) {
+  double X = GetParam();
+  EXPECT_LE(relError(fastLog(X), std::log(X)), 5e-13) << X;
+  EXPECT_LE(relError(fastLog10(X), std::log10(X)), 1e-12) << X;
+}
+
+TEST_P(VecMathPositiveSweep, PowMatchesLibm) {
+  double X = GetParam();
+  for (double Y : {-2.5, -1.0, 0.3, 1.0, 2.0, 7.7}) {
+    double Want = std::pow(X, Y);
+    if (!std::isfinite(Want)) {
+      EXPECT_EQ(fastPow(X, Y), Want) << X << "^" << Y;
+      continue;
+    }
+    EXPECT_LE(relError(fastPow(X, Y), Want), 1e-11) << X << "^" << Y;
+  }
+}
+
+TEST_P(VecMathPositiveSweep, SqrtChainConsistent) {
+  double X = GetParam();
+  EXPECT_LE(relError(fastExp(fastLog(X)), X), 1e-11) << X;
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelRange, VecMathPositiveSweep,
+                         ::testing::Values(1e-300, 1e-12, 1e-4, 0.07, 0.5,
+                                           1.0, 2.718281828, 42.0, 1e4,
+                                           1e12, 1e300));
+
+TEST(VecMath, ExpSpecialValues) {
+  EXPECT_EQ(fastExp(-800.0), 0.0);
+  EXPECT_TRUE(std::isinf(fastExp(800.0)));
+  EXPECT_EQ(fastExp(0.0), 1.0);
+}
+
+TEST(VecMath, LogSpecialValues) {
+  EXPECT_TRUE(std::isinf(fastLog(0.0)));
+  EXPECT_LT(fastLog(0.0), 0);
+  EXPECT_TRUE(std::isnan(fastLog(-1.0)));
+  EXPECT_EQ(fastLog(1.0), 0.0);
+}
+
+TEST(VecMath, PowSpecialValues) {
+  EXPECT_EQ(fastPow(5.0, 0.0), 1.0);
+  EXPECT_EQ(fastPow(0.0, 2.0), 0.0);
+  EXPECT_EQ(fastPow(1.0, 100.0), 1.0);
+}
+
+TEST(VecMath, TanhSaturates) {
+  EXPECT_DOUBLE_EQ(fastTanh(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fastTanh(-100.0), -1.0);
+}
+
+TEST(VecMath, AsinAcosEndpoints) {
+  EXPECT_NEAR(fastAsin(1.0), M_PI / 2, 1e-12);
+  EXPECT_NEAR(fastAsin(-1.0), -M_PI / 2, 1e-12);
+  EXPECT_NEAR(fastAcos(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(fastAcos(-1.0), M_PI, 1e-12);
+  for (double X = -0.99; X <= 0.99; X += 0.07) {
+    EXPECT_LE(relError(fastAsin(X), std::asin(X)), 1e-10) << X;
+    EXPECT_NEAR(fastAcos(X), std::acos(X), 1e-10) << X;
+  }
+}
+
+TEST(VecMath, TanMatchesAwayFromPoles) {
+  for (double X = -1.4; X <= 1.4; X += 0.05)
+    EXPECT_LE(relError(fastTan(X), std::tan(X)), 1e-10) << X;
+}
+
+TEST(VecMath, DenseExpLogSweepProperty) {
+  // Dense property sweep over the voltage-like range.
+  for (double X = -120; X <= 120; X += 0.37)
+    ASSERT_LE(relError(fastExp(X), std::exp(X)), 5e-13) << X;
+  for (double X = 1e-6; X < 1e6; X *= 1.7)
+    ASSERT_LE(relError(fastLog(X), std::log(X)), 5e-13) << X;
+}
+
+TEST(VecMath, FlopCostsArePositive) {
+  EXPECT_GT(FlopCost::Exp, 0);
+  EXPECT_GT(FlopCost::Log, 0);
+  EXPECT_GT(FlopCost::Pow, FlopCost::Exp);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- VectorizeTests.cpp - codegen/Vectorize unit tests ------------------------===//
+
+#include "support/Casting.h"
+#include "codegen/Vectorize.h"
+#include "easyml/Sema.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::codegen;
+using namespace limpet::ir;
+
+namespace {
+
+constexpr const char MiniModel[] = R"(
+Vm; .external(); .nodal();
+Iion; .external();
+group{ g = 0.5; E = -80.0; }.param();
+Vm_init = -80.0;
+diff_w = 0.1*(Vm - E) - 0.2*w + exp(Vm/30.0)*0.01;
+w_init = 0.25;
+Iion = g*(Vm - E) + w;
+)";
+
+GeneratedKernel makeKernel(StateLayout Layout, unsigned W) {
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo("mini", MiniModel, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  CodeGenOptions Options;
+  Options.Layout = Layout;
+  Options.AoSoABlockWidth = W;
+  Options.EnableLuts = false;
+  return generateKernel(*Info, Options);
+}
+
+unsigned countOps(Operation *Func, OpCode Code) {
+  unsigned N = 0;
+  Func->walk([&](Operation *Op) { N += Op->opcode() == Code; });
+  return N;
+}
+
+TEST(Vectorize, VectorFunctionVerifies) {
+  for (StateLayout Layout :
+       {StateLayout::AoS, StateLayout::SoA, StateLayout::AoSoA}) {
+    for (unsigned W : {2u, 4u, 8u}) {
+      if (Layout != StateLayout::AoSoA && W != 8)
+        continue; // exercise widths once; layouts once each
+      GeneratedKernel K = makeKernel(Layout, W);
+      Operation *Vec = vectorizeKernel(K, W);
+      VerifyResult R = verifyFunction(Vec);
+      EXPECT_TRUE(R) << stateLayoutName(Layout) << " W=" << W << ": "
+                     << R.Message;
+    }
+  }
+}
+
+TEST(Vectorize, StepBecomesVectorWidth) {
+  GeneratedKernel K = makeKernel(StateLayout::AoSoA, 8);
+  Operation *Vec = vectorizeKernel(K, 8);
+  Operation *For = nullptr;
+  Vec->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::ScfFor)
+      For = Op;
+  });
+  ASSERT_NE(For, nullptr);
+  Operation *StepDef = cast<OpResult>(For->operand(2))->owner();
+  EXPECT_EQ(StepDef->opcode(), OpCode::ArithConstantI);
+  EXPECT_EQ(StepDef->attr("value").asInt(), 8);
+}
+
+TEST(Vectorize, AoSoAUsesContiguousVectorLoads) {
+  GeneratedKernel K = makeKernel(StateLayout::AoSoA, 8);
+  Operation *Vec = vectorizeKernel(K, 8);
+  EXPECT_GE(countOps(Vec, OpCode::VecLoad), 2u); // state + ext
+  EXPECT_EQ(countOps(Vec, OpCode::VecGather), 0u);
+  EXPECT_EQ(countOps(Vec, OpCode::VecScatter), 0u);
+  EXPECT_GE(countOps(Vec, OpCode::VecStore), 2u);
+}
+
+TEST(Vectorize, AoSUsesGatherScatterForState) {
+  GeneratedKernel K = makeKernel(StateLayout::AoS, 8);
+  Operation *Vec = vectorizeKernel(K, 8);
+  EXPECT_EQ(countOps(Vec, OpCode::VecGather), 1u);  // w load
+  EXPECT_EQ(countOps(Vec, OpCode::VecScatter), 1u); // w store
+  // Externals stay contiguous even in AoS.
+  EXPECT_GE(countOps(Vec, OpCode::VecLoad), 1u);
+  // Gather stride equals the struct size (1 sv here).
+  Vec->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::VecGather)
+      EXPECT_EQ(Op->attr("stride").asInt(), 1);
+  });
+}
+
+TEST(Vectorize, ParamLoadsStayScalarWithBroadcast) {
+  GeneratedKernel K = makeKernel(StateLayout::AoSoA, 8);
+  Operation *Vec = vectorizeKernel(K, 8);
+  Vec->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::MemLoad) {
+      EXPECT_EQ(Op->attr(attrs::Role).asString(), "param");
+      EXPECT_TRUE(Op->result(0)->type().isF64()); // still scalar
+    }
+  });
+  EXPECT_GE(countOps(Vec, OpCode::VecBroadcast), 1u);
+}
+
+TEST(Vectorize, ComputeOpsBecomeVectorTyped) {
+  GeneratedKernel K = makeKernel(StateLayout::AoSoA, 4);
+  Operation *Vec = vectorizeKernel(K, 4);
+  Operation *For = nullptr;
+  Vec->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::ScfFor)
+      For = Op;
+  });
+  ASSERT_NE(For, nullptr);
+  for (Operation *Op : forBody(For).ops()) {
+    if (Op->opcode() == OpCode::MathExp || Op->opcode() == OpCode::ArithMulF)
+      EXPECT_EQ(Op->result(0)->type(), K.Ctx->vecF64(4))
+          << printOp(Op);
+  }
+}
+
+TEST(Vectorize, FunctionNamedAndAttributed) {
+  GeneratedKernel K = makeKernel(StateLayout::AoSoA, 8);
+  Operation *Vec = vectorizeKernel(K, 8);
+  EXPECT_EQ(Vec->attr("sym_name").asString(), "compute_vec8");
+  EXPECT_EQ(Vec->attr(attrs::Width).asInt(), 8);
+  EXPECT_NE(K.Mod->lookupFunction("compute_vec8"), nullptr);
+  // The scalar kernel is still present.
+  EXPECT_NE(K.Mod->lookupFunction("compute"), nullptr);
+}
+
+TEST(Vectorize, LutOpsVectorized) {
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(
+      "lut",
+      "Vm; .external(); .lookup(-100, 100, 0.05);\nIion; .external();\n"
+      "diff_w = exp(Vm/20.0)*(1.0-w) - 0.4*w;\nw_init = 0.5;\nIion = w;",
+      Diags);
+  ASSERT_TRUE(Info.has_value());
+  CodeGenOptions Options;
+  Options.Layout = StateLayout::AoSoA;
+  Options.AoSoABlockWidth = 8;
+  GeneratedKernel K = generateKernel(*Info, Options);
+  Operation *Vec = vectorizeKernel(K, 8);
+  bool SawVectorCoord = false;
+  Vec->walk([&](Operation *Op) {
+    if (Op->opcode() == OpCode::LutCoord) {
+      EXPECT_EQ(Op->result(0)->type(), K.Ctx->vecI64(8));
+      EXPECT_EQ(Op->result(1)->type(), K.Ctx->vecF64(8));
+      SawVectorCoord = true;
+    }
+    if (Op->opcode() == OpCode::LutInterp)
+      EXPECT_EQ(Op->result(0)->type(), K.Ctx->vecF64(8));
+  });
+  EXPECT_TRUE(SawVectorCoord);
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- VerifierTests.cpp - ir/Verifier unit tests ---------------------------===//
+
+#include "support/Casting.h"
+#include "dialects/Dialects.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::ir;
+
+namespace {
+
+/// Builds a minimal valid function: constants + return.
+std::unique_ptr<Operation> makeTrivialFunc(Context &Ctx) {
+  auto Func = makeFunction(Ctx, "f", {Ctx.memref(), Ctx.i64()});
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&funcBody(Func.get()));
+  makeConstantF(B, 1.0);
+  makeReturn(B);
+  return Func;
+}
+
+TEST(Verifier, AcceptsTrivialFunction) {
+  Context Ctx;
+  auto Func = makeTrivialFunc(Ctx);
+  EXPECT_TRUE(verifyFunction(Func.get()));
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&funcBody(Func.get()));
+  makeConstantF(B, 1.0);
+  VerifyResult R = verifyFunction(Func.get());
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Message.find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *C = makeConstantF(B, 1.0);
+  Value *Sum = makeAddF(B, C, C);
+  makeReturn(B);
+  // Move the add before its operand's definition.
+  Operation *SumOp = cast<OpResult>(Sum)->owner();
+  Operation *ConstOp = cast<OpResult>(C)->owner();
+  Body.remove(SumOp);
+  Body.insertBefore(ConstOp, SumOp);
+  VerifyResult R = verifyFunction(Func.get());
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Message.find("dominate"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOperandCountMismatch) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&funcBody(Func.get()));
+  Value *C = makeConstantF(B, 1.0);
+  // Hand-build an addf with one operand.
+  Operation *Bad = B.create(OpCode::ArithAddF, {C}, {Ctx.f64()});
+  (void)Bad;
+  makeReturn(B);
+  VerifyResult R = verifyFunction(Func.get());
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Message.find("operands"), std::string::npos);
+}
+
+TEST(Verifier, RejectsTypeMismatch) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&funcBody(Func.get()));
+  Value *F = makeConstantF(B, 1.0);
+  Value *I = makeConstantI(B, 1);
+  B.create(OpCode::ArithAddF, {F, I}, {Ctx.f64()});
+  makeReturn(B);
+  EXPECT_FALSE(verifyFunction(Func.get()));
+}
+
+TEST(Verifier, RejectsMissingConstantValue) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&funcBody(Func.get()));
+  B.create(OpCode::ArithConstantF, {}, {Ctx.f64()});
+  makeReturn(B);
+  VerifyResult R = verifyFunction(Func.get());
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Message.find("value"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCmpWithoutPredicate) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&funcBody(Func.get()));
+  Value *C = makeConstantF(B, 1.0);
+  B.create(OpCode::ArithCmpF, {C, C}, {Ctx.i1()});
+  makeReturn(B);
+  EXPECT_FALSE(verifyFunction(Func.get()));
+}
+
+TEST(Verifier, AcceptsForLoopWithYield) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.i64(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 1);
+  Operation *For = makeFor(B, Body.argument(0), Body.argument(1), Step);
+  OpBuilder BodyB(Ctx);
+  BodyB.setInsertionPointToEnd(&forBody(For));
+  makeYield(BodyB, {});
+  makeReturn(B);
+  EXPECT_TRUE(verifyFunction(Func.get())) << verifyFunction(Func.get()).Message;
+}
+
+TEST(Verifier, RejectsUnterminatedLoopBody) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.i64(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 1);
+  makeFor(B, Body.argument(0), Body.argument(1), Step);
+  makeReturn(B);
+  EXPECT_FALSE(verifyFunction(Func.get()));
+}
+
+TEST(Verifier, LoopBodyValuesDoNotEscape) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {Ctx.i64(), Ctx.i64()});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *Step = makeConstantI(B, 1);
+  Operation *For = makeFor(B, Body.argument(0), Body.argument(1), Step);
+  OpBuilder BodyB(Ctx);
+  BodyB.setInsertionPointToEnd(&forBody(For));
+  Value *Inner = makeConstantF(BodyB, 5.0);
+  makeYield(BodyB, {});
+  // Use the loop-local value after the loop: must be rejected.
+  makeAddF(B, Inner, Inner);
+  makeReturn(B);
+  EXPECT_FALSE(verifyFunction(Func.get()));
+}
+
+TEST(Verifier, AcceptsIfWithYields) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *C = makeConstantF(B, 1.0);
+  Value *Cond = makeCmpF(B, CmpPredicate::LT, C, C);
+  Operation *If = makeIf(B, Cond, {Ctx.f64()});
+  OpBuilder TB(Ctx), EB(Ctx);
+  TB.setInsertionPointToEnd(&If->region(0).front());
+  makeYield(TB, {C});
+  EB.setInsertionPointToEnd(&If->region(1).front());
+  makeYield(EB, {C});
+  makeReturn(B);
+  EXPECT_TRUE(verifyFunction(Func.get())) << verifyFunction(Func.get()).Message;
+}
+
+TEST(Verifier, RejectsIfYieldArityMismatch) {
+  Context Ctx;
+  auto Func = makeFunction(Ctx, "f", {});
+  Block &Body = funcBody(Func.get());
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Body);
+  Value *C = makeConstantF(B, 1.0);
+  Value *Cond = makeCmpF(B, CmpPredicate::LT, C, C);
+  Operation *If = makeIf(B, Cond, {Ctx.f64()});
+  OpBuilder TB(Ctx), EB(Ctx);
+  TB.setInsertionPointToEnd(&If->region(0).front());
+  makeYield(TB, {C});
+  EB.setInsertionPointToEnd(&If->region(1).front());
+  makeYield(EB, {}); // wrong arity
+  makeReturn(B);
+  EXPECT_FALSE(verifyFunction(Func.get()));
+}
+
+TEST(Verifier, ModuleVerifiesAllFunctions) {
+  Context Ctx;
+  Module M;
+  M.addFunction(makeTrivialFunc(Ctx));
+  auto Bad = makeFunction(Ctx, "bad", {});
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&funcBody(Bad.get()));
+  makeConstantF(B, 1.0); // no terminator
+  M.addFunction(std::move(Bad));
+  EXPECT_FALSE(verifyModule(M));
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+//===- limpetc.cpp - limpetMLIR compiler driver ---------------------------------===//
+//
+// Command-line driver over the compilation pipeline, in the spirit of
+// mlir-opt: reads an EasyML model (a file, or a suite model by name) and
+// prints the requested stage.
+//
+//   limpetc --list                          all 43 suite models
+//   limpetc HodgkinHuxley --info            semantic summary
+//   limpetc model.easyml --ir               optimized scalar kernel IR
+//   limpetc OHara --vector-ir --width 8     vectorized kernel IR
+//   limpetc OHara --bytecode --layout aosoa compiled register program
+//   limpetc OHara --luts                    extracted LUT columns
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Vectorize.h"
+#include "easyml/Preprocessor.h"
+#include "easyml/Sema.h"
+#include "exec/BytecodeCompiler.h"
+#include "ir/Printer.h"
+#include "models/Registry.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace limpet;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: limpetc <model-name|file.easyml> [options]\n"
+      "  --list              list the 43 suite models and exit\n"
+      "  --info              semantic summary (default)\n"
+      "  --program           integrator-expanded update expressions\n"
+      "  --luts              extracted LUT table columns\n"
+      "  --ir                optimized scalar kernel IR\n"
+      "  --vector-ir         vectorized kernel IR\n"
+      "  --bytecode          compiled register bytecode\n"
+      "  --width N           vector width 2/4/8 (default 8)\n"
+      "  --layout aos|soa|aosoa (default aos; aosoa for --vector-ir)\n"
+      "  --no-lut            disable LUT extraction\n"
+      "  --no-passes         skip the optimization pipeline\n");
+}
+
+std::string readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    printUsage();
+    return 1;
+  }
+  if (std::strcmp(argv[1], "--list") == 0) {
+    for (const models::ModelEntry &M : models::modelRegistry())
+      std::printf("%-24s %s %s\n", M.Name.c_str(),
+                  M.SizeClass == 'S'   ? "small "
+                  : M.SizeClass == 'M' ? "medium"
+                                       : "large ",
+                  M.IsClassic ? "(classic)" : "(synthetic)");
+    return 0;
+  }
+
+  std::string Name = argv[1];
+  std::string Source;
+  if (endsWith(Name, ".easyml") || endsWith(Name, ".model")) {
+    Source = readFile(argv[1]);
+    if (Source.empty()) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", argv[1]);
+      return 1;
+    }
+  } else if (const models::ModelEntry *M = models::findModel(Name)) {
+    Source = M->Source;
+  } else {
+    std::fprintf(stderr,
+                 "error: '%s' is neither a file nor a suite model (try "
+                 "--list)\n",
+                 argv[1]);
+    return 1;
+  }
+
+  enum class Mode { Info, Program, Luts, IR, VectorIR, Bytecode };
+  Mode M = Mode::Info;
+  unsigned Width = 8;
+  codegen::StateLayout Layout = codegen::StateLayout::AoS;
+  bool LayoutSet = false;
+  bool EnableLuts = true, RunPasses = true;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--info")
+      M = Mode::Info;
+    else if (Arg == "--program")
+      M = Mode::Program;
+    else if (Arg == "--luts")
+      M = Mode::Luts;
+    else if (Arg == "--ir")
+      M = Mode::IR;
+    else if (Arg == "--vector-ir")
+      M = Mode::VectorIR;
+    else if (Arg == "--bytecode")
+      M = Mode::Bytecode;
+    else if (Arg == "--no-lut")
+      EnableLuts = false;
+    else if (Arg == "--no-passes")
+      RunPasses = false;
+    else if (Arg == "--width" && I + 1 < argc)
+      Width = unsigned(std::atoi(argv[++I]));
+    else if (Arg == "--layout" && I + 1 < argc) {
+      std::string L = argv[++I];
+      LayoutSet = true;
+      if (L == "aos")
+        Layout = codegen::StateLayout::AoS;
+      else if (L == "soa")
+        Layout = codegen::StateLayout::SoA;
+      else if (L == "aosoa")
+        Layout = codegen::StateLayout::AoSoA;
+      else {
+        std::fprintf(stderr, "error: unknown layout '%s'\n", L.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 1;
+    }
+  }
+  // AoSoA is the natural layout when asking for vector IR.
+  if (M == Mode::VectorIR && !LayoutSet)
+    Layout = codegen::StateLayout::AoSoA;
+
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(Name, Source, Diags);
+  std::fprintf(stderr, "%s", Diags.str().c_str());
+  if (!Info)
+    return 1;
+
+  if (M == Mode::Info) {
+    std::printf("model %s\n", Info->Name.c_str());
+    std::printf("  state variables (%zu):\n", Info->StateVars.size());
+    for (const auto &SV : Info->StateVars)
+      std::printf("    %-16s init=%-12s method=%s\n", SV.Name.c_str(),
+                  formatDouble(SV.Init).c_str(),
+                  std::string(integMethodName(SV.Method)).c_str());
+    std::printf("  externals (%zu):\n", Info->Externals.size());
+    for (const auto &Ext : Info->Externals)
+      std::printf("    %-16s %s%s\n", Ext.Name.c_str(),
+                  Ext.IsRead ? "read " : "", Ext.IsComputed ? "computed" : "");
+    std::printf("  parameters (%zu):\n", Info->Params.size());
+    for (const auto &P : Info->Params)
+      std::printf("    %-16s = %s\n", P.Name.c_str(),
+                  formatDouble(P.DefaultValue).c_str());
+    for (const auto &Lut : Info->Luts)
+      std::printf("  lookup table on %s: [%g, %g] step %g (%d rows)\n",
+                  Lut.VarName.c_str(), Lut.Lo, Lut.Hi, Lut.Step,
+                  Lut.numRows());
+    std::printf("  distinct ops in inlined expressions: %zu\n",
+                Info->countDistinctOps());
+    return 0;
+  }
+
+  if (M == Mode::Program) {
+    codegen::ModelProgram P =
+        codegen::buildModelProgram(*Info, EnableLuts);
+    for (size_t I = 0; I != P.Info.StateVars.size(); ++I)
+      std::printf("%s_new = %s\n\n", P.Info.StateVars[I].Name.c_str(),
+                  easyml::printExpr(*P.StateUpdates[I]).c_str());
+    for (size_t I = 0; I != P.Info.Externals.size(); ++I)
+      if (P.ExternalUpdates[I])
+        std::printf("%s = %s\n\n", P.Info.Externals[I].Name.c_str(),
+                    easyml::printExpr(*P.ExternalUpdates[I]).c_str());
+    return 0;
+  }
+
+  if (M == Mode::Luts) {
+    codegen::ModelProgram P = codegen::buildModelProgram(*Info, EnableLuts);
+    for (const codegen::LutTablePlan &T : P.Luts.Tables) {
+      std::printf("table on %s: [%g, %g] step %g, %zu columns\n",
+                  T.Spec.VarName.c_str(), T.Spec.Lo, T.Spec.Hi,
+                  T.Spec.Step, T.Columns.size());
+      for (size_t C = 0; C != T.Columns.size(); ++C)
+        std::printf("  col %2zu: %s\n", C,
+                    easyml::printExpr(*T.Columns[C]).c_str());
+    }
+    return 0;
+  }
+
+  codegen::CodeGenOptions Options;
+  Options.Layout = Layout;
+  Options.AoSoABlockWidth = Width;
+  Options.EnableLuts = EnableLuts;
+  Options.RunPasses = RunPasses;
+  codegen::GeneratedKernel K = codegen::generateKernel(*Info, Options);
+
+  if (M == Mode::IR) {
+    std::printf("%s", ir::printOp(K.ScalarFunc).c_str());
+    return 0;
+  }
+  ir::Operation *Func = K.ScalarFunc;
+  if (M == Mode::VectorIR || Layout == codegen::StateLayout::AoSoA)
+    Func = codegen::vectorizeKernel(K, Width);
+  if (M == Mode::VectorIR) {
+    std::printf("%s", ir::printOp(Func).c_str());
+    return 0;
+  }
+  exec::BcProgram P = exec::compileToBytecode(K, Func);
+  std::printf("%s", P.str().c_str());
+  std::printf("\nflops/cell=%.0f load-bytes/cell=%.0f "
+              "store-bytes/cell=%.0f OI=%.3f\n",
+              P.Counts.FlopsPerCell, P.Counts.LoadBytesPerCell,
+              P.Counts.StoreBytesPerCell,
+              P.Counts.operationalIntensity());
+  return 0;
+}
