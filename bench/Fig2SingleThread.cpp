@@ -33,12 +33,13 @@ int main() {
                   "speedup"});
   std::vector<double> All;
   std::map<char, std::vector<double>> PerClass;
+  sim::RunReport Guard;
 
   for (const models::ModelEntry *M : selectedModels()) {
     const CompiledModel &Base = Cache.get(*M, EngineConfig::baseline());
     const CompiledModel &Vec = Cache.get(*M, EngineConfig::limpetMLIR(8));
-    double TBase = timeSimulation(Base, Protocol, 1);
-    double TVec = timeSimulation(Vec, Protocol, 1);
+    double TBase = timeSimulation(Base, Protocol, 1, &Guard);
+    double TVec = timeSimulation(Vec, Protocol, 1, &Guard);
     double Speedup = TBase / TVec;
     All.push_back(Speedup);
     PerClass[M->SizeClass].push_back(Speedup);
@@ -54,5 +55,7 @@ int main() {
     if (!PerClass[C].empty())
       std::printf("geomean speedup (%-6s): %.2fx\n", className(C).c_str(),
                   geomean(PerClass[C]));
+  if (Protocol.GuardRails)
+    std::printf("\nguard-rail %s", Guard.str().c_str());
   return 0;
 }

@@ -30,6 +30,7 @@ BenchProtocol BenchProtocol::fromEnv(int64_t DefaultCells,
   P.NumCells = envInt("LIMPET_BENCH_CELLS", DefaultCells);
   P.NumSteps = envInt("LIMPET_BENCH_STEPS", DefaultSteps);
   P.Repeats = int(envInt("LIMPET_BENCH_REPEATS", DefaultRepeats));
+  P.GuardRails = envInt("LIMPET_BENCH_GUARD", 0) != 0;
   return P;
 }
 
@@ -81,7 +82,7 @@ const CompiledModel &ModelCache::get(const models::ModelEntry &Entry,
 
 double bench::timeSimulation(const CompiledModel &Model,
                              const BenchProtocol &Protocol,
-                             unsigned Threads) {
+                             unsigned Threads, sim::RunReport *Report) {
   std::vector<double> Times;
   for (int Run = 0; Run != std::max(Protocol.Repeats, 1); ++Run) {
     sim::SimOptions Opts;
@@ -89,11 +90,14 @@ double bench::timeSimulation(const CompiledModel &Model,
     Opts.NumSteps = Protocol.NumSteps;
     Opts.NumThreads = Threads;
     Opts.StimPeriod = 100.0;
+    Opts.Guard.Enabled = Protocol.GuardRails;
     sim::Simulator S(Model, Opts);
     auto T0 = std::chrono::steady_clock::now();
     S.run();
     auto T1 = std::chrono::steady_clock::now();
     Times.push_back(std::chrono::duration<double>(T1 - T0).count());
+    if (Report)
+      Report->merge(S.report());
   }
   std::sort(Times.begin(), Times.end());
   // Paper protocol: eliminate the two extrema, average the rest.
@@ -162,6 +166,9 @@ void bench::printBanner(const std::string &Title,
               Protocol.Repeats);
   std::printf("Scale with LIMPET_BENCH_CELLS / LIMPET_BENCH_STEPS / "
               "LIMPET_BENCH_REPEATS / LIMPET_BENCH_MODELS.\n");
+  if (Protocol.GuardRails)
+    std::printf("Guard rails: ON (health scan + fault-tolerant stepping, "
+                "LIMPET_BENCH_GUARD=1)\n");
   std::printf("==================================================================\n");
 }
 

@@ -36,6 +36,10 @@ struct BenchProtocol {
   int Repeats = 3;
   /// Drop the fastest and slowest run when Repeats >= 3 (paper protocol).
   bool DropExtrema = true;
+  /// Run with the Simulator guard rails (health scan + fault-tolerant
+  /// stepping) enabled; LIMPET_BENCH_GUARD=1 turns it on to measure the
+  /// production-mode overhead.
+  bool GuardRails = false;
 
   /// Reads LIMPET_BENCH_* environment overrides.
   static BenchProtocol fromEnv(int64_t DefaultCells = 4096,
@@ -59,9 +63,12 @@ private:
 };
 
 /// Times one simulation under the paper's protocol: returns seconds
-/// (averaged after dropping extrema).
+/// (averaged after dropping extrema). When \p Report is non-null the
+/// guard-rail run reports of every repeat are merged into it (faults,
+/// retries, scan overhead).
 double timeSimulation(const exec::CompiledModel &Model,
-                      const BenchProtocol &Protocol, unsigned Threads);
+                      const BenchProtocol &Protocol, unsigned Threads,
+                      sim::RunReport *Report = nullptr);
 
 /// Geometric mean (ignores non-positive entries).
 double geomean(const std::vector<double> &Values);

@@ -38,6 +38,15 @@ EngineConfig EngineConfig::autoVecLike(unsigned Width) {
   return Cfg;
 }
 
+EngineConfig EngineConfig::recovery() {
+  EngineConfig Cfg;
+  Cfg.Width = 1;
+  Cfg.Layout = StateLayout::AoS;
+  Cfg.FastMath = false;
+  Cfg.EnableLuts = false;
+  return Cfg;
+}
+
 std::string exec::engineConfigName(const EngineConfig &Cfg) {
   std::string Name = Cfg.Width == 1 ? "scalar" : "vec" + std::to_string(Cfg.Width);
   Name += "/";
@@ -158,4 +167,10 @@ double CompiledModel::readState(const double *State, int64_t Cell,
                                 int64_t Sv, int64_t NumCells) const {
   return State[stateIndex(Cfg.Layout, Cell, Sv, Program.NumSv, NumCells,
                           Program.AoSoAW)];
+}
+
+void CompiledModel::writeState(double *State, int64_t Cell, int64_t Sv,
+                               int64_t NumCells, double Value) const {
+  State[stateIndex(Cfg.Layout, Cell, Sv, Program.NumSv, NumCells,
+                   Program.AoSoAW)] = Value;
 }

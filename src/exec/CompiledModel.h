@@ -42,6 +42,10 @@ struct EngineConfig {
   /// The Sec. 5 "auto-vectorizer" comparison point: vector arithmetic but
   /// no data-layout transformation (AoS gathers).
   static EngineConfig autoVecLike(unsigned Width);
+  /// The guard-rail degradation target: exact scalar kernel (no LUTs,
+  /// libm, AoS). Cells whose fast-path integration keeps faulting fall
+  /// back to a model compiled with this configuration.
+  static EngineConfig recovery();
 };
 
 std::string engineConfigName(const EngineConfig &Cfg);
@@ -93,6 +97,12 @@ public:
   /// Reads sv \p Sv of cell \p Cell from a state array of this layout.
   double readState(const double *State, int64_t Cell, int64_t Sv,
                    int64_t NumCells) const;
+
+  /// Writes sv \p Sv of cell \p Cell into a state array of this layout
+  /// (used by checkpoint restore, fault injection and the scalar-exact
+  /// fallback scatter).
+  void writeState(double *State, int64_t Cell, int64_t Sv, int64_t NumCells,
+                  double Value) const;
 
 private:
   CompiledModel() = default;

@@ -483,7 +483,9 @@ template <unsigned W, bool Fast>
     double MaxPos = T.coordMaxPos(), MaxIdx = T.coordMaxIdx();
     for (unsigned L = 0; L != W; ++L) {
       double Pos = (Ra[L] - Lo) * InvStep;
-      Pos = Pos < 0.0 ? 0.0 : (Pos > MaxPos ? MaxPos : Pos);
+      // Ordered so a NaN lane clamps to 0.0 before the int64_t cast
+      // (casting NaN is UB); mirrors LutTable::coord.
+      Pos = Pos > 0.0 ? (Pos < MaxPos ? Pos : MaxPos) : 0.0;
       double Floor = double(int64_t(Pos));
       Floor = Floor > MaxIdx ? MaxIdx : Floor;
       D[L] = Floor;

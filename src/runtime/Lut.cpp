@@ -3,6 +3,7 @@
 #include "runtime/Lut.h"
 
 #include <cmath>
+#include <limits>
 
 using namespace limpet;
 using namespace limpet::runtime;
@@ -15,4 +16,11 @@ LutTable::LutTable(double Lo, double Hi, double Step, int Cols)
   if (Rows < 2)
     Rows = 2;
   Data.assign(size_t(Rows) * Cols, 0.0);
+}
+
+bool LutTable::allFinite() const {
+  size_t Bad = 0;
+  for (double V : Data)
+    Bad += !(std::fabs(V) <= std::numeric_limits<double>::max());
+  return Bad == 0;
 }

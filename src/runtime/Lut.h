@@ -42,11 +42,14 @@ public:
 
   /// Computes the interpolation coordinate for \p X: a row index in
   /// [0, Rows-2] and a fraction in [0, 1]. Clamps outside the range.
-  /// Branch-free: safe for SIMD lanes.
+  /// Branch-free: safe for SIMD lanes. A NaN input deterministically
+  /// clamps to row 0 / frac 0: the select chain is ordered so NaN fails
+  /// the first comparison and lands on 0.0 before the int64_t cast
+  /// (casting NaN would be undefined behavior).
   void coord(double X, int64_t &Idx, double &Frac) const {
     double Pos = (X - Lo) * InvStep;
     double MaxPos = double(Rows - 1);
-    Pos = Pos < 0.0 ? 0.0 : (Pos > MaxPos ? MaxPos : Pos);
+    Pos = Pos > 0.0 ? (Pos < MaxPos ? Pos : MaxPos) : 0.0;
     double Floor = double(int64_t(Pos)); // Pos >= 0, truncation == floor
     // The last sample interpolates within the final interval (frac -> 1).
     double MaxIdx = double(Rows - 2);
@@ -95,6 +98,12 @@ public:
   /// gather-vectorized interpolation loops.
   const double *data() const { return Data.data(); }
 
+  /// True when every table entry is finite. A corrupted table (fault
+  /// injection, bad parameter baking) fails this; re-integration cannot
+  /// heal it, so the guard rails skip straight to the scalar-exact
+  /// fallback when it fails.
+  bool allFinite() const;
+
   // Branch-free coordinate parameters, exposed so the vector engine can
   // inline the computation into its lane loops.
   double coordLo() const { return Lo; }
@@ -113,6 +122,14 @@ struct LutTableSet {
   std::vector<LutTable> Tables;
 
   bool empty() const { return Tables.empty(); }
+
+  /// True when every entry of every table is finite.
+  bool allFinite() const {
+    for (const LutTable &T : Tables)
+      if (!T.allFinite())
+        return false;
+    return true;
+  }
 };
 
 } // namespace runtime

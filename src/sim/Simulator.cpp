@@ -5,14 +5,42 @@
 #include "runtime/ThreadPool.h"
 #include "support/Casting.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 
 using namespace limpet;
 using namespace limpet::sim;
 using namespace limpet::exec;
 
-Simulator::Simulator(const CompiledModel &ModelIn, const SimOptions &Opts)
-    : Model(ModelIn), Opts(Opts) {
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+double quietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
+} // namespace
+
+Simulator::Simulator(const CompiledModel &ModelIn, const SimOptions &OptsIn)
+    : Model(ModelIn), Opts(OptsIn) {
+  // Sanitize user-reachable knobs instead of corrupting memory or
+  // dividing by zero downstream.
+  if (Opts.NumCells < 1)
+    Opts.NumCells = 1;
+  if (Opts.NumSteps < 0)
+    Opts.NumSteps = 0;
+  if (!std::isfinite(Opts.Dt) || Opts.Dt <= 0)
+    Opts.Dt = 0.01;
+  if (Opts.TraceCell < 0 || Opts.TraceCell >= Opts.NumCells)
+    Opts.TraceCell = 0;
+  if (Opts.Guard.ScanInterval < 1)
+    Opts.Guard.ScanInterval = 1;
+  if (Opts.Guard.MaxRetries < 0)
+    Opts.Guard.MaxRetries = 0;
+
   State.assign(Model.stateArraySize(Opts.NumCells), 0.0);
   Model.initializeState(State.data(), Opts.NumCells);
 
@@ -30,7 +58,7 @@ Simulator::Simulator(const CompiledModel &ModelIn, const SimOptions &Opts)
     Trace.reserve(size_t(Opts.NumSteps));
 }
 
-void Simulator::computeStage() {
+void Simulator::computeStage(double Dt) {
   // Chunk on vector-block boundaries so AoSoA chunks stay aligned.
   int64_t BlockW = std::max<unsigned>(Model.config().Width, 1);
   int64_t NumBlocks = (Opts.NumCells + BlockW - 1) / BlockW;
@@ -44,7 +72,7 @@ void Simulator::computeStage() {
     Args.Start = BlockBegin * BlockW;
     Args.End = std::min(BlockEnd * BlockW, Opts.NumCells);
     Args.NumCells = Opts.NumCells;
-    Args.Dt = Opts.Dt;
+    Args.Dt = Dt;
     Args.T = T;
     Args.Luts = &SimLuts;
     Model.computeStep(Args);
@@ -58,7 +86,7 @@ void Simulator::computeStage() {
                                           RunChunk);
 }
 
-void Simulator::voltageStage() {
+void Simulator::voltageStage(double Dt) {
   if (!hasVoltageCoupling())
     return;
   // Stimulus window (repeating when StimPeriod > 0).
@@ -73,47 +101,377 @@ void Simulator::voltageStage() {
   double *Vm = Exts[size_t(VmIdx)].data();
   const double *Iion = Exts[size_t(IionIdx)].data();
   for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
-    Vm[Cell] += Opts.Dt * (Stim - Iion[Cell]);
+    Vm[Cell] += Dt * (Stim - Iion[Cell]);
 }
 
-void Simulator::step() {
-  computeStage();
-  voltageStage();
-  T += Opts.Dt;
+void Simulator::advance(double Dt) {
+  bool HasFallback = Report.CellsDegraded > 0;
+  if (HasFallback)
+    runScalarFallback(Dt, /*Gather=*/true);
+  computeStage(Dt);
+  if (HasFallback)
+    runScalarFallback(Dt, /*Gather=*/false);
+  voltageStage(Dt);
+  T += Dt;
+}
+
+void Simulator::finishStep() {
   ++StepCount;
+  if (Injector)
+    Injector(*this);
+  if (!Frozen.empty())
+    restoreFrozenCells();
   if (Opts.RecordTrace)
     Trace.push_back(VmIdx >= 0 ? Exts[size_t(VmIdx)][Opts.TraceCell]
                                : stateOf(Opts.TraceCell, 0));
 }
 
+void Simulator::step() {
+  advance(Opts.Dt);
+  finishStep();
+}
+
+void Simulator::runWindow(int64_t Steps, int Substeps) {
+  double SubDt = Opts.Dt / Substeps;
+  for (int64_t I = 0; I != Steps; ++I) {
+    for (int S = 0; S != Substeps; ++S)
+      advance(SubDt);
+    if (Substeps > 1)
+      Report.Substeps += Substeps - 1;
+    finishStep();
+  }
+}
+
 void Simulator::run() {
-  for (int64_t I = 0; I != Opts.NumSteps; ++I)
-    step();
+  auto T0 = Clock::now();
+  if (!Opts.Guard.Enabled) {
+    for (int64_t I = 0; I != Opts.NumSteps; ++I)
+      step();
+  } else {
+    runGuarded();
+  }
+  Report.StepsTaken += Opts.NumSteps;
+  Report.RunSeconds += secondsSince(T0);
+}
+
+void Simulator::runGuarded() {
+  int64_t Target = StepCount + Opts.NumSteps;
+  int64_t Interval = Opts.Guard.ScanInterval;
+  takeCheckpoint();
+  while (StepCount < Target) {
+    int64_t Window = std::min(Interval, Target - StepCount);
+    runWindow(Window, 1);
+    if (timedScan()) {
+      takeCheckpoint();
+      continue;
+    }
+    recoverWindow(Window);
+  }
+}
+
+bool Simulator::timedScan() {
+  auto T0 = Clock::now();
+  bool Healthy = scanIsHealthy();
+  ++Report.HealthScans;
+  Report.ScanSeconds += secondsSince(T0);
+  return Healthy;
+}
+
+void Simulator::recoverWindow(int64_t Window) {
+  auto T0 = Clock::now();
+  double ScanSecondsAtEntry = Report.ScanSeconds;
+  const GuardRailOptions &G = Opts.Guard;
+  ++Report.FaultEvents;
+  std::vector<int64_t> Bad = faultyCells();
+  Report.FaultyCells += int64_t(Bad.size());
+
+  // A corrupted lookup table cannot be healed by re-integration — every
+  // retry would read the same poisoned rows — so skip the dt ladder and
+  // go straight to the scalar-exact fallback.
+  bool TablesBroken = !SimLuts.allFinite();
+
+  // Rung 1: roll back and re-integrate the window with halved dt
+  // (exponential backoff: retry k runs at dt / 2^k).
+  bool Healed = false;
+  for (int Retry = 1; !TablesBroken && !Healed && Retry <= G.MaxRetries;
+       ++Retry) {
+    rollback();
+    ++Report.Retries;
+    runWindow(Window, 1 << Retry);
+    Healed = timedScan();
+  }
+
+  // Rung 2: degrade the faulty cells to the exact scalar kernel (no LUTs,
+  // libm) and re-run the window at nominal dt, so healthy cells stay
+  // bit-identical to an undisturbed run.
+  if (!Healed && G.AllowScalarFallback && ensureRecoveryModel()) {
+    rollback();
+    for (int64_t C : Bad)
+      degradeToScalar(C);
+    runWindow(Window, 1);
+    Healed = timedScan();
+  }
+
+  // Rung 3: freeze whatever still faults to its last healthy checkpoint
+  // value. A couple of rounds cover injectors that shift targets between
+  // re-runs.
+  for (int Round = 0; !Healed && G.AllowFreeze && Round != 4; ++Round) {
+    std::vector<int64_t> Still = faultyCells();
+    rollback();
+    for (int64_t C : Still)
+      freezeCell(C);
+    runWindow(Window, 1);
+    Healed = timedScan();
+  }
+
+  if (!Healed) {
+    // Last resort (freeze disabled or a nondeterministic fault): pin every
+    // faulty cell to its checkpoint snapshot in place, which cleans the
+    // population by construction.
+    for (int64_t C : faultyCells())
+      freezeCell(C);
+    restoreFrozenCells();
+  }
+  takeCheckpoint();
+  double ScanPortion = Report.ScanSeconds - ScanSecondsAtEntry;
+  Report.RecoverySeconds += secondsSince(T0) - ScanPortion;
+}
+
+bool Simulator::scanIsHealthy() const {
+  const HealthPolicy &P = Opts.Guard.Policy;
+  if (!allWithinMagnitude(State.data(), State.size(), P.StateMagLimit))
+    return false;
+  for (size_t J = 0; J != Exts.size(); ++J) {
+    const std::vector<double> &E = Exts[J];
+    bool Ok = int(J) == VmIdx
+                  ? allWithinRange(E.data(), E.size(), P.VmLo, P.VmHi)
+                  : allWithinMagnitude(E.data(), E.size(), P.StateMagLimit);
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+std::vector<int64_t> Simulator::faultyCells() const {
+  const HealthPolicy &P = Opts.Guard.Policy;
+  std::vector<int64_t> Bad;
+  unsigned NumSv = Model.program().NumSv;
+  for (int64_t C = 0; C != Opts.NumCells; ++C) {
+    bool CellBad = false;
+    for (unsigned Sv = 0; Sv != NumSv && !CellBad; ++Sv)
+      CellBad = !(std::fabs(stateOf(C, Sv)) <= P.StateMagLimit);
+    for (size_t J = 0; J != Exts.size() && !CellBad; ++J) {
+      double V = Exts[J][size_t(C)];
+      CellBad = int(J) == VmIdx ? !(V >= P.VmLo && V <= P.VmHi)
+                                : !(std::fabs(V) <= P.StateMagLimit);
+    }
+    if (CellBad)
+      Bad.push_back(C);
+  }
+  return Bad;
+}
+
+void Simulator::takeCheckpoint() {
+  Ck.State = State;
+  Ck.Exts = Exts;
+  Ck.T = T;
+  Ck.StepCount = StepCount;
+  Ck.TraceLen = Trace.size();
+  Ck.Valid = true;
+}
+
+void Simulator::rollback() {
+  State = Ck.State;
+  Exts = Ck.Exts;
+  T = Ck.T;
+  StepCount = Ck.StepCount;
+  Trace.resize(Ck.TraceLen);
+}
+
+bool Simulator::ensureRecoveryModel() {
+  if (RecoveryModel)
+    return true;
+  if (RecoveryCompileFailed)
+    return false;
+  std::string Error;
+  auto M = CompiledModel::compile(Model.info(), EngineConfig::recovery(),
+                                  &Error);
+  if (!M) {
+    RecoveryCompileFailed = true;
+    return false;
+  }
+  RecoveryModel = std::make_unique<CompiledModel>(std::move(*M));
+  return true;
+}
+
+void Simulator::runScalarFallback(double Dt, bool Gather) {
+  unsigned NumSv = Model.program().NumSv;
+  size_t PerCell = NumSv + Exts.size();
+  if (Gather) {
+    // Integrate each degraded cell with the exact scalar kernel from its
+    // pre-step state; the results are scattered over whatever the fast
+    // path produced for those lanes once it has run.
+    FallbackCells.clear();
+    for (int64_t C = 0; C != Opts.NumCells; ++C)
+      if (cellMode(C) == CellMode::ScalarExact)
+        FallbackCells.push_back(C);
+    FallbackBuf.resize(FallbackCells.size() * PerCell);
+    KernelArgs Args;
+    Args.Params = Params.data();
+    Args.Start = 0;
+    Args.End = 1;
+    Args.NumCells = 1;
+    Args.Dt = Dt;
+    Args.Exts.resize(Exts.size());
+    for (size_t I = 0; I != FallbackCells.size(); ++I) {
+      int64_t C = FallbackCells[I];
+      double *Sv = &FallbackBuf[I * PerCell];
+      double *Ext = Sv + NumSv;
+      for (unsigned S = 0; S != NumSv; ++S)
+        Sv[S] = Model.readState(State.data(), C, S, Opts.NumCells);
+      for (size_t J = 0; J != Exts.size(); ++J) {
+        Ext[J] = Exts[J][size_t(C)];
+        Args.Exts[J] = &Ext[J];
+      }
+      Args.State = Sv;
+      Args.T = T;
+      RecoveryModel->computeStep(Args);
+    }
+    return;
+  }
+  for (size_t I = 0; I != FallbackCells.size(); ++I) {
+    int64_t C = FallbackCells[I];
+    const double *Sv = &FallbackBuf[I * PerCell];
+    const double *Ext = Sv + NumSv;
+    for (unsigned S = 0; S != NumSv; ++S)
+      Model.writeState(State.data(), C, S, Opts.NumCells, Sv[S]);
+    for (size_t J = 0; J != Exts.size(); ++J)
+      Exts[J][size_t(C)] = Ext[J];
+  }
+}
+
+void Simulator::degradeToScalar(int64_t Cell) {
+  if (Cell < 0 || Cell >= Opts.NumCells)
+    return;
+  if (Modes.empty())
+    Modes.assign(size_t(Opts.NumCells), CellMode::Normal);
+  if (Modes[size_t(Cell)] != CellMode::Normal)
+    return;
+  Modes[size_t(Cell)] = CellMode::ScalarExact;
+  ++Report.CellsDegraded;
+}
+
+void Simulator::freezeCell(int64_t Cell) {
+  if (Cell < 0 || Cell >= Opts.NumCells)
+    return;
+  if (Modes.empty())
+    Modes.assign(size_t(Opts.NumCells), CellMode::Normal);
+  CellMode &M = Modes[size_t(Cell)];
+  if (M == CellMode::Frozen)
+    return;
+  if (M == CellMode::ScalarExact)
+    --Report.CellsDegraded;
+  M = CellMode::Frozen;
+  ++Report.CellsFrozen;
+
+  // Snapshot from the last healthy checkpoint when one exists; the
+  // current values otherwise.
+  FrozenSnapshot Snap;
+  unsigned NumSv = Model.program().NumSv;
+  const double *Src = Ck.Valid ? Ck.State.data() : State.data();
+  Snap.Sv.resize(NumSv);
+  for (unsigned S = 0; S != NumSv; ++S)
+    Snap.Sv[S] = Model.readState(Src, Cell, S, Opts.NumCells);
+  Snap.Ext.resize(Exts.size());
+  for (size_t J = 0; J != Exts.size(); ++J)
+    Snap.Ext[J] =
+        Ck.Valid ? Ck.Exts[J][size_t(Cell)] : Exts[J][size_t(Cell)];
+  Frozen[Cell] = std::move(Snap);
+}
+
+void Simulator::restoreFrozenCells() {
+  unsigned NumSv = Model.program().NumSv;
+  for (const auto &[Cell, Snap] : Frozen) {
+    for (unsigned S = 0; S != NumSv; ++S)
+      Model.writeState(State.data(), Cell, S, Opts.NumCells, Snap.Sv[S]);
+    for (size_t J = 0; J != Exts.size(); ++J)
+      Exts[J][size_t(Cell)] = Snap.Ext[J];
+  }
+}
+
+CellMode Simulator::cellMode(int64_t Cell) const {
+  if (Modes.empty() || Cell < 0 || Cell >= Opts.NumCells)
+    return CellMode::Normal;
+  return Modes[size_t(Cell)];
 }
 
 double Simulator::stateOf(int64_t Cell, int64_t Sv) const {
+  if (Cell < 0 || Cell >= Opts.NumCells || Sv < 0 ||
+      Sv >= int64_t(Model.program().NumSv))
+    return quietNaN();
   return Model.readState(State.data(), Cell, Sv, Opts.NumCells);
 }
 
 double Simulator::externalOf(int64_t Cell, size_t ExtIdx) const {
-  return Exts[ExtIdx][Cell];
+  if (Cell < 0 || Cell >= Opts.NumCells || ExtIdx >= Exts.size())
+    return quietNaN();
+  return Exts[ExtIdx][size_t(Cell)];
 }
 
 double Simulator::vm(int64_t Cell) const {
-  assert(VmIdx >= 0 && "model has no Vm external");
-  return Exts[size_t(VmIdx)][Cell];
+  return tryVm(Cell).valueOr(quietNaN());
 }
 
-void Simulator::setParam(std::string_view Name, double Value) {
+Expected<double> Simulator::tryVm(int64_t Cell) const {
+  if (VmIdx < 0)
+    return Status::error("model '" + Model.info().Name +
+                         "' has no Vm external");
+  if (Cell < 0 || Cell >= Opts.NumCells)
+    return Status::error("cell index " + std::to_string(Cell) +
+                         " out of range [0, " +
+                         std::to_string(Opts.NumCells) + ")");
+  return Exts[size_t(VmIdx)][size_t(Cell)];
+}
+
+void Simulator::pokeState(int64_t Cell, int64_t Sv, double Value) {
+  if (Cell < 0 || Cell >= Opts.NumCells || Sv < 0 ||
+      Sv >= int64_t(Model.program().NumSv))
+    return;
+  Model.writeState(State.data(), Cell, Sv, Opts.NumCells, Value);
+}
+
+void Simulator::pokeExternal(size_t ExtIdx, int64_t Cell, double Value) {
+  if (Cell < 0 || Cell >= Opts.NumCells || ExtIdx >= Exts.size())
+    return;
+  Exts[ExtIdx][size_t(Cell)] = Value;
+}
+
+void Simulator::setFaultInjector(std::function<void(Simulator &)> F) {
+  Injector = std::move(F);
+}
+
+Status Simulator::setParam(std::string_view Name, double Value) {
   int Idx = Model.info().paramIndex(Name);
-  assert(Idx >= 0 && "unknown parameter");
+  if (Idx < 0)
+    return Status::error("unknown parameter '" + std::string(Name) +
+                         "' for model '" + Model.info().Name + "'");
+  if (!std::isfinite(Value))
+    return Status::error("non-finite value for parameter '" +
+                         std::string(Name) + "'");
   Params[size_t(Idx)] = Value;
   SimLuts = Model.buildLuts(Params.data());
+  return Status::success();
 }
 
 double Simulator::param(std::string_view Name) const {
+  return tryParam(Name).valueOr(quietNaN());
+}
+
+Expected<double> Simulator::tryParam(std::string_view Name) const {
   int Idx = Model.info().paramIndex(Name);
-  assert(Idx >= 0 && "unknown parameter");
+  if (Idx < 0)
+    return Status::error("unknown parameter '" + std::string(Name) +
+                         "' for model '" + Model.info().Name + "'");
   return Params[size_t(Idx)];
 }
 

@@ -7,18 +7,51 @@
 // transmembrane-voltage update Vm += dt*(Istim - Iion) plus a periodic
 // stimulus, enough to drive action potentials through the kernels.
 //
+// Guard rails (optional, SimOptions::Guard): run() periodically scans the
+// population for NaN/Inf/out-of-range values. On a fault it rolls the
+// population back to the last healthy checkpoint and walks a degradation
+// ladder — re-integrate the window with halved dt (bounded retries,
+// exponential backoff), fall faulty cells back to the exact scalar kernel,
+// and as a last resort freeze-and-flag them so they cannot poison the rest
+// of the population. The outcome is summarized in a RunReport. See
+// docs/ROBUSTNESS.md.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef LIMPET_SIM_SIMULATOR_H
 #define LIMPET_SIM_SIMULATOR_H
 
 #include "exec/CompiledModel.h"
+#include "sim/Health.h"
+#include "support/Status.h"
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace limpet {
 namespace sim {
+
+/// Fault-tolerance knobs for Simulator::run().
+struct GuardRailOptions {
+  /// Master switch; off preserves the raw stepping loop bit-for-bit.
+  bool Enabled = false;
+  /// Health-scan (and checkpoint) cadence in steps. Each scan is one
+  /// vectorized pass over the state and external arrays.
+  int64_t ScanInterval = 8;
+  /// Rollback + dt-halving retries per faulty window (retry k re-runs the
+  /// window at dt / 2^k).
+  int MaxRetries = 3;
+  /// Numerical bounds a healthy population must satisfy.
+  HealthPolicy Policy;
+  /// Allow degrading persistently faulty cells to the exact scalar
+  /// (no-LUT, libm) kernel.
+  bool AllowScalarFallback = true;
+  /// Allow freezing cells that fault even on the scalar-exact path.
+  bool AllowFreeze = true;
+};
 
 /// Simulation protocol options. The paper's protocol is 100,000 steps of
 /// 0.01 ms (1 s) over 8,192 cells; benches scale this down.
@@ -39,6 +72,9 @@ struct SimOptions {
   /// Record Vm of TraceCell each step (for AP plots and golden tests).
   bool RecordTrace = false;
   int64_t TraceCell = 0;
+
+  /// Numerical guard rails (health scan, checkpoint/retry, degradation).
+  GuardRailOptions Guard;
 };
 
 /// Drives one compiled model over a population of cells.
@@ -46,10 +82,12 @@ class Simulator {
 public:
   Simulator(const exec::CompiledModel &Model, const SimOptions &Opts);
 
-  /// Advances one time step (compute stage + voltage update).
+  /// Advances one time step (compute stage + voltage update). Guard-rail
+  /// scanning only happens inside run(); manual stepping is unguarded.
   void step();
 
-  /// Runs Opts.NumSteps steps.
+  /// Runs Opts.NumSteps steps, with fault-tolerant stepping when
+  /// Opts.Guard.Enabled is set.
   void run();
 
   double time() const { return T; }
@@ -58,19 +96,28 @@ public:
   const exec::CompiledModel &model() const { return Model; }
   const SimOptions &options() const { return Opts; }
 
-  /// State variable value of one cell (layout-aware).
+  /// State variable value of one cell (layout-aware). Out-of-range
+  /// cell/sv indices return NaN instead of reading out of bounds.
   double stateOf(int64_t Cell, int64_t Sv) const;
-  /// External variable value of one cell.
+  /// External variable value of one cell (NaN when out of range).
   double externalOf(int64_t Cell, size_t ExtIdx) const;
-  /// Membrane voltage of a cell (requires a Vm external).
+  /// Membrane voltage of a cell; NaN when the model has no Vm external
+  /// or the cell index is out of range. See tryVm for the checked form.
   double vm(int64_t Cell) const;
+  /// Checked membrane-voltage access.
+  Expected<double> tryVm(int64_t Cell) const;
 
   /// The recorded Vm trace (one entry per step when RecordTrace is set).
   const std::vector<double> &trace() const { return Trace; }
 
-  /// Parameter access (rebuilds LUT tables on modification).
-  void setParam(std::string_view Name, double Value);
+  /// Sets a parameter and rebuilds the LUT tables. Unknown names and
+  /// non-finite values are recoverable errors (the simulation state is
+  /// left untouched).
+  Status setParam(std::string_view Name, double Value);
+  /// Parameter value; NaN for unknown names (see tryParam).
   double param(std::string_view Name) const;
+  /// Checked parameter access.
+  Expected<double> tryParam(std::string_view Name) const;
 
   /// Order-independent digest of the full simulation state, used by
   /// engine-equivalence tests.
@@ -80,9 +127,75 @@ public:
   /// needs.
   bool hasVoltageCoupling() const { return VmIdx >= 0 && IionIdx >= 0; }
 
+  //===--------------------------------------------------------------------===//
+  // Guard-rail introspection and fault injection
+  //===--------------------------------------------------------------------===//
+
+  /// What the last (or ongoing) run() did: faults, retries, substeps,
+  /// degraded cells, scan overhead.
+  const RunReport &report() const { return Report; }
+
+  /// Where a cell sits on the degradation ladder.
+  CellMode cellMode(int64_t Cell) const;
+
+  /// One bulk health scan of the current population (also used by the
+  /// fault-injection harness to verify detection).
+  bool scanIsHealthy() const;
+
+  /// Cells currently violating the health policy.
+  std::vector<int64_t> faultyCells() const;
+
+  /// Layout-aware direct write into the population (fault injection and
+  /// scenario setup). Out-of-range indices are ignored.
+  void pokeState(int64_t Cell, int64_t Sv, double Value);
+  void pokeExternal(size_t ExtIdx, int64_t Cell, double Value);
+
+  /// Mutable access to this simulation's LUT tables (fault injection:
+  /// corrupt rows to exercise the scalar-exact fallback).
+  runtime::LutTableSet &mutableLuts() { return SimLuts; }
+
+  /// Callback invoked after every completed nominal step (including steps
+  /// re-run during recovery): a persistent-fault injector for tests and
+  /// the faultinject tool.
+  void setFaultInjector(std::function<void(Simulator &)> Injector);
+
 private:
-  void computeStage();
-  void voltageStage();
+  struct Checkpoint {
+    std::vector<double> State;
+    std::vector<std::vector<double>> Exts;
+    double T = 0;
+    int64_t StepCount = 0;
+    size_t TraceLen = 0;
+    bool Valid = false;
+  };
+  struct FrozenSnapshot {
+    std::vector<double> Sv;
+    std::vector<double> Ext;
+  };
+
+  void computeStage(double Dt);
+  void voltageStage(double Dt);
+  /// One integration substep of size Dt (scalar-fallback cells included).
+  void advance(double Dt);
+  /// Bookkeeping after the physics of one nominal step: injector hook,
+  /// frozen-cell restore, step count, trace.
+  void finishStep();
+  /// Runs \p Steps nominal steps, each split into \p Substeps kernel
+  /// steps of Dt/Substeps.
+  void runWindow(int64_t Steps, int Substeps);
+  void runGuarded();
+  void recoverWindow(int64_t Window);
+  /// scanIsHealthy plus scan-count/scan-time accounting.
+  bool timedScan();
+
+  void takeCheckpoint();
+  void rollback();
+  bool ensureRecoveryModel();
+  void runScalarFallback(double Dt, bool Gather);
+  void degradeToScalar(int64_t Cell);
+  /// Freezes \p Cell to its value in the last healthy checkpoint.
+  void freezeCell(int64_t Cell);
+  void restoreFrozenCells();
 
   const exec::CompiledModel &Model;
   /// Per-simulation LUT tables (rebuilt when parameters change).
@@ -95,6 +208,21 @@ private:
   double T = 0;
   int64_t StepCount = 0;
   std::vector<double> Trace;
+
+  // Guard-rail state.
+  RunReport Report;
+  Checkpoint Ck;
+  /// Per-cell degradation mode; empty until a cell first degrades.
+  std::vector<CellMode> Modes;
+  std::unordered_map<int64_t, FrozenSnapshot> Frozen;
+  /// Lazily compiled exact scalar model for the fallback path.
+  std::unique_ptr<exec::CompiledModel> RecoveryModel;
+  bool RecoveryCompileFailed = false;
+  /// Scratch for the per-cell scalar fallback (cell-major: NumSv svs then
+  /// one slot per external, per degraded cell).
+  std::vector<double> FallbackBuf;
+  std::vector<int64_t> FallbackCells;
+  std::function<void(Simulator &)> Injector;
 };
 
 } // namespace sim

@@ -1,0 +1,73 @@
+//===- Status.h - Recoverable error propagation -----------------*- C++-*-===//
+//
+// A lightweight status/expected pair for runtime-reachable failure paths
+// (unknown parameter names, missing couplings, out-of-range cells, ...).
+// Library code returns these instead of asserting so that long-running
+// simulations and tools can report and recover; the frontend keeps using
+// DiagnosticEngine for source-located diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SUPPORT_STATUS_H
+#define LIMPET_SUPPORT_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace limpet {
+
+/// Success or an error carrying a human-readable message.
+class Status {
+public:
+  Status() = default;
+
+  static Status success() { return Status(); }
+  static Status error(std::string Message) {
+    Status S;
+    S.Ok = false;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool isOk() const { return Ok; }
+  explicit operator bool() const { return Ok; }
+  /// Empty when the status is ok.
+  const std::string &message() const { return Msg; }
+
+private:
+  bool Ok = true;
+  std::string Msg;
+};
+
+/// A value of type T or an error Status, in the spirit of llvm::Expected.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Status Error) : Err(std::move(Error)) {
+    // A success status carries no value; normalize to a generic error so
+    // operator bool stays truthful.
+    if (Err.isOk())
+      Err = Status::error("internal: Expected constructed from ok status");
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  const T &operator*() const { return *Value; }
+  T &operator*() { return *Value; }
+  const T *operator->() const { return &*Value; }
+
+  /// The error status (ok when a value is present).
+  const Status &status() const { return Err; }
+  /// The value, or \p Default when this holds an error.
+  T valueOr(T Default) const { return Value ? *Value : Default; }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+} // namespace limpet
+
+#endif // LIMPET_SUPPORT_STATUS_H

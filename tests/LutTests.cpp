@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <gtest/gtest.h>
+#include <limits>
 
 using namespace limpet;
 using namespace limpet::codegen;
@@ -75,6 +76,47 @@ TEST(LutTable, CoordIsBranchFreeConsistent) {
   EXPECT_GE(Frac, 0.0);
   EXPECT_LT(Frac, 1.0);
   EXPECT_NEAR(T.rowX(int(Idx)) + Frac * T.step(), 0.3, 1e-12);
+}
+
+TEST(LutTable, NanInputClampsToRowZero) {
+  // Regression: the original clamp chain (Pos < 0 ? 0 : (Pos > Max ? Max
+  // : Pos)) let a NaN survive to the int64_t cast — undefined behavior.
+  // The reordered chain must deterministically land NaN on row 0/frac 0.
+  LutTable T(-1, 1, 0.25, 1);
+  for (int R = 0; R != T.rows(); ++R)
+    T.at(R, 0) = T.rowX(R);
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  int64_t Idx = -1;
+  double Frac = -1;
+  T.coord(NaN, Idx, Frac);
+  EXPECT_EQ(Idx, 0);
+  EXPECT_DOUBLE_EQ(Frac, 0.0);
+  EXPECT_DOUBLE_EQ(T.lookup(NaN, 0), T.rowX(0));
+  // Infinities clamp to the table edges as before.
+  T.coord(std::numeric_limits<double>::infinity(), Idx, Frac);
+  EXPECT_EQ(Idx, T.rows() - 2);
+  EXPECT_DOUBLE_EQ(Frac, 1.0);
+  T.coord(-std::numeric_limits<double>::infinity(), Idx, Frac);
+  EXPECT_EQ(Idx, 0);
+  EXPECT_DOUBLE_EQ(Frac, 0.0);
+}
+
+TEST(LutTable, AllFiniteDetectsCorruption) {
+  LutTable T(0, 1, 0.5, 2);
+  EXPECT_TRUE(T.allFinite());
+  T.at(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(T.allFinite());
+  T.at(1, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(T.allFinite());
+  T.at(1, 1) = 1e300;
+  EXPECT_TRUE(T.allFinite());
+
+  LutTableSet Set;
+  Set.Tables.push_back(T);
+  EXPECT_TRUE(Set.allFinite());
+  Set.Tables.push_back(LutTable(0, 1, 0.5, 1));
+  Set.Tables.back().at(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(Set.allFinite());
 }
 
 //===----------------------------------------------------------------------===//

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <gtest/gtest.h>
+#include <limits>
 
 using namespace limpet;
 using namespace limpet::exec;
@@ -139,6 +140,79 @@ TEST(Simulator, AllCellsEvolveIdenticallyWithUniformState) {
     EXPECT_DOUBLE_EQ(S.vm(C), S.vm(0)) << C;
     EXPECT_DOUBLE_EQ(S.stateOf(C, 0), S.stateOf(0, 0)) << C;
   }
+}
+
+TEST(Simulator, SetParamUnknownNameIsRecoverable) {
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 2;
+  Simulator S(*M, Opts);
+  double Before = S.stateChecksum();
+  Status St = S.setParam("no_such_param", 1.0);
+  EXPECT_FALSE(St.isOk());
+  EXPECT_NE(St.message().find("no_such_param"), std::string::npos);
+  EXPECT_NE(St.message().find("HodgkinHuxley"), std::string::npos);
+  // The failed set must leave the simulation untouched.
+  EXPECT_DOUBLE_EQ(S.stateChecksum(), Before);
+  EXPECT_TRUE(S.setParam("gNa", 100.0).isOk());
+}
+
+TEST(Simulator, SetParamNonFiniteValueIsRecoverable) {
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 2;
+  Simulator S(*M, Opts);
+  double Prev = S.param("gNa");
+  EXPECT_FALSE(S.setParam("gNa", std::nan("")).isOk());
+  EXPECT_FALSE(
+      S.setParam("gNa", std::numeric_limits<double>::infinity()).isOk());
+  EXPECT_DOUBLE_EQ(S.param("gNa"), Prev);
+}
+
+TEST(Simulator, ParamAccessorsReportUnknownNames) {
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 2;
+  Simulator S(*M, Opts);
+  EXPECT_TRUE(std::isnan(S.param("bogus")));
+  Expected<double> P = S.tryParam("bogus");
+  EXPECT_FALSE(P.hasValue());
+  EXPECT_NE(P.status().message().find("bogus"), std::string::npos);
+  Expected<double> G = S.tryParam("gK");
+  ASSERT_TRUE(G.hasValue());
+  EXPECT_GT(*G, 0.0);
+}
+
+TEST(Simulator, VmOutOfRangeCellIsRecoverable) {
+  auto M = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 4;
+  Simulator S(*M, Opts);
+  EXPECT_TRUE(std::isnan(S.vm(-1)));
+  EXPECT_TRUE(std::isnan(S.vm(4)));
+  EXPECT_TRUE(std::isnan(S.stateOf(0, 999)));
+  EXPECT_TRUE(std::isnan(S.externalOf(99, 0)));
+  Expected<double> V = S.tryVm(17);
+  EXPECT_FALSE(V.hasValue());
+  EXPECT_NE(V.status().message().find("out of range"), std::string::npos);
+  ASSERT_TRUE(S.tryVm(3).hasValue());
+  EXPECT_NEAR(*S.tryVm(3), -65.0, 1e-12);
+}
+
+TEST(Simulator, PathologicalOptionsAreSanitized) {
+  auto M = compileByName("Plonsey", EngineConfig::baseline());
+  SimOptions Opts;
+  Opts.NumCells = 0;
+  Opts.NumSteps = -5;
+  Opts.Dt = std::nan("");
+  Opts.TraceCell = 77;
+  Simulator S(*M, Opts);
+  EXPECT_EQ(S.options().NumCells, 1);
+  EXPECT_EQ(S.options().NumSteps, 0);
+  EXPECT_GT(S.options().Dt, 0.0);
+  EXPECT_EQ(S.options().TraceCell, 0);
+  S.run(); // zero steps, must not crash
+  EXPECT_EQ(S.stepsDone(), 0);
 }
 
 TEST(Simulator, HasVoltageCouplingForSuiteModels) {

@@ -1,0 +1,322 @@
+//===- faultinject.cpp - Fault-injection harness for the guard rails ------===//
+//
+// Deliberately breaks running simulations — NaNs injected into state,
+// +Inf into Vm, corrupted LUT rows, pathological dt and parameters — and
+// verifies that every rung of the Simulator's recovery ladder fires and
+// leaves the population healthy (docs/ROBUSTNESS.md). Exits nonzero when
+// any scenario's recovery or RunReport accounting does not match the
+// injections, so it doubles as an acceptance check:
+//
+//   faultinject            run every scenario
+//   faultinject nan-state  run one scenario
+//   faultinject --list     list scenarios
+//
+//===----------------------------------------------------------------------===//
+
+#include "easyml/Sema.h"
+#include "models/Registry.h"
+#include "sim/Simulator.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+
+using namespace limpet;
+using namespace limpet::exec;
+using namespace limpet::sim;
+
+namespace {
+
+double quietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
+
+std::optional<CompiledModel> compileSuiteModel(const char *Name,
+                                               EngineConfig Cfg) {
+  const models::ModelEntry *M = models::findModel(Name);
+  if (!M) {
+    std::fprintf(stderr, "error: suite model '%s' not found\n", Name);
+    return std::nullopt;
+  }
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+  if (!Info) {
+    std::fprintf(stderr, "error: %s\n", Diags.str().c_str());
+    return std::nullopt;
+  }
+  std::string Error;
+  auto Model = CompiledModel::compile(*Info, Cfg, &Error);
+  if (!Model)
+    std::fprintf(stderr, "error: compilation failed: %s\n", Error.c_str());
+  return Model;
+}
+
+/// The common protocol: a paced population small enough that every
+/// scenario runs in well under a second, stepped long enough to cross
+/// many scan windows.
+SimOptions guardedOpts(int64_t Cells = 32, int64_t Steps = 200) {
+  SimOptions Opts;
+  Opts.NumCells = Cells;
+  Opts.NumSteps = Steps;
+  Opts.StimPeriod = 20.0;
+  Opts.Guard.Enabled = true;
+  return Opts;
+}
+
+bool check(bool Cond, const char *What) {
+  if (!Cond)
+    std::printf("  FAIL: %s\n", What);
+  return Cond;
+}
+
+bool populationFinite(const Simulator &S) {
+  for (int64_t C = 0; C != S.options().NumCells; ++C)
+    if (!std::isfinite(S.vm(C)))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Scenarios
+//===----------------------------------------------------------------------===//
+
+/// A single NaN written into one cell's state: rollback plus dt-halving
+/// re-integration must heal it with no cell degraded or frozen.
+bool scenarioNanState() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  Simulator S(*M, guardedOpts());
+  bool Fired = false;
+  S.setFaultInjector([&](Simulator &Sim) {
+    if (!Fired && Sim.stepsDone() == 40) {
+      Fired = true;
+      Sim.pokeState(/*Cell=*/3, /*Sv=*/0, quietNaN());
+    }
+  });
+  S.run();
+  const RunReport &R = S.report();
+  std::printf("%s", R.str().c_str());
+  bool Ok = check(Fired, "injector fired");
+  Ok &= check(S.scanIsHealthy(), "population healthy after recovery");
+  Ok &= check(R.FaultEvents == 1, "exactly one fault event");
+  Ok &= check(R.FaultyCells == 1, "exactly one faulty cell observed");
+  Ok &= check(R.Retries >= 1 && R.Substeps > 0, "healed by sub-stepping");
+  Ok &= check(R.CellsDegraded == 0 && R.CellsFrozen == 0,
+              "no degradation needed");
+  Ok &= check(S.cellMode(3) == CellMode::Normal, "victim back to normal");
+  return Ok;
+}
+
+/// A single +Inf written into Vm: same transient class as nan-state.
+bool scenarioInfVm() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  int VmIdx = M->info().externalIndex("Vm");
+  if (!check(VmIdx >= 0, "model has a Vm external"))
+    return false;
+  Simulator S(*M, guardedOpts());
+  bool Fired = false;
+  S.setFaultInjector([&](Simulator &Sim) {
+    if (!Fired && Sim.stepsDone() == 17) {
+      Fired = true;
+      Sim.pokeExternal(size_t(VmIdx), /*Cell=*/7,
+                       std::numeric_limits<double>::infinity());
+    }
+  });
+  S.run();
+  const RunReport &R = S.report();
+  std::printf("%s", R.str().c_str());
+  bool Ok = check(Fired, "injector fired");
+  Ok &= check(S.scanIsHealthy(), "population healthy after recovery");
+  Ok &= check(R.FaultEvents == 1 && R.FaultyCells == 1,
+              "report matches the single injection");
+  Ok &= check(R.CellsFrozen == 0, "no cell frozen");
+  return Ok;
+}
+
+/// A NaN re-injected into the same cell after every step: no amount of
+/// re-integration heals it, so the ladder must end with that one cell
+/// frozen while every other cell keeps evolving normally.
+bool scenarioPersistent() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  const int64_t Victim = 5;
+  Simulator S(*M, guardedOpts());
+  S.setFaultInjector([&](Simulator &Sim) {
+    Sim.pokeState(Victim, /*Sv=*/1, quietNaN());
+  });
+  S.run();
+
+  // Reference: the same guarded protocol with no injection.
+  Simulator Clean(*M, guardedOpts());
+  Clean.run();
+
+  const RunReport &R = S.report();
+  std::printf("%s", R.str().c_str());
+  bool Ok = check(S.scanIsHealthy(), "population healthy after recovery");
+  Ok &= check(S.cellMode(Victim) == CellMode::Frozen, "victim frozen");
+  Ok &= check(R.CellsFrozen == 1, "exactly one cell frozen");
+  bool NeighborsExact = true;
+  for (int64_t C = 0; C != S.options().NumCells; ++C)
+    if (C != Victim)
+      NeighborsExact &= S.vm(C) == Clean.vm(C);
+  Ok &= check(NeighborsExact,
+              "neighbors bit-identical to an undisturbed guarded run");
+  return Ok;
+}
+
+/// Every row of every LUT poisoned with NaN: re-integration would read
+/// the same poisoned rows, so the ladder must skip straight to the
+/// scalar-exact (no-LUT) fallback for the whole population.
+bool scenarioLutCorrupt() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  SimOptions Opts = guardedOpts(/*Cells=*/16, /*Steps=*/64);
+  Simulator S(*M, Opts);
+  runtime::LutTableSet &Luts = S.mutableLuts();
+  if (!check(!Luts.empty(), "model has LUT tables to corrupt"))
+    return false;
+  for (runtime::LutTable &T : Luts.Tables)
+    for (int Row = 0; Row != T.rows(); ++Row)
+      for (int Col = 0; Col != T.cols(); ++Col)
+        T.at(Row, Col) = quietNaN();
+  S.run();
+  const RunReport &R = S.report();
+  std::printf("%s", R.str().c_str());
+  bool Ok = check(S.scanIsHealthy(), "population healthy after recovery");
+  Ok &= check(R.CellsDegraded == Opts.NumCells,
+              "whole population degraded to the scalar-exact path");
+  Ok &= check(R.Retries == 0,
+              "dt ladder skipped for an unhealable table fault");
+  Ok &= check(R.CellsFrozen == 0, "no cell frozen");
+  Ok &= check(populationFinite(S), "population still evolving");
+  return Ok;
+}
+
+/// dt two orders of magnitude past the stability limit: the integration
+/// blows up every window; the guard must keep the run finite (sub-steps
+/// where they help, frozen cells where they don't) instead of letting
+/// the population diverge.
+bool scenarioExtremeDt() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::baseline());
+  if (!M)
+    return false;
+  SimOptions Opts = guardedOpts(/*Cells=*/8, /*Steps=*/64);
+  Opts.Dt = 1.0; // HH forward-Euler is stable around 0.01-0.02 ms
+  Simulator S(*M, Opts);
+  S.run();
+  const RunReport &R = S.report();
+  std::printf("%s", R.str().c_str());
+  bool Ok = check(S.scanIsHealthy(), "population healthy after recovery");
+  Ok &= check(R.FaultEvents > 0, "instability detected");
+  Ok &= check(R.Retries > 0, "dt ladder attempted");
+  Ok &= check(populationFinite(S), "population finite at the end");
+  Ok &= check(S.stepsDone() == Opts.NumSteps, "run completed");
+  return Ok;
+}
+
+/// A pathological parameter (1e8x sodium conductance): the model is
+/// genuinely broken, so cells end up frozen — but the run completes and
+/// says so, instead of asserting or emitting NaNs.
+bool scenarioExtremeParam() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  SimOptions Opts = guardedOpts(/*Cells=*/8, /*Steps=*/64);
+  Simulator S(*M, Opts);
+  Status St = S.setParam("gNa", 1.2e10);
+  if (!check(St.isOk(), "setParam accepted a finite (if absurd) value"))
+    return false;
+  S.run();
+  const RunReport &R = S.report();
+  std::printf("%s", R.str().c_str());
+  bool Ok = check(S.scanIsHealthy(), "population healthy after recovery");
+  Ok &= check(R.FaultEvents > 0, "blow-up detected");
+  Ok &= check(populationFinite(S), "population finite at the end");
+  Ok &= check(S.stepsDone() == Opts.NumSteps, "run completed");
+  return Ok;
+}
+
+/// No faults at all: the health scan at default cadence must cost less
+/// than 5% of step time (min-of-3 to shed scheduler noise).
+bool scenarioOverhead() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(8));
+  if (!M)
+    return false;
+  auto TimeRun = [&](bool Guard) {
+    double Best = 1e30;
+    for (int Rep = 0; Rep != 3; ++Rep) {
+      SimOptions Opts = guardedOpts(/*Cells=*/512, /*Steps=*/2000);
+      Opts.Guard.Enabled = Guard;
+      Simulator S(*M, Opts);
+      auto T0 = std::chrono::steady_clock::now();
+      S.run();
+      Best = std::min(Best, std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - T0)
+                                .count());
+    }
+    return Best;
+  };
+  double Off = TimeRun(false), On = TimeRun(true);
+  double Pct = 100.0 * (On - Off) / Off;
+  std::printf("  guard off: %.3f ms   guard on: %.3f ms   overhead: %+.2f%%\n",
+              Off * 1e3, On * 1e3, Pct);
+  return check(Pct < 5.0, "guard overhead below 5%");
+}
+
+struct Scenario {
+  const char *Name;
+  const char *What;
+  bool (*Run)();
+};
+
+const Scenario Scenarios[] = {
+    {"nan-state", "one-shot NaN in a state variable -> healed by sub-stepping",
+     scenarioNanState},
+    {"inf-vm", "one-shot +Inf in Vm -> healed by sub-stepping", scenarioInfVm},
+    {"persistent", "NaN re-injected every step -> cell frozen, neighbors exact",
+     scenarioPersistent},
+    {"lut-corrupt", "NaN LUT rows -> population degrades to scalar-exact",
+     scenarioLutCorrupt},
+    {"extreme-dt", "dt 100x past stability -> run kept finite",
+     scenarioExtremeDt},
+    {"extreme-param", "pathological parameter -> run completes, cells flagged",
+     scenarioExtremeParam},
+    {"overhead", "clean run -> health scan costs < 5%", scenarioOverhead},
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc > 1 && (!std::strcmp(argv[1], "--list") ||
+                   !std::strcmp(argv[1], "--help"))) {
+    std::printf("usage: faultinject [scenario]\n\nscenarios:\n");
+    for (const Scenario &S : Scenarios)
+      std::printf("  %-14s %s\n", S.Name, S.What);
+    return 0;
+  }
+
+  const char *Only = argc > 1 ? argv[1] : nullptr;
+  int Failed = 0, Matched = 0;
+  for (const Scenario &S : Scenarios) {
+    if (Only && std::strcmp(S.Name, Only) != 0)
+      continue;
+    ++Matched;
+    std::printf("== %s: %s\n", S.Name, S.What);
+    bool Ok = S.Run();
+    std::printf("   %s\n", Ok ? "PASS" : "FAIL");
+    Failed += !Ok;
+  }
+  if (Only && !Matched) {
+    std::fprintf(stderr, "error: unknown scenario '%s' (see --list)\n", Only);
+    return 1;
+  }
+  std::printf("%d/%d scenarios passed\n", Matched - Failed, Matched);
+  return Failed != 0;
+}

@@ -19,11 +19,13 @@
 #include "exec/BytecodeCompiler.h"
 #include "ir/Printer.h"
 #include "models/Registry.h"
+#include "sim/Simulator.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 using namespace limpet;
@@ -43,13 +45,23 @@ void printUsage() {
       "  --width N           vector width 2/4/8 (default 8)\n"
       "  --layout aos|soa|aosoa (default aos; aosoa for --vector-ir)\n"
       "  --no-lut            disable LUT extraction\n"
-      "  --no-passes         skip the optimization pipeline\n");
+      "  --no-passes         skip the optimization pipeline\n"
+      "  --run               compile and simulate, printing a run report\n"
+      "  --steps N           simulation steps for --run (default 1000)\n"
+      "  --cells N           population size for --run (default 256)\n"
+      "  --guard             enable the numerical guard rails for --run\n"
+      "                      (health scan, checkpoint/retry, degradation;\n"
+      "                      see docs/ROBUSTNESS.md)\n");
 }
 
-std::string readFile(const char *Path) {
+/// Reads a whole file; nullopt when the file cannot be opened. An
+/// unreadable path used to read back as "" and silently compile as an
+/// empty model; now it is a hard error, while a genuinely empty file
+/// still reaches the frontend (which warns about the contentless model).
+std::optional<std::string> readFile(const char *Path) {
   std::ifstream In(Path);
   if (!In)
-    return "";
+    return std::nullopt;
   std::ostringstream Ss;
   Ss << In.rdbuf();
   return Ss.str();
@@ -75,11 +87,12 @@ int main(int argc, char **argv) {
   std::string Name = argv[1];
   std::string Source;
   if (endsWith(Name, ".easyml") || endsWith(Name, ".model")) {
-    Source = readFile(argv[1]);
-    if (Source.empty()) {
+    std::optional<std::string> Read = readFile(argv[1]);
+    if (!Read) {
       std::fprintf(stderr, "error: cannot read '%s'\n", argv[1]);
       return 1;
     }
+    Source = std::move(*Read);
   } else if (const models::ModelEntry *M = models::findModel(Name)) {
     Source = M->Source;
   } else {
@@ -90,12 +103,15 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  enum class Mode { Info, Program, Luts, IR, VectorIR, Bytecode };
+  enum class Mode { Info, Program, Luts, IR, VectorIR, Bytecode, Run };
   Mode M = Mode::Info;
   unsigned Width = 8;
+  bool WidthSet = false;
   codegen::StateLayout Layout = codegen::StateLayout::AoS;
   bool LayoutSet = false;
   bool EnableLuts = true, RunPasses = true;
+  int64_t RunSteps = 1000, RunCells = 256;
+  bool RunGuard = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -111,13 +127,22 @@ int main(int argc, char **argv) {
       M = Mode::VectorIR;
     else if (Arg == "--bytecode")
       M = Mode::Bytecode;
+    else if (Arg == "--run")
+      M = Mode::Run;
     else if (Arg == "--no-lut")
       EnableLuts = false;
     else if (Arg == "--no-passes")
       RunPasses = false;
-    else if (Arg == "--width" && I + 1 < argc)
+    else if (Arg == "--guard")
+      RunGuard = true;
+    else if (Arg == "--steps" && I + 1 < argc)
+      RunSteps = std::atoll(argv[++I]);
+    else if (Arg == "--cells" && I + 1 < argc)
+      RunCells = std::atoll(argv[++I]);
+    else if (Arg == "--width" && I + 1 < argc) {
       Width = unsigned(std::atoi(argv[++I]));
-    else if (Arg == "--layout" && I + 1 < argc) {
+      WidthSet = true;
+    } else if (Arg == "--layout" && I + 1 < argc) {
       std::string L = argv[++I];
       LayoutSet = true;
       if (L == "aos")
@@ -194,6 +219,40 @@ int main(int argc, char **argv) {
                     easyml::printExpr(*T.Columns[C]).c_str());
     }
     return 0;
+  }
+
+  if (M == Mode::Run) {
+    exec::EngineConfig Cfg = WidthSet && Width > 1
+                                 ? exec::EngineConfig::limpetMLIR(Width)
+                                 : exec::EngineConfig::baseline();
+    Cfg.EnableLuts = EnableLuts;
+    Cfg.RunPasses = RunPasses;
+    std::string Error;
+    auto Model = exec::CompiledModel::compile(*Info, Cfg, &Error);
+    if (!Model) {
+      std::fprintf(stderr, "error: compilation failed: %s\n", Error.c_str());
+      return 1;
+    }
+    sim::SimOptions Opts;
+    Opts.NumCells = RunCells;
+    Opts.NumSteps = RunSteps;
+    Opts.StimPeriod = 100.0;
+    Opts.Guard.Enabled = RunGuard;
+    sim::Simulator S(*Model, Opts);
+    S.run();
+    // Print the simulator's (sanitized) options, not the raw flags.
+    std::printf("simulated %s (%s): %lld cells x %lld steps, t=%.2f ms\n",
+                Info->Name.c_str(), exec::engineConfigName(Cfg).c_str(),
+                (long long)S.options().NumCells,
+                (long long)S.options().NumSteps, S.time());
+    if (S.hasVoltageCoupling())
+      std::printf("final Vm[0] = %.6f mV\n", S.vm(0));
+    std::printf("state checksum = %.9g\n", S.stateChecksum());
+    std::printf("guard rails: %s\n", RunGuard ? "on" : "off");
+    std::printf("%s", S.report().str().c_str());
+    bool Healthy = S.scanIsHealthy();
+    std::printf("population health: %s\n", Healthy ? "ok" : "FAULTY");
+    return Healthy ? 0 : 2;
   }
 
   codegen::CodeGenOptions Options;
