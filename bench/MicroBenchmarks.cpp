@@ -12,6 +12,7 @@
 #include "models/Registry.h"
 #include "runtime/Lut.h"
 #include "runtime/VecMath.h"
+#include "support/Telemetry.h"
 
 #include <benchmark/benchmark.h>
 #include <cmath>
@@ -164,9 +165,30 @@ void benchKernelStep(benchmark::State &State, const char *ModelName,
   Opts.NumCells = 4096;
   Opts.NumSteps = 1;
   sim::Simulator S(Model, Opts);
+  telemetry::RuntimeCounters Before = telemetry::runtimeCounters();
   for (auto _ : State)
     S.step();
   State.SetItemsProcessed(State.iterations() * Opts.NumCells);
+
+  // One NDJSON record per benchmark (LIMPET_BENCH_STATS), with the
+  // per-cell-step rates derived from the telemetry deltas.
+  telemetry::RuntimeCounters After = telemetry::runtimeCounters();
+  bench::BenchStat Stat;
+  Stat.Bench = "MicroBenchmarks/kernel-step";
+  Stat.Model = ModelName;
+  Stat.Config = exec::engineConfigName(Cfg);
+  Stat.Cells = Opts.NumCells;
+  Stat.Steps = State.iterations();
+  Stat.Seconds =
+      double(After.KernelNs - Before.KernelNs) / 1e9;
+  uint64_t DCells = After.CellSteps - Before.CellSteps;
+  uint64_t DNs = After.KernelNs - Before.KernelNs;
+  Stat.NsPerCellStep = DCells ? double(DNs) / double(DCells) : 0.0;
+  Stat.CellStepsPerSec = DNs ? double(DCells) * 1e9 / double(DNs) : 0.0;
+  Stat.LutInterps = After.LutInterps - Before.LutInterps;
+  Stat.FastMathCalls = After.FastMathCalls - Before.FastMathCalls;
+  Stat.LibmCalls = After.LibmCalls - Before.LibmCalls;
+  bench::recordBenchStat(Stat);
 }
 
 void BM_StepCourtemancheScalar(benchmark::State &State) {

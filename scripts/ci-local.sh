@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Runs the same jobs as .github/workflows/ci.yml with whatever toolchains
+# this machine has, skipping (loudly) the ones it lacks. Exits non-zero if
+# any job that could run failed.
+#
+#   scripts/ci-local.sh             # all runnable jobs
+#   scripts/ci-local.sh --fast      # gcc/Release + telemetry-off only
+set -u
+
+cd "$(dirname "$0")/.."
+REPO=$PWD
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+FAILED=()
+SKIPPED=()
+
+have() { command -v "$1" >/dev/null 2>&1; }
+
+GENERATOR=""
+have ninja && GENERATOR="-G Ninja"
+
+run_job() {
+  local name=$1
+  shift
+  echo
+  echo "=== [$name] ==="
+  if "$@"; then
+    echo "=== [$name] PASS ==="
+  else
+    echo "=== [$name] FAIL ==="
+    FAILED+=("$name")
+  fi
+}
+
+skip_job() {
+  echo
+  echo "=== [$1] SKIP: $2 ==="
+  SKIPPED+=("$1 ($2)")
+}
+
+build_and_test() {
+  local dir=$1 cc=$2 cxx=$3 type=$4
+  shift 4
+  cmake -B "$dir" -S . $GENERATOR -DCMAKE_BUILD_TYPE="$type" \
+    -DCMAKE_C_COMPILER="$cc" -DCMAKE_CXX_COMPILER="$cxx" "$@" &&
+    cmake --build "$dir" -j "$(nproc)" &&
+    (cd "$dir" && ctest --output-on-failure -j "$(nproc)" -LE timing) &&
+    (cd "$dir" && ctest --output-on-failure -L timing)
+}
+
+# --- build-test matrix ------------------------------------------------------
+for compiler in gcc clang; do
+  for type in Debug Release; do
+    [ $FAST = 1 ] && { [ $compiler = gcc ] && [ "$type" = Release ] || continue; }
+    if [ $compiler = gcc ]; then cc=gcc cxx=g++; else cc=clang cxx=clang++; fi
+    if ! have $cxx; then
+      skip_job "build-test/$compiler-$type" "$cxx not installed"
+      continue
+    fi
+    run_job "build-test/$compiler-$type" \
+      build_and_test "build-ci-$compiler-$type" $cc $cxx "$type"
+  done
+done
+
+# --- driver smoke (--stats + --trace) ---------------------------------------
+SMOKE_BUILD=""
+for d in build-ci-gcc-Release build-ci-clang-Release build; do
+  [ -x "$d/tools/limpetc" ] && { SMOKE_BUILD=$d; break; }
+done
+if [ -n "$SMOKE_BUILD" ]; then
+  smoke() {
+    "$SMOKE_BUILD"/tools/limpetc examples/models/hodgkin_huxley.easyml \
+      --run --steps 200 --cells 64 --stats --trace /tmp/ci-local.trace.json &&
+      python3 -c "import json; json.load(open('/tmp/ci-local.trace.json'))"
+  }
+  run_job "driver-smoke" smoke
+else
+  skip_job "driver-smoke" "no built limpetc found"
+fi
+
+# --- telemetry-off build ----------------------------------------------------
+telemetry_off() {
+  cmake -B build-ci-telemetry-off -S . $GENERATOR \
+    -DCMAKE_BUILD_TYPE=Release -DLIMPET_TELEMETRY=OFF &&
+    cmake --build build-ci-telemetry-off -j "$(nproc)" &&
+    (cd build-ci-telemetry-off &&
+      ctest --output-on-failure -j "$(nproc)" -E "Telemetry|Trace|BenchStats") &&
+    ./build-ci-telemetry-off/tools/limpetc HodgkinHuxley --run --steps 100 \
+      --cells 32 --stats --trace /tmp/ci-local-off.trace.json
+}
+run_job "telemetry-off" telemetry_off
+
+# --- sanitizers -------------------------------------------------------------
+if [ $FAST = 1 ]; then
+  skip_job "sanitize" "--fast"
+else
+  sanitize() {
+    cmake -B build-ci-san -S . $GENERATOR -DCMAKE_BUILD_TYPE=Debug \
+      -DLIMPET_SANITIZE=address,undefined &&
+      cmake --build build-ci-san -j "$(nproc)" &&
+      for s in nan-state inf-vm persistent lut-corrupt extreme-dt \
+        extreme-param; do
+        ./build-ci-san/tools/faultinject $s || return 1
+      done
+  }
+  run_job "sanitize" sanitize
+fi
+
+# --- bench smoke + NDJSON ---------------------------------------------------
+if [ $FAST = 1 ]; then
+  skip_job "bench-smoke" "--fast"
+elif [ -n "$SMOKE_BUILD" ] && [ -x "$SMOKE_BUILD/bench/micro_benchmarks" ]; then
+  bench_smoke() {
+    local out=/tmp/ci-local-bench-stats.ndjson
+    rm -f "$out"
+    LIMPET_BENCH_STATS=$out "$SMOKE_BUILD"/bench/micro_benchmarks \
+      --benchmark_min_time=0.01 --benchmark_filter='BM_Step.*' &&
+      LIMPET_BENCH_STATS=$out LIMPET_BENCH_CELLS=256 LIMPET_BENCH_STEPS=20 \
+        LIMPET_BENCH_REPEATS=1 LIMPET_BENCH_MODELS=HodgkinHuxley \
+        "$SMOKE_BUILD"/bench/fig2_single_thread &&
+      python3 - "$out" <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "no NDJSON records produced"
+for line in lines:
+    rec = json.loads(line)
+    assert "model" in rec and "seconds" in rec, rec
+print(f"{len(lines)} valid NDJSON records")
+EOF
+  }
+  run_job "bench-smoke" bench_smoke
+else
+  skip_job "bench-smoke" "no built micro_benchmarks found"
+fi
+
+# --- clang-format -----------------------------------------------------------
+if have clang-format; then
+  format_check() {
+    git ls-files '*.cpp' '*.h' | xargs clang-format --dry-run --Werror
+  }
+  run_job "format" format_check
+else
+  skip_job "format" "clang-format not installed"
+fi
+
+# --- summary ----------------------------------------------------------------
+echo
+echo "==================== ci-local summary ===================="
+[ ${#SKIPPED[@]} -gt 0 ] && printf 'SKIP  %s\n' "${SKIPPED[@]}"
+if [ ${#FAILED[@]} -gt 0 ]; then
+  printf 'FAIL  %s\n' "${FAILED[@]}"
+  exit 1
+fi
+echo "All runnable jobs passed."

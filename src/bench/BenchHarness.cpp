@@ -5,6 +5,7 @@
 #include "easyml/Sema.h"
 #include "support/Casting.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <chrono>
@@ -15,6 +16,10 @@
 using namespace limpet;
 using namespace limpet::bench;
 using namespace limpet::exec;
+
+/// The banner title of the currently running bench; stamps the "bench"
+/// field of NDJSON records so one stats file can hold several figures.
+static std::string CurrentBenchName = "bench";
 
 static int64_t envInt(const char *Name, int64_t Default) {
   const char *V = std::getenv(Name);
@@ -83,6 +88,7 @@ const CompiledModel &ModelCache::get(const models::ModelEntry &Entry,
 double bench::timeSimulation(const CompiledModel &Model,
                              const BenchProtocol &Protocol,
                              unsigned Threads, sim::RunReport *Report) {
+  telemetry::RuntimeCounters Before = telemetry::runtimeCounters();
   std::vector<double> Times;
   for (int Run = 0; Run != std::max(Protocol.Repeats, 1); ++Run) {
     sim::SimOptions Opts;
@@ -108,7 +114,86 @@ double bench::timeSimulation(const CompiledModel &Model,
   double Sum = 0;
   for (double T : Times)
     Sum += T;
-  return Sum / double(Times.size());
+  double Seconds = Sum / double(Times.size());
+
+  BenchStat S;
+  S.Bench = CurrentBenchName;
+  S.Model = Model.info().Name;
+  S.Config = engineConfigName(Model.config());
+  S.Threads = Threads;
+  S.Cells = Protocol.NumCells;
+  S.Steps = Protocol.NumSteps;
+  S.Repeats = std::max(Protocol.Repeats, 1);
+  S.Seconds = Seconds;
+  telemetry::RuntimeCounters After = telemetry::runtimeCounters();
+  uint64_t DNs = After.KernelNs - Before.KernelNs;
+  uint64_t DCells = After.CellSteps - Before.CellSteps;
+  S.NsPerCellStep = DCells ? double(DNs) / double(DCells) : 0.0;
+  S.CellStepsPerSec = DNs ? double(DCells) * 1e9 / double(DNs) : 0.0;
+  S.LutInterps = After.LutInterps - Before.LutInterps;
+  S.FastMathCalls = After.FastMathCalls - Before.FastMathCalls;
+  S.LibmCalls = After.LibmCalls - Before.LibmCalls;
+  recordBenchStat(S);
+  return Seconds;
+}
+
+/// Minimal JSON string escaping for model/config names.
+static std::string jsonQuoted(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if ((unsigned char)C < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string BenchStat::json() const {
+  char Buf[256];
+  std::string Out = "{\"bench\":" + jsonQuoted(Bench);
+  Out += ",\"model\":" + jsonQuoted(Model);
+  Out += ",\"config\":" + jsonQuoted(Config);
+  std::snprintf(Buf, sizeof Buf,
+                ",\"threads\":%u,\"cells\":%lld,\"steps\":%lld,"
+                "\"repeats\":%d,\"seconds\":%.9g",
+                Threads, (long long)Cells, (long long)Steps, Repeats,
+                Seconds);
+  Out += Buf;
+  std::snprintf(Buf, sizeof Buf,
+                ",\"ns_per_cell_step\":%.6g,\"cell_steps_per_sec\":%.6g,"
+                "\"lut_interps\":%llu,\"fastmath_calls\":%llu,"
+                "\"libm_calls\":%llu}",
+                NsPerCellStep, CellStepsPerSec,
+                (unsigned long long)LutInterps,
+                (unsigned long long)FastMathCalls,
+                (unsigned long long)LibmCalls);
+  Out += Buf;
+  return Out;
+}
+
+bool bench::recordBenchStat(const BenchStat &S) {
+  const char *Path = std::getenv("LIMPET_BENCH_STATS");
+  if (!Path || !*Path)
+    return false;
+  std::FILE *F = std::fopen(Path, "a");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot append to LIMPET_BENCH_STATS=%s\n",
+                 Path);
+    return false;
+  }
+  std::string Line = S.json();
+  Line += '\n';
+  std::fputs(Line.c_str(), F);
+  std::fclose(F);
+  return true;
 }
 
 double bench::geomean(const std::vector<double> &Values) {
@@ -157,6 +242,7 @@ std::string bench::renderTable(
 void bench::printBanner(const std::string &Title,
                         const std::string &PaperRef,
                         const BenchProtocol &Protocol) {
+  CurrentBenchName = Title;
   std::printf("==================================================================\n");
   std::printf("%s\n", Title.c_str());
   std::printf("Reproduces: %s\n", PaperRef.c_str());

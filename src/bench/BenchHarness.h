@@ -65,10 +65,37 @@ private:
 /// Times one simulation under the paper's protocol: returns seconds
 /// (averaged after dropping extrema). When \p Report is non-null the
 /// guard-rail run reports of every repeat are merged into it (faults,
-/// retries, scan overhead).
+/// retries, scan overhead). Every call also appends one NDJSON record to
+/// $LIMPET_BENCH_STATS (see recordBenchStat).
 double timeSimulation(const exec::CompiledModel &Model,
                       const BenchProtocol &Protocol, unsigned Threads,
                       sim::RunReport *Report = nullptr);
+
+/// One machine-readable benchmark timing, exported as a line of NDJSON.
+struct BenchStat {
+  std::string Bench;  ///< benchmark/figure name (printBanner title)
+  std::string Model;  ///< model name
+  std::string Config; ///< engine configuration or variant label
+  unsigned Threads = 1;
+  int64_t Cells = 0;
+  int64_t Steps = 0;
+  int Repeats = 1;
+  double Seconds = 0; ///< averaged wall time of one run
+  // Derived from the telemetry runtime-counter deltas around the timed
+  // region; zero in telemetry-off builds.
+  double NsPerCellStep = 0;
+  double CellStepsPerSec = 0;
+  uint64_t LutInterps = 0;
+  uint64_t FastMathCalls = 0;
+  uint64_t LibmCalls = 0;
+
+  /// The record as one line of JSON (no trailing newline).
+  std::string json() const;
+};
+
+/// Appends \p S to the NDJSON file named by $LIMPET_BENCH_STATS. Returns
+/// false when the variable is unset or the file cannot be appended to.
+bool recordBenchStat(const BenchStat &S);
 
 /// Geometric mean (ignores non-positive entries).
 double geomean(const std::vector<double> &Values);

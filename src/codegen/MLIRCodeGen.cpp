@@ -6,6 +6,8 @@
 #include "dialects/Dialects.h"
 #include "easyml/Preprocessor.h"
 #include "support/Casting.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 #include "transforms/FoldUtils.h"
 #include "transforms/Pass.h"
 
@@ -369,11 +371,22 @@ private:
 
 GeneratedKernel codegen::generateKernel(const ModelInfo &Info,
                                         const CodeGenOptions &Options) {
+  telemetry::TraceSpan Span("codegen:" + Info.Name, "compile");
+  telemetry::ScopedTimerNs Timer("compile.codegen.ns");
   GeneratedKernel K;
   K.Ctx = std::make_shared<Context>();
   K.Mod = std::make_unique<Module>();
   K.Options = Options;
-  K.Program = buildModelProgram(Info, Options.EnableLuts);
+  {
+    telemetry::TraceSpan ProgramSpan("build-program", "compile");
+    K.Program = buildModelProgram(Info, Options.EnableLuts);
+  }
+  for (const LutTablePlan &Plan : K.Program.Luts.Tables) {
+    telemetry::counter("compile.lut.tables").add(1);
+    telemetry::counter("compile.lut.columns").add(Plan.Columns.size());
+    telemetry::counter("compile.lut.rows")
+        .add(uint64_t(Plan.Spec.numRows()) * Plan.Columns.size());
+  }
 
   K.Abi.NumExternals = unsigned(K.Program.Info.Externals.size());
   K.Abi.NumParams = unsigned(K.Program.Info.Params.size());
@@ -425,6 +438,7 @@ GeneratedKernel codegen::generateKernel(const ModelInfo &Info,
     bool Ok = PM.run(K.ScalarFunc);
     assert(Ok && "optimization pipeline broke the kernel");
     (void)Ok;
+    K.PassStats = PM.statistics();
   }
   return K;
 }

@@ -18,6 +18,7 @@
 #include "easyml/ModelInfo.h"
 #include "ir/Context.h"
 #include "ir/IR.h"
+#include "transforms/Pass.h"
 
 #include <memory>
 #include <string>
@@ -65,6 +66,9 @@ struct GeneratedKernel {
   KernelABI Abi;
   ModelProgram Program;
   CodeGenOptions Options;
+  /// Per-pass wall time and op counts of the optimization pipeline (empty
+  /// when Options.RunPasses was off). Rendered by `limpetc --stats`.
+  transforms::PassStatistics PassStats;
 };
 
 /// Generates the scalar kernel for \p Info. Asserts the model is valid

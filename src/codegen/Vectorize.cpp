@@ -4,6 +4,8 @@
 
 #include "dialects/Dialects.h"
 #include "support/Casting.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 #include "transforms/Pass.h"
 
 #include <map>
@@ -300,6 +302,10 @@ Operation *codegen::vectorizeKernel(GeneratedKernel &K, unsigned Width) {
   assert((K.Options.Layout != StateLayout::AoSoA ||
           K.Options.AoSoABlockWidth == Width) &&
          "AoSoA block width must match the vector width");
+  telemetry::TraceSpan Span("vectorize", "compile");
+  telemetry::ScopedTimerNs Timer("compile.vectorize.ns");
   Vectorizer V(K, Width);
-  return V.run();
+  Operation *Func = V.run();
+  telemetry::counter("compile.vectorize.kernels").add(1);
+  return Func;
 }

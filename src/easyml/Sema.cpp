@@ -6,6 +6,8 @@
 #include "easyml/Parser.h"
 #include "support/Casting.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <set>
@@ -521,8 +523,15 @@ std::optional<ModelInfo> easyml::analyzeModel(const ParsedModel &PM,
 std::optional<ModelInfo> easyml::compileModelInfo(std::string_view Name,
                                                   std::string_view Source,
                                                   DiagnosticEngine &Diags) {
-  ParsedModel PM = parseModel(Name, Source, Diags);
+  telemetry::TraceSpan Frontend("frontend:" + std::string(Name), "compile");
+  ParsedModel PM = [&] {
+    telemetry::TraceSpan Span("parse", "compile");
+    telemetry::ScopedTimerNs Timer("compile.parse.ns");
+    return parseModel(Name, Source, Diags);
+  }();
   if (Diags.hasErrors())
     return std::nullopt;
+  telemetry::TraceSpan Span("sema", "compile");
+  telemetry::ScopedTimerNs Timer("compile.sema.ns");
   return analyzeModel(PM, Diags);
 }

@@ -130,6 +130,12 @@ struct BcProgram {
 
   InstrCounts Counts;
 
+  // Static per-cell op counts of the Body, used by the telemetry layer to
+  // derive runtime totals (interpolations, math calls) from cells
+  // processed without instrumenting the interpreter's inner loop.
+  unsigned LutOpsPerCell = 0;  ///< LutInterp / LutInterpCubic instructions
+  unsigned MathOpsPerCell = 0; ///< transcendental call instructions
+
   /// Disassembles the program for tests and debugging.
   std::string str() const;
 };

@@ -4,6 +4,8 @@
 
 #include "runtime/VecMath.h"
 #include "support/Casting.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <map>
 
@@ -242,7 +244,7 @@ private:
       bool Ok = parseCmpPredicate(Op->attr("predicate").asString(), Pred);
       assert(Ok && "invalid predicate");
       (void)Ok;
-      BcOp Code;
+      BcOp Code = BcOp::CmpLT;
       switch (Pred) {
       case CmpPredicate::LT:
         Code = BcOp::CmpLT;
@@ -359,6 +361,30 @@ private:
     using FC = vecmath::FlopCost;
     for (const BcInstr &I : P.Body) {
       switch (I.Op) {
+      case BcOp::Exp:
+      case BcOp::Expm1:
+      case BcOp::Log:
+      case BcOp::Log10:
+      case BcOp::Pow:
+      case BcOp::Sin:
+      case BcOp::Cos:
+      case BcOp::Tan:
+      case BcOp::Tanh:
+      case BcOp::Sinh:
+      case BcOp::Cosh:
+      case BcOp::Atan:
+      case BcOp::Asin:
+      case BcOp::Acos:
+        ++P.MathOpsPerCell;
+        break;
+      case BcOp::LutInterp:
+      case BcOp::LutInterpCubic:
+        ++P.LutOpsPerCell;
+        break;
+      default:
+        break;
+      }
+      switch (I.Op) {
       case BcOp::ConstF:
       case BcOp::Copy:
         break;
@@ -453,5 +479,13 @@ private:
 
 BcProgram exec::compileToBytecode(const GeneratedKernel &K,
                                   Operation *Func) {
-  return CompilerImpl(K, Func).run();
+  telemetry::TraceSpan Span("bytecode", "compile");
+  telemetry::ScopedTimerNs Timer("compile.bytecode.ns");
+  BcProgram P = CompilerImpl(K, Func).run();
+  telemetry::counter("compile.bytecode.programs").add(1);
+  telemetry::counter("compile.bytecode.instrs")
+      .add(P.Prologue.size() + P.Body.size());
+  telemetry::counter("compile.bytecode.bytes")
+      .add((P.Prologue.size() + P.Body.size()) * sizeof(BcInstr));
+  return P;
 }

@@ -6,6 +6,8 @@
 #include "easyml/ConstEval.h"
 #include "exec/BytecodeCompiler.h"
 #include "support/Casting.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 using namespace limpet;
 using namespace limpet::exec;
@@ -70,6 +72,11 @@ CompiledModel::compile(const easyml::ModelInfo &Info, const EngineConfig &Cfg,
     return std::nullopt;
   }
 
+  telemetry::TraceSpan Span(
+      "compile:" + Info.Name + " (" + engineConfigName(Cfg) + ")", "compile");
+  telemetry::ScopedTimerNs Timer("compile.model.ns");
+  telemetry::counter("compile.model.count").add(1);
+
   CompiledModel M;
   M.Cfg = Cfg;
 
@@ -130,6 +137,8 @@ void CompiledModel::rebuildLuts(const double *Params) {
 }
 
 runtime::LutTableSet CompiledModel::buildLuts(const double *Params) const {
+  telemetry::TraceSpan Span("lut-build", "compile");
+  telemetry::ScopedTimerNs Timer("compile.lut.build.ns");
   const easyml::ModelInfo &Info = Kernel.Program.Info;
   runtime::LutTableSet Set;
   for (const LutTablePlan &Plan : Kernel.Program.Luts.Tables) {

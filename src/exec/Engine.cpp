@@ -4,6 +4,8 @@
 
 #include "runtime/VecMath.h"
 #include "support/Casting.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <cmath>
 
@@ -567,14 +569,12 @@ bool exec::isSupportedWidth(unsigned W) {
   return W == 1 || W == 2 || W == 4 || W == 8;
 }
 
-void exec::runKernel(const BcProgram &P, const KernelArgs &Args,
-                     unsigned Width, bool FastMath) {
-  assert(isSupportedWidth(Width) && "unsupported vector width");
-  assert((P.Layout != StateLayout::AoSoA || P.AoSoAW >= 1) &&
-         "AoSoA layout requires a block width");
-  assert((Width == 1 || P.Layout != StateLayout::AoSoA ||
-          Args.Start % int64_t(P.AoSoAW) == 0) &&
-         "AoSoA vector chunks must start on a block boundary");
+namespace {
+
+/// The engine dispatch proper, separated from runKernel so the telemetry
+/// wrapper there sees every exit path.
+void dispatchKernel(const BcProgram &P, const KernelArgs &Args,
+                    unsigned Width, bool FastMath) {
   switch (Width) {
   case 1:
     if (FastMath)
@@ -603,4 +603,31 @@ void exec::runKernel(const BcProgram &P, const KernelArgs &Args,
   default:
     limpet_unreachable("unsupported vector width");
   }
+}
+
+} // namespace
+
+void exec::runKernel(const BcProgram &P, const KernelArgs &Args,
+                     unsigned Width, bool FastMath) {
+  assert(isSupportedWidth(Width) && "unsupported vector width");
+  assert((P.Layout != StateLayout::AoSoA || P.AoSoAW >= 1) &&
+         "AoSoA layout requires a block width");
+  assert((Width == 1 || P.Layout != StateLayout::AoSoA ||
+          Args.Start % int64_t(P.AoSoAW) == 0) &&
+         "AoSoA vector chunks must start on a block boundary");
+#if LIMPET_TELEMETRY_ENABLED
+  // Chunk-granular accounting: one clock pair and a handful of
+  // thread-local adds per invocation, amortized over the whole cell
+  // range. The interpreter's inner loop is untouched; LUT/math totals are
+  // derived from the program's static per-cell op counts.
+  auto T0 = telemetry::Clock::now();
+  dispatchKernel(P, Args, Width, FastMath);
+  uint64_t Ns = telemetry::nanosecondsSince(T0);
+  telemetry::recordKernelChunk(Ns, Args.End - Args.Start, Width, FastMath,
+                               P.LutOpsPerCell, P.MathOpsPerCell);
+  if (telemetry::TraceRecorder *R = telemetry::TraceRecorder::active())
+    R->complete("kernel-chunk", "run", T0, T0 + std::chrono::nanoseconds(Ns));
+#else
+  dispatchKernel(P, Args, Width, FastMath);
+#endif
 }

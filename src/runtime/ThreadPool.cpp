@@ -2,6 +2,8 @@
 
 #include "runtime/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 
 using namespace limpet;
@@ -47,6 +49,15 @@ void ThreadPool::parallelFor(int64_t Begin, int64_t End, unsigned NumThreads,
     Fn(Begin, End);
     return;
   }
+
+  // One registry add per fork-join, looked up once; the workers
+  // themselves only touch their thread-local telemetry shards.
+  static telemetry::Counter &Dispatches =
+      telemetry::counter("pool.parallel_for.calls");
+  static telemetry::Counter &Chunks =
+      telemetry::counter("pool.parallel_for.chunks");
+  Dispatches.add(1);
+  Chunks.add(NumThreads);
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);

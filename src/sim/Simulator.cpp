@@ -4,10 +4,13 @@
 
 #include "runtime/ThreadPool.h"
 #include "support/Casting.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 using namespace limpet;
@@ -143,6 +146,8 @@ void Simulator::runWindow(int64_t Steps, int Substeps) {
 }
 
 void Simulator::run() {
+  telemetry::TraceSpan Span("sim.run:" + Model.info().Name, "sim");
+  RunReport Before = Report;
   auto T0 = Clock::now();
   if (!Opts.Guard.Enabled) {
     for (int64_t I = 0; I != Opts.NumSteps; ++I)
@@ -152,6 +157,33 @@ void Simulator::run() {
   }
   Report.StepsTaken += Opts.NumSteps;
   Report.RunSeconds += secondsSince(T0);
+  foldReportIntoTelemetry(Before);
+  if (Opts.Stats)
+    std::fputs(telemetry::summaryReport().c_str(), stdout);
+}
+
+/// Mirrors what this run() added to the RunReport into the global counter
+/// registry, so guard-rail activity shows up next to the compile and
+/// kernel counters in --stats output and bench NDJSON records.
+void Simulator::foldReportIntoTelemetry(const RunReport &Before) {
+  auto Add = [](const char *Path, int64_t Delta) {
+    if (Delta > 0)
+      telemetry::counter(Path).add(uint64_t(Delta));
+  };
+  Add("sim.steps", Report.StepsTaken - Before.StepsTaken);
+  Add("sim.health.scans", Report.HealthScans - Before.HealthScans);
+  Add("sim.health.fault_events", Report.FaultEvents - Before.FaultEvents);
+  Add("sim.health.faulty_cells", Report.FaultyCells - Before.FaultyCells);
+  Add("sim.recovery.retries", Report.Retries - Before.Retries);
+  Add("sim.recovery.substeps", Report.Substeps - Before.Substeps);
+  Add("sim.recovery.cells_degraded",
+      Report.CellsDegraded - Before.CellsDegraded);
+  Add("sim.recovery.cells_frozen", Report.CellsFrozen - Before.CellsFrozen);
+  Add("sim.health.scan.ns",
+      int64_t((Report.ScanSeconds - Before.ScanSeconds) * 1e9));
+  Add("sim.recovery.ns",
+      int64_t((Report.RecoverySeconds - Before.RecoverySeconds) * 1e9));
+  Add("sim.run.ns", int64_t((Report.RunSeconds - Before.RunSeconds) * 1e9));
 }
 
 void Simulator::runGuarded() {
@@ -170,6 +202,7 @@ void Simulator::runGuarded() {
 }
 
 bool Simulator::timedScan() {
+  telemetry::TraceSpan Span("health-scan", "sim");
   auto T0 = Clock::now();
   bool Healthy = scanIsHealthy();
   ++Report.HealthScans;
@@ -178,6 +211,9 @@ bool Simulator::timedScan() {
 }
 
 void Simulator::recoverWindow(int64_t Window) {
+  telemetry::TraceSpan Span("recovery", "sim");
+  if (telemetry::TraceRecorder *R = telemetry::TraceRecorder::active())
+    R->instant("fault-detected", "sim");
   auto T0 = Clock::now();
   double ScanSecondsAtEntry = Report.ScanSeconds;
   const GuardRailOptions &G = Opts.Guard;

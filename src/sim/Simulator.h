@@ -73,6 +73,10 @@ struct SimOptions {
   bool RecordTrace = false;
   int64_t TraceCell = 0;
 
+  /// Print the telemetry summary (runtime counters + registry) to stdout
+  /// when run() finishes. A no-op note in telemetry-off builds.
+  bool Stats = false;
+
   /// Numerical guard rails (health scan, checkpoint/retry, degradation).
   GuardRailOptions Guard;
 };
@@ -187,6 +191,8 @@ private:
   void recoverWindow(int64_t Window);
   /// scanIsHealthy plus scan-count/scan-time accounting.
   bool timedScan();
+  /// Mirrors this run()'s RunReport deltas into the telemetry registry.
+  void foldReportIntoTelemetry(const RunReport &Before);
 
   void takeCheckpoint();
   void rollback();

@@ -1,0 +1,245 @@
+//===- Telemetry.cpp ------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+
+using namespace limpet;
+using namespace limpet::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Mode-independent pieces
+//===----------------------------------------------------------------------===//
+
+void RuntimeCounters::merge(const RuntimeCounters &O) {
+  KernelNs += O.KernelNs;
+  KernelCalls += O.KernelCalls;
+  CellSteps += O.CellSteps;
+  for (unsigned I = 0; I != 4; ++I)
+    CellStepsByWidth[I] += O.CellStepsByWidth[I];
+  LutInterps += O.LutInterps;
+  FastMathCalls += O.FastMathCalls;
+  LibmCalls += O.LibmCalls;
+}
+
+std::string RuntimeCounters::str() const {
+  if (KernelCalls == 0)
+    return "(no kernel activity recorded)\n";
+  char Buf[512];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf),
+                "kernel: %llu chunk calls, %llu cell-steps, %.3f ms\n"
+                "  ns/cell-step = %.2f   cell-steps/s = %.3g\n",
+                (unsigned long long)KernelCalls,
+                (unsigned long long)CellSteps, double(KernelNs) * 1e-6,
+                nsPerCellStep(), cellStepsPerSecond());
+  Out += Buf;
+  static const unsigned Widths[4] = {1, 2, 4, 8};
+  Out += "  cell-steps by vector width:";
+  for (unsigned I = 0; I != 4; ++I)
+    if (CellStepsByWidth[I]) {
+      std::snprintf(Buf, sizeof(Buf), " w%u=%llu", Widths[I],
+                    (unsigned long long)CellStepsByWidth[I]);
+      Out += Buf;
+    }
+  Out += '\n';
+  std::snprintf(Buf, sizeof(Buf),
+                "  lut-interps = %llu   vecmath-calls = %llu   "
+                "libm-calls = %llu\n",
+                (unsigned long long)LutInterps,
+                (unsigned long long)FastMathCalls,
+                (unsigned long long)LibmCalls);
+  Out += Buf;
+  return Out;
+}
+
+uint32_t telemetry::threadId() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+#if LIMPET_TELEMETRY_ENABLED
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+struct Registry::Impl {
+  mutable std::mutex Mutex;
+  /// Deque keeps Counter addresses stable across registrations.
+  std::deque<Counter> Counters;
+  std::map<std::string, Counter *, std::less<>> Index;
+};
+
+Registry &Registry::instance() {
+  static Registry R;
+  return R;
+}
+
+Registry::Impl &Registry::impl() const {
+  static Impl I;
+  return I;
+}
+
+Counter &Registry::counter(std::string_view Path) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  auto It = I.Index.find(Path);
+  if (It != I.Index.end())
+    return *It->second;
+  I.Counters.emplace_back(std::string(Path));
+  Counter &C = I.Counters.back();
+  I.Index.emplace(C.name(), &C);
+  return C;
+}
+
+uint64_t Registry::value(std::string_view Path) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  auto It = I.Index.find(Path);
+  return It != I.Index.end() ? It->second->get() : 0;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::snapshot() const {
+  Impl &I = impl();
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  {
+    std::lock_guard<std::mutex> Lock(I.Mutex);
+    Out.reserve(I.Index.size());
+    for (const auto &[Name, C] : I.Index)
+      Out.emplace_back(Name, C->get());
+  }
+  return Out;
+}
+
+void Registry::resetAll() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  for (Counter &C : I.Counters)
+    C.reset();
+}
+
+std::string Registry::summary() const {
+  auto Snap = snapshot();
+  std::string Out;
+  // Render the dotted paths as an indented tree: one line per counter,
+  // indented by the number of path segments shared with the previous
+  // line, with intermediate headers for new branches.
+  std::vector<std::string> PrevSegs;
+  for (const auto &[Path, Value] : Snap) {
+    if (Value == 0)
+      continue;
+    std::vector<std::string> Segs = splitString(Path, '.');
+    size_t Common = 0;
+    while (Common < Segs.size() - 1 && Common < PrevSegs.size() &&
+           Segs[Common] == PrevSegs[Common])
+      ++Common;
+    // Print headers for the new intermediate segments.
+    for (size_t S = Common; S + 1 < Segs.size(); ++S) {
+      Out += std::string(S * 2, ' ');
+      Out += Segs[S];
+      Out += ":\n";
+    }
+    Out += std::string((Segs.size() - 1) * 2, ' ');
+    Out += padRight(Segs.back(), std::max<size_t>(Segs.back().size(), 18));
+    Out += " = ";
+    Out += std::to_string(Value);
+    if (endsWith(Path, ".ns")) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "  (%.3f ms)", double(Value) * 1e-6);
+      Out += Buf;
+    }
+    Out += '\n';
+    PrevSegs = std::move(Segs);
+  }
+  if (Out.empty())
+    Out = "(no counters recorded)\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime shards
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One thread's private slice of the runtime counters. Only the owning
+/// thread writes it; merges happen while the workers sit at the ThreadPool
+/// barrier, whose mutex/condvar handoff orders the reads after the writes.
+struct Shard {
+  RuntimeCounters Data;
+};
+
+struct ShardRegistry {
+  std::mutex Mutex;
+  /// Owns every shard; the deque keeps addresses stable as threads
+  /// register, and a shard outlives its thread (dead workers' counts
+  /// still merge). Freed only when the registry static is destroyed.
+  std::deque<Shard> Shards;
+
+  static ShardRegistry &instance() {
+    static ShardRegistry R;
+    return R;
+  }
+
+  Shard &local() {
+    thread_local Shard *S = [this] {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      return &Shards.emplace_back();
+    }();
+    return *S;
+  }
+};
+
+} // namespace
+
+void telemetry::recordKernelChunk(uint64_t Ns, int64_t Cells, unsigned Width,
+                                  bool FastMath, uint32_t LutOpsPerCell,
+                                  uint32_t MathOpsPerCell) {
+  if (Cells <= 0)
+    return;
+  RuntimeCounters &C = ShardRegistry::instance().local().Data;
+  uint64_t N = uint64_t(Cells);
+  C.KernelNs += Ns;
+  C.KernelCalls += 1;
+  C.CellSteps += N;
+  C.CellStepsByWidth[RuntimeCounters::widthSlot(Width)] += N;
+  C.LutInterps += uint64_t(LutOpsPerCell) * N;
+  if (FastMath)
+    C.FastMathCalls += uint64_t(MathOpsPerCell) * N;
+  else
+    C.LibmCalls += uint64_t(MathOpsPerCell) * N;
+}
+
+RuntimeCounters telemetry::runtimeCounters() {
+  ShardRegistry &R = ShardRegistry::instance();
+  RuntimeCounters Sum;
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (const Shard &S : R.Shards)
+    Sum.merge(S.Data);
+  return Sum;
+}
+
+void telemetry::resetRuntimeCounters() {
+  ShardRegistry &R = ShardRegistry::instance();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (Shard &S : R.Shards)
+    S.Data = RuntimeCounters();
+}
+
+std::string telemetry::summaryReport() {
+  std::string Out = "--- runtime counters ---\n";
+  Out += runtimeCounters().str();
+  Out += "--- counter registry ---\n";
+  Out += Registry::instance().summary();
+  return Out;
+}
+
+#endif // LIMPET_TELEMETRY_ENABLED

@@ -1,0 +1,243 @@
+//===- Telemetry.h - Counters, timers and runtime hot-path stats *- C++-*-===//
+//
+// Low-overhead instrumentation layer behind the repo's observability
+// story (docs/OBSERVABILITY.md):
+//
+//  * A process-wide hierarchical registry of named monotonic counters
+//    (dotted paths, e.g. "compile.pass.cse.ns"), used by the compile
+//    pipeline for per-stage wall time, op counts and table statistics.
+//  * Thread-local runtime shards for the simulation hot path: the engines
+//    record per-chunk kernel time, cell-steps per vector width and derived
+//    LUT/math-call counts without ever contending a shared cache line in
+//    the inner loop. Shards are merged on demand, after the ThreadPool
+//    barrier has quiesced the workers.
+//
+// The whole layer is compile-time optional: configuring with
+// -DLIMPET_TELEMETRY=OFF (which defines LIMPET_TELEMETRY_ENABLED=0)
+// replaces every entry point with an empty inline stub, so instrumented
+// call sites compile away and the hot loop carries no counters at all.
+// The enabled and disabled APIs live in differently named inline
+// namespaces, so a binary may mix TUs built both ways (the zero-overhead
+// test does exactly that) without ODR violations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SUPPORT_TELEMETRY_H
+#define LIMPET_SUPPORT_TELEMETRY_H
+
+#ifndef LIMPET_TELEMETRY_ENABLED
+#define LIMPET_TELEMETRY_ENABLED 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace limpet {
+namespace telemetry {
+
+/// Whether the instrumentation layer is compiled in. Deliberately not
+/// `inline`: the value differs per TU when a binary mixes telemetry-on
+/// and telemetry-off objects, so it must have internal linkage.
+constexpr bool kEnabled = LIMPET_TELEMETRY_ENABLED != 0;
+
+using Clock = std::chrono::steady_clock;
+
+inline uint64_t nanosecondsSince(Clock::time_point T0) {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - T0)
+                      .count());
+}
+
+/// One merged view of the runtime hot-path counters (all shards summed).
+/// Plain data so it exists identically in enabled and disabled builds.
+struct RuntimeCounters {
+  uint64_t KernelNs = 0;    ///< wall time inside runKernel
+  uint64_t KernelCalls = 0; ///< chunk invocations
+  uint64_t CellSteps = 0;   ///< cells x kernel steps processed
+  /// CellSteps split by configured vector width (1 / 2 / 4 / 8).
+  uint64_t CellStepsByWidth[4] = {0, 0, 0, 0};
+  uint64_t LutInterps = 0;    ///< LUT interpolations (static count x cells)
+  uint64_t FastMathCalls = 0; ///< VecMath transcendental calls
+  uint64_t LibmCalls = 0;     ///< exact libm transcendental calls
+
+  void merge(const RuntimeCounters &O);
+
+  double nsPerCellStep() const {
+    return CellSteps ? double(KernelNs) / double(CellSteps) : 0.0;
+  }
+  double cellStepsPerSecond() const {
+    return KernelNs ? double(CellSteps) * 1e9 / double(KernelNs) : 0.0;
+  }
+  /// Slot of a supported width in CellStepsByWidth (1->0, 2->1, 4->2,
+  /// 8->3); unsupported widths map to slot 0.
+  static unsigned widthSlot(unsigned Width) {
+    return Width == 2 ? 1 : Width == 4 ? 2 : Width == 8 ? 3 : 0;
+  }
+
+  /// Multi-line human rendering ("(no kernel activity recorded)" when
+  /// empty).
+  std::string str() const;
+};
+
+/// Small process-stable id for the calling thread (0 = first thread that
+/// asked). Used as the "tid" of trace events. Available in both modes so
+/// tests can rely on it.
+uint32_t threadId();
+
+#if LIMPET_TELEMETRY_ENABLED
+inline namespace on {
+
+/// A named monotonic counter. Addresses are stable for the process
+/// lifetime; hot call sites should look the counter up once and keep the
+/// reference.
+class Counter {
+public:
+  explicit Counter(std::string Name) : Name(std::move(Name)) {}
+
+  void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t get() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+  const std::string &name() const { return Name; }
+
+private:
+  std::string Name;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// The process-wide counter registry. Counters are keyed by dotted paths
+/// that form a hierarchy ("compile.pass.cse.ns"); summary() renders the
+/// tree. Registration takes a mutex; updates are lock-free.
+class Registry {
+public:
+  static Registry &instance();
+
+  /// The counter registered under \p Path (created on first use).
+  Counter &counter(std::string_view Path);
+
+  /// Current value of \p Path, or 0 when it was never registered.
+  uint64_t value(std::string_view Path) const;
+
+  /// All (path, value) pairs, sorted by path.
+  std::vector<std::pair<std::string, uint64_t>> snapshot() const;
+
+  /// Zeroes every registered counter (tests and repeated tool runs).
+  void resetAll();
+
+  /// Hierarchical human rendering of every non-zero counter. Paths ending
+  /// in ".ns" are also shown as milliseconds.
+  std::string summary() const;
+
+private:
+  Registry() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// Shorthand for Registry::instance().counter(Path).
+inline Counter &counter(std::string_view Path) {
+  return Registry::instance().counter(Path);
+}
+
+/// RAII timer adding elapsed nanoseconds to a counter on destruction.
+class ScopedTimerNs {
+public:
+  explicit ScopedTimerNs(Counter &C) : C(&C), T0(Clock::now()) {}
+  explicit ScopedTimerNs(std::string_view Path)
+      : C(&counter(Path)), T0(Clock::now()) {}
+  ScopedTimerNs(const ScopedTimerNs &) = delete;
+  ScopedTimerNs &operator=(const ScopedTimerNs &) = delete;
+  ~ScopedTimerNs() { C->add(nanosecondsSince(T0)); }
+
+private:
+  Counter *C;
+  Clock::time_point T0;
+};
+
+//===----------------------------------------------------------------------===//
+// Runtime hot-path shards
+//===----------------------------------------------------------------------===//
+
+/// Records one kernel chunk execution into the calling thread's shard.
+/// \p LutOpsPerCell / \p MathOpsPerCell are the program's static per-cell
+/// op counts (BcProgram), so the inner interpreter loop needs no
+/// instrumentation at all.
+void recordKernelChunk(uint64_t Ns, int64_t Cells, unsigned Width,
+                       bool FastMath, uint32_t LutOpsPerCell,
+                       uint32_t MathOpsPerCell);
+
+/// Sum of all thread shards. Callers must ensure the workers are at a
+/// barrier (ThreadPool::parallelFor has returned), which is the natural
+/// state between simulation runs.
+RuntimeCounters runtimeCounters();
+
+/// Zeroes every thread shard (same barrier caveat as runtimeCounters).
+void resetRuntimeCounters();
+
+/// Registry summary plus the merged runtime counters: the body of
+/// `limpetc --stats` and SimOptions::Stats output.
+std::string summaryReport();
+
+} // namespace on
+#else
+inline namespace off {
+
+// Disabled build: every entry point is an empty inline stub that the
+// optimizer deletes. No counters, no clocks, no registry.
+
+class Counter {
+public:
+  void add(uint64_t = 1) {}
+  uint64_t get() const { return 0; }
+  void reset() {}
+};
+
+inline Counter &counter(std::string_view) {
+  static Counter C;
+  return C;
+}
+
+class Registry {
+public:
+  static Registry &instance() {
+    static Registry R;
+    return R;
+  }
+  Counter &counter(std::string_view P) { return telemetry::counter(P); }
+  uint64_t value(std::string_view) const { return 0; }
+  std::vector<std::pair<std::string, uint64_t>> snapshot() const {
+    return {};
+  }
+  void resetAll() {}
+  std::string summary() const {
+    return "(telemetry disabled at build time)\n";
+  }
+};
+
+class ScopedTimerNs {
+public:
+  explicit ScopedTimerNs(Counter &) {}
+  explicit ScopedTimerNs(std::string_view) {}
+  ScopedTimerNs(const ScopedTimerNs &) = delete;
+  ScopedTimerNs &operator=(const ScopedTimerNs &) = delete;
+};
+
+inline void recordKernelChunk(uint64_t, int64_t, unsigned, bool, uint32_t,
+                              uint32_t) {}
+inline RuntimeCounters runtimeCounters() { return {}; }
+inline void resetRuntimeCounters() {}
+inline std::string summaryReport() {
+  return "(telemetry disabled at build time)\n";
+}
+
+} // namespace off
+#endif // LIMPET_TELEMETRY_ENABLED
+
+} // namespace telemetry
+} // namespace limpet
+
+#endif // LIMPET_SUPPORT_TELEMETRY_H

@@ -1,0 +1,161 @@
+//===- Trace.cpp ----------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#if LIMPET_TELEMETRY_ENABLED
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+using namespace limpet;
+using namespace limpet::telemetry;
+
+namespace {
+std::atomic<TraceRecorder *> ActiveRecorder{nullptr};
+
+/// Escapes a string for a JSON string literal (control characters, quote,
+/// backslash).
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+} // namespace
+
+TraceRecorder::TraceRecorder() : Epoch(Clock::now()) {}
+
+TraceRecorder *TraceRecorder::active() {
+  return ActiveRecorder.load(std::memory_order_acquire);
+}
+
+void TraceRecorder::setActive(TraceRecorder *R) {
+  ActiveRecorder.store(R, std::memory_order_release);
+}
+
+double TraceRecorder::toUs(Clock::time_point T) const {
+  return std::chrono::duration<double, std::micro>(T - Epoch).count();
+}
+
+void TraceRecorder::push(Event E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Events.size() >= MaxEvents) {
+    ++Dropped;
+    return;
+  }
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::complete(std::string_view Name, std::string_view Cat,
+                             Clock::time_point T0, Clock::time_point T1) {
+  push({std::string(Name), std::string(Cat), 'X', toUs(T0),
+        std::chrono::duration<double, std::micro>(T1 - T0).count(),
+        threadId(), 0.0});
+}
+
+void TraceRecorder::instant(std::string_view Name, std::string_view Cat) {
+  push({std::string(Name), std::string(Cat), 'i', toUs(Clock::now()), 0.0,
+        threadId(), 0.0});
+}
+
+void TraceRecorder::counterSample(std::string_view Name, double Value) {
+  push({std::string(Name), "counter", 'C', toUs(Clock::now()), 0.0,
+        threadId(), Value});
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.size();
+}
+
+size_t TraceRecorder::droppedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Dropped;
+}
+
+std::string TraceRecorder::json() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out = "{\"traceEvents\":[\n";
+  char Buf[160];
+  // Process-name metadata event, so trace viewers show a friendly label.
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"limpet\"}}";
+  for (const Event &E : Events) {
+    Out += ",\n{\"name\":\"";
+    Out += jsonEscape(E.Name);
+    Out += "\",\"cat\":\"";
+    Out += jsonEscape(E.Cat);
+    Out += "\",\"ph\":\"";
+    Out += E.Ph;
+    Out += '"';
+    std::snprintf(Buf, sizeof(Buf), ",\"ts\":%.3f,\"pid\":1,\"tid\":%u",
+                  E.TsUs, E.Tid);
+    Out += Buf;
+    if (E.Ph == 'X') {
+      std::snprintf(Buf, sizeof(Buf), ",\"dur\":%.3f", E.DurUs);
+      Out += Buf;
+    }
+    if (E.Ph == 'C') {
+      std::snprintf(Buf, sizeof(Buf), ",\"args\":{\"value\":%.6g}", E.Value);
+      Out += Buf;
+    }
+    if (E.Ph == 'i')
+      Out += ",\"s\":\"t\"";
+    Out += '}';
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"";
+  if (Dropped) {
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"metadata\":{\"droppedEvents\":%zu}", Dropped);
+    Out += Buf;
+  }
+  Out += "}\n";
+  return Out;
+}
+
+bool TraceRecorder::writeFile(const std::string &Path,
+                              std::string *Error) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << json();
+  Out.close();
+  if (!Out) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+#endif // LIMPET_TELEMETRY_ENABLED

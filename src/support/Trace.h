@@ -1,0 +1,145 @@
+//===- Trace.h - Chrome trace-event recording -------------------*- C++-*-===//
+//
+// Records timestamped spans and instant events and exports them in the
+// Chrome trace-event JSON format, so a whole compile+run (`limpetc
+// --trace out.json`) can be opened in chrome://tracing / Perfetto.
+//
+// One TraceRecorder is installed process-wide (setActive); instrumented
+// call sites construct TraceSpan objects that are no-ops while no recorder
+// is active, so tracing costs nothing unless requested. The recorder caps
+// its event buffer (MaxEvents) and counts drops instead of growing without
+// bound on very long runs.
+//
+// Like Telemetry.h, the whole facility compiles to empty stubs when
+// LIMPET_TELEMETRY_ENABLED is 0, in an ODR-safe inline namespace.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SUPPORT_TRACE_H
+#define LIMPET_SUPPORT_TRACE_H
+
+#include "support/Telemetry.h"
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace limpet {
+namespace telemetry {
+
+#if LIMPET_TELEMETRY_ENABLED
+inline namespace on {
+
+class TraceRecorder {
+public:
+  /// Timestamps are microseconds relative to construction.
+  TraceRecorder();
+
+  /// The recorder trace spans report into (nullptr = tracing off).
+  static TraceRecorder *active();
+  /// Installs \p R as the process-wide recorder (pass nullptr to stop).
+  static void setActive(TraceRecorder *R);
+
+  /// A completed span ("ph":"X").
+  void complete(std::string_view Name, std::string_view Cat,
+                Clock::time_point T0, Clock::time_point T1);
+  /// A zero-duration marker ("ph":"i").
+  void instant(std::string_view Name, std::string_view Cat);
+  /// A counter sample ("ph":"C", series "value").
+  void counterSample(std::string_view Name, double Value);
+
+  size_t eventCount() const;
+  size_t droppedCount() const;
+
+  /// The full trace document: {"traceEvents":[...],...}.
+  std::string json() const;
+
+  /// Writes json() to \p Path. Returns false (with \p Error set) on I/O
+  /// failure.
+  bool writeFile(const std::string &Path, std::string *Error = nullptr) const;
+
+  /// Event-buffer cap; events beyond it are counted as dropped.
+  static constexpr size_t MaxEvents = size_t(1) << 20;
+
+private:
+  struct Event {
+    std::string Name;
+    std::string Cat;
+    char Ph;
+    double TsUs;
+    double DurUs;
+    uint32_t Tid;
+    double Value;
+  };
+
+  void push(Event E);
+  double toUs(Clock::time_point T) const;
+
+  Clock::time_point Epoch;
+  mutable std::mutex Mutex;
+  std::vector<Event> Events;
+  size_t Dropped = 0;
+};
+
+/// RAII span: records a complete event on destruction when a recorder was
+/// active at construction. Cheap when tracing is off (one atomic load).
+class TraceSpan {
+public:
+  TraceSpan(std::string_view Name, std::string_view Cat)
+      : R(TraceRecorder::active()) {
+    if (R) {
+      this->Name = Name;
+      this->Cat = Cat;
+      T0 = Clock::now();
+    }
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+  ~TraceSpan() {
+    if (R)
+      R->complete(Name, Cat, T0, Clock::now());
+  }
+
+private:
+  TraceRecorder *R;
+  Clock::time_point T0;
+  std::string Name;
+  std::string Cat;
+};
+
+} // namespace on
+#else
+inline namespace off {
+
+class TraceRecorder {
+public:
+  static TraceRecorder *active() { return nullptr; }
+  static void setActive(TraceRecorder *) {}
+  void complete(std::string_view, std::string_view, Clock::time_point,
+                Clock::time_point) {}
+  void instant(std::string_view, std::string_view) {}
+  void counterSample(std::string_view, double) {}
+  size_t eventCount() const { return 0; }
+  size_t droppedCount() const { return 0; }
+  std::string json() const { return "{\"traceEvents\":[]}\n"; }
+  bool writeFile(const std::string &, std::string * = nullptr) const {
+    return false;
+  }
+};
+
+class TraceSpan {
+public:
+  TraceSpan(std::string_view, std::string_view) {}
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+};
+
+} // namespace off
+#endif // LIMPET_TELEMETRY_ENABLED
+
+} // namespace telemetry
+} // namespace limpet
+
+#endif // LIMPET_SUPPORT_TRACE_H

@@ -3,16 +3,74 @@
 #include "transforms/Pass.h"
 
 #include "ir/Verifier.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include <algorithm>
 
 using namespace limpet;
 using namespace limpet::transforms;
 
+uint64_t PassStatistics::totalNs() const {
+  uint64_t Total = 0;
+  for (const Entry &E : Entries)
+    Total += E.WallNs;
+  return Total;
+}
+
+std::string PassStatistics::str() const {
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"pass", "changed", "time (us)", "ops before", "ops after",
+                  "delta"});
+  for (const Entry &E : Entries)
+    Rows.push_back({E.PassName, E.Changed ? "yes" : "no",
+                    formatFixed(double(E.WallNs) * 1e-3, 1),
+                    std::to_string(E.OpsBefore), std::to_string(E.OpsAfter),
+                    std::to_string(E.OpsAfter - E.OpsBefore)});
+  Rows.push_back({"total", "", formatFixed(double(totalNs()) * 1e-3, 1), "",
+                  "", ""});
+
+  // Aligned rendering (first column left-, the rest right-justified).
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+  }
+  std::string Out;
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    for (size_t C = 0; C != Rows[R].size(); ++C) {
+      Out += C == 0 ? padRight(Rows[R][C], Widths[C])
+                    : padLeft(Rows[R][C], Widths[C]);
+      if (C + 1 != Rows[R].size())
+        Out += "  ";
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
 bool PassManager::run(ir::Operation *Func) {
   Stats.Entries.clear();
   ErrorMessage.clear();
+  telemetry::TraceSpan Pipeline("pass-pipeline", "compile");
+  int64_t OpsBefore = countOps(Func);
   for (auto &P : Passes) {
+    std::string PassName(P->name());
+    telemetry::TraceSpan Span("pass:" + PassName, "compile");
+    auto T0 = telemetry::Clock::now();
     bool Changed = P->run(Func, Ctx);
-    Stats.Entries.push_back({std::string(P->name()), Changed});
+    uint64_t Ns = telemetry::nanosecondsSince(T0);
+    int64_t OpsAfter = countOps(Func);
+    Stats.Entries.push_back({PassName, Changed, Ns, OpsBefore, OpsAfter});
+    telemetry::counter("compile.pass." + PassName + ".ns").add(Ns);
+    telemetry::counter("compile.pass." + PassName + ".runs").add(1);
+    if (OpsAfter < OpsBefore)
+      telemetry::counter("compile.pass." + PassName + ".ops_removed")
+          .add(uint64_t(OpsBefore - OpsAfter));
+    OpsBefore = OpsAfter;
     if (!VerifyEach)
       continue;
     if (ir::VerifyResult R = ir::verifyFunction(Func); !R) {
@@ -41,6 +99,12 @@ void transforms::countUses(
     for (unsigned I = 0, E = Op->numOperands(); I != E; ++I)
       Fn(Op->operand(I), Op);
   });
+}
+
+int64_t transforms::countOps(ir::Operation *Root) {
+  int64_t N = 0;
+  Root->walk([&](ir::Operation *) { ++N; });
+  return N;
 }
 
 ir::Operation *transforms::enclosingFunction(ir::Operation *Op) {

@@ -12,6 +12,7 @@
 #include "ir/Context.h"
 #include "ir/IR.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,13 +32,27 @@ public:
   virtual bool run(ir::Operation *Func, ir::Context &Ctx) = 0;
 };
 
-/// Statistics of one PassManager run.
+/// Statistics of one PassManager run: per-pass wall time and IR op counts
+/// before/after each transform, in pipeline order (the MLIR
+/// -mlir-timing/-mlir-pass-statistics analogue). Collected unconditionally
+/// (compile-time only); mirrored into the telemetry registry when the
+/// instrumentation layer is built in.
 struct PassStatistics {
   struct Entry {
     std::string PassName;
-    bool Changed;
+    bool Changed = false;
+    uint64_t WallNs = 0;    ///< wall time of this pass run
+    int64_t OpsBefore = 0;  ///< IR operations in the function before
+    int64_t OpsAfter = 0;   ///< ... and after the pass ran
   };
   std::vector<Entry> Entries;
+
+  /// Total wall time across all entries.
+  uint64_t totalNs() const;
+
+  /// Aligned human-readable pass-timing table (the `limpetc --stats`
+  /// rendering).
+  std::string str() const;
 };
 
 /// Runs a sequence of passes over a function.
@@ -81,6 +96,10 @@ std::unique_ptr<Pass> createDCEPass();
 /// Shared by DCE / canonicalize.
 void countUses(ir::Operation *Root,
                std::function<void(ir::Value *, ir::Operation *)> Fn);
+
+/// Number of operations inside \p Root (itself included, nested regions
+/// walked). Used by the per-pass statistics.
+int64_t countOps(ir::Operation *Root);
 
 /// Finds the enclosing func.func of \p Op (or \p Op itself).
 ir::Operation *enclosingFunction(ir::Operation *Op);

@@ -1,0 +1,77 @@
+//===- TelemetryOffCheck.cpp - telemetry-off zero-overhead checks ---------===//
+//
+// This TU is compiled with LIMPET_TELEMETRY_ENABLED=0 (see
+// tests/CMakeLists.txt) and linked into telemetry_tests, which is
+// otherwise built with the layer enabled. That proves two things at once:
+//
+//  1. The on/off APIs are ODR-safe to mix in one binary (they live in
+//     differently named inline namespaces).
+//  2. The disabled API really is free: the stub types are empty, the stub
+//     calls observably do nothing, and no recorder can ever activate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include <type_traits>
+
+using namespace limpet;
+
+static_assert(!telemetry::kEnabled,
+              "TelemetryOffCheck.cpp must be compiled with "
+              "LIMPET_TELEMETRY_ENABLED=0");
+static_assert(std::is_empty_v<telemetry::ScopedTimerNs>,
+              "disabled ScopedTimerNs must carry no state");
+static_assert(std::is_empty_v<telemetry::TraceSpan>,
+              "disabled TraceSpan must carry no state");
+
+/// All bits telemetryOffCheck() can report.
+extern const int kOffCheckAll = (1 << 6) - 1;
+
+int telemetryOffCheck() {
+  int Passed = 0;
+
+  // Bit 0: the compile-time switch really is off in this TU.
+  if (!telemetry::kEnabled)
+    Passed |= 1 << 0;
+
+  // Bit 1: counters ignore adds.
+  telemetry::Counter &C = telemetry::counter("off.check");
+  C.add(42);
+  if (C.get() == 0)
+    Passed |= 1 << 1;
+
+  // Bit 2: the registry records nothing.
+  telemetry::Registry &R = telemetry::Registry::instance();
+  if (R.value("off.check") == 0 && R.snapshot().empty())
+    Passed |= 1 << 2;
+
+  // Bit 3: runtime-shard recording is a no-op.
+  telemetry::recordKernelChunk(/*Ns=*/100, /*Cells=*/10, /*Width=*/8,
+                               /*FastMath=*/true, /*LutOpsPerCell=*/1,
+                               /*MathOpsPerCell=*/1);
+  telemetry::RuntimeCounters RC = telemetry::runtimeCounters();
+  if (RC.KernelNs == 0 && RC.CellSteps == 0 && RC.LutInterps == 0)
+    Passed |= 1 << 3;
+
+  // Bit 4: a recorder can never become active.
+  telemetry::TraceRecorder Rec;
+  telemetry::TraceRecorder::setActive(&Rec);
+  if (telemetry::TraceRecorder::active() == nullptr) {
+    { telemetry::TraceSpan Span("off", "off"); }
+    if (Rec.eventCount() == 0)
+      Passed |= 1 << 4;
+  }
+  telemetry::TraceRecorder::setActive(nullptr);
+
+  // Bit 5: timers construct and destruct without side effects.
+  {
+    telemetry::ScopedTimerNs T("off.timer");
+    (void)T;
+  }
+  if (R.value("off.timer") == 0)
+    Passed |= 1 << 5;
+
+  return Passed;
+}

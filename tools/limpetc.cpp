@@ -21,6 +21,9 @@
 #include "models/Registry.h"
 #include "sim/Simulator.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+#include "transforms/Pass.h"
 
 #include <cstdio>
 #include <cstring>
@@ -51,8 +54,66 @@ void printUsage() {
       "  --cells N           population size for --run (default 256)\n"
       "  --guard             enable the numerical guard rails for --run\n"
       "                      (health scan, checkpoint/retry, degradation;\n"
-      "                      see docs/ROBUSTNESS.md)\n");
+      "                      see docs/ROBUSTNESS.md)\n"
+      "  --stats             print the pass-timing table and telemetry\n"
+      "                      counters (see docs/OBSERVABILITY.md)\n"
+      "  --trace FILE        write a Chrome trace-event JSON covering\n"
+      "                      parse/sema/codegen/run to FILE\n");
 }
+
+/// Keeps a TraceRecorder active for the lifetime of the driver and writes
+/// it to Path on destruction, so every exit path produces a valid trace.
+class TraceFile {
+public:
+  explicit TraceFile(std::string Path) : Path(std::move(Path)) {
+    if (!this->Path.empty())
+      telemetry::TraceRecorder::setActive(&Recorder);
+  }
+  TraceFile(const TraceFile &) = delete;
+  TraceFile &operator=(const TraceFile &) = delete;
+  ~TraceFile() {
+    if (Path.empty())
+      return;
+    telemetry::TraceRecorder::setActive(nullptr);
+    if (!telemetry::kEnabled) {
+      std::fprintf(stderr,
+                   "warning: --trace ignored (telemetry disabled at build "
+                   "time)\n");
+      return;
+    }
+    std::string Error;
+    if (Recorder.writeFile(Path, &Error))
+      std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                   Recorder.eventCount(), Path.c_str());
+    else
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+  }
+
+private:
+  std::string Path;
+  telemetry::TraceRecorder Recorder;
+};
+
+/// Prints the optimization-pass table (once one is available) and the
+/// telemetry counter summary when the driver exits with --stats set.
+class StatsReport {
+public:
+  explicit StatsReport(bool Enabled) : Enabled(Enabled) {}
+  StatsReport(const StatsReport &) = delete;
+  StatsReport &operator=(const StatsReport &) = delete;
+  void setPassStats(const transforms::PassStatistics &S) { Table = S.str(); }
+  ~StatsReport() {
+    if (!Enabled)
+      return;
+    if (!Table.empty())
+      std::printf("\n%s", Table.c_str());
+    std::printf("\n%s", telemetry::summaryReport().c_str());
+  }
+
+private:
+  bool Enabled;
+  std::string Table;
+};
 
 /// Reads a whole file; nullopt when the file cannot be opened. An
 /// unreadable path used to read back as "" and silently compile as an
@@ -112,6 +173,8 @@ int main(int argc, char **argv) {
   bool EnableLuts = true, RunPasses = true;
   int64_t RunSteps = 1000, RunCells = 256;
   bool RunGuard = false;
+  bool Stats = false;
+  std::string TracePath;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -135,6 +198,10 @@ int main(int argc, char **argv) {
       RunPasses = false;
     else if (Arg == "--guard")
       RunGuard = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--trace" && I + 1 < argc)
+      TracePath = argv[++I];
     else if (Arg == "--steps" && I + 1 < argc)
       RunSteps = std::atoll(argv[++I]);
     else if (Arg == "--cells" && I + 1 < argc)
@@ -164,6 +231,11 @@ int main(int argc, char **argv) {
   // AoSoA is the natural layout when asking for vector IR.
   if (M == Mode::VectorIR && !LayoutSet)
     Layout = codegen::StateLayout::AoSoA;
+
+  // Both guards outlive every mode below: the recorder captures
+  // parse->sema->codegen->run, and the stats report prints on any exit.
+  TraceFile Trace(TracePath);
+  StatsReport StatsOut(Stats);
 
   DiagnosticEngine Diags;
   auto Info = easyml::compileModelInfo(Name, Source, Diags);
@@ -233,6 +305,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: compilation failed: %s\n", Error.c_str());
       return 1;
     }
+    StatsOut.setPassStats(Model->kernel().PassStats);
     sim::SimOptions Opts;
     Opts.NumCells = RunCells;
     Opts.NumSteps = RunSteps;
@@ -261,6 +334,7 @@ int main(int argc, char **argv) {
   Options.EnableLuts = EnableLuts;
   Options.RunPasses = RunPasses;
   codegen::GeneratedKernel K = codegen::generateKernel(*Info, Options);
+  StatsOut.setPassStats(K.PassStats);
 
   if (M == Mode::IR) {
     std::printf("%s", ir::printOp(K.ScalarFunc).c_str());
