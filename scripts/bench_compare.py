@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over LIMPET_BENCH_STATS NDJSON records.
+
+Compares a freshly produced NDJSON stats file (see docs/OBSERVABILITY.md)
+against a blessed baseline checked into bench/baselines/, keyed by
+(bench, model, config, threads, cells, steps). The compared metric is
+ns_per_cell_step (falling back to wall seconds for telemetry-off builds,
+where the kernel counters are all zero). Duplicate records for one key are
+min-aggregated — the fastest observation is the least noisy estimate of
+the machine's capability.
+
+Exit status: 0 when every matched key is within the tolerance, 1 on any
+regression beyond it (or on malformed input). New keys (no baseline entry)
+and retired keys (baseline only) are reported but never fail the gate, so
+adding a bench does not require re-blessing in the same commit.
+
+Usage:
+  bench_compare.py CURRENT.ndjson [--baseline PATH] [--bless] [--dry-run]
+  bench_compare.py --selftest
+
+  --baseline PATH  baseline NDJSON (default: bench/baselines/ci-smoke.ndjson)
+  --bless          overwrite the baseline with CURRENT's aggregated records
+  --dry-run        run the full comparison but always exit 0 (for noisy
+                   shared runners where the numbers are advisory)
+  --selftest       exercise the gate on synthetic records, including an
+                   injected regression that must fail; exits non-zero if
+                   the gate misbehaves
+
+Tolerance: LIMPET_BENCH_TOLERANCE_PCT (default 25); a key regresses when
+current > baseline * (1 + tolerance/100).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join("bench", "baselines", "ci-smoke.ndjson")
+KEY_FIELDS = ("bench", "model", "config", "threads", "cells", "steps")
+
+
+def tolerance_pct():
+    raw = os.environ.get("LIMPET_BENCH_TOLERANCE_PCT", "25")
+    try:
+        value = float(raw)
+    except ValueError:
+        sys.exit(f"bench_compare: LIMPET_BENCH_TOLERANCE_PCT={raw!r} "
+                 "is not a number")
+    if value < 0:
+        sys.exit("bench_compare: LIMPET_BENCH_TOLERANCE_PCT must be >= 0")
+    return value
+
+
+def metric_of(rec):
+    """ns/cell-step when the telemetry counters saw work; else seconds."""
+    ns = rec.get("ns_per_cell_step", 0)
+    if ns and ns > 0:
+        return float(ns), "ns_per_cell_step"
+    return float(rec.get("seconds", 0)), "seconds"
+
+
+def load_records(path):
+    """Parses NDJSON into {key: (metric, metric_name, record)} (min-agg)."""
+    best = {}
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"bench_compare: {path}:{lineno}: bad JSON: {e}")
+        missing = [k for k in KEY_FIELDS if k not in rec]
+        if missing:
+            sys.exit(f"bench_compare: {path}:{lineno}: record lacks "
+                     f"{missing} (is this a LIMPET_BENCH_STATS file?)")
+        key = tuple(rec[k] for k in KEY_FIELDS)
+        value, name = metric_of(rec)
+        if value <= 0:
+            continue  # no timing signal (e.g. zero-step smoke record)
+        if key not in best or value < best[key][0]:
+            best[key] = (value, name, rec)
+    return best
+
+
+def key_str(key):
+    bench, model, config, threads, cells, steps = key
+    return (f"{bench}/{model}/{config} threads={threads} "
+            f"cells={cells} steps={steps}")
+
+
+def bless(current, path):
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        for key in sorted(current, key=str):
+            f.write(json.dumps(current[key][2], sort_keys=True) + "\n")
+    print(f"bench_compare: blessed {len(current)} records into {path}")
+
+
+def compare(current, baseline, tol_pct, out=sys.stdout):
+    """Returns the list of regressed keys; prints a per-key report."""
+    regressed = []
+    matched = 0
+    for key in sorted(current, key=str):
+        cur_value, cur_name, _ = current[key]
+        if key not in baseline:
+            print(f"  NEW      {key_str(key)} ({cur_name} {cur_value:.4g})",
+                  file=out)
+            continue
+        base_value, base_name, _ = baseline[key]
+        if base_name != cur_name:
+            # Metric availability changed (telemetry toggled); the numbers
+            # are not comparable, so report and move on.
+            print(f"  SKIP     {key_str(key)} (metric changed: "
+                  f"{base_name} -> {cur_name})", file=out)
+            continue
+        matched += 1
+        ratio = cur_value / base_value
+        delta_pct = (ratio - 1.0) * 100.0
+        ok = ratio <= 1.0 + tol_pct / 100.0
+        tag = "OK" if ok else "REGRESSED"
+        print(f"  {tag:9}{key_str(key)}: {base_name} "
+              f"{base_value:.4g} -> {cur_value:.4g} ({delta_pct:+.1f}%)",
+              file=out)
+        if not ok:
+            regressed.append(key)
+    for key in sorted(baseline, key=str):
+        if key not in current:
+            print(f"  RETIRED  {key_str(key)} (baseline only)", file=out)
+    print(f"bench_compare: {matched} matched, {len(regressed)} regressed "
+          f"(tolerance {tol_pct:g}%)", file=out)
+    return regressed
+
+
+def selftest():
+    """The gate must pass on parity, fail on an injected regression."""
+    def rec(model, ns, seconds=1.0):
+        return {"bench": "selftest", "model": model, "config": "V4",
+                "threads": 1, "cells": 256, "steps": 20,
+                "seconds": seconds, "ns_per_cell_step": ns}
+
+    def agg(records):
+        best = {}
+        for r in records:
+            key = tuple(r[k] for k in KEY_FIELDS)
+            value, name = metric_of(r)
+            if key not in best or value < best[key][0]:
+                best[key] = (value, name, r)
+        return best
+
+    sink = open(os.devnull, "w")
+    failures = []
+
+    base = agg([rec("HodgkinHuxley", 10.0), rec("Courtemanche", 50.0)])
+    if compare(agg([rec("HodgkinHuxley", 10.0),
+                    rec("Courtemanche", 50.0)]), base, 25, sink):
+        failures.append("parity flagged as regression")
+    # Injected regression: 2x slower must trip a 25% gate.
+    if not compare(agg([rec("HodgkinHuxley", 20.0),
+                        rec("Courtemanche", 50.0)]), base, 25, sink):
+        failures.append("2x regression not detected")
+    # Within tolerance and improvements must pass.
+    if compare(agg([rec("HodgkinHuxley", 11.0),
+                    rec("Courtemanche", 40.0)]), base, 25, sink):
+        failures.append("in-tolerance change flagged")
+    # Min-aggregation: a noisy slow repeat next to a fast one must not trip.
+    if compare(agg([rec("HodgkinHuxley", 30.0), rec("HodgkinHuxley", 9.0),
+                    rec("Courtemanche", 50.0)]), base, 25, sink):
+        failures.append("min-aggregation not applied")
+    # New and retired keys are advisory only.
+    if compare(agg([rec("HodgkinHuxley", 10.0), rec("OHara", 99.0)]),
+               base, 25, sink):
+        failures.append("new/retired keys failed the gate")
+    # Telemetry-off records fall back to seconds and still gate.
+    base_sec = agg([rec("HodgkinHuxley", 0, seconds=1.0)])
+    if not compare(agg([rec("HodgkinHuxley", 0, seconds=2.0)]),
+                   base_sec, 25, sink):
+        failures.append("seconds-fallback regression not detected")
+
+    for f in failures:
+        print(f"selftest FAIL: {f}")
+    if failures:
+        return 1
+    print("bench_compare selftest: 6 checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("current", nargs="?", help="fresh NDJSON stats file")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--bless", action="store_true")
+    parser.add_argument("--dry-run", action="store_true")
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.current:
+        parser.error("CURRENT.ndjson is required (or use --selftest)")
+
+    current = load_records(args.current)
+    if not current:
+        sys.exit(f"bench_compare: {args.current} has no usable records")
+    if args.bless:
+        bless(current, args.baseline)
+        return 0
+    if not os.path.exists(args.baseline):
+        sys.exit(f"bench_compare: no baseline at {args.baseline} "
+                 "(create one with --bless)")
+    baseline = load_records(args.baseline)
+    regressed = compare(current, baseline, tolerance_pct())
+    if regressed and args.dry_run:
+        print("bench_compare: --dry-run, regressions reported but not fatal")
+        return 0
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

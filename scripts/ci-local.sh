@@ -100,7 +100,7 @@ else
       -DLIMPET_SANITIZE=address,undefined &&
       cmake --build build-ci-san -j "$(nproc)" &&
       for s in nan-state inf-vm persistent lut-corrupt extreme-dt \
-        extreme-param; do
+        extreme-param sharded; do
         ./build-ci-san/tools/faultinject $s || return 1
       done
   }
@@ -130,6 +130,14 @@ print(f"{len(lines)} valid NDJSON records")
 EOF
   }
   run_job "bench-smoke" bench_smoke
+  # The gate's own behaviour is blocking; the comparison against the
+  # committed baseline is advisory (numbers come from another machine).
+  run_job "bench-compare-selftest" python3 scripts/bench_compare.py --selftest
+  if [ -f bench/baselines/ci-smoke.ndjson ] &&
+    [ -f /tmp/ci-local-bench-stats.ndjson ]; then
+    run_job "bench-compare" python3 scripts/bench_compare.py \
+      /tmp/ci-local-bench-stats.ndjson --dry-run
+  fi
 else
   skip_job "bench-smoke" "no built micro_benchmarks found"
 fi

@@ -133,6 +133,8 @@ double bench::timeSimulation(const CompiledModel &Model,
   S.LutInterps = After.LutInterps - Before.LutInterps;
   S.FastMathCalls = After.FastMathCalls - Before.FastMathCalls;
   S.LibmCalls = After.LibmCalls - Before.LibmCalls;
+  S.BytesLoaded = After.BytesLoaded - Before.BytesLoaded;
+  S.BytesStored = After.BytesStored - Before.BytesStored;
   recordBenchStat(S);
   return Seconds;
 }
@@ -170,11 +172,14 @@ std::string BenchStat::json() const {
   std::snprintf(Buf, sizeof Buf,
                 ",\"ns_per_cell_step\":%.6g,\"cell_steps_per_sec\":%.6g,"
                 "\"lut_interps\":%llu,\"fastmath_calls\":%llu,"
-                "\"libm_calls\":%llu}",
+                "\"libm_calls\":%llu,\"bytes_loaded\":%llu,"
+                "\"bytes_stored\":%llu}",
                 NsPerCellStep, CellStepsPerSec,
                 (unsigned long long)LutInterps,
                 (unsigned long long)FastMathCalls,
-                (unsigned long long)LibmCalls);
+                (unsigned long long)LibmCalls,
+                (unsigned long long)BytesLoaded,
+                (unsigned long long)BytesStored);
   Out += Buf;
   return Out;
 }

@@ -88,6 +88,10 @@ struct BenchStat {
   uint64_t LutInterps = 0;
   uint64_t FastMathCalls = 0;
   uint64_t LibmCalls = 0;
+  /// Modeled memory traffic of the timed region (roofline numerator),
+  /// from the per-chunk static byte counts of each kernel's bytecode.
+  uint64_t BytesLoaded = 0;
+  uint64_t BytesStored = 0;
 
   /// The record as one line of JSON (no trailing newline).
   std::string json() const;

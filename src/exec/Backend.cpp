@@ -1,0 +1,62 @@
+//===- Backend.cpp --------------------------------------------------------===//
+
+#include "exec/Backend.h"
+
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include <cassert>
+
+using namespace limpet;
+using namespace limpet::exec;
+using namespace limpet::codegen;
+
+void Backend::dispatch(const BcProgram &P, const KernelArgs &Args) const {
+  int64_t W = int64_t(width());
+  int64_t Main = Args.Start + (Args.End - Args.Start) / W * W;
+  if (Main == Args.End) {
+    runRange(P, Args);
+    return;
+  }
+  // Ragged tail: per-chunk backend selection replaces the epilogue that
+  // used to live inside the vector interpreter. The tail runs through the
+  // scalar backend with the same math flavour, so scalar-vs-vector
+  // equivalence holds cell-for-cell.
+  KernelArgs Sub = Args;
+  if (Main > Args.Start) {
+    Sub.End = Main;
+    runRange(P, Sub);
+  }
+  Sub.Start = Main;
+  Sub.End = Args.End;
+  resolveBackend(1, fastMath()).runRange(P, Sub);
+}
+
+void Backend::step(const BcProgram &P, KernelArgs &Args) const {
+  assert((P.Layout != StateLayout::AoSoA || P.AoSoAW >= 1) &&
+         "AoSoA layout requires a block width");
+  assert((width() == 1 || P.Layout != StateLayout::AoSoA ||
+          Args.Start % int64_t(P.AoSoAW) == 0) &&
+         "AoSoA vector chunks must start on a block boundary");
+  if (Args.End <= Args.Start)
+    return;
+#if LIMPET_TELEMETRY_ENABLED
+  // Chunk-granular accounting: one clock pair and a handful of
+  // thread-local adds per invocation, amortized over the whole cell
+  // range. The interpreter's inner loop is untouched; LUT/math/byte
+  // totals are derived from the program's static per-cell counts. The
+  // whole chunk (tail included) is accounted under this backend's width,
+  // matching the configuration the caller selected.
+  auto T0 = telemetry::Clock::now();
+  dispatch(P, Args);
+  uint64_t Ns = telemetry::nanosecondsSince(T0);
+  telemetry::recordKernelChunk(Ns, Args.End - Args.Start, width(), fastMath(),
+                               P.LutOpsPerCell, P.MathOpsPerCell,
+                               P.Counts.LoadBytesPerCell,
+                               P.Counts.StoreBytesPerCell);
+  if (telemetry::TraceRecorder *R = telemetry::TraceRecorder::active())
+    R->complete("kernel-chunk", "run", T0, T0 + std::chrono::nanoseconds(Ns));
+#else
+  dispatch(P, Args);
+#endif
+}

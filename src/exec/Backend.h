@@ -1,0 +1,84 @@
+//===- Backend.h - Pluggable kernel execution backends ----------*- C++-*-===//
+//
+// One dispatch point for every way a compiled kernel program can be
+// executed: the scalar interpreter (openCARP's baseline scalar C code),
+// the W-lane vector interpreter (limpetMLIR's vector<Wxf64> native code),
+// and — through the same interface — the guard-rail recovery path, which
+// is just the scalar/libm backend driven cell-by-cell by the Simulator.
+//
+// A Backend is stateless and immutable; resolveBackend() returns shared
+// singletons, so EngineConfig can resolve to a backend instance once at
+// model-compile time and every step dispatches through a single virtual
+// call. Backend::step() owns the two concerns that used to be ad-hoc
+// special cases inside the engines:
+//
+//  * the ragged tail: cells left over after the last full W-block run
+//    through the scalar backend of the same math flavour (the
+//    vectorizer's epilogue loop), selected per chunk here rather than
+//    inside the vector interpreter;
+//  * chunk-granular telemetry (time, cell-steps, derived LUT/math/byte
+//    totals from the program's static per-cell counts).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EXEC_BACKEND_H
+#define LIMPET_EXEC_BACKEND_H
+
+#include "exec/Engine.h"
+
+#include <string_view>
+
+namespace limpet {
+namespace exec {
+
+/// A kernel execution strategy. Implementations are stateless singletons
+/// owned by resolveBackend().
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  /// Stable identifier, e.g. "scalar/libm" or "vec8/vecmath".
+  virtual std::string_view name() const = 0;
+
+  /// SIMD lane count of the main loop (1 for the scalar backend).
+  virtual unsigned width() const = 0;
+
+  /// Whether transcendental calls use the VecMath kernels (the SVML
+  /// analogue) instead of libm.
+  virtual bool fastMath() const = 0;
+
+  /// Capability flags.
+  bool vectorized() const { return width() > 1; }
+  bool supportsLayout(codegen::StateLayout L) const {
+    // AoSoA blocks only make sense with a vector main loop.
+    return L != codegen::StateLayout::AoSoA || vectorized();
+  }
+
+  /// Runs \p P over [Args.Start, Args.End): full W-blocks through this
+  /// backend's main loop, any ragged tail through the scalar backend of
+  /// the same math flavour. Records one telemetry chunk for the whole
+  /// range under this backend's width.
+  void step(const BcProgram &P, KernelArgs &Args) const;
+
+protected:
+  /// The raw interpreter loop over [Args.Start, Args.End). The vector
+  /// backends require the range to be a whole number of W-blocks; step()
+  /// guarantees that.
+  virtual void runRange(const BcProgram &P, const KernelArgs &Args) const = 0;
+
+private:
+  void dispatch(const BcProgram &P, const KernelArgs &Args) const;
+};
+
+/// The shared backend instance for a supported (Width, FastMath) pair.
+/// Asserts on unsupported widths; see tryResolveBackend for the checked
+/// form.
+const Backend &resolveBackend(unsigned Width, bool FastMath);
+
+/// Like resolveBackend, but returns nullptr for unsupported widths.
+const Backend *tryResolveBackend(unsigned Width, bool FastMath);
+
+} // namespace exec
+} // namespace limpet
+
+#endif // LIMPET_EXEC_BACKEND_H

@@ -58,17 +58,28 @@ std::string exec::engineConfigName(const EngineConfig &Cfg) {
   return Name;
 }
 
+Status EngineConfig::validate() const {
+  if (!isSupportedWidth(Width))
+    return Status::error("unsupported vector width " + std::to_string(Width));
+  const Backend *B = tryResolveBackend(Width, FastMath);
+  if (!B)
+    return Status::error("unsupported vector width " + std::to_string(Width));
+  if (!B->supportsLayout(Layout))
+    return Status::error("AoSoA layout requires a vector engine");
+  if (CubicLut && !EnableLuts)
+    return Status::error("cubic LUT interpolation requires LUTs "
+                         "(EnableLuts) to be on");
+  return Status::success();
+}
+
 std::optional<CompiledModel>
 CompiledModel::compile(const easyml::ModelInfo &Info, const EngineConfig &Cfg,
                        std::string *Error) {
-  if (!isSupportedWidth(Cfg.Width)) {
+  // Reject unsupported configurations up front with a recoverable error
+  // instead of asserting deep in codegen.
+  if (Status S = Cfg.validate(); !S) {
     if (Error)
-      *Error = "unsupported vector width " + std::to_string(Cfg.Width);
-    return std::nullopt;
-  }
-  if (Cfg.Width == 1 && Cfg.Layout == StateLayout::AoSoA) {
-    if (Error)
-      *Error = "AoSoA layout requires a vector engine";
+      *Error = S.message();
     return std::nullopt;
   }
 
@@ -79,6 +90,7 @@ CompiledModel::compile(const easyml::ModelInfo &Info, const EngineConfig &Cfg,
 
   CompiledModel M;
   M.Cfg = Cfg;
+  M.Engine = &resolveBackend(Cfg.Width, Cfg.FastMath);
 
   CodeGenOptions Options;
   Options.Layout = Cfg.Layout;
@@ -169,7 +181,7 @@ runtime::LutTableSet CompiledModel::buildLuts(const double *Params) const {
 void CompiledModel::computeStep(KernelArgs Args) const {
   if (!Args.Luts)
     Args.Luts = &Luts;
-  runKernel(Program, Args, Cfg.Width, Cfg.FastMath);
+  Engine->step(Program, Args);
 }
 
 double CompiledModel::readState(const double *State, int64_t Cell,

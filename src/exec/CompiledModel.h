@@ -12,9 +12,11 @@
 #define LIMPET_EXEC_COMPILEDMODEL_H
 
 #include "codegen/MLIRCodeGen.h"
+#include "exec/Backend.h"
 #include "exec/Bytecode.h"
 #include "exec/Engine.h"
 #include "runtime/Lut.h"
+#include "support/Status.h"
 
 #include <memory>
 #include <optional>
@@ -46,6 +48,12 @@ struct EngineConfig {
   /// libm, AoS). Cells whose fast-path integration keeps faulting fall
   /// back to a model compiled with this configuration.
   static EngineConfig recovery();
+
+  /// Checks that this configuration names an executable engine
+  /// (supported width, layout/width compatibility, LUT flag coherence).
+  /// CompiledModel::compile rejects invalid configurations with this
+  /// recoverable Status instead of asserting deep in codegen.
+  Status validate() const;
 };
 
 std::string engineConfigName(const EngineConfig &Cfg);
@@ -61,6 +69,9 @@ public:
 
   const easyml::ModelInfo &info() const { return Kernel.Program.Info; }
   const EngineConfig &config() const { return Cfg; }
+  /// The execution backend this configuration resolved to at compile
+  /// time (never null for a successfully compiled model).
+  const Backend *backend() const { return Engine; }
   const BcProgram &program() const { return Program; }
   const runtime::LutTableSet &luts() const { return Luts; }
   const codegen::GeneratedKernel &kernel() const { return Kernel; }
@@ -111,6 +122,8 @@ private:
   BcProgram Program;
   runtime::LutTableSet Luts;
   EngineConfig Cfg;
+  /// Resolved once at compile time; computeStep dispatches through it.
+  const Backend *Engine = nullptr;
 };
 
 } // namespace exec

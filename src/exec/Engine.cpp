@@ -2,11 +2,10 @@
 
 #include "exec/Engine.h"
 
+#include "exec/Backend.h"
 #include "runtime/VecMath.h"
-#include "support/Casting.h"
-#include "support/Telemetry.h"
-#include "support/Trace.h"
 
+#include <cassert>
 #include <cmath>
 
 using namespace limpet;
@@ -538,8 +537,13 @@ template <unsigned W, bool Fast>
   }
 }
 
+/// Runs full W-blocks only; Backend::step routes any ragged tail through
+/// the scalar backend before calling this.
 template <unsigned W, bool Fast>
 void runVectorRange(const BcProgram &P, const KernelArgs &A) {
+  assert((A.End - A.Start) % int64_t(W) == 0 &&
+         "vector ranges must be whole W-blocks (tails are the scalar "
+         "backend's job)");
   std::vector<double> Regs(size_t(P.NumRegs) * W, 0.0);
   double *R = Regs.data();
   if (P.HasDt)
@@ -552,16 +556,45 @@ void runVectorRange(const BcProgram &P, const KernelArgs &A) {
   for (const BcInstr &I : P.Prologue)
     execVectorInstr<W, Fast>(I, R, A, P, A.Start);
 
-  int64_t C = A.Start;
-  for (; C + int64_t(W) <= A.End; C += int64_t(W))
+  for (int64_t C = A.Start; C + int64_t(W) <= A.End; C += int64_t(W))
     for (const BcInstr &I : P.Body)
       execVectorInstr<W, Fast>(I, R, A, P, C);
-
-  // Epilogue: remaining cells go through the scalar path (same math
-  // flavour as the vector body).
-  if (C < A.End)
-    runScalarRange<Fast>(P, A, C, A.End);
 }
+
+//===----------------------------------------------------------------------===//
+// Backend implementations
+//===----------------------------------------------------------------------===//
+
+template <bool Fast> class ScalarBackend final : public Backend {
+public:
+  std::string_view name() const override {
+    return Fast ? "scalar/vecmath" : "scalar/libm";
+  }
+  unsigned width() const override { return 1; }
+  bool fastMath() const override { return Fast; }
+
+protected:
+  void runRange(const BcProgram &P, const KernelArgs &A) const override {
+    runScalarRange<Fast>(P, A, A.Start, A.End);
+  }
+};
+
+template <unsigned W, bool Fast> class VectorBackend final : public Backend {
+public:
+  VectorBackend()
+      : Name("vec" + std::to_string(W) + (Fast ? "/vecmath" : "/libm")) {}
+  std::string_view name() const override { return Name; }
+  unsigned width() const override { return W; }
+  bool fastMath() const override { return Fast; }
+
+protected:
+  void runRange(const BcProgram &P, const KernelArgs &A) const override {
+    runVectorRange<W, Fast>(P, A);
+  }
+
+private:
+  std::string Name;
+};
 
 } // namespace
 
@@ -569,65 +602,38 @@ bool exec::isSupportedWidth(unsigned W) {
   return W == 1 || W == 2 || W == 4 || W == 8;
 }
 
-namespace {
-
-/// The engine dispatch proper, separated from runKernel so the telemetry
-/// wrapper there sees every exit path.
-void dispatchKernel(const BcProgram &P, const KernelArgs &Args,
-                    unsigned Width, bool FastMath) {
+const Backend *exec::tryResolveBackend(unsigned Width, bool FastMath) {
+  static const ScalarBackend<false> S1Exact;
+  static const ScalarBackend<true> S1Fast;
+  static const VectorBackend<2, false> V2Exact;
+  static const VectorBackend<2, true> V2Fast;
+  static const VectorBackend<4, false> V4Exact;
+  static const VectorBackend<4, true> V4Fast;
+  static const VectorBackend<8, false> V8Exact;
+  static const VectorBackend<8, true> V8Fast;
   switch (Width) {
   case 1:
-    if (FastMath)
-      runScalarRange<true>(P, Args, Args.Start, Args.End);
-    else
-      runScalarRange<false>(P, Args, Args.Start, Args.End);
-    return;
+    return FastMath ? static_cast<const Backend *>(&S1Fast) : &S1Exact;
   case 2:
-    if (FastMath)
-      runVectorRange<2, true>(P, Args);
-    else
-      runVectorRange<2, false>(P, Args);
-    return;
+    return FastMath ? static_cast<const Backend *>(&V2Fast) : &V2Exact;
   case 4:
-    if (FastMath)
-      runVectorRange<4, true>(P, Args);
-    else
-      runVectorRange<4, false>(P, Args);
-    return;
+    return FastMath ? static_cast<const Backend *>(&V4Fast) : &V4Exact;
   case 8:
-    if (FastMath)
-      runVectorRange<8, true>(P, Args);
-    else
-      runVectorRange<8, false>(P, Args);
-    return;
+    return FastMath ? static_cast<const Backend *>(&V8Fast) : &V8Exact;
   default:
-    limpet_unreachable("unsupported vector width");
+    return nullptr;
   }
 }
 
-} // namespace
+const Backend &exec::resolveBackend(unsigned Width, bool FastMath) {
+  const Backend *B = tryResolveBackend(Width, FastMath);
+  assert(B && "unsupported vector width");
+  return *B;
+}
 
 void exec::runKernel(const BcProgram &P, const KernelArgs &Args,
                      unsigned Width, bool FastMath) {
   assert(isSupportedWidth(Width) && "unsupported vector width");
-  assert((P.Layout != StateLayout::AoSoA || P.AoSoAW >= 1) &&
-         "AoSoA layout requires a block width");
-  assert((Width == 1 || P.Layout != StateLayout::AoSoA ||
-          Args.Start % int64_t(P.AoSoAW) == 0) &&
-         "AoSoA vector chunks must start on a block boundary");
-#if LIMPET_TELEMETRY_ENABLED
-  // Chunk-granular accounting: one clock pair and a handful of
-  // thread-local adds per invocation, amortized over the whole cell
-  // range. The interpreter's inner loop is untouched; LUT/math totals are
-  // derived from the program's static per-cell op counts.
-  auto T0 = telemetry::Clock::now();
-  dispatchKernel(P, Args, Width, FastMath);
-  uint64_t Ns = telemetry::nanosecondsSince(T0);
-  telemetry::recordKernelChunk(Ns, Args.End - Args.Start, Width, FastMath,
-                               P.LutOpsPerCell, P.MathOpsPerCell);
-  if (telemetry::TraceRecorder *R = telemetry::TraceRecorder::active())
-    R->complete("kernel-chunk", "run", T0, T0 + std::chrono::nanoseconds(Ns));
-#else
-  dispatchKernel(P, Args, Width, FastMath);
-#endif
+  KernelArgs A = Args;
+  resolveBackend(Width, FastMath).step(P, A);
 }

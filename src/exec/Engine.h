@@ -8,12 +8,14 @@
 //    register holds W lanes and every instruction's lane loop has a
 //    compile-time trip count, which the host compiler turns into SIMD —
 //    the stand-in for limpetMLIR's vector<Wxf64> native code. Math uses
-//    the VecMath kernels (the SVML analogue). Cells left over after the
-//    last full block run through the scalar path (the vectorizer's
-//    epilogue loop).
+//    the VecMath kernels (the SVML analogue).
 //
 // Both engines share the bytecode semantics, so vector-vs-scalar
-// equivalence is testable on every model.
+// equivalence is testable on every model. They are exposed through the
+// Backend interface (exec/Backend.h), which owns per-chunk dispatch —
+// including routing cells left over after the last full block through the
+// scalar backend (the vectorizer's epilogue loop) — and the chunk-level
+// telemetry. runKernel below is a thin one-shot shim over resolveBackend.
 //
 //===----------------------------------------------------------------------===//
 
@@ -52,7 +54,10 @@ bool isSupportedWidth(unsigned W);
 /// Runs \p P over [Args.Start, Args.End). Width 1 selects the scalar
 /// engine; 2/4/8 the vector engine with that lane count. \p FastMath
 /// selects the VecMath kernels over libm (the baseline configuration uses
-/// libm; the limpetMLIR configuration uses VecMath).
+/// libm; the limpetMLIR configuration uses VecMath). Thin shim over
+/// resolveBackend(Width, FastMath).step(...); callers that dispatch
+/// repeatedly should resolve the backend once instead (CompiledModel
+/// does).
 void runKernel(const BcProgram &P, const KernelArgs &Args, unsigned Width,
                bool FastMath);
 

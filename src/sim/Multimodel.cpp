@@ -2,8 +2,8 @@
 
 #include "sim/Multimodel.h"
 
-#include "support/Casting.h"
-
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 
 using namespace limpet;
@@ -12,30 +12,34 @@ using namespace limpet::exec;
 
 MultimodelSimulator::MultimodelSimulator(const CompiledModel &Parent,
                                          const SimOptions &Opts)
-    : Parent(Parent), Opts(Opts) {
-  ParentState.assign(Parent.stateArraySize(Opts.NumCells), 0.0);
-  Parent.initializeState(ParentState.data(), Opts.NumCells);
-  std::vector<double> Inits = Parent.externalInits();
-  SharedExt.resize(Inits.size());
-  for (size_t J = 0; J != Inits.size(); ++J)
-    SharedExt[J].assign(size_t(Opts.NumCells), Inits[J]);
+    : Parent(Parent), Opts(Opts),
+      Sched(Opts.NumCells, Opts.NumThreads,
+            std::max(Parent.config().Width, 1u)),
+      ParentBuf(Parent, Opts.NumCells, &Sched) {
   ParentParams = Parent.defaultParams();
   ParentLuts = Parent.buildLuts(ParentParams.data());
   VmIdx = Parent.info().externalIndex("Vm");
   IionIdx = Parent.info().externalIndex("Iion");
+  rebuildStages();
 }
 
 size_t MultimodelSimulator::addPlugin(const CompiledModel &Plugin,
                                       std::vector<ParentBinding> Bindings) {
+  // Shard boundaries must stay aligned for every model in the
+  // composition; widths are powers of two, so the maximum covers all.
+  unsigned MaxW = std::max(Parent.config().Width, 1u);
+  for (const PluginInstance &P : Plugins)
+    MaxW = std::max(MaxW, std::max(P.Model->config().Width, 1u));
+  MaxW = std::max(MaxW, std::max(Plugin.config().Width, 1u));
+  if (MaxW != Sched.plan().BlockWidth)
+    Sched.rebuild(MaxW);
+
   PluginInstance Inst;
   Inst.Model = &Plugin;
-  Inst.State.assign(Plugin.stateArraySize(Opts.NumCells), 0.0);
-  Plugin.initializeState(Inst.State.data(), Opts.NumCells);
+  Inst.Buf = std::make_unique<StateBuffer>(Plugin, Opts.NumCells, &Sched);
 
   const easyml::ModelInfo &Info = Plugin.info();
-  std::vector<double> Inits = Plugin.externalInits();
   Inst.SharedIndex.assign(Info.Externals.size(), -1);
-  Inst.LocalExt.resize(Info.Externals.size());
   Inst.BoundParentSv.assign(Info.Externals.size(), -1);
   Inst.BoundWritable.assign(Info.Externals.size(), false);
 
@@ -51,91 +55,92 @@ size_t MultimodelSimulator::addPlugin(const CompiledModel &Plugin,
       assert(Sv >= 0 && "binding references an unknown parent state var");
       Inst.BoundParentSv[J] = Sv;
       Inst.BoundWritable[J] = Binding->Writable;
-      Inst.LocalExt[J].assign(size_t(Opts.NumCells), 0.0);
       continue;
     }
     // Same-named parent external: share the array.
-    int Shared = Parent.info().externalIndex(Name);
-    if (Shared >= 0) {
-      Inst.SharedIndex[J] = Shared;
-      continue;
-    }
-    // Fall through to the plugin's local storage.
-    Inst.LocalExt[J].assign(size_t(Opts.NumCells), Inits[J]);
+    Inst.SharedIndex[J] = Parent.info().externalIndex(Name);
+    // Else fall through to the plugin's local storage (Inst.Buf's own
+    // external array, already initialized to the plugin's inits).
   }
 
   PluginParams.push_back(Plugin.defaultParams());
   PluginLuts.push_back(Plugin.buildLuts(PluginParams.back().data()));
   Plugins.push_back(std::move(Inst));
+  rebuildStages();
   return Plugins.size() - 1;
 }
 
-void MultimodelSimulator::step() {
-  // 1. Parent compute stage.
-  {
-    KernelArgs Args;
-    Args.State = ParentState.data();
-    for (std::vector<double> &Ext : SharedExt)
-      Args.Exts.push_back(Ext.data());
-    Args.Params = ParentParams.data();
-    Args.Start = 0;
-    Args.End = Opts.NumCells;
-    Args.NumCells = Opts.NumCells;
-    Args.Dt = Opts.Dt;
-    Args.T = T;
-    Args.Luts = &ParentLuts;
-    Parent.computeStep(Args);
-  }
+void MultimodelSimulator::rebuildStages() {
+  Stages.clear();
 
-  // 2. Plugins: gather bound parent state, compute, scatter back.
+  KernelStage ParentStage;
+  ParentStage.Model = &Parent;
+  ParentStage.State = ParentBuf.state();
+  ParentStage.Exts = ParentBuf.extPointers();
+  ParentStage.Params = ParentParams.data();
+  ParentStage.Luts = &ParentLuts;
+  Stages.push_back(std::move(ParentStage));
+
   for (size_t P = 0; P != Plugins.size(); ++P) {
     PluginInstance &Inst = Plugins[P];
-    const easyml::ModelInfo &Info = Inst.Model->info();
-
-    for (size_t J = 0; J != Info.Externals.size(); ++J)
-      if (Inst.BoundParentSv[J] >= 0)
-        for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
-          Inst.LocalExt[J][size_t(Cell)] = Parent.readState(
-              ParentState.data(), Cell, Inst.BoundParentSv[J],
-              Opts.NumCells);
-
-    KernelArgs Args;
-    Args.State = Inst.State.data();
-    for (size_t J = 0; J != Info.Externals.size(); ++J)
-      Args.Exts.push_back(Inst.SharedIndex[J] >= 0
-                              ? SharedExt[size_t(Inst.SharedIndex[J])].data()
-                              : Inst.LocalExt[J].data());
-    Args.Params = PluginParams[P].data();
-    Args.Start = 0;
-    Args.End = Opts.NumCells;
-    Args.NumCells = Opts.NumCells;
-    Args.Dt = Opts.Dt;
-    Args.T = T;
-    Args.Luts = &PluginLuts[P];
-    Inst.Model->computeStep(Args);
-
+    KernelStage Stage;
+    Stage.Model = Inst.Model;
+    Stage.State = Inst.Buf->state();
+    bool AnyBound = false, AnyWritable = false;
+    for (size_t J = 0; J != Inst.SharedIndex.size(); ++J) {
+      Stage.Exts.push_back(Inst.SharedIndex[J] >= 0
+                               ? ParentBuf.ext(size_t(Inst.SharedIndex[J]))
+                               : Inst.Buf->ext(J));
+      AnyBound |= Inst.BoundParentSv[J] >= 0;
+      AnyWritable |= Inst.BoundParentSv[J] >= 0 && Inst.BoundWritable[J];
+    }
+    Stage.Params = PluginParams[P].data();
+    Stage.Luts = &PluginLuts[P];
+    // The hooks capture the plugin index, not the instance: Plugins may
+    // reallocate on a later addPlugin. Each hook only touches its shard's
+    // cell range, so shards stay independent under threading.
+    if (AnyBound)
+      Stage.Before = [this, P](int64_t Begin, int64_t End) {
+        PluginInstance &I = Plugins[P];
+        for (size_t J = 0; J != I.BoundParentSv.size(); ++J) {
+          if (I.BoundParentSv[J] < 0)
+            continue;
+          double *Dst = I.Buf->ext(J);
+          for (int64_t Cell = Begin; Cell != End; ++Cell)
+            Dst[Cell] = ParentBuf.readState(Cell, I.BoundParentSv[J]);
+        }
+      };
     // Offspring may modify the parent: scatter writable bindings back
     // into the parent's (layout-transformed) state.
-    for (size_t J = 0; J != Info.Externals.size(); ++J)
-      if (Inst.BoundParentSv[J] >= 0 && Inst.BoundWritable[J])
-        for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
-          ParentState[size_t(codegen::stateIndex(
-              Parent.config().Layout, Cell, Inst.BoundParentSv[J],
-              Parent.program().NumSv, Opts.NumCells,
-              Parent.program().AoSoAW))] = Inst.LocalExt[J][size_t(Cell)];
+    if (AnyWritable)
+      Stage.After = [this, P](int64_t Begin, int64_t End) {
+        PluginInstance &I = Plugins[P];
+        for (size_t J = 0; J != I.BoundParentSv.size(); ++J) {
+          if (I.BoundParentSv[J] < 0 || !I.BoundWritable[J])
+            continue;
+          const double *Src = I.Buf->ext(J);
+          for (int64_t Cell = Begin; Cell != End; ++Cell)
+            ParentBuf.writeState(Cell, I.BoundParentSv[J], Src[Cell]);
+        }
+      };
+    Stages.push_back(std::move(Stage));
   }
+}
 
-  // 3. Voltage update over the shared arrays.
+void MultimodelSimulator::step() {
+  // Parent compute, then every plugin (gather hook, kernel, scatter
+  // hook), per shard through the one stepping loop.
+  Sched.step(Stages, Opts.Dt, T);
+
+  // Voltage update over the shared arrays.
   if (VmIdx >= 0 && IionIdx >= 0) {
     double Phase = Opts.StimPeriod > 0 ? std::fmod(T, Opts.StimPeriod) : T;
     double Stim = (Phase >= Opts.StimStart &&
                    Phase < Opts.StimStart + Opts.StimDuration)
                       ? Opts.StimStrength
                       : 0.0;
-    double *Vm = SharedExt[size_t(VmIdx)].data();
-    const double *Iion = SharedExt[size_t(IionIdx)].data();
-    for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
-      Vm[Cell] += Opts.Dt * (Stim - Iion[Cell]);
+    Sched.voltageStep(ParentBuf.ext(size_t(VmIdx)),
+                      ParentBuf.ext(size_t(IionIdx)), Stim, Opts.Dt);
   }
   T += Opts.Dt;
 }
@@ -147,22 +152,21 @@ void MultimodelSimulator::run() {
 
 double MultimodelSimulator::vm(int64_t Cell) const {
   assert(VmIdx >= 0 && "parent has no Vm external");
-  return SharedExt[size_t(VmIdx)][size_t(Cell)];
+  return ParentBuf.readExt(size_t(VmIdx), Cell);
 }
 
 double MultimodelSimulator::parentState(int64_t Cell, int64_t Sv) const {
-  return Parent.readState(ParentState.data(), Cell, Sv, Opts.NumCells);
+  return ParentBuf.readState(Cell, Sv);
 }
 
 double MultimodelSimulator::pluginState(size_t PluginIdx, int64_t Cell,
                                         int64_t Sv) const {
-  const PluginInstance &Inst = Plugins[PluginIdx];
-  return Inst.Model->readState(Inst.State.data(), Cell, Sv, Opts.NumCells);
+  return Plugins[PluginIdx].Buf->readState(Cell, Sv);
 }
 
 double MultimodelSimulator::sharedExternal(std::string_view Name,
                                            int64_t Cell) const {
   int Idx = Parent.info().externalIndex(Name);
   assert(Idx >= 0 && "unknown shared external");
-  return SharedExt[size_t(Idx)][size_t(Cell)];
+  return ParentBuf.readExt(size_t(Idx), Cell);
 }

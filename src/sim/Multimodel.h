@@ -23,8 +23,11 @@
 #define LIMPET_SIM_MULTIMODEL_H
 
 #include "exec/CompiledModel.h"
+#include "sim/Scheduler.h"
 #include "sim/Simulator.h"
+#include "sim/StateBuffer.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -67,29 +70,41 @@ public:
   /// The shared external array value seen by every model.
   double sharedExternal(std::string_view Name, int64_t Cell) const;
 
+  /// The stepping loop this composition runs through (one shard plan for
+  /// parent and plugins alike).
+  const Scheduler &scheduler() const { return Sched; }
+
 private:
   struct PluginInstance {
     const exec::CompiledModel *Model = nullptr;
-    std::vector<double> State;
-    /// One array per plugin external: either a view into the shared
-    /// parent externals (index into SharedExt) or local storage.
-    std::vector<int> SharedIndex; // -1 = local
-    std::vector<std::vector<double>> LocalExt;
+    /// Plugin state + external storage in the plugin's compiled layout.
+    /// Externals shared with the parent still get (unused) local arrays;
+    /// the stage wiring points the kernel at the parent's array instead.
+    std::unique_ptr<StateBuffer> Buf;
+    /// Parent external backing each plugin external; -1 = local.
+    std::vector<int> SharedIndex;
     /// Bound parent state (by plugin external index); -1 = unbound.
     std::vector<int> BoundParentSv;
     std::vector<bool> BoundWritable;
   };
 
+  /// Rewires Stages (parent + one stage per plugin, with gather/scatter
+  /// hooks for parent-state bindings). Called after every addPlugin, so
+  /// pointers into PluginLuts/PluginParams are always current.
+  void rebuildStages();
+
   const exec::CompiledModel &Parent;
   SimOptions Opts;
-  std::vector<double> ParentState;
-  /// Shared external arrays, keyed by the parent's external order.
-  std::vector<std::vector<double>> SharedExt;
+  Scheduler Sched;
+  /// Parent state plus the shared external arrays (Vm, Iion, ...) every
+  /// model steps against, keyed by the parent's external order.
+  StateBuffer ParentBuf;
   std::vector<double> ParentParams;
   runtime::LutTableSet ParentLuts;
   std::vector<PluginInstance> Plugins;
   std::vector<std::vector<double>> PluginParams;
   std::vector<runtime::LutTableSet> PluginLuts;
+  std::vector<KernelStage> Stages;
   int VmIdx = -1, IionIdx = -1;
   double T = 0;
 };

@@ -1,0 +1,101 @@
+//===- Scheduler.cpp ------------------------------------------------------===//
+
+#include "sim/Scheduler.h"
+
+#include "runtime/ThreadPool.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace limpet;
+using namespace limpet::sim;
+
+ShardPlan ShardPlan::build(int64_t NumCells, unsigned NumThreads,
+                           unsigned BlockWidth) {
+  ShardPlan P;
+  P.BlockWidth = std::max(BlockWidth, 1u);
+  NumThreads = std::max(NumThreads, 1u);
+  if (NumCells <= 0)
+    return P;
+  int64_t BW = int64_t(P.BlockWidth);
+  int64_t NumBlocks = (NumCells + BW - 1) / BW;
+  for (unsigned I = 0; I != NumThreads; ++I) {
+    int64_t BlockBegin, BlockEnd;
+    runtime::ThreadPool::staticChunk(0, NumBlocks, I, NumThreads, BlockBegin,
+                                     BlockEnd);
+    if (BlockBegin >= BlockEnd)
+      continue;
+    P.Shards.push_back(
+        {BlockBegin * BW, std::min(BlockEnd * BW, NumCells)});
+  }
+  return P;
+}
+
+Scheduler::Scheduler(int64_t NumCells, unsigned NumThreads,
+                     unsigned BlockWidth)
+    : NumCells(std::max<int64_t>(NumCells, 0)),
+      NumThreads(std::max(NumThreads, 1u)),
+      Plan(ShardPlan::build(this->NumCells, this->NumThreads, BlockWidth)) {}
+
+void Scheduler::rebuild(unsigned BlockWidth) {
+  Plan = ShardPlan::build(NumCells, NumThreads, BlockWidth);
+}
+
+void Scheduler::forEachShard(
+    const std::function<void(unsigned, int64_t, int64_t)> &Fn) const {
+  unsigned N = numShards();
+  if (N == 0)
+    return;
+  if (N == 1 || NumThreads <= 1) {
+    for (unsigned S = 0; S != N; ++S)
+      Fn(S, Plan.Shards[S].Begin, Plan.Shards[S].End);
+    return;
+  }
+  // One loop iteration per shard, as many threads as shards: the pool's
+  // static schedule then hands shard i to pool slot i every invocation,
+  // which is what keeps the shard-to-thread (and so page-to-node)
+  // mapping stable across steps.
+  runtime::globalThreadPool().parallelFor(
+      0, int64_t(N), N, [&](int64_t Begin, int64_t End) {
+        for (int64_t S = Begin; S != End; ++S)
+          Fn(unsigned(S), Plan.Shards[size_t(S)].Begin,
+             Plan.Shards[size_t(S)].End);
+      });
+}
+
+void Scheduler::step(const std::vector<KernelStage> &Stages, double Dt,
+                     double T) const {
+  // Counter addresses are process-stable; look it up once.
+  static telemetry::Counter &StepCounter =
+      telemetry::counter("sim.sched.steps");
+  StepCounter.add(1);
+  forEachShard([&](unsigned, int64_t Begin, int64_t End) {
+    for (const KernelStage &Stage : Stages) {
+      assert(Stage.Model && "kernel stage without a model");
+      if (Stage.Before)
+        Stage.Before(Begin, End);
+      exec::KernelArgs Args;
+      Args.State = Stage.State;
+      Args.Exts = Stage.Exts;
+      Args.Params = Stage.Params;
+      Args.Start = Begin;
+      Args.End = End;
+      Args.NumCells = NumCells;
+      Args.Dt = Dt;
+      Args.T = T;
+      Args.Luts = Stage.Luts;
+      Stage.Model->computeStep(Args);
+      if (Stage.After)
+        Stage.After(Begin, End);
+    }
+  });
+}
+
+void Scheduler::voltageStep(double *Vm, const double *Iion, double Stim,
+                            double Dt) const {
+  forEachShard([&](unsigned, int64_t Begin, int64_t End) {
+    for (int64_t Cell = Begin; Cell != End; ++Cell)
+      Vm[Cell] += Dt * (Stim - Iion[Cell]);
+  });
+}

@@ -1,0 +1,103 @@
+//===- Scheduler.h - Sharded population stepping loop -----------*- C++-*-===//
+//
+// The one stepping loop of the runtime: the reproduction of the paper's
+// `#pragma omp parallel for schedule(static)` over the cell range
+// (Listing 2, Sec. 4.2), factored out of the drivers. A Scheduler owns a
+// ShardPlan — contiguous, vector-block-aligned cell ranges with a
+// persistent shard-to-thread assignment over the existing ThreadPool —
+// and drives an ordered list of kernel stages (parent model, then
+// plugins) through every shard each step.
+//
+// The shard assignment is stable across steps: ThreadPool::parallelFor's
+// static schedule hands shard i to pool slot i every time, so pages
+// first-touched by a worker during StateBuffer initialization are stepped
+// by the same worker for the rest of the run (the ROADMAP's NUMA story).
+// Stage kernels are cell-local, so results are bit-identical for any
+// shard count; telemetry written to thread-local shards during a step is
+// merged after the parallelFor barrier by telemetry::runtimeCounters().
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SIM_SCHEDULER_H
+#define LIMPET_SIM_SCHEDULER_H
+
+#include "exec/CompiledModel.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace limpet {
+namespace sim {
+
+/// The static partition of a cell range into contiguous, block-aligned
+/// shards (one prospective shard per thread; empty shards are dropped).
+struct ShardPlan {
+  struct Shard {
+    int64_t Begin = 0;
+    int64_t End = 0;
+  };
+  std::vector<Shard> Shards;
+  unsigned BlockWidth = 1;
+
+  /// Splits [0, NumCells) into up to \p NumThreads shards whose
+  /// boundaries fall on \p BlockWidth multiples (so AoSoA chunks stay
+  /// aligned), mirroring ThreadPool::staticChunk over whole blocks.
+  static ShardPlan build(int64_t NumCells, unsigned NumThreads,
+                         unsigned BlockWidth);
+};
+
+/// One kernel invocation target within a step: which compiled model steps
+/// which arrays. The optional Before/After hooks run per shard around the
+/// kernel (multimodel parent-state gather/scatter).
+struct KernelStage {
+  const exec::CompiledModel *Model = nullptr;
+  double *State = nullptr;
+  std::vector<double *> Exts;
+  const double *Params = nullptr;
+  const runtime::LutTableSet *Luts = nullptr;
+  std::function<void(int64_t Begin, int64_t End)> Before;
+  std::function<void(int64_t Begin, int64_t End)> After;
+};
+
+/// Persistent sharded executor over one cell population.
+class Scheduler {
+public:
+  Scheduler(int64_t NumCells, unsigned NumThreads, unsigned BlockWidth);
+
+  int64_t numCells() const { return NumCells; }
+  unsigned numThreads() const { return NumThreads; }
+  unsigned numShards() const { return unsigned(Plan.Shards.size()); }
+  const ShardPlan &plan() const { return Plan; }
+
+  /// Rebuilds the plan for a new block width (a plugin with a wider
+  /// vector block joined the population).
+  void rebuild(unsigned BlockWidth);
+
+  /// Runs \p Fn over every shard — on the persistent per-thread
+  /// assignment when this scheduler is threaded, inline otherwise —
+  /// and blocks at the barrier.
+  void
+  forEachShard(const std::function<void(unsigned Shard, int64_t Begin,
+                                        int64_t End)> &Fn) const;
+
+  /// The compute-stage stepping loop: for every shard, each stage in
+  /// order (Before hook, kernel over the shard's cell range, After hook).
+  void step(const std::vector<KernelStage> &Stages, double Dt,
+            double T) const;
+
+  /// The solver-stage surrogate over the shards:
+  /// Vm[c] += Dt * (Stim - Iion[c]).
+  void voltageStep(double *Vm, const double *Iion, double Stim,
+                   double Dt) const;
+
+private:
+  int64_t NumCells;
+  unsigned NumThreads;
+  ShardPlan Plan;
+};
+
+} // namespace sim
+} // namespace limpet
+
+#endif // LIMPET_SIM_SCHEDULER_H

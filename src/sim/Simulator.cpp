@@ -2,8 +2,6 @@
 
 #include "sim/Simulator.h"
 
-#include "runtime/ThreadPool.h"
-#include "support/Casting.h"
 #include "support/Telemetry.h"
 #include "support/Trace.h"
 
@@ -25,12 +23,11 @@ double secondsSince(Clock::time_point T0) {
 }
 
 double quietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
-} // namespace
 
-Simulator::Simulator(const CompiledModel &ModelIn, const SimOptions &OptsIn)
-    : Model(ModelIn), Opts(OptsIn) {
-  // Sanitize user-reachable knobs instead of corrupting memory or
-  // dividing by zero downstream.
+// Sanitize user-reachable knobs instead of corrupting memory or dividing
+// by zero downstream. Runs before the scheduler/state-buffer members are
+// constructed, so they see the sanitized values.
+SimOptions sanitizeOptions(SimOptions Opts) {
   if (Opts.NumCells < 1)
     Opts.NumCells = 1;
   if (Opts.NumSteps < 0)
@@ -43,51 +40,36 @@ Simulator::Simulator(const CompiledModel &ModelIn, const SimOptions &OptsIn)
     Opts.Guard.ScanInterval = 1;
   if (Opts.Guard.MaxRetries < 0)
     Opts.Guard.MaxRetries = 0;
+  return Opts;
+}
+} // namespace
 
-  State.assign(Model.stateArraySize(Opts.NumCells), 0.0);
-  Model.initializeState(State.data(), Opts.NumCells);
-
-  const easyml::ModelInfo &Info = Model.info();
-  std::vector<double> ExtInits = Model.externalInits();
-  Exts.resize(Info.Externals.size());
-  for (size_t J = 0; J != Info.Externals.size(); ++J)
-    Exts[J].assign(size_t(Opts.NumCells), ExtInits[J]);
-
+Simulator::Simulator(const CompiledModel &ModelIn, const SimOptions &OptsIn)
+    : Model(ModelIn), Opts(sanitizeOptions(OptsIn)),
+      Sched(Opts.NumCells, Opts.NumThreads,
+            std::max(Model.config().Width, 1u)),
+      Buf(Model, Opts.NumCells, &Sched) {
   Params = Model.defaultParams();
   SimLuts = Model.buildLuts(Params.data());
+  const easyml::ModelInfo &Info = Model.info();
   VmIdx = Info.externalIndex("Vm");
   IionIdx = Info.externalIndex("Iion");
   if (Opts.RecordTrace)
     Trace.reserve(size_t(Opts.NumSteps));
+
+  // The one compute stage of a single-population run. All pointers are
+  // stable for the simulator's lifetime (Buf restores snapshots in place,
+  // setParam writes Params in place).
+  KernelStage Stage;
+  Stage.Model = &Model;
+  Stage.State = Buf.state();
+  Stage.Exts = Buf.extPointers();
+  Stage.Params = Params.data();
+  Stage.Luts = &SimLuts;
+  Stages.push_back(std::move(Stage));
 }
 
-void Simulator::computeStage(double Dt) {
-  // Chunk on vector-block boundaries so AoSoA chunks stay aligned.
-  int64_t BlockW = std::max<unsigned>(Model.config().Width, 1);
-  int64_t NumBlocks = (Opts.NumCells + BlockW - 1) / BlockW;
-
-  auto RunChunk = [&](int64_t BlockBegin, int64_t BlockEnd) {
-    KernelArgs Args;
-    Args.State = State.data();
-    for (std::vector<double> &Ext : Exts)
-      Args.Exts.push_back(Ext.data());
-    Args.Params = Params.data();
-    Args.Start = BlockBegin * BlockW;
-    Args.End = std::min(BlockEnd * BlockW, Opts.NumCells);
-    Args.NumCells = Opts.NumCells;
-    Args.Dt = Dt;
-    Args.T = T;
-    Args.Luts = &SimLuts;
-    Model.computeStep(Args);
-  };
-
-  if (Opts.NumThreads <= 1) {
-    RunChunk(0, NumBlocks);
-    return;
-  }
-  runtime::globalThreadPool().parallelFor(0, NumBlocks, Opts.NumThreads,
-                                          RunChunk);
-}
+void Simulator::computeStage(double Dt) { Sched.step(Stages, Dt, T); }
 
 void Simulator::voltageStage(double Dt) {
   if (!hasVoltageCoupling())
@@ -100,11 +82,8 @@ void Simulator::voltageStage(double Dt) {
                  Phase < Opts.StimStart + Opts.StimDuration)
                     ? Opts.StimStrength
                     : 0.0;
-
-  double *Vm = Exts[size_t(VmIdx)].data();
-  const double *Iion = Exts[size_t(IionIdx)].data();
-  for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
-    Vm[Cell] += Dt * (Stim - Iion[Cell]);
+  Sched.voltageStep(Buf.ext(size_t(VmIdx)), Buf.ext(size_t(IionIdx)), Stim,
+                    Dt);
 }
 
 void Simulator::advance(double Dt) {
@@ -125,8 +104,9 @@ void Simulator::finishStep() {
   if (!Frozen.empty())
     restoreFrozenCells();
   if (Opts.RecordTrace)
-    Trace.push_back(VmIdx >= 0 ? Exts[size_t(VmIdx)][Opts.TraceCell]
-                               : stateOf(Opts.TraceCell, 0));
+    Trace.push_back(VmIdx >= 0
+                        ? Buf.readExt(size_t(VmIdx), Opts.TraceCell)
+                        : stateOf(Opts.TraceCell, 0));
 }
 
 void Simulator::step() {
@@ -148,6 +128,7 @@ void Simulator::runWindow(int64_t Steps, int Substeps) {
 void Simulator::run() {
   telemetry::TraceSpan Span("sim.run:" + Model.info().Name, "sim");
   RunReport Before = Report;
+  telemetry::RuntimeCounters RtBefore = telemetry::runtimeCounters();
   auto T0 = Clock::now();
   if (!Opts.Guard.Enabled) {
     for (int64_t I = 0; I != Opts.NumSteps; ++I)
@@ -158,6 +139,15 @@ void Simulator::run() {
   Report.StepsTaken += Opts.NumSteps;
   Report.RunSeconds += secondsSince(T0);
   foldReportIntoTelemetry(Before);
+  // Modeled memory traffic of this run (roofline numerator): the delta of
+  // the per-chunk byte counters the backends accumulated.
+  telemetry::RuntimeCounters RtAfter = telemetry::runtimeCounters();
+  if (RtAfter.BytesLoaded > RtBefore.BytesLoaded)
+    telemetry::counter("sim.bytes.loaded")
+        .add(RtAfter.BytesLoaded - RtBefore.BytesLoaded);
+  if (RtAfter.BytesStored > RtBefore.BytesStored)
+    telemetry::counter("sim.bytes.stored")
+        .add(RtAfter.BytesStored - RtBefore.BytesStored);
   if (Opts.Stats)
     std::fputs(telemetry::summaryReport().c_str(), stdout);
 }
@@ -275,13 +265,14 @@ void Simulator::recoverWindow(int64_t Window) {
 
 bool Simulator::scanIsHealthy() const {
   const HealthPolicy &P = Opts.Guard.Policy;
-  if (!allWithinMagnitude(State.data(), State.size(), P.StateMagLimit))
+  if (!allWithinMagnitude(Buf.state(), Buf.stateSize(), P.StateMagLimit))
     return false;
-  for (size_t J = 0; J != Exts.size(); ++J) {
-    const std::vector<double> &E = Exts[J];
+  for (size_t J = 0; J != Buf.numExternals(); ++J) {
+    const double *E = Buf.ext(J);
     bool Ok = int(J) == VmIdx
-                  ? allWithinRange(E.data(), E.size(), P.VmLo, P.VmHi)
-                  : allWithinMagnitude(E.data(), E.size(), P.StateMagLimit);
+                  ? allWithinRange(E, size_t(Opts.NumCells), P.VmLo, P.VmHi)
+                  : allWithinMagnitude(E, size_t(Opts.NumCells),
+                                       P.StateMagLimit);
     if (!Ok)
       return false;
   }
@@ -296,8 +287,8 @@ std::vector<int64_t> Simulator::faultyCells() const {
     bool CellBad = false;
     for (unsigned Sv = 0; Sv != NumSv && !CellBad; ++Sv)
       CellBad = !(std::fabs(stateOf(C, Sv)) <= P.StateMagLimit);
-    for (size_t J = 0; J != Exts.size() && !CellBad; ++J) {
-      double V = Exts[J][size_t(C)];
+    for (size_t J = 0; J != Buf.numExternals() && !CellBad; ++J) {
+      double V = Buf.readExt(J, C);
       CellBad = int(J) == VmIdx ? !(V >= P.VmLo && V <= P.VmHi)
                                 : !(std::fabs(V) <= P.StateMagLimit);
     }
@@ -308,8 +299,7 @@ std::vector<int64_t> Simulator::faultyCells() const {
 }
 
 void Simulator::takeCheckpoint() {
-  Ck.State = State;
-  Ck.Exts = Exts;
+  Buf.save(Ck.Snap);
   Ck.T = T;
   Ck.StepCount = StepCount;
   Ck.TraceLen = Trace.size();
@@ -317,8 +307,7 @@ void Simulator::takeCheckpoint() {
 }
 
 void Simulator::rollback() {
-  State = Ck.State;
-  Exts = Ck.Exts;
+  Buf.restore(Ck.Snap);
   T = Ck.T;
   StepCount = Ck.StepCount;
   Trace.resize(Ck.TraceLen);
@@ -342,7 +331,7 @@ bool Simulator::ensureRecoveryModel() {
 
 void Simulator::runScalarFallback(double Dt, bool Gather) {
   unsigned NumSv = Model.program().NumSv;
-  size_t PerCell = NumSv + Exts.size();
+  size_t PerCell = NumSv + Buf.numExternals();
   if (Gather) {
     // Integrate each degraded cell with the exact scalar kernel from its
     // pre-step state; the results are scattered over whatever the fast
@@ -358,17 +347,14 @@ void Simulator::runScalarFallback(double Dt, bool Gather) {
     Args.End = 1;
     Args.NumCells = 1;
     Args.Dt = Dt;
-    Args.Exts.resize(Exts.size());
+    Args.Exts.resize(Buf.numExternals());
     for (size_t I = 0; I != FallbackCells.size(); ++I) {
       int64_t C = FallbackCells[I];
       double *Sv = &FallbackBuf[I * PerCell];
       double *Ext = Sv + NumSv;
-      for (unsigned S = 0; S != NumSv; ++S)
-        Sv[S] = Model.readState(State.data(), C, S, Opts.NumCells);
-      for (size_t J = 0; J != Exts.size(); ++J) {
-        Ext[J] = Exts[J][size_t(C)];
+      Buf.gatherCell(C, Sv, Ext);
+      for (size_t J = 0; J != Buf.numExternals(); ++J)
         Args.Exts[J] = &Ext[J];
-      }
       Args.State = Sv;
       Args.T = T;
       RecoveryModel->computeStep(Args);
@@ -376,13 +362,8 @@ void Simulator::runScalarFallback(double Dt, bool Gather) {
     return;
   }
   for (size_t I = 0; I != FallbackCells.size(); ++I) {
-    int64_t C = FallbackCells[I];
     const double *Sv = &FallbackBuf[I * PerCell];
-    const double *Ext = Sv + NumSv;
-    for (unsigned S = 0; S != NumSv; ++S)
-      Model.writeState(State.data(), C, S, Opts.NumCells, Sv[S]);
-    for (size_t J = 0; J != Exts.size(); ++J)
-      Exts[J][size_t(C)] = Ext[J];
+    Buf.scatterCell(FallbackCells[I], Sv, Sv + NumSv);
   }
 }
 
@@ -414,14 +395,14 @@ void Simulator::freezeCell(int64_t Cell) {
   // current values otherwise.
   FrozenSnapshot Snap;
   unsigned NumSv = Model.program().NumSv;
-  const double *Src = Ck.Valid ? Ck.State.data() : State.data();
   Snap.Sv.resize(NumSv);
   for (unsigned S = 0; S != NumSv; ++S)
-    Snap.Sv[S] = Model.readState(Src, Cell, S, Opts.NumCells);
-  Snap.Ext.resize(Exts.size());
-  for (size_t J = 0; J != Exts.size(); ++J)
+    Snap.Sv[S] = Ck.Valid ? Buf.snapshotState(Ck.Snap, Cell, S)
+                          : Buf.readState(Cell, S);
+  Snap.Ext.resize(Buf.numExternals());
+  for (size_t J = 0; J != Buf.numExternals(); ++J)
     Snap.Ext[J] =
-        Ck.Valid ? Ck.Exts[J][size_t(Cell)] : Exts[J][size_t(Cell)];
+        Ck.Valid ? Ck.Snap.Exts[J][size_t(Cell)] : Buf.readExt(J, Cell);
   Frozen[Cell] = std::move(Snap);
 }
 
@@ -429,9 +410,9 @@ void Simulator::restoreFrozenCells() {
   unsigned NumSv = Model.program().NumSv;
   for (const auto &[Cell, Snap] : Frozen) {
     for (unsigned S = 0; S != NumSv; ++S)
-      Model.writeState(State.data(), Cell, S, Opts.NumCells, Snap.Sv[S]);
-    for (size_t J = 0; J != Exts.size(); ++J)
-      Exts[J][size_t(Cell)] = Snap.Ext[J];
+      Buf.writeState(Cell, S, Snap.Sv[S]);
+    for (size_t J = 0; J != Buf.numExternals(); ++J)
+      Buf.writeExt(J, Cell, Snap.Ext[J]);
   }
 }
 
@@ -443,15 +424,15 @@ CellMode Simulator::cellMode(int64_t Cell) const {
 
 double Simulator::stateOf(int64_t Cell, int64_t Sv) const {
   if (Cell < 0 || Cell >= Opts.NumCells || Sv < 0 ||
-      Sv >= int64_t(Model.program().NumSv))
+      Sv >= int64_t(Buf.numSv()))
     return quietNaN();
-  return Model.readState(State.data(), Cell, Sv, Opts.NumCells);
+  return Buf.readState(Cell, Sv);
 }
 
 double Simulator::externalOf(int64_t Cell, size_t ExtIdx) const {
-  if (Cell < 0 || Cell >= Opts.NumCells || ExtIdx >= Exts.size())
+  if (Cell < 0 || Cell >= Opts.NumCells || ExtIdx >= Buf.numExternals())
     return quietNaN();
-  return Exts[ExtIdx][size_t(Cell)];
+  return Buf.readExt(ExtIdx, Cell);
 }
 
 double Simulator::vm(int64_t Cell) const {
@@ -466,20 +447,20 @@ Expected<double> Simulator::tryVm(int64_t Cell) const {
     return Status::error("cell index " + std::to_string(Cell) +
                          " out of range [0, " +
                          std::to_string(Opts.NumCells) + ")");
-  return Exts[size_t(VmIdx)][size_t(Cell)];
+  return Buf.readExt(size_t(VmIdx), Cell);
 }
 
 void Simulator::pokeState(int64_t Cell, int64_t Sv, double Value) {
   if (Cell < 0 || Cell >= Opts.NumCells || Sv < 0 ||
-      Sv >= int64_t(Model.program().NumSv))
+      Sv >= int64_t(Buf.numSv()))
     return;
-  Model.writeState(State.data(), Cell, Sv, Opts.NumCells, Value);
+  Buf.writeState(Cell, Sv, Value);
 }
 
 void Simulator::pokeExternal(size_t ExtIdx, int64_t Cell, double Value) {
-  if (Cell < 0 || Cell >= Opts.NumCells || ExtIdx >= Exts.size())
+  if (Cell < 0 || Cell >= Opts.NumCells || ExtIdx >= Buf.numExternals())
     return;
-  Exts[ExtIdx][size_t(Cell)] = Value;
+  Buf.writeExt(ExtIdx, Cell, Value);
 }
 
 void Simulator::setFaultInjector(std::function<void(Simulator &)> F) {
@@ -511,13 +492,4 @@ Expected<double> Simulator::tryParam(std::string_view Name) const {
   return Params[size_t(Idx)];
 }
 
-double Simulator::stateChecksum() const {
-  double Sum = 0;
-  for (int64_t Cell = 0; Cell != Opts.NumCells; ++Cell)
-    for (unsigned Sv = 0; Sv != Model.program().NumSv; ++Sv)
-      Sum += stateOf(Cell, Sv) * (1.0 + 1e-6 * double(Sv));
-  for (const std::vector<double> &Ext : Exts)
-    for (double V : Ext)
-      Sum += V;
-  return Sum;
-}
+double Simulator::stateChecksum() const { return Buf.checksum(); }

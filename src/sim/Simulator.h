@@ -1,10 +1,11 @@
 //===- Simulator.h - Single-cell-population simulation driver ---*- C++-*-===//
 //
-// The analogue of openCARP's `bench` program: owns the cell population
-// (state array in the compiled layout, external arrays, parameters), runs
-// the compute stage each time step — optionally across threads with a
-// static schedule — and performs the minimal "solver stage" surrogate: a
-// transmembrane-voltage update Vm += dt*(Istim - Iion) plus a periodic
+// The analogue of openCARP's `bench` program, as a client of the layered
+// runtime: the population lives in a StateBuffer (layout-aware state +
+// external arrays), every compute step runs through the Scheduler's
+// sharded stepping loop (static schedule, persistent shard-to-thread
+// assignment), and the driver adds the minimal "solver stage" surrogate:
+// a transmembrane-voltage update Vm += dt*(Istim - Iion) plus a periodic
 // stimulus, enough to drive action potentials through the kernels.
 //
 // Guard rails (optional, SimOptions::Guard): run() periodically scans the
@@ -23,6 +24,8 @@
 
 #include "exec/CompiledModel.h"
 #include "sim/Health.h"
+#include "sim/Scheduler.h"
+#include "sim/StateBuffer.h"
 #include "support/Status.h"
 
 #include <cstdint>
@@ -99,6 +102,10 @@ public:
 
   const exec::CompiledModel &model() const { return Model; }
   const SimOptions &options() const { return Opts; }
+  /// The population container and the sharded stepping loop this driver
+  /// runs through.
+  const StateBuffer &stateBuffer() const { return Buf; }
+  const Scheduler &scheduler() const { return Sched; }
 
   /// State variable value of one cell (layout-aware). Out-of-range
   /// cell/sv indices return NaN instead of reading out of bounds.
@@ -165,8 +172,7 @@ public:
 
 private:
   struct Checkpoint {
-    std::vector<double> State;
-    std::vector<std::vector<double>> Exts;
+    StateBuffer::Snapshot Snap;
     double T = 0;
     int64_t StepCount = 0;
     size_t TraceLen = 0;
@@ -207,9 +213,15 @@ private:
   /// Per-simulation LUT tables (rebuilt when parameters change).
   runtime::LutTableSet SimLuts;
   SimOptions Opts;
-  std::vector<double> State;
-  std::vector<std::vector<double>> Exts;
+  /// The one stepping loop (persistent shard plan); constructed before
+  /// Buf so the population can be first-touch initialized per shard.
+  Scheduler Sched;
+  /// The population: state array in the compiled layout + externals.
+  StateBuffer Buf;
   std::vector<double> Params;
+  /// The single compute stage this driver runs each step (pointers into
+  /// Buf/Params/SimLuts, all stable for the simulator's lifetime).
+  std::vector<KernelStage> Stages;
   int VmIdx = -1, IionIdx = -1;
   double T = 0;
   int64_t StepCount = 0;

@@ -1,0 +1,126 @@
+//===- StateBuffer.cpp ----------------------------------------------------===//
+
+#include "sim/StateBuffer.h"
+
+#include "sim/Scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace limpet;
+using namespace limpet::sim;
+using namespace limpet::codegen;
+
+static int64_t paddedFor(StateLayout Layout, int64_t NumCells, unsigned W) {
+  if (Layout != StateLayout::AoSoA)
+    return NumCells;
+  int64_t BW = int64_t(std::max(W, 1u));
+  return (NumCells + BW - 1) / BW * BW;
+}
+
+StateBuffer::StateBuffer(const exec::CompiledModel &Model, int64_t NumCells,
+                         const Scheduler *Sched)
+    : Layout(Model.config().Layout), NumSv(Model.program().NumSv),
+      BlockW(std::max(Model.program().AoSoAW, 1u)),
+      NumCells(std::max<int64_t>(NumCells, 0)),
+      Padded(paddedFor(Layout, this->NumCells, BlockW)) {
+  const easyml::ModelInfo &Info = Model.info();
+  SvInits.reserve(Info.StateVars.size());
+  for (const auto &Sv : Info.StateVars)
+    SvInits.push_back(Sv.Init);
+  assert(SvInits.size() == NumSv && "state-var count mismatch");
+  ExtInits = Model.externalInits();
+
+  State.reset(new double[stateSize()]);
+  Exts.resize(ExtInits.size());
+  for (auto &E : Exts)
+    E.reset(new double[size_t(this->NumCells)]);
+  initialize(Sched);
+}
+
+void StateBuffer::initialize(const Scheduler *Sched) {
+  auto InitRange = [&](int64_t Begin, int64_t End) {
+    // The shard holding the last real cell also owns the AoSoA pad lanes
+    // of its final block.
+    int64_t CellEnd = End == NumCells ? Padded : End;
+    for (int64_t Cell = Begin; Cell != CellEnd; ++Cell)
+      for (unsigned Sv = 0; Sv != NumSv; ++Sv)
+        State[size_t(index(Cell, Sv))] = SvInits[Sv];
+    for (size_t J = 0; J != Exts.size(); ++J)
+      for (int64_t Cell = Begin; Cell != End; ++Cell)
+        Exts[J][size_t(Cell)] = ExtInits[J];
+  };
+  if (Sched && Sched->numShards() > 1) {
+    // First-touch: each worker writes the cells it will later step.
+    Sched->forEachShard(
+        [&](unsigned, int64_t Begin, int64_t End) { InitRange(Begin, End); });
+    return;
+  }
+  InitRange(0, NumCells);
+}
+
+std::vector<double *> StateBuffer::extPointers() {
+  std::vector<double *> Ptrs;
+  Ptrs.reserve(Exts.size());
+  for (auto &E : Exts)
+    Ptrs.push_back(E.get());
+  return Ptrs;
+}
+
+void StateBuffer::gatherCell(int64_t Cell, double *Sv, double *Ext) const {
+  for (unsigned S = 0; S != NumSv; ++S)
+    Sv[S] = readState(Cell, S);
+  for (size_t J = 0; J != Exts.size(); ++J)
+    Ext[J] = Exts[J][size_t(Cell)];
+}
+
+void StateBuffer::scatterCell(int64_t Cell, const double *Sv,
+                              const double *Ext) {
+  for (unsigned S = 0; S != NumSv; ++S)
+    writeState(Cell, S, Sv[S]);
+  for (size_t J = 0; J != Exts.size(); ++J)
+    Exts[J][size_t(Cell)] = Ext[J];
+}
+
+void StateBuffer::repack(StateLayout NewLayout, unsigned NewWidth) {
+  unsigned NewW = NewLayout == StateLayout::AoSoA ? std::max(NewWidth, 1u) : 1;
+  if (NewLayout == Layout && NewW == BlockW)
+    return;
+  int64_t NewPadded = paddedFor(NewLayout, NumCells, NewW);
+  std::unique_ptr<double[]> NewState(
+      new double[size_t(NewPadded) * NumSv]);
+  for (int64_t Cell = 0; Cell != NewPadded; ++Cell)
+    for (unsigned Sv = 0; Sv != NumSv; ++Sv)
+      NewState[size_t(stateIndex(NewLayout, Cell, Sv, NumSv, NumCells,
+                                 NewW))] =
+          Cell < NumCells ? readState(Cell, Sv) : SvInits[Sv];
+  State = std::move(NewState);
+  Layout = NewLayout;
+  BlockW = NewW;
+  Padded = NewPadded;
+}
+
+void StateBuffer::save(Snapshot &S) const {
+  S.State.assign(State.get(), State.get() + stateSize());
+  S.Exts.resize(Exts.size());
+  for (size_t J = 0; J != Exts.size(); ++J)
+    S.Exts[J].assign(Exts[J].get(), Exts[J].get() + size_t(NumCells));
+}
+
+void StateBuffer::restore(const Snapshot &S) {
+  assert(S.State.size() == stateSize() && "snapshot from another shape");
+  std::copy(S.State.begin(), S.State.end(), State.get());
+  for (size_t J = 0; J != Exts.size(); ++J)
+    std::copy(S.Exts[J].begin(), S.Exts[J].end(), Exts[J].get());
+}
+
+double StateBuffer::checksum() const {
+  double Sum = 0;
+  for (int64_t Cell = 0; Cell != NumCells; ++Cell)
+    for (unsigned Sv = 0; Sv != NumSv; ++Sv)
+      Sum += readState(Cell, Sv) * (1.0 + 1e-6 * double(Sv));
+  for (size_t J = 0; J != Exts.size(); ++J)
+    for (int64_t Cell = 0; Cell != NumCells; ++Cell)
+      Sum += Exts[J][size_t(Cell)];
+  return Sum;
+}

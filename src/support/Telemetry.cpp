@@ -26,6 +26,8 @@ void RuntimeCounters::merge(const RuntimeCounters &O) {
   LutInterps += O.LutInterps;
   FastMathCalls += O.FastMathCalls;
   LibmCalls += O.LibmCalls;
+  BytesLoaded += O.BytesLoaded;
+  BytesStored += O.BytesStored;
 }
 
 std::string RuntimeCounters::str() const {
@@ -56,6 +58,13 @@ std::string RuntimeCounters::str() const {
                 (unsigned long long)FastMathCalls,
                 (unsigned long long)LibmCalls);
   Out += Buf;
+  if (BytesLoaded || BytesStored) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  modeled bytes: loaded = %llu   stored = %llu\n",
+                  (unsigned long long)BytesLoaded,
+                  (unsigned long long)BytesStored);
+    Out += Buf;
+  }
   return Out;
 }
 
@@ -202,7 +211,9 @@ struct ShardRegistry {
 
 void telemetry::recordKernelChunk(uint64_t Ns, int64_t Cells, unsigned Width,
                                   bool FastMath, uint32_t LutOpsPerCell,
-                                  uint32_t MathOpsPerCell) {
+                                  uint32_t MathOpsPerCell,
+                                  double LoadBytesPerCell,
+                                  double StoreBytesPerCell) {
   if (Cells <= 0)
     return;
   RuntimeCounters &C = ShardRegistry::instance().local().Data;
@@ -216,6 +227,10 @@ void telemetry::recordKernelChunk(uint64_t Ns, int64_t Cells, unsigned Width,
     C.FastMathCalls += uint64_t(MathOpsPerCell) * N;
   else
     C.LibmCalls += uint64_t(MathOpsPerCell) * N;
+  if (LoadBytesPerCell > 0)
+    C.BytesLoaded += uint64_t(LoadBytesPerCell * double(N) + 0.5);
+  if (StoreBytesPerCell > 0)
+    C.BytesStored += uint64_t(StoreBytesPerCell * double(N) + 0.5);
 }
 
 RuntimeCounters telemetry::runtimeCounters() {

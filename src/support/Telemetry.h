@@ -64,6 +64,12 @@ struct RuntimeCounters {
   uint64_t LutInterps = 0;    ///< LUT interpolations (static count x cells)
   uint64_t FastMathCalls = 0; ///< VecMath transcendental calls
   uint64_t LibmCalls = 0;     ///< exact libm transcendental calls
+  /// Modeled memory traffic (roofline numerator/denominator inputs):
+  /// BcProgram's static per-cell byte counts x cells processed. Measured
+  /// operational intensity can be cross-checked against
+  /// InstrCounts::operationalIntensity().
+  uint64_t BytesLoaded = 0;
+  uint64_t BytesStored = 0;
 
   void merge(const RuntimeCounters &O);
 
@@ -164,11 +170,13 @@ private:
 
 /// Records one kernel chunk execution into the calling thread's shard.
 /// \p LutOpsPerCell / \p MathOpsPerCell are the program's static per-cell
-/// op counts (BcProgram), so the inner interpreter loop needs no
-/// instrumentation at all.
+/// op counts and \p LoadBytesPerCell / \p StoreBytesPerCell its static
+/// per-cell traffic model (BcProgram), so the inner interpreter loop
+/// needs no instrumentation at all.
 void recordKernelChunk(uint64_t Ns, int64_t Cells, unsigned Width,
                        bool FastMath, uint32_t LutOpsPerCell,
-                       uint32_t MathOpsPerCell);
+                       uint32_t MathOpsPerCell, double LoadBytesPerCell = 0,
+                       double StoreBytesPerCell = 0);
 
 /// Sum of all thread shards. Callers must ensure the workers are at a
 /// barrier (ThreadPool::parallelFor has returned), which is the natural
@@ -227,7 +235,7 @@ public:
 };
 
 inline void recordKernelChunk(uint64_t, int64_t, unsigned, bool, uint32_t,
-                              uint32_t) {}
+                              uint32_t, double = 0, double = 0) {}
 inline RuntimeCounters runtimeCounters() { return {}; }
 inline void resetRuntimeCounters() {}
 inline std::string summaryReport() {

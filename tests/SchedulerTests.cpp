@@ -1,0 +1,182 @@
+//===- SchedulerTests.cpp - sim/Scheduler unit tests ----------------------===//
+
+#include "easyml/Sema.h"
+#include "models/Registry.h"
+#include "runtime/ThreadPool.h"
+#include "sim/Multimodel.h"
+#include "sim/Scheduler.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace limpet;
+using namespace limpet::exec;
+using namespace limpet::sim;
+
+namespace {
+
+std::optional<CompiledModel> compileByName(const char *Name,
+                                           EngineConfig Cfg) {
+  const models::ModelEntry *M = models::findModel(Name);
+  EXPECT_NE(M, nullptr);
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
+  EXPECT_TRUE(Info.has_value()) << Diags.str();
+  return CompiledModel::compile(*Info, Cfg);
+}
+
+TEST(ShardPlan, CoversRangeDisjointlyOnBlockBoundaries) {
+  for (int64_t Cells : {1, 7, 64, 131, 4096}) {
+    for (unsigned Threads : {1u, 2u, 3u, 8u}) {
+      for (unsigned BW : {1u, 4u, 8u}) {
+        ShardPlan P = ShardPlan::build(Cells, Threads, BW);
+        ASSERT_FALSE(P.Shards.empty());
+        int64_t Expect = 0;
+        for (const ShardPlan::Shard &S : P.Shards) {
+          EXPECT_EQ(S.Begin, Expect); // contiguous and disjoint
+          EXPECT_LT(S.Begin, S.End);
+          EXPECT_EQ(S.Begin % int64_t(BW), 0); // block-aligned starts
+          Expect = S.End;
+        }
+        EXPECT_EQ(Expect, Cells);
+        EXPECT_LE(P.Shards.size(), size_t(Threads));
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, MatchesThreadPoolStaticChunkOverBlocks) {
+  // The plan must reproduce the pre-refactor driver chunking exactly:
+  // staticChunk over whole blocks, clipped to NumCells.
+  const int64_t Cells = 131;
+  const unsigned Threads = 4, BW = 8;
+  ShardPlan P = ShardPlan::build(Cells, Threads, BW);
+  int64_t NumBlocks = (Cells + BW - 1) / BW;
+  size_t Next = 0;
+  for (unsigned I = 0; I != Threads; ++I) {
+    int64_t B, E;
+    runtime::ThreadPool::staticChunk(0, NumBlocks, I, Threads, B, E);
+    if (B >= E)
+      continue;
+    ASSERT_LT(Next, P.Shards.size());
+    EXPECT_EQ(P.Shards[Next].Begin, B * BW);
+    EXPECT_EQ(P.Shards[Next].End, std::min(E * int64_t(BW), Cells));
+    ++Next;
+  }
+  EXPECT_EQ(Next, P.Shards.size());
+}
+
+TEST(Scheduler, ShardToThreadAssignmentIsStableAcrossSteps) {
+  Scheduler Sched(1024, 4, 1);
+  ASSERT_EQ(Sched.numShards(), 4u);
+  std::vector<std::thread::id> First(4), Second(4);
+  Sched.forEachShard([&](unsigned S, int64_t, int64_t) {
+    First[S] = std::this_thread::get_id();
+  });
+  Sched.forEachShard([&](unsigned S, int64_t, int64_t) {
+    Second[S] = std::this_thread::get_id();
+  });
+  for (unsigned S = 0; S != 4; ++S)
+    EXPECT_EQ(First[S], Second[S]) << "shard " << S << " migrated";
+}
+
+TEST(Scheduler, VoltageStepMatchesSerialLoop) {
+  const int64_t Cells = 263;
+  std::vector<double> Vm(Cells), Iion(Cells), Ref(Cells);
+  for (int64_t C = 0; C != Cells; ++C) {
+    Vm[C] = Ref[C] = -80.0 + double(C);
+    Iion[C] = 0.125 * double(C);
+  }
+  Scheduler Sched(Cells, 8, 4);
+  Sched.voltageStep(Vm.data(), Iion.data(), 30.0, 0.01);
+  for (int64_t C = 0; C != Cells; ++C) {
+    Ref[C] += 0.01 * (30.0 - Iion[C]);
+    EXPECT_DOUBLE_EQ(Vm[C], Ref[C]) << C;
+  }
+}
+
+/// Kernels are cell-local, so the same protocol must produce bit-identical
+/// populations for any shard count — and for repeated runs.
+TEST(Scheduler, SimulatorDeterministicAcrossShardCounts) {
+  auto M = compileByName("Courtemanche", EngineConfig::limpetMLIR(4));
+  auto RunWith = [&](unsigned Threads) {
+    SimOptions Opts;
+    Opts.NumCells = 131; // ragged: 131 % 4 != 0
+    Opts.NumSteps = 50;
+    Opts.NumThreads = Threads;
+    Opts.StimStrength = 40.0;
+    Simulator S(*M, Opts);
+    S.run();
+    return S.stateChecksum();
+  };
+  double Serial = RunWith(1);
+  EXPECT_DOUBLE_EQ(RunWith(2), Serial);
+  EXPECT_DOUBLE_EQ(RunWith(8), Serial);
+  EXPECT_DOUBLE_EQ(RunWith(1), Serial); // repeatable, not just equal once
+  EXPECT_DOUBLE_EQ(RunWith(8), Serial);
+}
+
+TEST(Scheduler, MultimodelDeterministicAcrossShardCounts) {
+  // Threading must not perturb the gather/compute/scatter hook pipeline.
+  constexpr const char ParentSrc[] = R"(
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+Vm_init = -80.0;
+group{ g = 0.3; E = -80.0; }.param();
+diff_w = 0.05*((Vm - E) - 4.0*w);
+w_init = 0.0;
+Iion = g*(Vm - E) + 0.1*w;
+)";
+  constexpr const char PluginSrc[] = R"(
+Vm; .external(); .nodal();
+Iion; .external(); .nodal();
+w_parent; .external(); .nodal();
+group{ k = 0.2; }.param();
+diff_mirror = 10.0*(w_parent - mirror);
+mirror_init = 0.0;
+Iion = Iion + k*w_parent;
+)";
+  DiagnosticEngine Diags;
+  auto ParentInfo = easyml::compileModelInfo("p", ParentSrc, Diags);
+  auto PluginInfo = easyml::compileModelInfo("sac", PluginSrc, Diags);
+  ASSERT_TRUE(ParentInfo && PluginInfo) << Diags.str();
+  auto Parent = CompiledModel::compile(*ParentInfo, EngineConfig::baseline());
+  auto Plugin = CompiledModel::compile(*PluginInfo, EngineConfig::baseline());
+  ASSERT_TRUE(Parent && Plugin);
+
+  auto RunWith = [&](unsigned Threads) {
+    SimOptions Opts;
+    Opts.NumCells = 97;
+    Opts.NumSteps = 100;
+    Opts.NumThreads = Threads;
+    Opts.StimStrength = 20.0;
+    MultimodelSimulator Multi(*Parent, Opts);
+    Multi.addPlugin(*Plugin, {{"w_parent", "w", /*Writable=*/false}});
+    Multi.run();
+    std::vector<double> Out;
+    for (int64_t C = 0; C != Opts.NumCells; ++C) {
+      Out.push_back(Multi.vm(C));
+      Out.push_back(Multi.parentState(C, 0));
+      Out.push_back(Multi.pluginState(0, C, 0));
+    }
+    return Out;
+  };
+  std::vector<double> Serial = RunWith(1);
+  std::vector<double> Threaded = RunWith(4);
+  ASSERT_EQ(Serial.size(), Threaded.size());
+  for (size_t I = 0; I != Serial.size(); ++I)
+    EXPECT_DOUBLE_EQ(Serial[I], Threaded[I]) << I;
+}
+
+TEST(Scheduler, RebuildRealignsToNewBlockWidth) {
+  Scheduler Sched(100, 4, 1);
+  EXPECT_EQ(Sched.plan().BlockWidth, 1u);
+  Sched.rebuild(8);
+  EXPECT_EQ(Sched.plan().BlockWidth, 8u);
+  for (const ShardPlan::Shard &S : Sched.plan().Shards)
+    EXPECT_EQ(S.Begin % 8, 0);
+  EXPECT_EQ(Sched.plan().Shards.back().End, 100);
+}
+
+} // namespace

@@ -244,6 +244,55 @@ bool scenarioExtremeParam() {
   return Ok;
 }
 
+/// A persistent NaN under a sharded (multi-threaded) stepping loop:
+/// recovery rollback/fallback/freeze operates on StateBuffer checkpoints
+/// shared across shards, and the result must be bit-identical to the
+/// same injection handled single-threaded — threading must change
+/// nothing about where the ladder lands.
+bool scenarioSharded() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  const int64_t Victim = 11;
+  struct Outcome {
+    std::vector<double> Vm;
+    RunReport Report;
+    bool Healthy = false;
+    bool VictimFrozen = false;
+    unsigned Shards = 0;
+  };
+  auto RunWith = [&](unsigned Threads) {
+    SimOptions Opts = guardedOpts(/*Cells=*/64, /*Steps=*/200);
+    Opts.NumThreads = Threads;
+    Simulator S(*M, Opts);
+    S.setFaultInjector([&](Simulator &Sim) {
+      Sim.pokeState(Victim, /*Sv=*/1, quietNaN());
+    });
+    S.run();
+    Outcome Out;
+    for (int64_t C = 0; C != Opts.NumCells; ++C)
+      Out.Vm.push_back(S.vm(C));
+    Out.Report = S.report();
+    Out.Healthy = S.scanIsHealthy();
+    Out.VictimFrozen = S.cellMode(Victim) == CellMode::Frozen;
+    Out.Shards = S.scheduler().numShards();
+    return Out;
+  };
+  Outcome Serial = RunWith(1);
+  Outcome Sharded2 = RunWith(2);
+  Outcome Sharded4 = RunWith(4);
+  std::printf("%s", Sharded4.Report.str().c_str());
+  bool Ok = check(Sharded4.Shards == 4, "4 shards in play");
+  Ok &= check(Sharded4.Healthy, "population healthy after recovery");
+  Ok &= check(Sharded4.VictimFrozen, "victim frozen under threading");
+  Ok &= check(Sharded4.Report.CellsFrozen == 1, "exactly one cell frozen");
+  Ok &= check(Sharded2.Vm == Serial.Vm,
+              "2-shard run bit-identical to single-threaded");
+  Ok &= check(Sharded4.Vm == Serial.Vm,
+              "4-shard run bit-identical to single-threaded");
+  return Ok;
+}
+
 /// No faults at all: the health scan at default cadence must cost less
 /// than 5% of step time (min-of-3 to shed scheduler noise).
 bool scenarioOverhead() {
@@ -297,6 +346,8 @@ const Scenario Scenarios[] = {
      scenarioExtremeDt},
     {"extreme-param", "pathological parameter -> run completes, cells flagged",
      scenarioExtremeParam},
+    {"sharded", "persistent NaN under 2/4 shards -> recovery thread-invariant",
+     scenarioSharded},
     {"overhead", "clean run -> health scan costs < 5%", scenarioOverhead},
 };
 
