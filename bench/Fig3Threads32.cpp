@@ -31,6 +31,8 @@ int main() {
 
   const unsigned Threads = 32;
   ModelCache Cache;
+  Cache.prewarm(selectedModels(),
+                {EngineConfig::baseline(), EngineConfig::limpetMLIR(8)});
   std::vector<std::vector<std::string>> Rows;
   Rows.push_back({"model", "class", "baseline(s)", "limpetMLIR(s)",
                   "speedup"});

@@ -12,8 +12,11 @@
 
 #include "bench/BenchHarness.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -110,14 +113,24 @@ int main() {
   std::printf("L1 bandwidth:    %7.1f GB/s\n\n", L1);
 
   ModelCache Cache;
+  Cache.prewarm(selectedModels(), {EngineConfig::limpetMLIR(8)});
   std::vector<std::vector<std::string>> Rows;
   Rows.push_back({"model", "class", "flops/cell", "bytes/cell", "OI(F/B)",
-                  "GFlops/s", "bound"});
+                  "GFlops/s", "bound", "bytes dev"});
 
+  // Cross-check of the static traffic model against the runtime counters:
+  // the modeled bytes (per-cell counts x cells x steps x repeats) and the
+  // measured BytesLoaded/BytesStored deltas come from independent paths
+  // (bytecode analysis vs. per-chunk accounting), so a large deviation
+  // means the roofline's OI axis is lying. Zero counters (telemetry-off
+  // build) render as "n/a".
+  double WorstDev = 0;
   for (const models::ModelEntry *M : selectedModels()) {
     const CompiledModel &Vec = Cache.get(*M, EngineConfig::limpetMLIR(8));
     const InstrCounts &Counts = Vec.program().Counts;
+    telemetry::RuntimeCounters Before = telemetry::runtimeCounters();
     double Time = timeSimulation(Vec, Protocol, 1);
+    telemetry::RuntimeCounters After = telemetry::runtimeCounters();
     double TotalFlops = Counts.FlopsPerCell * double(Protocol.NumCells) *
                         double(Protocol.NumSteps);
     double Gflops = TotalFlops / Time / 1e9;
@@ -125,14 +138,33 @@ int main() {
     // A model is memory-bound when its roofline ceiling is the bandwidth
     // line: OI * DRAM bandwidth < peak.
     bool MemoryBound = OI * Dram < Peak;
+
+    double MeasuredBytes = double(After.BytesLoaded - Before.BytesLoaded) +
+                           double(After.BytesStored - Before.BytesStored);
+    // timeSimulation runs every repeat (extrema are only dropped from the
+    // timing average), so the counters cover Repeats full simulations.
+    double ModeledBytes =
+        (Counts.LoadBytesPerCell + Counts.StoreBytesPerCell) *
+        double(Vec.paddedCells(Protocol.NumCells)) *
+        double(Protocol.NumSteps) * double(std::max(Protocol.Repeats, 1));
+    std::string Dev = "n/a";
+    if (MeasuredBytes > 0 && ModeledBytes > 0) {
+      double DevPct = (MeasuredBytes - ModeledBytes) / ModeledBytes * 100.0;
+      WorstDev = std::max(WorstDev, std::fabs(DevPct));
+      Dev = formatFixed(DevPct, 2) + "%";
+    }
     Rows.push_back(
         {M->Name, className(M->SizeClass),
          formatFixed(Counts.FlopsPerCell, 0),
          formatFixed(Counts.LoadBytesPerCell + Counts.StoreBytesPerCell, 0),
          formatFixed(OI, 2), formatFixed(Gflops, 2),
-         MemoryBound ? "memory" : "compute"});
+         MemoryBound ? "memory" : "compute", Dev});
   }
   std::printf("%s", renderTable(Rows).c_str());
+  std::printf("\nmodeled-vs-counter bytes cross-check: worst deviation "
+              "%.2f%% (0%% means the\nstatic traffic model and the runtime "
+              "byte counters agree exactly)\n",
+              WorstDev);
   std::printf("\npaper shape: most models sit left of the ridge "
               "(memory-bound); large\ncompute-heavy models "
               "(GrandiPanditVoigt) approach the compute roof, and\n"

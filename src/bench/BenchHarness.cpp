@@ -2,6 +2,7 @@
 
 #include "bench/BenchHarness.h"
 
+#include "compiler/CompilerDriver.h"
 #include "easyml/Sema.h"
 #include "support/Casting.h"
 #include "support/StringUtils.h"
@@ -65,24 +66,42 @@ const CompiledModel &ModelCache::get(const models::ModelEntry &Entry,
   if (It != Cache.end())
     return *It->second;
 
-  DiagnosticEngine Diags;
-  auto Info = easyml::compileModelInfo(Entry.Name, Entry.Source, Diags);
-  if (!Info) {
-    std::fprintf(stderr, "frontend failed for %s:\n%s", Entry.Name.c_str(),
-                 Diags.str().c_str());
-    std::abort();
-  }
-  std::string Error;
-  auto Model = CompiledModel::compile(*Info, Cfg, &Error);
-  if (!Model) {
+  compiler::DriverOptions Opts;
+  Opts.Config = Cfg;
+  compiler::CompilerDriver Driver(std::move(Opts));
+  compiler::CompileResult R = Driver.compileEntry(Entry);
+  if (!R) {
     std::fprintf(stderr, "compile failed for %s: %s\n", Entry.Name.c_str(),
-                 Error.c_str());
+                 R.Err.message().c_str());
     std::abort();
   }
-  auto Owned = std::make_unique<CompiledModel>(std::move(*Model));
+  auto Owned = std::make_unique<CompiledModel>(std::move(*R.Model));
   const CompiledModel &Ref = *Owned;
   Cache.emplace(std::move(Key), std::move(Owned));
   return Ref;
+}
+
+void ModelCache::prewarm(
+    const std::vector<const models::ModelEntry *> &Entries,
+    const std::vector<EngineConfig> &Configs) {
+  for (const EngineConfig &Cfg : Configs) {
+    compiler::DriverOptions Opts;
+    Opts.Config = Cfg;
+    compiler::CompilerDriver Driver(std::move(Opts));
+    std::vector<compiler::CompileResult> Results =
+        Driver.compileSuite(Entries);
+    for (size_t I = 0; I != Results.size(); ++I) {
+      compiler::CompileResult &R = Results[I];
+      if (!R) {
+        std::fprintf(stderr, "compile failed for %s: %s\n",
+                     R.ModelName.c_str(), R.Err.message().c_str());
+        std::abort();
+      }
+      std::string Key = Entries[I]->Name + "|" + engineConfigName(Cfg);
+      Cache.emplace(std::move(Key),
+                    std::make_unique<CompiledModel>(std::move(*R.Model)));
+    }
+  }
 }
 
 double bench::timeSimulation(const CompiledModel &Model,

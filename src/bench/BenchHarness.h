@@ -52,11 +52,22 @@ struct BenchProtocol {
 std::vector<const models::ModelEntry *> selectedModels();
 
 /// A compiled model cache keyed by (model, config) so sweeps do not
-/// recompile.
+/// recompile. Compiles go through the CompilerDriver, so they also hit
+/// the process-wide content-addressed compile cache (and its disk tier
+/// when LIMPET_CACHE_DIR is set: warm bench runs skip codegen entirely).
 class ModelCache {
 public:
   const exec::CompiledModel &get(const models::ModelEntry &Entry,
                                  const exec::EngineConfig &Cfg);
+
+  /// Compiles every (entry, config) pair up front, each configuration's
+  /// suite fanned out concurrently over the global thread pool; later
+  /// get() calls are pure lookups. Aborts on a compile failure, like
+  /// get().
+  void prewarm(const std::vector<const models::ModelEntry *> &Entries,
+               const std::vector<exec::EngineConfig> &Configs);
+
+  size_t size() const { return Cache.size(); }
 
 private:
   std::map<std::string, std::unique_ptr<exec::CompiledModel>> Cache;

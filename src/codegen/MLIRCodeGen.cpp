@@ -22,12 +22,14 @@ using namespace limpet::ir;
 // Program construction
 //===----------------------------------------------------------------------===//
 
-ModelProgram codegen::buildModelProgram(const ModelInfo &InfoIn,
-                                        bool EnableLuts) {
-  ModelProgram P;
-  P.Info = InfoIn;
+void codegen::preprocessProgram(ModelProgram &P, const ModelInfo &Info) {
+  P.Info = Info;
   preprocessModel(P.Info);
+}
 
+void codegen::expandIntegrators(ModelProgram &P) {
+  P.StateUpdates.clear();
+  P.ExternalUpdates.clear();
   for (const StateVarInfo &SV : P.Info.StateVars) {
     ExprPtr Update = buildUpdateExpr(SV);
     // Fold the constants the expansion introduced (dt/2 etc. stay runtime,
@@ -36,7 +38,9 @@ ModelProgram codegen::buildModelProgram(const ModelInfo &InfoIn,
   }
   for (const ExternalInfo &Ext : P.Info.Externals)
     P.ExternalUpdates.push_back(Ext.IsComputed ? Ext.Value : nullptr);
+}
 
+void codegen::analyzeLutTables(ModelProgram &P, bool EnableLuts) {
   std::vector<ExprPtr *> Roots;
   for (ExprPtr &E : P.StateUpdates)
     Roots.push_back(&E);
@@ -44,6 +48,14 @@ ModelProgram codegen::buildModelProgram(const ModelInfo &InfoIn,
     if (E)
       Roots.push_back(&E);
   P.Luts = extractLuts(P.Info, Roots, EnableLuts);
+}
+
+ModelProgram codegen::buildModelProgram(const ModelInfo &InfoIn,
+                                        bool EnableLuts) {
+  ModelProgram P;
+  preprocessProgram(P, InfoIn);
+  expandIntegrators(P);
+  analyzeLutTables(P, EnableLuts);
   return P;
 }
 
@@ -369,18 +381,15 @@ private:
 
 } // namespace
 
-GeneratedKernel codegen::generateKernel(const ModelInfo &Info,
-                                        const CodeGenOptions &Options) {
-  telemetry::TraceSpan Span("codegen:" + Info.Name, "compile");
+GeneratedKernel codegen::emitKernelIR(ModelProgram Program,
+                                      const CodeGenOptions &Options) {
+  telemetry::TraceSpan Span("codegen:" + Program.Info.Name, "compile");
   telemetry::ScopedTimerNs Timer("compile.codegen.ns");
   GeneratedKernel K;
   K.Ctx = std::make_shared<Context>();
   K.Mod = std::make_unique<Module>();
   K.Options = Options;
-  {
-    telemetry::TraceSpan ProgramSpan("build-program", "compile");
-    K.Program = buildModelProgram(Info, Options.EnableLuts);
-  }
+  K.Program = std::move(Program);
   for (const LutTablePlan &Plan : K.Program.Luts.Tables) {
     telemetry::counter("compile.lut.tables").add(1);
     telemetry::counter("compile.lut.columns").add(Plan.Columns.size());
@@ -431,14 +440,46 @@ GeneratedKernel codegen::generateKernel(const ModelInfo &Info,
   makeReturn(B);
 
   K.ScalarFunc = K.Mod->addFunction(std::move(Func));
+  return K;
+}
 
-  if (Options.RunPasses) {
-    transforms::PassManager PM(Ctx);
-    transforms::PassManager::addDefaultPipeline(PM);
-    bool Ok = PM.run(K.ScalarFunc);
-    assert(Ok && "optimization pipeline broke the kernel");
-    (void)Ok;
-    K.PassStats = PM.statistics();
+Status codegen::optimizeKernelFunc(GeneratedKernel &K, ir::Operation *Func) {
+  telemetry::ScopedTimerNs Timer("compile.opt.ns");
+  transforms::PassManager PM(*K.Ctx);
+  std::string_view Spec = K.Options.PassPipeline.empty()
+                              ? transforms::defaultPassPipelineSpec()
+                              : std::string_view(K.Options.PassPipeline);
+  if (Status S = transforms::parsePassPipeline(Spec, PM); !S) {
+    K.PipelineStatus = S;
+    return S;
   }
+  if (!PM.run(Func)) {
+    // Recoverable: the caller (driver) reports this instead of executing a
+    // kernel the verifier rejected. Release builds used to assert here and
+    // silently continue on a broken kernel.
+    Status S = Status::error(PM.errorMessage());
+    K.PipelineStatus = S;
+    // Keep whatever statistics accumulated before the failing pass; they
+    // localize which pass broke the kernel in `limpetc --stats`.
+    for (const transforms::PassStatistics::Entry &E :
+         PM.statistics().Entries)
+      K.PassStats.Entries.push_back(E);
+    return S;
+  }
+  for (const transforms::PassStatistics::Entry &E : PM.statistics().Entries)
+    K.PassStats.Entries.push_back(E);
+  return Status::success();
+}
+
+GeneratedKernel codegen::generateKernel(const ModelInfo &Info,
+                                        const CodeGenOptions &Options) {
+  ModelProgram Program;
+  {
+    telemetry::TraceSpan ProgramSpan("build-program", "compile");
+    Program = buildModelProgram(Info, Options.EnableLuts);
+  }
+  GeneratedKernel K = emitKernelIR(std::move(Program), Options);
+  if (Options.RunPasses)
+    (void)optimizeKernelFunc(K, K.ScalarFunc);
   return K;
 }

@@ -18,6 +18,7 @@
 #include "easyml/ModelInfo.h"
 #include "ir/Context.h"
 #include "ir/IR.h"
+#include "support/Status.h"
 #include "transforms/Pass.h"
 
 #include <memory>
@@ -39,9 +40,25 @@ struct ModelProgram {
 };
 
 /// Builds the update program: runs the preprocessor, expands integrators
-/// and extracts LUT columns (if \p EnableLuts).
+/// and extracts LUT columns (if \p EnableLuts). Composes the three staged
+/// entry points below; the CompilerDriver runs them individually so each
+/// stage gets its own telemetry span and IR snapshot.
 ModelProgram buildModelProgram(const easyml::ModelInfo &Info,
                                bool EnableLuts = true);
+
+/// Stage "preprocess": copies \p Info into \p P and runs the preprocessor
+/// over the copy.
+void preprocessProgram(ModelProgram &P, const easyml::ModelInfo &Info);
+
+/// Stage "integrator": expands every state variable's temporal
+/// discretization into a next-value expression (and collects computed
+/// external updates). Requires preprocessProgram to have run.
+void expandIntegrators(ModelProgram &P);
+
+/// Stage "lut-analysis": extracts LUT table columns from the update
+/// expressions (rewriting them in place). Requires expandIntegrators to
+/// have run. No-op plan when \p EnableLuts is false.
+void analyzeLutTables(ModelProgram &P, bool EnableLuts);
 
 /// Code generation options.
 struct CodeGenOptions {
@@ -53,8 +70,12 @@ struct CodeGenOptions {
   /// Emit Catmull-Rom cubic LUT interpolation instead of linear (the
   /// spline variant the paper lists as future work).
   bool CubicLut = false;
-  /// Run the default optimization pipeline on the generated function.
+  /// Run the optimization pipeline on the generated function.
   bool RunPasses = true;
+  /// Pipeline string for the optimization stage (see
+  /// transforms::parsePassPipeline). Empty selects the default pipeline.
+  /// Ignored when RunPasses is off.
+  std::string PassPipeline;
 };
 
 /// A generated kernel: the module owning @compute plus everything needed
@@ -69,12 +90,31 @@ struct GeneratedKernel {
   /// Per-pass wall time and op counts of the optimization pipeline (empty
   /// when Options.RunPasses was off). Rendered by `limpetc --stats`.
   transforms::PassStatistics PassStats;
+  /// Outcome of the optimization pipeline(s) run on this kernel. An error
+  /// here means a pass broke IR verification (or the pipeline string did
+  /// not parse); the kernel must not be executed. Callers that go through
+  /// the CompilerDriver get this surfaced as a recoverable compile error.
+  Status PipelineStatus;
 };
 
 /// Generates the scalar kernel for \p Info. Asserts the model is valid
-/// (run Sema first).
+/// (run Sema first). A pipeline failure is recorded in the returned
+/// kernel's PipelineStatus rather than asserted.
 GeneratedKernel generateKernel(const easyml::ModelInfo &Info,
                                const CodeGenOptions &Options);
+
+/// Stage "emit-ir": emits the scalar @compute kernel for an already-built
+/// program. Runs no optimization passes (stage "opt" is separate); the
+/// returned kernel owns \p Program moved into it.
+GeneratedKernel emitKernelIR(ModelProgram Program,
+                             const CodeGenOptions &Options);
+
+/// Stage "opt": runs \p Options' pass pipeline (default pipeline when the
+/// string is empty) over \p Func, accumulating statistics into
+/// \p K.PassStats and recording the outcome in K.PipelineStatus. Returns
+/// the pipeline outcome; a failure leaves the function in its broken state
+/// and must be treated as a compile error.
+Status optimizeKernelFunc(GeneratedKernel &K, ir::Operation *Func);
 
 } // namespace codegen
 } // namespace limpet

@@ -59,14 +59,6 @@ public:
     }
 
     K.Mod->addFunction(std::move(NewFuncOwned));
-
-    if (K.Options.RunPasses) {
-      transforms::PassManager PM(Ctx);
-      transforms::PassManager::addDefaultPipeline(PM);
-      bool Ok = PM.run(NewFunc);
-      assert(Ok && "pass pipeline broke the vector kernel");
-      (void)Ok;
-    }
     return NewFunc;
   }
 
@@ -297,7 +289,7 @@ private:
 
 } // namespace
 
-Operation *codegen::vectorizeKernel(GeneratedKernel &K, unsigned Width) {
+Operation *codegen::cloneVectorKernel(GeneratedKernel &K, unsigned Width) {
   assert(Width > 1 && "vector width must be at least 2");
   assert((K.Options.Layout != StateLayout::AoSoA ||
           K.Options.AoSoABlockWidth == Width) &&
@@ -307,5 +299,14 @@ Operation *codegen::vectorizeKernel(GeneratedKernel &K, unsigned Width) {
   Vectorizer V(K, Width);
   Operation *Func = V.run();
   telemetry::counter("compile.vectorize.kernels").add(1);
+  return Func;
+}
+
+Operation *codegen::vectorizeKernel(GeneratedKernel &K, unsigned Width) {
+  Operation *Func = cloneVectorKernel(K, Width);
+  // A pipeline failure lands in K.PipelineStatus (it used to be an assert
+  // that Release builds skipped, continuing on a broken kernel).
+  if (K.Options.RunPasses)
+    (void)optimizeKernelFunc(K, Func);
   return Func;
 }

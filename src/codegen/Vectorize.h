@@ -21,9 +21,15 @@ namespace limpet {
 namespace codegen {
 
 /// Creates "compute_vec<W>" in \p K's module from its scalar kernel and
-/// returns it. Runs the default pass pipeline on the new function when
-/// K.Options.RunPasses is set.
+/// returns it. Runs K.Options' pass pipeline on the new function when
+/// K.Options.RunPasses is set; a pipeline failure is recorded in
+/// K.PipelineStatus (recoverable) instead of asserting.
 ir::Operation *vectorizeKernel(GeneratedKernel &K, unsigned Width);
+
+/// Stage "vectorize": the rewrite alone, with no pass pipeline run on the
+/// result. The CompilerDriver runs the "opt" stage on the returned
+/// function separately so the pipeline is configurable and snapshot-able.
+ir::Operation *cloneVectorKernel(GeneratedKernel &K, unsigned Width);
 
 } // namespace codegen
 } // namespace limpet

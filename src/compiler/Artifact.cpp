@@ -1,0 +1,376 @@
+//===- Artifact.cpp -------------------------------------------------------===//
+
+#include "compiler/Artifact.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace limpet;
+using namespace limpet::compiler;
+using namespace limpet::exec;
+
+uint64_t compiler::fnv1a64(std::string_view Bytes, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-level writer / reader
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "LMPA" little-endian.
+constexpr uint32_t kMagic = 0x41504d4cu;
+
+class Writer {
+public:
+  std::string Out;
+
+  void u8(uint8_t V) { Out.push_back(char(V)); }
+  void u16(uint16_t V) { raw(&V, sizeof V); }
+  void u32(uint32_t V) { raw(&V, sizeof V); }
+  void u64(uint64_t V) { raw(&V, sizeof V); }
+  void i32(int32_t V) { raw(&V, sizeof V); }
+  void f64(double V) {
+    // Bit pattern, not text: round-trips NaNs, -0.0 and every payload bit.
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+  void str(std::string_view S) {
+    u32(uint32_t(S.size()));
+    Out.append(S.data(), S.size());
+  }
+
+private:
+  void raw(const void *P, size_t N) {
+    Out.append(reinterpret_cast<const char *>(P), N);
+  }
+};
+
+class Reader {
+public:
+  Reader(std::string_view Bytes) : Bytes(Bytes) {}
+
+  bool failed() const { return Failed; }
+  size_t remaining() const { return Bytes.size() - Pos; }
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint16_t u16() {
+    uint16_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  int32_t i32() {
+    int32_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof V);
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (Failed || N > remaining()) {
+      Failed = true;
+      return "";
+    }
+    std::string S(Bytes.substr(Pos, N));
+    Pos += N;
+    return S;
+  }
+
+private:
+  void raw(void *P, size_t N) {
+    if (Failed || N > remaining()) {
+      Failed = true;
+      return;
+    }
+    std::memcpy(P, Bytes.data() + Pos, N);
+    Pos += N;
+  }
+
+  std::string_view Bytes;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+void writeInstrs(Writer &W, const std::vector<BcInstr> &Instrs) {
+  W.u32(uint32_t(Instrs.size()));
+  for (const BcInstr &I : Instrs) {
+    W.u8(uint8_t(I.Op));
+    W.u16(I.Dst);
+    W.u16(I.A);
+    W.u16(I.B);
+    W.u16(I.C);
+    W.i32(I.Aux);
+    W.i32(I.Aux2);
+    W.f64(I.Imm);
+  }
+}
+
+bool readInstrs(Reader &R, std::vector<BcInstr> &Instrs) {
+  uint32_t N = R.u32();
+  // Each serialized instruction is 25 bytes; reject counts the remaining
+  // payload cannot hold instead of allocating from a corrupted length.
+  if (R.failed() || size_t(N) * 25 > R.remaining())
+    return false;
+  Instrs.resize(N);
+  for (BcInstr &I : Instrs) {
+    I.Op = BcOp(R.u8());
+    I.Dst = R.u16();
+    I.A = R.u16();
+    I.B = R.u16();
+    I.C = R.u16();
+    I.Aux = R.i32();
+    I.Aux2 = R.i32();
+    I.Imm = R.f64();
+  }
+  return !R.failed();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string compiler::serializeArtifact(const Artifact &A) {
+  Writer P; // payload
+  P.str(A.ModelName);
+  P.u64(A.SourceHash);
+
+  const EngineConfig &C = A.Config;
+  P.u32(C.Width);
+  P.u8(uint8_t(C.Layout));
+  P.u8(C.FastMath);
+  P.u8(C.EnableLuts);
+  P.u8(C.CubicLut);
+  P.u8(C.RunPasses);
+  P.str(C.PassPipeline);
+
+  const BcProgram &B = A.Program;
+  writeInstrs(P, B.Prologue);
+  writeInstrs(P, B.Body);
+  P.u32(B.NumRegs);
+  P.u8(B.HasDt);
+  P.u8(B.HasT);
+  P.u16(B.DtReg);
+  P.u16(B.TReg);
+  P.u8(uint8_t(B.Layout));
+  P.u32(B.NumSv);
+  P.u32(B.AoSoAW);
+  P.u32(B.NumExternals);
+  P.u32(B.NumParams);
+  P.f64(B.Counts.FlopsPerCell);
+  P.f64(B.Counts.LoadBytesPerCell);
+  P.f64(B.Counts.StoreBytesPerCell);
+  P.u32(B.LutOpsPerCell);
+  P.u32(B.MathOpsPerCell);
+
+  P.u32(uint32_t(A.Luts.Tables.size()));
+  for (const runtime::LutTable &T : A.Luts.Tables) {
+    P.f64(T.lo());
+    P.f64(T.hi());
+    P.f64(T.step());
+    P.u32(uint32_t(T.cols()));
+    P.u32(uint32_t(T.rows()));
+    for (int Row = 0; Row != T.rows(); ++Row)
+      for (int Col = 0; Col != T.cols(); ++Col)
+        P.f64(T.data()[size_t(Row) * T.cols() + Col]);
+  }
+
+  Writer W;
+  W.u32(kMagic);
+  W.u32(A.FormatVersion);
+  W.u64(fnv1a64(P.Out));
+  W.Out += P.Out;
+  return W.Out;
+}
+
+Expected<Artifact> compiler::deserializeArtifact(std::string_view Bytes) {
+  auto Err = [](const char *Msg) {
+    return Expected<Artifact>(
+        Status::error(std::string("artifact: ") + Msg));
+  };
+  Reader H(Bytes);
+  if (Bytes.size() < 16)
+    return Err("truncated header");
+  if (H.u32() != kMagic)
+    return Err("bad magic (not a limpet artifact)");
+  uint32_t Version = H.u32();
+  if (Version != kArtifactFormatVersion)
+    return Err("format version mismatch");
+  uint64_t Checksum = H.u64();
+  std::string_view Payload = Bytes.substr(16);
+  if (fnv1a64(Payload) != Checksum)
+    return Err("checksum mismatch (corrupted or truncated)");
+
+  Reader R(Payload);
+  Artifact A;
+  A.FormatVersion = Version;
+  A.ModelName = R.str();
+  A.SourceHash = R.u64();
+
+  EngineConfig &C = A.Config;
+  C.Width = R.u32();
+  C.Layout = codegen::StateLayout(R.u8());
+  C.FastMath = R.u8() != 0;
+  C.EnableLuts = R.u8() != 0;
+  C.CubicLut = R.u8() != 0;
+  C.RunPasses = R.u8() != 0;
+  C.PassPipeline = R.str();
+
+  BcProgram &B = A.Program;
+  if (!readInstrs(R, B.Prologue) || !readInstrs(R, B.Body))
+    return Err("truncated instruction stream");
+  B.NumRegs = R.u32();
+  B.HasDt = R.u8() != 0;
+  B.HasT = R.u8() != 0;
+  B.DtReg = R.u16();
+  B.TReg = R.u16();
+  B.Layout = codegen::StateLayout(R.u8());
+  B.NumSv = R.u32();
+  B.AoSoAW = R.u32();
+  B.NumExternals = R.u32();
+  B.NumParams = R.u32();
+  B.Counts.FlopsPerCell = R.f64();
+  B.Counts.LoadBytesPerCell = R.f64();
+  B.Counts.StoreBytesPerCell = R.f64();
+  B.LutOpsPerCell = R.u32();
+  B.MathOpsPerCell = R.u32();
+
+  uint32_t NumTables = R.u32();
+  if (R.failed() || size_t(NumTables) > R.remaining())
+    return Err("truncated LUT section");
+  for (uint32_t I = 0; I != NumTables; ++I) {
+    double Lo = R.f64(), Hi = R.f64(), Step = R.f64();
+    // Cols may legitimately be 0: a model whose LUT range ends up with no
+    // approximable columns still carries the (empty) table so bytecode
+    // table indices stay stable.
+    uint32_t Cols = R.u32(), Rows = R.u32();
+    if (R.failed() || !(Step > 0) || !(Hi > Lo) ||
+        size_t(Rows) * Cols * 8 > R.remaining())
+      return Err("malformed LUT table header");
+    runtime::LutTable T(Lo, Hi, Step, int(Cols));
+    if (uint32_t(T.rows()) != Rows)
+      return Err("LUT row count does not match its range");
+    for (uint32_t Row = 0; Row != Rows; ++Row)
+      for (uint32_t Col = 0; Col != Cols; ++Col)
+        T.at(int(Row), int(Col)) = R.f64();
+    A.Luts.Tables.push_back(std::move(T));
+  }
+  if (R.failed())
+    return Err("truncated payload");
+  if (R.remaining() != 0)
+    return Err("trailing bytes after payload");
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Files
+//===----------------------------------------------------------------------===//
+
+Status compiler::writeArtifactFile(const Artifact &A,
+                                   const std::string &Path) {
+  std::string Bytes = serializeArtifact(A);
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return Status::error("cannot open '" + Tmp + "' for writing");
+    Out.write(Bytes.data(), std::streamsize(Bytes.size()));
+    if (!Out)
+      return Status::error("short write to '" + Tmp + "'");
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::error("cannot rename '" + Tmp + "' to '" + Path + "'");
+  }
+  return Status::success();
+}
+
+Expected<Artifact> compiler::readArtifactFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<Artifact>(
+        Status::error("cannot read artifact file '" + Path + "'"));
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  std::string Bytes = Ss.str();
+  return deserializeArtifact(Bytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Comparison helpers
+//===----------------------------------------------------------------------===//
+
+static bool instrsIdentical(const std::vector<BcInstr> &A,
+                            const std::vector<BcInstr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I) {
+    const BcInstr &X = A[I], &Y = B[I];
+    uint64_t XBits, YBits;
+    std::memcpy(&XBits, &X.Imm, sizeof XBits);
+    std::memcpy(&YBits, &Y.Imm, sizeof YBits);
+    if (X.Op != Y.Op || X.Dst != Y.Dst || X.A != Y.A || X.B != Y.B ||
+        X.C != Y.C || X.Aux != Y.Aux || X.Aux2 != Y.Aux2 || XBits != YBits)
+      return false;
+  }
+  return true;
+}
+
+bool compiler::programsIdentical(const BcProgram &A, const BcProgram &B) {
+  return instrsIdentical(A.Prologue, B.Prologue) &&
+         instrsIdentical(A.Body, B.Body) && A.NumRegs == B.NumRegs &&
+         A.HasDt == B.HasDt && A.HasT == B.HasT && A.DtReg == B.DtReg &&
+         A.TReg == B.TReg && A.Layout == B.Layout && A.NumSv == B.NumSv &&
+         A.AoSoAW == B.AoSoAW && A.NumExternals == B.NumExternals &&
+         A.NumParams == B.NumParams &&
+         A.Counts.FlopsPerCell == B.Counts.FlopsPerCell &&
+         A.Counts.LoadBytesPerCell == B.Counts.LoadBytesPerCell &&
+         A.Counts.StoreBytesPerCell == B.Counts.StoreBytesPerCell &&
+         A.LutOpsPerCell == B.LutOpsPerCell &&
+         A.MathOpsPerCell == B.MathOpsPerCell;
+}
+
+bool compiler::lutsIdentical(const runtime::LutTableSet &A,
+                             const runtime::LutTableSet &B) {
+  if (A.Tables.size() != B.Tables.size())
+    return false;
+  for (size_t I = 0; I != A.Tables.size(); ++I) {
+    const runtime::LutTable &X = A.Tables[I], &Y = B.Tables[I];
+    if (X.lo() != Y.lo() || X.hi() != Y.hi() || X.step() != Y.step() ||
+        X.rows() != Y.rows() || X.cols() != Y.cols())
+      return false;
+    size_t N = size_t(X.rows()) * X.cols();
+    if (std::memcmp(X.data(), Y.data(), N * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,84 @@
+//===- Artifact.h - Compiled-model artifact serialization -------*- C++-*-===//
+//
+// A compiled artifact is everything the runtime needs to execute a model
+// without running any codegen stage: the register bytecode program plus
+// the baked (default-parameter) LUT tables, tagged with the engine
+// configuration, pass pipeline and a content hash of the model source.
+//
+// The format is versioned and byte-exact: doubles are stored as their
+// IEEE-754 bit patterns, so serialize -> deserialize -> simulate is
+// bit-identical to the in-memory compile. A FNV-1a checksum over the
+// payload detects truncated or corrupted cache files; deserialization
+// failures are recoverable Status errors, and the compile cache falls back
+// to a clean recompile.
+//
+// NMODL and similar production DSL compilers persist generated kernels the
+// same way; this is the half of the paper's "compile once, simulate many"
+// story that makes warm runs skip codegen entirely.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_COMPILER_ARTIFACT_H
+#define LIMPET_COMPILER_ARTIFACT_H
+
+#include "exec/Bytecode.h"
+#include "exec/CompiledModel.h"
+#include "runtime/Lut.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace limpet {
+namespace compiler {
+
+/// Bumped whenever the serialized layout changes; a mismatch is a cache
+/// miss, never a misparse.
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+/// A deserialized (or to-be-serialized) compiled artifact.
+struct Artifact {
+  uint32_t FormatVersion = kArtifactFormatVersion;
+  std::string ModelName;
+  /// FNV-1a 64 of the EasyML source the artifact was compiled from; used
+  /// to reject loading an artifact against a different model text.
+  uint64_t SourceHash = 0;
+  /// The configuration the program was compiled under (the pipeline
+  /// string rides in Config.PassPipeline).
+  exec::EngineConfig Config;
+  exec::BcProgram Program;
+  /// LUT tables baked at default parameters. Loading installs these
+  /// directly; parameter changes rebuild from the (re-analyzed) plan.
+  runtime::LutTableSet Luts;
+};
+
+/// FNV-1a 64-bit over \p Bytes (the repo's content hash; no crypto deps).
+uint64_t fnv1a64(std::string_view Bytes, uint64_t Seed = 0xcbf29ce484222325ull);
+
+/// Serializes \p A into a self-contained byte string (header, checksum,
+/// payload).
+std::string serializeArtifact(const Artifact &A);
+
+/// Parses \p Bytes. Any structural problem — bad magic, version mismatch,
+/// checksum failure, truncation — is a recoverable error.
+Expected<Artifact> deserializeArtifact(std::string_view Bytes);
+
+/// Writes \p A to \p Path atomically (temp file + rename), so a crashed
+/// writer never leaves a half-written cache entry behind.
+Status writeArtifactFile(const Artifact &A, const std::string &Path);
+
+/// Reads and parses an artifact file.
+Expected<Artifact> readArtifactFile(const std::string &Path);
+
+/// Field-by-field equality of two programs (used by the round-trip tests;
+/// BcInstr may contain padding, so memcmp is not reliable).
+bool programsIdentical(const exec::BcProgram &A, const exec::BcProgram &B);
+
+/// Bit-exact equality of two LUT table sets.
+bool lutsIdentical(const runtime::LutTableSet &A,
+                   const runtime::LutTableSet &B);
+
+} // namespace compiler
+} // namespace limpet
+
+#endif // LIMPET_COMPILER_ARTIFACT_H

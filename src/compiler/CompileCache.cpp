@@ -1,0 +1,124 @@
+//===- CompileCache.cpp ---------------------------------------------------===//
+
+#include "compiler/CompileCache.h"
+
+#include "support/Telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace limpet;
+using namespace limpet::compiler;
+
+uint64_t compiler::compileCacheKey(std::string_view Source,
+                                   const exec::EngineConfig &Cfg) {
+  // Chain every compile-relevant input through one running hash. The
+  // config is folded field-by-field (not via engineConfigName) so adding
+  // a field to EngineConfig only needs one line here to invalidate.
+  uint64_t H = fnv1a64(Source);
+  char CfgBytes[] = {char(Cfg.Width),    char(Cfg.Layout),
+                     char(Cfg.FastMath), char(Cfg.EnableLuts),
+                     char(Cfg.CubicLut), char(Cfg.RunPasses)};
+  H = fnv1a64(std::string_view(CfgBytes, sizeof CfgBytes), H);
+  H = fnv1a64(Cfg.PassPipeline, H);
+  char Version[] = {char(kArtifactFormatVersion),
+                    char(kArtifactFormatVersion >> 8),
+                    char(kArtifactFormatVersion >> 16),
+                    char(kArtifactFormatVersion >> 24)};
+  H = fnv1a64(std::string_view(Version, sizeof Version), H);
+  return H;
+}
+
+CompileCache &CompileCache::global() {
+  static CompileCache C;
+  return C;
+}
+
+std::string CompileCache::diskDir() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (DiskOverride)
+      return *DiskOverride;
+  }
+  const char *Env = std::getenv("LIMPET_CACHE_DIR");
+  return Env ? Env : "";
+}
+
+void CompileCache::setDiskDir(std::string Dir) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  DiskOverride = std::move(Dir);
+}
+
+std::string CompileCache::diskPath(uint64_t Key) {
+  std::string Dir = diskDir();
+  if (Dir.empty())
+    return "";
+  char Hex[17];
+  std::snprintf(Hex, sizeof Hex, "%016llx", (unsigned long long)Key);
+  return Dir + "/" + Hex + ".lmpa";
+}
+
+std::optional<Artifact> CompileCache::lookup(uint64_t Key, bool *FromDisk) {
+  if (FromDisk)
+    *FromDisk = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Memory.find(Key);
+    if (It != Memory.end()) {
+      if (Expected<Artifact> A = deserializeArtifact(It->second)) {
+        telemetry::counter("compile.cache.hit").add(1);
+        return *A;
+      }
+      // A memory entry can only be bad if something scribbled on it;
+      // drop it and fall through to the slower tiers.
+      Memory.erase(It);
+    }
+  }
+
+  std::string Path = diskPath(Key);
+  if (!Path.empty()) {
+    if (Expected<Artifact> A = readArtifactFile(Path)) {
+      telemetry::counter("compile.cache.disk_hit").add(1);
+      if (FromDisk)
+        *FromDisk = true;
+      std::lock_guard<std::mutex> Lock(Mu);
+      Memory.emplace(Key, serializeArtifact(*A));
+      return *A;
+    } else if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
+      // The file exists but did not parse: corrupt or truncated. Count
+      // it and let the caller recompile (the store will overwrite it).
+      std::fclose(F);
+      telemetry::counter("compile.cache.bad").add(1);
+    }
+  }
+
+  telemetry::counter("compile.cache.miss").add(1);
+  return std::nullopt;
+}
+
+void CompileCache::store(uint64_t Key, const Artifact &A) {
+  std::string Bytes = serializeArtifact(A);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Memory[Key] = Bytes;
+  }
+  std::string Path = diskPath(Key);
+  if (!Path.empty()) {
+    // Best effort: a read-only or missing directory must not fail the
+    // compile, it just loses the warm-start benefit.
+    if (writeArtifactFile(A, Path))
+      telemetry::counter("compile.cache.store").add(1);
+  } else {
+    telemetry::counter("compile.cache.store").add(1);
+  }
+}
+
+void CompileCache::clearMemory() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Memory.clear();
+}
+
+size_t CompileCache::memorySize() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Memory.size();
+}

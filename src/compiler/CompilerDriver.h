@@ -1,0 +1,147 @@
+//===- CompilerDriver.h - Staged model compilation driver -------*- C++-*-===//
+//
+// Reifies the compile pipeline as an explicit sequence of named stages
+//
+//   frontend -> preprocess -> integrator -> lut-analysis ->
+//   emit-ir -> opt -> [vectorize -> opt] -> emit-bytecode
+//
+// mirroring how MLIR-based compilers (and the paper's limpetMLIR) expose
+// their lowering as inspectable, re-orderable passes. Each stage returns a
+// recoverable Status instead of asserting, is wrapped in a telemetry span
+// and a per-stage wall-time counter (compile.stage.<name>.{ns,count}), and
+// can snapshot its output IR (--print-ir-after=<stage> in limpetc).
+//
+// The driver is also the cache integration point: compiles are keyed by
+// content (source x config x pipeline x format version) and cache hits
+// re-run only the cheap AST stages — the four codegen stages (emit-ir,
+// opt, vectorize, emit-bytecode) are skipped entirely, which is what makes
+// warm suite runs compile-free.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_COMPILER_COMPILERDRIVER_H
+#define LIMPET_COMPILER_COMPILERDRIVER_H
+
+#include "compiler/Artifact.h"
+#include "compiler/CompileCache.h"
+#include "exec/CompiledModel.h"
+#include "models/Registry.h"
+#include "support/Status.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace compiler {
+
+/// The ordered stages of one compile. Opt appears once in the enum but may
+/// run twice (scalar function, then the vectorized clone).
+enum class Stage : unsigned {
+  Frontend,
+  Preprocess,
+  Integrator,
+  LutAnalysis,
+  EmitIR,
+  Opt,
+  Vectorize,
+  EmitBytecode,
+};
+
+inline constexpr unsigned kNumStages = 8;
+
+/// "frontend", "preprocess", "integrator", "lut-analysis", "emit-ir",
+/// "opt", "vectorize", "emit-bytecode".
+std::string_view stageName(Stage S);
+
+/// Inverse of stageName; nullopt for unknown names.
+std::optional<Stage> stageFromName(std::string_view Name);
+
+/// Comma-separated list of all stage names (for error messages / --help).
+std::string stageNameList();
+
+/// True for the stages a cache hit skips (everything from emit-ir on).
+bool isCodegenStage(Stage S);
+
+struct DriverOptions {
+  exec::EngineConfig Config;
+  /// Consult/populate the content-addressed compile cache.
+  bool UseCache = true;
+  /// Capture an output snapshot after every stage (--print-ir-after-all).
+  bool SnapshotAll = false;
+  /// Capture snapshots after just these stages (--print-ir-after=...).
+  std::vector<Stage> SnapshotStages;
+};
+
+/// One executed stage: which, how long, and (when requested) the textual
+/// form of its output — AST expressions for the front half, IR for
+/// emit-ir/opt/vectorize, disassembled bytecode for emit-bytecode.
+struct StageRecord {
+  Stage S = Stage::Frontend;
+  uint64_t Ns = 0;
+  std::string Snapshot; ///< empty unless requested
+};
+
+/// Outcome of one driver compile.
+struct CompileResult {
+  std::string ModelName;
+  std::optional<exec::CompiledModel> Model;
+  /// Why Model is absent; ok when it is present.
+  Status Err;
+  /// The content-address of this compile.
+  uint64_t CacheKey = 0;
+  uint64_t SourceHash = 0;
+  bool CacheHit = false; ///< served from cache (either tier)
+  bool DiskHit = false;  ///< specifically the on-disk tier
+  uint64_t TotalNs = 0;
+  std::vector<StageRecord> Stages;
+
+  explicit operator bool() const { return Model.has_value(); }
+};
+
+class CompilerDriver {
+public:
+  explicit CompilerDriver(DriverOptions Opts = {}) : Opts(std::move(Opts)) {}
+
+  const DriverOptions &options() const { return Opts; }
+
+  /// Compiles \p Source (model \p Name) under the driver's configuration,
+  /// consulting the cache first. Never throws or aborts on bad input: all
+  /// failures land in CompileResult::Err.
+  CompileResult compileSource(std::string_view Name, std::string_view Source);
+
+  /// compileSource over a registry entry.
+  CompileResult compileEntry(const models::ModelEntry &Entry);
+
+  /// Compiles \p Entries concurrently over the global thread pool
+  /// (\p Threads = 0 means the pool's full width). Results are positional.
+  std::vector<CompileResult>
+  compileSuite(const std::vector<const models::ModelEntry *> &Entries,
+               unsigned Threads = 0);
+
+  /// Assembles a runnable model from a deserialized artifact plus the
+  /// model source it claims to come from. Verifies the source hash,
+  /// re-runs the AST stages (the runtime needs ModelInfo and the LUT plan
+  /// for parameter rebuilds) and skips all codegen stages. The artifact's
+  /// embedded config wins over the driver's.
+  CompileResult loadArtifact(const Artifact &A, std::string_view Name,
+                             std::string_view Source);
+
+  /// Packages a successful compile for serialization / caching.
+  static Artifact makeArtifact(const exec::CompiledModel &M,
+                               std::string_view Name, uint64_t SourceHash);
+
+private:
+  CompileResult compileCold(std::string_view Name, std::string_view Source);
+  /// Warm path shared by cache hits and explicit artifact loads.
+  CompileResult assembleFromArtifact(const Artifact &A, std::string_view Name,
+                                     std::string_view Source);
+  bool wantSnapshot(Stage S) const;
+
+  DriverOptions Opts;
+};
+
+} // namespace compiler
+} // namespace limpet
+
+#endif // LIMPET_COMPILER_COMPILERDRIVER_H

@@ -88,25 +88,74 @@ CompiledModel::compile(const easyml::ModelInfo &Info, const EngineConfig &Cfg,
   telemetry::ScopedTimerNs Timer("compile.model.ns");
   telemetry::counter("compile.model.count").add(1);
 
-  CompiledModel M;
-  M.Cfg = Cfg;
-  M.Engine = &resolveBackend(Cfg.Width, Cfg.FastMath);
-
   CodeGenOptions Options;
   Options.Layout = Cfg.Layout;
   Options.AoSoABlockWidth = Cfg.Width;
   Options.EnableLuts = Cfg.EnableLuts;
   Options.CubicLut = Cfg.CubicLut;
   Options.RunPasses = Cfg.RunPasses;
-  M.Kernel = generateKernel(Info, Options);
+  Options.PassPipeline = Cfg.PassPipeline;
+  GeneratedKernel Kernel = generateKernel(Info, Options);
+  if (!Kernel.PipelineStatus) {
+    if (Error)
+      *Error = Kernel.PipelineStatus.message();
+    return std::nullopt;
+  }
 
-  ir::Operation *Func = M.Kernel.ScalarFunc;
-  if (Cfg.Width > 1)
-    Func = vectorizeKernel(M.Kernel, Cfg.Width);
-  M.Program = compileToBytecode(M.Kernel, Func);
+  ir::Operation *Func = Kernel.ScalarFunc;
+  if (Cfg.Width > 1) {
+    Func = vectorizeKernel(Kernel, Cfg.Width);
+    if (!Kernel.PipelineStatus) {
+      if (Error)
+        *Error = Kernel.PipelineStatus.message();
+      return std::nullopt;
+    }
+  }
+  BcProgram Program = compileToBytecode(Kernel, Func);
+  return fromParts(std::move(Kernel), std::move(Program), std::nullopt, Cfg,
+                   Error);
+}
 
-  std::vector<double> Params = M.defaultParams();
-  M.rebuildLuts(Params.data());
+std::optional<CompiledModel>
+CompiledModel::fromParts(GeneratedKernel Kernel, BcProgram Program,
+                         std::optional<runtime::LutTableSet> Luts,
+                         const EngineConfig &Cfg, std::string *Error) {
+  auto Fail = [&](std::string Msg) -> std::optional<CompiledModel> {
+    if (Error)
+      *Error = std::move(Msg);
+    return std::nullopt;
+  };
+  if (Status S = Cfg.validate(); !S)
+    return Fail(S.message());
+
+  const easyml::ModelInfo &Info = Kernel.Program.Info;
+  if (Program.Layout != Cfg.Layout)
+    return Fail("program layout does not match the engine configuration");
+  unsigned WantAoSoAW = Cfg.Layout == StateLayout::AoSoA ? Cfg.Width : 1;
+  if (Program.AoSoAW != WantAoSoAW)
+    return Fail("program AoSoA block width does not match the configuration");
+  if (Program.NumSv != Info.StateVars.size())
+    return Fail("program state-variable count does not match the model");
+  if (Program.NumExternals != Info.Externals.size())
+    return Fail("program external count does not match the model");
+  if (Program.NumParams != Info.Params.size())
+    return Fail("program parameter count does not match the model");
+  if (Program.Body.empty() || Program.NumRegs == 0)
+    return Fail("program has no compute body");
+  if (Luts && Luts->Tables.size() != Kernel.Program.Luts.Tables.size())
+    return Fail("LUT table count does not match the model's LUT plan");
+
+  CompiledModel M;
+  M.Cfg = Cfg;
+  M.Engine = &resolveBackend(Cfg.Width, Cfg.FastMath);
+  M.Kernel = std::move(Kernel);
+  M.Program = std::move(Program);
+  if (Luts) {
+    M.Luts = std::move(*Luts);
+  } else {
+    std::vector<double> Params = M.defaultParams();
+    M.rebuildLuts(Params.data());
+  }
   return M;
 }
 

@@ -36,6 +36,9 @@ struct EngineConfig {
   /// Cubic (Catmull-Rom) LUT interpolation instead of linear.
   bool CubicLut = false;
   bool RunPasses = true;
+  /// Optimization pass pipeline, mlir-opt style ("cse,licm,dce"). Empty
+  /// means the default pipeline. Part of the compile-cache key.
+  std::string PassPipeline;
 
   /// openCARP's original code generation: scalar, AoS, libm, scalar LUTs.
   static EngineConfig baseline();
@@ -66,6 +69,17 @@ public:
   static std::optional<CompiledModel>
   compile(const easyml::ModelInfo &Info, const EngineConfig &Cfg,
           std::string *Error = nullptr);
+
+  /// Assembles a runnable model from already-produced parts: a kernel
+  /// (whose IR handles may be null on artifact loads), a bytecode program
+  /// and optionally pre-built LUT tables (rebuilt at default parameters
+  /// when absent). Validates cross-part consistency — layout, widths,
+  /// state/external/parameter counts — so a corrupt or mismatched
+  /// artifact is rejected with a recoverable error rather than executed.
+  static std::optional<CompiledModel>
+  fromParts(codegen::GeneratedKernel Kernel, BcProgram Program,
+            std::optional<runtime::LutTableSet> Luts, const EngineConfig &Cfg,
+            std::string *Error = nullptr);
 
   const easyml::ModelInfo &info() const { return Kernel.Program.Info; }
   const EngineConfig &config() const { return Cfg; }

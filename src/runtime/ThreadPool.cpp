@@ -5,14 +5,57 @@
 #include "support/Telemetry.h"
 
 #include <cassert>
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 using namespace limpet;
 using namespace limpet::runtime;
 
+namespace {
+
+/// Whether LIMPET_PIN_THREADS=1 asked for worker pinning. openCARP runs
+/// pin OpenMP workers so the NUMA first-touch placement of the AoSoA
+/// state stays local; the analogue here is a round-robin CPU affinity for
+/// the pool's workers. Off by default: pinning an oversubscribed pool
+/// (32 workers on a small container) would serialize it.
+bool pinningRequested() {
+  const char *V = std::getenv("LIMPET_PIN_THREADS");
+  return V && V[0] == '1' && V[1] == '\0';
+}
+
+/// Pins the calling thread to one CPU (round-robin by worker index).
+/// Linux-only, best effort — no new dependencies, no failure path beyond
+/// skipping the pin.
+void pinWorkerThread(unsigned WorkerIndex) {
+#if defined(__linux__)
+  unsigned NumCpus = std::thread::hardware_concurrency();
+  if (NumCpus == 0)
+    return;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(WorkerIndex % NumCpus, &Set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof Set, &Set) == 0)
+    telemetry::counter("pool.pinned_threads").add(1);
+#else
+  (void)WorkerIndex;
+#endif
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(unsigned MaxThreads) {
   assert(MaxThreads >= 1 && "pool needs at least the calling thread");
+  bool Pin = pinningRequested();
   for (unsigned I = 1; I < MaxThreads; ++I)
-    Workers.emplace_back([this, I] { workerMain(I); });
+    Workers.emplace_back([this, I, Pin] {
+      if (Pin)
+        pinWorkerThread(I);
+      workerMain(I);
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -59,6 +59,14 @@ std::vector<std::string> limpet::splitString(std::string_view S, char Sep) {
   }
 }
 
+std::string limpet::trim(std::string_view S) {
+  size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string_view::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r\n");
+  return std::string(S.substr(B, E - B + 1));
+}
+
 bool limpet::startsWith(std::string_view S, std::string_view Prefix) {
   return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
 }

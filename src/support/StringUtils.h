@@ -30,6 +30,9 @@ std::string padRight(std::string_view S, size_t Width);
 /// Splits \p S on \p Sep, keeping empty fields.
 std::vector<std::string> splitString(std::string_view S, char Sep);
 
+/// Strips leading and trailing whitespace.
+std::string trim(std::string_view S);
+
 /// Returns true if \p S starts with \p Prefix.
 bool startsWith(std::string_view S, std::string_view Prefix);
 

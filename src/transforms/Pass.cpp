@@ -8,6 +8,8 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 
 using namespace limpet;
 using namespace limpet::transforms;
@@ -84,12 +86,70 @@ bool PassManager::run(ir::Operation *Func) {
 }
 
 void PassManager::addDefaultPipeline(PassManager &PM) {
-  PM.addPass(createIfToSelectPass());
-  PM.addPass(createCanonicalizePass());
-  PM.addPass(createConstantFoldPass());
-  PM.addPass(createCSEPass());
-  PM.addPass(createLICMPass());
-  PM.addPass(createDCEPass());
+  // Kept in sync with defaultPassPipelineSpec() below.
+  Status S = parsePassPipeline(defaultPassPipelineSpec(), PM);
+  (void)S;
+  assert(S && "default pipeline spec must parse");
+}
+
+namespace {
+
+struct PassRegistryEntry {
+  std::string_view Name;
+  std::unique_ptr<Pass> (*Factory)();
+};
+
+/// Every pass reachable from a pipeline string. Order here is the order
+/// registeredPassNames() reports.
+constexpr std::array<PassRegistryEntry, 6> kPassRegistry = {{
+    {"if-to-select", createIfToSelectPass},
+    {"canonicalize", createCanonicalizePass},
+    {"constant-fold", createConstantFoldPass},
+    {"cse", createCSEPass},
+    {"licm", createLICMPass},
+    {"dce", createDCEPass},
+}};
+
+} // namespace
+
+std::vector<std::string_view> transforms::registeredPassNames() {
+  std::vector<std::string_view> Names;
+  for (const PassRegistryEntry &E : kPassRegistry)
+    Names.push_back(E.Name);
+  return Names;
+}
+
+std::unique_ptr<Pass> transforms::createPassByName(std::string_view Name) {
+  for (const PassRegistryEntry &E : kPassRegistry)
+    if (E.Name == Name)
+      return E.Factory();
+  return nullptr;
+}
+
+std::string_view transforms::defaultPassPipelineSpec() {
+  return "if-to-select,canonicalize,constant-fold,cse,licm,dce";
+}
+
+Status transforms::parsePassPipeline(std::string_view Spec, PassManager &PM) {
+  for (const std::string &RawName : splitString(Spec, ',')) {
+    std::string Name = trim(RawName);
+    if (Name.empty())
+      continue; // tolerate "a,,b" and trailing commas
+    std::unique_ptr<Pass> P = createPassByName(Name);
+    if (!P) {
+      std::string Known;
+      for (std::string_view N : registeredPassNames()) {
+        if (!Known.empty())
+          Known += ", ";
+        Known += N;
+      }
+      return Status::error("unknown pass '" + Name +
+                           "' in pipeline string (registered passes: " +
+                           Known + ")");
+    }
+    PM.addPass(std::move(P));
+  }
+  return Status::success();
 }
 
 void transforms::countUses(

@@ -11,6 +11,7 @@
 
 #include "ir/Context.h"
 #include "ir/IR.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <memory>
@@ -91,6 +92,29 @@ std::unique_ptr<Pass> createConstantFoldPass();
 std::unique_ptr<Pass> createCSEPass();
 std::unique_ptr<Pass> createLICMPass();
 std::unique_ptr<Pass> createDCEPass();
+
+//===----------------------------------------------------------------------===//
+// Pipeline strings
+//===----------------------------------------------------------------------===//
+
+/// The registered pass names accepted in pipeline strings, in no
+/// particular order ("cse", "licm", ...).
+std::vector<std::string_view> registeredPassNames();
+
+/// Instantiates the pass registered as \p Name, or null when no pass of
+/// that name exists.
+std::unique_ptr<Pass> createPassByName(std::string_view Name);
+
+/// The default kernel pipeline rendered as a pipeline string:
+/// "if-to-select,canonicalize,constant-fold,cse,licm,dce".
+std::string_view defaultPassPipelineSpec();
+
+/// Parses an mlir-opt-style comma-separated pipeline string
+/// ("if-to-select,canonicalize,cse") and appends the named passes to
+/// \p PM in order. Whitespace around names is ignored; an empty spec is a
+/// valid empty pipeline. Returns a recoverable error naming the offending
+/// entry (and the registered names) on an unknown pass.
+Status parsePassPipeline(std::string_view Spec, PassManager &PM);
 
 /// Counts uses of every value inside \p Root (including nested regions).
 /// Shared by DCE / canonicalize.

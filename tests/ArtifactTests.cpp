@@ -1,0 +1,198 @@
+//===- ArtifactTests.cpp - artifact serialization round-trip tests --------===//
+//
+// Satellite of the CompilerDriver issue: the serialized artifact format
+// must round-trip bit-exactly (doubles travel as IEEE-754 bit patterns),
+// and every structural failure mode — bad magic, version mismatch,
+// checksum corruption, truncation at any offset — must come back as a
+// recoverable error, never a crash or a misparse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Artifact.h"
+#include "compiler/CompilerDriver.h"
+#include "models/Registry.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+using namespace limpet;
+using namespace limpet::compiler;
+using namespace limpet::exec;
+
+namespace {
+
+const models::ModelEntry &entry(const char *Name) {
+  const models::ModelEntry *E = models::findModel(Name);
+  EXPECT_NE(E, nullptr) << Name;
+  return *E;
+}
+
+/// Compiles a registry model cold (no cache) and packages it as an
+/// artifact, exactly as the cache store path does.
+Artifact compileToArtifact(const char *Name, const EngineConfig &Cfg) {
+  DriverOptions Opts;
+  Opts.Config = Cfg;
+  Opts.UseCache = false;
+  CompilerDriver Driver(Opts);
+  CompileResult R = Driver.compileEntry(entry(Name));
+  EXPECT_TRUE(bool(R)) << R.Err.message();
+  return CompilerDriver::makeArtifact(*R.Model, Name, R.SourceHash);
+}
+
+TEST(Fnv1a64, KnownValuesAndChaining) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  // Published FNV-1a 64 test vector.
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  // Chaining must differ from hashing the concatenation only by nothing:
+  // fnv1a64("ab") == fnv1a64("b", fnv1a64("a")).
+  EXPECT_EQ(fnv1a64("ab"), fnv1a64("b", fnv1a64("a")));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+TEST(ArtifactRoundTrip, ScalarBaselineExact) {
+  Artifact A = compileToArtifact("HodgkinHuxley", EngineConfig::baseline());
+  std::string Bytes = serializeArtifact(A);
+  Expected<Artifact> B = deserializeArtifact(Bytes);
+  ASSERT_TRUE(bool(B)) << B.status().message();
+  EXPECT_EQ(B->FormatVersion, kArtifactFormatVersion);
+  EXPECT_EQ(B->ModelName, A.ModelName);
+  EXPECT_EQ(B->SourceHash, A.SourceHash);
+  EXPECT_EQ(B->Config.Width, A.Config.Width);
+  EXPECT_EQ(B->Config.Layout, A.Config.Layout);
+  EXPECT_EQ(B->Config.PassPipeline, A.Config.PassPipeline);
+  EXPECT_TRUE(programsIdentical(A.Program, B->Program));
+  EXPECT_TRUE(lutsIdentical(A.Luts, B->Luts));
+  // Re-serializing the parsed artifact must reproduce the exact bytes.
+  EXPECT_EQ(serializeArtifact(*B), Bytes);
+}
+
+TEST(ArtifactRoundTrip, VectorizedWithLutsExact) {
+  Artifact A = compileToArtifact("BeelerReuter", EngineConfig::limpetMLIR(8));
+  EXPECT_FALSE(A.Luts.Tables.empty())
+      << "limpetMLIR config should bake LUT tables";
+  std::string Bytes = serializeArtifact(A);
+  Expected<Artifact> B = deserializeArtifact(Bytes);
+  ASSERT_TRUE(bool(B)) << B.status().message();
+  EXPECT_TRUE(programsIdentical(A.Program, B->Program));
+  EXPECT_TRUE(lutsIdentical(A.Luts, B->Luts));
+  EXPECT_EQ(serializeArtifact(*B), Bytes);
+}
+
+TEST(ArtifactRoundTrip, EmptyColumnLutTableSurvives) {
+  // Pathmanathan's LUT range ends up with zero approximable columns; the
+  // empty table is still serialized (bytecode table indices must stay
+  // stable) and must round-trip rather than be rejected as malformed.
+  Artifact A = compileToArtifact("Pathmanathan", EngineConfig::limpetMLIR(8));
+  bool HasEmpty = false;
+  for (const runtime::LutTable &T : A.Luts.Tables)
+    HasEmpty |= T.cols() == 0;
+  ASSERT_TRUE(HasEmpty) << "expected an empty-column LUT table";
+  Expected<Artifact> B = deserializeArtifact(serializeArtifact(A));
+  ASSERT_TRUE(bool(B)) << B.status().message();
+  EXPECT_TRUE(lutsIdentical(A.Luts, B->Luts));
+}
+
+TEST(ArtifactRoundTrip, SpecialDoublesSurvive) {
+  // NaN payloads, -0.0 and infinities must travel as bit patterns, not
+  // through any text formatting.
+  Artifact A = compileToArtifact("Plonsey", EngineConfig::baseline());
+  ASSERT_FALSE(A.Program.Body.empty());
+  A.Program.Body[0].Imm = -0.0;
+  if (A.Program.Body.size() > 1)
+    A.Program.Body[1].Imm = std::numeric_limits<double>::quiet_NaN();
+  if (A.Program.Body.size() > 2)
+    A.Program.Body[2].Imm = -std::numeric_limits<double>::infinity();
+  Expected<Artifact> B = deserializeArtifact(serializeArtifact(A));
+  ASSERT_TRUE(bool(B)) << B.status().message();
+  EXPECT_TRUE(programsIdentical(A.Program, B->Program));
+  EXPECT_TRUE(std::signbit(B->Program.Body[0].Imm));
+  if (A.Program.Body.size() > 1) {
+    EXPECT_TRUE(std::isnan(B->Program.Body[1].Imm));
+  }
+}
+
+TEST(ArtifactReject, BadMagic) {
+  Artifact A = compileToArtifact("Plonsey", EngineConfig::baseline());
+  std::string Bytes = serializeArtifact(A);
+  Bytes[0] ^= 0xff;
+  Expected<Artifact> B = deserializeArtifact(Bytes);
+  ASSERT_FALSE(bool(B));
+  EXPECT_NE(B.status().message().find("magic"), std::string::npos)
+      << B.status().message();
+}
+
+TEST(ArtifactReject, VersionMismatch) {
+  Artifact A = compileToArtifact("Plonsey", EngineConfig::baseline());
+  std::string Bytes = serializeArtifact(A);
+  // The u32 version follows the 4-byte magic (little endian).
+  Bytes[4] = char(kArtifactFormatVersion + 1);
+  Expected<Artifact> B = deserializeArtifact(Bytes);
+  ASSERT_FALSE(bool(B));
+  EXPECT_NE(B.status().message().find("version"), std::string::npos)
+      << B.status().message();
+}
+
+TEST(ArtifactReject, CorruptPayloadFailsChecksum) {
+  Artifact A = compileToArtifact("Plonsey", EngineConfig::baseline());
+  std::string Bytes = serializeArtifact(A);
+  // Flip a byte deep inside the payload; the checksum must catch it.
+  Bytes[Bytes.size() / 2] ^= 0x5a;
+  Expected<Artifact> B = deserializeArtifact(Bytes);
+  ASSERT_FALSE(bool(B));
+  EXPECT_NE(B.status().message().find("checksum"), std::string::npos)
+      << B.status().message();
+}
+
+TEST(ArtifactReject, TruncationAtEveryPrefixIsRecoverable) {
+  Artifact A = compileToArtifact("Plonsey", EngineConfig::baseline());
+  std::string Bytes = serializeArtifact(A);
+  // Every proper prefix must fail cleanly (no crash, no false accept).
+  // Step through offsets to keep the test fast on large artifacts.
+  size_t Step = Bytes.size() > 512 ? Bytes.size() / 257 : 1;
+  for (size_t Len = 0; Len < Bytes.size(); Len += Step) {
+    Expected<Artifact> B = deserializeArtifact(Bytes.substr(0, Len));
+    EXPECT_FALSE(bool(B)) << "prefix of length " << Len << " was accepted";
+  }
+}
+
+TEST(ArtifactReject, TrailingGarbageRejected) {
+  Artifact A = compileToArtifact("Plonsey", EngineConfig::baseline());
+  std::string Bytes = serializeArtifact(A) + "extra";
+  Expected<Artifact> B = deserializeArtifact(Bytes);
+  ASSERT_FALSE(bool(B));
+}
+
+TEST(ArtifactFile, WriteReadRoundTrip) {
+  Artifact A = compileToArtifact("Plonsey", EngineConfig::limpetMLIR(4));
+  std::string Path = ::testing::TempDir() + "limpet-artifact-test.lmpa";
+  Status S = writeArtifactFile(A, Path);
+  ASSERT_TRUE(bool(S)) << S.message();
+  Expected<Artifact> B = readArtifactFile(Path);
+  ASSERT_TRUE(bool(B)) << B.status().message();
+  EXPECT_TRUE(programsIdentical(A.Program, B->Program));
+  EXPECT_TRUE(lutsIdentical(A.Luts, B->Luts));
+  std::remove(Path.c_str());
+}
+
+TEST(ArtifactFile, MissingFileIsRecoverable) {
+  Expected<Artifact> B =
+      readArtifactFile(::testing::TempDir() + "no-such-artifact.lmpa");
+  EXPECT_FALSE(bool(B));
+}
+
+TEST(ArtifactIdentity, ProgramComparatorSeesDifferences) {
+  Artifact A = compileToArtifact("Plonsey", EngineConfig::baseline());
+  exec::BcProgram Tampered = A.Program;
+  ASSERT_FALSE(Tampered.Body.empty());
+  Tampered.Body.back().Imm += 1.0;
+  EXPECT_FALSE(programsIdentical(A.Program, Tampered));
+  Tampered = A.Program;
+  Tampered.NumRegs += 1;
+  EXPECT_FALSE(programsIdentical(A.Program, Tampered));
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "compiler/CompilerDriver.h"
 #include "easyml/Sema.h"
 #include "models/Registry.h"
 #include "sim/Simulator.h"
@@ -41,17 +42,18 @@ std::optional<CompiledModel> compileSuiteModel(const char *Name,
     std::fprintf(stderr, "error: suite model '%s' not found\n", Name);
     return std::nullopt;
   }
-  DiagnosticEngine Diags;
-  auto Info = easyml::compileModelInfo(M->Name, M->Source, Diags);
-  if (!Info) {
-    std::fprintf(stderr, "error: %s\n", Diags.str().c_str());
+  // Through the driver: repeated scenarios on the same (model, config)
+  // hit the in-process compile cache instead of re-running codegen.
+  compiler::DriverOptions Opts;
+  Opts.Config = std::move(Cfg);
+  compiler::CompilerDriver Driver(std::move(Opts));
+  compiler::CompileResult R = Driver.compileEntry(*M);
+  if (!R) {
+    std::fprintf(stderr, "error: compilation failed: %s\n",
+                 R.Err.message().c_str());
     return std::nullopt;
   }
-  std::string Error;
-  auto Model = CompiledModel::compile(*Info, Cfg, &Error);
-  if (!Model)
-    std::fprintf(stderr, "error: compilation failed: %s\n", Error.c_str());
-  return Model;
+  return std::move(R.Model);
 }
 
 /// The common protocol: a paced population small enough that every

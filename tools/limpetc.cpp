@@ -10,13 +10,19 @@
 //   limpetc OHara --vector-ir --width 8     vectorized kernel IR
 //   limpetc OHara --bytecode --layout aosoa compiled register program
 //   limpetc OHara --luts                    extracted LUT columns
+//   limpetc OHara --passes=cse,licm,dce --print-ir-after=opt
+//   limpetc OHara --emit-artifact o.lmpa    serialize the compiled model
+//   limpetc OHara --load-artifact o.lmpa --run   run it, skipping codegen
+//   limpetc --suite --width 8               compile all 43 concurrently
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/Vectorize.h"
+#include "compiler/CompilerDriver.h"
 #include "easyml/Preprocessor.h"
 #include "easyml/Sema.h"
 #include "exec/BytecodeCompiler.h"
+#include "ir/Context.h"
 #include "ir/Printer.h"
 #include "models/Registry.h"
 #include "sim/Simulator.h"
@@ -38,6 +44,7 @@ namespace {
 void printUsage() {
   std::printf(
       "usage: limpetc <model-name|file.easyml> [options]\n"
+      "       limpetc --suite [options]\n"
       "  --list              list the 43 suite models and exit\n"
       "  --info              semantic summary (default)\n"
       "  --program           integrator-expanded update expressions\n"
@@ -49,6 +56,20 @@ void printUsage() {
       "  --layout aos|soa|aosoa (default aos; aosoa for --vector-ir)\n"
       "  --no-lut            disable LUT extraction\n"
       "  --no-passes         skip the optimization pipeline\n"
+      "  --passes=P1,P2,...  run this pass pipeline instead of the default\n"
+      "                      (mlir-opt style; see --passes=help)\n"
+      "  --print-ir-after=S  print the IR snapshot after stage S (repeatable;\n"
+      "                      stages: frontend, preprocess, integrator,\n"
+      "                      lut-analysis, emit-ir, opt, vectorize,\n"
+      "                      emit-bytecode)\n"
+      "  --print-ir-after-all  print the snapshot after every stage\n"
+      "  --emit-artifact F   compile and serialize the model to F\n"
+      "  --load-artifact F   assemble the model from F instead of running\n"
+      "                      codegen (combine with --run)\n"
+      "  --suite             compile every suite model concurrently under\n"
+      "                      the selected configuration (content-addressed\n"
+      "                      cache; set LIMPET_CACHE_DIR for a disk tier)\n"
+      "  --no-cache          bypass the compile cache\n"
       "  --run               compile and simulate, printing a run report\n"
       "  --steps N           simulation steps for --run (default 1000)\n"
       "  --cells N           population size for --run (default 256)\n"
@@ -128,6 +149,21 @@ std::optional<std::string> readFile(const char *Path) {
   return Ss.str();
 }
 
+/// "cold", "warm-mem" or "warm-disk" for a compile result.
+const char *compileKind(const compiler::CompileResult &R) {
+  if (!R.CacheHit)
+    return "cold";
+  return R.DiskHit ? "warm-disk" : "warm-mem";
+}
+
+void printSnapshots(const compiler::CompileResult &R) {
+  for (const compiler::StageRecord &S : R.Stages)
+    if (!S.Snapshot.empty())
+      std::printf("// ----- after %s -----\n%s\n",
+                  std::string(compiler::stageName(S.S)).c_str(),
+                  S.Snapshot.c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -135,50 +171,37 @@ int main(int argc, char **argv) {
     printUsage();
     return 1;
   }
-  if (std::strcmp(argv[1], "--list") == 0) {
-    for (const models::ModelEntry &M : models::modelRegistry())
-      std::printf("%-24s %s %s\n", M.Name.c_str(),
-                  M.SizeClass == 'S'   ? "small "
-                  : M.SizeClass == 'M' ? "medium"
-                                       : "large ",
-                  M.IsClassic ? "(classic)" : "(synthetic)");
-    return 0;
-  }
 
-  std::string Name = argv[1];
-  std::string Source;
-  if (endsWith(Name, ".easyml") || endsWith(Name, ".model")) {
-    std::optional<std::string> Read = readFile(argv[1]);
-    if (!Read) {
-      std::fprintf(stderr, "error: cannot read '%s'\n", argv[1]);
-      return 1;
-    }
-    Source = std::move(*Read);
-  } else if (const models::ModelEntry *M = models::findModel(Name)) {
-    Source = M->Source;
-  } else {
-    std::fprintf(stderr,
-                 "error: '%s' is neither a file nor a suite model (try "
-                 "--list)\n",
-                 argv[1]);
-    return 1;
-  }
-
-  enum class Mode { Info, Program, Luts, IR, VectorIR, Bytecode, Run };
+  enum class Mode { Info, Program, Luts, IR, VectorIR, Bytecode, Run, Suite };
   Mode M = Mode::Info;
+  std::string ModelArg;
   unsigned Width = 8;
   bool WidthSet = false;
   codegen::StateLayout Layout = codegen::StateLayout::AoS;
   bool LayoutSet = false;
   bool EnableLuts = true, RunPasses = true;
+  std::string PassesSpec;
+  bool PassesSet = false;
+  std::vector<compiler::Stage> PrintIRAfter;
+  bool PrintIRAll = false;
+  std::string EmitArtifactPath, LoadArtifactPath;
+  bool UseCache = true;
   int64_t RunSteps = 1000, RunCells = 256;
   bool RunGuard = false;
   bool Stats = false;
   std::string TracePath;
 
-  for (int I = 2; I < argc; ++I) {
+  for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--info")
+    if (Arg == "--list") {
+      for (const models::ModelEntry &E : models::modelRegistry())
+        std::printf("%-24s %s %s\n", E.Name.c_str(),
+                    E.SizeClass == 'S'   ? "small "
+                    : E.SizeClass == 'M' ? "medium"
+                                         : "large ",
+                    E.IsClassic ? "(classic)" : "(synthetic)");
+      return 0;
+    } else if (Arg == "--info")
       M = Mode::Info;
     else if (Arg == "--program")
       M = Mode::Program;
@@ -192,14 +215,47 @@ int main(int argc, char **argv) {
       M = Mode::Bytecode;
     else if (Arg == "--run")
       M = Mode::Run;
+    else if (Arg == "--suite")
+      M = Mode::Suite;
     else if (Arg == "--no-lut")
       EnableLuts = false;
     else if (Arg == "--no-passes")
       RunPasses = false;
+    else if (Arg == "--no-cache")
+      UseCache = false;
     else if (Arg == "--guard")
       RunGuard = true;
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--print-ir-after-all")
+      PrintIRAll = true;
+    else if (startsWith(Arg, "--print-ir-after=")) {
+      std::string StageStr = Arg.substr(std::strlen("--print-ir-after="));
+      std::optional<compiler::Stage> S = compiler::stageFromName(StageStr);
+      if (!S) {
+        std::fprintf(stderr, "error: unknown stage '%s' (stages: %s)\n",
+                     StageStr.c_str(), compiler::stageNameList().c_str());
+        return 1;
+      }
+      PrintIRAfter.push_back(*S);
+    } else if (startsWith(Arg, "--passes=")) {
+      PassesSpec = Arg.substr(std::strlen("--passes="));
+      PassesSet = true;
+      if (PassesSpec == "help") {
+        std::printf("registered passes:");
+        for (std::string_view P : transforms::registeredPassNames())
+          std::printf(" %s", std::string(P).c_str());
+        std::printf("\ndefault pipeline: %s\n",
+                    std::string(transforms::defaultPassPipelineSpec()).c_str());
+        return 0;
+      }
+    } else if (Arg == "--passes" && I + 1 < argc) {
+      PassesSpec = argv[++I];
+      PassesSet = true;
+    } else if (Arg == "--emit-artifact" && I + 1 < argc)
+      EmitArtifactPath = argv[++I];
+    else if (Arg == "--load-artifact" && I + 1 < argc)
+      LoadArtifactPath = argv[++I];
     else if (Arg == "--trace" && I + 1 < argc)
       TracePath = argv[++I];
     else if (Arg == "--steps" && I + 1 < argc)
@@ -222,6 +278,8 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "error: unknown layout '%s'\n", L.c_str());
         return 1;
       }
+    } else if (!startsWith(Arg, "--") && ModelArg.empty()) {
+      ModelArg = Arg;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       printUsage();
@@ -232,10 +290,156 @@ int main(int argc, char **argv) {
   if (M == Mode::VectorIR && !LayoutSet)
     Layout = codegen::StateLayout::AoSoA;
 
+  // Eagerly validate a custom pipeline string so a typo is one clear error
+  // even before any model is parsed.
+  if (PassesSet) {
+    ir::Context Ctx;
+    transforms::PassManager PM(Ctx);
+    if (Status S = transforms::parsePassPipeline(PassesSpec, PM); !S) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return 1;
+    }
+  }
+
   // Both guards outlive every mode below: the recorder captures
   // parse->sema->codegen->run, and the stats report prints on any exit.
   TraceFile Trace(TracePath);
   StatsReport StatsOut(Stats);
+
+  // The engine configuration for the driver-based modes (--run, --suite,
+  // artifacts, --print-ir-after).
+  exec::EngineConfig Cfg = WidthSet && Width > 1
+                               ? exec::EngineConfig::limpetMLIR(Width)
+                               : exec::EngineConfig::baseline();
+  if (LayoutSet)
+    Cfg.Layout = Layout;
+  Cfg.EnableLuts = EnableLuts;
+  Cfg.RunPasses = RunPasses;
+  Cfg.PassPipeline = PassesSpec;
+
+  compiler::DriverOptions DriverOpts;
+  DriverOpts.Config = Cfg;
+  DriverOpts.UseCache = UseCache && !PrintIRAll && PrintIRAfter.empty();
+  DriverOpts.SnapshotAll = PrintIRAll;
+  DriverOpts.SnapshotStages = PrintIRAfter;
+  compiler::CompilerDriver Driver(DriverOpts);
+
+  if (M == Mode::Suite) {
+    std::vector<const models::ModelEntry *> Entries;
+    for (const models::ModelEntry &E : models::modelRegistry())
+      Entries.push_back(&E);
+    std::vector<compiler::CompileResult> Results =
+        Driver.compileSuite(Entries);
+    size_t Ok = 0, Cold = 0, Warm = 0;
+    for (const compiler::CompileResult &R : Results) {
+      if (!R) {
+        std::printf("%-24s ERROR: %s\n", R.ModelName.c_str(),
+                    R.Err.message().c_str());
+        continue;
+      }
+      ++Ok;
+      (R.CacheHit ? Warm : Cold)++;
+      std::printf("%-24s %-10s %8.2f ms\n", R.ModelName.c_str(),
+                  compileKind(R), double(R.TotalNs) * 1e-6);
+    }
+    std::printf("compiled %zu/%zu models (%s): %zu cold, %zu warm\n", Ok,
+                Results.size(), exec::engineConfigName(Cfg).c_str(), Cold,
+                Warm);
+    return Ok == Results.size() ? 0 : 1;
+  }
+
+  if (ModelArg.empty()) {
+    std::fprintf(stderr, "error: no model named (try --list)\n");
+    return 1;
+  }
+  std::string Name = ModelArg;
+  std::string Source;
+  if (endsWith(Name, ".easyml") || endsWith(Name, ".model")) {
+    std::optional<std::string> Read = readFile(ModelArg.c_str());
+    if (!Read) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", ModelArg.c_str());
+      return 1;
+    }
+    Source = std::move(*Read);
+  } else if (const models::ModelEntry *E = models::findModel(Name)) {
+    Source = E->Source;
+  } else {
+    std::fprintf(stderr,
+                 "error: '%s' is neither a file nor a suite model (try "
+                 "--list)\n",
+                 ModelArg.c_str());
+    return 1;
+  }
+
+  // Driver-based paths: --load-artifact / --run / --emit-artifact /
+  // --print-ir-after. Everything is recoverable: a broken pipeline, a
+  // corrupt artifact or a failed stage prints one error and exits 1.
+  bool WantSnapshots = PrintIRAll || !PrintIRAfter.empty();
+  if (!LoadArtifactPath.empty() || M == Mode::Run ||
+      !EmitArtifactPath.empty() || WantSnapshots) {
+    compiler::CompileResult R;
+    if (!LoadArtifactPath.empty()) {
+      Expected<compiler::Artifact> A =
+          compiler::readArtifactFile(LoadArtifactPath);
+      if (!A) {
+        std::fprintf(stderr, "error: %s\n", A.status().message().c_str());
+        return 1;
+      }
+      R = Driver.loadArtifact(*A, Name, Source);
+    } else {
+      R = Driver.compileSource(Name, Source);
+    }
+    printSnapshots(R);
+    if (!R) {
+      std::fprintf(stderr, "error: %s\n", R.Err.message().c_str());
+      return 1;
+    }
+    StatsOut.setPassStats(R.Model->kernel().PassStats);
+    std::fprintf(stderr, "compiled %s (%s): %s, %.2f ms\n", Name.c_str(),
+                 exec::engineConfigName(R.Model->config()).c_str(),
+                 compileKind(R), double(R.TotalNs) * 1e-6);
+
+    if (!EmitArtifactPath.empty()) {
+      compiler::Artifact A =
+          compiler::CompilerDriver::makeArtifact(*R.Model, Name, R.SourceHash);
+      if (Status S = compiler::writeArtifactFile(A, EmitArtifactPath); !S) {
+        std::fprintf(stderr, "error: %s\n", S.message().c_str());
+        return 1;
+      }
+      std::string Bytes = compiler::serializeArtifact(A);
+      std::printf("wrote artifact %s (%zu bytes, source hash %016llx)\n",
+                  EmitArtifactPath.c_str(), Bytes.size(),
+                  (unsigned long long)A.SourceHash);
+    }
+
+    if (M == Mode::Run) {
+      const exec::CompiledModel &Model = *R.Model;
+      sim::SimOptions Opts;
+      Opts.NumCells = RunCells;
+      Opts.NumSteps = RunSteps;
+      Opts.StimPeriod = 100.0;
+      Opts.Guard.Enabled = RunGuard;
+      sim::Simulator S(Model, Opts);
+      S.run();
+      // Print the simulator's (sanitized) options, not the raw flags.
+      std::printf("simulated %s (%s): %lld cells x %lld steps, t=%.2f ms\n",
+                  Name.c_str(),
+                  exec::engineConfigName(Model.config()).c_str(),
+                  (long long)S.options().NumCells,
+                  (long long)S.options().NumSteps, S.time());
+      if (S.hasVoltageCoupling())
+        std::printf("final Vm[0] = %.6f mV\n", S.vm(0));
+      std::printf("state checksum = %.9g\n", S.stateChecksum());
+      std::printf("guard rails: %s\n", RunGuard ? "on" : "off");
+      std::printf("%s", S.report().str().c_str());
+      bool Healthy = S.scanIsHealthy();
+      std::printf("population health: %s\n", Healthy ? "ok" : "FAULTY");
+      return Healthy ? 0 : 2;
+    }
+    if (M == Mode::Info && (WantSnapshots || !EmitArtifactPath.empty() ||
+                            !LoadArtifactPath.empty()))
+      return 0; // the compile itself was the requested action
+  }
 
   DiagnosticEngine Diags;
   auto Info = easyml::compileModelInfo(Name, Source, Diags);
@@ -293,47 +497,17 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  if (M == Mode::Run) {
-    exec::EngineConfig Cfg = WidthSet && Width > 1
-                                 ? exec::EngineConfig::limpetMLIR(Width)
-                                 : exec::EngineConfig::baseline();
-    Cfg.EnableLuts = EnableLuts;
-    Cfg.RunPasses = RunPasses;
-    std::string Error;
-    auto Model = exec::CompiledModel::compile(*Info, Cfg, &Error);
-    if (!Model) {
-      std::fprintf(stderr, "error: compilation failed: %s\n", Error.c_str());
-      return 1;
-    }
-    StatsOut.setPassStats(Model->kernel().PassStats);
-    sim::SimOptions Opts;
-    Opts.NumCells = RunCells;
-    Opts.NumSteps = RunSteps;
-    Opts.StimPeriod = 100.0;
-    Opts.Guard.Enabled = RunGuard;
-    sim::Simulator S(*Model, Opts);
-    S.run();
-    // Print the simulator's (sanitized) options, not the raw flags.
-    std::printf("simulated %s (%s): %lld cells x %lld steps, t=%.2f ms\n",
-                Info->Name.c_str(), exec::engineConfigName(Cfg).c_str(),
-                (long long)S.options().NumCells,
-                (long long)S.options().NumSteps, S.time());
-    if (S.hasVoltageCoupling())
-      std::printf("final Vm[0] = %.6f mV\n", S.vm(0));
-    std::printf("state checksum = %.9g\n", S.stateChecksum());
-    std::printf("guard rails: %s\n", RunGuard ? "on" : "off");
-    std::printf("%s", S.report().str().c_str());
-    bool Healthy = S.scanIsHealthy();
-    std::printf("population health: %s\n", Healthy ? "ok" : "FAULTY");
-    return Healthy ? 0 : 2;
-  }
-
   codegen::CodeGenOptions Options;
   Options.Layout = Layout;
   Options.AoSoABlockWidth = Width;
   Options.EnableLuts = EnableLuts;
   Options.RunPasses = RunPasses;
+  Options.PassPipeline = PassesSpec;
   codegen::GeneratedKernel K = codegen::generateKernel(*Info, Options);
+  if (!K.PipelineStatus) {
+    std::fprintf(stderr, "error: %s\n", K.PipelineStatus.message().c_str());
+    return 1;
+  }
   StatsOut.setPassStats(K.PassStats);
 
   if (M == Mode::IR) {
@@ -343,6 +517,10 @@ int main(int argc, char **argv) {
   ir::Operation *Func = K.ScalarFunc;
   if (M == Mode::VectorIR || Layout == codegen::StateLayout::AoSoA)
     Func = codegen::vectorizeKernel(K, Width);
+  if (!K.PipelineStatus) {
+    std::fprintf(stderr, "error: %s\n", K.PipelineStatus.message().c_str());
+    return 1;
+  }
   if (M == Mode::VectorIR) {
     std::printf("%s", ir::printOp(Func).c_str());
     return 0;
