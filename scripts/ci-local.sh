@@ -100,11 +100,23 @@ else
       -DLIMPET_SANITIZE=address,undefined &&
       cmake --build build-ci-san -j "$(nproc)" &&
       for s in nan-state inf-vm persistent lut-corrupt extreme-dt \
-        extreme-param sharded; do
+        extreme-param sharded ckpt-resume ckpt-truncate ckpt-corrupt \
+        ckpt-stale; do
         ./build-ci-san/tools/faultinject $s || return 1
       done
   }
   run_job "sanitize" sanitize
+fi
+
+# --- crash recovery + cache GC stress ---------------------------------------
+if [ $FAST = 1 ]; then
+  skip_job "crash-smoke" "--fast"
+elif [ -n "$SMOKE_BUILD" ]; then
+  run_job "crash-smoke" scripts/crash_smoke.sh "$SMOKE_BUILD/tools/limpetc"
+  run_job "cache-gc-stress" \
+    scripts/cache_gc_stress.sh "$SMOKE_BUILD/tools/limpetc"
+else
+  skip_job "crash-smoke" "no built limpetc found"
 fi
 
 # --- bench smoke + NDJSON ---------------------------------------------------

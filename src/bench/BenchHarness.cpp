@@ -37,6 +37,10 @@ BenchProtocol BenchProtocol::fromEnv(int64_t DefaultCells,
   P.NumSteps = envInt("LIMPET_BENCH_STEPS", DefaultSteps);
   P.Repeats = int(envInt("LIMPET_BENCH_REPEATS", DefaultRepeats));
   P.GuardRails = envInt("LIMPET_BENCH_GUARD", 0) != 0;
+  if (const char *Dir = std::getenv("LIMPET_BENCH_CHECKPOINT_DIR");
+      Dir && *Dir)
+    P.CheckpointDir = Dir;
+  P.CheckpointEvery = envInt("LIMPET_BENCH_CHECKPOINT_EVERY", 0);
   return P;
 }
 
@@ -108,6 +112,10 @@ double bench::timeSimulation(const CompiledModel &Model,
                              const BenchProtocol &Protocol,
                              unsigned Threads, sim::RunReport *Report) {
   telemetry::RuntimeCounters Before = telemetry::runtimeCounters();
+  telemetry::Registry &Reg = telemetry::Registry::instance();
+  uint64_t CkptCount0 = Reg.value("sim.checkpoint.count");
+  uint64_t CkptBytes0 = Reg.value("sim.checkpoint.bytes");
+  uint64_t CkptNs0 = Reg.value("sim.checkpoint.ns");
   std::vector<double> Times;
   for (int Run = 0; Run != std::max(Protocol.Repeats, 1); ++Run) {
     sim::SimOptions Opts;
@@ -116,6 +124,16 @@ double bench::timeSimulation(const CompiledModel &Model,
     Opts.NumThreads = Threads;
     Opts.StimPeriod = 100.0;
     Opts.Guard.Enabled = Protocol.GuardRails;
+    if (!Protocol.CheckpointDir.empty()) {
+      // Per-(model, config) subdirectory: concurrent figures and sweep
+      // points must not rotate each other's checkpoint files away.
+      // Config names use '/' as a separator; flatten to one level.
+      std::string Sub = Model.info().Name + "-" +
+                        engineConfigName(Model.config());
+      std::replace(Sub.begin(), Sub.end(), '/', '-');
+      Opts.Checkpoint.Dir = Protocol.CheckpointDir + "/" + Sub;
+      Opts.Checkpoint.EveryN = Protocol.CheckpointEvery;
+    }
     sim::Simulator S(Model, Opts);
     auto T0 = std::chrono::steady_clock::now();
     S.run();
@@ -154,6 +172,9 @@ double bench::timeSimulation(const CompiledModel &Model,
   S.LibmCalls = After.LibmCalls - Before.LibmCalls;
   S.BytesLoaded = After.BytesLoaded - Before.BytesLoaded;
   S.BytesStored = After.BytesStored - Before.BytesStored;
+  S.CheckpointCount = Reg.value("sim.checkpoint.count") - CkptCount0;
+  S.CheckpointBytes = Reg.value("sim.checkpoint.bytes") - CkptBytes0;
+  S.CheckpointNs = Reg.value("sim.checkpoint.ns") - CkptNs0;
   recordBenchStat(S);
   return Seconds;
 }
@@ -192,13 +213,20 @@ std::string BenchStat::json() const {
                 ",\"ns_per_cell_step\":%.6g,\"cell_steps_per_sec\":%.6g,"
                 "\"lut_interps\":%llu,\"fastmath_calls\":%llu,"
                 "\"libm_calls\":%llu,\"bytes_loaded\":%llu,"
-                "\"bytes_stored\":%llu}",
+                "\"bytes_stored\":%llu",
                 NsPerCellStep, CellStepsPerSec,
                 (unsigned long long)LutInterps,
                 (unsigned long long)FastMathCalls,
                 (unsigned long long)LibmCalls,
                 (unsigned long long)BytesLoaded,
                 (unsigned long long)BytesStored);
+  Out += Buf;
+  std::snprintf(Buf, sizeof Buf,
+                ",\"checkpoint_count\":%llu,\"checkpoint_bytes\":%llu,"
+                "\"checkpoint_ns\":%llu}",
+                (unsigned long long)CheckpointCount,
+                (unsigned long long)CheckpointBytes,
+                (unsigned long long)CheckpointNs);
   Out += Buf;
   return Out;
 }
@@ -279,6 +307,11 @@ void bench::printBanner(const std::string &Title,
   if (Protocol.GuardRails)
     std::printf("Guard rails: ON (health scan + fault-tolerant stepping, "
                 "LIMPET_BENCH_GUARD=1)\n");
+  if (!Protocol.CheckpointDir.empty())
+    std::printf("Durable checkpoints: ON (dir %s, every %lld steps; "
+                "overhead exported as checkpoint_* NDJSON fields)\n",
+                Protocol.CheckpointDir.c_str(),
+                (long long)Protocol.CheckpointEvery);
   std::printf("==================================================================\n");
 }
 

@@ -40,6 +40,13 @@ struct BenchProtocol {
   /// stepping) enabled; LIMPET_BENCH_GUARD=1 turns it on to measure the
   /// production-mode overhead.
   bool GuardRails = false;
+  /// Durable-checkpoint protocol knobs: when CheckpointDir is non-empty
+  /// every timed run writes rotated checkpoints (cadence CheckpointEvery
+  /// steps) into a per-(model, config) subdirectory, so the NDJSON
+  /// records quantify the durability overhead. LIMPET_BENCH_CHECKPOINT_DIR
+  /// / LIMPET_BENCH_CHECKPOINT_EVERY set them.
+  std::string CheckpointDir;
+  int64_t CheckpointEvery = 0;
 
   /// Reads LIMPET_BENCH_* environment overrides.
   static BenchProtocol fromEnv(int64_t DefaultCells = 4096,
@@ -103,6 +110,12 @@ struct BenchStat {
   /// from the per-chunk static byte counts of each kernel's bytecode.
   uint64_t BytesLoaded = 0;
   uint64_t BytesStored = 0;
+  /// Durable-checkpoint overhead of the timed region (deltas of the
+  /// sim.checkpoint.* counters); all zero unless the protocol enables
+  /// checkpointing via LIMPET_BENCH_CHECKPOINT_DIR.
+  uint64_t CheckpointCount = 0;
+  uint64_t CheckpointBytes = 0;
+  uint64_t CheckpointNs = 0;
 
   /// The record as one line of JSON (no trailing newline).
   std::string json() const;

@@ -2,10 +2,9 @@
 
 #include "compiler/Artifact.h"
 
-#include <cstdio>
+#include "compiler/Serialize.h"
+
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 using namespace limpet;
 using namespace limpet::compiler;
@@ -21,7 +20,7 @@ uint64_t compiler::fnv1a64(std::string_view Bytes, uint64_t Seed) {
 }
 
 //===----------------------------------------------------------------------===//
-// Byte-level writer / reader
+// Byte-level writer / reader (shared with sim/Checkpoint via Serialize.h)
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -29,95 +28,8 @@ namespace {
 /// "LMPA" little-endian.
 constexpr uint32_t kMagic = 0x41504d4cu;
 
-class Writer {
-public:
-  std::string Out;
-
-  void u8(uint8_t V) { Out.push_back(char(V)); }
-  void u16(uint16_t V) { raw(&V, sizeof V); }
-  void u32(uint32_t V) { raw(&V, sizeof V); }
-  void u64(uint64_t V) { raw(&V, sizeof V); }
-  void i32(int32_t V) { raw(&V, sizeof V); }
-  void f64(double V) {
-    // Bit pattern, not text: round-trips NaNs, -0.0 and every payload bit.
-    uint64_t Bits;
-    std::memcpy(&Bits, &V, sizeof Bits);
-    u64(Bits);
-  }
-  void str(std::string_view S) {
-    u32(uint32_t(S.size()));
-    Out.append(S.data(), S.size());
-  }
-
-private:
-  void raw(const void *P, size_t N) {
-    Out.append(reinterpret_cast<const char *>(P), N);
-  }
-};
-
-class Reader {
-public:
-  Reader(std::string_view Bytes) : Bytes(Bytes) {}
-
-  bool failed() const { return Failed; }
-  size_t remaining() const { return Bytes.size() - Pos; }
-
-  uint8_t u8() {
-    uint8_t V = 0;
-    raw(&V, sizeof V);
-    return V;
-  }
-  uint16_t u16() {
-    uint16_t V = 0;
-    raw(&V, sizeof V);
-    return V;
-  }
-  uint32_t u32() {
-    uint32_t V = 0;
-    raw(&V, sizeof V);
-    return V;
-  }
-  uint64_t u64() {
-    uint64_t V = 0;
-    raw(&V, sizeof V);
-    return V;
-  }
-  int32_t i32() {
-    int32_t V = 0;
-    raw(&V, sizeof V);
-    return V;
-  }
-  double f64() {
-    uint64_t Bits = u64();
-    double V;
-    std::memcpy(&V, &Bits, sizeof V);
-    return V;
-  }
-  std::string str() {
-    uint32_t N = u32();
-    if (Failed || N > remaining()) {
-      Failed = true;
-      return "";
-    }
-    std::string S(Bytes.substr(Pos, N));
-    Pos += N;
-    return S;
-  }
-
-private:
-  void raw(void *P, size_t N) {
-    if (Failed || N > remaining()) {
-      Failed = true;
-      return;
-    }
-    std::memcpy(P, Bytes.data() + Pos, N);
-    Pos += N;
-  }
-
-  std::string_view Bytes;
-  size_t Pos = 0;
-  bool Failed = false;
-};
+using Writer = ByteWriter;
+using Reader = ByteReader;
 
 void writeInstrs(Writer &W, const std::vector<BcInstr> &Instrs) {
   W.u32(uint32_t(Instrs.size()));
@@ -297,31 +209,14 @@ Expected<Artifact> compiler::deserializeArtifact(std::string_view Bytes) {
 
 Status compiler::writeArtifactFile(const Artifact &A,
                                    const std::string &Path) {
-  std::string Bytes = serializeArtifact(A);
-  std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return Status::error("cannot open '" + Tmp + "' for writing");
-    Out.write(Bytes.data(), std::streamsize(Bytes.size()));
-    if (!Out)
-      return Status::error("short write to '" + Tmp + "'");
-  }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    return Status::error("cannot rename '" + Tmp + "' to '" + Path + "'");
-  }
-  return Status::success();
+  return writeFileAtomic(serializeArtifact(A), Path);
 }
 
 Expected<Artifact> compiler::readArtifactFile(const std::string &Path) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
+  std::string Bytes;
+  if (Status S = readFileBytes(Path, Bytes); !S)
     return Expected<Artifact>(
-        Status::error("cannot read artifact file '" + Path + "'"));
-  std::ostringstream Ss;
-  Ss << In.rdbuf();
-  std::string Bytes = Ss.str();
+        Status::error("artifact: " + S.message()));
   return deserializeArtifact(Bytes);
 }
 

@@ -4,8 +4,11 @@
 
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <vector>
 
 using namespace limpet;
 using namespace limpet::compiler;
@@ -108,9 +111,71 @@ void CompileCache::store(uint64_t Key, const Artifact &A) {
     // compile, it just loses the warm-start benefit.
     if (writeArtifactFile(A, Path))
       telemetry::counter("compile.cache.store").add(1);
+    if (uint64_t Budget = diskBudget())
+      gcDiskTier(Budget);
   } else {
     telemetry::counter("compile.cache.store").add(1);
   }
+}
+
+uint64_t CompileCache::diskBudget() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (BudgetOverride)
+      return *BudgetOverride;
+  }
+  const char *Env = std::getenv("LIMPET_CACHE_MAX_BYTES");
+  return Env ? std::strtoull(Env, nullptr, 10) : 0;
+}
+
+void CompileCache::setDiskBudget(std::optional<uint64_t> Budget) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  BudgetOverride = Budget;
+}
+
+CompileCache::GcStats CompileCache::gcDiskTier(uint64_t MaxBytes) {
+  namespace fs = std::filesystem;
+  GcStats Stats;
+  std::string Dir = diskDir();
+  if (Dir.empty())
+    return Stats;
+
+  struct Entry {
+    fs::file_time_type MTime;
+    uint64_t Size;
+    std::string Path;
+  };
+  std::vector<Entry> Entries;
+  std::error_code Ec;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec)) {
+    if (E.path().extension() != ".lmpa")
+      continue;
+    std::error_code SEc, TEc;
+    uint64_t Size = E.file_size(SEc);
+    fs::file_time_type MTime = E.last_write_time(TEc);
+    if (SEc || TEc)
+      continue; // raced with a concurrent GC/writer; skip
+    Stats.BytesBefore += Size;
+    Entries.push_back({MTime, Size, E.path().string()});
+  }
+  Stats.BytesAfter = Stats.BytesBefore;
+  if (MaxBytes == 0 || Stats.BytesBefore <= MaxBytes)
+    return Stats;
+
+  // LRU by mtime: oldest entries go first. A removal that fails (another
+  // process evicted the same file) just moves on.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.MTime < B.MTime; });
+  for (const Entry &E : Entries) {
+    if (Stats.BytesAfter <= MaxBytes)
+      break;
+    if (std::remove(E.Path.c_str()) == 0) {
+      Stats.BytesAfter -= E.Size;
+      ++Stats.FilesRemoved;
+      telemetry::counter("compile.cache.evict").add(1);
+    }
+  }
+  return Stats;
 }
 
 void CompileCache::clearMemory() {

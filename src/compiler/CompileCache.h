@@ -15,6 +15,14 @@
 //    written atomically; a corrupt or truncated file is counted, ignored
 //    and overwritten by the next store.
 //
+// The disk tier is bounded: when $LIMPET_CACHE_MAX_BYTES (or the explicit
+// override) is set, every disk store evicts least-recently-used entries —
+// oldest mtime first — until the tier fits the budget. Concurrent writers
+// are safe by construction: each store writes a uniquely named temp file
+// and renames (writeFileAtomic), so the last rename wins with a complete
+// file and a concurrent GC at worst deletes an entry the next compile
+// recreates.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef LIMPET_COMPILER_COMPILECACHE_H
@@ -71,10 +79,32 @@ public:
   /// tier is off).
   std::string diskPath(uint64_t Key);
 
+  /// The disk-tier byte budget: the explicit override when set, else the
+  /// LIMPET_CACHE_MAX_BYTES environment variable, else 0 (= unbounded).
+  uint64_t diskBudget();
+
+  /// Overrides the byte budget for this process (tests, --cache-gc);
+  /// nullopt returns control to the environment variable.
+  void setDiskBudget(std::optional<uint64_t> Budget);
+
+  /// What one garbage-collection pass over the disk tier did.
+  struct GcStats {
+    uint64_t BytesBefore = 0; ///< .lmpa bytes found in the directory
+    uint64_t BytesAfter = 0;  ///< bytes remaining after eviction
+    size_t FilesRemoved = 0;
+  };
+
+  /// Evicts least-recently-used disk entries (oldest mtime first) until
+  /// the tier fits \p MaxBytes (0 = no limit, a no-op scan). Runs
+  /// automatically after each disk store when a budget is configured.
+  /// Telemetry: compile.cache.evict per removed file.
+  GcStats gcDiskTier(uint64_t MaxBytes);
+
 private:
   std::mutex Mu;
   std::unordered_map<uint64_t, std::string> Memory; ///< serialized bytes
   std::optional<std::string> DiskOverride;
+  std::optional<uint64_t> BudgetOverride;
 };
 
 } // namespace compiler

@@ -1,0 +1,69 @@
+//===- Serialize.cpp ------------------------------------------------------===//
+
+#include "compiler/Serialize.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+using namespace limpet;
+using namespace limpet::compiler;
+
+static std::string errnoText() {
+  int E = errno;
+  return E ? std::string(": ") + std::strerror(E) : std::string();
+}
+
+Status compiler::writeFileAtomic(std::string_view Bytes,
+                                 const std::string &Path) {
+  // One temp name per (process, call): two processes — or two threads —
+  // racing to publish the same path each write their own temp file, and
+  // whichever renames last wins with a complete file either way.
+  static std::atomic<uint64_t> Serial{0};
+#ifdef _WIN32
+  long Pid = _getpid();
+#else
+  long Pid = long(getpid());
+#endif
+  std::string Tmp = Path + ".tmp." + std::to_string(Pid) + "." +
+                    std::to_string(Serial.fetch_add(1));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return Status::error("cannot open '" + Tmp + "' for writing" +
+                           errnoText());
+    Out.write(Bytes.data(), std::streamsize(Bytes.size()));
+    Out.flush();
+    if (!Out) {
+      Status S = Status::error("short write to '" + Tmp + "'" + errnoText());
+      Out.close();
+      std::remove(Tmp.c_str());
+      return S;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Status S = Status::error("cannot rename '" + Tmp + "' to '" + Path +
+                             "'" + errnoText());
+    std::remove(Tmp.c_str());
+    return S;
+  }
+  return Status::success();
+}
+
+Status compiler::readFileBytes(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Status::error("cannot read '" + Path + "'" + errnoText());
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  Out = Ss.str();
+  return Status::success();
+}

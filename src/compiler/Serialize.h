@@ -1,0 +1,142 @@
+//===- Serialize.h - Shared byte-level serialization helpers ----*- C++-*-===//
+//
+// The little-endian byte writer/reader pair behind every durable format in
+// the repo: compiled-model artifacts (compiler/Artifact) and simulation
+// checkpoints (sim/Checkpoint). Doubles are stored as IEEE-754 bit
+// patterns so round trips are bit-exact (NaN payloads, -0.0 and all), and
+// the reader saturates into a failed state on any out-of-bounds access so
+// truncated or corrupted inputs parse to a recoverable error, never UB.
+//
+// writeFileAtomic is the one durable-write primitive: serialize to a
+// uniquely named temp file in the target directory, then rename over the
+// destination. A crashed writer never leaves a half-written file behind,
+// and concurrent writers of the same path are safe — each uses its own
+// temp name and the last rename wins with a complete file either way.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_COMPILER_SERIALIZE_H
+#define LIMPET_COMPILER_SERIALIZE_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace limpet {
+namespace compiler {
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+public:
+  std::string Out;
+
+  void u8(uint8_t V) { Out.push_back(char(V)); }
+  void u16(uint16_t V) { raw(&V, sizeof V); }
+  void u32(uint32_t V) { raw(&V, sizeof V); }
+  void u64(uint64_t V) { raw(&V, sizeof V); }
+  void i32(int32_t V) { raw(&V, sizeof V); }
+  void i64(int64_t V) { raw(&V, sizeof V); }
+  void f64(double V) {
+    // Bit pattern, not text: round-trips NaNs, -0.0 and every payload bit.
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+  void str(std::string_view S) {
+    u32(uint32_t(S.size()));
+    Out.append(S.data(), S.size());
+  }
+
+private:
+  void raw(const void *P, size_t N) {
+    Out.append(reinterpret_cast<const char *>(P), N);
+  }
+};
+
+/// Bounds-checked reader over a byte string. Any read past the end sets
+/// the failed flag and returns zeros; callers check failed() once at the
+/// end (or before trusting a length they are about to allocate from).
+class ByteReader {
+public:
+  ByteReader(std::string_view Bytes) : Bytes(Bytes) {}
+
+  bool failed() const { return Failed; }
+  size_t remaining() const { return Bytes.size() - Pos; }
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint16_t u16() {
+    uint16_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  int32_t i32() {
+    int32_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  int64_t i64() {
+    int64_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof V);
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (Failed || N > remaining()) {
+      Failed = true;
+      return "";
+    }
+    std::string S(Bytes.substr(Pos, N));
+    Pos += N;
+    return S;
+  }
+
+private:
+  void raw(void *P, size_t N) {
+    if (Failed || N > remaining()) {
+      Failed = true;
+      return;
+    }
+    std::memcpy(P, Bytes.data() + Pos, N);
+    Pos += N;
+  }
+
+  std::string_view Bytes;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// Writes \p Bytes to \p Path atomically: a uniquely named temp file
+/// (per process and call, so concurrent writers never clobber each
+/// other's partial output) followed by a rename. Errors carry errno text.
+Status writeFileAtomic(std::string_view Bytes, const std::string &Path);
+
+/// Reads a whole file into \p Out; errors carry errno text.
+Status readFileBytes(const std::string &Path, std::string &Out);
+
+} // namespace compiler
+} // namespace limpet
+
+#endif // LIMPET_COMPILER_SERIALIZE_H

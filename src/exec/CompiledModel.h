@@ -57,6 +57,11 @@ struct EngineConfig {
   /// CompiledModel::compile rejects invalid configurations with this
   /// recoverable Status instead of asserting deep in codegen.
   Status validate() const;
+
+  /// Field-wise equality. Checkpoint resume requires the resuming model
+  /// to be compiled under exactly the configuration the checkpoint was
+  /// captured with (bit-identical continuation needs the same engine).
+  bool operator==(const EngineConfig &) const = default;
 };
 
 std::string engineConfigName(const EngineConfig &Cfg);

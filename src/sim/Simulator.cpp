@@ -2,6 +2,7 @@
 
 #include "sim/Simulator.h"
 
+#include "compiler/Serialize.h"
 #include "support/Telemetry.h"
 #include "support/Trace.h"
 
@@ -9,6 +10,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 using namespace limpet;
@@ -40,6 +42,10 @@ SimOptions sanitizeOptions(SimOptions Opts) {
     Opts.Guard.ScanInterval = 1;
   if (Opts.Guard.MaxRetries < 0)
     Opts.Guard.MaxRetries = 0;
+  if (Opts.Checkpoint.EveryN < 0)
+    Opts.Checkpoint.EveryN = 0;
+  if (Opts.Checkpoint.Retain < 1)
+    Opts.Checkpoint.Retain = 1;
   return Opts;
 }
 } // namespace
@@ -130,13 +136,33 @@ void Simulator::run() {
   RunReport Before = Report;
   telemetry::RuntimeCounters RtBefore = telemetry::runtimeCounters();
   auto T0 = Clock::now();
-  if (!Opts.Guard.Enabled) {
-    for (int64_t I = 0; I != Opts.NumSteps; ++I)
-      step();
-  } else {
-    runGuarded();
+  Interrupted = false;
+  if (!Durable && !Opts.Checkpoint.Dir.empty()) {
+    Durable = std::make_unique<CheckpointStore>(Opts.Checkpoint.Dir,
+                                                Opts.Checkpoint.Retain);
+    // Callers wanting the unwritable-directory error *before* stepping
+    // (limpetc does) call prepare() themselves; here a failure just means
+    // every later write counts a sim.checkpoint.errors tick.
+    if (Status S = Durable->prepare(); !S)
+      telemetry::counter("sim.checkpoint.errors").add(1);
   }
-  Report.StepsTaken += Opts.NumSteps;
+  LastDurableStep = StepCount;
+  RunStartStep = StepCount;
+  // A resumed run chases the same total step target the interrupted run
+  // had, so it ends on the same step — the precondition for the resumed
+  // final state being bit-identical to the uninterrupted one.
+  int64_t Target = Resumed ? Opts.NumSteps : StepCount + Opts.NumSteps;
+  if (!Opts.Guard.Enabled) {
+    while (StepCount < Target) {
+      step();
+      if (durableTick())
+        break;
+    }
+  } else {
+    runGuarded(Target);
+  }
+  Report.StepsTaken += StepCount - RunStartStep;
+  RunStartStep = StepCount;
   Report.RunSeconds += secondsSince(T0);
   foldReportIntoTelemetry(Before);
   // Modeled memory traffic of this run (roofline numerator): the delta of
@@ -176,19 +202,55 @@ void Simulator::foldReportIntoTelemetry(const RunReport &Before) {
   Add("sim.run.ns", int64_t((Report.RunSeconds - Before.RunSeconds) * 1e9));
 }
 
-void Simulator::runGuarded() {
-  int64_t Target = StepCount + Opts.NumSteps;
+void Simulator::runGuarded(int64_t Target) {
   int64_t Interval = Opts.Guard.ScanInterval;
   takeCheckpoint();
   while (StepCount < Target) {
     int64_t Window = std::min(Interval, Target - StepCount);
     runWindow(Window, 1);
-    if (timedScan()) {
+    if (timedScan())
       takeCheckpoint();
-      continue;
-    }
-    recoverWindow(Window);
+    else
+      recoverWindow(Window);
+    // Durable checkpoints land only on healthy scan boundaries (the
+    // in-memory checkpoint was just refreshed either way), so a resumed
+    // guarded run rebuilds the identical rollback point.
+    if (durableTick())
+      break;
   }
+}
+
+bool Simulator::durableTick() {
+  if (shutdownRequested()) {
+    if (Durable && StepCount > LastDurableStep)
+      writeDurableCheckpoint();
+    Interrupted = true;
+    return true;
+  }
+  if (Durable && Opts.Checkpoint.EveryN > 0 &&
+      StepCount - LastDurableStep >= Opts.Checkpoint.EveryN)
+    writeDurableCheckpoint();
+  return false;
+}
+
+void Simulator::writeDurableCheckpoint() {
+  auto T0 = Clock::now();
+  CheckpointData C = captureCheckpoint();
+  std::string Bytes = serializeCheckpoint(C);
+  Status S =
+      compiler::writeFileAtomic(Bytes, Durable->pathForStep(C.StepCount));
+  if (S) {
+    Durable->prune();
+    LastDurableStep = StepCount;
+    telemetry::counter("sim.checkpoint.count").add(1);
+    telemetry::counter("sim.checkpoint.bytes").add(Bytes.size());
+  } else {
+    // A full disk mid-run degrades durability, not the simulation: keep
+    // stepping, count the failure, and let older checkpoints stand.
+    telemetry::counter("sim.checkpoint.errors").add(1);
+  }
+  telemetry::counter("sim.checkpoint.ns")
+      .add(uint64_t(secondsSince(T0) * 1e9));
 }
 
 bool Simulator::timedScan() {
@@ -493,3 +555,119 @@ Expected<double> Simulator::tryParam(std::string_view Name) const {
 }
 
 double Simulator::stateChecksum() const { return Buf.checksum(); }
+
+//===----------------------------------------------------------------------===//
+// Durable checkpoint / resume
+//===----------------------------------------------------------------------===//
+
+CheckpointData Simulator::captureCheckpoint() const {
+  CheckpointData C;
+  C.ModelName = Model.info().Name;
+  C.SourceHash = Opts.Checkpoint.SourceHash;
+  C.Config = Model.config();
+
+  C.NumCells = Opts.NumCells;
+  C.NumSv = Buf.numSv();
+  C.NumExts = uint32_t(Buf.numExternals());
+  C.Layout = uint8_t(Buf.layout());
+  C.BlockW = Buf.blockWidth();
+
+  C.StepCount = StepCount;
+  C.T = T;
+  C.Dt = Opts.Dt;
+
+  // Pad lanes included: a restore is a straight memcpy and bit-exact.
+  C.State.assign(Buf.state(), Buf.state() + Buf.stateSize());
+  C.Exts.resize(Buf.numExternals());
+  for (size_t J = 0; J != Buf.numExternals(); ++J)
+    C.Exts[J].assign(Buf.ext(J), Buf.ext(J) + Opts.NumCells);
+
+  C.Params = Params;
+  C.Trace = Trace;
+  C.Report = Report;
+  // The steps of the run in flight are only folded into the report when
+  // run() returns; a checkpoint captured mid-run counts them itself.
+  C.Report.StepsTaken += StepCount - RunStartStep;
+
+  if (!Modes.empty()) {
+    C.Modes.resize(Modes.size());
+    for (size_t I = 0; I != Modes.size(); ++I)
+      C.Modes[I] = uint8_t(Modes[I]);
+  }
+  // Sorted by cell so the serialized form is deterministic (the map is
+  // unordered).
+  std::vector<int64_t> FrozenCells;
+  FrozenCells.reserve(Frozen.size());
+  for (const auto &[Cell, Snap] : Frozen)
+    FrozenCells.push_back(Cell);
+  std::sort(FrozenCells.begin(), FrozenCells.end());
+  for (int64_t Cell : FrozenCells) {
+    const FrozenSnapshot &Snap = Frozen.at(Cell);
+    CheckpointData::FrozenCell F;
+    F.Cell = Cell;
+    F.Sv = Snap.Sv;
+    F.Ext = Snap.Ext;
+    C.Frozen.push_back(std::move(F));
+  }
+  return C;
+}
+
+Status Simulator::resumeFrom(const CheckpointData &C) {
+  if (C.ModelName != Model.info().Name)
+    return Status::error("cannot resume: checkpoint is of model '" +
+                         C.ModelName + "', this simulator runs '" +
+                         Model.info().Name + "'");
+  if (C.SourceHash != 0 && Opts.Checkpoint.SourceHash != 0 &&
+      C.SourceHash != Opts.Checkpoint.SourceHash)
+    return Status::error(
+        "cannot resume: model source changed since the checkpoint of '" +
+        C.ModelName + "' was written (source hash mismatch)");
+  if (!(C.Config == Model.config()))
+    return Status::error(
+        "cannot resume: checkpoint was captured under engine '" +
+        engineConfigName(C.Config) + "', this simulator runs '" +
+        engineConfigName(Model.config()) + "'");
+  if (C.NumCells != Opts.NumCells || C.NumSv != Buf.numSv() ||
+      C.NumExts != Buf.numExternals() ||
+      C.Layout != uint8_t(Buf.layout()) || C.BlockW != Buf.blockWidth())
+    return Status::error("cannot resume: population shape mismatch "
+                         "(cells/state-variables/layout differ)");
+  if (C.State.size() != Buf.stateSize() ||
+      C.Params.size() != Params.size())
+    return Status::error("cannot resume: array sizes do not match the "
+                         "compiled model");
+  if (!C.Modes.empty() && int64_t(C.Modes.size()) != Opts.NumCells)
+    return Status::error("cannot resume: degradation-mode array does not "
+                         "match the population");
+
+  std::memcpy(Buf.state(), C.State.data(),
+              C.State.size() * sizeof(double));
+  for (size_t J = 0; J != Buf.numExternals(); ++J)
+    std::memcpy(Buf.ext(J), C.Exts[J].data(),
+                size_t(Opts.NumCells) * sizeof(double));
+
+  Params = C.Params;
+  SimLuts = Model.buildLuts(Params.data());
+  T = C.T;
+  StepCount = C.StepCount;
+  RunStartStep = StepCount;
+  Trace = C.Trace;
+  Report = C.Report;
+
+  Modes.clear();
+  if (!C.Modes.empty()) {
+    Modes.resize(C.Modes.size());
+    for (size_t I = 0; I != C.Modes.size(); ++I)
+      Modes[I] = CellMode(C.Modes[I]);
+  }
+  Frozen.clear();
+  for (const CheckpointData::FrozenCell &F : C.Frozen)
+    Frozen[F.Cell] = FrozenSnapshot{F.Sv, F.Ext};
+
+  // The in-memory guard-rail checkpoint does not survive the process;
+  // runGuarded retakes it from the restored population immediately.
+  Ck.Valid = false;
+  Resumed = true;
+  Interrupted = false;
+  return Status::success();
+}

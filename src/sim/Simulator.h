@@ -23,6 +23,7 @@
 #define LIMPET_SIM_SIMULATOR_H
 
 #include "exec/CompiledModel.h"
+#include "sim/Checkpoint.h"
 #include "sim/Health.h"
 #include "sim/Scheduler.h"
 #include "sim/StateBuffer.h"
@@ -56,6 +57,22 @@ struct GuardRailOptions {
   bool AllowFreeze = true;
 };
 
+/// Durable checkpoint/resume knobs for Simulator::run().
+struct CheckpointOptions {
+  /// Directory the rotated ckpt-<step>.lmpc files live in; empty disables
+  /// durable checkpointing entirely.
+  std::string Dir;
+  /// Checkpoint cadence in steps (0 = only the final shutdown
+  /// checkpoint). In guarded runs checkpoints land on the next healthy
+  /// scan boundary at or after the cadence.
+  int64_t EveryN = 0;
+  /// How many rotated checkpoint files to keep.
+  int Retain = 3;
+  /// FNV-1a 64 of the model source, stamped into every checkpoint so a
+  /// resume against a different model is refused (0 = unknown).
+  uint64_t SourceHash = 0;
+};
+
 /// Simulation protocol options. The paper's protocol is 100,000 steps of
 /// 0.01 ms (1 s) over 8,192 cells; benches scale this down.
 struct SimOptions {
@@ -82,6 +99,11 @@ struct SimOptions {
 
   /// Numerical guard rails (health scan, checkpoint/retry, degradation).
   GuardRailOptions Guard;
+
+  /// Durable checkpoint/resume (periodic on-disk snapshots, graceful
+  /// shutdown). Independent of Guard: the in-memory guard-rail
+  /// checkpoint is for rollback, this one survives the process.
+  CheckpointOptions Checkpoint;
 };
 
 /// Drives one compiled model over a population of cells.
@@ -94,8 +116,32 @@ public:
   void step();
 
   /// Runs Opts.NumSteps steps, with fault-tolerant stepping when
-  /// Opts.Guard.Enabled is set.
+  /// Opts.Guard.Enabled is set. After resumeFrom, Opts.NumSteps is the
+  /// *total* step target, so an interrupted run resumed mid-flight lands
+  /// on the same final step as an uninterrupted one. Writes durable
+  /// checkpoints on the Opts.Checkpoint cadence and stops cleanly (one
+  /// final checkpoint, interrupted() set) when a shutdown was requested.
   void run();
+
+  //===--------------------------------------------------------------------===//
+  // Durable checkpoint / resume
+  //===--------------------------------------------------------------------===//
+
+  /// Snapshots the full simulation state — population, progress,
+  /// parameters, trace, guard-rail accumulators and degradation modes —
+  /// into a serializable CheckpointData.
+  CheckpointData captureCheckpoint() const;
+
+  /// Restores this simulator from \p C. Refuses (recoverable error,
+  /// state untouched) a checkpoint whose model name, source hash, engine
+  /// configuration or population shape does not match this simulator.
+  /// On success the next run() continues bit-identically to the run that
+  /// captured \p C.
+  Status resumeFrom(const CheckpointData &C);
+
+  /// True when the last run() stopped early on a shutdown request (after
+  /// writing its final checkpoint).
+  bool interrupted() const { return Interrupted; }
 
   double time() const { return T; }
   int64_t stepsDone() const { return StepCount; }
@@ -193,7 +239,13 @@ private:
   /// Runs \p Steps nominal steps, each split into \p Substeps kernel
   /// steps of Dt/Substeps.
   void runWindow(int64_t Steps, int Substeps);
-  void runGuarded();
+  void runGuarded(int64_t Target);
+  /// Durable-checkpoint cadence + shutdown poll, called at step/window
+  /// boundaries (after the scheduler's shard barrier). Returns true when
+  /// the run should stop (shutdown requested; final checkpoint written).
+  bool durableTick();
+  /// Writes one durable checkpoint (timed, counted in telemetry).
+  void writeDurableCheckpoint();
   void recoverWindow(int64_t Window);
   /// scanIsHealthy plus scan-count/scan-time accounting.
   bool timedScan();
@@ -241,6 +293,16 @@ private:
   std::vector<double> FallbackBuf;
   std::vector<int64_t> FallbackCells;
   std::function<void(Simulator &)> Injector;
+
+  // Durable checkpoint state.
+  std::unique_ptr<CheckpointStore> Durable;
+  int64_t LastDurableStep = 0;
+  /// StepCount when the current run() started. Report.StepsTaken is only
+  /// folded in when run() returns; captureCheckpoint adds the in-flight
+  /// delta so mid-run checkpoints carry an accurate count.
+  int64_t RunStartStep = 0;
+  bool Resumed = false;
+  bool Interrupted = false;
 };
 
 } // namespace sim

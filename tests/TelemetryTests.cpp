@@ -345,10 +345,16 @@ TEST(BenchStats, JsonRecordIsValid) {
   S.CellStepsPerSec = 8e7;
   S.LutInterps = 123;
   S.LibmCalls = 456;
+  S.CheckpointCount = 7;
+  S.CheckpointBytes = 8192;
+  S.CheckpointNs = 90000;
   std::string Json = S.json();
   EXPECT_TRUE(isValidJson(Json)) << Json;
   EXPECT_NE(Json.find("\"model\":\"HodgkinHuxley\""), std::string::npos);
   EXPECT_NE(Json.find("\\\"test\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\"checkpoint_count\":7"), std::string::npos);
+  EXPECT_NE(Json.find("\"checkpoint_bytes\":8192"), std::string::npos);
+  EXPECT_NE(Json.find("\"checkpoint_ns\":90000"), std::string::npos);
 }
 
 TEST(BenchStats, EnvSinkAppendsNdjsonLines) {

@@ -14,8 +14,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "compiler/CompilerDriver.h"
+#include "compiler/Serialize.h"
 #include "easyml/Sema.h"
 #include "models/Registry.h"
+#include "sim/Checkpoint.h"
 #include "sim/Simulator.h"
 
 #include <chrono>
@@ -23,9 +25,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <optional>
 #include <string>
+#include <unistd.h>
 
 using namespace limpet;
 using namespace limpet::exec;
@@ -295,6 +300,214 @@ bool scenarioSharded() {
   return Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// Crash-recovery scenarios (durable checkpoint/resume, docs/ROBUSTNESS.md)
+//===----------------------------------------------------------------------===//
+
+/// A unique, empty scratch directory for one crash scenario.
+std::string freshDir(const char *Tag) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     ("limpet-crash-" + std::string(Tag) + "-" +
+                      std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// Zeroes the wall-clock accumulators, the only nondeterministic fields,
+/// so final states of equal simulations compare byte-for-byte.
+CheckpointData normalizedCkpt(CheckpointData C) {
+  C.Report.ScanSeconds = 0;
+  C.Report.RecoverySeconds = 0;
+  C.Report.RunSeconds = 0;
+  return C;
+}
+
+bool finalStatesIdentical(Simulator &A, Simulator &B) {
+  return serializeCheckpoint(normalizedCkpt(A.captureCheckpoint())) ==
+         serializeCheckpoint(normalizedCkpt(B.captureCheckpoint()));
+}
+
+/// Deterministic kill-at-step under the guard rails: a shutdown request
+/// lands mid-run, the simulator stops at the next window boundary with a
+/// final checkpoint, and a fresh process (simulator) resuming from it
+/// finishes bit-identically to a run that was never interrupted.
+bool scenarioCkptResume() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  std::string Dir = freshDir("resume");
+  SimOptions Opts = guardedOpts(/*Cells=*/32, /*Steps=*/200);
+  Opts.Checkpoint.Dir = Dir;
+  Opts.Checkpoint.EveryN = 24;
+  clearShutdownRequest();
+  Simulator S(*M, Opts);
+  S.setFaultInjector([](Simulator &Sim) {
+    if (Sim.stepsDone() == 100)
+      requestShutdown();
+  });
+  S.run();
+  clearShutdownRequest();
+  bool Ok = check(S.interrupted(), "run stopped on the shutdown request");
+  Ok &= check(S.stepsDone() < 200, "run stopped early");
+
+  CheckpointStore Store(Dir);
+  std::string Path;
+  Expected<CheckpointData> C = Store.loadNewestValid(&Path);
+  if (!check(bool(C), "final checkpoint loads"))
+    return false;
+  Ok &= check(C->StepCount == S.stepsDone(),
+              "final checkpoint is at the interruption step");
+
+  Simulator Resumed(*M, guardedOpts(/*Cells=*/32, /*Steps=*/200));
+  if (!check(Resumed.resumeFrom(*C).isOk(), "resume accepted"))
+    return false;
+  Resumed.run();
+  Simulator Ref(*M, guardedOpts(/*Cells=*/32, /*Steps=*/200));
+  Ref.run();
+  Ok &= check(Resumed.stepsDone() == 200, "resumed run reached the target");
+  Ok &= check(finalStatesIdentical(Resumed, Ref),
+              "resumed final state bit-identical to uninterrupted");
+  std::filesystem::remove_all(Dir);
+  return Ok;
+}
+
+/// The newest checkpoint truncated mid-file (a crash on a filesystem
+/// without atomic rename): resume must fall back to the next newest and
+/// still finish bit-identically.
+bool scenarioCkptTruncate() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  std::string Dir = freshDir("truncate");
+  SimOptions Opts = guardedOpts(/*Cells=*/16, /*Steps=*/100);
+  Opts.Guard.Enabled = false; // unguarded: cadence lands exactly on EveryN
+  Opts.Checkpoint.Dir = Dir;
+  Opts.Checkpoint.EveryN = 24;
+  Simulator S(*M, Opts);
+  S.run();
+  CheckpointStore Store(Dir);
+  std::vector<std::string> Files = Store.list();
+  if (!check(Files.size() == 3, "retention kept 3 rotated checkpoints"))
+    return false;
+  {
+    std::string Bytes;
+    (void)compiler::readFileBytes(Files.back(), Bytes);
+    std::ofstream(Files.back(), std::ios::binary | std::ios::trunc)
+        .write(Bytes.data(), std::streamsize(Bytes.size() / 3));
+  }
+  int Skipped = 0;
+  std::string Path;
+  Expected<CheckpointData> C = Store.loadNewestValid(&Path, &Skipped);
+  if (!check(bool(C), "fallback checkpoint loads"))
+    return false;
+  bool Ok = check(Skipped == 1, "exactly the truncated file was skipped");
+  Ok &= check(C->StepCount == 72, "fell back to the previous checkpoint");
+
+  SimOptions Plain = guardedOpts(/*Cells=*/16, /*Steps=*/100);
+  Plain.Guard.Enabled = false;
+  Simulator Resumed(*M, Plain);
+  if (!check(Resumed.resumeFrom(*C).isOk(), "resume accepted"))
+    return false;
+  Resumed.run();
+  Simulator Ref(*M, Plain);
+  Ref.run();
+  Ok &= check(finalStatesIdentical(Resumed, Ref),
+              "resumed final state bit-identical to uninterrupted");
+  std::filesystem::remove_all(Dir);
+  return Ok;
+}
+
+/// Checksum corruption in the newest two checkpoints: both must be
+/// detected (never misparsed) and resume lands on the oldest valid one.
+bool scenarioCkptCorrupt() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  std::string Dir = freshDir("corrupt");
+  SimOptions Opts = guardedOpts(/*Cells=*/16, /*Steps=*/100);
+  Opts.Guard.Enabled = false;
+  Opts.Checkpoint.Dir = Dir;
+  Opts.Checkpoint.EveryN = 24;
+  Simulator S(*M, Opts);
+  S.run();
+  CheckpointStore Store(Dir);
+  std::vector<std::string> Files = Store.list();
+  if (!check(Files.size() == 3, "retention kept 3 rotated checkpoints"))
+    return false;
+  for (size_t I = 1; I != 3; ++I) {
+    // Flip one payload byte: the FNV-1a checksum must catch it.
+    std::string Bytes;
+    (void)compiler::readFileBytes(Files[I], Bytes);
+    Bytes[Bytes.size() / 2] = char(Bytes[Bytes.size() / 2] ^ 0xff);
+    std::ofstream(Files[I], std::ios::binary | std::ios::trunc)
+        .write(Bytes.data(), std::streamsize(Bytes.size()));
+  }
+  int Skipped = 0;
+  Expected<CheckpointData> C = Store.loadNewestValid(nullptr, &Skipped);
+  if (!check(bool(C), "oldest valid checkpoint loads"))
+    return false;
+  bool Ok = check(Skipped == 2, "both corrupted files were skipped");
+  Ok &= check(C->StepCount == 48, "fell back to the oldest checkpoint");
+
+  SimOptions Plain = guardedOpts(/*Cells=*/16, /*Steps=*/100);
+  Plain.Guard.Enabled = false;
+  Simulator Resumed(*M, Plain);
+  if (!check(Resumed.resumeFrom(*C).isOk(), "resume accepted"))
+    return false;
+  Resumed.run();
+  Simulator Ref(*M, Plain);
+  Ref.run();
+  Ok &= check(finalStatesIdentical(Resumed, Ref),
+              "resumed final state bit-identical to uninterrupted");
+  std::filesystem::remove_all(Dir);
+  return Ok;
+}
+
+/// Stale-model protection: a checkpoint stamped with one source hash must
+/// be refused by a driver whose model hashes differently, by a simulator
+/// under a different engine configuration, and by a different model — all
+/// as recoverable errors that leave the resuming simulator untouched.
+bool scenarioCkptStale() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  SimOptions Opts = guardedOpts(/*Cells=*/8, /*Steps=*/40);
+  Opts.Checkpoint.SourceHash = 0xAAAA;
+  Simulator S(*M, Opts);
+  S.run();
+  CheckpointData C = S.captureCheckpoint();
+
+  SimOptions OtherHash = guardedOpts(/*Cells=*/8, /*Steps=*/40);
+  OtherHash.Checkpoint.SourceHash = 0xBBBB;
+  Simulator Stale(*M, OtherHash);
+  double ChecksumBefore = Stale.stateChecksum();
+  Status St = Stale.resumeFrom(C);
+  bool Ok = check(!St.isOk(), "source-hash mismatch refused");
+  Ok &= check(St.message().find("source") != std::string::npos,
+              "error names the source mismatch");
+  Ok &= check(Stale.stateChecksum() == ChecksumBefore,
+              "refused resume left the simulator untouched");
+
+  auto MBase = compileSuiteModel("HodgkinHuxley", EngineConfig::baseline());
+  if (!MBase)
+    return false;
+  Simulator WrongCfg(*MBase, guardedOpts(/*Cells=*/8, /*Steps=*/40));
+  Ok &= check(!WrongCfg.resumeFrom(C).isOk(),
+              "engine-configuration mismatch refused");
+
+  auto MOther = compileSuiteModel("BeelerReuter", EngineConfig::limpetMLIR(4));
+  if (!MOther)
+    return false;
+  Simulator WrongModel(*MOther, guardedOpts(/*Cells=*/8, /*Steps=*/40));
+  Ok &= check(!WrongModel.resumeFrom(C).isOk(), "model mismatch refused");
+
+  Simulator SameHash(*M, Opts);
+  Ok &= check(SameHash.resumeFrom(C).isOk(), "matching checkpoint accepted");
+  return Ok;
+}
+
 /// No faults at all: the health scan at default cadence must cost less
 /// than 5% of step time (min-of-3 to shed scheduler noise).
 bool scenarioOverhead() {
@@ -350,6 +563,14 @@ const Scenario Scenarios[] = {
      scenarioExtremeParam},
     {"sharded", "persistent NaN under 2/4 shards -> recovery thread-invariant",
      scenarioSharded},
+    {"ckpt-resume", "kill-at-step -> resume bit-identical to uninterrupted",
+     scenarioCkptResume},
+    {"ckpt-truncate", "truncated newest checkpoint -> fallback still exact",
+     scenarioCkptTruncate},
+    {"ckpt-corrupt", "corrupted checkpoints skipped -> oldest valid resumes",
+     scenarioCkptCorrupt},
+    {"ckpt-stale", "stale model/config/hash -> resume refused, state untouched",
+     scenarioCkptStale},
     {"overhead", "clean run -> health scan costs < 5%", scenarioOverhead},
 };
 

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/Vectorize.h"
+#include "compiler/CompileCache.h"
 #include "compiler/CompilerDriver.h"
 #include "easyml/Preprocessor.h"
 #include "easyml/Sema.h"
@@ -69,13 +70,28 @@ void printUsage() {
       "  --suite             compile every suite model concurrently under\n"
       "                      the selected configuration (content-addressed\n"
       "                      cache; set LIMPET_CACHE_DIR for a disk tier)\n"
+      "  --jobs N            bound the --suite compile fan-out to N threads\n"
+      "                      (--jobs=1 compiles strictly in registry order)\n"
       "  --no-cache          bypass the compile cache\n"
+      "  --cache-gc          evict the disk cache tier down to\n"
+      "                      LIMPET_CACHE_MAX_BYTES (LRU by mtime) and exit\n"
       "  --run               compile and simulate, printing a run report\n"
-      "  --steps N           simulation steps for --run (default 1000)\n"
+      "  --steps N           simulation steps for --run (default 1000);\n"
+      "                      with --resume, the *total* target step\n"
       "  --cells N           population size for --run (default 256)\n"
       "  --guard             enable the numerical guard rails for --run\n"
       "                      (health scan, checkpoint/retry, degradation;\n"
       "                      see docs/ROBUSTNESS.md)\n"
+      "  --checkpoint-dir D  write durable checkpoints into D during --run\n"
+      "                      (rotated ckpt-<step>.lmpc files; SIGINT/SIGTERM\n"
+      "                      write one final checkpoint and exit cleanly)\n"
+      "  --checkpoint-every N  checkpoint cadence in steps (default 0 =\n"
+      "                      only the final shutdown checkpoint)\n"
+      "  --retain N          rotated checkpoints to keep (default 3)\n"
+      "  --resume            resume --run from the newest valid checkpoint\n"
+      "                      in --checkpoint-dir (corrupt/truncated files\n"
+      "                      are skipped; the run continues bit-identically\n"
+      "                      to an uninterrupted one)\n"
       "  --stats             print the pass-timing table and telemetry\n"
       "                      counters (see docs/OBSERVABILITY.md)\n"
       "  --trace FILE        write a Chrome trace-event JSON covering\n"
@@ -190,9 +206,32 @@ int main(int argc, char **argv) {
   bool RunGuard = false;
   bool Stats = false;
   std::string TracePath;
+  std::string CkptDir;
+  int64_t CkptEvery = 0;
+  int64_t CkptRetain = 3;
+  bool Resume = false;
+  bool CacheGc = false;
+  unsigned SuiteJobs = 0;
+
+  // Accepts both "--flag value" and "--flag=value" for the valued flags
+  // below; returns the value through Out.
+  auto valued = [&](const std::string &Arg, int &I, const char *Flag,
+                    std::string &Out) {
+    size_t N = std::strlen(Flag);
+    if (Arg.compare(0, N, Flag) == 0 && Arg.size() > N && Arg[N] == '=') {
+      Out = Arg.substr(N + 1);
+      return true;
+    }
+    if (Arg == Flag && I + 1 < argc) {
+      Out = argv[++I];
+      return true;
+    }
+    return false;
+  };
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    std::string Val;
     if (Arg == "--list") {
       for (const models::ModelEntry &E : models::modelRegistry())
         std::printf("%-24s %s %s\n", E.Name.c_str(),
@@ -223,8 +262,20 @@ int main(int argc, char **argv) {
       RunPasses = false;
     else if (Arg == "--no-cache")
       UseCache = false;
+    else if (Arg == "--cache-gc")
+      CacheGc = true;
     else if (Arg == "--guard")
       RunGuard = true;
+    else if (Arg == "--resume")
+      Resume = true;
+    else if (valued(Arg, I, "--checkpoint-dir", Val))
+      CkptDir = Val;
+    else if (valued(Arg, I, "--checkpoint-every", Val))
+      CkptEvery = std::atoll(Val.c_str());
+    else if (valued(Arg, I, "--retain", Val))
+      CkptRetain = std::atoll(Val.c_str());
+    else if (valued(Arg, I, "--jobs", Val))
+      SuiteJobs = unsigned(std::atoi(Val.c_str()));
     else if (Arg == "--stats")
       Stats = true;
     else if (Arg == "--print-ir-after-all")
@@ -301,6 +352,29 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (CacheGc) {
+    compiler::CompileCache &Cache = compiler::CompileCache::global();
+    std::string Dir = Cache.diskDir();
+    if (Dir.empty()) {
+      std::fprintf(stderr, "error: --cache-gc needs a disk cache tier "
+                           "(set LIMPET_CACHE_DIR)\n");
+      return 1;
+    }
+    uint64_t Budget = Cache.diskBudget();
+    compiler::CompileCache::GcStats G = Cache.gcDiskTier(Budget);
+    if (Budget == 0)
+      std::printf("cache %s: %llu bytes, no budget set "
+                  "(LIMPET_CACHE_MAX_BYTES), nothing evicted\n",
+                  Dir.c_str(), (unsigned long long)G.BytesBefore);
+    else
+      std::printf("cache %s: %llu -> %llu bytes (budget %llu), "
+                  "%zu file(s) evicted\n",
+                  Dir.c_str(), (unsigned long long)G.BytesBefore,
+                  (unsigned long long)G.BytesAfter,
+                  (unsigned long long)Budget, G.FilesRemoved);
+    return 0;
+  }
+
   // Both guards outlive every mode below: the recorder captures
   // parse->sema->codegen->run, and the stats report prints on any exit.
   TraceFile Trace(TracePath);
@@ -329,7 +403,7 @@ int main(int argc, char **argv) {
     for (const models::ModelEntry &E : models::modelRegistry())
       Entries.push_back(&E);
     std::vector<compiler::CompileResult> Results =
-        Driver.compileSuite(Entries);
+        Driver.compileSuite(Entries, SuiteJobs);
     size_t Ok = 0, Cold = 0, Warm = 0;
     for (const compiler::CompileResult &R : Results) {
       if (!R) {
@@ -419,7 +493,47 @@ int main(int argc, char **argv) {
       Opts.NumSteps = RunSteps;
       Opts.StimPeriod = 100.0;
       Opts.Guard.Enabled = RunGuard;
+      if (Resume && CkptDir.empty()) {
+        std::fprintf(stderr,
+                     "error: --resume needs --checkpoint-dir\n");
+        return 1;
+      }
+      if (!CkptDir.empty()) {
+        // Probe the directory up front: an unwritable --checkpoint-dir is
+        // one clear error before the run, not a failure at step 99,000.
+        sim::CheckpointStore Store(CkptDir, int(CkptRetain));
+        if (Status St = Store.prepare(); !St) {
+          std::fprintf(stderr, "error: %s\n", St.message().c_str());
+          return 1;
+        }
+        Opts.Checkpoint.Dir = CkptDir;
+        Opts.Checkpoint.EveryN = CkptEvery;
+        Opts.Checkpoint.Retain = int(CkptRetain);
+        Opts.Checkpoint.SourceHash = R.SourceHash;
+        sim::installShutdownHandlers();
+      }
       sim::Simulator S(Model, Opts);
+      if (Resume) {
+        sim::CheckpointStore Store(CkptDir, int(CkptRetain));
+        std::string CkptPath;
+        int Skipped = 0;
+        Expected<sim::CheckpointData> C =
+            Store.loadNewestValid(&CkptPath, &Skipped);
+        if (!C) {
+          std::fprintf(stderr, "error: %s\n", C.status().message().c_str());
+          return 1;
+        }
+        if (Status St = S.resumeFrom(*C); !St) {
+          std::fprintf(stderr, "error: %s\n", St.message().c_str());
+          return 1;
+        }
+        std::string Note =
+            Skipped ? " (" + std::to_string(Skipped) +
+                          " corrupt/truncated checkpoint(s) skipped)"
+                    : "";
+        std::printf("resumed from %s at step %lld%s\n", CkptPath.c_str(),
+                    (long long)C->StepCount, Note.c_str());
+      }
       S.run();
       // Print the simulator's (sanitized) options, not the raw flags.
       std::printf("simulated %s (%s): %lld cells x %lld steps, t=%.2f ms\n",
@@ -427,6 +541,10 @@ int main(int argc, char **argv) {
                   exec::engineConfigName(Model.config()).c_str(),
                   (long long)S.options().NumCells,
                   (long long)S.options().NumSteps, S.time());
+      if (S.interrupted())
+        std::printf("interrupted at step %lld: final checkpoint written "
+                    "to %s\n",
+                    (long long)S.stepsDone(), CkptDir.c_str());
       if (S.hasVoltageCoupling())
         std::printf("final Vm[0] = %.6f mV\n", S.vm(0));
       std::printf("state checksum = %.9g\n", S.stateChecksum());
