@@ -101,7 +101,8 @@ else
       cmake --build build-ci-san -j "$(nproc)" &&
       for s in nan-state inf-vm persistent lut-corrupt extreme-dt \
         extreme-param sharded ckpt-resume ckpt-truncate ckpt-corrupt \
-        ckpt-stale; do
+        ckpt-stale daemon-queue-full daemon-deadline \
+        daemon-journal-truncate; do
         ./build-ci-san/tools/faultinject $s || return 1
       done
   }
@@ -117,6 +118,16 @@ elif [ -n "$SMOKE_BUILD" ]; then
     scripts/cache_gc_stress.sh "$SMOKE_BUILD/tools/limpetc"
 else
   skip_job "crash-smoke" "no built limpetc found"
+fi
+
+# --- daemon smoke -----------------------------------------------------------
+if [ $FAST = 1 ]; then
+  skip_job "daemon-smoke" "--fast"
+elif [ -n "$SMOKE_BUILD" ] && [ -x "$SMOKE_BUILD/tools/limpetd" ]; then
+  run_job "daemon-smoke" scripts/daemon_smoke.sh \
+    "$SMOKE_BUILD/tools/limpetd" "$SMOKE_BUILD/tools/limpetctl"
+else
+  skip_job "daemon-smoke" "no built limpetd found"
 fi
 
 # --- bench smoke + NDJSON ---------------------------------------------------

@@ -5,12 +5,16 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #ifdef _WIN32
 #include <process.h>
 #else
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -21,6 +25,43 @@ static std::string errnoText() {
   int E = errno;
   return E ? std::string(": ") + std::strerror(E) : std::string();
 }
+
+/// LIMPET_NO_FSYNC=1 skips the fsync of both the temp file and its
+/// containing directory (and the daemon journal's per-append fsync).
+/// This is an explicit durability/speed trade for throwaway runs (CI
+/// sandboxes, tmpfs scratch dirs, benchmark loops that checkpoint
+/// thousands of times): without it every checkpoint, journal append and
+/// cache write pays two storage barriers. With it, a power loss can
+/// leave the published file empty or the rename unrecorded — never a
+/// torn file, since the rename itself stays atomic.
+bool compiler::durableFsyncEnabled() {
+  static const bool Enabled = [] {
+    const char *V = std::getenv("LIMPET_NO_FSYNC");
+    return !(V && V[0] == '1' && V[1] == '\0');
+  }();
+  return Enabled;
+}
+
+#ifndef _WIN32
+static bool fsyncDisabled() { return !durableFsyncEnabled(); }
+
+/// Best-effort fsync of the directory containing \p Path, so the rename
+/// that published a file is itself durable. Failures are ignored: some
+/// filesystems refuse directory fsync, and the file data is already safe.
+static void fsyncParentDir(const std::string &Path) {
+  if (fsyncDisabled())
+    return;
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+#endif
 
 Status compiler::writeFileAtomic(std::string_view Bytes,
                                  const std::string &Path) {
@@ -35,6 +76,7 @@ Status compiler::writeFileAtomic(std::string_view Bytes,
 #endif
   std::string Tmp = Path + ".tmp." + std::to_string(Pid) + "." +
                     std::to_string(Serial.fetch_add(1));
+#ifdef _WIN32
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
@@ -56,6 +98,52 @@ Status compiler::writeFileAtomic(std::string_view Bytes,
     return S;
   }
   return Status::success();
+#else
+  // POSIX path: write, fsync the file *before* the rename (so the rename
+  // never publishes a name whose data is still only in the page cache),
+  // rename, then fsync the containing directory (so the rename itself
+  // survives a power cut). LIMPET_NO_FSYNC=1 skips both barriers — see
+  // fsyncDisabled() above for when that trade is acceptable.
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (Fd < 0)
+    return Status::error("cannot open '" + Tmp + "' for writing" +
+                         errnoText());
+  const char *P = Bytes.data();
+  size_t Left = Bytes.size();
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Status S = Status::error("short write to '" + Tmp + "'" + errnoText());
+      ::close(Fd);
+      std::remove(Tmp.c_str());
+      return S;
+    }
+    P += N;
+    Left -= size_t(N);
+  }
+  if (!fsyncDisabled() && ::fsync(Fd) != 0) {
+    Status S = Status::error("cannot fsync '" + Tmp + "'" + errnoText());
+    ::close(Fd);
+    std::remove(Tmp.c_str());
+    return S;
+  }
+  if (::close(Fd) != 0) {
+    Status S = Status::error("cannot close '" + Tmp + "'" + errnoText());
+    std::remove(Tmp.c_str());
+    return S;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Status S = Status::error("cannot rename '" + Tmp + "' to '" + Path +
+                             "'" + errnoText());
+    std::remove(Tmp.c_str());
+    return S;
+  }
+  fsyncParentDir(Path);
+  return Status::success();
+#endif
 }
 
 Status compiler::readFileBytes(const std::string &Path, std::string &Out) {

@@ -8,10 +8,13 @@
 // truncated or corrupted inputs parse to a recoverable error, never UB.
 //
 // writeFileAtomic is the one durable-write primitive: serialize to a
-// uniquely named temp file in the target directory, then rename over the
-// destination. A crashed writer never leaves a half-written file behind,
-// and concurrent writers of the same path are safe — each uses its own
-// temp name and the last rename wins with a complete file either way.
+// uniquely named temp file in the target directory, fsync it, rename over
+// the destination, then fsync the containing directory so the rename
+// itself is durable. A crashed writer never leaves a half-written file
+// behind, and concurrent writers of the same path are safe — each uses
+// its own temp name and the last rename wins with a complete file either
+// way. LIMPET_NO_FSYNC=1 skips both barriers for throwaway runs (see
+// Serialize.cpp).
 //
 //===----------------------------------------------------------------------===//
 
@@ -128,9 +131,17 @@ private:
   bool Failed = false;
 };
 
+/// Whether durable writes fsync their data and directory entries. True
+/// unless LIMPET_NO_FSYNC=1 is set in the environment (checked once, at
+/// first use) — the escape hatch for throwaway runs where the two storage
+/// barriers per write are pure overhead. Shared by writeFileAtomic and
+/// the daemon's job journal so one knob governs every durability point.
+bool durableFsyncEnabled();
+
 /// Writes \p Bytes to \p Path atomically: a uniquely named temp file
 /// (per process and call, so concurrent writers never clobber each
-/// other's partial output) followed by a rename. Errors carry errno text.
+/// other's partial output), fsync, rename, then an fsync of the
+/// containing directory. Errors carry errno text.
 Status writeFileAtomic(std::string_view Bytes, const std::string &Path);
 
 /// Reads a whole file into \p Out; errors carry errno text.

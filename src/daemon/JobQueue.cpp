@@ -1,0 +1,155 @@
+//===- JobQueue.cpp -------------------------------------------------------===//
+
+#include "daemon/JobQueue.h"
+
+#include <algorithm>
+
+using namespace limpet;
+using namespace limpet::daemon;
+
+JobQueue::Admission JobQueue::submit(JobPtr J) {
+  Admission Out;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stopped) {
+    Out.Reason = "shutting-down";
+    return Out;
+  }
+
+  // Per-tenant in-flight cap: queued + running.
+  int InFlight = 0;
+  auto RIt = Running.find(J->Spec.Tenant);
+  if (RIt != Running.end())
+    InFlight += RIt->second;
+  for (const JobPtr &Q : Queue)
+    if (Q->Spec.Tenant == J->Spec.Tenant)
+      ++InFlight;
+  if (InFlight >= L.PerTenantInFlight) {
+    Out.Reason = "tenant-cap";
+    return Out;
+  }
+
+  if (Queue.size() >= L.MaxQueued) {
+    // Shed the lowest-priority queued job — youngest among ties, so the
+    // oldest work of a given priority survives — but only for a strictly
+    // higher-priority submit. Equal priority waits its turn: reject.
+    auto Victim = Queue.end();
+    for (auto It = Queue.begin(); It != Queue.end(); ++It)
+      if (Victim == Queue.end() ||
+          (*It)->Spec.Priority < (*Victim)->Spec.Priority ||
+          ((*It)->Spec.Priority == (*Victim)->Spec.Priority &&
+           (*It)->Seq > (*Victim)->Seq))
+        Victim = It;
+    if (Victim == Queue.end() ||
+        (*Victim)->Spec.Priority >= J->Spec.Priority) {
+      Out.Reason = "queue-full";
+      return Out;
+    }
+    Out.Shed = *Victim;
+    Out.Shed->State.store(JobState::Shed, std::memory_order_release);
+    Queue.erase(Victim);
+    Sheds.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  J->Seq = NextSeq++;
+  Jobs[J->Spec.Id] = J;
+  Queue.push_back(std::move(J));
+  Out.Accepted = true;
+  Ready.notify_one();
+  return Out;
+}
+
+bool JobQueue::runnableLocked() const {
+  for (const JobPtr &Q : Queue) {
+    auto It = Running.find(Q->Spec.Tenant);
+    if (It == Running.end() || It->second < L.PerTenantRunning)
+      return true;
+  }
+  return false;
+}
+
+JobPtr JobQueue::pop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Ready.wait(Lock, [this] { return Stopped || runnableLocked(); });
+  if (Stopped)
+    return nullptr;
+
+  // Fair share: among runnable queued jobs, prefer the tenant with the
+  // fewest running jobs; within a tenant, higher priority first, then
+  // admission order.
+  auto Best = Queue.end();
+  int BestRunning = 0;
+  for (auto It = Queue.begin(); It != Queue.end(); ++It) {
+    auto RIt = Running.find((*It)->Spec.Tenant);
+    int TenantRunning = RIt == Running.end() ? 0 : RIt->second;
+    if (TenantRunning >= L.PerTenantRunning)
+      continue;
+    if (Best == Queue.end() || TenantRunning < BestRunning ||
+        (TenantRunning == BestRunning &&
+         ((*It)->Spec.Priority > (*Best)->Spec.Priority ||
+          ((*It)->Spec.Priority == (*Best)->Spec.Priority &&
+           (*It)->Seq < (*Best)->Seq)))) {
+      Best = It;
+      BestRunning = TenantRunning;
+    }
+  }
+  JobPtr J = *Best;
+  Queue.erase(Best);
+  ++Running[J->Spec.Tenant];
+  ++NumRunning;
+  J->State.store(JobState::Running, std::memory_order_release);
+  return J;
+}
+
+void JobQueue::finished(const JobPtr &J) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Running.find(J->Spec.Tenant);
+  if (It != Running.end() && It->second > 0 && --It->second == 0)
+    Running.erase(It);
+  if (NumRunning > 0)
+    --NumRunning;
+  // A freed tenant slot can make a previously blocked queued job
+  // runnable; wake every waiter so no runner idles next to ready work.
+  Ready.notify_all();
+}
+
+JobPtr JobQueue::removeQueued(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto It = Queue.begin(); It != Queue.end(); ++It)
+    if ((*It)->Spec.Id == Id) {
+      JobPtr J = *It;
+      Queue.erase(It);
+      return J;
+    }
+  return nullptr;
+}
+
+JobPtr JobQueue::find(uint64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Jobs.find(Id);
+  return It == Jobs.end() ? nullptr : It->second;
+}
+
+std::vector<JobPtr> JobQueue::all() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<JobPtr> Out;
+  Out.reserve(Jobs.size());
+  for (const auto &[Id, J] : Jobs)
+    Out.push_back(J);
+  return Out;
+}
+
+size_t JobQueue::queuedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
+}
+
+size_t JobQueue::runningCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return NumRunning;
+}
+
+void JobQueue::shutdown() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stopped = true;
+  Ready.notify_all();
+}

@@ -1,0 +1,150 @@
+//===- JobQueue.h - Admission control and fair-share dispatch ---*- C++-*-===//
+//
+// The daemon's bounded, multi-tenant job queue. Three policies live here
+// (docs/DAEMON.md spells out the contract):
+//
+//  * Admission control: the queue holds at most MaxQueued jobs and a
+//    tenant at most PerTenantInFlight (queued + running). A submit that
+//    would exceed either is rejected with a machine-readable reason —
+//    backpressure is explicit, never an unbounded buffer.
+//  * Load shedding: when the queue is full, a strictly-higher-priority
+//    submit evicts the lowest-priority queued job (youngest among ties)
+//    instead of being rejected. The shed job gets a terminal `shed`
+//    event and journal record; the count is surfaced in stats.
+//  * Fair-share dispatch: a runner picks the next job from the tenant
+//    with the fewest running jobs (priority, then FIFO within a tenant),
+//    and a tenant never holds more than PerTenantRunning runners — one
+//    tenant's burst cannot starve another's single job.
+//
+// The queue also owns the job table (id -> job, live and terminal), so
+// cancel/status lookups and the runner threads share one lock.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_DAEMON_JOBQUEUE_H
+#define LIMPET_DAEMON_JOBQUEUE_H
+
+#include "daemon/Protocol.h"
+#include "daemon/SpscRing.h"
+#include "sim/CancelToken.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace daemon {
+
+/// NDJSON event lines, produced by the job's runner thread and consumed
+/// by the submitting connection's writer thread.
+using EventRing = SpscRing<std::string>;
+
+/// One simulation job, from admission to terminal state. Shared between
+/// the queue, the runner executing it, and the connection streaming its
+/// events; the shared_ptr keeps it alive for status queries after it
+/// finishes.
+struct Job {
+  JobSpec Spec;
+  /// Lifecycle state; atomic so status reads never take the queue lock.
+  std::atomic<JobState> State{JobState::Queued};
+  /// Cooperative cancel/deadline token the Simulator polls.
+  sim::CancelToken Token;
+  /// Event stream to the submitting client; null for replayed jobs whose
+  /// client died with the previous daemon process.
+  std::shared_ptr<EventRing> Ring;
+  /// Re-admitted from the journal after a crash; the runner resumes it
+  /// from its newest valid checkpoint.
+  bool Replayed = false;
+  /// FIFO sequence within the queue (admission order).
+  uint64_t Seq = 0;
+
+  // Terminal outcome, written by the runner before the state flips.
+  int64_t StepsDone = 0;
+  double Checksum = 0;
+  int64_t Degraded = 0;
+  int64_t Frozen = 0;
+  std::string Error;
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+class JobQueue {
+public:
+  struct Limits {
+    size_t MaxQueued = 16;      ///< bounded queue depth
+    int PerTenantRunning = 2;   ///< concurrent runners per tenant
+    int PerTenantInFlight = 8;  ///< queued + running per tenant
+  };
+
+  /// Outcome of one admission decision.
+  struct Admission {
+    bool Accepted = false;
+    std::string Reason; ///< "queue-full" / "tenant-cap" when rejected
+    /// The queued job evicted to make room (journal + notify it).
+    JobPtr Shed;
+  };
+
+  // Note: no `Limits L = {}` default argument — a nested aggregate's
+  // default member initializers cannot be used in a default argument of
+  // the enclosing class ([class.mem]); the member initializer covers the
+  // default-constructed case instead.
+  JobQueue() = default;
+  explicit JobQueue(Limits Lim) : L(Lim) {}
+
+  const Limits &limits() const { return L; }
+
+  /// Admission control + shedding. On acceptance the job is queued and
+  /// registered in the job table.
+  Admission submit(JobPtr J);
+
+  /// Blocks until a job is runnable under the fair-share policy (or the
+  /// queue shuts down — nullptr). Marks the job Running.
+  JobPtr pop();
+
+  /// Runner notification that \p J reached a terminal state: releases its
+  /// tenant's running slot and wakes waiting runners.
+  void finished(const JobPtr &J);
+
+  /// Removes a still-queued job (the cancel verb); null when \p Id is not
+  /// queued (unknown, running, or already terminal).
+  JobPtr removeQueued(uint64_t Id);
+
+  /// Job-table lookup (any state); null for unknown ids.
+  JobPtr find(uint64_t Id) const;
+
+  /// Snapshot of every job in the table, by id ascending.
+  std::vector<JobPtr> all() const;
+
+  size_t queuedCount() const;
+  size_t runningCount() const;
+  uint64_t shedCount() const { return Sheds.load(); }
+
+  /// Wakes every blocked pop() with nullptr. Irreversible.
+  void shutdown();
+
+private:
+  /// Queued jobs runnable right now (tenant has a free running slot).
+  bool runnableLocked() const;
+
+  Limits L;
+  mutable std::mutex Mutex;
+  std::condition_variable Ready;
+  std::deque<JobPtr> Queue;
+  std::map<uint64_t, JobPtr> Jobs;
+  std::map<std::string, int> Running; ///< running jobs per tenant
+  size_t NumRunning = 0;
+  uint64_t NextSeq = 0;
+  std::atomic<uint64_t> Sheds{0};
+  bool Stopped = false;
+};
+
+} // namespace daemon
+} // namespace limpet
+
+#endif // LIMPET_DAEMON_JOBQUEUE_H

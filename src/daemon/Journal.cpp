@@ -1,0 +1,170 @@
+//===- Journal.cpp --------------------------------------------------------===//
+
+#include "daemon/Journal.h"
+
+#include "compiler/Artifact.h"
+#include "compiler/Serialize.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+using namespace limpet;
+using namespace limpet::daemon;
+
+/// "LJNL" little-endian: the per-record frame marker. Distinct from the
+/// checkpoint and artifact magics so a misdirected file is rejected at
+/// the first frame.
+static constexpr uint32_t kJournalMagic = 0x4C4E4A4C;
+
+static std::string frameRecord(Journal::Kind K, uint64_t JobId,
+                               std::string_view Payload) {
+  compiler::ByteWriter Body;
+  Body.u8(uint8_t(K));
+  Body.u64(JobId);
+  Body.str(Payload);
+  compiler::ByteWriter Frame;
+  Frame.u32(kJournalMagic);
+  Frame.u32(uint32_t(Body.Out.size()));
+  Frame.u64(compiler::fnv1a64(Body.Out));
+  Frame.Out += Body.Out;
+  return std::move(Frame.Out);
+}
+
+Status Journal::open() {
+#ifdef _WIN32
+  return Status::error("the job journal requires a POSIX filesystem");
+#else
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Fd >= 0)
+    return Status::success();
+  Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    return Status::error("cannot open journal '" + Path +
+                         "': " + std::strerror(errno));
+  return Status::success();
+#endif
+}
+
+void Journal::close() {
+#ifndef _WIN32
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+#endif
+}
+
+Status Journal::append(Kind K, uint64_t JobId, std::string_view Payload) {
+#ifdef _WIN32
+  (void)K;
+  (void)JobId;
+  (void)Payload;
+  return Status::error("the job journal requires a POSIX filesystem");
+#else
+  std::string Frame = frameRecord(K, JobId, Payload);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Fd < 0)
+    return Status::error("journal '" + Path + "' is not open");
+  // One write per record: O_APPEND makes the offset atomic, and a crash
+  // mid-write only ever truncates the tail record, which readAll drops.
+  const char *P = Frame.data();
+  size_t Left = Frame.size();
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error("journal append failed: " +
+                           std::string(std::strerror(errno)));
+    }
+    P += N;
+    Left -= size_t(N);
+  }
+  if (compiler::durableFsyncEnabled() && ::fsync(Fd) != 0)
+    return Status::error("journal fsync failed: " +
+                         std::string(std::strerror(errno)));
+  return Status::success();
+#endif
+}
+
+Expected<std::vector<Journal::Record>>
+Journal::readAll(const std::string &Path, bool *TruncatedOut) {
+  if (TruncatedOut)
+    *TruncatedOut = false;
+  std::string Bytes;
+  if (Status S = compiler::readFileBytes(Path, Bytes); !S) {
+    // A journal that does not exist yet (first daemon start) is simply
+    // empty; an unreadable one recovers to empty rather than refusing to
+    // start — the worst case is forgetting jobs, never corrupting state.
+    return std::vector<Record>();
+  }
+  std::vector<Record> Out;
+  size_t Pos = 0;
+  while (Pos < Bytes.size()) {
+    compiler::ByteReader Header(
+        std::string_view(Bytes).substr(Pos, 16));
+    uint32_t Magic = Header.u32();
+    uint32_t Len = Header.u32();
+    uint64_t Sum = Header.u64();
+    if (Header.failed() || Magic != kJournalMagic ||
+        Pos + 16 + Len > Bytes.size()) {
+      // Truncated or corrupt tail: everything before it is good.
+      if (TruncatedOut)
+        *TruncatedOut = true;
+      break;
+    }
+    std::string_view Body = std::string_view(Bytes).substr(Pos + 16, Len);
+    if (compiler::fnv1a64(Body) != Sum) {
+      if (TruncatedOut)
+        *TruncatedOut = true;
+      break;
+    }
+    compiler::ByteReader R(Body);
+    Record Rec;
+    Rec.K = Kind(R.u8());
+    Rec.JobId = R.u64();
+    Rec.Payload = R.str();
+    if (R.failed() || uint8_t(Rec.K) < uint8_t(Kind::Accepted) ||
+        uint8_t(Rec.K) > uint8_t(Kind::Shed)) {
+      if (TruncatedOut)
+        *TruncatedOut = true;
+      break;
+    }
+    Out.push_back(std::move(Rec));
+    Pos += 16 + Len;
+  }
+  return Out;
+}
+
+std::vector<Journal::Record>
+Journal::unfinished(const std::vector<Record> &All) {
+  std::vector<Record> Live;
+  for (const Record &R : All) {
+    if (R.K == Kind::Accepted) {
+      Live.push_back(R);
+      continue;
+    }
+    if (R.K == Kind::Started)
+      continue; // non-terminal
+    for (size_t I = 0; I != Live.size(); ++I)
+      if (Live[I].JobId == R.JobId) {
+        Live.erase(Live.begin() + long(I));
+        break;
+      }
+  }
+  return Live;
+}
+
+Status Journal::compact(const std::string &Path,
+                        const std::vector<Record> &Live) {
+  std::string Bytes;
+  for (const Record &R : Live)
+    Bytes += frameRecord(R.K, R.JobId, R.Payload);
+  return compiler::writeFileAtomic(Bytes, Path);
+}

@@ -1,0 +1,95 @@
+//===- Journal.h - Durable append-only job journal --------------*- C++-*-===//
+//
+// The daemon's source of truth for which jobs exist and how they ended.
+// Every admission appends an Accepted record carrying the full JobSpec
+// (as JSON, so journals stay greppable); every terminal transition
+// appends a Finished/Failed/Cancelled/Expired/Shed record. A job that
+// has an Accepted record but no terminal record when the daemon starts
+// was in flight when the previous process died — those are exactly the
+// jobs recovery replays, resuming each from its newest valid checkpoint.
+//
+// Records are individually framed and checksummed with the same
+// primitives as checkpoints and artifacts (compiler/Serialize): magic,
+// length, FNV-1a 64, payload. Reading tolerates a truncated tail — a
+// SIGKILL mid-append loses at most the record being written, never the
+// journal — and any corrupt record ends the scan at the last good
+// prefix. Appends fsync by default (compiler::durableFsyncEnabled, the
+// LIMPET_NO_FSYNC=1 escape hatch applies here too).
+//
+// Startup compaction rewrites the journal to just the live Accepted
+// records (atomic write + rename), so it stays proportional to the
+// in-flight job count rather than growing forever.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_DAEMON_JOURNAL_H
+#define LIMPET_DAEMON_JOURNAL_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace limpet {
+namespace daemon {
+
+class Journal {
+public:
+  enum class Kind : uint8_t {
+    Accepted = 1, ///< payload = JobSpec JSON
+    Started,
+    Finished,
+    Failed, ///< payload = error text
+    Cancelled,
+    Expired,
+    Shed,
+  };
+
+  struct Record {
+    Kind K = Kind::Accepted;
+    uint64_t JobId = 0;
+    std::string Payload;
+  };
+
+  explicit Journal(std::string Path) : Path(std::move(Path)) {}
+  ~Journal() { close(); }
+
+  const std::string &path() const { return Path; }
+
+  /// Opens (creating if absent) for appending.
+  Status open();
+  void close();
+
+  /// Appends one framed record and fsyncs it (unless LIMPET_NO_FSYNC=1).
+  /// Thread-safe: runner threads and the admission path append
+  /// concurrently.
+  Status append(Kind K, uint64_t JobId, std::string_view Payload = {});
+
+  /// Reads every intact record. A truncated or corrupt tail ends the scan
+  /// cleanly; \p TruncatedOut (optional) reports whether bytes were
+  /// dropped. A missing file is an empty journal, not an error.
+  static Expected<std::vector<Record>>
+  readAll(const std::string &Path, bool *TruncatedOut = nullptr);
+
+  /// Jobs in \p All that were accepted but never reached a terminal
+  /// record — the replay set, in admission order.
+  static std::vector<Record> unfinished(const std::vector<Record> &All);
+
+  /// Atomically rewrites \p Path to contain exactly \p Live (used at
+  /// startup so the journal stays bounded by in-flight jobs).
+  static Status compact(const std::string &Path,
+                        const std::vector<Record> &Live);
+
+private:
+  std::string Path;
+  std::mutex Mutex;
+  int Fd = -1;
+};
+
+} // namespace daemon
+} // namespace limpet
+
+#endif // LIMPET_DAEMON_JOURNAL_H

@@ -1,0 +1,102 @@
+//===- Server.h - limpetd socket server and job dispatch --------*- C++-*-===//
+//
+// The long-lived daemon: a Unix-domain-socket listener speaking
+// newline-delimited JSON (daemon/Protocol), a bounded multi-tenant job
+// queue (daemon/JobQueue), a pool of runner threads executing jobs
+// through daemon/JobRunner, and the durable journal (daemon/Journal)
+// that makes accepted work survive a SIGKILL.
+//
+// Threading model:
+//  * one accept loop (serve(), the caller's thread), polling so shutdown
+//    signals are honored within ~200 ms;
+//  * one reader thread per connection, parsing requests and writing
+//    immediate responses;
+//  * one writer thread per connection, draining the SPSC event rings of
+//    the jobs that connection submitted — the only place job events
+//    touch a socket, so a runner thread never blocks on a client;
+//  * N runner threads multiplexing jobs over the shared ThreadPool.
+//
+// Startup recovery: read the journal (truncated-tail tolerant), re-admit
+// every accepted-but-unfinished job through the normal admission path
+// with Replayed set — the runner resumes each from its newest valid
+// checkpoint — and compact the journal down to the live set.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_DAEMON_SERVER_H
+#define LIMPET_DAEMON_SERVER_H
+
+#include "daemon/JobQueue.h"
+#include "daemon/JobRunner.h"
+#include "daemon/Journal.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace limpet {
+namespace daemon {
+
+class Server {
+public:
+  struct Options {
+    std::string SocketPath;
+    std::string StateDir;
+    unsigned Runners = 2;    ///< concurrent job runner threads
+    unsigned SimThreads = 2; ///< stepping threads per job
+    JobQueue::Limits Limits;
+    int64_t DefaultCheckpointEvery = 10000;
+  };
+
+  explicit Server(Options O);
+  ~Server();
+
+  /// Journal recovery + replay admission, socket bind/listen, runner
+  /// thread start. Recoverable errors (socket in use, unwritable state
+  /// dir) come back as Status; nothing throws.
+  Status start();
+
+  /// Accept loop. Returns (0) when a shutdown signal arrived or a client
+  /// sent the shutdown verb; all runners and connections are joined and
+  /// the socket is unlinked before it returns.
+  int serve();
+
+  /// Replayed-job count from the last start() (for logs and tests).
+  size_t replayedJobs() const { return Replayed; }
+
+  JobQueue &queue() { return Queue; }
+  Journal &journal() { return Jrnl; }
+
+private:
+  struct Conn;
+
+  void readerLoop(std::shared_ptr<Conn> C);
+  void writerLoop(std::shared_ptr<Conn> C);
+  void runnerLoop();
+  void dispatch(Conn &C, const std::string &Line);
+  void handleSubmit(Conn &C, const JsonValue &Body);
+  void handleCancel(Conn &C, const JsonValue &Body);
+  void handleStatus(Conn &C, const JsonValue &Body);
+  void handleStats(Conn &C, const JsonValue &Body);
+  Status recover();
+
+  Options O;
+  Journal Jrnl;
+  JobQueue Queue;
+  JobRunner Runner;
+  std::atomic<uint64_t> NextId{1};
+  std::atomic<bool> Stopping{false};
+  int ListenFd = -1;
+  size_t Replayed = 0;
+  std::vector<std::thread> Runners;
+  std::vector<std::thread> Readers;
+  std::mutex ReadersMutex;
+};
+
+} // namespace daemon
+} // namespace limpet
+
+#endif // LIMPET_DAEMON_SERVER_H

@@ -1,0 +1,101 @@
+//===- SpscRing.h - Lock-free single-producer event ring --------*- C++-*-===//
+//
+// The decoupling buffer between a job's runner thread (producer) and the
+// connection writer thread that streams its NDJSON events (consumer).
+// The hot stepping path must never take the socket lock — the Simulator's
+// progress callback fires between steps, and a slow or stalled client
+// must cost the simulation nothing. So:
+//
+//  * tryPush never blocks: a full ring drops the event and counts the
+//    drop (progress events are samples; losing one is harmless and the
+//    count is surfaced in job status).
+//  * close() is the consumer's disconnect signal: a closed ring turns
+//    every subsequent push into a counted drop, so a job whose client
+//    went away keeps running at full speed and its terminal state still
+//    lands in the journal and result file.
+//
+// Strictly single-producer/single-consumer: one runner thread owns the
+// tail, one writer thread owns the head. The daemon guarantees this by
+// construction (one ring per job, one runner per job, one writer per
+// connection).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_DAEMON_SPSCRING_H
+#define LIMPET_DAEMON_SPSCRING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace limpet {
+namespace daemon {
+
+template <typename T> class SpscRing {
+public:
+  /// \p Capacity is rounded up to a power of two (masking beats modulo in
+  /// the push/pop index math).
+  explicit SpscRing(size_t Capacity = 256) {
+    size_t N = 1;
+    while (N < Capacity)
+      N <<= 1;
+    Slots.resize(N);
+    Mask = N - 1;
+  }
+
+  SpscRing(const SpscRing &) = delete;
+  SpscRing &operator=(const SpscRing &) = delete;
+
+  /// Producer side. False (and a counted drop) when the ring is full or
+  /// the consumer closed it.
+  bool tryPush(T V) {
+    if (Closed.load(std::memory_order_acquire)) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    size_t T_ = Tail.load(std::memory_order_relaxed);
+    size_t H = Head.load(std::memory_order_acquire);
+    if (T_ - H > Mask) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Slots[T_ & Mask] = std::move(V);
+    Tail.store(T_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool tryPop(T &Out) {
+    size_t H = Head.load(std::memory_order_relaxed);
+    size_t T_ = Tail.load(std::memory_order_acquire);
+    if (H == T_)
+      return false;
+    Out = std::move(Slots[H & Mask]);
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer disconnect: future pushes become counted drops. Idempotent.
+  void close() { Closed.store(true, std::memory_order_release); }
+  bool closed() const { return Closed.load(std::memory_order_acquire); }
+
+  /// Events lost to a full or closed ring.
+  uint64_t dropped() const { return Dropped.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return Mask + 1; }
+
+private:
+  std::vector<T> Slots;
+  size_t Mask = 0;
+  std::atomic<size_t> Head{0}; ///< consumer cursor
+  std::atomic<size_t> Tail{0}; ///< producer cursor
+  std::atomic<bool> Closed{false};
+  std::atomic<uint64_t> Dropped{0};
+};
+
+} // namespace daemon
+} // namespace limpet
+
+#endif // LIMPET_DAEMON_SPSCRING_H

@@ -102,6 +102,11 @@ void ThreadPool::parallelFor(int64_t Begin, int64_t End, unsigned NumThreads,
   Dispatches.add(1);
   Chunks.add(NumThreads);
 
+  // One fork-join at a time: the task slot is not reentrant, and limpetd
+  // runs many Simulators against this pool concurrently. Held across the
+  // barrier so a second caller never observes a half-finished dispatch.
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
+
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Current.Fn = &Fn;

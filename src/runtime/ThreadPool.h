@@ -26,6 +26,14 @@ namespace runtime {
 using RangeFn = std::function<void(int64_t Begin, int64_t End)>;
 
 /// Persistent worker pool with a fork-join parallelFor.
+///
+/// parallelFor may be called from any thread, including concurrently:
+/// the pool holds a single task slot, so concurrent fork-joins serialize
+/// on a submission mutex (each completes its barrier before the next
+/// dispatches). Within one invocation the static chunk-to-worker mapping
+/// is unchanged, so the Scheduler's persistent shard-to-thread assignment
+/// still holds per caller. This is what lets limpetd multiplex many
+/// concurrent Simulators over the one shared pool.
 class ThreadPool {
 public:
   /// Creates a pool able to run up to \p MaxThreads-way parallel loops
@@ -61,6 +69,9 @@ private:
   void workerMain(unsigned WorkerIndex);
 
   std::vector<std::thread> Workers;
+  /// Serializes whole fork-joins from concurrent callers; the inner Mutex
+  /// only guards the task slot within one dispatch.
+  std::mutex SubmitMutex;
   std::mutex Mutex;
   std::condition_variable WakeWorkers;
   std::condition_variable Done;

@@ -4,9 +4,9 @@
 
 #include "compiler/Artifact.h"
 #include "compiler/Serialize.h"
+#include "support/Signals.h"
 
 #include <algorithm>
-#include <csignal>
 #include <cstdio>
 #include <filesystem>
 
@@ -347,19 +347,14 @@ CheckpointStore::loadNewestValid(std::string *PathOut,
 // Graceful shutdown
 //===----------------------------------------------------------------------===//
 
-namespace {
-volatile std::sig_atomic_t ShutdownFlag = 0;
+// Thin forwarders: all signal disposition lives in support/Signals so
+// there is exactly one installer (sigaction with save/restore) in the
+// process. Kept here so existing sim:: callers and tests are unaffected.
 
-extern "C" void limpetShutdownHandler(int) { ShutdownFlag = 1; }
-} // namespace
+void sim::installShutdownHandlers() { support::installShutdownHandlers(); }
 
-void sim::installShutdownHandlers() {
-  std::signal(SIGINT, limpetShutdownHandler);
-  std::signal(SIGTERM, limpetShutdownHandler);
-}
+bool sim::shutdownRequested() { return support::shutdownRequested(); }
 
-bool sim::shutdownRequested() { return ShutdownFlag != 0; }
+void sim::requestShutdown() { support::requestShutdown(); }
 
-void sim::requestShutdown() { ShutdownFlag = 1; }
-
-void sim::clearShutdownRequest() { ShutdownFlag = 0; }
+void sim::clearShutdownRequest() { support::clearShutdownRequest(); }

@@ -149,6 +149,9 @@ private:
 
 /// Installs SIGINT/SIGTERM handlers that set the process-wide shutdown
 /// flag (idempotent). The Simulator polls the flag at step boundaries.
+/// Forwards to support/Signals (the one place signal disposition is
+/// touched); embedding hosts can restore their own handlers with
+/// support::restoreShutdownHandlers or support::ScopedSignalHandlers.
 void installShutdownHandlers();
 
 /// True once a shutdown signal (or requestShutdown) arrived.

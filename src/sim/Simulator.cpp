@@ -46,6 +46,8 @@ SimOptions sanitizeOptions(SimOptions Opts) {
     Opts.Checkpoint.EveryN = 0;
   if (Opts.Checkpoint.Retain < 1)
     Opts.Checkpoint.Retain = 1;
+  if (Opts.ProgressEvery < 0)
+    Opts.ProgressEvery = 0;
   return Opts;
 }
 } // namespace
@@ -137,6 +139,7 @@ void Simulator::run() {
   telemetry::RuntimeCounters RtBefore = telemetry::runtimeCounters();
   auto T0 = Clock::now();
   Interrupted = false;
+  LastStop = StopReason::None;
   if (!Durable && !Opts.Checkpoint.Dir.empty()) {
     Durable = std::make_unique<CheckpointStore>(Opts.Checkpoint.Dir,
                                                 Opts.Checkpoint.Retain);
@@ -152,6 +155,8 @@ void Simulator::run() {
   // had, so it ends on the same step — the precondition for the resumed
   // final state being bit-identical to the uninterrupted one.
   int64_t Target = Resumed ? Opts.NumSteps : StepCount + Opts.NumSteps;
+  RunTarget = Target;
+  LastProgressStep = StepCount;
   if (!Opts.Guard.Enabled) {
     while (StepCount < Target) {
       step();
@@ -221,15 +226,31 @@ void Simulator::runGuarded(int64_t Target) {
 }
 
 bool Simulator::durableTick() {
-  if (shutdownRequested()) {
+  // Stop sources in precedence order: the process-wide shutdown flag
+  // (SIGINT/SIGTERM — the whole process is going away), then this run's
+  // cancel token (explicit cancel or wall-clock deadline). All of them
+  // stop at this boundary — after the scheduler's shard barrier — with
+  // one final durable checkpoint, so every early stop is resumable.
+  StopReason Stop = StopReason::None;
+  if (shutdownRequested())
+    Stop = StopReason::Shutdown;
+  else if (Opts.Cancel)
+    Stop = Opts.Cancel->stopRequested();
+  if (Stop != StopReason::None) {
     if (Durable && StepCount > LastDurableStep)
       writeDurableCheckpoint();
     Interrupted = true;
+    LastStop = Stop;
     return true;
   }
   if (Durable && Opts.Checkpoint.EveryN > 0 &&
       StepCount - LastDurableStep >= Opts.Checkpoint.EveryN)
     writeDurableCheckpoint();
+  if (Opts.ProgressEvery > 0 && Opts.Progress &&
+      StepCount - LastProgressStep >= Opts.ProgressEvery) {
+    LastProgressStep = StepCount;
+    Opts.Progress(StepCount, RunTarget);
+  }
   return false;
 }
 

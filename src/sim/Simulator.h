@@ -23,6 +23,7 @@
 #define LIMPET_SIM_SIMULATOR_H
 
 #include "exec/CompiledModel.h"
+#include "sim/CancelToken.h"
 #include "sim/Checkpoint.h"
 #include "sim/Health.h"
 #include "sim/Scheduler.h"
@@ -104,6 +105,21 @@ struct SimOptions {
   /// shutdown). Independent of Guard: the in-memory guard-rail
   /// checkpoint is for rollback, this one survives the process.
   CheckpointOptions Checkpoint;
+
+  /// Optional cooperative cancel token (explicit cancel / wall-clock
+  /// deadline), polled at the same step/window boundaries as the
+  /// shutdown flag. Not owned; must outlive run(). A stop through the
+  /// token writes the same final durable checkpoint as a shutdown, so
+  /// the run stays resumable.
+  const CancelToken *Cancel = nullptr;
+
+  /// Progress streaming: when ProgressEvery > 0, Progress(stepsDone,
+  /// stepTarget) is invoked at step/window boundaries every
+  /// ProgressEvery steps (after the scheduler's shard barrier — never
+  /// from inside the stepping hot path). Used by limpetd to stream
+  /// NDJSON progress events.
+  int64_t ProgressEvery = 0;
+  std::function<void(int64_t StepsDone, int64_t StepTarget)> Progress;
 };
 
 /// Drives one compiled model over a population of cells.
@@ -139,9 +155,13 @@ public:
   /// captured \p C.
   Status resumeFrom(const CheckpointData &C);
 
-  /// True when the last run() stopped early on a shutdown request (after
-  /// writing its final checkpoint).
+  /// True when the last run() stopped early on a shutdown request,
+  /// cancellation or deadline expiry (after writing its final
+  /// checkpoint).
   bool interrupted() const { return Interrupted; }
+
+  /// Why the last run() stopped early (None when it ran to the target).
+  StopReason stopReason() const { return LastStop; }
 
   double time() const { return T; }
   int64_t stepsDone() const { return StepCount; }
@@ -303,6 +323,10 @@ private:
   int64_t RunStartStep = 0;
   bool Resumed = false;
   bool Interrupted = false;
+  StopReason LastStop = StopReason::None;
+  /// Step target of the run() in flight (for progress callbacks).
+  int64_t RunTarget = 0;
+  int64_t LastProgressStep = 0;
 };
 
 } // namespace sim

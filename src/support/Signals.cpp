@@ -1,0 +1,98 @@
+//===- Signals.cpp --------------------------------------------------------===//
+
+#include "support/Signals.h"
+
+#include <csignal>
+
+using namespace limpet;
+
+namespace {
+
+// The only state a handler touches. volatile sig_atomic_t is the one type
+// the standard guarantees is safe to write from a signal handler.
+volatile std::sig_atomic_t ShutdownFlag = 0;
+
+extern "C" void limpetShutdownHandler(int) { ShutdownFlag = 1; }
+
+#ifndef _WIN32
+struct SavedAction {
+  struct sigaction Action = {};
+  bool Saved = false;
+};
+SavedAction SavedInt, SavedTerm, SavedPipe;
+bool ShutdownInstalled = false;
+bool PipeIgnored = false;
+
+void installOne(int Sig, void (*Handler)(int), SavedAction &Saved) {
+  struct sigaction New = {};
+  New.sa_handler = Handler;
+  sigemptyset(&New.sa_mask);
+  // No SA_RESTART: blocking accept/read in the daemon must return with
+  // EINTR so its loops notice the shutdown flag promptly.
+  New.sa_flags = 0;
+  Saved.Saved = sigaction(Sig, &New, &Saved.Action) == 0;
+}
+
+void restoreOne(int Sig, SavedAction &Saved) {
+  if (Saved.Saved)
+    sigaction(Sig, &Saved.Action, nullptr);
+  Saved.Saved = false;
+}
+#else
+bool ShutdownInstalled = false;
+#endif
+
+} // namespace
+
+void support::installShutdownHandlers() {
+  if (ShutdownInstalled)
+    return;
+  ShutdownInstalled = true;
+#ifndef _WIN32
+  installOne(SIGINT, limpetShutdownHandler, SavedInt);
+  installOne(SIGTERM, limpetShutdownHandler, SavedTerm);
+#else
+  std::signal(SIGINT, limpetShutdownHandler);
+  std::signal(SIGTERM, limpetShutdownHandler);
+#endif
+}
+
+void support::restoreShutdownHandlers() {
+  if (!ShutdownInstalled)
+    return;
+  ShutdownInstalled = false;
+#ifndef _WIN32
+  restoreOne(SIGINT, SavedInt);
+  restoreOne(SIGTERM, SavedTerm);
+#else
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+#endif
+}
+
+bool support::shutdownRequested() { return ShutdownFlag != 0; }
+
+void support::requestShutdown() { ShutdownFlag = 1; }
+
+void support::clearShutdownRequest() { ShutdownFlag = 0; }
+
+void support::ignoreSigPipe() {
+#ifndef _WIN32
+  if (PipeIgnored)
+    return;
+  PipeIgnored = true;
+  struct sigaction New = {};
+  New.sa_handler = SIG_IGN;
+  sigemptyset(&New.sa_mask);
+  SavedPipe.Saved = sigaction(SIGPIPE, &New, &SavedPipe.Action) == 0;
+#endif
+}
+
+void support::restoreSigPipe() {
+#ifndef _WIN32
+  if (!PipeIgnored)
+    return;
+  PipeIgnored = false;
+  restoreOne(SIGPIPE, SavedPipe);
+#endif
+}

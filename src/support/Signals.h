@@ -1,0 +1,82 @@
+//===- Signals.h - Consolidated process signal handling ---------*- C++-*-===//
+//
+// The one place the repo touches process signal disposition. Anything
+// else (tools, the daemon, the Simulator's shutdown poll) goes through
+// this module instead of calling std::signal directly, so that:
+//
+//  * handlers only ever perform async-signal-safe work (set a
+//    volatile sig_atomic_t flag — no allocation, no locks, no stdio);
+//  * the handler installed before us is saved and restored on teardown,
+//    so an embedding host (openCARP linking limpet as a library) gets its
+//    own SIGINT/SIGTERM behavior back when the scoped guard dies;
+//  * SIGPIPE can be ignored for the daemon's socket writes (a client
+//    hanging up mid-stream must surface as an EPIPE write error on that
+//    connection, never kill the whole process) with the same
+//    save/restore discipline.
+//
+// SIGCHLD needs no wiring today — the daemon runs jobs on threads, not
+// forked children — but if a subprocess-per-job isolation mode is added,
+// its reaper belongs here too (see docs/DAEMON.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SUPPORT_SIGNALS_H
+#define LIMPET_SUPPORT_SIGNALS_H
+
+namespace limpet {
+namespace support {
+
+/// Installs SIGINT/SIGTERM handlers that set the process-wide shutdown
+/// flag (idempotent; the second call is a no-op). The previous handlers
+/// are saved for restoreShutdownHandlers.
+void installShutdownHandlers();
+
+/// Restores the SIGINT/SIGTERM dispositions saved by the matching
+/// installShutdownHandlers call. No-op when nothing was installed.
+void restoreShutdownHandlers();
+
+/// True once a shutdown signal (or requestShutdown) arrived.
+bool shutdownRequested();
+
+/// Sets the shutdown flag from code — deterministic kill-at-step in tests
+/// and the fault-injection harness.
+void requestShutdown();
+
+/// Clears the flag (between runs in one process).
+void clearShutdownRequest();
+
+/// Sets SIGPIPE to SIG_IGN (daemon socket writes), saving the previous
+/// disposition; idempotent.
+void ignoreSigPipe();
+
+/// Restores the SIGPIPE disposition saved by ignoreSigPipe.
+void restoreSigPipe();
+
+/// RAII signal setup for a process that wants graceful shutdown (and,
+/// optionally, socket-safe writes) for a bounded scope: tools install one
+/// at the top of main, and an embedding host that creates/destroys
+/// limpet components gets its own handlers back automatically.
+class ScopedSignalHandlers {
+public:
+  explicit ScopedSignalHandlers(bool IgnorePipe = false)
+      : Pipe(IgnorePipe) {
+    installShutdownHandlers();
+    if (Pipe)
+      ignoreSigPipe();
+  }
+  ScopedSignalHandlers(const ScopedSignalHandlers &) = delete;
+  ScopedSignalHandlers &operator=(const ScopedSignalHandlers &) = delete;
+  ~ScopedSignalHandlers() {
+    if (Pipe)
+      restoreSigPipe();
+    restoreShutdownHandlers();
+  }
+
+private:
+  bool Pipe;
+};
+
+} // namespace support
+} // namespace limpet
+
+#endif // LIMPET_SUPPORT_SIGNALS_H

@@ -128,6 +128,23 @@ std::vector<std::pair<std::string, uint64_t>> Registry::snapshot() const {
   return Out;
 }
 
+std::vector<std::pair<std::string, uint64_t>>
+Registry::snapshot(std::string_view Prefix) const {
+  Impl &I = impl();
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  {
+    std::lock_guard<std::mutex> Lock(I.Mutex);
+    // The index is sorted, so the matching range is contiguous: walk from
+    // lower_bound(Prefix) until the prefix stops matching.
+    for (auto It = I.Index.lower_bound(Prefix); It != I.Index.end(); ++It) {
+      if (It->first.compare(0, Prefix.size(), Prefix) != 0)
+        break;
+      Out.emplace_back(It->first, It->second->get());
+    }
+  }
+  return Out;
+}
+
 void Registry::resetAll() {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);

@@ -131,6 +131,12 @@ public:
   /// All (path, value) pairs, sorted by path.
   std::vector<std::pair<std::string, uint64_t>> snapshot() const;
 
+  /// The (path, value) pairs whose path starts with \p Prefix, sorted by
+  /// path. A prefix like "daemon.tenant.alice." scopes the view to one
+  /// tenant's counters without copying the whole registry.
+  std::vector<std::pair<std::string, uint64_t>>
+  snapshot(std::string_view Prefix) const;
+
   /// Zeroes every registered counter (tests and repeated tool runs).
   void resetAll();
 
@@ -218,6 +224,10 @@ public:
   Counter &counter(std::string_view P) { return telemetry::counter(P); }
   uint64_t value(std::string_view) const { return 0; }
   std::vector<std::pair<std::string, uint64_t>> snapshot() const {
+    return {};
+  }
+  std::vector<std::pair<std::string, uint64_t>>
+  snapshot(std::string_view) const {
     return {};
   }
   void resetAll() {}

@@ -1,0 +1,490 @@
+//===- DaemonTests.cpp - limpetd building-block unit tests ----------------===//
+//
+// The daemon's pieces in isolation: the NDJSON value type, the SPSC
+// event ring, admission control / shedding / fair-share dispatch in the
+// JobQueue, the durable job journal, and JobSpec (de)serialization.
+// The end-to-end daemon (socket, runners, crash replay) is covered by
+// scripts/daemon_smoke.sh and the faultinject daemon-* scenarios.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/JobQueue.h"
+#include "daemon/Journal.h"
+#include "daemon/Json.h"
+#include "daemon/Protocol.h"
+#include "daemon/SpscRing.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace limpet;
+using namespace limpet::daemon;
+
+namespace {
+
+/// A unique, empty temp directory per test.
+std::string freshDir(const char *Tag) {
+  std::string Dir = ::testing::TempDir() + "limpet-daemon-" + Tag + "-" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonJson, RendersCompactSingleLine) {
+  JsonValue J = JsonValue::object();
+  J.set("verb", JsonValue::string("submit"));
+  J.set("steps", JsonValue::number(int64_t(2000)));
+  J.set("dt", JsonValue::number(0.01));
+  J.set("guard", JsonValue::boolean(false));
+  J.set("note", JsonValue::string("line1\nline2\ttab"));
+  std::string S = J.str();
+  // NDJSON framing: control characters are escaped, never raw.
+  EXPECT_EQ(S.find('\n'), std::string::npos);
+  EXPECT_EQ(S.find('\t'), std::string::npos);
+  EXPECT_NE(S.find("\\n"), std::string::npos);
+  EXPECT_NE(S.find("\"steps\":2000"), std::string::npos);
+  EXPECT_NE(S.find("\"guard\":false"), std::string::npos);
+}
+
+TEST(DaemonJson, ParseRoundTripsRenderedValues) {
+  JsonValue J = JsonValue::object();
+  J.set("model", JsonValue::string("O'Hara \"quoted\" \\ slash"));
+  J.set("cells", JsonValue::number(int64_t(1 << 20)));
+  J.set("dt", JsonValue::number(0.005));
+  J.set("nil", JsonValue::null());
+  JsonValue Arr = JsonValue::array();
+  Arr.push(JsonValue::number(int64_t(1)));
+  Arr.push(JsonValue::boolean(true));
+  Arr.push(JsonValue::string(""));
+  J.set("mixed", std::move(Arr));
+
+  Expected<JsonValue> P = JsonValue::parse(J.str());
+  ASSERT_TRUE(bool(P)) << P.status().message();
+  EXPECT_EQ(P->str(), J.str());
+  EXPECT_EQ(P->stringOr("model", ""), "O'Hara \"quoted\" \\ slash");
+  EXPECT_EQ(P->intOr("cells", 0), 1 << 20);
+  EXPECT_DOUBLE_EQ(P->numberOr("dt", 0), 0.005);
+  ASSERT_NE(P->find("nil"), nullptr);
+  EXPECT_TRUE(P->find("nil")->isNull());
+  ASSERT_NE(P->find("mixed"), nullptr);
+  EXPECT_EQ(P->find("mixed")->items().size(), 3u);
+}
+
+TEST(DaemonJson, TypedAccessorsDefaultOnAbsentOrWrongType) {
+  Expected<JsonValue> P = JsonValue::parse("{\"a\":\"text\",\"b\":3}");
+  ASSERT_TRUE(bool(P));
+  EXPECT_EQ(P->intOr("a", 7), 7);        // wrong type
+  EXPECT_EQ(P->intOr("missing", 9), 9);  // absent
+  EXPECT_EQ(P->stringOr("b", "d"), "d"); // wrong type
+  EXPECT_EQ(P->intOr("b", 0), 3);
+}
+
+TEST(DaemonJson, MalformedInputIsARecoverableError) {
+  // Client bytes are hostile: none of these may crash or parse.
+  for (const char *Bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\":1}trailing", "\"unterminated",
+        "{\"a\" 1}", "nul", "[1,2", "{\"\\u12\":1}"}) {
+    Expected<JsonValue> P = JsonValue::parse(Bad);
+    EXPECT_FALSE(bool(P)) << "accepted: " << Bad;
+  }
+  // Deeply nested input hits the depth limit, not the stack.
+  std::string Deep(100000, '[');
+  EXPECT_FALSE(bool(JsonValue::parse(Deep)));
+}
+
+//===----------------------------------------------------------------------===//
+// SpscRing
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonSpscRing, PushPopFifoAndFullDrops) {
+  SpscRing<int> R(4); // rounds to capacity 4
+  EXPECT_EQ(R.capacity(), 4u);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_TRUE(R.tryPush(I));
+  EXPECT_FALSE(R.tryPush(99)); // full: dropped, counted, not blocking
+  EXPECT_EQ(R.dropped(), 1u);
+  int V = -1;
+  for (int I = 0; I != 4; ++I) {
+    ASSERT_TRUE(R.tryPop(V));
+    EXPECT_EQ(V, I);
+  }
+  EXPECT_FALSE(R.tryPop(V)); // empty
+  EXPECT_TRUE(R.tryPush(5)); // space reclaimed
+}
+
+TEST(DaemonSpscRing, CloseTurnsPushesIntoCountedDrops) {
+  SpscRing<std::string> R(8);
+  EXPECT_TRUE(R.tryPush("before"));
+  R.close();
+  EXPECT_TRUE(R.closed());
+  EXPECT_FALSE(R.tryPush("after"));
+  EXPECT_FALSE(R.tryPush("after2"));
+  EXPECT_EQ(R.dropped(), 2u);
+  // Already-buffered events stay poppable after close.
+  std::string V;
+  EXPECT_TRUE(R.tryPop(V));
+  EXPECT_EQ(V, "before");
+}
+
+TEST(DaemonSpscRing, ConcurrentProducerConsumerKeepsStrictFifo) {
+  SpscRing<uint64_t> R(64);
+  constexpr uint64_t N = 50000;
+  std::thread Producer([&] {
+    for (uint64_t I = 0; I != N; ++I)
+      while (!R.tryPush(I)) // paced producer: retry instead of dropping
+        std::this_thread::yield();
+  });
+  uint64_t Expect = 0, V = 0;
+  while (Expect != N) {
+    if (R.tryPop(V)) {
+      ASSERT_EQ(V, Expect); // strict FIFO across threads, nothing lost
+      ++Expect;
+    }
+  }
+  Producer.join();
+  EXPECT_FALSE(R.tryPop(V));
+}
+
+//===----------------------------------------------------------------------===//
+// JobQueue
+//===----------------------------------------------------------------------===//
+
+JobPtr mkJob(uint64_t Id, const char *Tenant = "default", int Priority = 0) {
+  auto J = std::make_shared<Job>();
+  J->Spec.Id = Id;
+  J->Spec.Tenant = Tenant;
+  J->Spec.Priority = Priority;
+  J->Spec.Model = "HodgkinHuxley";
+  return J;
+}
+
+TEST(DaemonJobQueue, RejectsBeyondBoundedDepthWithReason) {
+  JobQueue::Limits Lim;
+  Lim.MaxQueued = 2;
+  Lim.PerTenantRunning = 2;
+  Lim.PerTenantInFlight = 8;
+  JobQueue Q(Lim);
+  EXPECT_TRUE(Q.submit(mkJob(1, "a")).Accepted);
+  EXPECT_TRUE(Q.submit(mkJob(2, "b")).Accepted);
+  JobQueue::Admission A = Q.submit(mkJob(3, "c"));
+  EXPECT_FALSE(A.Accepted);
+  EXPECT_EQ(A.Reason, "queue-full");
+  EXPECT_EQ(Q.queuedCount(), 2u);
+  EXPECT_EQ(Q.find(3), nullptr); // rejected jobs never enter the table
+}
+
+TEST(DaemonJobQueue, PerTenantInFlightCapFiresBeforeQueueDepth) {
+  JobQueue::Limits Lim;
+  Lim.MaxQueued = 8;
+  Lim.PerTenantInFlight = 2;
+  JobQueue Q(Lim);
+  EXPECT_TRUE(Q.submit(mkJob(1, "a")).Accepted);
+  EXPECT_TRUE(Q.submit(mkJob(2, "a")).Accepted);
+  JobQueue::Admission A = Q.submit(mkJob(3, "a", /*Priority=*/5));
+  EXPECT_FALSE(A.Accepted);
+  EXPECT_EQ(A.Reason, "tenant-cap"); // even at high priority
+  EXPECT_TRUE(Q.submit(mkJob(4, "b")).Accepted);
+}
+
+TEST(DaemonJobQueue, HigherPrioritySubmitShedsYoungestLowestPriority) {
+  JobQueue::Limits Lim;
+  Lim.MaxQueued = 3;
+  JobQueue Q(Lim);
+  EXPECT_TRUE(Q.submit(mkJob(1, "a", 1)).Accepted);
+  EXPECT_TRUE(Q.submit(mkJob(2, "a", 0)).Accepted);
+  EXPECT_TRUE(Q.submit(mkJob(3, "b", 0)).Accepted); // youngest at prio 0
+
+  // Priority equal to the would-be victim's never evicts.
+  JobQueue::Admission A = Q.submit(mkJob(4, "b", 0));
+  EXPECT_FALSE(A.Accepted);
+  EXPECT_EQ(A.Reason, "queue-full");
+  EXPECT_EQ(Q.shedCount(), 0u);
+
+  // Strictly higher priority evicts the youngest lowest-priority job.
+  A = Q.submit(mkJob(5, "b", 2));
+  ASSERT_TRUE(A.Accepted);
+  ASSERT_NE(A.Shed, nullptr);
+  EXPECT_EQ(A.Shed->Spec.Id, 3u);
+  EXPECT_EQ(A.Shed->State.load(), JobState::Shed);
+  EXPECT_EQ(Q.shedCount(), 1u);
+  EXPECT_EQ(Q.queuedCount(), 3u);
+  // The shed job stays findable (terminal) for status queries.
+  ASSERT_NE(Q.find(3), nullptr);
+  EXPECT_EQ(Q.find(3)->State.load(), JobState::Shed);
+}
+
+TEST(DaemonJobQueue, FairShareDispatchAcrossTenants) {
+  JobQueue::Limits Lim;
+  Lim.MaxQueued = 8;
+  Lim.PerTenantRunning = 2;
+  JobQueue Q(Lim);
+  // Tenant a bursts four jobs before tenant b submits one.
+  for (uint64_t I = 1; I <= 4; ++I)
+    EXPECT_TRUE(Q.submit(mkJob(I, "a")).Accepted);
+  EXPECT_TRUE(Q.submit(mkJob(5, "b")).Accepted);
+
+  // First pop is a's FIFO head; second prefers b (fewer running).
+  JobPtr P1 = Q.pop();
+  ASSERT_TRUE(P1);
+  EXPECT_EQ(P1->Spec.Id, 1u);
+  JobPtr P2 = Q.pop();
+  ASSERT_TRUE(P2);
+  EXPECT_EQ(P2->Spec.Tenant, "b");
+  EXPECT_EQ(P2->State.load(), JobState::Running);
+
+  // a can run one more (cap 2)...
+  JobPtr P3 = Q.pop();
+  ASSERT_TRUE(P3);
+  EXPECT_EQ(P3->Spec.Id, 2u);
+  EXPECT_EQ(Q.runningCount(), 3u);
+
+  // ...then a is capped; a freed slot unblocks the next a job.
+  Q.finished(P1);
+  JobPtr P4 = Q.pop();
+  ASSERT_TRUE(P4);
+  EXPECT_EQ(P4->Spec.Id, 3u);
+}
+
+TEST(DaemonJobQueue, PriorityBeatsFifoWithinATenant) {
+  JobQueue Q;
+  EXPECT_TRUE(Q.submit(mkJob(1, "a", 0)).Accepted);
+  EXPECT_TRUE(Q.submit(mkJob(2, "a", 3)).Accepted);
+  EXPECT_TRUE(Q.submit(mkJob(3, "a", 3)).Accepted);
+  JobPtr P = Q.pop();
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Spec.Id, 2u); // highest priority, oldest among ties
+}
+
+TEST(DaemonJobQueue, CancelRemovesQueuedOnly) {
+  JobQueue Q;
+  EXPECT_TRUE(Q.submit(mkJob(1)).Accepted);
+  EXPECT_TRUE(Q.submit(mkJob(2)).Accepted);
+  JobPtr Running = Q.pop();
+  ASSERT_TRUE(Running);
+  EXPECT_EQ(Q.removeQueued(Running->Spec.Id), nullptr); // running: no
+  JobPtr Removed = Q.removeQueued(2);
+  ASSERT_TRUE(Removed);
+  EXPECT_EQ(Removed->Spec.Id, 2u);
+  EXPECT_EQ(Q.removeQueued(2), nullptr); // already gone
+  EXPECT_EQ(Q.removeQueued(99), nullptr);
+  EXPECT_EQ(Q.queuedCount(), 0u);
+}
+
+TEST(DaemonJobQueue, ShutdownDrainsBlockedPops) {
+  JobQueue Q;
+  std::thread Waiter([&] { EXPECT_EQ(Q.pop(), nullptr); });
+  Q.shutdown();
+  Waiter.join();
+  JobQueue::Admission A = Q.submit(mkJob(1));
+  EXPECT_FALSE(A.Accepted);
+  EXPECT_EQ(A.Reason, "shutting-down");
+}
+
+//===----------------------------------------------------------------------===//
+// Journal
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonJournal, AppendReadAllRoundTrips) {
+  std::string Dir = freshDir("journal-rt");
+  std::string Path = Dir + "/journal.lj";
+  {
+    Journal J(Path);
+    ASSERT_TRUE(J.open().isOk());
+    ASSERT_TRUE(J.append(Journal::Kind::Accepted, 1, "{\"id\":1}").isOk());
+    ASSERT_TRUE(J.append(Journal::Kind::Started, 1).isOk());
+    ASSERT_TRUE(J.append(Journal::Kind::Accepted, 2, "{\"id\":2}").isOk());
+    ASSERT_TRUE(J.append(Journal::Kind::Cancelled, 2).isOk());
+  }
+  bool Truncated = true;
+  Expected<std::vector<Journal::Record>> R = Journal::readAll(Path, &Truncated);
+  ASSERT_TRUE(bool(R)) << R.status().message();
+  ASSERT_EQ(R->size(), 4u);
+  EXPECT_FALSE(Truncated);
+  EXPECT_EQ((*R)[0].K, Journal::Kind::Accepted);
+  EXPECT_EQ((*R)[0].JobId, 1u);
+  EXPECT_EQ((*R)[0].Payload, "{\"id\":1}");
+  EXPECT_EQ((*R)[3].K, Journal::Kind::Cancelled);
+
+  // Job 1 was accepted and started but never reached a terminal record;
+  // job 2 was cancelled. Exactly job 1 replays.
+  std::vector<Journal::Record> Live = Journal::unfinished(*R);
+  ASSERT_EQ(Live.size(), 1u);
+  EXPECT_EQ(Live[0].JobId, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(DaemonJournal, TruncatedTailLosesOnlyTheTornRecord) {
+  std::string Dir = freshDir("journal-trunc");
+  std::string Path = Dir + "/journal.lj";
+  {
+    Journal J(Path);
+    ASSERT_TRUE(J.open().isOk());
+    for (uint64_t Id = 1; Id <= 3; ++Id)
+      ASSERT_TRUE(J.append(Journal::Kind::Accepted, Id, "{}").isOk());
+  }
+  uintmax_t Full = std::filesystem::file_size(Path);
+  // Chop the file at every prefix length: the reader must always return
+  // an intact prefix of whole records and never error or misparse.
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In), {});
+  }
+  ASSERT_EQ(Bytes.size(), Full);
+  size_t RecordSize = Bytes.size() / 3;
+  for (size_t Len : {Bytes.size() - 1, 2 * RecordSize + 5, RecordSize, size_t(3),
+                     size_t(0)}) {
+    std::ofstream(Path, std::ios::binary | std::ios::trunc)
+        .write(Bytes.data(), std::streamsize(Len));
+    bool Truncated = false;
+    Expected<std::vector<Journal::Record>> R =
+        Journal::readAll(Path, &Truncated);
+    ASSERT_TRUE(bool(R)) << "len=" << Len;
+    EXPECT_EQ(R->size(), Len / RecordSize) << "len=" << Len;
+    EXPECT_EQ(Truncated, Len % RecordSize != 0) << "len=" << Len;
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(DaemonJournal, CompactRewritesExactlyTheLiveSet) {
+  std::string Dir = freshDir("journal-compact");
+  std::string Path = Dir + "/journal.lj";
+  {
+    Journal J(Path);
+    ASSERT_TRUE(J.open().isOk());
+    for (uint64_t Id = 1; Id <= 5; ++Id)
+      ASSERT_TRUE(J.append(Journal::Kind::Accepted, Id, "{}").isOk());
+    for (uint64_t Id : {1, 3, 5})
+      ASSERT_TRUE(J.append(Journal::Kind::Finished, Id).isOk());
+  }
+  Expected<std::vector<Journal::Record>> R = Journal::readAll(Path);
+  ASSERT_TRUE(bool(R));
+  std::vector<Journal::Record> Live = Journal::unfinished(*R);
+  ASSERT_EQ(Live.size(), 2u);
+  ASSERT_TRUE(Journal::compact(Path, Live).isOk());
+
+  R = Journal::readAll(Path);
+  ASSERT_TRUE(bool(R));
+  ASSERT_EQ(R->size(), 2u);
+  EXPECT_EQ((*R)[0].JobId, 2u);
+  EXPECT_EQ((*R)[1].JobId, 4u);
+  // A compacted journal accepts further appends.
+  {
+    Journal J(Path);
+    ASSERT_TRUE(J.open().isOk());
+    ASSERT_TRUE(J.append(Journal::Kind::Finished, 2).isOk());
+  }
+  R = Journal::readAll(Path);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->size(), 3u);
+  EXPECT_EQ(Journal::unfinished(*R).size(), 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(DaemonJournal, MissingFileIsAnEmptyJournal) {
+  bool Truncated = true;
+  Expected<std::vector<Journal::Record>> R =
+      Journal::readAll(::testing::TempDir() + "limpet-daemon-nope/absent.lj",
+                       &Truncated);
+  ASSERT_TRUE(bool(R));
+  EXPECT_TRUE(R->empty());
+  EXPECT_FALSE(Truncated);
+}
+
+//===----------------------------------------------------------------------===//
+// JobSpec
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonJobSpec, JsonRoundTripPreservesEveryField) {
+  Expected<JsonValue> Body = JsonValue::parse(
+      "{\"model\":\"OHaraRudy\",\"tenant\":\"lab7\",\"priority\":2,"
+      "\"cells\":512,\"steps\":4000,\"dt\":0.005,\"guard\":false,"
+      "\"timeout_sec\":1.5,\"checkpoint_every\":200,\"progress_every\":50,"
+      "\"config\":{\"preset\":\"limpetmlir\",\"width\":8,\"layout\":\"aosoa\"}}");
+  ASSERT_TRUE(bool(Body));
+  Expected<JobSpec> Spec = parseJobSpec(*Body);
+  ASSERT_TRUE(bool(Spec)) << Spec.status().message();
+  (*Spec).Id = 42;
+  EXPECT_EQ(Spec->Model, "OHaraRudy");
+  EXPECT_EQ(Spec->Tenant, "lab7");
+  EXPECT_EQ(Spec->Priority, 2);
+  EXPECT_EQ(Spec->NumCells, 512);
+  EXPECT_EQ(Spec->NumSteps, 4000);
+  EXPECT_DOUBLE_EQ(Spec->Dt, 0.005);
+  EXPECT_FALSE(Spec->Guard);
+  EXPECT_DOUBLE_EQ(Spec->TimeoutSec, 1.5);
+  EXPECT_EQ(Spec->CheckpointEveryN, 200);
+  EXPECT_EQ(Spec->ProgressEvery, 50);
+  EXPECT_EQ(Spec->Config.Width, 8u);
+
+  // journal payload -> parse -> identical spec (the recovery path).
+  Expected<JobSpec> Back = parseJobSpec(jobSpecToJson(*Spec));
+  ASSERT_TRUE(bool(Back)) << Back.status().message();
+  EXPECT_EQ(Back->Id, 42u);
+  EXPECT_EQ(jobSpecToJson(*Back).str(), jobSpecToJson(*Spec).str());
+}
+
+TEST(DaemonJobSpec, StructurallyInvalidSpecsAreRecoverableErrors) {
+  const char *Bad[] = {
+      "{}",                                        // missing model
+      "{\"model\":\"HH\",\"cells\":0}",            // non-positive cells
+      "{\"model\":\"HH\",\"steps\":-5}",           // non-positive steps
+      "{\"model\":\"HH\",\"dt\":0}",               // non-positive dt
+      "{\"model\":\"HH\",\"timeout_sec\":-1}",     // negative deadline
+      "{\"model\":\"HH\",\"tenant\":\"\"}",        // empty tenant
+      "{\"model\":\"HH\",\"config\":{\"preset\":\"turbo\"}}", // bad preset
+      "{\"model\":\"HH\",\"config\":{\"layout\":\"csr\"}}",   // bad layout
+      "[1,2,3]",                                   // not an object
+  };
+  for (const char *Text : Bad) {
+    Expected<JsonValue> Body = JsonValue::parse(Text);
+    ASSERT_TRUE(bool(Body)) << Text;
+    EXPECT_FALSE(bool(parseJobSpec(*Body))) << "accepted: " << Text;
+  }
+  // Defaults apply when optional fields are omitted.
+  Expected<JsonValue> Min = JsonValue::parse("{\"model\":\"HH\"}");
+  ASSERT_TRUE(bool(Min));
+  Expected<JobSpec> Spec = parseJobSpec(*Min);
+  ASSERT_TRUE(bool(Spec));
+  EXPECT_EQ(Spec->Tenant, "default");
+  EXPECT_EQ(Spec->NumCells, 256);
+  EXPECT_EQ(Spec->NumSteps, 1000);
+  EXPECT_TRUE(Spec->Guard);
+}
+
+//===----------------------------------------------------------------------===//
+// Event lines
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonEvents, TerminalEventChecksumRoundTripsExactly) {
+  double Checksum = -32783.205604917683;
+  std::string Line = terminalEvent(JobState::Finished, 7, 2000, Checksum,
+                                   /*Degraded=*/1, /*Frozen=*/0, {},
+                                   /*Replayed=*/true);
+  Expected<JsonValue> J = JsonValue::parse(Line);
+  ASSERT_TRUE(bool(J));
+  EXPECT_EQ(J->stringOr("event", ""), "finished");
+  EXPECT_EQ(J->intOr("id", 0), 7);
+  EXPECT_EQ(J->intOr("steps", 0), 2000);
+  EXPECT_TRUE(J->boolOr("replayed", false));
+  // %.17g through a string field: exact to the last bit.
+  EXPECT_EQ(std::stod(J->stringOr("checksum", "0")), Checksum);
+
+  std::string Failed = terminalEvent(JobState::Failed, 8, 0, 0, 0, 0,
+                                     "model 'X' not found", false);
+  Expected<JsonValue> F = JsonValue::parse(Failed);
+  ASSERT_TRUE(bool(F));
+  EXPECT_EQ(F->stringOr("event", ""), "failed");
+  EXPECT_EQ(F->stringOr("error", ""), "model 'X' not found");
+  EXPECT_EQ(F->find("checksum"), nullptr); // only finished jobs carry one
+}
+
+} // namespace

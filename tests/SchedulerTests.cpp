@@ -3,12 +3,16 @@
 #include "easyml/Sema.h"
 #include "models/Registry.h"
 #include "runtime/ThreadPool.h"
+#include "sim/CancelToken.h"
+#include "sim/Checkpoint.h"
 #include "sim/Multimodel.h"
 #include "sim/Scheduler.h"
 #include "sim/Simulator.h"
 
+#include <filesystem>
 #include <gtest/gtest.h>
 #include <thread>
+#include <unistd.h>
 
 using namespace limpet;
 using namespace limpet::exec;
@@ -167,6 +171,156 @@ Iion = Iion + k*w_parent;
   ASSERT_EQ(Serial.size(), Threaded.size());
   for (size_t I = 0; I != Serial.size(); ++I)
     EXPECT_DOUBLE_EQ(Serial[I], Threaded[I]) << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Mid-run cancellation (sim/CancelToken, polled at step boundaries)
+//===----------------------------------------------------------------------===//
+
+/// A unique, empty temp directory per cancellation case.
+std::string cancelDir(const char *Tag) {
+  std::string Dir = ::testing::TempDir() + "limpet-cancel-" + Tag + "-" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// Zeroes the wall-clock accumulators so checkpoints of equal
+/// simulations compare byte-for-byte.
+CheckpointData normalizedCkpt(CheckpointData C) {
+  C.Report.ScanSeconds = 0;
+  C.Report.RecoverySeconds = 0;
+  C.Report.RunSeconds = 0;
+  return C;
+}
+
+/// Cancelling mid-run stops the simulator at the next step/window
+/// boundary with StopReason::Cancelled and a final durable checkpoint,
+/// and a fresh simulator resuming from that checkpoint finishes
+/// bit-identically to a run that was never cancelled — across shard
+/// counts and with the guard rails on or off.
+TEST(Cancellation, StopsAtBoundaryAndCheckpointResumesBitIdentically) {
+  auto Model = compileByName("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  ASSERT_TRUE(Model.has_value());
+  constexpr int64_t Cells = 32, Steps = 200, CancelAt = 100;
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    for (bool Guard : {false, true}) {
+      SCOPED_TRACE("threads=" + std::to_string(Threads) +
+                   " guard=" + std::to_string(Guard));
+      std::string Dir =
+          cancelDir((std::to_string(Threads) + (Guard ? "g" : "u")).c_str());
+
+      SimOptions Opts;
+      Opts.NumCells = Cells;
+      Opts.NumSteps = Steps;
+      Opts.NumThreads = Threads;
+      Opts.StimPeriod = 20.0;
+      Opts.Guard.Enabled = Guard;
+      Opts.Checkpoint.Dir = Dir;
+      Opts.Checkpoint.EveryN = 24;
+
+      CancelToken Token;
+      Opts.Cancel = &Token;
+      Simulator S(*Model, Opts);
+      S.setFaultInjector([&Token](Simulator &Sim) {
+        if (Sim.stepsDone() == CancelAt)
+          Token.cancel();
+      });
+      S.run();
+
+      // Cooperative stop: at the very next boundary (the next step
+      // unguarded, the enclosing scan window guarded), never later than
+      // the run target.
+      EXPECT_TRUE(S.interrupted());
+      EXPECT_EQ(S.stopReason(), StopReason::Cancelled);
+      EXPECT_GE(S.stepsDone(), CancelAt);
+      EXPECT_LT(S.stepsDone(), Steps);
+      if (!Guard)
+        EXPECT_EQ(S.stepsDone(), CancelAt);
+
+      // The final durable checkpoint captures the interrupted step...
+      CheckpointStore Store(Dir);
+      Expected<CheckpointData> C = Store.loadNewestValid();
+      ASSERT_TRUE(bool(C)) << C.status().message();
+      EXPECT_EQ(C->StepCount, S.stepsDone());
+      EXPECT_EQ(serializeCheckpoint(normalizedCkpt(*C)),
+                serializeCheckpoint(normalizedCkpt(S.captureCheckpoint())));
+
+      // ...and resuming from it finishes bit-identically to an
+      // uninterrupted run of the same protocol.
+      SimOptions Plain;
+      Plain.NumCells = Cells;
+      Plain.NumSteps = Steps;
+      Plain.NumThreads = Threads;
+      Plain.StimPeriod = 20.0;
+      Plain.Guard.Enabled = Guard;
+      Simulator Resumed(*Model, Plain);
+      ASSERT_TRUE(Resumed.resumeFrom(*C).isOk());
+      Resumed.run();
+      EXPECT_FALSE(Resumed.interrupted());
+      EXPECT_EQ(Resumed.stepsDone(), Steps);
+
+      Simulator Ref(*Model, Plain);
+      Ref.run();
+      EXPECT_EQ(serializeCheckpoint(normalizedCkpt(Resumed.captureCheckpoint())),
+                serializeCheckpoint(normalizedCkpt(Ref.captureCheckpoint())));
+
+      std::filesystem::remove_all(Dir);
+    }
+  }
+}
+
+/// A cancel before the first step still stops at the first boundary and
+/// leaves a resumable checkpoint — the "cancel raced the dispatch" shape
+/// the daemon hits when a client cancels a job the instant it starts.
+TEST(Cancellation, ImmediateCancelStopsAtFirstBoundary) {
+  auto Model = compileByName("HodgkinHuxley", EngineConfig::baseline());
+  ASSERT_TRUE(Model.has_value());
+  std::string Dir = cancelDir("immediate");
+
+  SimOptions Opts;
+  Opts.NumCells = 8;
+  Opts.NumSteps = 100;
+  Opts.StimPeriod = 20.0;
+  Opts.Checkpoint.Dir = Dir;
+
+  CancelToken Token;
+  Token.cancel();
+  Opts.Cancel = &Token;
+  Simulator S(*Model, Opts);
+  S.run();
+  EXPECT_TRUE(S.interrupted());
+  EXPECT_EQ(S.stopReason(), StopReason::Cancelled);
+  EXPECT_LE(S.stepsDone(), 1);
+  Expected<CheckpointData> C = CheckpointStore(Dir).loadNewestValid();
+  ASSERT_TRUE(bool(C)) << C.status().message();
+  EXPECT_EQ(C->StepCount, S.stepsDone());
+  std::filesystem::remove_all(Dir);
+}
+
+/// An unarmed token is free: a run with a token that never fires is
+/// bit-identical to a run with no token at all.
+TEST(Cancellation, UnarmedTokenDoesNotPerturbTheRun) {
+  auto Model = compileByName("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  ASSERT_TRUE(Model.has_value());
+  SimOptions Opts;
+  Opts.NumCells = 16;
+  Opts.NumSteps = 100;
+  Opts.StimPeriod = 20.0;
+
+  CancelToken Token;
+  SimOptions WithToken = Opts;
+  WithToken.Cancel = &Token;
+  Simulator A(*Model, WithToken);
+  A.run();
+  Simulator B(*Model, Opts);
+  B.run();
+  EXPECT_FALSE(A.interrupted());
+  EXPECT_EQ(A.stopReason(), StopReason::None);
+  EXPECT_EQ(serializeCheckpoint(normalizedCkpt(A.captureCheckpoint())),
+            serializeCheckpoint(normalizedCkpt(B.captureCheckpoint())));
 }
 
 TEST(Scheduler, RebuildRealignsToNewBlockWidth) {

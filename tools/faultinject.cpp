@@ -15,6 +15,8 @@
 
 #include "compiler/CompilerDriver.h"
 #include "compiler/Serialize.h"
+#include "daemon/JobQueue.h"
+#include "daemon/Journal.h"
 #include "easyml/Sema.h"
 #include "models/Registry.h"
 #include "sim/Checkpoint.h"
@@ -543,6 +545,225 @@ bool scenarioOverhead() {
   return check(Pct < Limit, "guard overhead below limit");
 }
 
+//===----------------------------------------------------------------------===//
+// Daemon scenarios (admission control, deadlines, journal durability —
+// docs/DAEMON.md)
+//===----------------------------------------------------------------------===//
+
+/// A saturated JobQueue: equal-priority submits bounce with explicit
+/// reasons (queue-full / tenant-cap), a strictly-higher-priority submit
+/// sheds the lowest-priority (youngest among ties) queued job, and the
+/// fair-share pop order honors per-tenant running caps.
+bool scenarioDaemonQueueFull() {
+  daemon::JobQueue::Limits Lim;
+  Lim.MaxQueued = 3;
+  Lim.PerTenantRunning = 1;
+  Lim.PerTenantInFlight = 3;
+  daemon::JobQueue Q(Lim);
+  auto mk = [](uint64_t Id, const char *Tenant, int Priority) {
+    auto J = std::make_shared<daemon::Job>();
+    J->Spec.Id = Id;
+    J->Spec.Tenant = Tenant;
+    J->Spec.Priority = Priority;
+    J->Spec.Model = "HodgkinHuxley";
+    return J;
+  };
+
+  bool Ok = true;
+  Ok &= check(Q.submit(mk(1, "alpha", 0)).Accepted, "job 1 admitted");
+  Ok &= check(Q.submit(mk(2, "alpha", 0)).Accepted, "job 2 admitted");
+  Ok &= check(Q.submit(mk(3, "alpha", 0)).Accepted, "job 3 admitted");
+
+  // alpha is now at its in-flight cap — that rejection fires before the
+  // queue-depth check so the reason names the tenant's own backlog.
+  daemon::JobQueue::Admission A = Q.submit(mk(4, "alpha", 9));
+  Ok &= check(!A.Accepted && A.Reason == "tenant-cap",
+              "over-cap tenant rejected with 'tenant-cap'");
+
+  // The queue is full; an equal-priority submit from another tenant must
+  // wait its turn, not evict anyone.
+  A = Q.submit(mk(5, "beta", 0));
+  Ok &= check(!A.Accepted && A.Reason == "queue-full",
+              "equal-priority submit rejected with 'queue-full'");
+  Ok &= check(Q.shedCount() == 0, "no job shed by a rejected submit");
+
+  // A strictly-higher-priority submit sheds the youngest of the
+  // lowest-priority queued jobs: job 3.
+  A = Q.submit(mk(6, "beta", 2));
+  Ok &= check(A.Accepted, "higher-priority submit admitted into full queue");
+  Ok &= check(A.Shed && A.Shed->Spec.Id == 3,
+              "victim is the youngest lowest-priority queued job");
+  Ok &= check(A.Shed && A.Shed->State.load() == daemon::JobState::Shed,
+              "victim marked terminal (shed)");
+  Ok &= check(Q.shedCount() == 1 && Q.queuedCount() == 3,
+              "queue depth unchanged after the swap");
+
+  // Fair-share dispatch: no tenant is running, so the highest-priority
+  // queued job (6) goes first; then beta is at PerTenantRunning and
+  // alpha's FIFO head (1) follows.
+  daemon::JobPtr P = Q.pop();
+  Ok &= check(P && P->Spec.Id == 6, "pop prefers the high-priority job");
+  Ok &= check(P && P->State.load() == daemon::JobState::Running,
+              "popped job marked running");
+  P = Q.pop();
+  Ok &= check(P && P->Spec.Id == 1,
+              "second pop falls to the other tenant's FIFO head");
+
+  // Both tenants at their running cap: queued job 2 (alpha) only becomes
+  // runnable once alpha's slot frees.
+  Q.finished(Q.find(1));
+  P = Q.pop();
+  Ok &= check(P && P->Spec.Id == 2, "freed tenant slot unblocks queued work");
+
+  Q.shutdown();
+  Ok &= check(Q.pop() == nullptr, "pop drains to nullptr after shutdown");
+  return Ok;
+}
+
+/// A per-job wall-clock deadline expiring mid-run: the simulator stops
+/// at a step boundary with StopReason::DeadlineExpired and a final
+/// durable checkpoint, and resuming from it finishes bit-identically to
+/// a run that never had a deadline.
+bool scenarioDaemonDeadline() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  std::string Dir = freshDir("deadline");
+  constexpr int64_t Steps = 500000;
+  SimOptions Opts = guardedOpts(/*Cells=*/32, Steps);
+  Opts.Checkpoint.Dir = Dir;
+  Opts.Checkpoint.EveryN = 4096;
+
+  CancelToken Token;
+  Opts.Cancel = &Token;
+  Simulator S(*M, Opts);
+  // Far too tight for 500k steps on any machine; a slow box just stops
+  // earlier. Armed after compilation so only run time is on the clock.
+  Token.setDeadlineAfter(0.002);
+  S.run();
+  bool Ok = check(S.interrupted(), "run stopped on the deadline");
+  Ok &= check(S.stopReason() == StopReason::DeadlineExpired,
+              "stop reason is deadline-expired");
+  Ok &= check(S.stepsDone() > 0 && S.stepsDone() < Steps,
+              "deadline landed mid-run");
+
+  CheckpointStore Store(Dir);
+  std::string Path;
+  Expected<CheckpointData> C = Store.loadNewestValid(&Path);
+  if (!check(bool(C), "final checkpoint written at expiry"))
+    return false;
+  Ok &= check(C->StepCount == S.stepsDone(),
+              "checkpoint captures the interrupted step");
+
+  SimOptions Plain = guardedOpts(/*Cells=*/32, Steps);
+  Simulator Resumed(*M, Plain);
+  if (!check(Resumed.resumeFrom(*C).isOk(), "resume accepted"))
+    return false;
+  Resumed.run();
+  Ok &= check(!Resumed.interrupted(), "resumed run finishes (no deadline)");
+  Simulator Ref(*M, Plain);
+  Ref.run();
+  Ok &= check(finalStatesIdentical(Resumed, Ref),
+              "resumed final state bit-identical to undeadlined run");
+
+  // An already-expired deadline still stops cooperatively at the first
+  // boundary — never a hang, never a skipped final checkpoint.
+  std::string Dir2 = freshDir("deadline-zero");
+  SimOptions Opts2 = guardedOpts(/*Cells=*/8, /*Steps=*/100);
+  Opts2.Checkpoint.Dir = Dir2;
+  CancelToken Token2;
+  Token2.setDeadlineAfter(0.0);
+  Opts2.Cancel = &Token2;
+  Simulator S2(*M, Opts2);
+  S2.run();
+  Ok &= check(S2.interrupted() &&
+                  S2.stopReason() == StopReason::DeadlineExpired,
+              "pre-expired deadline stops at the first boundary");
+  Ok &= check(bool(CheckpointStore(Dir2).loadNewestValid()),
+              "immediate expiry still leaves a resumable checkpoint");
+
+  std::filesystem::remove_all(Dir);
+  std::filesystem::remove_all(Dir2);
+  return Ok;
+}
+
+/// The job journal under a crash mid-append: a truncated tail loses at
+/// most the record being written, a corrupt record ends the scan at the
+/// last good prefix, and compaction rewrites exactly the live set.
+bool scenarioDaemonJournalTruncate() {
+  std::string Dir = freshDir("journal");
+  std::string Path = Dir + "/journal.lj";
+
+  {
+    daemon::Journal J(Path);
+    if (!check(J.open().isOk(), "journal opens"))
+      return false;
+    (void)J.append(daemon::Journal::Kind::Accepted, 1, "{\"id\":1}");
+    (void)J.append(daemon::Journal::Kind::Started, 1);
+    (void)J.append(daemon::Journal::Kind::Accepted, 2, "{\"id\":2}");
+    (void)J.append(daemon::Journal::Kind::Finished, 1);
+    (void)J.append(daemon::Journal::Kind::Accepted, 3, "{\"id\":3}");
+  }
+
+  bool Truncated = false;
+  Expected<std::vector<daemon::Journal::Record>> Recs =
+      daemon::Journal::readAll(Path, &Truncated);
+  if (!check(bool(Recs), "intact journal reads"))
+    return false;
+  bool Ok = check(Recs->size() == 5 && !Truncated,
+                  "all five records intact, no truncation");
+  std::vector<daemon::Journal::Record> Live =
+      daemon::Journal::unfinished(*Recs);
+  Ok &= check(Live.size() == 2 && Live[0].JobId == 2 && Live[1].JobId == 3,
+              "unfinished = accepted jobs with no terminal record");
+
+  // SIGKILL mid-append: chop the tail mid-record. Only the record being
+  // written is lost.
+  std::string Bytes;
+  (void)compiler::readFileBytes(Path, Bytes);
+  std::ofstream(Path, std::ios::binary | std::ios::trunc)
+      .write(Bytes.data(), std::streamsize(Bytes.size() - 7));
+  Recs = daemon::Journal::readAll(Path, &Truncated);
+  if (!check(bool(Recs), "truncated journal still reads"))
+    return false;
+  Ok &= check(Recs->size() == 4 && Truncated,
+              "truncation drops exactly the torn tail record");
+  Live = daemon::Journal::unfinished(*Recs);
+  Ok &= check(Live.size() == 1 && Live[0].JobId == 2,
+              "replay set shrinks with the lost admission");
+
+  // Compaction rewrites just the live records, atomically.
+  if (!check(daemon::Journal::compact(Path, Live).isOk(), "compaction runs"))
+    return false;
+  Recs = daemon::Journal::readAll(Path, &Truncated);
+  if (!check(bool(Recs), "compacted journal reads"))
+    return false;
+  Ok &= check(Recs->size() == 1 && !Truncated &&
+                  (*Recs)[0].K == daemon::Journal::Kind::Accepted &&
+                  (*Recs)[0].JobId == 2 && (*Recs)[0].Payload == "{\"id\":2}",
+              "compacted journal holds exactly the live record");
+
+  // A flipped byte inside the first record's payload: the checksum
+  // rejects it and the scan ends before it — never a misparsed record.
+  (void)compiler::readFileBytes(Path, Bytes);
+  Bytes[Bytes.size() - 3] ^= 0x40;
+  std::ofstream(Path, std::ios::binary | std::ios::trunc)
+      .write(Bytes.data(), std::streamsize(Bytes.size()));
+  Recs = daemon::Journal::readAll(Path, &Truncated);
+  if (!check(bool(Recs), "corrupt journal still reads as a prefix"))
+    return false;
+  Ok &= check(Recs->empty() && Truncated,
+              "corrupt record excluded from the recovered prefix");
+
+  // A missing journal is a cold start, not an error.
+  Recs = daemon::Journal::readAll(Dir + "/absent.lj", &Truncated);
+  Ok &= check(bool(Recs) && Recs->empty() && !Truncated,
+              "missing journal reads as empty");
+
+  std::filesystem::remove_all(Dir);
+  return Ok;
+}
+
 struct Scenario {
   const char *Name;
   const char *What;
@@ -571,6 +792,15 @@ const Scenario Scenarios[] = {
      scenarioCkptCorrupt},
     {"ckpt-stale", "stale model/config/hash -> resume refused, state untouched",
      scenarioCkptStale},
+    {"daemon-queue-full",
+     "saturated queue -> explicit rejects, priority shed, fair-share pops",
+     scenarioDaemonQueueFull},
+    {"daemon-deadline",
+     "wall-clock deadline mid-run -> expired + resumable final checkpoint",
+     scenarioDaemonDeadline},
+    {"daemon-journal-truncate",
+     "journal torn mid-append -> intact prefix recovered, compaction exact",
+     scenarioDaemonJournalTruncate},
     {"overhead", "clean run -> health scan costs < 5%", scenarioOverhead},
 };
 

@@ -92,6 +92,11 @@ void printUsage() {
       "                      in --checkpoint-dir (corrupt/truncated files\n"
       "                      are skipped; the run continues bit-identically\n"
       "                      to an uninterrupted one)\n"
+      "  --timeout S         wall-clock budget in seconds for --run: the\n"
+      "                      same cooperative deadline limpetd enforces.\n"
+      "                      The run stops at a step boundary, writes one\n"
+      "                      final checkpoint (with --checkpoint-dir), and\n"
+      "                      exits 3 — recoverable via --resume\n"
       "  --stats             print the pass-timing table and telemetry\n"
       "                      counters (see docs/OBSERVABILITY.md)\n"
       "  --trace FILE        write a Chrome trace-event JSON covering\n"
@@ -209,6 +214,7 @@ int main(int argc, char **argv) {
   std::string CkptDir;
   int64_t CkptEvery = 0;
   int64_t CkptRetain = 3;
+  double TimeoutSec = 0;
   bool Resume = false;
   bool CacheGc = false;
   unsigned SuiteJobs = 0;
@@ -274,6 +280,8 @@ int main(int argc, char **argv) {
       CkptEvery = std::atoll(Val.c_str());
     else if (valued(Arg, I, "--retain", Val))
       CkptRetain = std::atoll(Val.c_str());
+    else if (valued(Arg, I, "--timeout", Val))
+      TimeoutSec = std::atof(Val.c_str());
     else if (valued(Arg, I, "--jobs", Val))
       SuiteJobs = unsigned(std::atoi(Val.c_str()));
     else if (Arg == "--stats")
@@ -512,6 +520,14 @@ int main(int argc, char **argv) {
         Opts.Checkpoint.SourceHash = R.SourceHash;
         sim::installShutdownHandlers();
       }
+      // The --timeout deadline rides the same cooperative cancel token
+      // limpetd arms for its jobs: polled at step boundaries, never
+      // mid-step, so the final checkpoint is always resumable.
+      sim::CancelToken Deadline;
+      if (TimeoutSec > 0) {
+        Deadline.setDeadlineAfter(TimeoutSec);
+        Opts.Cancel = &Deadline;
+      }
       sim::Simulator S(Model, Opts);
       if (Resume) {
         sim::CheckpointStore Store(CkptDir, int(CkptRetain));
@@ -542,9 +558,11 @@ int main(int argc, char **argv) {
                   (long long)S.options().NumCells,
                   (long long)S.options().NumSteps, S.time());
       if (S.interrupted())
-        std::printf("interrupted at step %lld: final checkpoint written "
-                    "to %s\n",
-                    (long long)S.stepsDone(), CkptDir.c_str());
+        std::printf("interrupted at step %lld (%s)%s%s\n",
+                    (long long)S.stepsDone(),
+                    std::string(sim::stopReasonName(S.stopReason())).c_str(),
+                    CkptDir.empty() ? "" : ": final checkpoint written to ",
+                    CkptDir.c_str());
       if (S.hasVoltageCoupling())
         std::printf("final Vm[0] = %.6f mV\n", S.vm(0));
       std::printf("state checksum = %.9g\n", S.stateChecksum());
@@ -552,7 +570,13 @@ int main(int argc, char **argv) {
       std::printf("%s", S.report().str().c_str());
       bool Healthy = S.scanIsHealthy();
       std::printf("population health: %s\n", Healthy ? "ok" : "FAULTY");
-      return Healthy ? 0 : 2;
+      if (!Healthy)
+        return 2;
+      // Distinct recoverable exit for a deadline stop: scripts can tell
+      // "ran out of budget, resume later" (3) from "faulty" (2).
+      if (S.stopReason() == sim::StopReason::DeadlineExpired)
+        return 3;
+      return 0;
     }
     if (M == Mode::Info && (WantSnapshots || !EmitArtifactPath.empty() ||
                             !LoadArtifactPath.empty()))

@@ -1,0 +1,309 @@
+//===- limpetctl.cpp - limpetd control client -----------------------------===//
+//
+// Thin NDJSON client for the limpetd daemon (docs/DAEMON.md): submits
+// jobs, streams their events, cancels, polls status, and drives the
+// daemon smoke harness. One request verb per invocation:
+//
+//   limpetctl --socket S submit --model OHara --steps 2000 --wait
+//   limpetctl --socket S cancel --id 3
+//   limpetctl --socket S wait --id 3
+//   limpetctl --socket S status [--id N] | stats [--tenant T]
+//   limpetctl --socket S ping | shutdown
+//
+// Exit codes make terminal states scriptable: 0 finished/ok, 3 rejected,
+// 4 failed, 5 cancelled, 6 expired, 7 shed, 1 protocol/connection error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Json.h"
+#include "daemon/Protocol.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace limpet;
+using namespace limpet::daemon;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: limpetctl --socket PATH <verb> [options]\n"
+      "verbs:\n"
+      "  submit   --model NAME [--cells N] [--steps N] [--dt X]\n"
+      "           [--tenant T] [--priority P] [--timeout-sec X]\n"
+      "           [--checkpoint-every N] [--progress-every N]\n"
+      "           [--no-guard] [--preset baseline|limpetmlir|autovec]\n"
+      "           [--width N] [--layout aos|soa|aosoa] [--wait]\n"
+      "  cancel   --id N\n"
+      "  wait     --id N      poll until the job is terminal\n"
+      "  status   [--id N]\n"
+      "  stats    [--tenant T]\n"
+      "  ping | shutdown\n");
+}
+
+#ifndef _WIN32
+
+/// Blocking line-oriented client connection.
+class Client {
+public:
+  ~Client() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool connect(const std::string &Path) {
+    sockaddr_un Addr{};
+    if (Path.size() >= sizeof(Addr.sun_path))
+      return false;
+    Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Fd < 0)
+      return false;
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+    return true;
+  }
+
+  bool sendLine(const std::string &Line) {
+    std::string Framed = Line + "\n";
+    size_t Off = 0;
+    while (Off < Framed.size()) {
+      ssize_t N = ::send(Fd, Framed.data() + Off, Framed.size() - Off,
+                         MSG_NOSIGNAL);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      Off += size_t(N);
+    }
+    return true;
+  }
+
+  /// Reads one newline-terminated line; false on EOF/error.
+  bool readLine(std::string &Out) {
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) == std::string::npos) {
+      char Tmp[4096];
+      ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return false;
+      Buf.append(Tmp, size_t(N));
+    }
+    Out = Buf.substr(0, Nl);
+    Buf.erase(0, Nl + 1);
+    return true;
+  }
+
+private:
+  int Fd = -1;
+  std::string Buf;
+};
+
+/// Exit code for a terminal job state (scriptable by the smoke harness).
+int exitCodeFor(const std::string &State) {
+  if (State == "finished")
+    return 0;
+  if (State == "failed")
+    return 4;
+  if (State == "cancelled")
+    return 5;
+  if (State == "expired")
+    return 6;
+  if (State == "shed")
+    return 7;
+  return 1;
+}
+
+bool isTerminalState(const std::string &State) {
+  return State == "finished" || State == "failed" || State == "cancelled" ||
+         State == "expired" || State == "shed";
+}
+
+/// Polls `status` for one job until it reaches a terminal state.
+int waitForJob(Client &C, uint64_t Id) {
+  JsonValue Req = JsonValue::object();
+  Req.set("verb", JsonValue::string("status"));
+  Req.set("id", JsonValue::number(Id));
+  std::string ReqLine = Req.str();
+  while (true) {
+    if (!C.sendLine(ReqLine))
+      return 1;
+    std::string Line;
+    if (!C.readLine(Line))
+      return 1;
+    Expected<JsonValue> Resp = JsonValue::parse(Line);
+    if (!Resp)
+      return 1;
+    if (Resp->stringOr("event", "") == "error") {
+      std::fprintf(stderr, "error: %s\n",
+                   Resp->stringOr("error", "?").c_str());
+      return 1;
+    }
+    const JsonValue *Job = Resp->find("job");
+    std::string State = Job ? Job->stringOr("state", "") : "";
+    if (isTerminalState(State)) {
+      std::printf("%s\n", Job->str().c_str());
+      return exitCodeFor(State);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+#endif // !_WIN32
+
+} // namespace
+
+int main(int argc, char **argv) {
+#ifdef _WIN32
+  (void)argc;
+  (void)argv;
+  std::fprintf(stderr, "error: limpetctl requires POSIX sockets\n");
+  return 1;
+#else
+  std::string Socket, Verb;
+  JsonValue Req = JsonValue::object();
+  JsonValue Cfg = JsonValue::object();
+  bool Wait = false;
+  uint64_t WaitId = 0;
+
+  auto valued = [&](const std::string &Arg, int &I, const char *Flag,
+                    std::string &Out) {
+    size_t N = std::strlen(Flag);
+    if (Arg.compare(0, N, Flag) == 0 && Arg.size() > N && Arg[N] == '=') {
+      Out = Arg.substr(N + 1);
+      return true;
+    }
+    if (Arg == Flag && I + 1 < argc) {
+      Out = argv[++I];
+      return true;
+    }
+    return false;
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    std::string Val;
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (valued(Arg, I, "--socket", Val))
+      Socket = Val;
+    else if (valued(Arg, I, "--model", Val))
+      Req.set("model", JsonValue::string(Val));
+    else if (valued(Arg, I, "--tenant", Val))
+      Req.set("tenant", JsonValue::string(Val));
+    else if (valued(Arg, I, "--cells", Val))
+      Req.set("cells", JsonValue::number(double(std::atoll(Val.c_str()))));
+    else if (valued(Arg, I, "--steps", Val))
+      Req.set("steps", JsonValue::number(double(std::atoll(Val.c_str()))));
+    else if (valued(Arg, I, "--dt", Val))
+      Req.set("dt", JsonValue::number(std::atof(Val.c_str())));
+    else if (valued(Arg, I, "--priority", Val))
+      Req.set("priority", JsonValue::number(double(std::atoi(Val.c_str()))));
+    else if (valued(Arg, I, "--timeout-sec", Val))
+      Req.set("timeout_sec", JsonValue::number(std::atof(Val.c_str())));
+    else if (valued(Arg, I, "--checkpoint-every", Val))
+      Req.set("checkpoint_every",
+              JsonValue::number(double(std::atoll(Val.c_str()))));
+    else if (valued(Arg, I, "--progress-every", Val))
+      Req.set("progress_every",
+              JsonValue::number(double(std::atoll(Val.c_str()))));
+    else if (valued(Arg, I, "--id", Val)) {
+      WaitId = uint64_t(std::atoll(Val.c_str()));
+      Req.set("id", JsonValue::number(double(WaitId)));
+    } else if (valued(Arg, I, "--preset", Val))
+      Cfg.set("preset", JsonValue::string(Val));
+    else if (valued(Arg, I, "--width", Val))
+      Cfg.set("width", JsonValue::number(double(std::atoi(Val.c_str()))));
+    else if (valued(Arg, I, "--layout", Val))
+      Cfg.set("layout", JsonValue::string(Val));
+    else if (Arg == "--no-guard")
+      Req.set("guard", JsonValue::boolean(false));
+    else if (Arg == "--wait")
+      Wait = true;
+    else if (!Arg.empty() && Arg[0] != '-' && Verb.empty())
+      Verb = Arg;
+    else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      printUsage();
+      return 1;
+    }
+  }
+  if (Socket.empty() || Verb.empty()) {
+    std::fprintf(stderr, "error: --socket and a verb are required\n");
+    printUsage();
+    return 1;
+  }
+  if (!Cfg.members().empty())
+    Req.set("config", std::move(Cfg));
+
+  Client C;
+  if (!C.connect(Socket)) {
+    std::fprintf(stderr, "error: cannot connect to '%s'\n", Socket.c_str());
+    return 1;
+  }
+
+  if (Verb == "wait") {
+    if (!WaitId) {
+      std::fprintf(stderr, "error: wait needs --id\n");
+      return 1;
+    }
+    return waitForJob(C, WaitId);
+  }
+
+  Req.set("verb", JsonValue::string(Verb));
+  if (!C.sendLine(Req.str()))
+    return 1;
+
+  uint64_t SubmittedId = 0;
+  while (true) {
+    std::string Line;
+    if (!C.readLine(Line)) {
+      // EOF before a terminal event: with --wait that is a failure (the
+      // daemon died); otherwise it just ends the stream.
+      return Wait ? 1 : 0;
+    }
+    std::printf("%s\n", Line.c_str());
+    std::fflush(stdout);
+    Expected<JsonValue> Resp = JsonValue::parse(Line);
+    if (!Resp)
+      return 1;
+    std::string Event = Resp->stringOr("event", "");
+    if (Event == "rejected")
+      return 3;
+    if (Event == "error")
+      return 1;
+    if (Verb != "submit")
+      return 0; // single-response verbs
+    if (Event == "accepted") {
+      SubmittedId = uint64_t(Resp->numberOr("id", 0));
+      if (!Wait)
+        return 0;
+      continue;
+    }
+    if (isTerminalState(Event) &&
+        uint64_t(Resp->numberOr("id", 0)) == SubmittedId)
+      return exitCodeFor(Event);
+  }
+#endif
+}
