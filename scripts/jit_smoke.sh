@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+#===- jit_smoke.sh - native kernel tier end-to-end smoke -----------------===#
+#
+# Exercises the specialized/JIT kernel tier (docs/COMPILER.md) through the
+# real CLI, for two registry models under both a scalar and a vector
+# configuration:
+#
+#  1. Cold: --engine=native emits the per-model C++ TU, invokes the system
+#     compiler, dlopens the kernel ("native kernel <M>: compiled") and the
+#     simulation's state checksum is bit-identical to the --engine=vm run.
+#  2. Warm: a fresh process re-runs the same compile against the populated
+#     LIMPET_CACHE_DIR and must load the cached .so with zero compiler
+#     invocations ("native kernel <M>: cache-disk", never "compiled").
+#  3. Fallback: with LIMPET_NATIVE_CC pointed at a non-executable, the run
+#     still succeeds on the VM (warning, same checksum, exit 0).
+#
+# On a box with no usable C++ toolchain the whole test SKIPs (exit 77,
+# mapped by ctest's SKIP_RETURN_CODE): the tier is designed to degrade,
+# not to make CI depend on a compiler being present.
+#
+# Usage: jit_smoke.sh <path-to-limpetc>
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+LIMPETC=${1:?usage: jit_smoke.sh <path-to-limpetc>}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/limpet-jit-smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+MODELS=(HodgkinHuxley Courtemanche)
+STEPS=60
+CELLS=37 # not a multiple of any lane width: exercises the scalar tail
+
+fail() { echo "jit_smoke: FAIL: $*" >&2; exit 1; }
+
+checksum_of() {
+  grep 'state checksum' "$1" | tail -1 | sed 's/.*= //'
+}
+
+# The native cache must start empty so "cold" really means cold.
+export LIMPET_CACHE_DIR="$WORK/cache"
+mkdir -p "$LIMPET_CACHE_DIR"
+
+# Toolchain probe: skip cleanly (not fail) where the tier cannot work.
+if ! "$LIMPETC" "${MODELS[0]}" --run --steps 1 --cells 1 --engine=native \
+    >"$WORK/probe.out" 2>"$WORK/probe.err"; then
+  fail "probe run failed: $(cat "$WORK/probe.err")"
+fi
+if grep -q 'native tier unavailable' "$WORK/probe.err"; then
+  echo "jit_smoke: SKIP: no usable C++ toolchain:"
+  grep 'native tier unavailable' "$WORK/probe.err"
+  exit 77
+fi
+rm -rf "$LIMPET_CACHE_DIR"; mkdir -p "$LIMPET_CACHE_DIR"
+
+for MODEL in "${MODELS[@]}"; do
+  for CFG in "--width 1" "--width 8"; do
+    TAG="$MODEL$(echo "$CFG" | tr -d ' -')"
+    RUN=("$MODEL" --run --steps "$STEPS" --cells "$CELLS")
+    # shellcheck disable=SC2086
+    "$LIMPETC" "${RUN[@]}" $CFG --engine=vm \
+      >"$WORK/$TAG.vm.out" 2>"$WORK/$TAG.vm.err" \
+      || fail "$TAG: VM run failed"
+
+    # --- 1. cold native: the compiler runs, checksums match exactly ----
+    # shellcheck disable=SC2086
+    "$LIMPETC" "${RUN[@]}" $CFG --engine=native \
+      >"$WORK/$TAG.cold.out" 2>"$WORK/$TAG.cold.err" \
+      || fail "$TAG: cold native run failed"
+    grep -q "native kernel $MODEL: compiled" "$WORK/$TAG.cold.err" \
+      || fail "$TAG: cold run did not compile a native kernel: \
+$(cat "$WORK/$TAG.cold.err")"
+    grep -q 'engine tier: native' "$WORK/$TAG.cold.out" \
+      || fail "$TAG: cold run did not dispatch to the native tier"
+    VM=$(checksum_of "$WORK/$TAG.vm.out")
+    COLD=$(checksum_of "$WORK/$TAG.cold.out")
+    [ -n "$VM" ] || fail "$TAG: VM run printed no state checksum"
+    [ "$VM" = "$COLD" ] \
+      || fail "$TAG: native diverged from VM: vm=$VM native=$COLD"
+
+    # --- 2. warm native: fresh process, zero compiler invocations ------
+    # shellcheck disable=SC2086
+    "$LIMPETC" "${RUN[@]}" $CFG --engine=native \
+      >"$WORK/$TAG.warm.out" 2>"$WORK/$TAG.warm.err" \
+      || fail "$TAG: warm native run failed"
+    grep -q "native kernel $MODEL: cache-disk" "$WORK/$TAG.warm.err" \
+      || fail "$TAG: warm run did not hit the disk cache: \
+$(cat "$WORK/$TAG.warm.err")"
+    if grep -q "native kernel $MODEL: compiled" "$WORK/$TAG.warm.err"; then
+      fail "$TAG: warm run invoked the compiler"
+    fi
+    WARM=$(checksum_of "$WORK/$TAG.warm.out")
+    [ "$VM" = "$WARM" ] \
+      || fail "$TAG: warm native diverged: vm=$VM warm=$WARM"
+    echo "jit_smoke: $TAG OK (checksum $VM, cold+warm bit-identical)"
+  done
+done
+
+# The disk cache holds exactly the expected kernels: 2 models x 2 configs.
+SO_COUNT=$(find "$LIMPET_CACHE_DIR" -name '*.native.so' | wc -l)
+[ "$SO_COUNT" -eq 4 ] \
+  || fail "expected 4 cached .native.so files, found $SO_COUNT"
+
+# --- 3. a broken toolchain degrades to the VM, never fails the run ----------
+LIMPET_NATIVE_CC=/nonexistent/cxx LIMPET_CACHE_DIR="$WORK/empty" \
+  "$LIMPETC" "${MODELS[0]}" --run --steps "$STEPS" --cells "$CELLS" \
+  --engine=native >"$WORK/fb.out" 2>"$WORK/fb.err" \
+  || fail "run with broken toolchain did not fall back"
+grep -q 'native tier unavailable' "$WORK/fb.err" \
+  || fail "fallback run printed no warning"
+grep -q 'engine tier: vm (fallback)' "$WORK/fb.out" \
+  || fail "fallback run did not report the VM tier"
+FB=$(checksum_of "$WORK/fb.out")
+VM=$(checksum_of "$WORK/${MODELS[0]}width1.vm.out")
+[ "$FB" = "$VM" ] || fail "fallback run diverged: vm=$VM fallback=$FB"
+echo "jit_smoke: toolchain fallback OK"
+echo "jit_smoke: PASS"

@@ -63,15 +63,25 @@ std::vector<const models::ModelEntry *> bench::selectedModels() {
   return Selected;
 }
 
+/// The benches always ask for native with Auto fallback semantics: the
+/// figure still runs on a compiler-less box, and timeSimulation labels
+/// the NDJSON rows by the tier the model actually dispatches to.
+static EngineTier effectiveTier(EngineTier Tier) {
+  return Tier == EngineTier::VM ? EngineTier::VM : EngineTier::Auto;
+}
+
 const CompiledModel &ModelCache::get(const models::ModelEntry &Entry,
-                                     const EngineConfig &Cfg) {
-  std::string Key = Entry.Name + "|" + engineConfigName(Cfg);
+                                     const EngineConfig &Cfg,
+                                     EngineTier Tier) {
+  std::string Key = Entry.Name + "|" + engineConfigName(Cfg) + "|" +
+                    std::string(engineTierName(effectiveTier(Tier)));
   auto It = Cache.find(Key);
   if (It != Cache.end())
     return *It->second;
 
   compiler::DriverOptions Opts;
   Opts.Config = Cfg;
+  Opts.Tier = effectiveTier(Tier);
   compiler::CompilerDriver Driver(std::move(Opts));
   compiler::CompileResult R = Driver.compileEntry(Entry);
   if (!R) {
@@ -87,10 +97,11 @@ const CompiledModel &ModelCache::get(const models::ModelEntry &Entry,
 
 void ModelCache::prewarm(
     const std::vector<const models::ModelEntry *> &Entries,
-    const std::vector<EngineConfig> &Configs) {
+    const std::vector<EngineConfig> &Configs, EngineTier Tier) {
   for (const EngineConfig &Cfg : Configs) {
     compiler::DriverOptions Opts;
     Opts.Config = Cfg;
+    Opts.Tier = effectiveTier(Tier);
     compiler::CompilerDriver Driver(std::move(Opts));
     std::vector<compiler::CompileResult> Results =
         Driver.compileSuite(Entries);
@@ -101,7 +112,9 @@ void ModelCache::prewarm(
                      R.ModelName.c_str(), R.Err.message().c_str());
         std::abort();
       }
-      std::string Key = Entries[I]->Name + "|" + engineConfigName(Cfg);
+      std::string Key = Entries[I]->Name + "|" + engineConfigName(Cfg) +
+                        "|" +
+                        std::string(engineTierName(effectiveTier(Tier)));
       Cache.emplace(std::move(Key),
                     std::make_unique<CompiledModel>(std::move(*R.Model)));
     }
@@ -156,7 +169,10 @@ double bench::timeSimulation(const CompiledModel &Model,
   BenchStat S;
   S.Bench = CurrentBenchName;
   S.Model = Model.info().Name;
-  S.Config = engineConfigName(Model.config());
+  // Label rows by the tier that actually ran: a native-tier request that
+  // fell back to the VM must not produce a fake "+native" row.
+  S.Config = engineConfigName(Model.config()) +
+             (Model.usingNativeTier() ? "+native" : "");
   S.Threads = Threads;
   S.Cells = Protocol.NumCells;
   S.Steps = Protocol.NumSteps;

@@ -64,15 +64,21 @@ std::vector<const models::ModelEntry *> selectedModels();
 /// when LIMPET_CACHE_DIR is set: warm bench runs skip codegen entirely).
 class ModelCache {
 public:
-  const exec::CompiledModel &get(const models::ModelEntry &Entry,
-                                 const exec::EngineConfig &Cfg);
+  /// Compiles (or returns the cached) model for (entry, config, tier).
+  /// Asking for the Native tier uses EngineTier::Auto semantics under the
+  /// hood — the model silently runs on the VM when the box lacks a
+  /// toolchain; callers that must distinguish check usingNativeTier().
+  const exec::CompiledModel &
+  get(const models::ModelEntry &Entry, const exec::EngineConfig &Cfg,
+      exec::EngineTier Tier = exec::EngineTier::VM);
 
   /// Compiles every (entry, config) pair up front, each configuration's
   /// suite fanned out concurrently over the global thread pool; later
   /// get() calls are pure lookups. Aborts on a compile failure, like
   /// get().
   void prewarm(const std::vector<const models::ModelEntry *> &Entries,
-               const std::vector<exec::EngineConfig> &Configs);
+               const std::vector<exec::EngineConfig> &Configs,
+               exec::EngineTier Tier = exec::EngineTier::VM);
 
   size_t size() const { return Cache.size(); }
 

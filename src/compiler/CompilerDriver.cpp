@@ -3,6 +3,7 @@
 #include "compiler/CompilerDriver.h"
 
 #include "codegen/Vectorize.h"
+#include "compiler/KernelEmitter.h"
 #include "easyml/Sema.h"
 #include "exec/BytecodeCompiler.h"
 #include "ir/Printer.h"
@@ -179,6 +180,7 @@ CompileResult CompilerDriver::compileSource(std::string_view Name,
       CompileResult Warm = assembleFromArtifact(*A, Name, Source);
       if (Warm) {
         Warm.DiskHit = FromDisk;
+        attachNativeTier(Warm);
         return Warm;
       }
       // A cached artifact that no longer assembles (e.g. scribbled memory,
@@ -192,7 +194,26 @@ CompileResult CompilerDriver::compileSource(std::string_view Name,
   if (Cold && Opts.UseCache)
     CompileCache::global().store(
         R.CacheKey, makeArtifact(*Cold.Model, Name, R.SourceHash));
+  attachNativeTier(Cold);
   return Cold;
+}
+
+void CompilerDriver::attachNativeTier(CompileResult &R) {
+  if (Opts.Tier == exec::EngineTier::VM || !R)
+    return;
+  NativeAttachResult N =
+      getOrEmitNativeKernel(*R.Model, R.CacheKey, R.ModelName);
+  R.NativeKey = N.Key;
+  if (N) {
+    R.Model->attachNative(std::move(N.Kernel));
+    R.NativeAttached = true;
+    R.NativeCacheHit = N.MemoryHit || N.DiskHit;
+    R.NativeDiskHit = N.DiskHit;
+    return;
+  }
+  // The fallback ladder's last rung: the model keeps its VM engine and
+  // the reason is reported (Native) or available on request (Auto).
+  R.NativeErr = N.Err;
 }
 
 CompileResult CompilerDriver::compileCold(std::string_view Name,
@@ -350,7 +371,9 @@ CompileResult CompilerDriver::loadArtifact(const Artifact &A,
                           "', not '" + std::string(Name) + "'");
     return R;
   }
-  return assembleFromArtifact(A, Name, Source);
+  CompileResult R = assembleFromArtifact(A, Name, Source);
+  attachNativeTier(R);
+  return R;
 }
 
 CompileResult CompilerDriver::compileEntry(const models::ModelEntry &Entry) {

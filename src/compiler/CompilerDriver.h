@@ -25,6 +25,7 @@
 #include "compiler/Artifact.h"
 #include "compiler/CompileCache.h"
 #include "exec/CompiledModel.h"
+#include "exec/NativeKernel.h"
 #include "models/Registry.h"
 #include "support/Status.h"
 
@@ -65,6 +66,10 @@ bool isCodegenStage(Stage S);
 
 struct DriverOptions {
   exec::EngineConfig Config;
+  /// Which execution tier to attach (exec/NativeKernel.h). VM keeps the
+  /// interpreted engines; Native emits + loads a specialized kernel and
+  /// reports (but survives) toolchain failures; Auto falls back silently.
+  exec::EngineTier Tier = exec::EngineTier::VM;
   /// Consult/populate the content-addressed compile cache.
   bool UseCache = true;
   /// Capture an output snapshot after every stage (--print-ir-after-all).
@@ -95,6 +100,15 @@ struct CompileResult {
   bool DiskHit = false;  ///< specifically the on-disk tier
   uint64_t TotalNs = 0;
   std::vector<StageRecord> Stages;
+
+  // Native-tier outcome (all false/ok when DriverOptions::Tier is VM).
+  bool NativeAttached = false; ///< Model dispatches to a native kernel
+  bool NativeCacheHit = false; ///< kernel came from a cache tier (no cc)
+  bool NativeDiskHit = false;  ///< specifically the on-disk .so tier
+  uint64_t NativeKey = 0;      ///< native cache key (0 before keying)
+  /// Why the native tier is absent when it was requested; ok otherwise.
+  /// Always recoverable — the model still runs on the VM.
+  Status NativeErr;
 
   explicit operator bool() const { return Model.has_value(); }
 };
@@ -136,6 +150,9 @@ private:
   /// Warm path shared by cache hits and explicit artifact loads.
   CompileResult assembleFromArtifact(const Artifact &A, std::string_view Name,
                                      std::string_view Source);
+  /// Attaches the native kernel tier to a successful compile when the
+  /// driver targets it; failures are recorded, never fatal.
+  void attachNativeTier(CompileResult &R);
   bool wantSnapshot(Stage S) const;
 
   DriverOptions Opts;

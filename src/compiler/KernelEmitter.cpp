@@ -1,0 +1,1111 @@
+//===- KernelEmitter.cpp --------------------------------------------------===//
+//
+// Bit-identity with the VM is the whole contract here, so two details are
+// load-bearing:
+//
+//  1. The emitted statements textually mirror the interpreter's per-op
+//     expressions (exec/Engine.cpp) flavour-for-flavour — including the
+//     scalar engine's fmin/fmax vs the vector engine's ternary min/max,
+//     the prologue cell conventions (scalar: cell 0, vector: range
+//     start), and the fresh register file the scalar tail gets — and the
+//     TU is compiled with the same compiler and flag set as the host
+//     binary, so within-statement FP contraction decisions match.
+//
+//  2. The interpreter stores every result to memory through a *runtime*
+//     register index, which makes cross-instruction FMA contraction
+//     impossible there. Specialized code with constant indices would be
+//     SSA to the host compiler, which happily fuses `t = a*b; d = t+c;`
+//     across statements into an FMA under -O3 -march=native, diverging
+//     from the VM in the last ulp. The emitter therefore places an
+//     `asm("" : "+m"(dst))` value barrier after every instruction whose
+//     result could be an exposed multiply (Mul, and the inlined fast-math
+//     kernels) — forcing the same "rounds through memory" semantics the
+//     interpreter has, while leaving lane loops fully vectorizable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/KernelEmitter.h"
+
+#include "compiler/Artifact.h"
+#include "compiler/CompileCache.h"
+#include "compiler/Serialize.h"
+#include "support/Telemetry.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+using namespace limpet;
+using namespace limpet::compiler;
+using exec::BcInstr;
+using exec::BcOp;
+using exec::BcProgram;
+
+// The compiler and flags this binary was built with, baked in by
+// src/CMakeLists.txt. Matching them in the emitted TU is what makes the
+// host's FP contraction choices (and -march) reproduce exactly.
+#ifndef LIMPET_HOST_CXX
+#define LIMPET_HOST_CXX "c++"
+#endif
+#ifndef LIMPET_HOST_CXXFLAGS
+#define LIMPET_HOST_CXXFLAGS "-O2"
+#endif
+
+// The VecMath header source, embedded so emitted fast-math TUs are
+// self-contained (generated into the build tree by src/CMakeLists.txt).
+#include "compiler/VecMathEmbed.inc"
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string hex16(uint64_t Key) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof Buf, "%016llx", (unsigned long long)Key);
+  return Buf;
+}
+
+std::vector<std::string> splitFlags(std::string_view S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ' ' || C == '\t' || C == '\n') {
+      if (!Cur.empty())
+        Out.push_back(std::move(Cur));
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(std::move(Cur));
+  return Out;
+}
+
+bool isSanitizerFlag(std::string_view Tok) {
+  return Tok.rfind("-fsanitize", 0) == 0 || Tok.rfind("-fno-sanitize", 0) == 0;
+}
+
+/// Runs Argv[0] with stdout/stderr redirected to files ("" = /dev/null).
+/// Returns the exit code, or -1 when the process could not be spawned.
+int runProcess(const std::vector<std::string> &Argv,
+               const std::string &OutPath, const std::string &ErrPath) {
+  std::vector<char *> Cargv;
+  Cargv.reserve(Argv.size() + 1);
+  for (const std::string &S : Argv)
+    Cargv.push_back(const_cast<char *>(S.c_str()));
+  Cargv.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return -1;
+  if (Pid == 0) {
+    auto Redirect = [](const std::string &Path, int TargetFd) {
+      const char *P = Path.empty() ? "/dev/null" : Path.c_str();
+      int Fd = ::open(P, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (Fd >= 0) {
+        ::dup2(Fd, TargetFd);
+        ::close(Fd);
+      }
+    };
+    Redirect(OutPath, STDOUT_FILENO);
+    Redirect(ErrPath, STDERR_FILENO);
+    ::execvp(Cargv[0], Cargv.data());
+    _exit(127);
+  }
+  int WStatus = 0;
+  while (::waitpid(Pid, &WStatus, 0) < 0 && errno == EINTR)
+    ;
+  if (WIFEXITED(WStatus))
+    return WEXITSTATUS(WStatus);
+  return -1;
+}
+
+std::string readFilePrefix(const std::string &Path, size_t MaxBytes) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return "";
+  std::string Out(MaxBytes, '\0');
+  In.read(Out.data(), std::streamsize(MaxBytes));
+  Out.resize(size_t(In.gcount()));
+  return Out;
+}
+
+/// mkdtemp-backed scratch directory, removed on scope exit unless kept
+/// (LIMPET_NATIVE_KEEP_TU=1). Removal walks the directory so stray
+/// compiler droppings never leak into /tmp.
+struct TempDir {
+  std::string Path;
+  bool Keep = false;
+
+  Status create() {
+    const char *Base = ::getenv("TMPDIR");
+    std::string Tmpl = std::string(Base && *Base ? Base : "/tmp");
+    Tmpl += "/limpet-native-XXXXXX";
+    std::vector<char> Buf(Tmpl.begin(), Tmpl.end());
+    Buf.push_back('\0');
+    if (!::mkdtemp(Buf.data()))
+      return Status::error("native: mkdtemp(" + Tmpl +
+                           ") failed: " + std::strerror(errno));
+    Path = Buf.data();
+    return Status::success();
+  }
+
+  ~TempDir() {
+    if (Path.empty() || Keep)
+      return;
+    if (DIR *D = ::opendir(Path.c_str())) {
+      while (dirent *E = ::readdir(D)) {
+        std::string_view Name = E->d_name;
+        if (Name == "." || Name == "..")
+          continue;
+        ::unlink((Path + "/" + std::string(Name)).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Path.c_str());
+  }
+};
+
+bool keepTuRequested() {
+  const char *Env = ::getenv("LIMPET_NATIVE_KEEP_TU");
+  return Env && Env[0] == '1';
+}
+
+/// Moves Src to Dst, falling back to a copy when they live on different
+/// filesystems (/tmp is often a separate tmpfs from the cache dir).
+Status moveFile(const std::string &Src, const std::string &Dst) {
+  if (::rename(Src.c_str(), Dst.c_str()) == 0)
+    return Status::success();
+  if (errno != EXDEV)
+    return Status::error("native: rename to " + Dst +
+                         " failed: " + std::strerror(errno));
+  std::ifstream In(Src, std::ios::binary);
+  std::ostringstream Bytes;
+  Bytes << In.rdbuf();
+  if (!In)
+    return Status::error("native: reading " + Src + " failed");
+  if (Status St = writeFileAtomic(Bytes.str(), Dst); !St)
+    return St;
+  ::unlink(Src.c_str());
+  return Status::success();
+}
+
+std::mutex &registryMutex() {
+  static std::mutex Mu;
+  return Mu;
+}
+
+std::unordered_map<uint64_t, std::shared_ptr<exec::NativeKernel>> &registry() {
+  static auto *Map =
+      new std::unordered_map<uint64_t, std::shared_ptr<exec::NativeKernel>>();
+  return *Map;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Toolchain probe + cache key
+//===----------------------------------------------------------------------===//
+
+Expected<NativeToolchain> compiler::nativeToolchain() {
+  NativeToolchain TC;
+  const char *EnvCc = ::getenv("LIMPET_NATIVE_CC");
+  TC.Compiler = EnvCc && *EnvCc ? EnvCc : LIMPET_HOST_CXX;
+
+  const char *EnvFlags = ::getenv("LIMPET_NATIVE_CXXFLAGS");
+  std::string Base = EnvFlags ? EnvFlags : LIMPET_HOST_CXXFLAGS;
+  std::string Flags;
+  // Sanitizer instrumentation must never leak into kernels: the host
+  // flags are reused for FP fidelity, not for instrumentation, and a
+  // -fsanitize'd .so would need the runtime preloaded to even dlopen.
+  for (const std::string &Tok : splitFlags(Base)) {
+    if (isSanitizerFlag(Tok))
+      continue;
+    Flags += Tok;
+    Flags += ' ';
+  }
+  Flags += "-std=c++20 -fPIC -shared -w";
+  TC.Flags = std::move(Flags);
+
+  // `cc --version` both proves the compiler is runnable and names the
+  // exact version for the cache key, so a toolchain upgrade behind a
+  // stable path (e.g. /usr/bin/c++) invalidates every cached kernel.
+  struct ProbeResult {
+    bool Ok = false;
+    std::string IdentityOrError;
+  };
+  static std::mutex ProbeMu;
+  static std::unordered_map<std::string, ProbeResult> Probes;
+  {
+    std::lock_guard<std::mutex> Lock(ProbeMu);
+    auto It = Probes.find(TC.Compiler);
+    if (It != Probes.end()) {
+      if (!It->second.Ok)
+        return Status::error(It->second.IdentityOrError);
+      TC.Identity = It->second.IdentityOrError;
+      return TC;
+    }
+  }
+
+  ProbeResult Probe;
+  TempDir Dir;
+  if (Status St = Dir.create(); !St) {
+    // Can't even make a scratch file: report without memoizing, the
+    // condition (full /tmp) is transient in a way a missing cc is not.
+    return Status::error(St.message());
+  }
+  std::string OutPath = Dir.Path + "/cc.version";
+  int RC = runProcess({TC.Compiler, "--version"}, OutPath, "");
+  std::string FirstLine = readFilePrefix(OutPath, 256);
+  if (size_t NL = FirstLine.find('\n'); NL != std::string::npos)
+    FirstLine.resize(NL);
+  if (RC != 0 || FirstLine.empty()) {
+    Probe.Ok = false;
+    Probe.IdentityOrError = "native: compiler '" + TC.Compiler +
+                            "' is not runnable (exit " + std::to_string(RC) +
+                            "); set LIMPET_NATIVE_CC or use --engine=vm";
+  } else {
+    Probe.Ok = true;
+    Probe.IdentityOrError = FirstLine;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ProbeMu);
+    Probes.emplace(TC.Compiler, Probe);
+  }
+  if (!Probe.Ok)
+    return Status::error(Probe.IdentityOrError);
+  TC.Identity = Probe.IdentityOrError;
+  return TC;
+}
+
+uint64_t compiler::nativeKernelKey(uint64_t CompileKey, uint32_t EmitterVersion,
+                                   const NativeToolchain &TC) {
+  char Head[12];
+  std::memcpy(Head, &CompileKey, 8);
+  std::memcpy(Head + 8, &EmitterVersion, 4);
+  uint64_t H = fnv1a64(std::string_view(Head, sizeof Head));
+  H = fnv1a64(TC.Compiler, H);
+  H = fnv1a64(TC.Identity, H);
+  H = fnv1a64(TC.Flags, H);
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Source emission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Exact double literal: the bit pattern survives the round trip through
+/// source text by construction (decimal literals would not).
+std::string bitsLiteral(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, 8);
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "lbits(0x%016llxull) /* %.17g */",
+                (unsigned long long)Bits, V);
+  return Buf;
+}
+
+/// Math call spelling per flavour; mirrors MathOps<Fast> in Engine.cpp.
+/// Returns nullptr for ops that are not unary/binary math calls.
+const char *mathFnName(BcOp Op, bool Fast) {
+  switch (Op) {
+  case BcOp::Exp:
+    return Fast ? "limpet::vecmath::fastExp" : "std::exp";
+  case BcOp::Expm1:
+    return Fast ? "limpet::vecmath::fastExpm1" : "std::expm1";
+  case BcOp::Log:
+    return Fast ? "limpet::vecmath::fastLog" : "std::log";
+  case BcOp::Log10:
+    return Fast ? "limpet::vecmath::fastLog10" : "std::log10";
+  case BcOp::Pow:
+    return Fast ? "limpet::vecmath::fastPow" : "std::pow";
+  case BcOp::Sin:
+    return Fast ? "limpet::vecmath::fastSin" : "std::sin";
+  case BcOp::Cos:
+    return Fast ? "limpet::vecmath::fastCos" : "std::cos";
+  case BcOp::Tan:
+    return Fast ? "limpet::vecmath::fastTan" : "std::tan";
+  case BcOp::Tanh:
+    return Fast ? "limpet::vecmath::fastTanh" : "std::tanh";
+  case BcOp::Sinh:
+    return Fast ? "limpet::vecmath::fastSinh" : "std::sinh";
+  case BcOp::Cosh:
+    return Fast ? "limpet::vecmath::fastCosh" : "std::cosh";
+  case BcOp::Atan:
+    return Fast ? "limpet::vecmath::fastAtan" : "std::atan";
+  case BcOp::Asin:
+    return Fast ? "limpet::vecmath::fastAsin" : "std::asin";
+  case BcOp::Acos:
+    return Fast ? "limpet::vecmath::fastAcos" : "std::acos";
+  case BcOp::Sqrt:
+    return "std::sqrt";
+  case BcOp::Abs:
+    return "std::fabs";
+  case BcOp::Floor:
+    return "std::floor";
+  case BcOp::Ceil:
+    return "std::ceil";
+  default:
+    return nullptr;
+  }
+}
+
+const char *binOpSpelling(BcOp Op) {
+  switch (Op) {
+  case BcOp::Add:
+    return "+";
+  case BcOp::Sub:
+    return "-";
+  case BcOp::Mul:
+    return "*";
+  case BcOp::Div:
+    return "/";
+  case BcOp::CmpLT:
+    return "<";
+  case BcOp::CmpLE:
+    return "<=";
+  case BcOp::CmpGT:
+    return ">";
+  case BcOp::CmpGE:
+    return ">=";
+  case BcOp::CmpEQ:
+    return "==";
+  case BcOp::CmpNE:
+    return "!=";
+  default:
+    return nullptr;
+  }
+}
+
+bool isCmp(BcOp Op) {
+  switch (Op) {
+  case BcOp::CmpLT:
+  case BcOp::CmpLE:
+  case BcOp::CmpGT:
+  case BcOp::CmpGE:
+  case BcOp::CmpEQ:
+  case BcOp::CmpNE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True when the instruction's destination may hold an exposed multiply
+/// result in SSA form — the cross-statement FMA contraction hazard the
+/// value barriers exist to close. The libm calls are opaque to the
+/// optimizer, so only the inlined fast-math kernels join Mul here.
+bool needsBarrier(BcOp Op, bool Fast) {
+  if (Op == BcOp::Mul)
+    return true;
+  if (!Fast)
+    return false;
+  switch (Op) {
+  case BcOp::Exp:
+  case BcOp::Expm1:
+  case BcOp::Log:
+  case BcOp::Log10:
+  case BcOp::Pow:
+  case BcOp::Sin:
+  case BcOp::Cos:
+  case BcOp::Tan:
+  case BcOp::Tanh:
+  case BcOp::Sinh:
+  case BcOp::Cosh:
+  case BcOp::Atan:
+  case BcOp::Asin:
+  case BcOp::Acos:
+    return true;
+  default:
+    return false;
+  }
+}
+
+struct EmitCtx {
+  const BcProgram &P;
+  bool Fast;
+  /// Lanes of the flavour being emitted; 1 selects the scalar mirror.
+  unsigned W;
+};
+
+std::string stateIndexExpr(const EmitCtx &C, const std::string &Cell,
+                           int64_t Sv) {
+  // Literal-folded stateIndex (codegen/KernelSpec.h) for this program's
+  // layout; all arithmetic stays int64 exactly as in the inline original.
+  std::ostringstream S;
+  switch (C.P.Layout) {
+  case codegen::StateLayout::AoS:
+    S << "(" << Cell << ") * " << int64_t(C.P.NumSv) << "ll + " << Sv << "ll";
+    break;
+  case codegen::StateLayout::SoA:
+    S << Sv << "ll * A.NumCells + (" << Cell << ")";
+    break;
+  case codegen::StateLayout::AoSoA: {
+    int64_t W = C.P.AoSoAW;
+    S << "((" << Cell << ") / " << W << "ll) * "
+      << int64_t(C.P.NumSv) * W << "ll + " << Sv * W << "ll + (" << Cell
+      << ") % " << W << "ll";
+    break;
+  }
+  }
+  return S.str();
+}
+
+/// One instruction of the scalar flavour: a single statement mirroring
+/// execScalarInstr<Fast>, registers specialized to constant indices.
+void emitScalarInstr(std::string &Out, const BcInstr &I, const EmitCtx &C,
+                     const std::string &Cell) {
+  auto R = [](unsigned Reg) { return "R[" + std::to_string(Reg) + "]"; };
+  std::string D = R(I.Dst), Ra = R(I.A), Rb = R(I.B), Rc = R(I.C);
+  std::ostringstream S;
+  S << "    ";
+  switch (I.Op) {
+  case BcOp::ConstF:
+    S << D << " = " << bitsLiteral(I.Imm) << ";";
+    break;
+  case BcOp::Copy:
+    S << D << " = " << Ra << ";";
+    break;
+  case BcOp::LoadState:
+    S << D << " = A.State[" << stateIndexExpr(C, Cell, I.Aux) << "];";
+    break;
+  case BcOp::StoreState:
+    S << "A.State[" << stateIndexExpr(C, Cell, I.Aux) << "] = " << Ra << ";";
+    break;
+  case BcOp::LoadExt:
+    S << D << " = A.Exts[" << I.Aux << "][" << Cell << "];";
+    break;
+  case BcOp::StoreExt:
+    S << "A.Exts[" << I.Aux << "][" << Cell << "] = " << Ra << ";";
+    break;
+  case BcOp::LoadParam:
+    S << D << " = A.Params[" << I.Aux << "];";
+    break;
+  case BcOp::Rem:
+    S << D << " = std::fmod(" << Ra << ", " << Rb << ");";
+    break;
+  case BcOp::Neg:
+    S << D << " = -" << Ra << ";";
+    break;
+  case BcOp::Min:
+    S << D << " = std::fmin(" << Ra << ", " << Rb << ");";
+    break;
+  case BcOp::Max:
+    S << D << " = std::fmax(" << Ra << ", " << Rb << ");";
+    break;
+  case BcOp::And:
+    S << D << " = (" << Ra << " != 0.0) && (" << Rb
+      << " != 0.0) ? 1.0 : 0.0;";
+    break;
+  case BcOp::Or:
+    S << D << " = (" << Ra << " != 0.0) || (" << Rb
+      << " != 0.0) ? 1.0 : 0.0;";
+    break;
+  case BcOp::Xor:
+    S << D << " = (" << Ra << " != 0.0) != (" << Rb
+      << " != 0.0) ? 1.0 : 0.0;";
+    break;
+  case BcOp::Select:
+    S << D << " = " << Ra << " != 0.0 ? " << Rb << " : " << Rc << ";";
+    break;
+  case BcOp::LutCoord:
+    // Mirrors LutTable::coord: NaN clamps to 0 before the int64_t cast.
+    S << "{\n      const NativeLutDesc &Lt = A.Luts[" << I.Aux << "];\n"
+      << "      double Pos = (" << Ra << " - Lt.Lo) * Lt.InvStep;\n"
+      << "      Pos = Pos > 0.0 ? (Pos < Lt.MaxPos ? Pos : Lt.MaxPos) : "
+         "0.0;\n"
+      << "      double Floor = double(int64_t(Pos));\n"
+      << "      Floor = Floor > Lt.MaxIdx ? Lt.MaxIdx : Floor;\n"
+      << "      " << D << " = Floor;\n"
+      << "      " << Rc << " = Pos - Floor;\n"
+      << "    }";
+    break;
+  case BcOp::LutInterp:
+    // Mirrors LutTable::interp.
+    S << "{\n      const NativeLutDesc &Lt = A.Luts[" << I.Aux << "];\n"
+      << "      const double *Row = Lt.Data + size_t(int64_t(" << Ra
+      << ")) * Lt.Cols + " << I.Aux2 << ";\n"
+      << "      double Va = Row[0];\n"
+      << "      double Vb = Row[size_t(Lt.Cols)];\n"
+      << "      " << D << " = Va + " << Rb << " * (Vb - Va);\n"
+      << "    }";
+    break;
+  case BcOp::LutInterpCubic:
+    // Mirrors LutTable::interpCubic (four-point Lagrange).
+    S << "{\n      const NativeLutDesc &Lt = A.Luts[" << I.Aux << "];\n"
+      << "      int64_t Idx = int64_t(" << Ra << ");\n"
+      << "      int64_t I0 = Idx > 0 ? Idx - 1 : 0;\n"
+      << "      int64_t I3 = Idx + 2 < Lt.Rows ? Idx + 2 : Lt.Rows - 1;\n"
+      << "      double P0 = Lt.Data[size_t(I0) * Lt.Cols + " << I.Aux2
+      << "];\n"
+      << "      double P1 = Lt.Data[size_t(Idx) * Lt.Cols + " << I.Aux2
+      << "];\n"
+      << "      double P2 = Lt.Data[size_t(Idx + 1) * Lt.Cols + " << I.Aux2
+      << "];\n"
+      << "      double P3 = Lt.Data[size_t(I3) * Lt.Cols + " << I.Aux2
+      << "];\n"
+      << "      double Tf = " << Rb << ";\n"
+      << "      double W0 = -Tf * (Tf - 1.0) * (Tf - 2.0) * (1.0 / 6.0);\n"
+      << "      double W1 = (Tf + 1.0) * (Tf - 1.0) * (Tf - 2.0) * 0.5;\n"
+      << "      double W2 = -(Tf + 1.0) * Tf * (Tf - 2.0) * 0.5;\n"
+      << "      double W3 = (Tf + 1.0) * Tf * (Tf - 1.0) * (1.0 / 6.0);\n"
+      << "      " << D << " = W0 * P0 + W1 * P1 + W2 * P2 + W3 * P3;\n"
+      << "    }";
+    break;
+  default:
+    if (const char *Fn = mathFnName(I.Op, C.Fast)) {
+      if (I.Op == BcOp::Pow || I.Op == BcOp::Rem)
+        S << D << " = " << Fn << "(" << Ra << ", " << Rb << ");";
+      else
+        S << D << " = " << Fn << "(" << Ra << ");";
+    } else if (const char *Sp = binOpSpelling(I.Op)) {
+      if (isCmp(I.Op))
+        S << D << " = " << Ra << " " << Sp << " " << Rb << " ? 1.0 : 0.0;";
+      else
+        S << D << " = " << Ra << " " << Sp << " " << Rb << ";";
+    }
+    break;
+  }
+  Out += S.str();
+  if (needsBarrier(I.Op, C.Fast))
+    Out += "\n    asm(\"\" : \"+m\"(" + D + "));";
+  Out += "\n";
+}
+
+/// One instruction of the vector flavour: a braced block with restrict
+/// lane-base pointers and a constant-trip lane loop, mirroring
+/// execVectorInstr<W, Fast>.
+void emitVectorInstr(std::string &Out, const BcInstr &I, const EmitCtx &C,
+                     const std::string &Cell) {
+  const unsigned W = C.W;
+  auto Base = [&](unsigned Reg) { return std::to_string(size_t(Reg) * W); };
+  std::string Lane = "for (int L = 0; L != " + std::to_string(W) + "; ++L)";
+  std::ostringstream S;
+  S << "    { // " << bcOpName(I.Op) << "\n";
+  auto DeclD = [&] {
+    S << "      double *LIMPET_RESTRICT D = R + " << Base(I.Dst) << ";\n";
+  };
+  auto DeclA = [&] {
+    S << "      const double *LIMPET_RESTRICT Ra = R + " << Base(I.A)
+      << ";\n";
+  };
+  auto DeclB = [&] {
+    S << "      const double *LIMPET_RESTRICT Rb = R + " << Base(I.B)
+      << ";\n";
+  };
+  auto DeclC = [&] {
+    S << "      const double *LIMPET_RESTRICT Rc = R + " << Base(I.C)
+      << ";\n";
+  };
+
+  switch (I.Op) {
+  case BcOp::ConstF:
+    DeclD();
+    S << "      " << Lane << "\n        D[L] = " << bitsLiteral(I.Imm)
+      << ";\n";
+    break;
+  case BcOp::Copy:
+    DeclD();
+    DeclA();
+    S << "      " << Lane << "\n        D[L] = Ra[L];\n";
+    break;
+  case BcOp::LoadState:
+    DeclD();
+    switch (C.P.Layout) {
+    case codegen::StateLayout::AoSoA:
+      S << "      const double *Src = A.State + size_t(" << Cell << ") * "
+        << C.P.NumSv << " + " << size_t(I.Aux) * W << ";\n"
+        << "      " << Lane << "\n        D[L] = Src[L];\n";
+      break;
+    case codegen::StateLayout::SoA:
+      S << "      const double *Src = A.State + size_t(" << I.Aux
+        << ") * A.NumCells + " << Cell << ";\n"
+        << "      " << Lane << "\n        D[L] = Src[L];\n";
+      break;
+    case codegen::StateLayout::AoS:
+      S << "      " << Lane << "\n        D[L] = A.State[size_t(" << Cell
+        << " + L) * " << C.P.NumSv << " + " << size_t(I.Aux) << "];\n";
+      break;
+    }
+    break;
+  case BcOp::StoreState:
+    DeclA();
+    switch (C.P.Layout) {
+    case codegen::StateLayout::AoSoA:
+      S << "      double *Dst = A.State + size_t(" << Cell << ") * "
+        << C.P.NumSv << " + " << size_t(I.Aux) * W << ";\n"
+        << "      " << Lane << "\n        Dst[L] = Ra[L];\n";
+      break;
+    case codegen::StateLayout::SoA:
+      S << "      double *Dst = A.State + size_t(" << I.Aux
+        << ") * A.NumCells + " << Cell << ";\n"
+        << "      " << Lane << "\n        Dst[L] = Ra[L];\n";
+      break;
+    case codegen::StateLayout::AoS:
+      S << "      " << Lane << "\n        A.State[size_t(" << Cell
+        << " + L) * " << C.P.NumSv << " + " << size_t(I.Aux)
+        << "] = Ra[L];\n";
+      break;
+    }
+    break;
+  case BcOp::LoadExt:
+    DeclD();
+    S << "      const double *Src = A.Exts[" << I.Aux << "] + " << Cell
+      << ";\n"
+      << "      " << Lane << "\n        D[L] = Src[L];\n";
+    break;
+  case BcOp::StoreExt:
+    DeclA();
+    S << "      double *Dst = A.Exts[" << I.Aux << "] + " << Cell << ";\n"
+      << "      " << Lane << "\n        Dst[L] = Ra[L];\n";
+    break;
+  case BcOp::LoadParam:
+    DeclD();
+    S << "      " << Lane << "\n        D[L] = A.Params[" << I.Aux
+      << "];\n";
+    break;
+  case BcOp::Rem:
+    DeclD();
+    DeclA();
+    DeclB();
+    S << "      " << Lane << "\n        D[L] = std::fmod(Ra[L], Rb[L]);\n";
+    break;
+  case BcOp::Neg:
+    DeclD();
+    DeclA();
+    S << "      " << Lane << "\n        D[L] = -Ra[L];\n";
+    break;
+  case BcOp::Min:
+    // The vector engine uses the ternary (not fmin): mirror it exactly,
+    // NaN behaviour included.
+    DeclD();
+    DeclA();
+    DeclB();
+    S << "      " << Lane
+      << "\n        D[L] = Ra[L] < Rb[L] ? Ra[L] : Rb[L];\n";
+    break;
+  case BcOp::Max:
+    DeclD();
+    DeclA();
+    DeclB();
+    S << "      " << Lane
+      << "\n        D[L] = Ra[L] > Rb[L] ? Ra[L] : Rb[L];\n";
+    break;
+  case BcOp::And:
+    DeclD();
+    DeclA();
+    DeclB();
+    S << "      " << Lane
+      << "\n        D[L] = (Ra[L] != 0.0) & (Rb[L] != 0.0) ? 1.0 : 0.0;\n";
+    break;
+  case BcOp::Or:
+    DeclD();
+    DeclA();
+    DeclB();
+    S << "      " << Lane
+      << "\n        D[L] = (Ra[L] != 0.0) | (Rb[L] != 0.0) ? 1.0 : 0.0;\n";
+    break;
+  case BcOp::Xor:
+    DeclD();
+    DeclA();
+    DeclB();
+    S << "      " << Lane
+      << "\n        D[L] = (Ra[L] != 0.0) != (Rb[L] != 0.0) ? 1.0 : "
+         "0.0;\n";
+    break;
+  case BcOp::Select:
+    DeclD();
+    DeclA();
+    DeclB();
+    DeclC();
+    S << "      " << Lane
+      << "\n        D[L] = Ra[L] != 0.0 ? Rb[L] : Rc[L];\n";
+    break;
+  case BcOp::LutCoord:
+    DeclD();
+    DeclA();
+    S << "      double *LIMPET_RESTRICT Fr = R + " << Base(I.C) << ";\n"
+      << "      const NativeLutDesc &Lt = A.Luts[" << I.Aux << "];\n"
+      << "      double Lo = Lt.Lo, InvStep = Lt.InvStep;\n"
+      << "      double MaxPos = Lt.MaxPos, MaxIdx = Lt.MaxIdx;\n"
+      << "      " << Lane << " {\n"
+      << "        double Pos = (Ra[L] - Lo) * InvStep;\n"
+      << "        Pos = Pos > 0.0 ? (Pos < MaxPos ? Pos : MaxPos) : 0.0;\n"
+      << "        double Floor = double(int64_t(Pos));\n"
+      << "        Floor = Floor > MaxIdx ? MaxIdx : Floor;\n"
+      << "        D[L] = Floor;\n"
+      << "        Fr[L] = Pos - Floor;\n"
+      << "      }\n";
+    break;
+  case BcOp::LutInterp:
+    DeclD();
+    DeclA();
+    DeclB();
+    S << "      const NativeLutDesc &Lt = A.Luts[" << I.Aux << "];\n"
+      << "      const double *LIMPET_RESTRICT Tab = Lt.Data;\n"
+      << "      int64_t Cols = Lt.Cols;\n"
+      << "      " << Lane << " {\n"
+      << "        int64_t Idx = int64_t(Ra[L]);\n"
+      << "        double Lo = Tab[Idx * Cols + " << I.Aux2 << "];\n"
+      << "        double Hi = Tab[Idx * Cols + Cols + " << I.Aux2 << "];\n"
+      << "        D[L] = Lo + Rb[L] * (Hi - Lo);\n"
+      << "      }\n";
+    break;
+  case BcOp::LutInterpCubic:
+    DeclD();
+    DeclA();
+    DeclB();
+    S << "      const NativeLutDesc &Lt = A.Luts[" << I.Aux << "];\n"
+      << "      const double *LIMPET_RESTRICT Tab = Lt.Data;\n"
+      << "      int64_t Cols = Lt.Cols;\n"
+      << "      int64_t LastRow = Lt.Rows - 1;\n"
+      << "      " << Lane << " {\n"
+      << "        int64_t Idx = int64_t(Ra[L]);\n"
+      << "        int64_t I0 = Idx > 0 ? Idx - 1 : 0;\n"
+      << "        int64_t I3 = Idx + 2 < LastRow + 1 ? Idx + 2 : LastRow;\n"
+      << "        double P0 = Tab[I0 * Cols + " << I.Aux2 << "];\n"
+      << "        double P1 = Tab[Idx * Cols + " << I.Aux2 << "];\n"
+      << "        double P2 = Tab[(Idx + 1) * Cols + " << I.Aux2 << "];\n"
+      << "        double P3 = Tab[I3 * Cols + " << I.Aux2 << "];\n"
+      << "        double Tf = Rb[L];\n"
+      << "        double W0 = -Tf * (Tf - 1.0) * (Tf - 2.0) * (1.0 / "
+         "6.0);\n"
+      << "        double W1 = (Tf + 1.0) * (Tf - 1.0) * (Tf - 2.0) * "
+         "0.5;\n"
+      << "        double W2 = -(Tf + 1.0) * Tf * (Tf - 2.0) * 0.5;\n"
+      << "        double W3 = (Tf + 1.0) * Tf * (Tf - 1.0) * (1.0 / "
+         "6.0);\n"
+      << "        D[L] = W0 * P0 + W1 * P1 + W2 * P2 + W3 * P3;\n"
+      << "      }\n";
+    break;
+  default:
+    if (const char *Fn = mathFnName(I.Op, C.Fast)) {
+      DeclD();
+      DeclA();
+      if (I.Op == BcOp::Pow) {
+        DeclB();
+        S << "      " << Lane << "\n        D[L] = " << Fn
+          << "(Ra[L], Rb[L]);\n";
+      } else {
+        S << "      " << Lane << "\n        D[L] = " << Fn << "(Ra[L]);\n";
+      }
+    } else if (const char *Sp = binOpSpelling(I.Op)) {
+      DeclD();
+      DeclA();
+      DeclB();
+      if (isCmp(I.Op))
+        S << "      " << Lane << "\n        D[L] = Ra[L] " << Sp
+          << " Rb[L] ? 1.0 : 0.0;\n";
+      else
+        S << "      " << Lane << "\n        D[L] = Ra[L] " << Sp
+          << " Rb[L];\n";
+    }
+    break;
+  }
+  if (needsBarrier(I.Op, C.Fast))
+    S << "      asm(\"\" : \"+m\"(*(double(*)[" << W << "])(R + "
+      << Base(I.Dst) << ")));\n";
+  S << "    }\n";
+  Out += S.str();
+}
+
+/// Emits one run function over [Begin, End): the scalar mirror when
+/// C.W == 1, the W-block vector mirror otherwise.
+void emitRunFunction(std::string &Out, const EmitCtx &C,
+                     const std::string &FnName) {
+  const BcProgram &P = C.P;
+  const unsigned W = C.W;
+  size_t NumSlots = size_t(P.NumRegs) * W;
+  Out += "static void " + FnName +
+         "(const NativeKernelArgs &A, int64_t Begin, int64_t End) {\n";
+  Out += "  double R[" + std::to_string(NumSlots == 0 ? 1 : NumSlots) +
+         "];\n";
+  Out += "  for (size_t I = 0; I != " + std::to_string(NumSlots) +
+         "; ++I)\n    R[I] = 0.0;\n";
+  if (P.HasDt) {
+    if (W == 1)
+      Out += "  R[" + std::to_string(P.DtReg) + "] = A.Dt;\n";
+    else
+      Out += "  for (int L = 0; L != " + std::to_string(W) +
+             "; ++L)\n    R[" + std::to_string(size_t(P.DtReg) * W) +
+             " + L] = A.Dt;\n";
+  }
+  if (P.HasT) {
+    if (W == 1)
+      Out += "  R[" + std::to_string(P.TReg) + "] = A.T;\n";
+    else
+      Out += "  for (int L = 0; L != " + std::to_string(W) +
+             "; ++L)\n    R[" + std::to_string(size_t(P.TReg) * W) +
+             " + L] = A.T;\n";
+  }
+  // Prologue cell convention mirrors the engines: the scalar flavour runs
+  // it at cell 0, the vector flavour at the range start (lane-uniform
+  // either way — it never touches per-cell storage).
+  Out += "  {\n";
+  Out += W == 1 ? "    const int64_t Cell = 0; (void)Cell;\n"
+                : "    const int64_t Cell = Begin; (void)Cell;\n";
+  for (const BcInstr &I : P.Prologue) {
+    if (W == 1)
+      emitScalarInstr(Out, I, C, "Cell");
+    else
+      emitVectorInstr(Out, I, C, "Cell");
+  }
+  Out += "  }\n";
+  if (W == 1)
+    Out += "  for (int64_t Cell = Begin; Cell != End; ++Cell) {\n";
+  else
+    Out += "  for (int64_t Cell = Begin; Cell + " + std::to_string(W) +
+           " <= End; Cell += " + std::to_string(W) + ") {\n";
+  for (const BcInstr &I : P.Body) {
+    if (W == 1)
+      emitScalarInstr(Out, I, C, "Cell");
+    else
+      emitVectorInstr(Out, I, C, "Cell");
+  }
+  Out += "  }\n";
+  Out += "}\n\n";
+}
+
+} // namespace
+
+std::string compiler::emitKernelSource(const exec::CompiledModel &M,
+                                       std::string_view ModelName,
+                                       uint64_t Key) {
+  const BcProgram &P = M.program();
+  const exec::EngineConfig &Cfg = M.config();
+  const unsigned W = Cfg.Width;
+  const bool Fast = Cfg.FastMath;
+
+  std::string S;
+  S.reserve(64 * 1024);
+  S += "// Generated by limpet KernelEmitter v" +
+       std::to_string(kKernelEmitterVersion) + " — do not edit.\n";
+  S += "// model: " + std::string(ModelName) + "\n";
+  S += "// config: " + exec::engineConfigName(Cfg) + "\n";
+  S += "// key: " + hex16(Key) + "\n";
+  S += "#include <cmath>\n#include <cstdint>\n#include <cstring>\n\n";
+  if (Fast) {
+    // Self-contained copy of the VecMath kernels: the exact header the
+    // host was built with, so inlining and contraction match.
+    S += kVecMathSource;
+    S += "\n";
+  }
+  S += "#define LIMPET_RESTRICT __restrict\n\n";
+  S += "namespace {\n\n";
+  // C ABI mirror of exec::NativeKernel.h — bump the ABI version there if
+  // these ever change.
+  S += "struct NativeLutDesc {\n"
+       "  const double *Data;\n"
+       "  int64_t Rows;\n"
+       "  int64_t Cols;\n"
+       "  double Lo;\n"
+       "  double InvStep;\n"
+       "  double MaxPos;\n"
+       "  double MaxIdx;\n"
+       "};\n\n"
+       "struct NativeKernelArgs {\n"
+       "  double *State;\n"
+       "  double *const *Exts;\n"
+       "  const double *Params;\n"
+       "  int64_t Start;\n"
+       "  int64_t End;\n"
+       "  int64_t NumCells;\n"
+       "  double Dt;\n"
+       "  double T;\n"
+       "  const NativeLutDesc *Luts;\n"
+       "};\n\n";
+  S += "inline double lbits(unsigned long long B) {\n"
+       "  double D;\n"
+       "  std::memcpy(&D, &B, 8);\n"
+       "  return D;\n"
+       "}\n\n";
+
+  if (W > 1) {
+    EmitCtx Main{P, Fast, W};
+    emitRunFunction(S, Main, "limpet_run_main");
+  }
+  EmitCtx Tail{P, Fast, 1};
+  emitRunFunction(S, Tail, "limpet_run_tail");
+  S += "} // namespace\n\n";
+
+  S += "extern \"C\" int32_t limpet_kernel_abi_version() { return " +
+       std::to_string(exec::kNativeKernelAbiVersion) + "; }\n\n";
+  S += "extern \"C\" const char *limpet_kernel_meta() {\n  return \"" +
+       std::string(ModelName) + " " + exec::engineConfigName(Cfg) + " key=" +
+       hex16(Key) + " emitter=v" + std::to_string(kKernelEmitterVersion) +
+       "\";\n}\n\n";
+  S += "extern \"C\" void limpet_kernel_step(const NativeKernelArgs "
+       "*Args) {\n";
+  S += "  const NativeKernelArgs &A = *Args;\n";
+  if (W > 1) {
+    // Mirrors Backend::dispatch: whole W-blocks through the vector
+    // flavour, the ragged tail through the scalar flavour with its own
+    // fresh register file and prologue run.
+    S += "  int64_t Main = A.Start + (A.End - A.Start) / " +
+         std::to_string(W) + " * " + std::to_string(W) + ";\n";
+    S += "  if (Main > A.Start)\n    limpet_run_main(A, A.Start, Main);\n";
+    S += "  if (Main < A.End)\n    limpet_run_tail(A, Main, A.End);\n";
+  } else {
+    S += "  limpet_run_tail(A, A.Start, A.End);\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Cache + compile orchestration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string nativeDiskPath(uint64_t Key) {
+  std::string Dir = CompileCache::global().diskDir();
+  if (Dir.empty())
+    return "";
+  return Dir + "/" + hex16(Key) + ".native.so";
+}
+
+Status runCompiler(const NativeToolchain &TC, const std::string &TuPath,
+                   const std::string &SoPath, const std::string &ErrPath) {
+  std::vector<std::string> Argv;
+  Argv.push_back(TC.Compiler);
+  for (std::string &Tok : splitFlags(TC.Flags))
+    Argv.push_back(std::move(Tok));
+  Argv.push_back("-o");
+  Argv.push_back(SoPath);
+  Argv.push_back(TuPath);
+
+  telemetry::counter("native.cc.count").add(1);
+#if LIMPET_TELEMETRY_ENABLED
+  auto T0 = telemetry::Clock::now();
+#endif
+  int RC = runProcess(Argv, "", ErrPath);
+#if LIMPET_TELEMETRY_ENABLED
+  telemetry::counter("native.cc.ns").add(telemetry::nanosecondsSince(T0));
+#endif
+  if (RC == 0)
+    return Status::success();
+  std::string Err = readFilePrefix(ErrPath, 2000);
+  return Status::error("native: " + TC.Compiler + " exited " +
+                       std::to_string(RC) +
+                       (Err.empty() ? std::string() : ":\n" + Err));
+}
+
+} // namespace
+
+NativeAttachResult compiler::getOrEmitNativeKernel(const exec::CompiledModel &M,
+                                                   uint64_t CompileKey,
+                                                   std::string_view ModelName) {
+  NativeAttachResult Res;
+  auto FailWith = [&Res](Status St) -> NativeAttachResult & {
+    telemetry::counter("native.attach.fail").add(1);
+    Res.Err = std::move(St);
+    return Res;
+  };
+
+  Expected<NativeToolchain> TC = nativeToolchain();
+  if (!TC)
+    return FailWith(TC.status());
+
+  const exec::EngineConfig &Cfg = M.config();
+  uint64_t Key = nativeKernelKey(CompileKey, kKernelEmitterVersion, *TC);
+  Res.Key = Key;
+  std::string KernelName = "native/" + exec::engineConfigName(Cfg);
+
+  // Tier 1: the in-process loaded-kernel registry.
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    auto It = registry().find(Key);
+    if (It != registry().end()) {
+      telemetry::counter("native.cache.hit").add(1);
+      Res.Kernel = It->second;
+      Res.MemoryHit = true;
+      return Res;
+    }
+  }
+
+  auto Publish = [&](std::shared_ptr<exec::NativeKernel> K) {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    // Two threads can race the same miss; the first insert wins and both
+    // share its kernel.
+    auto [It, Inserted] = registry().emplace(Key, std::move(K));
+    Res.Kernel = It->second;
+  };
+
+  // Tier 2: the on-disk .so cache next to the artifact cache.
+  std::string DiskPath = nativeDiskPath(Key);
+  if (!DiskPath.empty() && ::access(DiskPath.c_str(), R_OK) == 0) {
+    Expected<std::shared_ptr<exec::NativeKernel>> K =
+        exec::NativeKernel::load(DiskPath, Cfg.Width, Cfg.FastMath,
+                                 KernelName);
+    if (K) {
+      telemetry::counter("native.cache.disk_hit").add(1);
+      Res.DiskHit = true;
+      Publish(*K);
+      return Res;
+    }
+    // Corrupt or truncated entry: count it, delete it, re-emit below —
+    // the same discipline the artifact disk tier uses.
+    telemetry::counter("native.cache.bad").add(1);
+    ::unlink(DiskPath.c_str());
+  }
+  telemetry::counter("native.cache.miss").add(1);
+
+  // Tier 3: emit the TU and shell out to the toolchain.
+  TempDir Dir;
+  Dir.Keep = keepTuRequested();
+  if (Status St = Dir.create(); !St)
+    return FailWith(St);
+  std::string TuPath = Dir.Path + "/kernel.cpp";
+  std::string SoPath = Dir.Path + "/kernel.so";
+  std::string ErrPath = Dir.Path + "/cc.err";
+
+  std::string Source = emitKernelSource(M, ModelName, Key);
+  if (Status St = writeFileAtomic(Source, TuPath); !St)
+    return FailWith(St);
+  if (Status St = runCompiler(*TC, TuPath, SoPath, ErrPath); !St) {
+    if (Dir.Keep)
+      std::fprintf(stderr, "limpet: native TU kept at %s\n",
+                   Dir.Path.c_str());
+    return FailWith(St);
+  }
+
+  // Promote into the disk tier so the next process skips cc entirely;
+  // when that fails (read-only dir, cross-device copy error) the kernel
+  // still loads from the scratch dir — dlopen's mapping outlives the
+  // file's unlink.
+  std::string LoadPath = SoPath;
+  if (!DiskPath.empty()) {
+    if (moveFile(SoPath, DiskPath))
+      LoadPath = DiskPath;
+  }
+  Expected<std::shared_ptr<exec::NativeKernel>> K =
+      exec::NativeKernel::load(LoadPath, Cfg.Width, Cfg.FastMath, KernelName);
+  if (!K)
+    return FailWith(K.status());
+  if (Dir.Keep)
+    std::fprintf(stderr, "limpet: native TU kept at %s\n", Dir.Path.c_str());
+  Publish(*K);
+  return Res;
+}
+
+void compiler::clearNativeKernelRegistry() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry().clear();
+}

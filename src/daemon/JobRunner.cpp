@@ -86,10 +86,19 @@ JobState JobRunner::execute(Job &J) {
   // jobs (and replays) warm starts that skip every codegen stage.
   compiler::DriverOptions DOpts;
   DOpts.Config = J.Spec.Config;
+  DOpts.Tier = J.Spec.Tier;
   compiler::CompilerDriver Driver(DOpts);
   compiler::CompileResult R = Driver.compileEntry(*Entry);
   if (!R)
     return fail(J, "compile failed: " + R.Err.message());
+  // The native tier degrades, never fails: a job asking for it on a box
+  // without a toolchain runs on the VM (bit-identical results), and the
+  // fallback is visible in telemetry rather than the job outcome.
+  if (J.Spec.Tier != exec::EngineTier::VM) {
+    telemetry::counter(R.NativeAttached ? "daemon.jobs.native"
+                                        : "daemon.jobs.native_fallback")
+        .add();
+  }
 
   std::string Dir = jobDir(J.Spec.Id);
   std::string CkptDir = Dir + "/ckpt";

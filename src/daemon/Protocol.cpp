@@ -106,6 +106,16 @@ Expected<JobSpec> daemon::parseJobSpec(const JsonValue &Body) {
   if (Spec.CheckpointEveryN < -1)
     Spec.CheckpointEveryN = -1;
   Spec.ProgressEvery = Body.intOr("progress_every", 0);
+  if (const JsonValue *E = Body.find("engine")) {
+    if (!E->isString())
+      return Status::error("'engine' must be a string");
+    std::optional<exec::EngineTier> T =
+        exec::engineTierFromName(E->asString());
+    if (!T)
+      return Status::error("unknown engine '" + E->asString() +
+                           "' (vm, native, auto)");
+    Spec.Tier = *T;
+  }
   if (Status S = parseConfig(Body, Spec.Config); !S)
     return S;
   if (Status S = Spec.Config.validate(); !S)
@@ -140,6 +150,7 @@ JsonValue daemon::jobSpecToJson(const JobSpec &Spec) {
   J.set("timeout_sec", JsonValue::number(Spec.TimeoutSec));
   J.set("checkpoint_every", JsonValue::number(Spec.CheckpointEveryN));
   J.set("progress_every", JsonValue::number(Spec.ProgressEvery));
+  J.set("engine", JsonValue::string(exec::engineTierName(Spec.Tier)));
   J.set("config", std::move(Cfg));
   return J;
 }

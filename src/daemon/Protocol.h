@@ -72,6 +72,11 @@ struct JobSpec {
   int64_t ProgressEvery = 0;
 
   exec::EngineConfig Config; ///< engine configuration (baseline default)
+  /// Execution tier ("engine" on the wire: vm/native/auto, default vm).
+  /// Native/auto jobs attach a specialized dlopen'd kernel when the box
+  /// has a toolchain and fall back to the VM when it doesn't — a submit
+  /// never fails because the daemon host lacks a compiler.
+  exec::EngineTier Tier = exec::EngineTier::VM;
 };
 
 /// Parses the body of a `submit` request (also the journal payload).

@@ -230,6 +230,10 @@ runtime::LutTableSet CompiledModel::buildLuts(const double *Params) const {
 void CompiledModel::computeStep(KernelArgs Args) const {
   if (!Args.Luts)
     Args.Luts = &Luts;
+  if (Native) {
+    Native->step(Program, Args);
+    return;
+  }
   Engine->step(Program, Args);
 }
 

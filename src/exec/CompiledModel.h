@@ -15,6 +15,7 @@
 #include "exec/Backend.h"
 #include "exec/Bytecode.h"
 #include "exec/Engine.h"
+#include "exec/NativeKernel.h"
 #include "runtime/Lut.h"
 #include "support/Status.h"
 
@@ -121,8 +122,21 @@ public:
   runtime::LutTableSet buildLuts(const double *Params) const;
 
   /// Runs one compute step over [Args.Start, Args.End). When Args.Luts is
-  /// null the model's internal tables are used.
+  /// null the model's internal tables are used. Dispatches to the native
+  /// kernel when one is attached, else through the VM backend.
   void computeStep(KernelArgs Args) const;
+
+  /// Attaches (or, with null, detaches) a dlopen'd native kernel; the
+  /// KernelEmitter guarantees it was specialized for this model's exact
+  /// (program, config, toolchain) point. Shared: several models compiled
+  /// from the same content hash reuse one loaded object.
+  void attachNative(std::shared_ptr<NativeKernel> K) { Native = std::move(K); }
+
+  /// The attached native kernel, or null when running on the VM tier.
+  const NativeKernel *nativeKernel() const { return Native.get(); }
+
+  /// True when computeStep dispatches to native code.
+  bool usingNativeTier() const { return Native != nullptr; }
 
   /// Reads sv \p Sv of cell \p Cell from a state array of this layout.
   double readState(const double *State, int64_t Cell, int64_t Sv,
@@ -143,6 +157,8 @@ private:
   EngineConfig Cfg;
   /// Resolved once at compile time; computeStep dispatches through it.
   const Backend *Engine = nullptr;
+  /// Optional specialized-kernel tier; takes dispatch priority when set.
+  std::shared_ptr<NativeKernel> Native;
 };
 
 } // namespace exec

@@ -1,0 +1,141 @@
+//===- NativeKernel.cpp ---------------------------------------------------===//
+
+#include "exec/NativeKernel.h"
+
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include <dlfcn.h>
+
+#include <vector>
+
+using namespace limpet;
+using namespace limpet::exec;
+
+// Under AddressSanitizer the handle is deliberately leaked: unloading the
+// object would strip the symbol information ASan needs to symbolize any
+// report that points into kernel code, and LSan treats still-reachable
+// dlopen handles as live anyway. Everywhere else the object is unloaded
+// when the last CompiledModel sharing it goes away.
+#if defined(__SANITIZE_ADDRESS__)
+#define LIMPET_NATIVE_SKIP_DLCLOSE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LIMPET_NATIVE_SKIP_DLCLOSE 1
+#endif
+#endif
+#ifndef LIMPET_NATIVE_SKIP_DLCLOSE
+#define LIMPET_NATIVE_SKIP_DLCLOSE 0
+#endif
+
+std::string_view limpet::exec::engineTierName(EngineTier T) {
+  switch (T) {
+  case EngineTier::VM:
+    return "vm";
+  case EngineTier::Native:
+    return "native";
+  case EngineTier::Auto:
+    return "auto";
+  }
+  return "vm";
+}
+
+std::optional<EngineTier>
+limpet::exec::engineTierFromName(std::string_view Name) {
+  if (Name == "vm")
+    return EngineTier::VM;
+  if (Name == "native")
+    return EngineTier::Native;
+  if (Name == "auto")
+    return EngineTier::Auto;
+  return std::nullopt;
+}
+
+Expected<std::shared_ptr<NativeKernel>>
+NativeKernel::load(const std::string &SoPath, unsigned Width, bool FastMath,
+                   std::string Name) {
+  // RTLD_LOCAL keeps kernel-internal symbols (embedded VecMath copies,
+  // helpers) from ever shadowing the host's.
+  void *Handle = ::dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *E = ::dlerror();
+    return Status::error("native: dlopen failed: " +
+                         std::string(E ? E : "unknown error"));
+  }
+  auto Fail = [&](std::string Msg) -> Expected<std::shared_ptr<NativeKernel>> {
+    if (!LIMPET_NATIVE_SKIP_DLCLOSE)
+      ::dlclose(Handle);
+    return Status::error(std::move(Msg));
+  };
+  using AbiFn = int32_t (*)();
+  auto Abi =
+      reinterpret_cast<AbiFn>(::dlsym(Handle, "limpet_kernel_abi_version"));
+  if (!Abi)
+    return Fail("native: missing limpet_kernel_abi_version in " + SoPath);
+  if (int32_t Got = Abi(); Got != kNativeKernelAbiVersion)
+    return Fail("native: kernel ABI v" + std::to_string(Got) +
+                " does not match host ABI v" +
+                std::to_string(kNativeKernelAbiVersion));
+  auto Fn = reinterpret_cast<StepFn>(::dlsym(Handle, "limpet_kernel_step"));
+  if (!Fn)
+    return Fail("native: missing limpet_kernel_step in " + SoPath);
+  return std::shared_ptr<NativeKernel>(
+      new NativeKernel(Handle, Fn, Width, FastMath, std::move(Name)));
+}
+
+bool NativeKernel::unloadsOnRelease() { return !LIMPET_NATIVE_SKIP_DLCLOSE; }
+
+NativeKernel::~NativeKernel() {
+  if (Handle && !LIMPET_NATIVE_SKIP_DLCLOSE)
+    ::dlclose(Handle);
+}
+
+void NativeKernel::step(const BcProgram &P, const KernelArgs &Args) const {
+  if (Args.End <= Args.Start)
+    return;
+
+  NativeKernelArgs A;
+  A.State = Args.State;
+  A.Exts = Args.Exts.empty() ? nullptr : Args.Exts.data();
+  A.Params = Args.Params;
+  A.Start = Args.Start;
+  A.End = Args.End;
+  A.NumCells = Args.NumCells;
+  A.Dt = Args.Dt;
+  A.T = Args.T;
+
+  // Flatten the lut set into the C-ABI descriptor array. Table counts are
+  // small (a handful per model); the common case fits on the stack.
+  NativeLutDesc Small[8];
+  std::vector<NativeLutDesc> Big;
+  size_t NumLuts = Args.Luts ? Args.Luts->Tables.size() : 0;
+  NativeLutDesc *Descs = Small;
+  if (NumLuts > 8) {
+    Big.resize(NumLuts);
+    Descs = Big.data();
+  }
+  for (size_t I = 0; I != NumLuts; ++I) {
+    const runtime::LutTable &T = Args.Luts->Tables[I];
+    Descs[I] = {T.data(),          int64_t(T.rows()), int64_t(T.cols()),
+                T.coordLo(),       T.coordInvStep(),  T.coordMaxPos(),
+                T.coordMaxIdx()};
+  }
+  A.Luts = NumLuts ? Descs : nullptr;
+
+#if LIMPET_TELEMETRY_ENABLED
+  // Same chunk accounting as Backend::step, so native runs land in the
+  // roofline counters and traces under the width/flavour they replace.
+  auto T0 = telemetry::Clock::now();
+  Fn(&A);
+  uint64_t Ns = telemetry::nanosecondsSince(T0);
+  telemetry::recordKernelChunk(Ns, Args.End - Args.Start, Width, Fast,
+                               P.LutOpsPerCell, P.MathOpsPerCell,
+                               P.Counts.LoadBytesPerCell,
+                               P.Counts.StoreBytesPerCell);
+  if (telemetry::TraceRecorder *R = telemetry::TraceRecorder::active())
+    R->complete("kernel-chunk", "native", T0,
+                T0 + std::chrono::nanoseconds(Ns));
+#else
+  Fn(&A);
+#endif
+}

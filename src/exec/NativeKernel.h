@@ -1,0 +1,121 @@
+//===- NativeKernel.h - dlopen'd specialized kernel tier --------*- C++-*-===//
+//
+// The native kernel tier: a per-cell program compiled ahead of execution
+// into a shared object (by compiler::KernelEmitter) and loaded here with
+// dlopen. A NativeKernel wraps the loaded step entry point and presents
+// the same step() contract as the Backend dispatch path, so CompiledModel
+// can route computeStep through it transparently.
+//
+// Everything about this tier is best-effort: load() returns a recoverable
+// Status on any dlopen/symbol/ABI mismatch, and callers fall back to the
+// bytecode VM. A box without a working toolchain must behave exactly like
+// one that never asked for the native tier.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_EXEC_NATIVEKERNEL_H
+#define LIMPET_EXEC_NATIVEKERNEL_H
+
+#include "exec/Engine.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace limpet {
+namespace exec {
+
+/// Which execution tier the compiler driver targets.
+///  * VM: interpreted bytecode engines only (the default; no toolchain
+///    dependency, bit-identical to every release so far).
+///  * Native: emit + load a specialized kernel; warn-and-fall-back to the
+///    VM when the toolchain is unavailable.
+///  * Auto: try the native tier, fall back silently.
+enum class EngineTier : uint8_t { VM, Native, Auto };
+
+std::string_view engineTierName(EngineTier T);
+std::optional<EngineTier> engineTierFromName(std::string_view Name);
+
+/// C ABI shared with emitted kernels. KernelEmitter mirrors these structs
+/// textually in every generated translation unit; any layout change here
+/// must bump kNativeKernelAbiVersion (and with it kKernelEmitterVersion,
+/// which keys the native cache).
+struct NativeLutDesc {
+  const double *Data;
+  int64_t Rows;
+  int64_t Cols;
+  double Lo;
+  double InvStep;
+  double MaxPos;
+  double MaxIdx;
+};
+
+struct NativeKernelArgs {
+  double *State;
+  double *const *Exts;
+  const double *Params;
+  int64_t Start;
+  int64_t End;
+  int64_t NumCells;
+  double Dt;
+  double T;
+  const NativeLutDesc *Luts;
+};
+
+inline constexpr int32_t kNativeKernelAbiVersion = 1;
+
+/// A loaded native kernel shared object. Holds the dlopen handle for the
+/// object's lifetime; instances are shared between every CompiledModel
+/// built from the same (source, config, toolchain) point via the
+/// KernelEmitter registry.
+class NativeKernel {
+public:
+  /// Loads \p SoPath and resolves + ABI-checks the kernel entry points.
+  /// All failures (missing file, unresolved symbols, ABI skew) are
+  /// recoverable.
+  static Expected<std::shared_ptr<NativeKernel>>
+  load(const std::string &SoPath, unsigned Width, bool FastMath,
+       std::string Name);
+
+  ~NativeKernel();
+  NativeKernel(const NativeKernel &) = delete;
+  NativeKernel &operator=(const NativeKernel &) = delete;
+
+  const std::string &name() const { return Name; }
+  unsigned width() const { return Width; }
+  bool fastMath() const { return Fast; }
+
+  /// False in sanitized builds, where dlclose is deliberately skipped (so
+  /// ASan can still symbolize kernel frames). When handles are leaked,
+  /// re-dlopening a path the process already loaded returns the original
+  /// mapping even if the file on disk changed.
+  static bool unloadsOnRelease();
+
+  /// Runs the kernel over [Args.Start, Args.End), including the scalar
+  /// tail — the emitted entry point reproduces Backend::dispatch's
+  /// main-block/tail split internally. Mirrors Backend::step's chunk
+  /// telemetry so native runs show up in the same roofline counters.
+  void step(const BcProgram &P, const KernelArgs &Args) const;
+
+private:
+  using StepFn = void (*)(const NativeKernelArgs *);
+
+  NativeKernel(void *Handle, StepFn Fn, unsigned Width, bool Fast,
+               std::string Name)
+      : Handle(Handle), Fn(Fn), Width(Width), Fast(Fast),
+        Name(std::move(Name)) {}
+
+  void *Handle = nullptr;
+  StepFn Fn = nullptr;
+  unsigned Width = 1;
+  bool Fast = false;
+  std::string Name;
+};
+
+} // namespace exec
+} // namespace limpet
+
+#endif // LIMPET_EXEC_NATIVEKERNEL_H

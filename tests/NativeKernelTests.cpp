@@ -1,0 +1,361 @@
+//===- NativeKernelTests.cpp - specialized/JIT kernel tier -----------------===//
+//
+// The native tier's contract (docs/COMPILER.md): for any (layout, width)
+// point the emitted machine-code kernel is BIT-identical to the bytecode
+// VM — not within tolerance, identical — the cache key separates emitter
+// versions and toolchains, a corrupt cached .so heals by re-emission, and
+// every failure mode degrades to the VM with a recoverable Status.
+//
+// Tests that need a real toolchain GTEST_SKIP when nativeToolchain()
+// fails, so the suite stays green on compiler-less boxes (the tier itself
+// is designed to degrade there too).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/CompileCache.h"
+#include "compiler/CompilerDriver.h"
+#include "compiler/KernelEmitter.h"
+#include "daemon/Protocol.h"
+#include "easyml/Sema.h"
+#include "exec/NativeKernel.h"
+#include "models/Registry.h"
+#include "sim/Simulator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace limpet;
+using namespace limpet::exec;
+
+namespace {
+
+/// RAII scratch disk-cache dir: points the process-global cache at a
+/// fresh directory and restores the override afterwards.
+class ScratchCacheDir {
+public:
+  ScratchCacheDir() {
+    char Tmpl[] = "/tmp/limpet-native-test.XXXXXX";
+    Dir = mkdtemp(Tmpl);
+    compiler::CompileCache::global().setDiskDir(Dir);
+  }
+  ~ScratchCacheDir() {
+    compiler::CompileCache::global().setDiskDir("");
+    std::string Cmd = "rm -rf " + Dir;
+    (void)std::system(Cmd.c_str());
+  }
+  const std::string &path() const { return Dir; }
+
+private:
+  std::string Dir;
+};
+
+bool toolchainAvailable() {
+  return bool(compiler::nativeToolchain());
+}
+
+compiler::CompileResult compileWithTier(const std::string &ModelName,
+                                        const EngineConfig &Cfg,
+                                        EngineTier Tier) {
+  const models::ModelEntry *M = models::findModel(ModelName);
+  EXPECT_NE(M, nullptr) << ModelName;
+  compiler::DriverOptions Opts;
+  Opts.Config = Cfg;
+  Opts.Tier = Tier;
+  Opts.UseCache = false; // bytecode cache off; native cache still keyed
+  compiler::CompilerDriver Driver(Opts);
+  return Driver.compileEntry(*M);
+}
+
+/// Steps both models over identical state/external/param buffers and
+/// requires byte-identical state arrays afterwards.
+void expectBitIdentical(const CompiledModel &VM, const CompiledModel &Native,
+                        int64_t NumCells, int64_t Steps) {
+  ASSERT_FALSE(VM.usingNativeTier());
+  ASSERT_TRUE(Native.usingNativeTier());
+  size_t N = VM.stateArraySize(NumCells);
+  ASSERT_EQ(N, Native.stateArraySize(NumCells));
+  std::vector<double> SA(N), SB(N);
+  VM.initializeState(SA.data(), NumCells);
+  Native.initializeState(SB.data(), NumCells);
+  // Each external is a per-cell array: Exts[i] is indexed by cell.
+  std::vector<double> Inits = VM.externalInits();
+  std::vector<std::vector<double>> ExtA, ExtB;
+  for (double Init : Inits) {
+    ExtA.emplace_back(size_t(NumCells), Init);
+    ExtB.emplace_back(size_t(NumCells), Init);
+  }
+  std::vector<double> Params = VM.defaultParams();
+
+  for (int64_t Step = 0; Step != Steps; ++Step) {
+    KernelArgs A;
+    A.State = SA.data();
+    for (std::vector<double> &E : ExtA)
+      A.Exts.push_back(E.data());
+    A.Params = Params.data();
+    A.Start = 0;
+    A.End = NumCells;
+    A.NumCells = NumCells;
+    A.Dt = 0.01;
+    A.T = double(Step) * 0.01;
+    KernelArgs B = A;
+    B.State = SB.data();
+    B.Exts.clear();
+    for (std::vector<double> &E : ExtB)
+      B.Exts.push_back(E.data());
+    VM.computeStep(A);
+    Native.computeStep(B);
+  }
+  ASSERT_EQ(std::memcmp(SA.data(), SB.data(), N * sizeof(double)), 0)
+      << "native state diverged from the VM";
+  ASSERT_EQ(ExtA, ExtB);
+}
+
+struct LayoutPoint {
+  const char *Name;
+  unsigned Width;
+  codegen::StateLayout Layout;
+  bool FastMath;
+};
+
+class NativeKernelEquivalence
+    : public ::testing::TestWithParam<LayoutPoint> {};
+
+TEST_P(NativeKernelEquivalence, BitIdenticalToVM) {
+  if (!toolchainAvailable())
+    GTEST_SKIP() << "no native toolchain on this box";
+  ScratchCacheDir Scratch;
+  compiler::clearNativeKernelRegistry();
+
+  const LayoutPoint &P = GetParam();
+  EngineConfig Cfg;
+  Cfg.Width = P.Width;
+  Cfg.Layout = P.Layout;
+  Cfg.FastMath = P.FastMath;
+  Cfg.EnableLuts = true;
+
+  compiler::CompileResult VM =
+      compileWithTier("Courtemanche", Cfg, EngineTier::VM);
+  ASSERT_TRUE(VM) << VM.Err.message();
+  compiler::CompileResult Native =
+      compileWithTier("Courtemanche", Cfg, EngineTier::Native);
+  ASSERT_TRUE(Native) << Native.Err.message();
+  ASSERT_TRUE(Native.NativeAttached) << Native.NativeErr.message();
+
+  // 37 cells: not a multiple of 2/4/8, so vector mains + scalar tails
+  // both run and must agree with the VM's identical split.
+  expectBitIdentical(*VM.Model, *Native.Model, 37, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutsAndWidths, NativeKernelEquivalence,
+    ::testing::Values(
+        LayoutPoint{"scalar_aos_libm", 1, codegen::StateLayout::AoS, false},
+        LayoutPoint{"vec4_aosoa_fast", 4, codegen::StateLayout::AoSoA, true},
+        LayoutPoint{"vec8_aosoa_fast", 8, codegen::StateLayout::AoSoA, true},
+        LayoutPoint{"vec4_soa_fast", 4, codegen::StateLayout::SoA, true},
+        LayoutPoint{"vec4_aos_libm", 4, codegen::StateLayout::AoS, false}),
+    [](const ::testing::TestParamInfo<LayoutPoint> &I) {
+      return I.param.Name;
+    });
+
+TEST(NativeKernelKey, SeparatesEmitterVersionAndToolchain) {
+  compiler::NativeToolchain TC;
+  TC.Compiler = "/usr/bin/c++";
+  TC.Identity = "g++ (Distro) 12.0.0";
+  TC.Flags = "-O3 -march=native";
+  uint64_t Base = compiler::nativeKernelKey(0x1234, 1, TC);
+
+  // Same inputs -> same key (the warm path depends on this).
+  EXPECT_EQ(Base, compiler::nativeKernelKey(0x1234, 1, TC));
+  // A new emitter version must invalidate every cached kernel.
+  EXPECT_NE(Base, compiler::nativeKernelKey(0x1234, 2, TC));
+  // A different compile (model/config/pipeline) keys separately.
+  EXPECT_NE(Base, compiler::nativeKernelKey(0x1235, 1, TC));
+  // A compiler upgrade (identity string) or flag change re-keys: kernels
+  // follow the exact toolchain that built the host process.
+  compiler::NativeToolchain TC2 = TC;
+  TC2.Identity = "g++ (Distro) 13.0.0";
+  EXPECT_NE(Base, compiler::nativeKernelKey(0x1234, 1, TC2));
+  compiler::NativeToolchain TC3 = TC;
+  TC3.Flags = "-O2";
+  EXPECT_NE(Base, compiler::nativeKernelKey(0x1234, 1, TC3));
+  compiler::NativeToolchain TC4 = TC;
+  TC4.Compiler = "/usr/local/bin/c++";
+  EXPECT_NE(Base, compiler::nativeKernelKey(0x1234, 1, TC4));
+}
+
+TEST(NativeKernelCache, MemoryAndDiskTiers) {
+  if (!toolchainAvailable())
+    GTEST_SKIP() << "no native toolchain on this box";
+  ScratchCacheDir Scratch;
+  compiler::clearNativeKernelRegistry();
+
+  EngineConfig Cfg = EngineConfig::limpetMLIR(4);
+  compiler::CompileResult Cold =
+      compileWithTier("HodgkinHuxley", Cfg, EngineTier::Native);
+  ASSERT_TRUE(Cold.NativeAttached) << Cold.NativeErr.message();
+  EXPECT_FALSE(Cold.NativeCacheHit);
+  EXPECT_NE(Cold.NativeKey, 0u);
+
+  // Same process: served from the in-memory registry, no cc, same key.
+  compiler::CompileResult Mem =
+      compileWithTier("HodgkinHuxley", Cfg, EngineTier::Native);
+  ASSERT_TRUE(Mem.NativeAttached);
+  EXPECT_TRUE(Mem.NativeCacheHit);
+  EXPECT_FALSE(Mem.NativeDiskHit);
+  EXPECT_EQ(Mem.NativeKey, Cold.NativeKey);
+  // Both results share one loaded kernel object.
+  EXPECT_EQ(Cold.Model->nativeKernel(), Mem.Model->nativeKernel());
+
+  // Registry cleared ("fresh process"): served from the on-disk .so.
+  compiler::clearNativeKernelRegistry();
+  compiler::CompileResult Disk =
+      compileWithTier("HodgkinHuxley", Cfg, EngineTier::Native);
+  ASSERT_TRUE(Disk.NativeAttached) << Disk.NativeErr.message();
+  EXPECT_TRUE(Disk.NativeCacheHit);
+  EXPECT_TRUE(Disk.NativeDiskHit);
+  EXPECT_EQ(Disk.NativeKey, Cold.NativeKey);
+}
+
+TEST(NativeKernelCache, CorruptSoHealsByReemission) {
+  if (!toolchainAvailable())
+    GTEST_SKIP() << "no native toolchain on this box";
+  ScratchCacheDir Scratch;
+  compiler::clearNativeKernelRegistry();
+
+  EngineConfig Cfg = EngineConfig::limpetMLIR(4);
+  uint64_t Key = 0;
+  {
+    compiler::CompileResult Cold =
+        compileWithTier("HodgkinHuxley", Cfg, EngineTier::Native);
+    ASSERT_TRUE(Cold.NativeAttached) << Cold.NativeErr.message();
+    Key = Cold.NativeKey;
+  }
+  // Drop every reference (result + registry) so the library is unmapped
+  // before we corrupt its file: dlopen dedups by inode, and a truncated
+  // still-mapped object would SIGBUS instead of failing cleanly. A real
+  // corrupt cache is always read by a fresh process, which this models.
+  compiler::clearNativeKernelRegistry();
+
+  // Replace the cached object with garbage (fresh inode, like a torn
+  // write from another process would leave behind).
+  char Buf[32];
+  std::snprintf(Buf, sizeof Buf, "%016llx", (unsigned long long)Key);
+  std::string SoPath = Scratch.path() + "/" + Buf + ".native.so";
+  std::string TmpPath = SoPath + ".tmp";
+  {
+    std::ofstream Out(TmpPath, std::ios::trunc);
+    ASSERT_TRUE(Out.good()) << TmpPath;
+    Out << "this is not an ELF object";
+  }
+  ASSERT_EQ(std::rename(TmpPath.c_str(), SoPath.c_str()), 0);
+
+  // A "fresh process" must not crash on the corrupt file: it deletes it,
+  // re-emits, and still attaches a working kernel. In sanitized builds
+  // dlclose is skipped, so dlopen of the same path returns the original
+  // (still valid) mapping and the corrupt file reads as a disk hit; the
+  // attached kernel is correct either way, which is what matters.
+  compiler::CompileResult Healed =
+      compileWithTier("HodgkinHuxley", Cfg, EngineTier::Native);
+  ASSERT_TRUE(Healed.NativeAttached) << Healed.NativeErr.message();
+  if (NativeKernel::unloadsOnRelease())
+    EXPECT_FALSE(Healed.NativeCacheHit); // the corrupt .so was not "a hit"
+  expectBitIdentical(*compileWithTier("HodgkinHuxley", Cfg,
+                                      EngineTier::VM)
+                          .Model,
+                     *Healed.Model, 13, 10);
+}
+
+TEST(NativeKernelFallback, MissingCompilerIsRecoverable) {
+  ScratchCacheDir Scratch;
+  compiler::clearNativeKernelRegistry();
+  setenv("LIMPET_NATIVE_CC", "/nonexistent/limpet-cxx", 1);
+
+  // Native tier: the failure is reported in NativeErr but the compile
+  // SUCCEEDS and the model runs on the VM.
+  EngineConfig Cfg = EngineConfig::baseline();
+  compiler::CompileResult R =
+      compileWithTier("HodgkinHuxley", Cfg, EngineTier::Native);
+  unsetenv("LIMPET_NATIVE_CC");
+  ASSERT_TRUE(R) << R.Err.message();
+  EXPECT_FALSE(R.NativeAttached);
+  EXPECT_FALSE(R.NativeErr.isOk());
+  EXPECT_FALSE(R.Model->usingNativeTier());
+
+  sim::SimOptions Opts;
+  Opts.NumCells = 8;
+  Opts.NumSteps = 20;
+  sim::Simulator S(*R.Model, Opts);
+  S.run();
+  EXPECT_TRUE(std::isfinite(S.stateChecksum()));
+}
+
+TEST(NativeKernelFallback, AutoTierIsSilentlyVM) {
+  ScratchCacheDir Scratch;
+  compiler::clearNativeKernelRegistry();
+  setenv("LIMPET_NATIVE_CC", "/nonexistent/limpet-cxx", 1);
+  compiler::CompileResult R = compileWithTier(
+      "HodgkinHuxley", EngineConfig::baseline(), EngineTier::Auto);
+  unsetenv("LIMPET_NATIVE_CC");
+  ASSERT_TRUE(R) << R.Err.message();
+  EXPECT_FALSE(R.NativeAttached);
+  EXPECT_FALSE(R.Model->usingNativeTier()); // runs, on the VM
+}
+
+TEST(NativeKernelLoad, GarbageSoIsARecoverableError) {
+  char Tmpl[] = "/tmp/limpet-native-garbage.XXXXXX";
+  std::string Dir = mkdtemp(Tmpl);
+  std::string Path = Dir + "/garbage.so";
+  {
+    std::ofstream Out(Path);
+    Out << "\x7f" << "not-really-elf";
+  }
+  Expected<std::shared_ptr<NativeKernel>> K =
+      NativeKernel::load(Path, 1, false, "garbage");
+  EXPECT_FALSE(K);
+  EXPECT_FALSE(K.status().message().empty());
+  std::string Cmd = "rm -rf " + Dir;
+  (void)std::system(Cmd.c_str());
+}
+
+TEST(EngineTierNames, RoundTrip) {
+  for (EngineTier T :
+       {EngineTier::VM, EngineTier::Native, EngineTier::Auto}) {
+    auto Back = engineTierFromName(engineTierName(T));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, T);
+  }
+  EXPECT_FALSE(engineTierFromName("turbo").has_value());
+}
+
+TEST(JobSpecEngine, ParsesAndRoundTrips) {
+  // The daemon's wire field: "engine":"auto" survives a spec round trip,
+  // and an unknown tier is a recoverable admission error.
+  auto Parsed = daemon::parseJobSpec(
+      *daemon::JsonValue::parse("{\"model\":\"HodgkinHuxley\","
+                                "\"engine\":\"auto\"}"));
+  ASSERT_TRUE(Parsed) << Parsed.status().message();
+  EXPECT_EQ(Parsed->Tier, EngineTier::Auto);
+
+  daemon::JsonValue J = daemon::jobSpecToJson(*Parsed);
+  auto Again = daemon::parseJobSpec(J);
+  ASSERT_TRUE(Again) << Again.status().message();
+  EXPECT_EQ(Again->Tier, EngineTier::Auto);
+
+  auto Bad = daemon::parseJobSpec(
+      *daemon::JsonValue::parse("{\"model\":\"HodgkinHuxley\","
+                                "\"engine\":\"warp\"}"));
+  EXPECT_FALSE(Bad);
+
+  // Default (field omitted) is the VM tier.
+  auto Default = daemon::parseJobSpec(
+      *daemon::JsonValue::parse("{\"model\":\"HodgkinHuxley\"}"));
+  ASSERT_TRUE(Default);
+  EXPECT_EQ(Default->Tier, EngineTier::VM);
+}
+
+} // namespace

@@ -72,6 +72,12 @@ void printUsage() {
       "                      cache; set LIMPET_CACHE_DIR for a disk tier)\n"
       "  --jobs N            bound the --suite compile fan-out to N threads\n"
       "                      (--jobs=1 compiles strictly in registry order)\n"
+      "  --engine=vm|native|auto  execution tier (default vm). native\n"
+      "                      compiles the model's program to machine code\n"
+      "                      via the system C++ compiler and dlopen (warns\n"
+      "                      and falls back to the VM when no toolchain is\n"
+      "                      available); auto does the same silently.\n"
+      "                      See docs/COMPILER.md for cache + env knobs\n"
       "  --no-cache          bypass the compile cache\n"
       "  --cache-gc          evict the disk cache tier down to\n"
       "                      LIMPET_CACHE_MAX_BYTES (LRU by mtime) and exit\n"
@@ -177,6 +183,34 @@ const char *compileKind(const compiler::CompileResult &R) {
   return R.DiskHit ? "warm-disk" : "warm-mem";
 }
 
+/// How the native kernel was obtained, for the status line the JIT smoke
+/// harness greps: "compiled" means the system compiler actually ran.
+const char *nativeKind(const compiler::CompileResult &R) {
+  if (!R.NativeCacheHit)
+    return "compiled";
+  return R.NativeDiskHit ? "cache-disk" : "cache-mem";
+}
+
+/// Reports the native-tier outcome for one compile to stderr. Silent when
+/// the VM tier was requested; a missing native kernel is a warning under
+/// --engine=native and silent under --engine=auto (fallback by design).
+void reportNativeTier(const compiler::CompileResult &R,
+                      exec::EngineTier Tier) {
+  if (Tier == exec::EngineTier::VM || !R)
+    return;
+  if (R.NativeAttached) {
+    std::fprintf(stderr, "native kernel %s: %s (key %016llx)\n",
+                 R.ModelName.c_str(), nativeKind(R),
+                 (unsigned long long)R.NativeKey);
+    return;
+  }
+  if (Tier == exec::EngineTier::Native)
+    std::fprintf(stderr,
+                 "warning: native tier unavailable for %s, running on the "
+                 "VM: %s\n",
+                 R.ModelName.c_str(), R.NativeErr.message().c_str());
+}
+
 void printSnapshots(const compiler::CompileResult &R) {
   for (const compiler::StageRecord &S : R.Stages)
     if (!S.Snapshot.empty())
@@ -218,6 +252,7 @@ int main(int argc, char **argv) {
   bool Resume = false;
   bool CacheGc = false;
   unsigned SuiteJobs = 0;
+  exec::EngineTier Tier = exec::EngineTier::VM;
 
   // Accepts both "--flag value" and "--flag=value" for the valued flags
   // below; returns the value through Out.
@@ -284,6 +319,15 @@ int main(int argc, char **argv) {
       TimeoutSec = std::atof(Val.c_str());
     else if (valued(Arg, I, "--jobs", Val))
       SuiteJobs = unsigned(std::atoi(Val.c_str()));
+    else if (valued(Arg, I, "--engine", Val)) {
+      std::optional<exec::EngineTier> T = exec::engineTierFromName(Val);
+      if (!T) {
+        std::fprintf(stderr, "error: unknown engine '%s' (vm, native, auto)\n",
+                     Val.c_str());
+        return 1;
+      }
+      Tier = *T;
+    }
     else if (Arg == "--stats")
       Stats = true;
     else if (Arg == "--print-ir-after-all")
@@ -401,6 +445,7 @@ int main(int argc, char **argv) {
 
   compiler::DriverOptions DriverOpts;
   DriverOpts.Config = Cfg;
+  DriverOpts.Tier = Tier;
   DriverOpts.UseCache = UseCache && !PrintIRAll && PrintIRAfter.empty();
   DriverOpts.SnapshotAll = PrintIRAll;
   DriverOpts.SnapshotStages = PrintIRAfter;
@@ -423,10 +468,18 @@ int main(int argc, char **argv) {
       (R.CacheHit ? Warm : Cold)++;
       std::printf("%-24s %-10s %8.2f ms\n", R.ModelName.c_str(),
                   compileKind(R), double(R.TotalNs) * 1e-6);
+      reportNativeTier(R, Tier);
     }
     std::printf("compiled %zu/%zu models (%s): %zu cold, %zu warm\n", Ok,
                 Results.size(), exec::engineConfigName(Cfg).c_str(), Cold,
                 Warm);
+    if (Tier != exec::EngineTier::VM) {
+      size_t Attached = 0;
+      for (const compiler::CompileResult &R : Results)
+        Attached += R.NativeAttached;
+      std::fprintf(stderr, "native tier: %zu/%zu models attached\n", Attached,
+                   Results.size());
+    }
     return Ok == Results.size() ? 0 : 1;
   }
 
@@ -480,6 +533,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "compiled %s (%s): %s, %.2f ms\n", Name.c_str(),
                  exec::engineConfigName(R.Model->config()).c_str(),
                  compileKind(R), double(R.TotalNs) * 1e-6);
+    reportNativeTier(R, Tier);
 
     if (!EmitArtifactPath.empty()) {
       compiler::Artifact A =
@@ -557,6 +611,9 @@ int main(int argc, char **argv) {
                   exec::engineConfigName(Model.config()).c_str(),
                   (long long)S.options().NumCells,
                   (long long)S.options().NumSteps, S.time());
+      if (Tier != exec::EngineTier::VM)
+        std::printf("engine tier: %s\n",
+                    Model.usingNativeTier() ? "native" : "vm (fallback)");
       if (S.interrupted())
         std::printf("interrupted at step %lld (%s)%s%s\n",
                     (long long)S.stepsDone(),

@@ -45,7 +45,8 @@ void printUsage() {
       "           [--tenant T] [--priority P] [--timeout-sec X]\n"
       "           [--checkpoint-every N] [--progress-every N]\n"
       "           [--no-guard] [--preset baseline|limpetmlir|autovec]\n"
-      "           [--width N] [--layout aos|soa|aosoa] [--wait]\n"
+      "           [--width N] [--layout aos|soa|aosoa]\n"
+      "           [--engine vm|native|auto] [--wait]\n"
       "  cancel   --id N\n"
       "  wait     --id N      poll until the job is terminal\n"
       "  status   [--id N]\n"
@@ -237,6 +238,8 @@ int main(int argc, char **argv) {
       Cfg.set("width", JsonValue::number(double(std::atoi(Val.c_str()))));
     else if (valued(Arg, I, "--layout", Val))
       Cfg.set("layout", JsonValue::string(Val));
+    else if (valued(Arg, I, "--engine", Val))
+      Req.set("engine", JsonValue::string(Val));
     else if (Arg == "--no-guard")
       Req.set("guard", JsonValue::boolean(false));
     else if (Arg == "--wait")
