@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+#===- tune_smoke.sh - width autotuning end-to-end smoke ------------------===#
+#
+# Exercises the persisted per-model autotuner (docs/COMPILER.md, "Width
+# autotuning & backend registry") through the real CLI:
+#
+#  1. Cold: --suite --width=auto --autotune benchmarks every registry
+#     point per model ("autotune: <model> <point> = ..." on stderr) and
+#     persists one $LIMPET_CACHE_DIR/*.tune record per model.
+#  2. Warm: a fresh process running --suite --width=auto must select every
+#     model's point from its record with zero tuning benchmarks and zero
+#     codegen-stage work ("0 cold" in the suite summary).
+#  3. Forced points: LIMPET_TUNE_FORCE=<layout>/w<N>/<tier> overrides the
+#     record ("via forced"), and the state checksum is identical across
+#     every forced point and the record-selected run -- selection must
+#     never change the numbers.
+#
+# The tuner's measurement windows are shrunk to smoke scale via
+# LIMPET_TUNE_* ; this test checks the plumbing, not measurement quality.
+#
+# Usage: tune_smoke.sh <path-to-limpetc>
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+LIMPETC=${1:?usage: tune_smoke.sh <path-to-limpetc>}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/limpet-tune-smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+MODEL=HodgkinHuxley
+STEPS=60
+CELLS=37 # not a multiple of any lane width: exercises the scalar tail
+
+fail() { echo "tune_smoke: FAIL: $*" >&2; exit 1; }
+
+checksum_of() {
+  grep 'state checksum' "$1" | tail -1 | sed 's/.*= //'
+}
+
+# Records must start absent so "cold" really means cold.
+export LIMPET_CACHE_DIR="$WORK/cache"
+mkdir -p "$LIMPET_CACHE_DIR"
+
+# Smoke-scale measurement windows: the winner does not matter here, only
+# that tuning happens once and the records round-trip.
+export LIMPET_TUNE_CELLS=32
+export LIMPET_TUNE_WINDOW_MS=2
+export LIMPET_TUNE_REPEATS=1
+
+# --- 1. cold: the tuner benchmarks every model and persists records --------
+"$LIMPETC" --suite --width=auto --autotune \
+  >"$WORK/cold.out" 2>"$WORK/cold.err" \
+  || fail "cold autotuned suite compile failed: $(cat "$WORK/cold.err")"
+grep -q 'autotune: ' "$WORK/cold.err" \
+  || fail "cold suite ran no tuning benchmarks"
+grep -Eq 'compiled ([0-9]+)/\1 models \(auto' "$WORK/cold.out" \
+  || fail "cold suite did not compile every model under the auto config"
+TUNED=$(grep -c ' tuned ' "$WORK/cold.out" || true)
+[ "$TUNED" -gt 0 ] || fail "cold suite selected no point via the tuner"
+RECORDS=$(find "$LIMPET_CACHE_DIR" -name '*.tune' | wc -l)
+[ "$RECORDS" -gt 0 ] || fail "cold suite persisted no .tune records"
+
+# --- 2. warm: fresh process, zero benchmarks, zero codegen -----------------
+"$LIMPETC" --suite --width=auto \
+  >"$WORK/warm.out" 2>"$WORK/warm.err" \
+  || fail "warm suite compile failed: $(cat "$WORK/warm.err")"
+if grep -q 'autotune: ' "$WORK/warm.err"; then
+  fail "warm suite re-ran tuning benchmarks"
+fi
+grep -q ' 0 cold' "$WORK/warm.out" \
+  || fail "warm suite did codegen-stage work: $(tail -1 "$WORK/warm.out")"
+WARM_RECORD=$(grep -c ' record ' "$WORK/warm.out" || true)
+[ "$WARM_RECORD" -gt 0 ] \
+  || fail "warm suite selected no point from a persisted record"
+if grep -q ' heuristic ' "$WORK/warm.out"; then
+  fail "warm suite fell back to the heuristic for some model"
+fi
+
+# --- 3. forced points are honored and never change the numbers -------------
+RUN=("$MODEL" --run --width=auto --steps "$STEPS" --cells "$CELLS")
+"$LIMPETC" "${RUN[@]}" >"$WORK/auto.out" 2>"$WORK/auto.err" \
+  || fail "record-selected run failed"
+grep -q 'via record' "$WORK/auto.err" \
+  || fail "run did not select from the record: $(cat "$WORK/auto.err")"
+AUTO=$(checksum_of "$WORK/auto.out")
+[ -n "$AUTO" ] || fail "record-selected run printed no state checksum"
+
+# w1/w4/w8 specialized points are registered on every host.
+for POINT in aos/w1/vm soa/w4/vm aosoa/w8/vm; do
+  TAG=$(echo "$POINT" | tr '/' '-')
+  LIMPET_TUNE_FORCE=$POINT "$LIMPETC" "${RUN[@]}" \
+    >"$WORK/$TAG.out" 2>"$WORK/$TAG.err" \
+    || fail "$POINT: forced run failed: $(cat "$WORK/$TAG.err")"
+  grep -q "auto point: $POINT via forced" "$WORK/$TAG.err" \
+    || fail "$POINT: run did not honor LIMPET_TUNE_FORCE: \
+$(cat "$WORK/$TAG.err")"
+  FORCED=$(checksum_of "$WORK/$TAG.out")
+  [ "$AUTO" = "$FORCED" ] \
+    || fail "$POINT: checksum diverged from record point: \
+record=$AUTO forced=$FORCED"
+  echo "tune_smoke: forced $POINT OK (checksum $FORCED)"
+done
+
+echo "tune_smoke: $RECORDS records, warm selection from record, \
+checksums identical across points"
+echo "tune_smoke: PASS"

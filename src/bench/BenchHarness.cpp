@@ -82,6 +82,7 @@ const CompiledModel &ModelCache::get(const models::ModelEntry &Entry,
   compiler::DriverOptions Opts;
   Opts.Config = Cfg;
   Opts.Tier = effectiveTier(Tier);
+  Opts.Autotune = Autotune;
   compiler::CompilerDriver Driver(std::move(Opts));
   compiler::CompileResult R = Driver.compileEntry(Entry);
   if (!R) {
@@ -102,6 +103,7 @@ void ModelCache::prewarm(
     compiler::DriverOptions Opts;
     Opts.Config = Cfg;
     Opts.Tier = effectiveTier(Tier);
+    Opts.Autotune = Autotune;
     compiler::CompilerDriver Driver(std::move(Opts));
     std::vector<compiler::CompileResult> Results =
         Driver.compileSuite(Entries);
@@ -121,9 +123,16 @@ void ModelCache::prewarm(
   }
 }
 
+std::string bench::setBenchName(std::string Name) {
+  std::string Prev = std::move(CurrentBenchName);
+  CurrentBenchName = std::move(Name);
+  return Prev;
+}
+
 double bench::timeSimulation(const CompiledModel &Model,
-                             const BenchProtocol &Protocol,
-                             unsigned Threads, sim::RunReport *Report) {
+                             const BenchProtocol &Protocol, unsigned Threads,
+                             sim::RunReport *Report,
+                             const std::string &ConfigLabel) {
   telemetry::RuntimeCounters Before = telemetry::runtimeCounters();
   telemetry::Registry &Reg = telemetry::Registry::instance();
   uint64_t CkptCount0 = Reg.value("sim.checkpoint.count");
@@ -171,8 +180,10 @@ double bench::timeSimulation(const CompiledModel &Model,
   S.Model = Model.info().Name;
   // Label rows by the tier that actually ran: a native-tier request that
   // fell back to the VM must not produce a fake "+native" row.
-  S.Config = engineConfigName(Model.config()) +
-             (Model.usingNativeTier() ? "+native" : "");
+  S.Config = !ConfigLabel.empty()
+                 ? ConfigLabel
+                 : engineConfigName(Model.config()) +
+                       (Model.usingNativeTier() ? "+native" : "");
   S.Threads = Threads;
   S.Cells = Protocol.NumCells;
   S.Steps = Protocol.NumSteps;

@@ -80,20 +80,36 @@ public:
                const std::vector<exec::EngineConfig> &Configs,
                exec::EngineTier Tier = exec::EngineTier::VM);
 
+  /// With \p On, auto-width compiles (EngineConfig::autoTuned()) with no
+  /// persisted tuning record run the autotuner instead of the capability
+  /// heuristic; concrete-width compiles are unaffected.
+  void setAutotune(bool On) { Autotune = On; }
+
   size_t size() const { return Cache.size(); }
 
 private:
   std::map<std::string, std::unique_ptr<exec::CompiledModel>> Cache;
+  bool Autotune = false;
 };
 
 /// Times one simulation under the paper's protocol: returns seconds
 /// (averaged after dropping extrema). When \p Report is non-null the
 /// guard-rail run reports of every repeat are merged into it (faults,
 /// retries, scan overhead). Every call also appends one NDJSON record to
-/// $LIMPET_BENCH_STATS (see recordBenchStat).
+/// $LIMPET_BENCH_STATS (see recordBenchStat); \p ConfigLabel overrides
+/// the record's config field — benches timing an auto-tuned model pass
+/// "auto" so the row key stays stable across machines whose tuners
+/// resolve different concrete points.
 double timeSimulation(const exec::CompiledModel &Model,
                       const BenchProtocol &Protocol, unsigned Threads,
-                      sim::RunReport *Report = nullptr);
+                      sim::RunReport *Report = nullptr,
+                      const std::string &ConfigLabel = "");
+
+/// Replaces the bench name stamped into NDJSON records (normally set by
+/// printBanner) and returns the previous one, so nested measurement
+/// phases — the width autotuner runs inside compiles — label their rows
+/// "autotune" without clobbering the enclosing bench's name.
+std::string setBenchName(std::string Name);
 
 /// One machine-readable benchmark timing, exported as a line of NDJSON.
 struct BenchStat {

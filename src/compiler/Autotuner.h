@@ -1,0 +1,175 @@
+//===- Autotuner.h - Per-model execution-point autotuning -------*- C++-*-===//
+//
+// Turns the paper's Fig 5 static width table into a measured choice: for
+// one model, benchmark every selectable (layout × width × engine) point
+// the BackendRegistry advertises, remember the winner in a versioned,
+// checksummed TuningRecord persisted next to the compile cache
+// ($LIMPET_CACHE_DIR/<key>.tune), and let later runs select it with zero
+// benchmarks and zero codegen (the candidate compiles also populate the
+// artifact cache).
+//
+// The math flavour is deliberately NOT a tuned axis: swapping VecMath for
+// libm changes results, and an autotuner must never silently change
+// numerics. Every candidate point inherits the base configuration's
+// FastMath flag, so in exact mode all selectable points are bit-identical
+// — which is also what makes the selection safe to change between runs.
+//
+// Selection precedence for an auto-width compile (CompilerDriver):
+//
+//   LIMPET_TUNE_FORCE=<point>   deterministic override (tests, bisection)
+//   persisted TuningRecord       key = source × base config × registry
+//                                fingerprint × tuner/artifact versions
+//   Autotuner (when requested)   measure, persist, select
+//   capability heuristic         widest profitable width from CpuCaps
+//
+// Corrupt, truncated or stale records (different machine class, older
+// tuner) are counted, ignored and overwritten by the next tune — the same
+// recoverability contract as the compile cache.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_COMPILER_AUTOTUNER_H
+#define LIMPET_COMPILER_AUTOTUNER_H
+
+#include "exec/CompiledModel.h"
+#include "support/Status.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace limpet {
+namespace compiler {
+
+/// Bumped whenever the record format, the candidate enumeration or the
+/// timing protocol changes; old records become stale by key.
+inline constexpr uint32_t kTunerVersion = 1;
+
+/// One selectable execution point: the axes the tuner may choose freely
+/// without changing results.
+struct TunePoint {
+  codegen::StateLayout Layout = codegen::StateLayout::AoS;
+  unsigned Width = 1;
+  exec::EngineTier Tier = exec::EngineTier::VM; ///< VM or Native only
+
+  /// Canonical spelling, e.g. "aosoa/w8/vm" or "aos/w1/native". The
+  /// accepted LIMPET_TUNE_FORCE syntax.
+  std::string name() const;
+  static std::optional<TunePoint> fromName(std::string_view Name);
+
+  bool operator==(const TunePoint &) const = default;
+};
+
+/// Where an auto-width selection came from.
+enum class TuneSource : uint8_t { Forced, Record, Tuned, Heuristic };
+
+std::string_view tuneSourceName(TuneSource S);
+
+/// One measured candidate (point name → cell-steps/s).
+struct TuneMeasurement {
+  std::string Point;
+  double CellStepsPerSec = 0;
+};
+
+/// The persisted result of tuning one model on one machine class.
+struct TuningRecord {
+  uint64_t TuneKey = 0;             ///< the key it is stored under
+  uint64_t RegistryFingerprint = 0; ///< exec::BackendRegistry fingerprint
+  std::string ModelName;
+  TunePoint Best;
+  double BestRate = 0; ///< cell-steps/s of the winning point
+  std::vector<TuneMeasurement> Measurements;
+
+  /// "LMPT"-framed, FNV-1a-checksummed little-endian bytes.
+  std::string serialize() const;
+  /// Rejects bad magic, version skew, truncation and checksum mismatches
+  /// with a recoverable error.
+  static std::optional<TuningRecord> deserialize(std::string_view Bytes,
+                                                 std::string *Error = nullptr);
+};
+
+/// The tuning-record key: FNV-1a chained over the model source, every
+/// non-tuned EngineConfig field (math flavour, LUT flags, pass pipeline),
+/// whether the native tier may be selected, the registry fingerprint and
+/// the tuner + artifact format versions. Tuned axes (width, layout) are
+/// deliberately absent — they are the record's *output*.
+uint64_t tuneKey(std::string_view Source, const exec::EngineConfig &BaseCfg,
+                 bool AllowNative, uint64_t RegistryFingerprint);
+
+/// $LIMPET_CACHE_DIR/<key>.tune, or "" when the cache disk tier is off
+/// (records are then process-lifetime only).
+std::string tuneRecordPath(uint64_t Key);
+
+/// Loads and validates the record for \p Key: checksum, version, key
+/// match and registry-fingerprint match. Corrupt records count
+/// tune.record.corrupt; mismatched ones tune.record.stale; both read as
+/// nullopt (callers fall back to tuning or the heuristic).
+std::optional<TuningRecord> readTuningRecord(uint64_t Key);
+
+/// Atomically persists \p R at tuneRecordPath(R.TuneKey); a disabled disk
+/// tier is a successful no-op (false only on a real write error).
+bool writeTuningRecord(const TuningRecord &R);
+
+/// A resolved auto-width selection.
+struct AutoSelection {
+  exec::EngineConfig Config; ///< concrete (never auto-width) configuration
+  exec::EngineTier Tier = exec::EngineTier::VM;
+  TunePoint Point;
+  TuneSource Source = TuneSource::Heuristic;
+  double Rate = 0;      ///< measured cell-steps/s (0 for heuristic picks)
+  uint64_t TuneKey = 0; ///< the record key consulted
+  Status Err;           ///< set when selection failed (bad forced point)
+
+  explicit operator bool() const { return Err.isOk(); }
+};
+
+/// Benchmarks one model at every selectable registry point.
+class Autotuner {
+public:
+  /// Timing protocol: short calibrated windows. Cells / window / repeats
+  /// come from LIMPET_TUNE_CELLS (default 256), LIMPET_TUNE_WINDOW_MS
+  /// (default 25) and LIMPET_TUNE_REPEATS (default 3). Measurement runs
+  /// are serialized process-wide so concurrent suite compiles do not
+  /// perturb each other's timings.
+  struct Options {
+    int64_t Cells = 0;   ///< 0 = environment / default
+    double WindowMs = 0; ///< 0 = environment / default
+    int Repeats = 0;     ///< 0 = environment / default
+  };
+
+  Autotuner() = default;
+  explicit Autotuner(Options O) : Opts(O) {}
+
+  /// Measures every candidate (layout × registry width × engine) point
+  /// for \p Source under \p BaseCfg's math/LUT/pipeline flags, native
+  /// candidates only when \p AllowNative (and only where the native
+  /// kernel actually attaches). Returns the populated record or an error
+  /// when no candidate point could be compiled and measured.
+  Expected<TuningRecord> tune(std::string_view Name, std::string_view Source,
+                              const exec::EngineConfig &BaseCfg,
+                              bool AllowNative);
+
+private:
+  Options Opts;
+};
+
+/// Resolves an auto-width configuration for (Name, Source): forced point,
+/// else persisted record, else (when \p RunTuner) a fresh tune persisted
+/// for next time, else the capability heuristic. \p Tier is the driver's
+/// engine tier: VM restricts selection to VM points; Native/Auto allows
+/// tuned native points and is folded into the record key.
+AutoSelection selectAutoConfig(std::string_view Name, std::string_view Source,
+                               const exec::EngineConfig &BaseCfg,
+                               exec::EngineTier Tier, bool RunTuner);
+
+/// The capability-based fallback: the widest profitable width for the
+/// probed host (two full native vectors in flight, clamped to the
+/// specialized burns), AoSoA when vectorized. Exposed for tests.
+TunePoint heuristicPoint(exec::EngineTier Tier);
+
+} // namespace compiler
+} // namespace limpet
+
+#endif // LIMPET_COMPILER_AUTOTUNER_H

@@ -161,17 +161,47 @@ Artifact CompilerDriver::makeArtifact(const exec::CompiledModel &M,
   return A;
 }
 
+CompileResult CompilerDriver::compileAuto(std::string_view Name,
+                                          std::string_view Source) {
+  AutoSelection Sel =
+      selectAutoConfig(Name, Source, Opts.Config, Opts.Tier, Opts.Autotune);
+  if (!Sel) {
+    CompileResult R;
+    R.ModelName = std::string(Name);
+    R.SourceHash = fnv1a64(Source);
+    R.TuneKey = Sel.TuneKey;
+    R.Err = Sel.Err;
+    return R;
+  }
+  DriverOptions Sub = Opts;
+  Sub.Config = Sel.Config;
+  Sub.Tier = Sel.Tier;
+  CompilerDriver SubDriver(std::move(Sub));
+  CompileResult R = SubDriver.compileSource(Name, Source);
+  R.AutoSelected = true;
+  R.AutoSource = Sel.Source;
+  R.AutoPointName = Sel.Point.name();
+  R.AutoRate = Sel.Rate;
+  R.TuneKey = Sel.TuneKey;
+  return R;
+}
+
 CompileResult CompilerDriver::compileSource(std::string_view Name,
                                             std::string_view Source) {
+  if (Status S = Opts.Config.validate(); !S) {
+    CompileResult R;
+    R.ModelName = std::string(Name);
+    R.SourceHash = fnv1a64(Source);
+    R.Err = S;
+    return R;
+  }
+  if (Opts.Config.isAutoWidth())
+    return compileAuto(Name, Source);
+
   CompileResult R;
   R.ModelName = std::string(Name);
   R.SourceHash = fnv1a64(Source);
   R.CacheKey = compileCacheKey(Source, Opts.Config);
-
-  if (Status S = Opts.Config.validate(); !S) {
-    R.Err = S;
-    return R;
-  }
 
   if (Opts.UseCache) {
     bool FromDisk = false;

@@ -23,6 +23,7 @@
 #define LIMPET_COMPILER_COMPILERDRIVER_H
 
 #include "compiler/Artifact.h"
+#include "compiler/Autotuner.h"
 #include "compiler/CompileCache.h"
 #include "exec/CompiledModel.h"
 #include "exec/NativeKernel.h"
@@ -72,6 +73,10 @@ struct DriverOptions {
   exec::EngineTier Tier = exec::EngineTier::VM;
   /// Consult/populate the content-addressed compile cache.
   bool UseCache = true;
+  /// For auto-width configs with no persisted TuningRecord: benchmark
+  /// every registry point (compiler/Autotuner.h) and persist the result
+  /// instead of falling back to the capability heuristic.
+  bool Autotune = false;
   /// Capture an output snapshot after every stage (--print-ir-after-all).
   bool SnapshotAll = false;
   /// Capture snapshots after just these stages (--print-ir-after=...).
@@ -110,6 +115,14 @@ struct CompileResult {
   /// Always recoverable — the model still runs on the VM.
   Status NativeErr;
 
+  // Auto-width outcome (meaningful only when the driver's config had
+  // Width = kWidthAuto; AutoSelected stays false otherwise).
+  bool AutoSelected = false;
+  TuneSource AutoSource = TuneSource::Heuristic;
+  std::string AutoPointName; ///< e.g. "aosoa/w8/vm"
+  double AutoRate = 0;       ///< measured cell-steps/s (0 for heuristic)
+  uint64_t TuneKey = 0;      ///< the tuning-record key consulted
+
   explicit operator bool() const { return Model.has_value(); }
 };
 
@@ -146,6 +159,9 @@ public:
                                std::string_view Name, uint64_t SourceHash);
 
 private:
+  /// The auto-width path: resolve the configuration (forced / record /
+  /// tuned / heuristic), then compile under it with a sub-driver.
+  CompileResult compileAuto(std::string_view Name, std::string_view Source);
   CompileResult compileCold(std::string_view Name, std::string_view Source);
   /// Warm path shared by cache hits and explicit artifact loads.
   CompileResult assembleFromArtifact(const Artifact &A, std::string_view Name,

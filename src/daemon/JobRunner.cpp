@@ -87,6 +87,7 @@ JobState JobRunner::execute(Job &J) {
   compiler::DriverOptions DOpts;
   DOpts.Config = J.Spec.Config;
   DOpts.Tier = J.Spec.Tier;
+  DOpts.Autotune = J.Spec.Autotune;
   compiler::CompilerDriver Driver(DOpts);
   compiler::CompileResult R = Driver.compileEntry(*Entry);
   if (!R)

@@ -46,9 +46,22 @@ static Status parseConfig(const JsonValue &Body, exec::EngineConfig &Cfg) {
   // A "preset" picks one of the paper's configurations; individual fields
   // then override it.
   std::string Preset = C->stringOr("preset", "baseline");
-  unsigned W = unsigned(C->intOr("width", 0));
+  // "width" is a number, or the string "auto" to defer the width/layout
+  // choice to the tuning record / autotuner / capability heuristic.
+  unsigned W = 0;
+  bool WidthAuto = false;
+  if (const JsonValue *WV = C->find("width")) {
+    if (WV->isString()) {
+      if (WV->asString() != "auto")
+        return Status::error("'width' must be a number or \"auto\"");
+      WidthAuto = true;
+    } else {
+      W = unsigned(C->intOr("width", 0));
+    }
+  }
   if (Preset == "baseline")
-    Cfg = exec::EngineConfig::baseline();
+    Cfg = WidthAuto ? exec::EngineConfig::autoTuned()
+                    : exec::EngineConfig::baseline();
   else if (Preset == "limpetmlir")
     Cfg = exec::EngineConfig::limpetMLIR(W ? W : 4);
   else if (Preset == "autovec")
@@ -59,6 +72,8 @@ static Status parseConfig(const JsonValue &Body, exec::EngineConfig &Cfg) {
     return Status::error("unknown config preset '" + Preset + "'");
   if (W)
     Cfg.Width = W;
+  else if (WidthAuto)
+    Cfg.Width = exec::EngineConfig::kWidthAuto;
   if (const JsonValue *L = C->find("layout")) {
     if (!L->isString())
       return Status::error("'layout' must be a string");
@@ -99,6 +114,7 @@ Expected<JobSpec> daemon::parseJobSpec(const JsonValue &Body) {
   if (!(Spec.Dt > 0))
     return Status::error("'dt' must be positive");
   Spec.Guard = Body.boolOr("guard", Spec.Guard);
+  Spec.Autotune = Body.boolOr("autotune", Spec.Autotune);
   Spec.TimeoutSec = Body.numberOr("timeout_sec", 0);
   if (Spec.TimeoutSec < 0)
     return Status::error("'timeout_sec' must be non-negative");
@@ -126,7 +142,10 @@ Expected<JobSpec> daemon::parseJobSpec(const JsonValue &Body) {
 JsonValue daemon::jobSpecToJson(const JobSpec &Spec) {
   JsonValue Cfg = JsonValue::object();
   Cfg.set("preset", JsonValue::string("baseline"));
-  Cfg.set("width", JsonValue::number(int64_t(Spec.Config.Width)));
+  if (Spec.Config.isAutoWidth())
+    Cfg.set("width", JsonValue::string("auto"));
+  else
+    Cfg.set("width", JsonValue::number(int64_t(Spec.Config.Width)));
   const char *Layout = Spec.Config.Layout == codegen::StateLayout::SoA ? "soa"
                        : Spec.Config.Layout == codegen::StateLayout::AoSoA
                            ? "aosoa"
@@ -147,6 +166,7 @@ JsonValue daemon::jobSpecToJson(const JobSpec &Spec) {
   J.set("steps", JsonValue::number(Spec.NumSteps));
   J.set("dt", JsonValue::number(Spec.Dt));
   J.set("guard", JsonValue::boolean(Spec.Guard));
+  J.set("autotune", JsonValue::boolean(Spec.Autotune));
   J.set("timeout_sec", JsonValue::number(Spec.TimeoutSec));
   J.set("checkpoint_every", JsonValue::number(Spec.CheckpointEveryN));
   J.set("progress_every", JsonValue::number(Spec.ProgressEvery));

@@ -72,6 +72,10 @@ struct JobSpec {
   int64_t ProgressEvery = 0;
 
   exec::EngineConfig Config; ///< engine configuration (baseline default)
+  /// With "width": "auto" and no persisted tuning record: run the width
+  /// autotuner (benchmark every registry point, persist the winner)
+  /// instead of falling back to the capability heuristic.
+  bool Autotune = false;
   /// Execution tier ("engine" on the wire: vm/native/auto, default vm).
   /// Native/auto jobs attach a specialized dlopen'd kernel when the box
   /// has a toolchain and fall back to the VM when it doesn't — a submit

@@ -29,7 +29,11 @@ void Backend::dispatch(const BcProgram &P, const KernelArgs &Args) const {
   }
   Sub.Start = Main;
   Sub.End = Args.End;
-  resolveBackend(1, fastMath()).runRange(P, Sub);
+  // The scalar interpreter registers unconditionally on every host, in
+  // both math flavours, so the tail backend always exists.
+  const Backend *Tail = tryResolveBackend(1, fastMath());
+  assert(Tail && "scalar backend missing from registry");
+  Tail->runRange(P, Sub);
 }
 
 void Backend::step(const BcProgram &P, KernelArgs &Args) const {

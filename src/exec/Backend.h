@@ -6,11 +6,22 @@
 // and — through the same interface — the guard-rail recovery path, which
 // is just the scalar/libm backend driven cell-by-cell by the Simulator.
 //
-// A Backend is stateless and immutable; resolveBackend() returns shared
-// singletons, so EngineConfig can resolve to a backend instance once at
-// model-compile time and every step dispatches through a single virtual
-// call. Backend::step() owns the two concerns that used to be ad-hoc
-// special cases inside the engines:
+// Backends are stateless, immutable singletons published through the
+// BackendRegistry: a data-driven table populated once at startup from the
+// host's probed vector capabilities (support/CpuCaps). Each entry
+// advertises its width, preferred alignment and math flavour, so the
+// selection layers above (EngineConfig::validate, the width autotuner,
+// the capability heuristic) enumerate what this machine can run instead
+// of hard-coding the SSE/AVX2/AVX-512 axis. Two kinds of entries exist:
+//
+//  * specialized: the templated interpreters with compile-time lane
+//    counts (the fast path the registry prefers when both exist);
+//  * vector-length-agnostic (VLA): one interpreter body whose lane count
+//    is a runtime parameter, registered for widths beyond the template
+//    burn (and, under LIMPET_VLA=1, preferred everywhere for testing).
+//
+// Backend::step() owns the two concerns that used to be ad-hoc special
+// cases inside the engines:
 //
 //  * the ragged tail: cells left over after the last full W-block run
 //    through the scalar backend of the same math flavour (the
@@ -25,19 +36,22 @@
 #define LIMPET_EXEC_BACKEND_H
 
 #include "exec/Engine.h"
+#include "support/CpuCaps.h"
 
 #include <string_view>
+#include <vector>
 
 namespace limpet {
 namespace exec {
 
 /// A kernel execution strategy. Implementations are stateless singletons
-/// owned by resolveBackend().
+/// owned by the BackendRegistry.
 class Backend {
 public:
   virtual ~Backend() = default;
 
-  /// Stable identifier, e.g. "scalar/libm" or "vec8/vecmath".
+  /// Stable identifier, e.g. "scalar/libm", "vec8/vecmath" or
+  /// "vla16/vecmath".
   virtual std::string_view name() const = 0;
 
   /// SIMD lane count of the main loop (1 for the scalar backend).
@@ -46,6 +60,14 @@ public:
   /// Whether transcendental calls use the VecMath kernels (the SVML
   /// analogue) instead of libm.
   virtual bool fastMath() const = 0;
+
+  /// Whether the lane count is a compile-time template parameter (the
+  /// specialized fast path) or a runtime value (the VLA interpreter).
+  virtual bool specialized() const { return true; }
+
+  /// State alignment (bytes) this backend's main loop prefers: one full
+  /// vector of f64 lanes.
+  unsigned alignmentBytes() const { return width() * sizeof(double); }
 
   /// Capability flags.
   bool vectorized() const { return width() > 1; }
@@ -70,12 +92,74 @@ private:
   void dispatch(const BcProgram &P, const KernelArgs &Args) const;
 };
 
-/// The shared backend instance for a supported (Width, FastMath) pair.
-/// Asserts on unsupported widths; see tryResolveBackend for the checked
-/// form.
-const Backend &resolveBackend(unsigned Width, bool FastMath);
+/// One registered execution point: the backend singleton plus the
+/// capabilities it advertises (duplicated here so selection code can
+/// enumerate without virtual calls).
+struct BackendInfo {
+  const Backend *Impl = nullptr;
+  unsigned Width = 1;
+  bool FastMath = false;
+  unsigned AlignBytes = 8;
+  bool Specialized = true;
+};
 
-/// Like resolveBackend, but returns nullptr for unsupported widths.
+/// The data-driven table of every execution point this process can
+/// dispatch to. Populated once from the host capability probe; the
+/// global() instance is what tryResolveBackend, EngineConfig::validate
+/// and the autotuner consult.
+class BackendRegistry {
+public:
+  /// The process-wide registry, built from hostCpuCaps() (and the
+  /// LIMPET_VLA preference) on first use.
+  static const BackendRegistry &global();
+
+  /// Builds the registry a machine with \p Caps would have. Used by tests
+  /// and by staleness checks against tuning records from other machines;
+  /// \p PreferVla mirrors LIMPET_VLA=1.
+  static BackendRegistry forCaps(const support::CpuCaps &Caps,
+                                 bool PreferVla = false);
+
+  /// The backend for (Width, FastMath), preferring the specialized
+  /// templated entry unless VLA dispatch is forced. Null when no entry
+  /// covers the width.
+  const Backend *find(unsigned Width, bool FastMath) const;
+
+  bool supportsWidth(unsigned W) const;
+
+  /// Sorted unique widths with at least one entry (always starts at 1).
+  const std::vector<unsigned> &widths() const { return Widths; }
+
+  /// Every registered point.
+  const std::vector<BackendInfo> &entries() const { return Entries; }
+
+  /// A stable hash of the ISA name and every (width, fastMath,
+  /// specialized) entry. Tuning records are keyed by this: a record tuned
+  /// on a machine with different capabilities is stale by construction.
+  uint64_t fingerprint() const { return Fingerprint; }
+
+  /// The probed ISA this registry was built for ("avx512", "neon", ...).
+  const std::string &isa() const { return Isa; }
+
+  /// f64 lanes of the widest native vector unit (heuristic input).
+  unsigned maxLanes() const { return MaxLanes; }
+
+  /// Whether find() prefers VLA entries over specialized ones.
+  bool prefersVla() const { return PreferVla; }
+
+private:
+  std::vector<BackendInfo> Entries;
+  std::vector<unsigned> Widths;
+  std::string Isa;
+  unsigned MaxLanes = 1;
+  uint64_t Fingerprint = 0;
+  bool PreferVla = false;
+};
+
+/// The shared backend instance for a supported (Width, FastMath) pair, or
+/// nullptr for widths the registry does not cover. The asserting
+/// resolveBackend() variant is gone: every caller checks, and
+/// EngineConfig::validate turns an unsupported width into a recoverable
+/// Status before any model is compiled.
 const Backend *tryResolveBackend(unsigned Width, bool FastMath);
 
 } // namespace exec

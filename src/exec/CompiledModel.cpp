@@ -49,8 +49,19 @@ EngineConfig EngineConfig::recovery() {
   return Cfg;
 }
 
+EngineConfig EngineConfig::autoTuned() {
+  EngineConfig Cfg;
+  Cfg.Width = kWidthAuto;
+  Cfg.Layout = StateLayout::AoSoA;
+  Cfg.FastMath = true;
+  Cfg.EnableLuts = true;
+  return Cfg;
+}
+
 std::string exec::engineConfigName(const EngineConfig &Cfg) {
-  std::string Name = Cfg.Width == 1 ? "scalar" : "vec" + std::to_string(Cfg.Width);
+  std::string Name = Cfg.isAutoWidth() ? "auto"
+                     : Cfg.Width == 1  ? "scalar"
+                                       : "vec" + std::to_string(Cfg.Width);
   Name += "/";
   Name += stateLayoutName(Cfg.Layout);
   Name += Cfg.FastMath ? "/fastmath" : "/libm";
@@ -59,16 +70,20 @@ std::string exec::engineConfigName(const EngineConfig &Cfg) {
 }
 
 Status EngineConfig::validate() const {
-  if (!isSupportedWidth(Width))
-    return Status::error("unsupported vector width " + std::to_string(Width));
-  const Backend *B = tryResolveBackend(Width, FastMath);
-  if (!B)
-    return Status::error("unsupported vector width " + std::to_string(Width));
-  if (!B->supportsLayout(Layout))
-    return Status::error("AoSoA layout requires a vector engine");
   if (CubicLut && !EnableLuts)
     return Status::error("cubic LUT interpolation requires LUTs "
                          "(EnableLuts) to be on");
+  // Auto width: the driver resolves layout/width against the registry
+  // before anything executable is built, so only the width-independent
+  // checks apply here.
+  if (isAutoWidth())
+    return Status::success();
+  const Backend *B = tryResolveBackend(Width, FastMath);
+  if (!B)
+    return Status::error("no backend registered for vector width " +
+                         std::to_string(Width));
+  if (!B->supportsLayout(Layout))
+    return Status::error("AoSoA layout requires a vector engine");
   return Status::success();
 }
 
@@ -80,6 +95,12 @@ CompiledModel::compile(const easyml::ModelInfo &Info, const EngineConfig &Cfg,
   if (Status S = Cfg.validate(); !S) {
     if (Error)
       *Error = S.message();
+    return std::nullopt;
+  }
+  if (Cfg.isAutoWidth()) {
+    if (Error)
+      *Error = "auto width must be resolved by the CompilerDriver before "
+               "compiling (use compiler::selectAutoConfig)";
     return std::nullopt;
   }
 
@@ -127,6 +148,8 @@ CompiledModel::fromParts(GeneratedKernel Kernel, BcProgram Program,
   };
   if (Status S = Cfg.validate(); !S)
     return Fail(S.message());
+  if (Cfg.isAutoWidth())
+    return Fail("auto width must be resolved before assembling a model");
 
   const easyml::ModelInfo &Info = Kernel.Program.Info;
   if (Program.Layout != Cfg.Layout)
@@ -147,7 +170,10 @@ CompiledModel::fromParts(GeneratedKernel Kernel, BcProgram Program,
 
   CompiledModel M;
   M.Cfg = Cfg;
-  M.Engine = &resolveBackend(Cfg.Width, Cfg.FastMath);
+  M.Engine = tryResolveBackend(Cfg.Width, Cfg.FastMath);
+  if (!M.Engine)
+    return Fail("no backend registered for vector width " +
+                std::to_string(Cfg.Width));
   M.Kernel = std::move(Kernel);
   M.Program = std::move(Program);
   if (Luts) {

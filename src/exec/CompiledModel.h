@@ -28,7 +28,15 @@ namespace exec {
 
 /// Selects which of the paper's configurations a model is compiled for.
 struct EngineConfig {
-  /// SIMD width: 1 (scalar), 2 (SSE), 4 (AVX2), 8 (AVX-512).
+  /// Width sentinel: let the CompilerDriver pick the (layout × width ×
+  /// engine) point from a persisted TuningRecord or the capability
+  /// heuristic. Never reaches codegen or execution — the driver resolves
+  /// it to a concrete configuration first.
+  static constexpr unsigned kWidthAuto = 0;
+
+  /// SIMD width: 1 (scalar), 2 (SSE), 4 (AVX2), 8 (AVX-512), or any
+  /// other width the BackendRegistry advertises on this host; kWidthAuto
+  /// defers the choice to the driver's autotuner.
   unsigned Width = 1;
   codegen::StateLayout Layout = codegen::StateLayout::AoS;
   /// VecMath (SVML analogue) vs libm.
@@ -52,11 +60,21 @@ struct EngineConfig {
   /// libm, AoS). Cells whose fast-path integration keeps faulting fall
   /// back to a model compiled with this configuration.
   static EngineConfig recovery();
+  /// Auto-selected point: Width = kWidthAuto with limpetMLIR-style
+  /// defaults. The CompilerDriver replaces layout/width (and possibly
+  /// fast-math, in fast-math mode) with the tuned or heuristic choice.
+  static EngineConfig autoTuned();
+
+  /// True when the driver must resolve the width (and layout) before
+  /// compiling.
+  bool isAutoWidth() const { return Width == kWidthAuto; }
 
   /// Checks that this configuration names an executable engine
   /// (supported width, layout/width compatibility, LUT flag coherence).
   /// CompiledModel::compile rejects invalid configurations with this
-  /// recoverable Status instead of asserting deep in codegen.
+  /// recoverable Status instead of asserting deep in codegen. An
+  /// auto-width configuration validates (the driver resolves it), but
+  /// compile()/fromParts() reject it — they need a concrete point.
   Status validate() const;
 
   /// Field-wise equality. Checkpoint resume requires the resuming model

@@ -5,8 +5,11 @@
 #include "exec/Backend.h"
 #include "runtime/VecMath.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 using namespace limpet;
 using namespace limpet::exec;
@@ -246,13 +249,17 @@ void runScalarRange(const BcProgram &P, const KernelArgs &A, int64_t Begin,
 // Vector engine
 //===----------------------------------------------------------------------===//
 
-/// Executes one instruction over W lanes starting at cell \p C. Lane loops
-/// have compile-time trip counts and branch-free bodies so the host
-/// compiler emits SIMD.
-template <unsigned W, bool Fast>
+/// Executes one instruction over W lanes starting at cell \p C. With a
+/// non-zero compile-time lane count WC the lane loops have compile-time
+/// trip counts and branch-free bodies so the host compiler emits SIMD
+/// (the specialized fast path); with WC == 0 the lane count is the
+/// runtime parameter \p RtW — the vector-length-agnostic mode, one
+/// interpreter body serving any width the registry advertises.
+template <unsigned WC, bool Fast>
 [[gnu::always_inline]] inline void execVectorInstr(const BcInstr &I, double *Regs,
                             const KernelArgs &A, const BcProgram &P,
-                            int64_t C) {
+                            int64_t C, unsigned RtW) {
+  const unsigned W = WC ? WC : RtW;
   using M = MathOps<Fast>;
   auto Reg = [&](uint16_t RegNo) { return Regs + size_t(RegNo) * W; };
   // The bytecode compiler guarantees a destination register never aliases
@@ -538,9 +545,13 @@ template <unsigned W, bool Fast>
 }
 
 /// Runs full W-blocks only; Backend::step routes any ragged tail through
-/// the scalar backend before calling this.
-template <unsigned W, bool Fast>
-void runVectorRange(const BcProgram &P, const KernelArgs &A) {
+/// the scalar backend before calling this. WC/RtW as in execVectorInstr:
+/// WC > 0 is the specialized template burn, WC == 0 reads the width from
+/// \p RtW at runtime.
+template <unsigned WC, bool Fast>
+void runVectorRange(const BcProgram &P, const KernelArgs &A, unsigned RtW) {
+  const unsigned W = WC ? WC : RtW;
+  assert(W > 1 && "vector ranges need a vector width");
   assert((A.End - A.Start) % int64_t(W) == 0 &&
          "vector ranges must be whole W-blocks (tails are the scalar "
          "backend's job)");
@@ -554,11 +565,11 @@ void runVectorRange(const BcProgram &P, const KernelArgs &A) {
       R[size_t(P.TReg) * W + L] = A.T;
   // The prologue is lane-uniform, so the vector interpreter runs it too.
   for (const BcInstr &I : P.Prologue)
-    execVectorInstr<W, Fast>(I, R, A, P, A.Start);
+    execVectorInstr<WC, Fast>(I, R, A, P, A.Start, W);
 
   for (int64_t C = A.Start; C + int64_t(W) <= A.End; C += int64_t(W))
     for (const BcInstr &I : P.Body)
-      execVectorInstr<W, Fast>(I, R, A, P, C);
+      execVectorInstr<WC, Fast>(I, R, A, P, C, W);
 }
 
 //===----------------------------------------------------------------------===//
@@ -589,51 +600,172 @@ public:
 
 protected:
   void runRange(const BcProgram &P, const KernelArgs &A) const override {
-    runVectorRange<W, Fast>(P, A);
+    runVectorRange<W, Fast>(P, A, W);
   }
 
 private:
   std::string Name;
 };
 
+/// The vector-length-agnostic interpreter: one body (runVectorRange<0>)
+/// whose lane count is a member read at runtime. Bit-identical to the
+/// specialized backend of the same width and math flavour — the lane
+/// loops execute the same operations in the same order — just without
+/// compile-time trip counts for the host vectorizer to lean on.
+template <bool Fast> class VlaBackend final : public Backend {
+public:
+  explicit VlaBackend(unsigned W)
+      : W(W), Name("vla" + std::to_string(W) + (Fast ? "/vecmath" : "/libm")) {}
+  std::string_view name() const override { return Name; }
+  unsigned width() const override { return W; }
+  bool fastMath() const override { return Fast; }
+  bool specialized() const override { return false; }
+
+protected:
+  void runRange(const BcProgram &P, const KernelArgs &A) const override {
+    runVectorRange<0, Fast>(P, A, W);
+  }
+
+private:
+  unsigned W;
+  std::string Name;
+};
+
+/// Process-lifetime backend singletons. The registry holds pointers into
+/// this pool; forCaps() registries built for other machines share the
+/// same instances (the interpreters themselves run anywhere — narrower
+/// hosts just execute the lane loops with less SIMD).
+struct BackendPool {
+  ScalarBackend<false> S1Exact;
+  ScalarBackend<true> S1Fast;
+  VectorBackend<2, false> V2Exact;
+  VectorBackend<2, true> V2Fast;
+  VectorBackend<4, false> V4Exact;
+  VectorBackend<4, true> V4Fast;
+  VectorBackend<8, false> V8Exact;
+  VectorBackend<8, true> V8Fast;
+  VlaBackend<false> Vla2Exact{2}, Vla4Exact{4}, Vla8Exact{8}, Vla16Exact{16};
+  VlaBackend<true> Vla2Fast{2}, Vla4Fast{4}, Vla8Fast{8}, Vla16Fast{16};
+
+  static const BackendPool &get() {
+    static const BackendPool Pool;
+    return Pool;
+  }
+};
+
+/// Local FNV-1a (the exec layer does not depend on compiler/Serialize).
+uint64_t fnv1a64(uint64_t H, const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
 } // namespace
 
+BackendRegistry BackendRegistry::forCaps(const support::CpuCaps &Caps,
+                                         bool PreferVla) {
+  const BackendPool &Pool = BackendPool::get();
+  BackendRegistry R;
+  R.Isa = Caps.Isa;
+  R.MaxLanes = Caps.MaxLanesF64;
+  R.PreferVla = PreferVla;
+
+  auto add = [&](const Backend &B) {
+    R.Entries.push_back({&B, B.width(), B.fastMath(), B.alignmentBytes(),
+                         B.specialized()});
+  };
+
+  // The scalar interpreter and the specialized template burns register on
+  // every host: they are portable C++ whose lane loops the host compiler
+  // lowers to whatever SIMD exists (or unrolled scalar code). The probe
+  // widens the *menu*, it never narrows the portable floor — width
+  // support stays deterministic across machines, and the autotuner is
+  // what decides whether an over-wide interpreter pays off here.
+  add(Pool.S1Exact);
+  add(Pool.S1Fast);
+  add(Pool.V2Exact);
+  add(Pool.V2Fast);
+  add(Pool.V4Exact);
+  add(Pool.V4Fast);
+  add(Pool.V8Exact);
+  add(Pool.V8Fast);
+
+  // VLA twins of every specialized vector width (selectable via
+  // LIMPET_VLA=1 or a forced tune point), plus the extended width
+  // 2*MaxLanesF64 where the host's vector unit out-runs the template
+  // burn (two full vectors in flight per block on AVX-512).
+  add(Pool.Vla2Exact);
+  add(Pool.Vla2Fast);
+  add(Pool.Vla4Exact);
+  add(Pool.Vla4Fast);
+  add(Pool.Vla8Exact);
+  add(Pool.Vla8Fast);
+  if (Caps.MaxLanesF64 * 2 > 8) {
+    add(Pool.Vla16Exact);
+    add(Pool.Vla16Fast);
+  }
+
+  for (const BackendInfo &E : R.Entries)
+    if (std::find(R.Widths.begin(), R.Widths.end(), E.Width) ==
+        R.Widths.end())
+      R.Widths.push_back(E.Width);
+  std::sort(R.Widths.begin(), R.Widths.end());
+
+  uint64_t H = 1469598103934665603ULL; // FNV offset basis
+  H = fnv1a64(H, R.Isa.data(), R.Isa.size());
+  for (const BackendInfo &E : R.Entries) {
+    uint32_t Tuple[3] = {E.Width, uint32_t(E.FastMath), uint32_t(E.Specialized)};
+    H = fnv1a64(H, Tuple, sizeof(Tuple));
+  }
+  R.Fingerprint = H;
+  return R;
+}
+
+const BackendRegistry &BackendRegistry::global() {
+  static const BackendRegistry R = [] {
+    const char *V = std::getenv("LIMPET_VLA");
+    return forCaps(support::hostCpuCaps(), V && V[0] == '1' && !V[1]);
+  }();
+  return R;
+}
+
+const Backend *BackendRegistry::find(unsigned Width, bool FastMath) const {
+  const Backend *Fallback = nullptr;
+  for (const BackendInfo &E : Entries) {
+    if (E.Width != Width || E.FastMath != FastMath)
+      continue;
+    // Prefer the specialized template burn (or, under LIMPET_VLA=1, the
+    // VLA interpreter); fall back to whichever kind exists — scalar has
+    // no VLA twin, width 16 has no specialized burn.
+    if (E.Specialized != PreferVla)
+      return E.Impl;
+    Fallback = E.Impl;
+  }
+  return Fallback;
+}
+
+bool BackendRegistry::supportsWidth(unsigned W) const {
+  return std::find(Widths.begin(), Widths.end(), W) != Widths.end();
+}
+
 bool exec::isSupportedWidth(unsigned W) {
-  return W == 1 || W == 2 || W == 4 || W == 8;
+  return BackendRegistry::global().supportsWidth(W);
 }
 
 const Backend *exec::tryResolveBackend(unsigned Width, bool FastMath) {
-  static const ScalarBackend<false> S1Exact;
-  static const ScalarBackend<true> S1Fast;
-  static const VectorBackend<2, false> V2Exact;
-  static const VectorBackend<2, true> V2Fast;
-  static const VectorBackend<4, false> V4Exact;
-  static const VectorBackend<4, true> V4Fast;
-  static const VectorBackend<8, false> V8Exact;
-  static const VectorBackend<8, true> V8Fast;
-  switch (Width) {
-  case 1:
-    return FastMath ? static_cast<const Backend *>(&S1Fast) : &S1Exact;
-  case 2:
-    return FastMath ? static_cast<const Backend *>(&V2Fast) : &V2Exact;
-  case 4:
-    return FastMath ? static_cast<const Backend *>(&V4Fast) : &V4Exact;
-  case 8:
-    return FastMath ? static_cast<const Backend *>(&V8Fast) : &V8Exact;
-  default:
-    return nullptr;
-  }
+  return BackendRegistry::global().find(Width, FastMath);
 }
 
-const Backend &exec::resolveBackend(unsigned Width, bool FastMath) {
+Status exec::runKernel(const BcProgram &P, const KernelArgs &Args,
+                       unsigned Width, bool FastMath) {
   const Backend *B = tryResolveBackend(Width, FastMath);
-  assert(B && "unsupported vector width");
-  return *B;
-}
-
-void exec::runKernel(const BcProgram &P, const KernelArgs &Args,
-                     unsigned Width, bool FastMath) {
-  assert(isSupportedWidth(Width) && "unsupported vector width");
+  if (!B)
+    return Status::error("no backend registered for vector width " +
+                         std::to_string(Width));
   KernelArgs A = Args;
-  resolveBackend(Width, FastMath).step(P, A);
+  B->step(P, A);
+  return Status::success();
 }

@@ -15,7 +15,8 @@
 // Backend interface (exec/Backend.h), which owns per-chunk dispatch —
 // including routing cells left over after the last full block through the
 // scalar backend (the vectorizer's epilogue loop) — and the chunk-level
-// telemetry. runKernel below is a thin one-shot shim over resolveBackend.
+// telemetry. runKernel below is a thin one-shot shim over
+// tryResolveBackend.
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +25,7 @@
 
 #include "exec/Bytecode.h"
 #include "runtime/Lut.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <vector>
@@ -46,20 +48,26 @@ struct KernelArgs {
   const runtime::LutTableSet *Luts = nullptr;
 };
 
-/// Supported vector widths (SSE = 2, AVX2 = 4, AVX-512 = 8 lanes of f64).
+/// The specialized template burns (SSE = 2, AVX2 = 4, AVX-512 = 8 lanes
+/// of f64). These widths are registered on every host; the
+/// BackendRegistry (exec/Backend.h) may advertise more — the
+/// vector-length-agnostic interpreter covers widths beyond the burn on
+/// hosts whose probe allows it.
 inline constexpr unsigned SupportedWidths[] = {1, 2, 4, 8};
 
+/// Whether the process-wide BackendRegistry has a backend for \p W.
 bool isSupportedWidth(unsigned W);
 
 /// Runs \p P over [Args.Start, Args.End). Width 1 selects the scalar
-/// engine; 2/4/8 the vector engine with that lane count. \p FastMath
-/// selects the VecMath kernels over libm (the baseline configuration uses
-/// libm; the limpetMLIR configuration uses VecMath). Thin shim over
-/// resolveBackend(Width, FastMath).step(...); callers that dispatch
+/// engine; wider widths the vector engine with that lane count.
+/// \p FastMath selects the VecMath kernels over libm (the baseline
+/// configuration uses libm; the limpetMLIR configuration uses VecMath).
+/// Thin shim over tryResolveBackend(Width, FastMath)->step(...); an
+/// unregistered width is a recoverable error. Callers that dispatch
 /// repeatedly should resolve the backend once instead (CompiledModel
 /// does).
-void runKernel(const BcProgram &P, const KernelArgs &Args, unsigned Width,
-               bool FastMath);
+Status runKernel(const BcProgram &P, const KernelArgs &Args, unsigned Width,
+                 bool FastMath);
 
 } // namespace exec
 } // namespace limpet

@@ -3,6 +3,7 @@
 #include "sim/StateBuffer.h"
 
 #include "sim/Scheduler.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -84,8 +85,14 @@ void StateBuffer::scatterCell(int64_t Cell, const double *Sv,
 
 void StateBuffer::repack(StateLayout NewLayout, unsigned NewWidth) {
   unsigned NewW = NewLayout == StateLayout::AoSoA ? std::max(NewWidth, 1u) : 1;
-  if (NewLayout == Layout && NewW == BlockW)
+  // The no-op fast path is what lets a tuned layout be applied
+  // unconditionally without churn; the counters make any residual churn
+  // visible (sim.repack.count should stay 0 on a stable selection).
+  if (NewLayout == Layout && NewW == BlockW) {
+    telemetry::counter("sim.repack.noop").add();
     return;
+  }
+  telemetry::counter("sim.repack.count").add();
   int64_t NewPadded = paddedFor(NewLayout, NumCells, NewW);
   std::unique_ptr<double[]> NewState(
       new double[size_t(NewPadded) * NumSv]);

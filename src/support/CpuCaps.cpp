@@ -1,0 +1,82 @@
+//===- CpuCaps.cpp --------------------------------------------------------===//
+
+#include "support/CpuCaps.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace limpet;
+using namespace limpet::support;
+
+std::optional<CpuCaps> support::cpuCapsFromName(std::string_view Name) {
+  CpuCaps C;
+  if (Name == "scalar") {
+    C.Isa = "scalar";
+    C.MaxLanesF64 = 1;
+    C.PreferredAlignBytes = 8;
+    return C;
+  }
+  if (Name == "sse2") {
+    C.Isa = "sse2";
+    C.MaxLanesF64 = 2;
+    C.PreferredAlignBytes = 16;
+    return C;
+  }
+  if (Name == "neon") {
+    C.Isa = "neon";
+    C.MaxLanesF64 = 2;
+    C.PreferredAlignBytes = 16;
+    return C;
+  }
+  if (Name == "avx2") {
+    C.Isa = "avx2";
+    C.MaxLanesF64 = 4;
+    C.PreferredAlignBytes = 32;
+    return C;
+  }
+  if (Name == "avx512") {
+    C.Isa = "avx512";
+    C.MaxLanesF64 = 8;
+    C.PreferredAlignBytes = 64;
+    return C;
+  }
+  if (Name == "generic") {
+    return CpuCaps{};
+  }
+  return std::nullopt;
+}
+
+static CpuCaps probeHost() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports is available on both gcc and clang for x86 and
+  // does its own cpuid caching.
+  if (__builtin_cpu_supports("avx512f"))
+    return *cpuCapsFromName("avx512");
+  if (__builtin_cpu_supports("avx2"))
+    return *cpuCapsFromName("avx2");
+  if (__builtin_cpu_supports("sse2"))
+    return *cpuCapsFromName("sse2");
+  return *cpuCapsFromName("scalar");
+#elif defined(__aarch64__)
+  // AArch64 mandates Advanced SIMD (2 x f64).
+  return *cpuCapsFromName("neon");
+#else
+  return CpuCaps{};
+#endif
+}
+
+const CpuCaps &support::hostCpuCaps() {
+  static const CpuCaps Caps = [] {
+    if (const char *Override = std::getenv("LIMPET_CPU_CAPS");
+        Override && *Override) {
+      if (std::optional<CpuCaps> C = cpuCapsFromName(Override))
+        return *C;
+      std::fprintf(stderr,
+                   "warning: unknown LIMPET_CPU_CAPS='%s' ignored "
+                   "(scalar, sse2, avx2, avx512, neon, generic)\n",
+                   Override);
+    }
+    return probeHost();
+  }();
+  return Caps;
+}

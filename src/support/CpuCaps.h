@@ -1,0 +1,50 @@
+//===- CpuCaps.h - Host ISA / vector capability probe -----------*- C++-*-===//
+//
+// A tiny, dependency-free probe of the host's SIMD capabilities, queried
+// once at startup to populate the exec::BackendRegistry. The probe answers
+// one question: how many f64 lanes does the widest native vector unit
+// hold? Everything width-related downstream — which interpreter widths
+// the registry registers, which point the capability heuristic picks when
+// no tuning record exists, and the registry fingerprint that keys tuning
+// records to a machine class — derives from this answer.
+//
+// The probe is overridable: LIMPET_CPU_CAPS=<isa> (scalar, sse2, avx2,
+// avx512, neon) pins the answer for tests and for reproducing another
+// machine's selection behaviour, exactly like cross-compiling against a
+// -march target.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SUPPORT_CPUCAPS_H
+#define LIMPET_SUPPORT_CPUCAPS_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace limpet {
+namespace support {
+
+/// What the host (or the LIMPET_CPU_CAPS override) can do.
+struct CpuCaps {
+  /// Canonical ISA name: "scalar", "sse2", "avx2", "avx512", "neon" or
+  /// "generic" (unknown architecture; scalar-safe defaults).
+  std::string Isa = "generic";
+  /// f64 lanes of the widest native vector register (1 when scalar).
+  unsigned MaxLanesF64 = 1;
+  /// Alignment (bytes) that makes vector loads of the widest unit fast.
+  unsigned PreferredAlignBytes = 8;
+};
+
+/// The named ISA profiles the probe (and its override) can produce.
+std::optional<CpuCaps> cpuCapsFromName(std::string_view Name);
+
+/// Probes the host once (memoized). Honors LIMPET_CPU_CAPS when set to a
+/// name cpuCapsFromName accepts; an unknown override name is ignored with
+/// a warning so a typo degrades to the real probe, never to a crash.
+const CpuCaps &hostCpuCaps();
+
+} // namespace support
+} // namespace limpet
+
+#endif // LIMPET_SUPPORT_CPUCAPS_H

@@ -1,6 +1,7 @@
 //===- EngineTests.cpp - exec/Engine unit tests --------------------------------===//
 
 #include "easyml/Sema.h"
+#include "exec/Backend.h"
 #include "exec/CompiledModel.h"
 
 #include <cmath>
@@ -171,12 +172,17 @@ TEST(Engine, ChunkedExecutionMatchesWholeRange) {
 }
 
 TEST(Engine, SupportedWidths) {
+  // The specialized burns are always registered, on every host.
   EXPECT_TRUE(isSupportedWidth(1));
   EXPECT_TRUE(isSupportedWidth(2));
   EXPECT_TRUE(isSupportedWidth(4));
   EXPECT_TRUE(isSupportedWidth(8));
   EXPECT_FALSE(isSupportedWidth(3));
-  EXPECT_FALSE(isSupportedWidth(16));
+  // Width 16 is runtime-width only and host-dependent (registered when
+  // the probed ISA has vectors wide enough to make it plausible); the
+  // answer must agree with the registry either way.
+  EXPECT_EQ(isSupportedWidth(16),
+            BackendRegistry::global().supportsWidth(16));
 }
 
 TEST(Engine, RejectsAoSoAWithScalarEngine) {

@@ -13,9 +13,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "compiler/CompileCache.h"
 #include "compiler/CompilerDriver.h"
 #include "compiler/Serialize.h"
 #include "daemon/JobQueue.h"
+#include "support/Telemetry.h"
 #include "daemon/Journal.h"
 #include "easyml/Sema.h"
 #include "models/Registry.h"
@@ -510,6 +512,152 @@ bool scenarioCkptStale() {
   return Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// Width-autotuning scenarios (persisted tuning records, docs/COMPILER.md)
+//===----------------------------------------------------------------------===//
+
+/// Shared setup for the tuning scenarios: a scratch disk cache tier and a
+/// tiny tuner protocol so a full tune finishes in milliseconds. Restores
+/// the previous disk directory on destruction.
+class TuneScratch {
+public:
+  explicit TuneScratch(const char *Tag)
+      : Dir(freshDir(Tag)), PrevDir(compiler::CompileCache::global().diskDir()) {
+    compiler::CompileCache::global().setDiskDir(Dir);
+    unsetenv("LIMPET_TUNE_FORCE");
+    setenv("LIMPET_TUNE_CELLS", "32", 1);
+    setenv("LIMPET_TUNE_WINDOW_MS", "2", 1);
+    setenv("LIMPET_TUNE_REPEATS", "1", 1);
+  }
+  ~TuneScratch() {
+    compiler::CompileCache::global().setDiskDir(PrevDir);
+    std::filesystem::remove_all(Dir);
+  }
+
+  std::string Dir;
+
+private:
+  std::string PrevDir;
+};
+
+compiler::AutoSelection selectHH(bool RunTuner) {
+  const models::ModelEntry *M = models::findModel("HodgkinHuxley");
+  return compiler::selectAutoConfig(M->Name, M->Source,
+                                    EngineConfig::autoTuned(),
+                                    EngineTier::VM, RunTuner);
+}
+
+uint64_t tuneCounter(const char *Path) {
+  return telemetry::Registry::instance().value(Path);
+}
+
+/// A corrupted (bit-flipped, then truncated) tuning record: every read
+/// falls back recoverably to the heuristic, the corruption is counted,
+/// and a clean re-tune overwrites the bad record in place.
+bool scenarioTuneCorrupt() {
+  if (!models::findModel("HodgkinHuxley"))
+    return false;
+  TuneScratch Scratch("tune-corrupt");
+
+  compiler::AutoSelection Tuned = selectHH(/*RunTuner=*/true);
+  bool Ok = check(bool(Tuned), "tuning produced a selection");
+  Ok &= check(Tuned.Source == compiler::TuneSource::Tuned,
+              "cold selection came from the tuner");
+  std::string Path = compiler::tuneRecordPath(Tuned.TuneKey);
+  if (!check(std::filesystem::exists(Path), "tuning record persisted"))
+    return false;
+
+  compiler::AutoSelection Warm = selectHH(/*RunTuner=*/false);
+  Ok &= check(Warm.Source == compiler::TuneSource::Record,
+              "warm selection replays the record");
+  Ok &= check(Warm.Point == Tuned.Point, "warm selection picks the winner");
+
+  // Flip one payload byte: the trailing FNV-1a checksum must catch it.
+  std::string Bytes;
+  (void)compiler::readFileBytes(Path, Bytes);
+  std::string Flipped = Bytes;
+  Flipped[Flipped.size() / 2] = char(Flipped[Flipped.size() / 2] ^ 0xff);
+  std::ofstream(Path, std::ios::binary | std::ios::trunc)
+      .write(Flipped.data(), std::streamsize(Flipped.size()));
+  uint64_t CorruptBefore = tuneCounter("tune.record.corrupt");
+  compiler::AutoSelection Fallback = selectHH(/*RunTuner=*/false);
+  Ok &= check(bool(Fallback), "corrupt record read is recoverable");
+  Ok &= check(Fallback.Source == compiler::TuneSource::Heuristic,
+              "corrupt record falls back to the heuristic");
+  if (telemetry::kEnabled)
+    Ok &= check(tuneCounter("tune.record.corrupt") == CorruptBefore + 1,
+                "corruption was counted");
+
+  // Truncation mid-file (a crash without atomic rename) behaves the same.
+  std::ofstream(Path, std::ios::binary | std::ios::trunc)
+      .write(Bytes.data(), std::streamsize(Bytes.size() / 3));
+  compiler::AutoSelection Truncated = selectHH(/*RunTuner=*/false);
+  Ok &= check(Truncated.Source == compiler::TuneSource::Heuristic,
+              "truncated record falls back to the heuristic");
+
+  // A clean re-tune overwrites the bad record and warm reads recover.
+  compiler::AutoSelection Retuned = selectHH(/*RunTuner=*/true);
+  Ok &= check(Retuned.Source == compiler::TuneSource::Tuned,
+              "re-tune replaces the corrupt record");
+  compiler::AutoSelection Healed = selectHH(/*RunTuner=*/false);
+  Ok &= check(Healed.Source == compiler::TuneSource::Record,
+              "record reads cleanly after the re-tune");
+  Ok &= check(Healed.Point == Retuned.Point,
+              "healed selection picks the re-tuned winner");
+  return Ok;
+}
+
+/// A structurally valid record from the wrong machine class (mismatched
+/// registry fingerprint) or the wrong key: stale by construction, counted,
+/// ignored, and replaced by the next tune.
+bool scenarioTuneStale() {
+  if (!models::findModel("HodgkinHuxley"))
+    return false;
+  TuneScratch Scratch("tune-stale");
+
+  compiler::AutoSelection Tuned = selectHH(/*RunTuner=*/true);
+  if (!check(bool(Tuned) && Tuned.Source == compiler::TuneSource::Tuned,
+             "cold tune succeeded"))
+    return false;
+  std::string Path = compiler::tuneRecordPath(Tuned.TuneKey);
+  std::optional<compiler::TuningRecord> Rec =
+      compiler::readTuningRecord(Tuned.TuneKey);
+  if (!check(Rec.has_value(), "persisted record reads back"))
+    return false;
+
+  // Same key, different machine class: checksum-valid but stale.
+  compiler::TuningRecord Foreign = *Rec;
+  Foreign.RegistryFingerprint ^= 0x1;
+  (void)compiler::writeTuningRecord(Foreign);
+  uint64_t StaleBefore = tuneCounter("tune.record.stale");
+  compiler::AutoSelection Fallback = selectHH(/*RunTuner=*/false);
+  bool Ok = check(Fallback.Source == compiler::TuneSource::Heuristic,
+                  "fingerprint mismatch falls back to the heuristic");
+  if (telemetry::kEnabled)
+    Ok &= check(tuneCounter("tune.record.stale") == StaleBefore + 1,
+                "staleness was counted");
+
+  // A record whose embedded key disagrees with its filename (e.g. a tuner
+  // version bump re-keyed the store) is equally stale.
+  compiler::TuningRecord WrongKey = *Rec;
+  WrongKey.TuneKey ^= 0xff;
+  std::string WrongBytes = WrongKey.serialize();
+  std::ofstream(Path, std::ios::binary | std::ios::trunc)
+      .write(WrongBytes.data(), std::streamsize(WrongBytes.size()));
+  compiler::AutoSelection Fallback2 = selectHH(/*RunTuner=*/false);
+  Ok &= check(Fallback2.Source == compiler::TuneSource::Heuristic,
+              "key mismatch falls back to the heuristic");
+
+  // Re-tuning on this machine replaces the stale record.
+  compiler::AutoSelection Retuned = selectHH(/*RunTuner=*/true);
+  Ok &= check(Retuned.Source == compiler::TuneSource::Tuned,
+              "re-tune replaces the stale record");
+  compiler::AutoSelection Healed = selectHH(/*RunTuner=*/false);
+  Ok &= check(Healed.Source == compiler::TuneSource::Record,
+              "record reads cleanly after the re-tune");
+  return Ok;
+}
+
 /// No faults at all: the health scan at default cadence must cost less
 /// than 5% of step time (min-of-3 to shed scheduler noise).
 bool scenarioOverhead() {
@@ -792,6 +940,12 @@ const Scenario Scenarios[] = {
      scenarioCkptCorrupt},
     {"ckpt-stale", "stale model/config/hash -> resume refused, state untouched",
      scenarioCkptStale},
+    {"tune-corrupt",
+     "corrupt/truncated tuning record -> heuristic fallback, clean re-tune",
+     scenarioTuneCorrupt},
+    {"tune-stale",
+     "tuning record from another machine class/key -> stale, ignored",
+     scenarioTuneStale},
     {"daemon-queue-full",
      "saturated queue -> explicit rejects, priority shed, fair-share pops",
      scenarioDaemonQueueFull},

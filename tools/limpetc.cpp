@@ -22,6 +22,7 @@
 #include "compiler/CompilerDriver.h"
 #include "easyml/Preprocessor.h"
 #include "easyml/Sema.h"
+#include "exec/Backend.h"
 #include "exec/BytecodeCompiler.h"
 #include "ir/Context.h"
 #include "ir/Printer.h"
@@ -53,7 +54,15 @@ void printUsage() {
       "  --ir                optimized scalar kernel IR\n"
       "  --vector-ir         vectorized kernel IR\n"
       "  --bytecode          compiled register bytecode\n"
-      "  --width N           vector width 2/4/8 (default 8)\n"
+      "  --width N|auto      vector width 2/4/8 (default 8); auto picks the\n"
+      "                      execution point per model from the persisted\n"
+      "                      tuning record, the autotuner (--autotune) or\n"
+      "                      the host-capability heuristic\n"
+      "  --autotune          with --width=auto: when no tuning record\n"
+      "                      exists, benchmark every registry point and\n"
+      "                      persist the winner ($LIMPET_CACHE_DIR/*.tune)\n"
+      "  --tune-report       print the persisted tuning record (winner and\n"
+      "                      per-point measurements) and exit\n"
       "  --layout aos|soa|aosoa (default aos; aosoa for --vector-ir)\n"
       "  --no-lut            disable LUT extraction\n"
       "  --no-passes         skip the optimization pipeline\n"
@@ -232,6 +241,9 @@ int main(int argc, char **argv) {
   std::string ModelArg;
   unsigned Width = 8;
   bool WidthSet = false;
+  bool WidthAuto = false;
+  bool Autotune = false;
+  bool TuneReport = false;
   codegen::StateLayout Layout = codegen::StateLayout::AoS;
   bool LayoutSet = false;
   bool EnableLuts = true, RunPasses = true;
@@ -365,10 +377,17 @@ int main(int argc, char **argv) {
       RunSteps = std::atoll(argv[++I]);
     else if (Arg == "--cells" && I + 1 < argc)
       RunCells = std::atoll(argv[++I]);
-    else if (Arg == "--width" && I + 1 < argc) {
-      Width = unsigned(std::atoi(argv[++I]));
+    else if (valued(Arg, I, "--width", Val)) {
       WidthSet = true;
-    } else if (Arg == "--layout" && I + 1 < argc) {
+      if (Val == "auto")
+        WidthAuto = true;
+      else
+        Width = unsigned(std::atoi(Val.c_str()));
+    } else if (Arg == "--autotune")
+      Autotune = true;
+    else if (Arg == "--tune-report")
+      TuneReport = true;
+    else if (Arg == "--layout" && I + 1 < argc) {
       std::string L = argv[++I];
       LayoutSet = true;
       if (L == "aos")
@@ -434,7 +453,12 @@ int main(int argc, char **argv) {
 
   // The engine configuration for the driver-based modes (--run, --suite,
   // artifacts, --print-ir-after).
-  exec::EngineConfig Cfg = WidthSet && Width > 1
+  // --tune-report with no explicit width reports under the auto-width
+  // flags, since that is the configuration tuning records are keyed by.
+  if (TuneReport && !WidthSet)
+    WidthAuto = true;
+  exec::EngineConfig Cfg = WidthAuto ? exec::EngineConfig::autoTuned()
+                           : WidthSet && Width > 1
                                ? exec::EngineConfig::limpetMLIR(Width)
                                : exec::EngineConfig::baseline();
   if (LayoutSet)
@@ -446,10 +470,56 @@ int main(int argc, char **argv) {
   compiler::DriverOptions DriverOpts;
   DriverOpts.Config = Cfg;
   DriverOpts.Tier = Tier;
+  DriverOpts.Autotune = Autotune;
   DriverOpts.UseCache = UseCache && !PrintIRAll && PrintIRAfter.empty();
   DriverOpts.SnapshotAll = PrintIRAll;
   DriverOpts.SnapshotStages = PrintIRAfter;
   compiler::CompilerDriver Driver(DriverOpts);
+
+  // --tune-report: print the persisted tuning record(s) under the current
+  // flags (the key covers the math/LUT/pipeline flags and the engine
+  // tier, not the tuned width/layout axes) and exit.
+  if (TuneReport) {
+    const exec::BackendRegistry &Reg = exec::BackendRegistry::global();
+    bool AllowNative = Tier != exec::EngineTier::VM;
+    std::vector<std::pair<std::string, std::string>> Targets;
+    if (M == Mode::Suite || ModelArg.empty()) {
+      for (const models::ModelEntry &E : models::modelRegistry())
+        Targets.emplace_back(E.Name, E.Source);
+    } else if (const models::ModelEntry *E = models::findModel(ModelArg)) {
+      Targets.emplace_back(E->Name, E->Source);
+    } else if (std::optional<std::string> Read = readFile(ModelArg.c_str())) {
+      Targets.emplace_back(ModelArg, std::move(*Read));
+    } else {
+      std::fprintf(stderr,
+                   "error: '%s' is neither a file nor a suite model\n",
+                   ModelArg.c_str());
+      return 1;
+    }
+    std::printf("backend registry: %s, fingerprint %016llx\n",
+                Reg.isa().c_str(), (unsigned long long)Reg.fingerprint());
+    size_t Found = 0;
+    for (const auto &[TName, TSource] : Targets) {
+      uint64_t Key =
+          compiler::tuneKey(TSource, Cfg, AllowNative, Reg.fingerprint());
+      std::optional<compiler::TuningRecord> Rec =
+          compiler::readTuningRecord(Key);
+      if (!Rec) {
+        std::printf("%-24s no tuning record (key %016llx)\n", TName.c_str(),
+                    (unsigned long long)Key);
+        continue;
+      }
+      ++Found;
+      std::printf("%-24s best %-14s %12.4g cell-steps/s (key %016llx)\n",
+                  TName.c_str(), Rec->Best.name().c_str(), Rec->BestRate,
+                  (unsigned long long)Key);
+      for (const compiler::TuneMeasurement &Mm : Rec->Measurements)
+        std::printf("    %-14s %12.4g cell-steps/s\n", Mm.Point.c_str(),
+                    Mm.CellStepsPerSec);
+    }
+    std::printf("tuning records: %zu/%zu models\n", Found, Targets.size());
+    return 0;
+  }
 
   if (M == Mode::Suite) {
     std::vector<const models::ModelEntry *> Entries;
@@ -466,8 +536,22 @@ int main(int argc, char **argv) {
       }
       ++Ok;
       (R.CacheHit ? Warm : Cold)++;
-      std::printf("%-24s %-10s %8.2f ms\n", R.ModelName.c_str(),
-                  compileKind(R), double(R.TotalNs) * 1e-6);
+      if (R.AutoSelected) {
+        // The per-model tuned-point summary: chosen point, where the
+        // choice came from, and the measured rate (heuristic/forced picks
+        // were never measured).
+        char Rate[64] = "-";
+        if (R.AutoRate > 0)
+          std::snprintf(Rate, sizeof(Rate), "%.4g cell-steps/s", R.AutoRate);
+        std::printf("%-24s %-10s %8.2f ms  %-14s %-9s %s\n",
+                    R.ModelName.c_str(), compileKind(R),
+                    double(R.TotalNs) * 1e-6, R.AutoPointName.c_str(),
+                    std::string(compiler::tuneSourceName(R.AutoSource))
+                        .c_str(),
+                    Rate);
+      } else
+        std::printf("%-24s %-10s %8.2f ms\n", R.ModelName.c_str(),
+                    compileKind(R), double(R.TotalNs) * 1e-6);
       reportNativeTier(R, Tier);
     }
     std::printf("compiled %zu/%zu models (%s): %zu cold, %zu warm\n", Ok,
@@ -533,6 +617,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "compiled %s (%s): %s, %.2f ms\n", Name.c_str(),
                  exec::engineConfigName(R.Model->config()).c_str(),
                  compileKind(R), double(R.TotalNs) * 1e-6);
+    if (R.AutoSelected)
+      std::fprintf(stderr, "auto point: %s via %s (key %016llx)\n",
+                   R.AutoPointName.c_str(),
+                   std::string(compiler::tuneSourceName(R.AutoSource))
+                       .c_str(),
+                   (unsigned long long)R.TuneKey);
     reportNativeTier(R, Tier);
 
     if (!EmitArtifactPath.empty()) {

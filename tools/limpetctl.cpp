@@ -45,8 +45,8 @@ void printUsage() {
       "           [--tenant T] [--priority P] [--timeout-sec X]\n"
       "           [--checkpoint-every N] [--progress-every N]\n"
       "           [--no-guard] [--preset baseline|limpetmlir|autovec]\n"
-      "           [--width N] [--layout aos|soa|aosoa]\n"
-      "           [--engine vm|native|auto] [--wait]\n"
+      "           [--width N|auto] [--layout aos|soa|aosoa]\n"
+      "           [--engine vm|native|auto] [--autotune] [--wait]\n"
       "  cancel   --id N\n"
       "  wait     --id N      poll until the job is terminal\n"
       "  status   [--id N]\n"
@@ -234,12 +234,17 @@ int main(int argc, char **argv) {
       Req.set("id", JsonValue::number(double(WaitId)));
     } else if (valued(Arg, I, "--preset", Val))
       Cfg.set("preset", JsonValue::string(Val));
-    else if (valued(Arg, I, "--width", Val))
-      Cfg.set("width", JsonValue::number(double(std::atoi(Val.c_str()))));
-    else if (valued(Arg, I, "--layout", Val))
+    else if (valued(Arg, I, "--width", Val)) {
+      if (Val == "auto")
+        Cfg.set("width", JsonValue::string("auto"));
+      else
+        Cfg.set("width", JsonValue::number(double(std::atoi(Val.c_str()))));
+    } else if (valued(Arg, I, "--layout", Val))
       Cfg.set("layout", JsonValue::string(Val));
     else if (valued(Arg, I, "--engine", Val))
       Req.set("engine", JsonValue::string(Val));
+    else if (Arg == "--autotune")
+      Req.set("autotune", JsonValue::boolean(true));
     else if (Arg == "--no-guard")
       Req.set("guard", JsonValue::boolean(false));
     else if (Arg == "--wait")
