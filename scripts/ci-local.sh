@@ -101,7 +101,8 @@ else
       cmake --build build-ci-san -j "$(nproc)" &&
       for s in nan-state inf-vm persistent lut-corrupt extreme-dt \
         extreme-param sharded ckpt-resume ckpt-truncate ckpt-corrupt \
-        ckpt-stale daemon-queue-full daemon-deadline \
+        ckpt-stale tissue-nan-in-stencil tissue-ckpt-resume \
+        tissue-cancel-mid-stage daemon-queue-full daemon-deadline \
         daemon-journal-truncate; do
         ./build-ci-san/tools/faultinject $s || return 1
       done &&
@@ -123,6 +124,15 @@ elif [ -n "$SMOKE_BUILD" ]; then
     scripts/cache_gc_stress.sh "$SMOKE_BUILD/tools/limpetc"
 else
   skip_job "crash-smoke" "no built limpetc found"
+fi
+
+# --- tissue engine smoke -----------------------------------------------------
+if [ $FAST = 1 ]; then
+  skip_job "tissue-smoke" "--fast"
+elif [ -n "$SMOKE_BUILD" ]; then
+  run_job "tissue-smoke" scripts/tissue_smoke.sh "$SMOKE_BUILD/tools/limpetc"
+else
+  skip_job "tissue-smoke" "no built limpetc found"
 fi
 
 # --- native kernel tier smoke -----------------------------------------------
@@ -162,6 +172,8 @@ elif [ -n "$SMOKE_BUILD" ] && [ -x "$SMOKE_BUILD/bench/micro_benchmarks" ]; then
       LIMPET_BENCH_STATS=$out LIMPET_BENCH_CELLS=256 LIMPET_BENCH_STEPS=20 \
         LIMPET_BENCH_REPEATS=1 LIMPET_BENCH_MODELS=HodgkinHuxley \
         "$SMOKE_BUILD"/bench/fig2_single_thread &&
+      LIMPET_BENCH_STATS=$out LIMPET_BENCH_CELLS=256 LIMPET_BENCH_STEPS=20 \
+        LIMPET_BENCH_REPEATS=1 "$SMOKE_BUILD"/bench/tissue_bench &&
       python3 - "$out" <<'EOF'
 import json, sys
 lines = open(sys.argv[1]).read().splitlines()

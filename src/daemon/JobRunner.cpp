@@ -6,9 +6,11 @@
 #include "compiler/Serialize.h"
 #include "models/Registry.h"
 #include "sim/Simulator.h"
+#include "sim/TissueSimulator.h"
 #include "support/Telemetry.h"
 
 #include <chrono>
+#include <memory>
 #include <thread>
 
 using namespace limpet;
@@ -136,7 +138,32 @@ JobState JobRunner::execute(Job &J) {
     };
   }
 
-  sim::Simulator S(*R.Model, Opts);
+  std::unique_ptr<sim::Simulator> Sim;
+  if (J.Spec.TissueNX > 0) {
+    // Tissue job: the reaction-diffusion driver over the spec's grid.
+    // The journal carries the same fields, so a replayed job rebuilds an
+    // identical driver and its checkpoint's tissue section matches.
+    sim::TissueOptions TO;
+    TO.Grid = {J.Spec.TissueNX, J.Spec.TissueNY, J.Spec.TissueDx};
+    TO.Sigma = J.Spec.TissueSigma;
+    TO.Method = sim::DiffusionMethod(J.Spec.TissueMethod);
+    if (!J.Spec.TissueStim.empty()) {
+      Expected<sim::StimulusProtocol> P =
+          sim::StimulusProtocol::parse(J.Spec.TissueStim, TO.Grid);
+      if (!P)
+        return fail(J, "tissue stimulus: " + P.status().message());
+      TO.Stim = *P;
+    }
+    TO.Sim = Opts;
+    auto TS = std::make_unique<sim::TissueSimulator>(*R.Model, TO);
+    if (Status St = TS->preflight(); !St)
+      return fail(J, "tissue preflight: " + St.message());
+    telemetry::counter("daemon.jobs.tissue").add();
+    Sim = std::move(TS);
+  } else {
+    Sim = std::make_unique<sim::Simulator>(*R.Model, Opts);
+  }
+  sim::Simulator &S = *Sim;
 
   // Replay path: continue from the newest valid checkpoint. A job that
   // has none (killed before its first checkpoint) starts over — same

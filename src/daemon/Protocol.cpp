@@ -3,6 +3,8 @@
 #include "daemon/Protocol.h"
 
 #include "codegen/KernelSpec.h"
+#include "sim/Diffusion.h"
+#include "sim/Stimulus.h"
 
 #include <cstdio>
 
@@ -122,6 +124,35 @@ Expected<JobSpec> daemon::parseJobSpec(const JsonValue &Body) {
   if (Spec.CheckpointEveryN < -1)
     Spec.CheckpointEveryN = -1;
   Spec.ProgressEvery = Body.intOr("progress_every", 0);
+  Spec.TissueNX = Body.intOr("tissue_nx", 0);
+  Spec.TissueNY = Body.intOr("tissue_ny", 1);
+  if (Spec.TissueNX < 0 || Spec.TissueNY < 1)
+    return Status::error("'tissue_nx' must be >= 0, 'tissue_ny' >= 1");
+  Spec.TissueDx = Body.numberOr("tissue_dx", Spec.TissueDx);
+  Spec.TissueSigma = Body.numberOr("tissue_sigma", Spec.TissueSigma);
+  if (!(Spec.TissueDx > 0))
+    return Status::error("'tissue_dx' must be positive");
+  if (Spec.TissueSigma < 0)
+    return Status::error("'tissue_sigma' must be non-negative");
+  if (const JsonValue *DM = Body.find("tissue_method")) {
+    if (!DM->isString())
+      return Status::error("'tissue_method' must be a string");
+    Expected<sim::DiffusionMethod> D =
+        sim::parseDiffusionMethod(DM->asString());
+    if (!D)
+      return D.status();
+    Spec.TissueMethod = uint8_t(*D);
+  }
+  Spec.TissueStim = Body.stringOr("tissue_stim", "");
+  if (!Spec.TissueStim.empty()) {
+    // Reject a malformed protocol at submit time, not when the job runs.
+    sim::TissueGrid G{Spec.TissueNX > 0 ? Spec.TissueNX : 1, Spec.TissueNY,
+                      Spec.TissueDx};
+    Expected<sim::StimulusProtocol> P =
+        sim::StimulusProtocol::parse(Spec.TissueStim, G);
+    if (!P)
+      return P.status();
+  }
   if (const JsonValue *E = Body.find("engine")) {
     if (!E->isString())
       return Status::error("'engine' must be a string");
@@ -170,6 +201,17 @@ JsonValue daemon::jobSpecToJson(const JobSpec &Spec) {
   J.set("timeout_sec", JsonValue::number(Spec.TimeoutSec));
   J.set("checkpoint_every", JsonValue::number(Spec.CheckpointEveryN));
   J.set("progress_every", JsonValue::number(Spec.ProgressEvery));
+  if (Spec.TissueNX > 0) {
+    J.set("tissue_nx", JsonValue::number(Spec.TissueNX));
+    J.set("tissue_ny", JsonValue::number(Spec.TissueNY));
+    J.set("tissue_dx", JsonValue::number(Spec.TissueDx));
+    J.set("tissue_sigma", JsonValue::number(Spec.TissueSigma));
+    J.set("tissue_method",
+          JsonValue::string(sim::diffusionMethodName(
+              sim::DiffusionMethod(Spec.TissueMethod))));
+    if (!Spec.TissueStim.empty())
+      J.set("tissue_stim", JsonValue::string(Spec.TissueStim));
+  }
   J.set("engine", JsonValue::string(exec::engineTierName(Spec.Tier)));
   J.set("config", std::move(Cfg));
   return J;

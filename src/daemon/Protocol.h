@@ -71,6 +71,17 @@ struct JobSpec {
   /// Progress event cadence in steps (0 = no progress streaming).
   int64_t ProgressEvery = 0;
 
+  // Tissue protocol ("tissue_nx" > 0 engages the reaction-diffusion
+  // driver; the grid's node count then replaces NumCells). Serialized
+  // into the journal like every other field, so a replayed tissue job
+  // resumes against a checkpoint carrying the identical geometry.
+  int64_t TissueNX = 0; ///< 0 = plain uncoupled population
+  int64_t TissueNY = 1;
+  double TissueDx = 0.025;    ///< node spacing, cm
+  double TissueSigma = 0.001; ///< effective diffusivity, cm^2/ms
+  uint8_t TissueMethod = 0;   ///< sim::DiffusionMethod
+  std::string TissueStim;     ///< --stim grammar; "" = default edge train
+
   exec::EngineConfig Config; ///< engine configuration (baseline default)
   /// With "width": "auto" and no persisted tuning record: run the width
   /// autotuner (benchmark every registry point, persist the winner)

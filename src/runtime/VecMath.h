@@ -293,6 +293,31 @@ inline double fastAcos(double X) {
   return PiOver2 - fastAsin(X);
 }
 
+/// One row of the explicit 3-point diffusion stencil, branch-free so the
+/// host compiler vectorizes it: Out[i] = In[i] + K*(In[i-1] - 2 In[i] +
+/// In[i+1]) for i in [Begin, End). Callers handle the boundary nodes;
+/// In and Out must not alias (the tissue layer reads the barrier-published
+/// snapshot and writes Vm in place).
+inline void stencil3(double *__restrict__ Out, const double *__restrict__ In,
+                     double K, int64_t Begin, int64_t End) {
+  for (int64_t I = Begin; I < End; ++I)
+    Out[I] = In[I] + K * (In[I - 1] - 2.0 * In[I] + In[I + 1]);
+}
+
+/// One interior row of the 5-point stencil: Row/Up/Dn are the snapshot
+/// rows at y, y-1 and y+1 (already boundary-clamped by the caller), and
+/// Out[x] = Row[x] + KX*(Row[x-1] - 2 Row[x] + Row[x+1])
+///               + KY*(Up[x] - 2 Row[x] + Dn[x]) for x in [Begin, End).
+inline void stencil5Row(double *__restrict__ Out,
+                        const double *__restrict__ Row,
+                        const double *__restrict__ Up,
+                        const double *__restrict__ Dn, double KX, double KY,
+                        int64_t Begin, int64_t End) {
+  for (int64_t X = Begin; X < End; ++X)
+    Out[X] = Row[X] + KX * (Row[X - 1] - 2.0 * Row[X] + Row[X + 1]) +
+             KY * (Up[X] - 2.0 * Row[X] + Dn[X]);
+}
+
 /// Approximate per-call floating point operation counts used by the
 /// roofline instrumentation (Sec. 4.5): polynomial kernel cost in flops.
 struct FlopCost {
@@ -307,6 +332,9 @@ struct FlopCost {
   static constexpr double SinhCosh = 26;
   static constexpr double ATan = 26;
   static constexpr double ASinCos = 30;
+  /// Per-node cost of the diffusion stencils (roofline second regime).
+  static constexpr double Stencil3 = 5;
+  static constexpr double Stencil5 = 10;
 };
 
 } // namespace vecmath

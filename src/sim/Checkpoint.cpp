@@ -111,6 +111,14 @@ std::string sim::serializeCheckpoint(const CheckpointData &C) {
       P.f64(D);
   }
 
+  // Tissue section (v2).
+  P.i64(C.TissueNX);
+  P.i64(C.TissueNY);
+  P.f64(C.TissueDx);
+  P.f64(C.TissueSigma);
+  P.u8(C.TissueMethod);
+  P.str(C.TissueStim);
+
   ByteWriter W;
   W.u32(kMagic);
   W.u32(C.FormatVersion);
@@ -219,6 +227,16 @@ Expected<CheckpointData> sim::deserializeCheckpoint(std::string_view Bytes) {
     for (double &D : F.Ext)
       D = R.f64();
   }
+
+  C.TissueNX = R.i64();
+  C.TissueNY = R.i64();
+  C.TissueDx = R.f64();
+  C.TissueSigma = R.f64();
+  C.TissueMethod = R.u8();
+  C.TissueStim = R.str();
+  if (C.TissueNX < 0 || C.TissueNY < 1 ||
+      (C.TissueNX > 0 && C.TissueNX * C.TissueNY != C.NumCells))
+    return Err("tissue grid does not match the declared population");
 
   if (R.failed())
     return Err("truncated payload");

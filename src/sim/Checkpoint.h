@@ -38,7 +38,8 @@ namespace sim {
 
 /// Bumped whenever the serialized checkpoint layout changes; a mismatch is
 /// a recoverable "cannot resume" error, never a misparse.
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+/// v2: tissue section (grid geometry, diffusion, stimulus spec).
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
 
 /// Everything needed to continue a simulation bit-identically from the
 /// step it was captured at.
@@ -87,6 +88,19 @@ struct CheckpointData {
     std::vector<double> Ext;
   };
   std::vector<FrozenCell> Frozen;
+
+  // Tissue section (v2): grid geometry, diffusion operator and the
+  // canonical stimulus spec of a tissue run. TissueNX == 0 marks a plain
+  // single-population checkpoint; a tissue resume cross-checks geometry
+  // and diffusion settings so a checkpoint cannot silently continue on a
+  // different sheet. The Vm field itself travels in Exts like any other
+  // external.
+  int64_t TissueNX = 0;
+  int64_t TissueNY = 1;
+  double TissueDx = 0.025;
+  double TissueSigma = 0;
+  uint8_t TissueMethod = 0; ///< sim::DiffusionMethod
+  std::string TissueStim;   ///< StimulusProtocol::str(); "" = none
 };
 
 /// Serializes \p C into a self-contained byte string (magic, version,

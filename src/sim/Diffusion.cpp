@@ -1,0 +1,173 @@
+//===- Diffusion.cpp ------------------------------------------------------===//
+
+#include "sim/Diffusion.h"
+
+#include "runtime/VecMath.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+using namespace limpet;
+using namespace limpet::sim;
+
+const char *limpet::sim::diffusionMethodName(DiffusionMethod M) {
+  switch (M) {
+  case DiffusionMethod::FTCS:
+    return "ftcs";
+  case DiffusionMethod::CrankNicolson:
+    return "cn";
+  }
+  return "ftcs";
+}
+
+Expected<DiffusionMethod>
+limpet::sim::parseDiffusionMethod(std::string_view Name) {
+  if (Name == "ftcs" || Name == "explicit")
+    return DiffusionMethod::FTCS;
+  if (Name == "cn" || Name == "crank-nicolson" || Name == "cranknicolson")
+    return DiffusionMethod::CrankNicolson;
+  return Status::error("unknown diffusion method '" + std::string(Name) +
+                       "' (expected 'ftcs' or 'cn')");
+}
+
+DiffusionOperator::DiffusionOperator(const TissueGrid &GIn, double SigmaIn,
+                                     DiffusionMethod MIn)
+    : G(GIn), Sigma(SigmaIn), M(MIn) {
+  if (!G.valid()) {
+    G.NX = std::max<int64_t>(G.NX, 1);
+    G.NY = std::max<int64_t>(G.NY, 1);
+    if (!(G.Dx > 0))
+      G.Dx = 0.025;
+  }
+  if (!(Sigma >= 0))
+    Sigma = 0;
+  Snap.resize(size_t(G.numNodes()), 0.0);
+}
+
+double DiffusionOperator::maxStableDt() const {
+  if (M == DiffusionMethod::CrankNicolson)
+    return std::numeric_limits<double>::infinity();
+  if (Sigma <= 0)
+    return std::numeric_limits<double>::infinity();
+  double Dims = G.is2D() ? 2.0 : 1.0;
+  return G.Dx * G.Dx / (2.0 * Sigma * Dims);
+}
+
+void DiffusionOperator::publish(const double *Vm, int64_t Begin,
+                                int64_t End) {
+  Begin = std::max<int64_t>(Begin, 0);
+  End = std::min(End, G.numNodes());
+  if (Begin < End)
+    std::memcpy(Snap.data() + Begin, Vm + Begin,
+                size_t(End - Begin) * sizeof(double));
+}
+
+void DiffusionOperator::applyFromSnapshot(double *Vm, double Dt,
+                                          int64_t Begin, int64_t End) {
+  Begin = std::max<int64_t>(Begin, 0);
+  End = std::min(End, G.numNodes());
+  if (Begin >= End || Sigma <= 0 || Dt <= 0)
+    return;
+  double K = Sigma * Dt / (G.Dx * G.Dx);
+  if (G.is2D())
+    applyFTCS2D(Vm, K, K, Begin, End);
+  else
+    applyFTCS1D(Vm, K, Begin, End);
+}
+
+void DiffusionOperator::applyFTCS1D(double *Vm, double K, int64_t Begin,
+                                    int64_t End) {
+  const double *S = Snap.data();
+  int64_t N = G.numNodes();
+  // Boundary nodes in flux form (ghost = edge value, i.e. zero boundary
+  // flux), so the update telescopes and total Vm is conserved.
+  if (Begin == 0)
+    Vm[0] = S[0] + K * (S[std::min<int64_t>(1, N - 1)] - S[0]);
+  if (End == N && N > 1)
+    Vm[N - 1] = S[N - 1] + K * (S[N - 2] - S[N - 1]);
+  vecmath::stencil3(Vm, S, K, std::max<int64_t>(Begin, 1),
+                    std::min(End, N - 1));
+}
+
+void DiffusionOperator::applyFTCS2D(double *Vm, double KX, double KY,
+                                    int64_t Begin, int64_t End) {
+  const int64_t NX = G.NX, NY = G.NY;
+  for (int64_t Y = Begin / NX; Y * NX < End; ++Y) {
+    int64_t RowBegin = Y * NX;
+    int64_t XLo = std::max(Begin, RowBegin) - RowBegin;
+    int64_t XHi = std::min(End, RowBegin + NX) - RowBegin;
+    const double *Row = Snap.data() + RowBegin;
+    // No-flux rows: the ghost row outside the sheet is the edge row
+    // itself (zero flux in flux form).
+    const double *Up = Y > 0 ? Row - NX : Row;
+    const double *Dn = Y + 1 < NY ? Row + NX : Row;
+    double *Out = Vm + RowBegin;
+    if (XLo == 0) {
+      int64_t XR = std::min<int64_t>(1, NX - 1);
+      Out[0] = Row[0] + KX * (Row[XR] - Row[0]) +
+               KY * (Up[0] - 2.0 * Row[0] + Dn[0]);
+    }
+    if (XHi == NX && NX > 1) {
+      int64_t E = NX - 1;
+      Out[E] = Row[E] + KX * (Row[E - 1] - Row[E]) +
+               KY * (Up[E] - 2.0 * Row[E] + Dn[E]);
+    }
+    vecmath::stencil5Row(Out, Row, Up, Dn, KX, KY,
+                         std::max<int64_t>(XLo, 1),
+                         std::min<int64_t>(XHi, NX - 1));
+  }
+}
+
+void DiffusionOperator::applyCrankNicolson(double *Vm, double Dt) {
+  assert(!G.is2D() && "Crank-Nicolson solve is 1D only");
+  int64_t N = G.numNodes();
+  if (N < 2 || Sigma <= 0 || Dt <= 0)
+    return;
+  double R2 = 0.5 * Sigma * Dt / (G.Dx * G.Dx);
+  CnRhs.resize(size_t(N));
+  CnC.resize(size_t(N));
+
+  // Right-hand side: the explicit trapezoidal half, in the same flux
+  // form as FTCS (no-flux boundaries).
+  CnRhs[0] = Vm[0] + R2 * (Vm[1] - Vm[0]);
+  for (int64_t I = 1; I < N - 1; ++I)
+    CnRhs[size_t(I)] = Vm[I] + R2 * (Vm[I - 1] - 2.0 * Vm[I] + Vm[I + 1]);
+  CnRhs[size_t(N - 1)] = Vm[N - 1] + R2 * (Vm[N - 2] - Vm[N - 1]);
+
+  // Thomas sweep over (I - R2*L): diagonal 1 + R2*degree, off-diagonals
+  // -R2; degree is 1 at the no-flux ends, 2 in the interior.
+  double Diag0 = 1.0 + R2;
+  CnC[0] = -R2 / Diag0;
+  CnRhs[0] /= Diag0;
+  for (int64_t I = 1; I < N; ++I) {
+    double Diag = 1.0 + R2 * (I == N - 1 ? 1.0 : 2.0);
+    double Inv = 1.0 / (Diag + R2 * CnC[size_t(I - 1)]);
+    CnC[size_t(I)] = -R2 * Inv;
+    CnRhs[size_t(I)] = (CnRhs[size_t(I)] + R2 * CnRhs[size_t(I - 1)]) * Inv;
+  }
+  Vm[N - 1] = CnRhs[size_t(N - 1)];
+  for (int64_t I = N - 2; I >= 0; --I)
+    Vm[I] = CnRhs[size_t(I)] - CnC[size_t(I)] * Vm[I + 1];
+}
+
+void DiffusionOperator::step(double *Vm, double Dt) {
+  if (M == DiffusionMethod::CrankNicolson && !G.is2D()) {
+    applyCrankNicolson(Vm, Dt);
+    return;
+  }
+  publish(Vm, 0, G.numNodes());
+  applyFromSnapshot(Vm, Dt, 0, G.numNodes());
+}
+
+uint64_t DiffusionOperator::bytesLoadedPerStep() const {
+  // Publish reads Vm once; the stencil (or CN rhs + sweep) reads the
+  // snapshot once. Modeled minimum traffic, like the kernel byte counts.
+  return 2 * uint64_t(G.numNodes()) * sizeof(double);
+}
+
+uint64_t DiffusionOperator::bytesStoredPerStep() const {
+  // Publish writes the snapshot; the stencil writes Vm.
+  return 2 * uint64_t(G.numNodes()) * sizeof(double);
+}

@@ -1,0 +1,106 @@
+//===- Diffusion.h - Tissue diffusion operator ------------------*- C++-*-===//
+//
+// The spatial-coupling half of the operator-split monodomain step: a
+// diffusion operator over the tissue grid's Vm field, applied as two
+// half-steps around the ionic step (Strang splitting, see docs/TISSUE.md).
+//
+// Methods:
+//  - FTCS: explicit forward-time centered-space stencil (3-point in 1D,
+//    5-point in 2D), written in flux form so no-flux boundaries conserve
+//    total Vm; stable for Dt <= maxStableDt(). The inner loops run through
+//    the branch-free runtime/VecMath stencil kernels, so the host compiler
+//    vectorizes them — this is the memory-bandwidth-bound regime of the
+//    roofline (compare the compute-bound ionic kernels).
+//  - Crank-Nicolson: implicit trapezoidal step solved by the Thomas
+//    tridiagonal algorithm (1D cables only), unconditionally stable. The
+//    solve is inherently serial; the tissue pipeline runs it on shard 0
+//    behind the stage barrier, so results are shard-count independent.
+//
+// Halo exchange in shared memory is a publish/read pair: stage A copies
+// each shard's Vm range into the operator's snapshot (publish), the stage
+// barrier makes every shard's writes visible, and stage B applies the
+// stencil from the snapshot — reading up to one node (1D) or one row (2D)
+// past the shard boundary — writing Vm in place. Because every shard
+// reads the same immutable snapshot, the result is bit-identical for any
+// shard count.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SIM_DIFFUSION_H
+#define LIMPET_SIM_DIFFUSION_H
+
+#include "sim/Grid.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace limpet {
+namespace sim {
+
+enum class DiffusionMethod : uint8_t {
+  FTCS = 0,
+  CrankNicolson = 1,
+};
+
+const char *diffusionMethodName(DiffusionMethod M);
+/// "ftcs" / "cn" / "crank-nicolson" (recoverable error otherwise).
+Expected<DiffusionMethod> parseDiffusionMethod(std::string_view Name);
+
+/// Applies one diffusion (sub)step to the Vm field of a tissue grid.
+class DiffusionOperator {
+public:
+  /// \p Sigma is the effective diffusivity sigma/(beta*Cm) in cm^2/ms.
+  DiffusionOperator(const TissueGrid &G, double Sigma, DiffusionMethod M);
+
+  const TissueGrid &grid() const { return G; }
+  double sigma() const { return Sigma; }
+  DiffusionMethod method() const { return M; }
+
+  /// Largest stable per-application Dt: dx^2/(2*sigma*dims) for FTCS,
+  /// +inf for the unconditionally stable Crank-Nicolson step.
+  double maxStableDt() const;
+
+  /// Stage A (halo publish): copies Vm[Begin, End) into the snapshot.
+  /// Sharded; the caller's stage barrier orders it before apply.
+  void publish(const double *Vm, int64_t Begin, int64_t End);
+
+  /// Stage B: applies one FTCS step of size Dt from the snapshot into
+  /// Vm[Begin, End) (reads the snapshot only, so any shard partition
+  /// yields bit-identical results).
+  void applyFromSnapshot(double *Vm, double Dt, int64_t Begin, int64_t End);
+
+  /// Whole-field Crank-Nicolson step (1D grids only; 2D is a recoverable
+  /// construction-time downgrade to FTCS in the tissue driver). Serial —
+  /// the pipeline runs it on a single shard behind the stage barrier.
+  void applyCrankNicolson(double *Vm, double Dt);
+
+  /// Serial whole-field step (publish + apply / CN solve): the simple
+  /// entry point for tests and analytic comparisons.
+  void step(double *Vm, double Dt);
+
+  /// Modeled memory traffic of one applied step over the whole grid
+  /// (snapshot publish + stencil pass), for the sim.bytes.stencil.*
+  /// roofline counters.
+  uint64_t bytesLoadedPerStep() const;
+  uint64_t bytesStoredPerStep() const;
+
+private:
+  TissueGrid G;
+  double Sigma;
+  DiffusionMethod M;
+  /// The barrier-published Vm snapshot stencil reads come from.
+  std::vector<double> Snap;
+  /// Thomas-algorithm scratch (CN only).
+  std::vector<double> CnRhs, CnC;
+
+  void applyFTCS1D(double *Vm, double K, int64_t Begin, int64_t End);
+  void applyFTCS2D(double *Vm, double KX, double KY, int64_t Begin,
+                   int64_t End);
+};
+
+} // namespace sim
+} // namespace limpet
+
+#endif // LIMPET_SIM_DIFFUSION_H

@@ -70,26 +70,49 @@ void Scheduler::step(const std::vector<KernelStage> &Stages, double Dt,
   static telemetry::Counter &StepCounter =
       telemetry::counter("sim.sched.steps");
   StepCounter.add(1);
-  forEachShard([&](unsigned, int64_t Begin, int64_t End) {
-    for (const KernelStage &Stage : Stages) {
-      assert(Stage.Model && "kernel stage without a model");
-      if (Stage.Before)
-        Stage.Before(Begin, End);
-      exec::KernelArgs Args;
-      Args.State = Stage.State;
-      Args.Exts = Stage.Exts;
-      Args.Params = Stage.Params;
-      Args.Start = Begin;
-      Args.End = End;
-      Args.NumCells = NumCells;
-      Args.Dt = Dt;
-      Args.T = T;
-      Args.Luts = Stage.Luts;
-      Stage.Model->computeStep(Args);
-      if (Stage.After)
-        Stage.After(Begin, End);
-    }
+  // A classic single-population step is a one-stage plan; route it
+  // through the same stage executor the operator-split pipeline uses.
+  PipelineStage Stage;
+  Stage.Kernels = &Stages;
+  runStage(Stage, Dt, T);
+}
+
+void Scheduler::runStage(const PipelineStage &Stage, double Dt,
+                         double T) const {
+  static telemetry::Counter &StageCounter =
+      telemetry::counter("sim.sched.stages");
+  StageCounter.add(1);
+  forEachShard([&](unsigned Shard, int64_t Begin, int64_t End) {
+    if (Stage.Kernels)
+      for (const KernelStage &K : *Stage.Kernels) {
+        assert(K.Model && "kernel stage without a model");
+        if (K.Before)
+          K.Before(Begin, End);
+        exec::KernelArgs Args;
+        Args.State = K.State;
+        Args.Exts = K.Exts;
+        Args.Params = K.Params;
+        Args.Start = Begin;
+        Args.End = End;
+        Args.NumCells = NumCells;
+        Args.Dt = Dt;
+        Args.T = T;
+        Args.Luts = K.Luts;
+        K.Model->computeStep(Args);
+        if (K.After)
+          K.After(Begin, End);
+      }
+    if (Stage.Run)
+      Stage.Run(Shard, Begin, End);
   });
+}
+
+void Scheduler::runPlan(const StagePlan &Plan, double Dt, double T) const {
+  static telemetry::Counter &StepCounter =
+      telemetry::counter("sim.sched.steps");
+  StepCounter.add(1);
+  for (const PipelineStage &Stage : Plan.Stages)
+    runStage(Stage, Dt, T);
 }
 
 void Scheduler::voltageStep(double *Vm, const double *Iion, double Stim,

@@ -60,6 +60,29 @@ struct KernelStage {
   std::function<void(int64_t Begin, int64_t End)> After;
 };
 
+/// One stage of a multi-stage step pipeline. A stage is one sharded pass
+/// over the population — a barrier separates it from the next stage, so a
+/// stage may read what the previous stage wrote for *any* cell (the
+/// shared-memory form of halo exchange: publish under one barrier, read
+/// neighbours under the next). A stage runs its kernel list (when
+/// \c Kernels is set), its \c Run hook (when set), or both, per shard.
+struct PipelineStage {
+  /// Stage label for telemetry/debugging ("diffuse-pre", "ionic", ...).
+  std::string Name;
+  /// Kernel stages to run over each shard (not owned; may be null).
+  const std::vector<KernelStage> *Kernels = nullptr;
+  /// Arbitrary per-shard work (stencils, voltage updates, halo
+  /// publishes). Runs after the kernels when both are set.
+  std::function<void(unsigned Shard, int64_t Begin, int64_t End)> Run;
+};
+
+/// An ordered multi-stage step: the operator-split pipeline (e.g.
+/// diffusion half-step, ionic step, diffusion half-step) with a full
+/// barrier between consecutive stages.
+struct StagePlan {
+  std::vector<PipelineStage> Stages;
+};
+
 /// Persistent sharded executor over one cell population.
 class Scheduler {
 public:
@@ -83,8 +106,18 @@ public:
 
   /// The compute-stage stepping loop: for every shard, each stage in
   /// order (Before hook, kernel over the shard's cell range, After hook).
+  /// Equivalent to runPlan over a single-stage plan holding \p Stages.
   void step(const std::vector<KernelStage> &Stages, double Dt,
             double T) const;
+
+  /// Runs one pipeline stage as a single sharded pass: per shard, the
+  /// stage's kernels (if any) then its Run hook (if any), blocking at the
+  /// barrier before returning.
+  void runStage(const PipelineStage &Stage, double Dt, double T) const;
+
+  /// Runs an ordered multi-stage step: each stage of \p Plan in order,
+  /// with the shard barrier of runStage between consecutive stages.
+  void runPlan(const StagePlan &Plan, double Dt, double T) const;
 
   /// The solver-stage surrogate over the shards:
   /// Vm[c] += Dt * (Stim - Iion[c]).

@@ -630,6 +630,7 @@ CheckpointData Simulator::captureCheckpoint() const {
     F.Ext = Snap.Ext;
     C.Frozen.push_back(std::move(F));
   }
+  annotateCheckpoint(C);
   return C;
 }
 
@@ -660,6 +661,8 @@ Status Simulator::resumeFrom(const CheckpointData &C) {
   if (!C.Modes.empty() && int64_t(C.Modes.size()) != Opts.NumCells)
     return Status::error("cannot resume: degradation-mode array does not "
                          "match the population");
+  if (Status S = validateResume(C); !S)
+    return S;
 
   std::memcpy(Buf.state(), C.State.data(),
               C.State.size() * sizeof(double));

@@ -123,9 +123,19 @@ struct SimOptions {
 };
 
 /// Drives one compiled model over a population of cells.
+///
+/// The stepping core is an extension point: advance() — one integration
+/// substep — is virtual, and everything around it (the guarded run loop,
+/// rollback/retry ladder, durable checkpoints, cancellation, resume) is
+/// inherited machinery. TissueSimulator overrides advance() with the
+/// operator-split diffusion pipeline and hooks captureCheckpoint /
+/// resumeFrom through annotateCheckpoint / validateResume.
 class Simulator {
 public:
   Simulator(const exec::CompiledModel &Model, const SimOptions &Opts);
+  virtual ~Simulator() = default;
+  Simulator(const Simulator &) = delete;
+  Simulator &operator=(const Simulator &) = delete;
 
   /// Advances one time step (compute stage + voltage update). Guard-rail
   /// scanning only happens inside run(); manual stepping is unguarded.
@@ -236,7 +246,7 @@ public:
   /// the faultinject tool.
   void setFaultInjector(std::function<void(Simulator &)> Injector);
 
-private:
+protected:
   struct Checkpoint {
     StateBuffer::Snapshot Snap;
     double T = 0;
@@ -251,8 +261,26 @@ private:
 
   void computeStage(double Dt);
   void voltageStage(double Dt);
-  /// One integration substep of size Dt (scalar-fallback cells included).
-  void advance(double Dt);
+  /// One integration substep of size Dt (scalar-fallback cells
+  /// included). The virtual stepping core: the guarded run loop, the
+  /// dt-halving recovery ladder and the durable-checkpoint machinery all
+  /// drive whatever pipeline an override installs here.
+  virtual void advance(double Dt);
+  /// Hook for subclasses to stamp extra sections (tissue geometry) into
+  /// a captured checkpoint.
+  virtual void annotateCheckpoint(CheckpointData &C) const { (void)C; }
+  /// Extra resume validation a subclass needs (e.g. tissue geometry
+  /// cross-checks); runs after the base shape checks, before any state
+  /// is touched. The base refuses tissue checkpoints — a diffusion-coupled
+  /// field must not silently continue as an uncoupled population.
+  virtual Status validateResume(const CheckpointData &C) const {
+    if (C.TissueNX > 0)
+      return Status::error(
+          "cannot resume: checkpoint is a tissue run (" +
+          std::to_string(C.TissueNX) + "x" + std::to_string(C.TissueNY) +
+          " grid); resume it with a tissue simulator");
+    return Status::success();
+  }
   /// Bookkeeping after the physics of one nominal step: injector hook,
   /// frozen-cell restore, step count, trace.
   void finishStep();

@@ -121,6 +121,20 @@ void StateBuffer::restore(const Snapshot &S) {
     std::copy(S.Exts[J].begin(), S.Exts[J].end(), Exts[J].get());
 }
 
+Status StateBuffer::attachGrid(const TissueGrid &G) {
+  if (!G.valid())
+    return Status::error("invalid tissue grid (" + std::to_string(G.NX) +
+                         "x" + std::to_string(G.NY) + ", dx=" +
+                         std::to_string(G.Dx) + ")");
+  if (G.numNodes() != NumCells)
+    return Status::error(
+        "tissue grid has " + std::to_string(G.numNodes()) +
+        " nodes but the population has " + std::to_string(NumCells) +
+        " cells");
+  Grid = G;
+  return Status::success();
+}
+
 double StateBuffer::checksum() const {
   double Sum = 0;
   for (int64_t Cell = 0; Cell != NumCells; ++Cell)

@@ -22,6 +22,8 @@
 
 #include "codegen/KernelSpec.h"
 #include "exec/CompiledModel.h"
+#include "sim/Grid.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <memory>
@@ -31,6 +33,52 @@ namespace limpet {
 namespace sim {
 
 class Scheduler;
+
+/// A layout-aware strided view of one state-variable column: cell-indexed
+/// access to a single Sv across the population for any AoS/SoA/AoSoA x
+/// width point, without repacking. contiguous() is true for SoA, where
+/// data() exposes the dense column directly (the zero-copy fast path);
+/// the operator[] form funnels through the same canonical index formula
+/// as StateBuffer.
+class ColumnView {
+public:
+  ColumnView(double *State, codegen::StateLayout Layout, unsigned Sv,
+             unsigned NumSv, int64_t NumCells, unsigned BlockW)
+      : State(State), Layout(Layout), Sv(Sv), NumSv(NumSv),
+        NumCells(NumCells), BlockW(BlockW) {}
+
+  double &operator[](int64_t Cell) const {
+    return State[size_t(codegen::stateIndex(Layout, Cell, Sv, NumSv,
+                                            NumCells, BlockW))];
+  }
+
+  /// True when the column occupies consecutive elements (SoA, or the
+  /// degenerate single-variable AoS), so data() is a dense array.
+  bool contiguous() const {
+    return Layout == codegen::StateLayout::SoA || NumSv == 1;
+  }
+  /// First element of the column; only dense when contiguous().
+  double *data() const { return &(*this)[0]; }
+
+  /// Copies [Begin, End) of the column into dense scratch / back from it
+  /// (the stencil path for non-SoA layouts).
+  void copyOut(double *Dst, int64_t Begin, int64_t End) const {
+    for (int64_t C = Begin; C < End; ++C)
+      Dst[C - Begin] = (*this)[C];
+  }
+  void copyIn(const double *Src, int64_t Begin, int64_t End) const {
+    for (int64_t C = Begin; C < End; ++C)
+      (*this)[C] = Src[C - Begin];
+  }
+
+private:
+  double *State;
+  codegen::StateLayout Layout;
+  unsigned Sv;
+  unsigned NumSv;
+  int64_t NumCells;
+  unsigned BlockW;
+};
 
 /// A cell population's state and external arrays in one compiled layout.
 class StateBuffer {
@@ -116,6 +164,30 @@ public:
   /// scheduler-determinism tests). Excludes AoSoA padding.
   double checksum() const;
 
+  //===--------------------------------------------------------------------===//
+  // Tissue geometry (optional)
+  //===--------------------------------------------------------------------===//
+
+  /// Attaches a tissue grid to the population (cell c <-> node c,
+  /// row-major). Refused (recoverable) when the node count does not
+  /// match the population.
+  Status attachGrid(const TissueGrid &G);
+  bool hasGrid() const { return Grid.valid(); }
+  const TissueGrid &grid() const { return Grid; }
+
+  /// Halo of a shard's cell range under the attached grid (empty when no
+  /// grid is attached).
+  HaloRegion haloFor(int64_t Begin, int64_t End) const {
+    return hasGrid() ? limpet::sim::haloFor(Grid, Begin, End)
+                     : HaloRegion{};
+  }
+
+  /// Layout-aware view of one state-variable column (bounds are the
+  /// caller's responsibility, like the per-cell accessors).
+  ColumnView column(unsigned Sv) {
+    return ColumnView(State.get(), Layout, Sv, NumSv, NumCells, BlockW);
+  }
+
 private:
   codegen::StateLayout Layout;
   unsigned NumSv;
@@ -130,6 +202,8 @@ private:
   /// until initialize() writes them (first-touch).
   std::unique_ptr<double[]> State;
   std::vector<std::unique_ptr<double[]>> Exts;
+  /// Tissue geometry; invalid (NX == 0) for plain populations.
+  TissueGrid Grid{0, 1, 0.025};
 };
 
 } // namespace sim

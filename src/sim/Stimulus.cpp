@@ -1,0 +1,244 @@
+//===- Stimulus.cpp -------------------------------------------------------===//
+
+#include "sim/Stimulus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace limpet;
+using namespace limpet::sim;
+
+bool StimulusProtocol::activeAt(const StimEvent &E, double T) {
+  if (!(T >= E.Start) || !(E.Duration > 0))
+    return false;
+  double Off = T - E.Start;
+  if (E.Period > 0) {
+    double K = std::floor(Off / E.Period);
+    if (E.Count > 0 && K >= double(E.Count))
+      return false;
+    Off -= K * E.Period;
+  }
+  return Off < E.Duration;
+}
+
+namespace {
+
+/// Resolves an inclusive region bound (-1 = grid edge) and clips it.
+void resolveRegion(const StimRegion &R, const TissueGrid &G, int64_t &X0,
+                   int64_t &X1, int64_t &Y0, int64_t &Y1) {
+  X0 = std::clamp<int64_t>(R.X0 < 0 ? 0 : R.X0, 0, G.NX - 1);
+  X1 = std::clamp<int64_t>(R.X1 < 0 ? G.NX - 1 : R.X1, 0, G.NX - 1);
+  Y0 = std::clamp<int64_t>(R.Y0 < 0 ? 0 : R.Y0, 0, G.NY - 1);
+  Y1 = std::clamp<int64_t>(R.Y1 < 0 ? G.NY - 1 : R.Y1, 0, G.NY - 1);
+}
+
+} // namespace
+
+double StimulusProtocol::currentAt(double T, int64_t X, int64_t Y,
+                                   const TissueGrid &G) const {
+  double Sum = 0;
+  for (const StimEvent &E : Events) {
+    if (!activeAt(E, T))
+      continue;
+    int64_t X0, X1, Y0, Y1;
+    resolveRegion(E.Region, G, X0, X1, Y0, Y1);
+    if (X >= X0 && X <= X1 && Y >= Y0 && Y <= Y1)
+      Sum += E.Strength;
+  }
+  return Sum;
+}
+
+void StimulusProtocol::collectActive(double T, const TissueGrid &G,
+                                     std::vector<ActiveStim> &Out) const {
+  Out.clear();
+  for (const StimEvent &E : Events) {
+    if (!activeAt(E, T))
+      continue;
+    ActiveStim A;
+    resolveRegion(E.Region, G, A.X0, A.X1, A.Y0, A.Y1);
+    A.Strength = E.Strength;
+    Out.push_back(A);
+  }
+}
+
+StimulusProtocol StimulusProtocol::s1s2(double S1Period, int64_t S1Count,
+                                        double S2Interval, double Strength,
+                                        double Duration,
+                                        int64_t EdgeWidth) {
+  StimulusProtocol P;
+  StimEvent S1;
+  S1.Region = {0, std::max<int64_t>(EdgeWidth, 1) - 1, 0, -1};
+  S1.Start = 1.0;
+  S1.Duration = Duration;
+  S1.Strength = Strength;
+  S1.Period = S1Period;
+  S1.Count = std::max<int64_t>(S1Count, 1);
+  P.Events.push_back(S1);
+
+  StimEvent S2 = S1;
+  S2.Start = S1.Start + double(S1.Count - 1) * S1Period + S2Interval;
+  S2.Period = 0;
+  S2.Count = 1;
+  P.Events.push_back(S2);
+  return P;
+}
+
+StimulusProtocol StimulusProtocol::crossField(const TissueGrid &G,
+                                              double S1Strength,
+                                              double S1Duration,
+                                              double S2Start,
+                                              double S2Strength,
+                                              double S2Duration) {
+  StimulusProtocol P;
+  StimEvent S1;
+  S1.Region = {0, std::max<int64_t>(G.NX / 16, 2), 0, -1};
+  S1.Start = 1.0;
+  S1.Duration = S1Duration;
+  S1.Strength = S1Strength;
+  P.Events.push_back(S1);
+
+  // The crossed field: the lower half of the sheet, fired while the S1
+  // wavefront's tail crosses mid-tissue.
+  StimEvent S2;
+  S2.Region = {0, -1, 0, std::max<int64_t>(G.NY / 2 - 1, 0)};
+  S2.Start = S2Start;
+  S2.Duration = S2Duration;
+  S2.Strength = S2Strength;
+  P.Events.push_back(S2);
+  return P;
+}
+
+namespace {
+
+/// Parses "key=val,key=val" into \p KV; keys must already be present in
+/// \p KV (the defaults table), so typos are recoverable errors.
+Status parseKeyVals(const std::string &Clause, const std::string &Body,
+                    std::map<std::string, double> &KV) {
+  size_t Pos = 0;
+  while (Pos < Body.size()) {
+    size_t Comma = Body.find(',', Pos);
+    std::string Item = Body.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Body.size() : Comma + 1;
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      return Status::error("stimulus clause '" + Clause +
+                           "': expected key=value, got '" + Item + "'");
+    std::string Key = Item.substr(0, Eq);
+    auto It = KV.find(Key);
+    if (It == KV.end())
+      return Status::error("stimulus clause '" + Clause +
+                           "': unknown key '" + Key + "'");
+    char *End = nullptr;
+    std::string Val = Item.substr(Eq + 1);
+    double V = std::strtod(Val.c_str(), &End);
+    if (Val.empty() || !End || *End != '\0' || !std::isfinite(V))
+      return Status::error("stimulus clause '" + Clause + "': key '" + Key +
+                           "' has non-numeric value '" + Val + "'");
+    It->second = V;
+  }
+  return Status::success();
+}
+
+std::string formatDouble(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+} // namespace
+
+Expected<StimulusProtocol> StimulusProtocol::parse(const std::string &Spec,
+                                                   const TissueGrid &G) {
+  StimulusProtocol P;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Semi = Spec.find(';', Pos);
+    std::string Clause = Spec.substr(
+        Pos, Semi == std::string::npos ? std::string::npos : Semi - Pos);
+    Pos = Semi == std::string::npos ? Spec.size() + 1 : Semi + 1;
+    if (Clause.empty())
+      continue;
+    size_t Colon = Clause.find(':');
+    std::string Name = Clause.substr(0, Colon);
+    std::string Body =
+        Colon == std::string::npos ? "" : Clause.substr(Colon + 1);
+
+    if (Name == "none")
+      continue;
+    if (Name == "s1s2") {
+      std::map<std::string, double> KV = {
+          {"period", 300}, {"count", 8}, {"s2", 260},   {"amp", 40},
+          {"dur", 2},      {"width", 5}, {"start", 1},
+      };
+      if (Status S = parseKeyVals(Clause, Body, KV); !S)
+        return S;
+      StimulusProtocol Q =
+          s1s2(KV["period"], int64_t(KV["count"]), KV["s2"], KV["amp"],
+               KV["dur"], int64_t(KV["width"]));
+      // The factory anchors the train at t=1; shift it to `start`.
+      for (StimEvent &E : Q.Events) {
+        E.Start += KV["start"] - 1.0;
+        P.Events.push_back(E);
+      }
+    } else if (Name == "cross") {
+      std::map<std::string, double> KV = {
+          {"s1amp", 40}, {"s1dur", 2},  {"s1start", 1},
+          {"s2amp", 40}, {"s2dur", 3},  {"s2start", 165},
+      };
+      if (Status S = parseKeyVals(Clause, Body, KV); !S)
+        return S;
+      StimulusProtocol Q = crossField(G, KV["s1amp"], KV["s1dur"],
+                                      KV["s2start"], KV["s2amp"],
+                                      KV["s2dur"]);
+      Q.Events[0].Start = KV["s1start"];
+      P.Events.insert(P.Events.end(), Q.Events.begin(), Q.Events.end());
+    } else if (Name == "region") {
+      std::map<std::string, double> KV = {
+          {"x0", 0},    {"x1", -1},  {"y0", 0},      {"y1", -1},
+          {"start", 1}, {"dur", 2},  {"amp", 30},    {"period", 0},
+          {"count", 1},
+      };
+      if (Status S = parseKeyVals(Clause, Body, KV); !S)
+        return S;
+      StimEvent E;
+      E.Region = {int64_t(KV["x0"]), int64_t(KV["x1"]), int64_t(KV["y0"]),
+                  int64_t(KV["y1"])};
+      E.Start = KV["start"];
+      E.Duration = KV["dur"];
+      E.Strength = KV["amp"];
+      E.Period = KV["period"];
+      E.Count = int64_t(KV["count"]);
+      P.Events.push_back(E);
+    } else {
+      return Status::error("unknown stimulus protocol '" + Name +
+                           "' (expected s1s2, cross, region or none)");
+    }
+  }
+  return P;
+}
+
+std::string StimulusProtocol::str() const {
+  if (Events.empty())
+    return "none";
+  std::string Out;
+  for (const StimEvent &E : Events) {
+    if (!Out.empty())
+      Out += ';';
+    Out += "region:x0=" + std::to_string(E.Region.X0) +
+           ",x1=" + std::to_string(E.Region.X1) +
+           ",y0=" + std::to_string(E.Region.Y0) +
+           ",y1=" + std::to_string(E.Region.Y1) +
+           ",start=" + formatDouble(E.Start) +
+           ",dur=" + formatDouble(E.Duration) +
+           ",amp=" + formatDouble(E.Strength) +
+           ",period=" + formatDouble(E.Period) +
+           ",count=" + std::to_string(E.Count);
+  }
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- Stimulus.h - Scriptable tissue stimulus protocols --------*- C++-*-===//
+//
+// Stimulus protocols for the tissue layer: an ordered list of regional
+// current-injection events, each a rectangular node region, an onset
+// time, a pulse duration/strength and an optional pulse train (period x
+// count). Activity is a pure function of simulation time, so applying a
+// protocol is deterministic, cell-local, and bit-identical across shard
+// counts and across checkpoint/resume.
+//
+// Factories cover the standard electrophysiology protocols — S1-S2
+// premature pacing (CV restitution) and cross-field stimulation (spiral
+// wave induction) — and parse() accepts the --stim=<proto> grammar
+// documented in docs/TISSUE.md:
+//
+//   s1s2:period=300,count=8,s2=260,amp=40,dur=2,width=5
+//   cross:s1amp=40,s1dur=2,s2start=165,s2amp=40,s2dur=3
+//   region:x0=0,x1=4,y0=0,y1=-1,start=1,dur=2,amp=30,period=100,count=0
+//   none
+//
+// Multiple clauses can be chained with ';' and every key has a default,
+// so "s1s2" alone is a valid protocol.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SIM_STIMULUS_H
+#define LIMPET_SIM_STIMULUS_H
+
+#include "sim/Grid.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace limpet {
+namespace sim {
+
+/// An inclusive rectangular node region; -1 means "to the grid edge".
+struct StimRegion {
+  int64_t X0 = 0, X1 = -1;
+  int64_t Y0 = 0, Y1 = -1;
+};
+
+/// One stimulus event: \p Strength is injected over \p Region during
+/// [Start + k*Period, Start + k*Period + Duration) for pulse indices
+/// k in [0, Count) (Count <= 0 = unlimited; Period <= 0 = single pulse).
+struct StimEvent {
+  StimRegion Region;
+  double Start = 1.0;
+  double Duration = 2.0;
+  double Strength = 30.0;
+  double Period = 0.0;
+  int64_t Count = 1;
+};
+
+/// An ordered list of stimulus events; concurrent active events add.
+struct StimulusProtocol {
+  std::vector<StimEvent> Events;
+
+  bool empty() const { return Events.empty(); }
+
+  /// Whether \p E injects current at time \p T (pure function of T).
+  static bool activeAt(const StimEvent &E, double T);
+
+  /// Total injected current density at \p T for a cell at (X, Y).
+  double currentAt(double T, int64_t X, int64_t Y,
+                   const TissueGrid &G) const;
+
+  /// A currently active event with its region resolved against the grid
+  /// (inclusive node bounds, -1 edges expanded).
+  struct ActiveStim {
+    int64_t X0, X1, Y0, Y1;
+    double Strength;
+  };
+
+  /// Collects the events active at \p T into \p Out (cleared first).
+  /// Computed once per step by the tissue driver, then applied per shard
+  /// inside the voltage stage.
+  void collectActive(double T, const TissueGrid &G,
+                     std::vector<ActiveStim> &Out) const;
+
+  /// S1 pacing train at the x=0 edge (width \p EdgeWidth columns)
+  /// followed by one premature S2 at coupling interval \p S2Interval
+  /// after the last S1.
+  static StimulusProtocol s1s2(double S1Period, int64_t S1Count,
+                               double S2Interval, double Strength,
+                               double Duration, int64_t EdgeWidth);
+
+  /// Cross-field induction: S1 plane wave from the x=0 edge, then an S2
+  /// covering the lower half of the sheet (y < NY/2) at \p S2Start.
+  static StimulusProtocol crossField(const TissueGrid &G, double S1Strength,
+                                     double S1Duration, double S2Start,
+                                     double S2Strength, double S2Duration);
+
+  /// Parses the --stim=<proto> grammar (';'-chained clauses). Unknown
+  /// protocol names and malformed key=value lists are recoverable
+  /// errors.
+  static Expected<StimulusProtocol> parse(const std::string &Spec,
+                                          const TissueGrid &G);
+
+  /// Canonical spec string (parse(str()) round-trips); "none" when empty.
+  std::string str() const;
+};
+
+} // namespace sim
+} // namespace limpet
+
+#endif // LIMPET_SIM_STIMULUS_H

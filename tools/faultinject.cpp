@@ -23,6 +23,7 @@
 #include "models/Registry.h"
 #include "sim/Checkpoint.h"
 #include "sim/Simulator.h"
+#include "sim/TissueSimulator.h"
 
 #include <chrono>
 #include <cmath>
@@ -513,6 +514,171 @@ bool scenarioCkptStale() {
 }
 
 //===----------------------------------------------------------------------===//
+// Tissue scenarios (reaction-diffusion driver, docs/TISSUE.md)
+//===----------------------------------------------------------------------===//
+
+/// A small guarded tissue protocol; dt is CFL-safe for the default
+/// sigma/dx (limit dx^2/(2*sigma*dims) = 0.3125 ms in 1D).
+TissueOptions tissueOpts(int64_t NX, int64_t NY, int64_t Steps) {
+  TissueOptions T;
+  T.Grid = {NX, NY, 0.025};
+  T.Sigma = 0.001;
+  T.Sim = guardedOpts(NX * NY, Steps);
+  T.Sim.Dt = 0.005;
+  return T;
+}
+
+/// A NaN poked into Vm mid-tissue-run: the very next diffusion half-step
+/// smears it across the stencil neighborhood, so the guard sees a
+/// multi-cell fault — and rollback + dt-halving (which re-runs the full
+/// operator-split pipeline, diffusion included) must still heal the
+/// sheet with nothing frozen or degraded.
+bool scenarioTissueNanStencil() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  int VmIdx = M->info().externalIndex("Vm");
+  if (!check(VmIdx >= 0, "model has a Vm external"))
+    return false;
+  TissueSimulator S(*M, tissueOpts(/*NX=*/64, /*NY=*/1, /*Steps=*/200));
+  if (!check(S.preflight().isOk(), "preflight passes"))
+    return false;
+  bool Fired = false;
+  S.setFaultInjector([&](Simulator &Sim) {
+    if (!Fired && Sim.stepsDone() == 40) {
+      Fired = true;
+      Sim.pokeExternal(size_t(VmIdx), /*Cell=*/20, quietNaN());
+    }
+  });
+  S.run();
+  const RunReport &R = S.report();
+  std::printf("%s", R.str().c_str());
+  bool Ok = check(Fired, "injector fired");
+  Ok &= check(S.scanIsHealthy(), "tissue healthy after recovery");
+  Ok &= check(R.FaultEvents >= 1, "fault detected");
+  Ok &= check(R.FaultyCells >= 1,
+              "stencil-smeared fault observed in the scan");
+  Ok &= check(R.CellsFrozen == 0 && R.CellsDegraded == 0,
+              "one-shot NaN healed without freezing or degrading");
+  Ok &= check(S.stepsDone() == 200, "run completed");
+  Ok &= check(populationFinite(S), "sheet finite at the end");
+  return Ok;
+}
+
+/// Shutdown mid-tissue-run: the final durable checkpoint carries the
+/// tissue section (grid, sigma, method, stimulus), a matching tissue
+/// simulator resumes bit-identically to an uninterrupted run, and every
+/// mismatched resume target — wrong sigma, wrong grid, or a plain
+/// (non-tissue) simulator — is refused recoverably.
+bool scenarioTissueCkptResume() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  std::string Dir = freshDir("tissue-resume");
+  TissueOptions TO = tissueOpts(/*NX=*/32, /*NY=*/4, /*Steps=*/200);
+  TO.Sim.Checkpoint.Dir = Dir;
+  TO.Sim.Checkpoint.EveryN = 24;
+  clearShutdownRequest();
+  TissueSimulator S(*M, TO);
+  S.setFaultInjector([](Simulator &Sim) {
+    if (Sim.stepsDone() == 100)
+      requestShutdown();
+  });
+  S.run();
+  clearShutdownRequest();
+  bool Ok = check(S.interrupted(), "run stopped on the shutdown request");
+  Ok &= check(S.stepsDone() < 200, "run stopped early");
+
+  CheckpointStore Store(Dir);
+  Expected<CheckpointData> C = Store.loadNewestValid();
+  if (!check(bool(C), "final checkpoint loads"))
+    return false;
+  Ok &= check(C->TissueNX == 32 && C->TissueNY == 4,
+              "checkpoint carries the tissue geometry");
+  Ok &= check(C->TissueSigma == TO.Sigma, "checkpoint carries sigma");
+  Ok &= check(!C->TissueStim.empty(), "checkpoint carries the protocol");
+
+  TissueSimulator Resumed(*M, tissueOpts(32, 4, 200));
+  if (!check(Resumed.resumeFrom(*C).isOk(), "matching resume accepted"))
+    return false;
+  Resumed.run();
+  TissueSimulator Ref(*M, tissueOpts(32, 4, 200));
+  Ref.run();
+  Ok &= check(Resumed.stepsDone() == 200, "resumed run reached the target");
+  Ok &= check(finalStatesIdentical(Resumed, Ref),
+              "resumed final state bit-identical to uninterrupted");
+
+  TissueOptions WrongSigma = tissueOpts(32, 4, 200);
+  WrongSigma.Sigma = 0.002;
+  TissueSimulator WS(*M, WrongSigma);
+  Status St = WS.resumeFrom(*C);
+  Ok &= check(!St.isOk(), "sigma mismatch refused");
+  Ok &= check(St.message().find("diffusion") != std::string::npos,
+              "error names the diffusion mismatch");
+
+  TissueOptions WrongGrid = tissueOpts(/*NX=*/128, /*NY=*/1, 200);
+  TissueSimulator WG(*M, WrongGrid);
+  Ok &= check(!WG.resumeFrom(*C).isOk(), "geometry mismatch refused");
+
+  SimOptions Plain = guardedOpts(/*Cells=*/128, /*Steps=*/200);
+  Plain.Dt = 0.005;
+  Simulator P(*M, Plain);
+  St = P.resumeFrom(*C);
+  Ok &= check(!St.isOk(), "plain simulator refuses a tissue checkpoint");
+  Ok &= check(St.message().find("tissue") != std::string::npos,
+              "error says the checkpoint is a tissue run");
+  std::filesystem::remove_all(Dir);
+  return Ok;
+}
+
+/// Cooperative cancel landing while the stage pipeline is hot: the run
+/// stops at the next step boundary (never between the stages of one
+/// Strang step), writes a resumable final checkpoint, and resuming
+/// finishes bit-identically to a never-cancelled run.
+bool scenarioTissueCancelMidStage() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  std::string Dir = freshDir("tissue-cancel");
+  TissueOptions TO = tissueOpts(/*NX=*/64, /*NY=*/1, /*Steps=*/400);
+  TO.Sim.NumThreads = 2; // stages sharded when the cancel lands
+  TO.Sim.Checkpoint.Dir = Dir;
+  CancelToken Token;
+  TO.Sim.Cancel = &Token;
+  TissueSimulator S(*M, TO);
+  S.setFaultInjector([&](Simulator &Sim) {
+    if (Sim.stepsDone() == 150)
+      Token.cancel();
+  });
+  S.run();
+  bool Ok = check(S.interrupted(), "run stopped on the cancel");
+  Ok &= check(S.stopReason() == StopReason::Cancelled,
+              "stop reason is cancelled");
+  Ok &= check(S.stepsDone() >= 150 && S.stepsDone() < 400,
+              "cancel honored at a step boundary mid-run");
+
+  CheckpointStore Store(Dir);
+  Expected<CheckpointData> C = Store.loadNewestValid();
+  if (!check(bool(C), "final checkpoint written on cancel"))
+    return false;
+  Ok &= check(C->StepCount == S.stepsDone(),
+              "checkpoint captures the cancelled step");
+  Ok &= check(C->TissueNX == 64, "checkpoint carries the tissue section");
+
+  TissueSimulator Resumed(*M, tissueOpts(64, 1, 400));
+  if (!check(Resumed.resumeFrom(*C).isOk(), "resume accepted"))
+    return false;
+  Resumed.run();
+  Ok &= check(!Resumed.interrupted(), "resumed run finishes");
+  TissueSimulator Ref(*M, tissueOpts(64, 1, 400));
+  Ref.run();
+  Ok &= check(finalStatesIdentical(Resumed, Ref),
+              "resumed final state bit-identical to uncancelled run");
+  std::filesystem::remove_all(Dir);
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
 // Width-autotuning scenarios (persisted tuning records, docs/COMPILER.md)
 //===----------------------------------------------------------------------===//
 
@@ -934,6 +1100,15 @@ const Scenario Scenarios[] = {
      scenarioSharded},
     {"ckpt-resume", "kill-at-step -> resume bit-identical to uninterrupted",
      scenarioCkptResume},
+    {"tissue-nan-in-stencil",
+     "NaN smeared through the diffusion stencil -> tissue healed",
+     scenarioTissueNanStencil},
+    {"tissue-ckpt-resume",
+     "shutdown mid-tissue-run -> tissue resume exact, mismatches refused",
+     scenarioTissueCkptResume},
+    {"tissue-cancel-mid-stage",
+     "cancel under a hot stage pipeline -> boundary stop, resumable",
+     scenarioTissueCancelMidStage},
     {"ckpt-truncate", "truncated newest checkpoint -> fallback still exact",
      scenarioCkptTruncate},
     {"ckpt-corrupt", "corrupted checkpoints skipped -> oldest valid resumes",

@@ -28,14 +28,17 @@
 #include "ir/Printer.h"
 #include "models/Registry.h"
 #include "sim/Simulator.h"
+#include "sim/TissueSimulator.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include "support/Trace.h"
 #include "transforms/Pass.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -94,6 +97,25 @@ void printUsage() {
       "  --steps N           simulation steps for --run (default 1000);\n"
       "                      with --resume, the *total* target step\n"
       "  --cells N           population size for --run (default 256)\n"
+      "  --dt MS             integration step in ms for --run (default\n"
+      "                      0.01)\n"
+      "  --tissue NX[xNY]    run a reaction-diffusion tissue grid instead\n"
+      "                      of an uncoupled population: NX*NY nodes\n"
+      "                      coupled by Vm diffusion under Strang\n"
+      "                      splitting (overrides --cells; docs/TISSUE.md)\n"
+      "  --dx D              tissue node spacing in cm (default 0.025)\n"
+      "  --sigma S           effective diffusivity sigma/(beta*Cm) in\n"
+      "                      cm^2/ms (default 0.001)\n"
+      "  --diffusion M       diffusion method for --tissue: ftcs\n"
+      "                      (explicit, default) or cn (Crank-Nicolson,\n"
+      "                      1D only)\n"
+      "  --stim P            tissue stimulus protocol: 's1s2:key=v,...',\n"
+      "                      'cross:...', 'region:...' clauses joined by\n"
+      "                      ';', or 'none' (grammar in docs/TISSUE.md;\n"
+      "                      default: a pulse train on the x=0 edge)\n"
+      "  --cv A,B            with --tissue: record an activation map and\n"
+      "                      print the conduction velocity between node\n"
+      "                      indices A and B after the run\n"
       "  --guard             enable the numerical guard rails for --run\n"
       "                      (health scan, checkpoint/retry, degradation;\n"
       "                      see docs/ROBUSTNESS.md)\n"
@@ -254,6 +276,10 @@ int main(int argc, char **argv) {
   std::string EmitArtifactPath, LoadArtifactPath;
   bool UseCache = true;
   int64_t RunSteps = 1000, RunCells = 256;
+  double RunDt = 0.01;
+  std::string TissueSpec, StimSpec, CvSpec;
+  double TissueDx = 0.025, TissueSigma = 0.001;
+  sim::DiffusionMethod DiffMethod = sim::DiffusionMethod::FTCS;
   bool RunGuard = false;
   bool Stats = false;
   std::string TracePath;
@@ -377,6 +403,26 @@ int main(int argc, char **argv) {
       RunSteps = std::atoll(argv[++I]);
     else if (Arg == "--cells" && I + 1 < argc)
       RunCells = std::atoll(argv[++I]);
+    else if (valued(Arg, I, "--dt", Val))
+      RunDt = std::atof(Val.c_str());
+    else if (valued(Arg, I, "--tissue", Val))
+      TissueSpec = Val;
+    else if (valued(Arg, I, "--dx", Val))
+      TissueDx = std::atof(Val.c_str());
+    else if (valued(Arg, I, "--sigma", Val))
+      TissueSigma = std::atof(Val.c_str());
+    else if (valued(Arg, I, "--stim", Val))
+      StimSpec = Val;
+    else if (valued(Arg, I, "--cv", Val))
+      CvSpec = Val;
+    else if (valued(Arg, I, "--diffusion", Val)) {
+      Expected<sim::DiffusionMethod> D = sim::parseDiffusionMethod(Val);
+      if (!D) {
+        std::fprintf(stderr, "error: %s\n", D.status().message().c_str());
+        return 1;
+      }
+      DiffMethod = *D;
+    }
     else if (valued(Arg, I, "--width", Val)) {
       WidthSet = true;
       if (Val == "auto")
@@ -643,8 +689,30 @@ int main(int argc, char **argv) {
       sim::SimOptions Opts;
       Opts.NumCells = RunCells;
       Opts.NumSteps = RunSteps;
+      Opts.Dt = RunDt;
       Opts.StimPeriod = 100.0;
       Opts.Guard.Enabled = RunGuard;
+      // --tissue=NX[xNY]: the grid's node count replaces --cells.
+      sim::TissueGrid Grid;
+      bool Tissue = !TissueSpec.empty();
+      if (Tissue) {
+        long long NX = 0, NY = 1;
+        char Sep = 0;
+        int N = std::sscanf(TissueSpec.c_str(), "%lld%c%lld", &NX, &Sep, &NY);
+        if (N == 1)
+          NY = 1;
+        else if (N != 3 || (Sep != 'x' && Sep != 'X')) {
+          std::fprintf(stderr,
+                       "error: bad --tissue spec '%s' (want NX or NXxNY)\n",
+                       TissueSpec.c_str());
+          return 1;
+        }
+        if (NX < 1 || NY < 1) {
+          std::fprintf(stderr, "error: --tissue dimensions must be >= 1\n");
+          return 1;
+        }
+        Grid = {NX, NY, TissueDx};
+      }
       if (Resume && CkptDir.empty()) {
         std::fprintf(stderr,
                      "error: --resume needs --checkpoint-dir\n");
@@ -672,7 +740,62 @@ int main(int argc, char **argv) {
         Deadline.setDeadlineAfter(TimeoutSec);
         Opts.Cancel = &Deadline;
       }
-      sim::Simulator S(Model, Opts);
+      // --cv=A,B: probe node indices for the post-run conduction-velocity
+      // readout (tissue only).
+      long long CvA = -1, CvB = -1;
+      if (!CvSpec.empty()) {
+        if (!Tissue) {
+          std::fprintf(stderr, "error: --cv needs --tissue\n");
+          return 1;
+        }
+        if (std::sscanf(CvSpec.c_str(), "%lld,%lld", &CvA, &CvB) != 2 ||
+            CvA < 0 || CvB < 0 || CvA == CvB ||
+            CvA >= Grid.numNodes() || CvB >= Grid.numNodes()) {
+          std::fprintf(stderr,
+                       "error: bad --cv spec '%s' (want two distinct node "
+                       "indices A,B inside the grid)\n",
+                       CvSpec.c_str());
+          return 1;
+        }
+      }
+      std::unique_ptr<sim::Simulator> S;
+      sim::TissueSimulator *TissueSim = nullptr;
+      if (Tissue) {
+        sim::TissueOptions TO;
+        TO.Grid = Grid;
+        TO.Sigma = TissueSigma;
+        TO.Method = DiffMethod;
+        if (!StimSpec.empty()) {
+          Expected<sim::StimulusProtocol> P =
+              sim::StimulusProtocol::parse(StimSpec, Grid);
+          if (!P) {
+            std::fprintf(stderr, "error: %s\n",
+                         P.status().message().c_str());
+            return 1;
+          }
+          TO.Stim = *P;
+        }
+        TO.Sim = Opts;
+        auto TS = std::make_unique<sim::TissueSimulator>(Model, TO);
+        if (Status St = TS->preflight(); !St) {
+          std::fprintf(stderr, "error: %s\n", St.message().c_str());
+          return 1;
+        }
+        std::printf("tissue %lldx%lld: dx=%g cm, sigma=%g cm^2/ms, "
+                    "diffusion=%s, stim=%s\n",
+                    (long long)TS->grid().NX, (long long)TS->grid().NY,
+                    TS->grid().Dx, TS->tissueOptions().Sigma,
+                    std::string(sim::diffusionMethodName(
+                                    TS->tissueOptions().Method))
+                        .c_str(),
+                    TS->stimulus().str().c_str());
+        if (CvA >= 0)
+          TS->enableActivationMap(-20.0);
+        TissueSim = TS.get();
+        S = std::move(TS);
+      } else {
+        S = std::make_unique<sim::Simulator>(Model, Opts);
+      }
       if (Resume) {
         sim::CheckpointStore Store(CkptDir, int(CkptRetain));
         std::string CkptPath;
@@ -683,7 +806,7 @@ int main(int argc, char **argv) {
           std::fprintf(stderr, "error: %s\n", C.status().message().c_str());
           return 1;
         }
-        if (Status St = S.resumeFrom(*C); !St) {
+        if (Status St = S->resumeFrom(*C); !St) {
           std::fprintf(stderr, "error: %s\n", St.message().c_str());
           return 1;
         }
@@ -694,34 +817,44 @@ int main(int argc, char **argv) {
         std::printf("resumed from %s at step %lld%s\n", CkptPath.c_str(),
                     (long long)C->StepCount, Note.c_str());
       }
-      S.run();
+      S->run();
       // Print the simulator's (sanitized) options, not the raw flags.
       std::printf("simulated %s (%s): %lld cells x %lld steps, t=%.2f ms\n",
                   Name.c_str(),
                   exec::engineConfigName(Model.config()).c_str(),
-                  (long long)S.options().NumCells,
-                  (long long)S.options().NumSteps, S.time());
+                  (long long)S->options().NumCells,
+                  (long long)S->options().NumSteps, S->time());
       if (Tier != exec::EngineTier::VM)
         std::printf("engine tier: %s\n",
                     Model.usingNativeTier() ? "native" : "vm (fallback)");
-      if (S.interrupted())
+      if (S->interrupted())
         std::printf("interrupted at step %lld (%s)%s%s\n",
-                    (long long)S.stepsDone(),
-                    std::string(sim::stopReasonName(S.stopReason())).c_str(),
+                    (long long)S->stepsDone(),
+                    std::string(sim::stopReasonName(S->stopReason())).c_str(),
                     CkptDir.empty() ? "" : ": final checkpoint written to ",
                     CkptDir.c_str());
-      if (S.hasVoltageCoupling())
-        std::printf("final Vm[0] = %.6f mV\n", S.vm(0));
-      std::printf("state checksum = %.9g\n", S.stateChecksum());
+      if (S->hasVoltageCoupling())
+        std::printf("final Vm[0] = %.6f mV\n", S->vm(0));
+      if (TissueSim && CvA >= 0) {
+        double CV = TissueSim->conductionVelocity(CvA, CvB);
+        if (std::isfinite(CV))
+          std::printf("conduction velocity = %.6g cm/ms (nodes %lld..%lld)\n",
+                      CV, CvA, CvB);
+        else
+          std::printf("conduction velocity = n/a (wavefront did not reach "
+                      "nodes %lld..%lld)\n",
+                      CvA, CvB);
+      }
+      std::printf("state checksum = %.9g\n", S->stateChecksum());
       std::printf("guard rails: %s\n", RunGuard ? "on" : "off");
-      std::printf("%s", S.report().str().c_str());
-      bool Healthy = S.scanIsHealthy();
+      std::printf("%s", S->report().str().c_str());
+      bool Healthy = S->scanIsHealthy();
       std::printf("population health: %s\n", Healthy ? "ok" : "FAULTY");
       if (!Healthy)
         return 2;
       // Distinct recoverable exit for a deadline stop: scripts can tell
       // "ran out of budget, resume later" (3) from "faulty" (2).
-      if (S.stopReason() == sim::StopReason::DeadlineExpired)
+      if (S->stopReason() == sim::StopReason::DeadlineExpired)
         return 3;
       return 0;
     }

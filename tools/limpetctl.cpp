@@ -47,6 +47,8 @@ void printUsage() {
       "           [--no-guard] [--preset baseline|limpetmlir|autovec]\n"
       "           [--width N|auto] [--layout aos|soa|aosoa]\n"
       "           [--engine vm|native|auto] [--autotune] [--wait]\n"
+      "           [--tissue NX[xNY]] [--dx D] [--sigma S]\n"
+      "           [--diffusion ftcs|cn] [--stim PROTO]\n"
       "  cancel   --id N\n"
       "  wait     --id N      poll until the job is terminal\n"
       "  status   [--id N]\n"
@@ -229,6 +231,28 @@ int main(int argc, char **argv) {
     else if (valued(Arg, I, "--progress-every", Val))
       Req.set("progress_every",
               JsonValue::number(double(std::atoll(Val.c_str()))));
+    else if (valued(Arg, I, "--tissue", Val)) {
+      long long NX = 0, NY = 1;
+      char Sep = 0;
+      int N = std::sscanf(Val.c_str(), "%lld%c%lld", &NX, &Sep, &NY);
+      if (N == 1)
+        NY = 1;
+      else if (N != 3 || (Sep != 'x' && Sep != 'X')) {
+        std::fprintf(stderr,
+                     "error: bad --tissue spec '%s' (want NX or NXxNY)\n",
+                     Val.c_str());
+        return 1;
+      }
+      Req.set("tissue_nx", JsonValue::number(double(NX)));
+      Req.set("tissue_ny", JsonValue::number(double(NY)));
+    } else if (valued(Arg, I, "--dx", Val))
+      Req.set("tissue_dx", JsonValue::number(std::atof(Val.c_str())));
+    else if (valued(Arg, I, "--sigma", Val))
+      Req.set("tissue_sigma", JsonValue::number(std::atof(Val.c_str())));
+    else if (valued(Arg, I, "--diffusion", Val))
+      Req.set("tissue_method", JsonValue::string(Val));
+    else if (valued(Arg, I, "--stim", Val))
+      Req.set("tissue_stim", JsonValue::string(Val));
     else if (valued(Arg, I, "--id", Val)) {
       WaitId = uint64_t(std::atoll(Val.c_str()));
       Req.set("id", JsonValue::number(double(WaitId)));
