@@ -1,0 +1,196 @@
+//===- EnsembleBench.cpp - batched sweep vs independent simulators --------===//
+//
+// The ensemble engine's amortization claim, measured: an N-point
+// parameter sweep stepped as ONE packed population (one lowered compile,
+// one LUT build, one shard plan, contiguous vector blocks across member
+// boundaries) against the same N points run as N independent Simulators
+// (shared compile, but per-instance construction and a 1-cell scalar
+// stepping loop each). Timed regions include construction, because the
+// per-member setup cost is exactly what the ensemble amortizes.
+//
+// LIMPET_BENCH_CELLS sets the member count (1 cell per member); the
+// NDJSON rows feed the same bench_compare.py gate as the figure benches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "easyml/Sema.h"
+#include "sim/Ensemble.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace limpet;
+using namespace limpet::bench;
+using namespace limpet::exec;
+
+namespace {
+
+const char *kBenchTitle = "Ensemble: N-member sweep vs N independent "
+                          "simulators (cell-steps/s)";
+
+double averaged(std::vector<double> Times, const BenchProtocol &P) {
+  if (P.DropExtrema && Times.size() >= 3) {
+    std::sort(Times.begin(), Times.end());
+    Times.erase(Times.begin());
+    Times.pop_back();
+  }
+  double Sum = 0;
+  for (double S : Times)
+    Sum += S;
+  return Sum / double(Times.size());
+}
+
+} // namespace
+
+int main() {
+  BenchProtocol Protocol = BenchProtocol::fromEnv(1024, 100, 3);
+  printBanner(kBenchTitle,
+              "engine extension: fault-isolated batched parameter sweeps "
+              "(not a paper figure)",
+              Protocol);
+
+  const models::ModelEntry *Entry = models::findModel("HodgkinHuxley");
+  if (!Entry) {
+    std::fprintf(stderr, "error: HodgkinHuxley not in the registry\n");
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(Entry->Name, Entry->Source, Diags);
+  if (!Info) {
+    std::fprintf(stderr, "error: frontend: %s\n", Diags.str().c_str());
+    return 1;
+  }
+
+  const int64_t Members = std::max<int64_t>(Protocol.NumCells, 2);
+  const EngineConfig Cfg = EngineConfig::limpetMLIR(8);
+  std::string Sweep =
+      "gNa=90:130:" + std::to_string(Members); // N distinct points
+
+  // One lowered compile for the whole sweep, timed: this is the cold
+  // cost the ensemble pays once, against N x per-instance setup below.
+  auto TSetup0 = std::chrono::steady_clock::now();
+  Expected<sim::EnsembleSpec> Spec = sim::EnsembleSpec::fromSweep(Sweep, 1);
+  if (!Spec) {
+    std::fprintf(stderr, "error: %s\n", Spec.status().message().c_str());
+    return 1;
+  }
+  Expected<sim::EnsembleModel> EM =
+      sim::buildEnsembleModel(*Info, std::move(*Spec), Cfg);
+  if (!EM) {
+    std::fprintf(stderr, "error: %s\n", EM.status().message().c_str());
+    return 1;
+  }
+  double EnsembleCompileSec = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - TSetup0)
+                                  .count();
+
+  // The independent baseline shares ONE compiled model (the VM reads
+  // parameters at run time), so the comparison isolates per-instance
+  // setup + stepping; a per-member *compile* would only widen the gap.
+  ModelCache Cache;
+  const CompiledModel &Base = Cache.get(*Entry, Cfg);
+
+  auto MemberValue = [&](int64_t M) {
+    return 90.0 + 40.0 * double(M) / double(Members - 1);
+  };
+
+  struct Row {
+    std::string Label;
+    unsigned Threads;
+    double Seconds;
+  };
+  std::vector<Row> Result;
+  int Repeats = std::max(Protocol.Repeats, 1);
+
+  // Batched: construct + run the whole sweep as one population.
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    std::vector<double> Times;
+    for (int R = 0; R != Repeats; ++R) {
+      auto T0 = std::chrono::steady_clock::now();
+      sim::SimOptions Opts;
+      Opts.NumSteps = Protocol.NumSteps;
+      Opts.NumThreads = Threads;
+      Opts.StimPeriod = 20.0;
+      Opts.Guard.Enabled = Protocol.GuardRails;
+      sim::EnsembleRunner S(*EM, Opts);
+      S.run();
+      Times.push_back(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count());
+      if (S.membersOk() != Members) {
+        std::fprintf(stderr, "error: sweep lost members\n");
+        return 1;
+      }
+    }
+    Result.push_back({"ensemble", Threads, averaged(Times, Protocol)});
+  }
+
+  // Independent: N fresh Simulators, each one member's point via
+  // setParam, stepped back to back (1 cell each, so extra threads
+  // cannot help; the loop is the N-jobs-on-one-box shape).
+  {
+    std::vector<double> Times;
+    for (int R = 0; R != Repeats; ++R) {
+      auto T0 = std::chrono::steady_clock::now();
+      for (int64_t M = 0; M != Members; ++M) {
+        sim::SimOptions Opts;
+        Opts.NumCells = 1;
+        Opts.NumSteps = Protocol.NumSteps;
+        Opts.StimPeriod = 20.0;
+        Opts.Guard.Enabled = Protocol.GuardRails;
+        sim::Simulator S(Base, Opts);
+        (void)S.setParam("gNa", MemberValue(M));
+        S.run();
+      }
+      Times.push_back(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count());
+    }
+    Result.push_back({"independent", 1, averaged(Times, Protocol)});
+  }
+
+  double CellSteps = double(Members) * double(Protocol.NumSteps);
+  double IndependentSec = Result.back().Seconds;
+
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"variant", "threads", "members", "cell-steps/s",
+                  "ns/cell-step", "seconds", "speedup"});
+  for (const Row &R : Result) {
+    BenchStat S;
+    S.Bench = kBenchTitle;
+    S.Model = Entry->Name;
+    S.Config = R.Label;
+    S.Threads = R.Threads;
+    S.Cells = Members;
+    S.Steps = Protocol.NumSteps;
+    S.Repeats = Repeats;
+    S.Seconds = R.Seconds;
+    S.NsPerCellStep = R.Seconds * 1e9 / CellSteps;
+    S.CellStepsPerSec = CellSteps / R.Seconds;
+    recordBenchStat(S);
+    Rows.push_back({R.Label, std::to_string(R.Threads),
+                    std::to_string(Members),
+                    formatFixed(S.CellStepsPerSec, 0),
+                    formatFixed(S.NsPerCellStep, 2),
+                    formatFixed(R.Seconds, 4),
+                    formatFixed(IndependentSec / R.Seconds, 2) + "x"});
+  }
+  std::printf("%s", renderTable(Rows).c_str());
+  std::printf("\nensemble cold setup (spec + lowered compile): %s ms, "
+              "amortized over %lld members\n",
+              formatFixed(EnsembleCompileSec * 1e3, 1).c_str(),
+              (long long)Members);
+  std::printf("expected shape: the packed sweep wins even single-threaded "
+              "(vector blocks\nspan member boundaries, one LUT build, one "
+              "scheduler) and scales with\nthreads; the independent loop "
+              "pays per-instance setup and scalar 1-cell\nstepping, and "
+              "cannot use threads at all.\n");
+  return 0;
+}

@@ -100,8 +100,9 @@ else
       -DLIMPET_SANITIZE=address,undefined &&
       cmake --build build-ci-san -j "$(nproc)" &&
       for s in nan-state inf-vm persistent lut-corrupt extreme-dt \
-        extreme-param sharded ckpt-resume ckpt-truncate ckpt-corrupt \
-        ckpt-stale tissue-nan-in-stencil tissue-ckpt-resume \
+        extreme-param sharded ensemble-quarantine ckpt-resume \
+        ckpt-truncate ckpt-corrupt ckpt-stale ckpt-enospc \
+        journal-enospc tissue-nan-in-stencil tissue-ckpt-resume \
         tissue-cancel-mid-stage daemon-queue-full daemon-deadline \
         daemon-journal-truncate; do
         ./build-ci-san/tools/faultinject $s || return 1
@@ -160,6 +161,16 @@ else
   skip_job "daemon-smoke" "no built limpetd found"
 fi
 
+# --- ensemble engine smoke ---------------------------------------------------
+if [ $FAST = 1 ]; then
+  skip_job "ensemble-smoke" "--fast"
+elif [ -n "$SMOKE_BUILD" ]; then
+  run_job "ensemble-smoke" scripts/ensemble_smoke.sh \
+    "$SMOKE_BUILD/tools/limpetc"
+else
+  skip_job "ensemble-smoke" "no built limpetc found"
+fi
+
 # --- bench smoke + NDJSON ---------------------------------------------------
 if [ $FAST = 1 ]; then
   skip_job "bench-smoke" "--fast"
@@ -174,6 +185,8 @@ elif [ -n "$SMOKE_BUILD" ] && [ -x "$SMOKE_BUILD/bench/micro_benchmarks" ]; then
         "$SMOKE_BUILD"/bench/fig2_single_thread &&
       LIMPET_BENCH_STATS=$out LIMPET_BENCH_CELLS=256 LIMPET_BENCH_STEPS=20 \
         LIMPET_BENCH_REPEATS=1 "$SMOKE_BUILD"/bench/tissue_bench &&
+      LIMPET_BENCH_STATS=$out LIMPET_BENCH_CELLS=256 LIMPET_BENCH_STEPS=20 \
+        LIMPET_BENCH_REPEATS=1 "$SMOKE_BUILD"/bench/ensemble_bench &&
       python3 - "$out" <<'EOF'
 import json, sys
 lines = open(sys.argv[1]).read().splitlines()

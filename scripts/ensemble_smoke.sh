@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# ensemble_smoke.sh — end-to-end smoke of the fault-isolated ensemble
+# engine through the limpetc CLI: a 1000-member sweep with three seeded
+# pathological members must finish exit 0 delivering every member's
+# result (997 ok + 3 quarantined, NDJSON line per member); the same run
+# is SIGKILLed mid-flight and resumed from its checkpoints, and the
+# resumed per-member ledger (status, retries, quarantine step, state
+# checksum) must be byte-identical to the uninterrupted reference.
+#
+# Usage: ensemble_smoke.sh /path/to/limpetc
+set -euo pipefail
+
+LIMPETC=${1:?usage: ensemble_smoke.sh /path/to/limpetc}
+MODEL=HodgkinHuxley
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+checksum_of() {
+  grep 'state checksum' "$1" | tail -1 | sed 's/.*= //'
+}
+
+# The compile cache is irrelevant here and a stale one could mask a
+# miscompile; keep the smoke hermetic.
+unset LIMPET_CACHE_DIR
+
+# 1000 members sweeping gNa over a physiological band, with members 137,
+# 500 and 863 replaced by finite-but-pathological conductances (the
+# non-finite forms are rejected at parse time by design, so the poison
+# has to get past admission and blow up numerically mid-run).
+MEMBERS=$WORK/members.json
+awk 'BEGIN {
+  printf("[");
+  for (i = 0; i < 1000; i++) {
+    v = sprintf("%.10g", 90 + 40 * i / 999);
+    if (i == 137) v = "1000000000";
+    if (i == 500) v = "-1000000";
+    if (i == 863) v = "1000000000000";
+    printf("%s{\"gNa\":%s}", i ? "," : "", v);
+  }
+  printf("]\n");
+}' > "$MEMBERS"
+
+RUN_ARGS=(--run --ensemble "$MEMBERS" --member-cells 1 --guard
+          --steps 4000)
+
+echo "== phase 1: 1000-member sweep with 3 poison members, uninterrupted =="
+"$LIMPETC" "$MODEL" "${RUN_ARGS[@]}" --member-stats "$WORK/ref-stats.ndjson" \
+  > "$WORK/ref.log" 2>&1 \
+  || fail "poisoned sweep did not exit 0: $(tail -5 "$WORK/ref.log")"
+grep -q '^ensemble: 1000 members x 1 cells' "$WORK/ref.log" \
+  || fail "run did not print the ensemble banner"
+grep -q '^ensemble members: 997 ok, 3 quarantined$' "$WORK/ref.log" \
+  || fail "expected 997 ok + 3 quarantined, got: $(grep '^ensemble members' "$WORK/ref.log")"
+grep -q '^population health: ok$' "$WORK/ref.log" \
+  || fail "quarantine did not keep the population healthy"
+[ "$(wc -l < "$WORK/ref-stats.ndjson")" -eq 1000 ] \
+  || fail "member stats must have one NDJSON line per member"
+[ "$(grep -c '"status":"quarantined"' "$WORK/ref-stats.ndjson")" -eq 3 ] \
+  || fail "expected exactly 3 quarantined member records"
+for M in 137 500 863; do
+  grep -q "^{\"member\":$M,\"status\":\"quarantined\"" "$WORK/ref-stats.ndjson" \
+    || fail "seeded poison member $M was not the one quarantined"
+done
+REF=$(checksum_of "$WORK/ref.log")
+[ -n "$REF" ] || fail "reference run printed no state checksum"
+echo "   997 ok + 3 quarantined (members 137/500/863), checksum $REF"
+
+echo "== phase 2: SIGKILL mid-sweep, then --resume must reproduce it =="
+# Denser cadences retry if the run outpaces the checkpoint writer.
+KILLED=0
+for EVERY in 1000 250 50; do
+  CKPT="$WORK/ckpt-$EVERY"
+  rm -rf "$CKPT"
+  "$LIMPETC" "$MODEL" "${RUN_ARGS[@]}" \
+    --checkpoint-dir "$CKPT" --checkpoint-every "$EVERY" \
+    > "$WORK/victim.log" 2>&1 &
+  PID=$!
+  # Wait until at least two rotated checkpoints exist, then pull the plug.
+  for _ in $(seq 1 200); do
+    if [ "$(ls "$CKPT"/ckpt-*.lmpc 2>/dev/null | wc -l)" -ge 2 ]; then
+      break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+      break
+    fi
+    sleep 0.05
+  done
+  if kill -9 "$PID" 2>/dev/null; then
+    wait "$PID" 2>/dev/null || true
+    if [ "$(ls "$CKPT"/ckpt-*.lmpc 2>/dev/null | wc -l)" -ge 1 ]; then
+      KILLED=1
+      break
+    fi
+  fi
+  wait "$PID" 2>/dev/null || true
+done
+[ "$KILLED" -eq 1 ] || fail "could not SIGKILL the sweep mid-flight with checkpoints on disk"
+echo "   killed -9 with $(ls "$CKPT"/ckpt-*.lmpc | wc -l) checkpoint(s) in $CKPT"
+
+"$LIMPETC" "$MODEL" "${RUN_ARGS[@]}" \
+  --checkpoint-dir "$CKPT" --resume \
+  --member-stats "$WORK/resume-stats.ndjson" > "$WORK/resume.log" 2>&1 \
+  || fail "ensemble resume failed: $(tail -5 "$WORK/resume.log")"
+grep -q 'resumed from' "$WORK/resume.log" \
+  || fail "resume run did not report 'resumed from'"
+RESUMED=$(checksum_of "$WORK/resume.log")
+[ "$RESUMED" = "$REF" ] \
+  || fail "resumed checksum $RESUMED != reference $REF (ensemble resume is not bit-identical)"
+# The whole per-member ledger — status, quarantine step, retry counts,
+# member state checksums — must survive the kill, not just the aggregate.
+diff -u "$WORK/ref-stats.ndjson" "$WORK/resume-stats.ndjson" > /dev/null \
+  || fail "resumed per-member stats differ from the uninterrupted reference"
+echo "   resumed checksum and all 1000 member records match"
+
+echo "== phase 3: a clean grid sweep quarantines nothing =="
+"$LIMPETC" "$MODEL" --run --sweep "gNa=90:130:64" --guard --steps 1000 \
+  > "$WORK/clean.log" 2>&1 \
+  || fail "clean sweep failed: $(tail -5 "$WORK/clean.log")"
+grep -q '^ensemble members: 64 ok, 0 quarantined$' "$WORK/clean.log" \
+  || fail "clean sweep quarantined members: $(grep '^ensemble members' "$WORK/clean.log")"
+echo "   64/64 members ok"
+
+echo "PASS: ensemble smoke (partial results, quarantine, resume bit-identical)"

@@ -2,6 +2,8 @@
 
 #include "compiler/Serialize.h"
 
+#include "support/FailPoint.h"
+
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -82,6 +84,12 @@ Status compiler::writeFileAtomic(std::string_view Bytes,
     if (!Out)
       return Status::error("cannot open '" + Tmp + "' for writing" +
                            errnoText());
+    if (support::failPoint("write-enospc")) {
+      Out.close();
+      std::remove(Tmp.c_str());
+      return Status::error("short write to '" + Tmp +
+                           "': no space left on device (failpoint)");
+    }
     Out.write(Bytes.data(), std::streamsize(Bytes.size()));
     Out.flush();
     if (!Out) {
@@ -109,6 +117,16 @@ Status compiler::writeFileAtomic(std::string_view Bytes,
   if (Fd < 0)
     return Status::error("cannot open '" + Tmp + "' for writing" +
                          errnoText());
+  // The fail point sits where a real ENOSPC lands: inside the write loop,
+  // after the temp file exists — so it proves the cleanup path removes
+  // the partial temp and the caller sees a recoverable Status.
+  if (support::failPoint("write-enospc")) {
+    errno = ENOSPC;
+    Status S = Status::error("short write to '" + Tmp + "'" + errnoText());
+    ::close(Fd);
+    std::remove(Tmp.c_str());
+    return S;
+  }
   const char *P = Bytes.data();
   size_t Left = Bytes.size();
   while (Left > 0) {

@@ -69,6 +69,9 @@ struct Job {
   double Checksum = 0;
   int64_t Degraded = 0;
   int64_t Frozen = 0;
+  /// Ensemble jobs only (-1 otherwise): per-member partial-result tally.
+  int64_t MembersOk = -1;
+  int64_t MembersQuarantined = -1;
   std::string Error;
 };
 

@@ -4,13 +4,16 @@
 
 #include "compiler/CompilerDriver.h"
 #include "compiler/Serialize.h"
+#include "easyml/Sema.h"
 #include "models/Registry.h"
+#include "sim/Ensemble.h"
 #include "sim/Simulator.h"
 #include "sim/TissueSimulator.h"
 #include "support/Telemetry.h"
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <thread>
 
 using namespace limpet;
@@ -53,7 +56,8 @@ static void pushTerminal(Job &J, const std::string &Line) {
 JobState JobRunner::finish(Job &J, JobState S) {
   std::string Event =
       terminalEvent(S, J.Spec.Id, J.StepsDone, J.Checksum, J.Degraded,
-                    J.Frozen, J.Error, J.Replayed);
+                    J.Frozen, J.Error, J.Replayed, J.MembersOk,
+                    J.MembersQuarantined);
   // Journal first (the durable truth), then the result file (what the
   // smoke harness and late status queries read), then the live stream.
   Jrnl.append(journalKind(S), J.Spec.Id, J.Error);
@@ -138,6 +142,10 @@ JobState JobRunner::execute(Job &J) {
     };
   }
 
+  // The ensemble model owns the lowered CompiledModel; declared before
+  // Sim so it outlives the runner built on it.
+  std::optional<sim::EnsembleModel> EMod;
+  sim::EnsembleRunner *EnsSim = nullptr;
   std::unique_ptr<sim::Simulator> Sim;
   if (J.Spec.TissueNX > 0) {
     // Tissue job: the reaction-diffusion driver over the spec's grid.
@@ -160,6 +168,28 @@ JobState JobRunner::execute(Job &J) {
       return fail(J, "tissue preflight: " + St.message());
     telemetry::counter("daemon.jobs.tissue").add();
     Sim = std::move(TS);
+  } else if (!J.Spec.EnsembleSweep.empty()) {
+    // Ensemble job: one kernel for the whole sweep. Admission already
+    // validated the grammar; re-parsing here keeps journal replay safe
+    // against a hand-edited journal, and the model-specific checks
+    // (unknown parameter names) land in a structured Failed record.
+    Expected<sim::EnsembleSpec> ESpec = sim::EnsembleSpec::fromSweep(
+        J.Spec.EnsembleSweep, J.Spec.EnsembleCellsPer);
+    if (!ESpec)
+      return fail(J, "ensemble sweep: " + ESpec.status().message());
+    DiagnosticEngine Diags;
+    auto Info = easyml::compileModelInfo(Entry->Name, Entry->Source, Diags);
+    if (!Info)
+      return fail(J, "ensemble frontend: " + Diags.str());
+    Expected<sim::EnsembleModel> Built = sim::buildEnsembleModel(
+        *Info, std::move(*ESpec), R.Model->config());
+    if (!Built)
+      return fail(J, "ensemble: " + Built.status().message());
+    EMod.emplace(std::move(*Built));
+    auto ER = std::make_unique<sim::EnsembleRunner>(*EMod, Opts);
+    EnsSim = ER.get();
+    telemetry::counter("daemon.jobs.ensemble").add();
+    Sim = std::move(ER);
   } else {
     Sim = std::make_unique<sim::Simulator>(*R.Model, Opts);
   }
@@ -181,6 +211,13 @@ JobState JobRunner::execute(Job &J) {
   S.run();
 
   J.StepsDone = S.stepsDone();
+  // The interruption check MUST come before any terminal accounting —
+  // ensemble quarantines included. A member that hit its dt-floor while
+  // the daemon was shutting down is a *non-terminal* outcome: the final
+  // checkpoint's ensemble section already pins its quarantine, and the
+  // journal's Accepted-without-terminal shape replays the job, which
+  // resumes with that member still quarantined. Writing a terminal
+  // record here instead would turn a routine restart into a lost sweep.
   if (S.interrupted()) {
     switch (S.stopReason()) {
     case sim::StopReason::Cancelled:
@@ -200,5 +237,13 @@ JobState JobRunner::execute(Job &J) {
   J.Checksum = S.stateChecksum();
   J.Degraded = S.report().CellsDegraded;
   J.Frozen = S.report().CellsFrozen;
+  if (EnsSim) {
+    // Partial-result delivery: the sweep finishes with every member
+    // accounted for; quarantined members are reported, never fatal.
+    J.MembersOk = EnsSim->membersOk();
+    J.MembersQuarantined = EnsSim->membersQuarantined();
+    compiler::writeFileAtomic(EnsSim->memberStatsNdjson(),
+                              Dir + "/members.ndjson");
+  }
   return finish(J, JobState::Finished);
 }

@@ -4,6 +4,7 @@
 
 #include "compiler/Artifact.h"
 #include "compiler/Serialize.h"
+#include "support/FailPoint.h"
 
 #include <cerrno>
 #include <cstring>
@@ -71,6 +72,15 @@ Status Journal::append(Kind K, uint64_t JobId, std::string_view Payload) {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (Fd < 0)
     return Status::error("journal '" + Path + "' is not open");
+  // The disk filling up must surface as a recoverable Status with no
+  // partial frame appended (the failpoint fires before any bytes go
+  // out; a real mid-frame ENOSPC leaves a torn tail, which readAll
+  // already drops as truncated).
+  if (support::failPoint("write-enospc")) {
+    errno = ENOSPC;
+    return Status::error("journal append failed: " +
+                         std::string(std::strerror(errno)));
+  }
   // One write per record: O_APPEND makes the offset atomic, and a crash
   // mid-write only ever truncates the tail record, which readAll drops.
   const char *P = Frame.data();

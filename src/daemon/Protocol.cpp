@@ -4,6 +4,7 @@
 
 #include "codegen/KernelSpec.h"
 #include "sim/Diffusion.h"
+#include "sim/Ensemble.h"
 #include "sim/Stimulus.h"
 
 #include <cstdio>
@@ -153,6 +154,22 @@ Expected<JobSpec> daemon::parseJobSpec(const JsonValue &Body) {
     if (!P)
       return P.status();
   }
+  Spec.EnsembleSweep = Body.stringOr("ensemble_sweep", "");
+  Spec.EnsembleCellsPer = Body.intOr("ensemble_cells_per", 1);
+  if (Spec.EnsembleCellsPer < 1)
+    return Status::error("'ensemble_cells_per' must be >= 1");
+  if (!Spec.EnsembleSweep.empty()) {
+    if (Spec.TissueNX > 0)
+      return Status::error(
+          "'ensemble_sweep' and 'tissue_nx' are mutually exclusive");
+    // Reject a malformed sweep at submit time, not when the job runs; the
+    // model-specific checks (unknown parameter names) stay with the
+    // runner, which owns the compiled model.
+    Expected<sim::EnsembleSpec> E = sim::EnsembleSpec::fromSweep(
+        Spec.EnsembleSweep, Spec.EnsembleCellsPer);
+    if (!E)
+      return E.status();
+  }
   if (const JsonValue *E = Body.find("engine")) {
     if (!E->isString())
       return Status::error("'engine' must be a string");
@@ -212,6 +229,10 @@ JsonValue daemon::jobSpecToJson(const JobSpec &Spec) {
     if (!Spec.TissueStim.empty())
       J.set("tissue_stim", JsonValue::string(Spec.TissueStim));
   }
+  if (!Spec.EnsembleSweep.empty()) {
+    J.set("ensemble_sweep", JsonValue::string(Spec.EnsembleSweep));
+    J.set("ensemble_cells_per", JsonValue::number(Spec.EnsembleCellsPer));
+  }
   J.set("engine", JsonValue::string(exec::engineTierName(Spec.Tier)));
   J.set("config", std::move(Cfg));
   return J;
@@ -251,7 +272,8 @@ std::string daemon::progressEvent(uint64_t Id, int64_t Steps, int64_t Target) {
 std::string daemon::terminalEvent(JobState S, uint64_t Id, int64_t Steps,
                                   double Checksum, int64_t Degraded,
                                   int64_t Frozen, std::string_view Error,
-                                  bool Replayed) {
+                                  bool Replayed, int64_t MembersOk,
+                                  int64_t MembersQuarantined) {
   JsonValue J = JsonValue::object();
   J.set("event", JsonValue::string(jobStateName(S)));
   J.set("id", JsonValue::number(Id));
@@ -264,6 +286,10 @@ std::string daemon::terminalEvent(JobState S, uint64_t Id, int64_t Steps,
     J.set("checksum", JsonValue::string(Buf));
     J.set("degraded", JsonValue::number(Degraded));
     J.set("frozen", JsonValue::number(Frozen));
+    if (MembersOk >= 0) {
+      J.set("members_ok", JsonValue::number(MembersOk));
+      J.set("members_quarantined", JsonValue::number(MembersQuarantined));
+    }
   }
   if (!Error.empty())
     J.set("error", JsonValue::string(Error));

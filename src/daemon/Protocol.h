@@ -82,6 +82,15 @@ struct JobSpec {
   uint8_t TissueMethod = 0;   ///< sim::DiffusionMethod
   std::string TissueStim;     ///< --stim grammar; "" = default edge train
 
+  // Ensemble protocol (a non-empty "ensemble_sweep" engages the
+  // fault-isolated parameter-sweep runner; the sweep's member count then
+  // replaces NumCells). Admission validates the grid grammar against
+  // sim::EnsembleSpec::fromSweep, so a malformed sweep is rejected at
+  // submit, and the journal carries the same string so a replayed sweep
+  // resumes against a checkpoint with the identical spec hash.
+  std::string EnsembleSweep;    ///< sim::EnsembleSpec::fromSweep grammar
+  int64_t EnsembleCellsPer = 1; ///< cells each member simulates
+
   exec::EngineConfig Config; ///< engine configuration (baseline default)
   /// With "width": "auto" and no persisted tuning record: run the width
   /// autotuner (benchmark every registry point, persist the winner)
@@ -116,9 +125,15 @@ std::string progressEvent(uint64_t Id, int64_t Steps, int64_t Target);
 /// Terminal event: {"event":<state>,"id":N,"steps":S,...}. Finished jobs
 /// carry the state checksum (printf %.17g, round-trippable) and the
 /// degraded/frozen cell counts; failed jobs carry the error text.
+/// Finished ensemble jobs additionally carry "members_ok" and
+/// "members_quarantined" (partial-result delivery: a sweep with
+/// quarantined members still finishes); MembersOk < 0 marks a
+/// non-ensemble job and omits both fields.
 std::string terminalEvent(JobState S, uint64_t Id, int64_t Steps,
                           double Checksum, int64_t Degraded, int64_t Frozen,
-                          std::string_view Error, bool Replayed);
+                          std::string_view Error, bool Replayed,
+                          int64_t MembersOk = -1,
+                          int64_t MembersQuarantined = -1);
 /// {"event":"ok"[,"detail":D]}
 std::string okEvent(std::string_view Detail = {});
 /// {"event":"error","error":E}

@@ -417,6 +417,10 @@ static JsonValue jobStatusJson(const Job &J) {
   S.set("state", JsonValue::string(
                      jobStateName(J.State.load(std::memory_order_acquire))));
   S.set("steps", JsonValue::number(J.StepsDone));
+  if (J.MembersOk >= 0) {
+    S.set("members_ok", JsonValue::number(J.MembersOk));
+    S.set("members_quarantined", JsonValue::number(J.MembersQuarantined));
+  }
   if (J.Replayed)
     S.set("replayed", JsonValue::boolean(true));
   if (!J.Error.empty())

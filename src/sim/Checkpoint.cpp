@@ -119,6 +119,18 @@ std::string sim::serializeCheckpoint(const CheckpointData &C) {
   P.u8(C.TissueMethod);
   P.str(C.TissueStim);
 
+  // Ensemble section (v3).
+  P.i64(C.EnsembleMembers);
+  P.i64(C.EnsembleCellsPerMember);
+  P.u64(C.EnsembleSpecHash);
+  for (const CheckpointData::EnsembleMember &M : C.EnsembleStatus) {
+    P.u8(M.Status);
+    P.u8(M.Reason);
+    P.i64(M.DtRetries);
+    P.i64(M.FaultSteps);
+    P.i64(M.QuarantineStep);
+  }
+
   ByteWriter W;
   W.u32(kMagic);
   W.u32(C.FormatVersion);
@@ -237,6 +249,26 @@ Expected<CheckpointData> sim::deserializeCheckpoint(std::string_view Bytes) {
   if (C.TissueNX < 0 || C.TissueNY < 1 ||
       (C.TissueNX > 0 && C.TissueNX * C.TissueNY != C.NumCells))
     return Err("tissue grid does not match the declared population");
+
+  C.EnsembleMembers = R.i64();
+  C.EnsembleCellsPerMember = R.i64();
+  C.EnsembleSpecHash = R.u64();
+  if (R.failed() || C.EnsembleMembers < 0 ||
+      (C.EnsembleMembers > 0 &&
+       (C.EnsembleCellsPerMember < 1 ||
+        C.EnsembleMembers * C.EnsembleCellsPerMember != C.NumCells)))
+    return Err("ensemble shape does not match the declared population");
+  constexpr size_t kMemberBytes = 2 + 3 * 8;
+  if (size_t(C.EnsembleMembers) * kMemberBytes > R.remaining())
+    return Err("truncated ensemble member section");
+  C.EnsembleStatus.resize(size_t(C.EnsembleMembers));
+  for (CheckpointData::EnsembleMember &M : C.EnsembleStatus) {
+    M.Status = R.u8();
+    M.Reason = R.u8();
+    M.DtRetries = R.i64();
+    M.FaultSteps = R.i64();
+    M.QuarantineStep = R.i64();
+  }
 
   if (R.failed())
     return Err("truncated payload");

@@ -39,7 +39,9 @@ namespace sim {
 /// Bumped whenever the serialized checkpoint layout changes; a mismatch is
 /// a recoverable "cannot resume" error, never a misparse.
 /// v2: tissue section (grid geometry, diffusion, stimulus spec).
-inline constexpr uint32_t kCheckpointFormatVersion = 2;
+/// v3: ensemble section (per-member status/reason for fault-isolated
+///     parameter sweeps).
+inline constexpr uint32_t kCheckpointFormatVersion = 3;
 
 /// Everything needed to continue a simulation bit-identically from the
 /// step it was captured at.
@@ -101,6 +103,24 @@ struct CheckpointData {
   double TissueSigma = 0;
   uint8_t TissueMethod = 0; ///< sim::DiffusionMethod
   std::string TissueStim;   ///< StimulusProtocol::str(); "" = none
+
+  // Ensemble section (v3): per-member status of a fault-isolated
+  // parameter sweep. EnsembleMembers == 0 marks a non-ensemble
+  // checkpoint; an ensemble resume cross-checks member count, slice
+  // width and the spec hash so partial results cannot silently continue
+  // under a different sweep. Member state/parameter values travel in
+  // State/Exts like any other cells.
+  int64_t EnsembleMembers = 0;
+  int64_t EnsembleCellsPerMember = 0;
+  uint64_t EnsembleSpecHash = 0;
+  struct EnsembleMember {
+    uint8_t Status = 0; ///< sim::MemberStatus
+    uint8_t Reason = 0; ///< sim::QuarantineReason
+    int64_t DtRetries = 0;
+    int64_t FaultSteps = 0;
+    int64_t QuarantineStep = -1;
+  };
+  std::vector<EnsembleMember> EnsembleStatus;
 };
 
 /// Serializes \p C into a self-contained byte string (magic, version,

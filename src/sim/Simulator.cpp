@@ -693,5 +693,6 @@ Status Simulator::resumeFrom(const CheckpointData &C) {
   Ck.Valid = false;
   Resumed = true;
   Interrupted = false;
+  applyResume(C);
   return Status::success();
 }

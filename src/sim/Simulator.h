@@ -226,8 +226,10 @@ public:
   CellMode cellMode(int64_t Cell) const;
 
   /// One bulk health scan of the current population (also used by the
-  /// fault-injection harness to verify detection).
-  bool scanIsHealthy() const;
+  /// fault-injection harness to verify detection). Virtual: the ensemble
+  /// runner scans member slices so quarantined members stop counting
+  /// against population health.
+  virtual bool scanIsHealthy() const;
 
   /// Cells currently violating the health policy.
   std::vector<int64_t> faultyCells() const;
@@ -272,15 +274,26 @@ protected:
   /// Extra resume validation a subclass needs (e.g. tissue geometry
   /// cross-checks); runs after the base shape checks, before any state
   /// is touched. The base refuses tissue checkpoints — a diffusion-coupled
-  /// field must not silently continue as an uncoupled population.
+  /// field must not silently continue as an uncoupled population — and
+  /// ensemble checkpoints, whose per-member status only an EnsembleRunner
+  /// can restore.
   virtual Status validateResume(const CheckpointData &C) const {
     if (C.TissueNX > 0)
       return Status::error(
           "cannot resume: checkpoint is a tissue run (" +
           std::to_string(C.TissueNX) + "x" + std::to_string(C.TissueNY) +
           " grid); resume it with a tissue simulator");
+    if (C.EnsembleMembers > 0)
+      return Status::error(
+          "cannot resume: checkpoint is an ensemble run (" +
+          std::to_string(C.EnsembleMembers) +
+          " members); resume it with an ensemble runner");
     return Status::success();
   }
+  /// Hook invoked at the very end of a successful resumeFrom, after all
+  /// base state is restored: subclasses re-derive whatever they keep
+  /// outside the base arrays (per-member ensemble status, ...).
+  virtual void applyResume(const CheckpointData &C) { (void)C; }
   /// Bookkeeping after the physics of one nominal step: injector hook,
   /// frozen-cell restore, step count, trace.
   void finishStep();
@@ -294,7 +307,10 @@ protected:
   bool durableTick();
   /// Writes one durable checkpoint (timed, counted in telemetry).
   void writeDurableCheckpoint();
-  void recoverWindow(int64_t Window);
+  /// Walks the degradation ladder for the window that just failed its
+  /// health scan. Virtual: the ensemble runner replaces the
+  /// population-wide ladder with a member-local one.
+  virtual void recoverWindow(int64_t Window);
   /// scanIsHealthy plus scan-count/scan-time accounting.
   bool timedScan();
   /// Mirrors this run()'s RunReport deltas into the telemetry registry.

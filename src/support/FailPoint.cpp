@@ -1,0 +1,121 @@
+//===- FailPoint.cpp ------------------------------------------------------===//
+
+#include "support/FailPoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+using namespace limpet;
+
+namespace {
+
+struct FailPointState {
+  std::mutex Mu;
+  std::string Name;        // empty = nothing armed
+  int64_t Countdown = 0;   // probes left before the point fires
+  bool Persistent = false; // keep firing after the first hit
+  bool EnvParsed = false;
+  std::atomic<bool> Armed{false}; // fast-path gate, mirrors !Name.empty()
+  std::atomic<uint64_t> Fired{0};
+};
+
+FailPointState &state() {
+  static FailPointState S;
+  return S;
+}
+
+/// Parses "name:<n>" / "name:<n>*" into the (locked) state. Malformed
+/// values are ignored — a fail point is a test feature; the production
+/// process must never abort because of a bad arming string.
+void parseEnvLocked(FailPointState &S) {
+  S.EnvParsed = true;
+  const char *V = std::getenv("LIMPET_FAILPOINT");
+  if (!V || !*V)
+    return;
+  std::string Spec(V);
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Spec.size())
+    return;
+  std::string Num = Spec.substr(Colon + 1);
+  bool Persistent = false;
+  if (!Num.empty() && Num.back() == '*') {
+    Persistent = true;
+    Num.pop_back();
+  }
+  if (Num.empty())
+    return;
+  int64_t Nth = 0;
+  for (char C : Num) {
+    if (C < '0' || C > '9')
+      return;
+    Nth = Nth * 10 + (C - '0');
+  }
+  if (Nth <= 0)
+    return;
+  S.Name = Spec.substr(0, Colon);
+  S.Countdown = Nth;
+  S.Persistent = Persistent;
+  S.Armed.store(true, std::memory_order_release);
+}
+
+} // namespace
+
+bool support::failPoint(std::string_view Name) {
+  FailPointState &S = state();
+  // Fast path: nothing armed and the environment already parsed.
+  if (!S.Armed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (!S.EnvParsed)
+      parseEnvLocked(S);
+    if (S.Name.empty())
+      return false;
+  }
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Name != Name)
+    return false;
+  if (S.Countdown > 1) {
+    --S.Countdown;
+    return false;
+  }
+  if (S.Countdown <= 0) // already fired a one-shot arm
+    return false;
+  S.Fired.fetch_add(1, std::memory_order_relaxed);
+  if (!S.Persistent) {
+    S.Countdown = 0; // one-shot: stays armed-but-spent until disarmed
+  }
+  return true;
+}
+
+void support::armFailPoint(std::string_view Name, int64_t Nth,
+                           bool Persistent) {
+  FailPointState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.EnvParsed = true; // explicit arming overrides the environment
+  if (Nth <= 0 || Name.empty()) {
+    S.Name.clear();
+    S.Countdown = 0;
+    S.Armed.store(false, std::memory_order_release);
+    return;
+  }
+  S.Name = std::string(Name);
+  S.Countdown = Nth;
+  S.Persistent = Persistent;
+  S.Armed.store(true, std::memory_order_release);
+}
+
+void support::disarmFailPoints() {
+  FailPointState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.EnvParsed = true;
+  S.Name.clear();
+  S.Countdown = 0;
+  S.Persistent = false;
+  S.Armed.store(false, std::memory_order_release);
+  S.Fired.store(0, std::memory_order_relaxed);
+}
+
+uint64_t support::failPointFireCount() {
+  return state().Fired.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,52 @@
+//===- FailPoint.h - Deterministic fault-injection points -------*- C++-*-===//
+//
+// Named fail points let tests drive rare I/O failures (a full disk, a
+// short write) through the exact production error paths instead of
+// mocking them. A fail point is armed either from the environment
+//
+//   LIMPET_FAILPOINT=write-enospc:3     fire on the 3rd probe, then disarm
+//   LIMPET_FAILPOINT=write-enospc:3*    fire on the 3rd and every later probe
+//
+// or programmatically (armFailPoint) from in-process harnesses like
+// faultinject. Probing is cheap when nothing is armed (one relaxed
+// atomic load), so production write paths can probe unconditionally.
+//
+// The one site-name in use today is "write-enospc": probed by
+// compiler::writeFileAtomic (checkpoints, compile-cache artifacts,
+// journal compaction, daemon result files) and daemon::Journal::append,
+// which simulate ENOSPC and return a recoverable Status with no partial
+// temp file left behind. See docs/ROBUSTNESS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMPET_SUPPORT_FAILPOINT_H
+#define LIMPET_SUPPORT_FAILPOINT_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace limpet {
+namespace support {
+
+/// True when the fail point \p Name should fire for this probe. Each call
+/// with a matching armed name counts as one probe; the Nth probe fires
+/// (and, for persistent arms, so does every later one).
+bool failPoint(std::string_view Name);
+
+/// Arms \p Name to fire on the \p Nth matching probe (1-based). With
+/// \p Persistent every probe from the Nth on fires; otherwise the point
+/// disarms after firing once. Overrides any environment arming.
+void armFailPoint(std::string_view Name, int64_t Nth, bool Persistent = false);
+
+/// Disarms everything (including the environment arming, until re-armed).
+void disarmFailPoints();
+
+/// Number of times any fail point has fired since process start (or the
+/// last disarm); lets tests assert the injected failure actually ran
+/// through the production path.
+uint64_t failPointFireCount();
+
+} // namespace support
+} // namespace limpet
+
+#endif // LIMPET_SUPPORT_FAILPOINT_H

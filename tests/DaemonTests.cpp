@@ -9,10 +9,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "daemon/JobQueue.h"
+#include "daemon/JobRunner.h"
 #include "daemon/Journal.h"
 #include "daemon/Json.h"
 #include "daemon/Protocol.h"
 #include "daemon/SpscRing.h"
+#include "sim/Checkpoint.h"
 
 #include <filesystem>
 #include <fstream>
@@ -460,6 +462,105 @@ TEST(DaemonJobSpec, StructurallyInvalidSpecsAreRecoverableErrors) {
   EXPECT_TRUE(Spec->Guard);
 }
 
+TEST(DaemonJobSpec, EnsembleSweepRoundTripsAndValidatesAtAdmission) {
+  Expected<JsonValue> Body = JsonValue::parse(
+      "{\"model\":\"HodgkinHuxley\",\"steps\":200,"
+      "\"ensemble_sweep\":\"gK=20:40:5;gNa=90,120\","
+      "\"ensemble_cells_per\":2}");
+  ASSERT_TRUE(bool(Body));
+  Expected<JobSpec> Spec = parseJobSpec(*Body);
+  ASSERT_TRUE(bool(Spec)) << Spec.status().message();
+  EXPECT_EQ(Spec->EnsembleSweep, "gK=20:40:5;gNa=90,120");
+  EXPECT_EQ(Spec->EnsembleCellsPer, 2);
+
+  // Journal payload -> parse -> identical spec (the replay path).
+  Expected<JobSpec> Back = parseJobSpec(jobSpecToJson(*Spec));
+  ASSERT_TRUE(bool(Back)) << Back.status().message();
+  EXPECT_EQ(Back->EnsembleSweep, Spec->EnsembleSweep);
+  EXPECT_EQ(Back->EnsembleCellsPer, 2);
+  EXPECT_EQ(jobSpecToJson(*Back).str(), jobSpecToJson(*Spec).str());
+
+  // Malformed grammar, bad member width, and tissue+ensemble are all
+  // rejected at admission, not when the job runs.
+  const char *Bad[] = {
+      "{\"model\":\"HH\",\"ensemble_sweep\":\"gK=\"}",
+      "{\"model\":\"HH\",\"ensemble_sweep\":\"gK=1:2\"}",
+      "{\"model\":\"HH\",\"ensemble_sweep\":\"gK=1:2:0\"}",
+      "{\"model\":\"HH\",\"ensemble_sweep\":\"gK=1,2;gK=3\"}",
+      "{\"model\":\"HH\",\"ensemble_sweep\":\"gK=1,2\","
+      "\"ensemble_cells_per\":0}",
+      "{\"model\":\"HH\",\"ensemble_sweep\":\"gK=1,2\",\"tissue_nx\":8}",
+  };
+  for (const char *Text : Bad) {
+    Expected<JsonValue> B = JsonValue::parse(Text);
+    ASSERT_TRUE(bool(B)) << Text;
+    EXPECT_FALSE(bool(parseJobSpec(*B))) << "accepted: " << Text;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JobRunner: ensemble shutdown interruption
+//===----------------------------------------------------------------------===//
+
+// A member hitting its dt-floor (quarantine) in the same window the
+// daemon begins shutting down must leave the job NON-terminal: the
+// journal's Accepted-without-terminal shape replays it, and the replay
+// resumes from the final checkpoint with the member still quarantined.
+// Journaling it as failed would turn a routine restart into a lost sweep.
+TEST(DaemonJobRunner, ShutdownDuringMemberDtFloorJournalsNonTerminal) {
+  std::string Dir = freshDir("runner-ens-shutdown");
+  std::string JPath = Dir + "/journal.lj";
+  Journal Jr(JPath);
+  ASSERT_TRUE(Jr.open().isOk());
+  JobRunner::Config RC;
+  RC.StateDir = Dir;
+  RC.SimThreads = 1;
+  RC.DefaultCheckpointEvery = 50;
+  JobRunner Runner(RC, Jr);
+
+  auto J = std::make_shared<Job>();
+  J->Spec.Id = 1;
+  J->Spec.Model = "HodgkinHuxley";
+  J->Spec.NumSteps = 400;
+  J->Spec.Guard = true;
+  // Middle member poisoned: it blows up within the first scan window and
+  // walks the member-local ladder to quarantine.
+  J->Spec.EnsembleSweep = "gNa=120,1e9,90";
+
+  ASSERT_TRUE(
+      Jr.append(Journal::Kind::Accepted, 1, jobSpecToJson(J->Spec).str())
+          .isOk());
+  // Shutdown is already in flight when the poisoned member faults: the
+  // quarantine happens inside the guarded window, the stop at the step
+  // boundary right after it.
+  sim::requestShutdown();
+  JobState S = Runner.execute(*J);
+  sim::clearShutdownRequest();
+  EXPECT_EQ(S, JobState::Queued);
+  EXPECT_EQ(J->State.load(), JobState::Queued);
+  // Non-terminal: no result file, and the journal marks the job live.
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/job-1/result.json"));
+  Expected<std::vector<Journal::Record>> R = Journal::readAll(JPath);
+  ASSERT_TRUE(bool(R));
+  ASSERT_EQ(Journal::unfinished(*R).size(), 1u);
+  EXPECT_EQ(Journal::unfinished(*R)[0].JobId, 1u);
+
+  // Replay (what the next daemon start does): the job resumes from its
+  // final checkpoint and finishes with the quarantine preserved as a
+  // delivered partial result.
+  J->State.store(JobState::Queued);
+  J->Replayed = true;
+  EXPECT_EQ(Runner.execute(*J), JobState::Finished);
+  EXPECT_EQ(J->MembersOk, 2);
+  EXPECT_EQ(J->MembersQuarantined, 1);
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/job-1/result.json"));
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/job-1/members.ndjson"));
+  R = Journal::readAll(JPath);
+  ASSERT_TRUE(bool(R));
+  EXPECT_TRUE(Journal::unfinished(*R).empty());
+  std::filesystem::remove_all(Dir);
+}
+
 //===----------------------------------------------------------------------===//
 // Event lines
 //===----------------------------------------------------------------------===//
@@ -485,6 +586,16 @@ TEST(DaemonEvents, TerminalEventChecksumRoundTripsExactly) {
   EXPECT_EQ(F->stringOr("event", ""), "failed");
   EXPECT_EQ(F->stringOr("error", ""), "model 'X' not found");
   EXPECT_EQ(F->find("checksum"), nullptr); // only finished jobs carry one
+
+  // Finished ensemble jobs carry the member tally; plain jobs omit it.
+  EXPECT_EQ(Line.find("members_ok"), std::string::npos);
+  std::string Ens = terminalEvent(JobState::Finished, 9, 1000, 1.5, 0, 3, {},
+                                  false, /*MembersOk=*/997,
+                                  /*MembersQuarantined=*/3);
+  Expected<JsonValue> E = JsonValue::parse(Ens);
+  ASSERT_TRUE(bool(E));
+  EXPECT_EQ(E->intOr("members_ok", -1), 997);
+  EXPECT_EQ(E->intOr("members_quarantined", -1), 3);
 }
 
 } // namespace

@@ -22,8 +22,10 @@
 #include "easyml/Sema.h"
 #include "models/Registry.h"
 #include "sim/Checkpoint.h"
+#include "sim/Ensemble.h"
 #include "sim/Simulator.h"
 #include "sim/TissueSimulator.h"
+#include "support/FailPoint.h"
 
 #include <chrono>
 #include <cmath>
@@ -305,6 +307,69 @@ bool scenarioSharded() {
   return Ok;
 }
 
+/// One pathological parameter point inside a batched sweep: the
+/// member-local ladder must quarantine exactly that member while every
+/// healthy member's trajectory stays bit-identical to a sweep in which
+/// the poison member ran a sane point — partial results, never a lost
+/// sweep (docs/ENSEMBLE.md).
+bool scenarioEnsembleQuarantine() {
+  const models::ModelEntry *ME = models::findModel("HodgkinHuxley");
+  if (!check(ME != nullptr, "suite model present"))
+    return false;
+  DiagnosticEngine Diags;
+  auto Info = easyml::compileModelInfo(ME->Name, ME->Source, Diags);
+  if (!check(bool(Info), "frontend accepts the suite model"))
+    return false;
+
+  auto BuildAndRun = [&](const char *Sweep, std::optional<EnsembleRunner> &S,
+                         std::optional<EnsembleModel> &EM) {
+    Expected<EnsembleSpec> Spec =
+        EnsembleSpec::fromSweep(Sweep, /*CellsPerMember=*/2);
+    if (!check(bool(Spec), "sweep grammar parses"))
+      return false;
+    Expected<EnsembleModel> Built = buildEnsembleModel(
+        *Info, std::move(*Spec), EngineConfig::limpetMLIR(4));
+    if (!check(bool(Built), "ensemble model builds"))
+      return false;
+    EM.emplace(std::move(*Built));
+    // NumCells is dictated by the spec; the Cells argument is ignored.
+    S.emplace(*EM, guardedOpts(/*Cells=*/0, /*Steps=*/200));
+    S->run();
+    return true;
+  };
+
+  std::optional<EnsembleModel> EM, CleanEM;
+  std::optional<EnsembleRunner> S, Clean;
+  if (!BuildAndRun("gNa=120,1e9,90,110", S, EM))
+    return false;
+  std::printf("%s", S->report().str().c_str());
+  bool Ok = check(S->stepsDone() == 200, "sweep completed");
+  Ok &= check(S->scanIsHealthy(),
+              "population healthy (quarantined slice excluded)");
+  Ok &= check(S->numMembers() == 4, "four members packed");
+  Ok &= check(S->membersQuarantined() == 1 && S->membersOk() == 3,
+              "exactly the poison member quarantined");
+  Ok &= check(S->memberStatus(1) == MemberStatus::Quarantined,
+              "member 1 (gNa=1e9) is the quarantined one");
+  std::vector<MemberReport> Reps = S->memberReports();
+  Ok &= check(Reps.size() == 4 &&
+                  Reps[1].Reason != QuarantineReason::None &&
+                  Reps[1].QuarantineStep >= 0,
+              "quarantine report carries a reason and a pinned step");
+
+  // Member isolation: the same population with the poison point replaced
+  // by a sane one. Members 0, 2, 3 never faulted in either run, so their
+  // slices must be bit-identical — the ladder's re-runs touched nothing
+  // outside the faulting member's block-aligned range.
+  if (!BuildAndRun("gNa=120,100,90,110", Clean, CleanEM))
+    return false;
+  Ok &= check(Clean->membersQuarantined() == 0, "control sweep all-healthy");
+  for (int64_t M : {int64_t(0), int64_t(2), int64_t(3)})
+    Ok &= check(S->memberChecksum(M) == Clean->memberChecksum(M),
+                "healthy member bit-identical to the control sweep");
+  return Ok;
+}
+
 //===----------------------------------------------------------------------===//
 // Crash-recovery scenarios (durable checkpoint/resume, docs/ROBUSTNESS.md)
 //===----------------------------------------------------------------------===//
@@ -510,6 +575,94 @@ bool scenarioCkptStale() {
 
   Simulator SameHash(*M, Opts);
   Ok &= check(SameHash.resumeFrom(C).isOk(), "matching checkpoint accepted");
+  return Ok;
+}
+
+/// The disk filling up under the periodic checkpoint writes (the
+/// write-enospc fail point runs the production writeFileAtomic error
+/// path): durability degrades — the failure is counted, the partial temp
+/// file is removed — but the simulation itself keeps stepping, the next
+/// write retries at the next boundary, and the newest surviving
+/// checkpoint still resumes bit-identically. A persistently full disk
+/// (every write failing) still never touches the physiology.
+bool scenarioCkptEnospc() {
+  auto M = compileSuiteModel("HodgkinHuxley", EngineConfig::limpetMLIR(4));
+  if (!M)
+    return false;
+  std::string Dir = freshDir("ckpt-enospc");
+  SimOptions Opts = guardedOpts(/*Cells=*/16, /*Steps=*/200);
+  Opts.Guard.Enabled = false; // unguarded: cadence lands exactly on EveryN
+  Opts.Checkpoint.Dir = Dir;
+  Opts.Checkpoint.EveryN = 24;
+
+  // Probe 1 is the store's writability probe, probe 2 the step-24 write;
+  // arming the 3rd fails exactly the step-48 checkpoint.
+  uint64_t ErrsBefore =
+      telemetry::Registry::instance().value("sim.checkpoint.errors");
+  support::armFailPoint("write-enospc", /*Nth=*/3);
+  Simulator S(*M, Opts);
+  S.run();
+  uint64_t Fires = support::failPointFireCount();
+  support::disarmFailPoints();
+
+  bool Ok = check(S.stepsDone() == 200, "run completed despite the full disk");
+  Ok &= check(!S.interrupted(), "a failed checkpoint never stops the run");
+  Ok &= check(populationFinite(S), "population untouched");
+  Ok &= check(Fires == 1, "the injection ran the production write path");
+  if (telemetry::kEnabled)
+    Ok &= check(telemetry::Registry::instance().value(
+                    "sim.checkpoint.errors") == ErrsBefore + 1,
+                "the failed write was counted");
+  bool TmpLeft = false;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    TmpLeft |= E.path().filename().string().find(".tmp") != std::string::npos;
+  Ok &= check(!TmpLeft, "no partial temp file left behind");
+
+  // The failed write does not advance the durable cursor, so the step-49
+  // boundary retries immediately; the rotation then walks 73..193.
+  CheckpointStore Store(Dir);
+  Expected<CheckpointData> C = Store.loadNewestValid();
+  if (!check(bool(C), "later checkpoint writes recovered"))
+    return false;
+  Ok &= check(C->StepCount == 193,
+              "cursor retried at the first boundary after the failure");
+  SimOptions Plain = guardedOpts(/*Cells=*/16, /*Steps=*/200);
+  Plain.Guard.Enabled = false;
+  Simulator Resumed(*M, Plain);
+  if (!check(Resumed.resumeFrom(*C).isOk(), "resume accepted"))
+    return false;
+  Resumed.run();
+  Simulator Ref(*M, Plain);
+  Ref.run();
+  Ok &= check(finalStatesIdentical(Resumed, Ref),
+              "resumed final state bit-identical to uninterrupted");
+
+  // A disk that never frees up: every write fails (the directory probe
+  // included), nothing durable lands — and the run still completes with
+  // every failure counted.
+  std::string Dir2 = freshDir("ckpt-enospc-persist");
+  SimOptions Opts2 = guardedOpts(/*Cells=*/8, /*Steps=*/100);
+  Opts2.Guard.Enabled = false;
+  Opts2.Checkpoint.Dir = Dir2;
+  Opts2.Checkpoint.EveryN = 24;
+  ErrsBefore = telemetry::Registry::instance().value("sim.checkpoint.errors");
+  support::armFailPoint("write-enospc", /*Nth=*/1, /*Persistent=*/true);
+  Simulator S2(*M, Opts2);
+  S2.run();
+  Fires = support::failPointFireCount();
+  support::disarmFailPoints();
+  Ok &= check(S2.stepsDone() == 100 && !S2.interrupted(),
+              "persistently full disk never stops the run");
+  Ok &= check(Fires >= 2, "every write attempt went through the fail point");
+  if (telemetry::kEnabled)
+    Ok &= check(telemetry::Registry::instance().value(
+                    "sim.checkpoint.errors") == ErrsBefore + Fires,
+                "every failed write was counted");
+  Ok &= check(CheckpointStore(Dir2).list().empty(),
+              "nothing durable landed on the full disk");
+
+  std::filesystem::remove_all(Dir);
+  std::filesystem::remove_all(Dir2);
   return Ok;
 }
 
@@ -1078,6 +1231,77 @@ bool scenarioDaemonJournalTruncate() {
   return Ok;
 }
 
+/// The disk filling up under the job journal: an append fails
+/// recoverably with no partial frame on disk (the durable prefix is
+/// untouched and still replays), the same record lands on retry once
+/// space frees, and a compaction hitting ENOSPC leaves the original
+/// journal intact with no temp file behind.
+bool scenarioJournalEnospc() {
+  std::string Dir = freshDir("journal-enospc");
+  std::string Path = Dir + "/journal.lj";
+  daemon::Journal J(Path);
+  if (!check(J.open().isOk(), "journal opens"))
+    return false;
+  bool Ok = check(
+      J.append(daemon::Journal::Kind::Accepted, 1, "{\"id\":1}").isOk(),
+      "first append lands");
+  Ok &= check(J.append(daemon::Journal::Kind::Started, 1).isOk(),
+              "second append lands");
+
+  support::armFailPoint("write-enospc", /*Nth=*/1);
+  Status St = J.append(daemon::Journal::Kind::Accepted, 2, "{\"id\":2}");
+  uint64_t Fires = support::failPointFireCount();
+  support::disarmFailPoints();
+  Ok &= check(!St.isOk(), "full-disk append surfaces a recoverable error");
+  Ok &= check(St.message().find("space") != std::string::npos,
+              "error says the disk is full");
+  Ok &= check(Fires == 1, "the injection ran the production append path");
+
+  bool Truncated = false;
+  Expected<std::vector<daemon::Journal::Record>> Recs =
+      daemon::Journal::readAll(Path, &Truncated);
+  if (!check(bool(Recs), "journal still reads"))
+    return false;
+  Ok &= check(Recs->size() == 2 && !Truncated,
+              "failed append left the durable prefix untouched");
+
+  // Space freed: the same record lands on retry, nothing lost between.
+  Ok &= check(
+      J.append(daemon::Journal::Kind::Accepted, 2, "{\"id\":2}").isOk(),
+      "append succeeds once the disk frees up");
+  Recs = daemon::Journal::readAll(Path, &Truncated);
+  if (!check(bool(Recs) && Recs->size() == 3 && !Truncated,
+             "retried record landed"))
+    return false;
+
+  // Compaction is a whole-file rewrite through writeFileAtomic: ENOSPC
+  // there must never replace the journal with a partial rewrite.
+  std::vector<daemon::Journal::Record> Live =
+      daemon::Journal::unfinished(*Recs);
+  Ok &= check(Live.size() == 2, "both admitted jobs are live");
+  support::armFailPoint("write-enospc", /*Nth=*/1);
+  Status CSt = daemon::Journal::compact(Path, Live);
+  support::disarmFailPoints();
+  Ok &= check(!CSt.isOk(), "full-disk compaction surfaces a recoverable error");
+  Recs = daemon::Journal::readAll(Path, &Truncated);
+  Ok &= check(bool(Recs) && Recs->size() == 3 && !Truncated,
+              "failed compaction left the original journal intact");
+  bool TmpLeft = false;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    TmpLeft |= E.path().filename().string().find(".tmp") != std::string::npos;
+  Ok &= check(!TmpLeft, "no partial temp file left behind");
+
+  // With space back, the same compaction lands.
+  Ok &= check(daemon::Journal::compact(Path, Live).isOk(),
+              "compaction succeeds once the disk frees up");
+  Recs = daemon::Journal::readAll(Path, &Truncated);
+  Ok &= check(bool(Recs) && Recs->size() == 2 && !Truncated,
+              "compacted journal holds exactly the live set");
+
+  std::filesystem::remove_all(Dir);
+  return Ok;
+}
+
 struct Scenario {
   const char *Name;
   const char *What;
@@ -1098,6 +1322,9 @@ const Scenario Scenarios[] = {
      scenarioExtremeParam},
     {"sharded", "persistent NaN under 2/4 shards -> recovery thread-invariant",
      scenarioSharded},
+    {"ensemble-quarantine",
+     "poison sweep member -> quarantined, healthy members bit-exact",
+     scenarioEnsembleQuarantine},
     {"ckpt-resume", "kill-at-step -> resume bit-identical to uninterrupted",
      scenarioCkptResume},
     {"tissue-nan-in-stencil",
@@ -1115,6 +1342,11 @@ const Scenario Scenarios[] = {
      scenarioCkptCorrupt},
     {"ckpt-stale", "stale model/config/hash -> resume refused, state untouched",
      scenarioCkptStale},
+    {"ckpt-enospc", "disk full on checkpoint writes -> run unharmed, counted",
+     scenarioCkptEnospc},
+    {"journal-enospc",
+     "disk full on journal append/compaction -> prefix intact, recoverable",
+     scenarioJournalEnospc},
     {"tune-corrupt",
      "corrupt/truncated tuning record -> heuristic fallback, clean re-tune",
      scenarioTuneCorrupt},

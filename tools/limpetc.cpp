@@ -18,8 +18,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/Vectorize.h"
+#include "compiler/Artifact.h"
 #include "compiler/CompileCache.h"
 #include "compiler/CompilerDriver.h"
+#include "compiler/KernelEmitter.h"
 #include "easyml/Preprocessor.h"
 #include "easyml/Sema.h"
 #include "exec/Backend.h"
@@ -27,6 +29,7 @@
 #include "ir/Context.h"
 #include "ir/Printer.h"
 #include "models/Registry.h"
+#include "sim/Ensemble.h"
 #include "sim/Simulator.h"
 #include "sim/TissueSimulator.h"
 #include "support/StringUtils.h"
@@ -116,6 +119,20 @@ void printUsage() {
       "  --cv A,B            with --tissue: record an activation map and\n"
       "                      print the conduction velocity between node\n"
       "                      indices A and B after the run\n"
+      "  --sweep EXPR        run a parameter-sweep ensemble instead of one\n"
+      "                      uniform population: 'gK=0.1:0.5:5;gNa=7,11'\n"
+      "                      expands a value grid (cross product), each\n"
+      "                      point one member, every member stepped by ONE\n"
+      "                      compiled kernel with member-local fault\n"
+      "                      quarantine (docs/ENSEMBLE.md)\n"
+      "  --ensemble F        like --sweep but with an explicit JSON member\n"
+      "                      list: an array of {\"param\": value} objects,\n"
+      "                      or {\"cells_per_member\":n,\"members\":[...]}\n"
+      "  --member-cells N    cells each ensemble member simulates\n"
+      "                      (default 1)\n"
+      "  --member-stats F    after an ensemble run, write one NDJSON line\n"
+      "                      per member (status, retries, quarantine\n"
+      "                      reason, state checksum) to F\n"
       "  --guard             enable the numerical guard rails for --run\n"
       "                      (health scan, checkpoint/retry, degradation;\n"
       "                      see docs/ROBUSTNESS.md)\n"
@@ -278,6 +295,8 @@ int main(int argc, char **argv) {
   int64_t RunSteps = 1000, RunCells = 256;
   double RunDt = 0.01;
   std::string TissueSpec, StimSpec, CvSpec;
+  std::string SweepSpec, EnsembleJsonPath, MemberStatsPath;
+  int64_t MemberCells = 1;
   double TissueDx = 0.025, TissueSigma = 0.001;
   sim::DiffusionMethod DiffMethod = sim::DiffusionMethod::FTCS;
   bool RunGuard = false;
@@ -415,6 +434,14 @@ int main(int argc, char **argv) {
       StimSpec = Val;
     else if (valued(Arg, I, "--cv", Val))
       CvSpec = Val;
+    else if (valued(Arg, I, "--sweep", Val))
+      SweepSpec = Val;
+    else if (valued(Arg, I, "--ensemble", Val))
+      EnsembleJsonPath = Val;
+    else if (valued(Arg, I, "--member-cells", Val))
+      MemberCells = std::atoll(Val.c_str());
+    else if (valued(Arg, I, "--member-stats", Val))
+      MemberStatsPath = Val;
     else if (valued(Arg, I, "--diffusion", Val)) {
       Expected<sim::DiffusionMethod> D = sim::parseDiffusionMethod(Val);
       if (!D) {
@@ -457,6 +484,28 @@ int main(int argc, char **argv) {
   // AoSoA is the natural layout when asking for vector IR.
   if (M == Mode::VectorIR && !LayoutSet)
     Layout = codegen::StateLayout::AoSoA;
+
+  // The ensemble flags only make sense together with --run, and a sweep
+  // cannot come from two places at once.
+  bool WantEnsemble = !SweepSpec.empty() || !EnsembleJsonPath.empty();
+  if (!SweepSpec.empty() && !EnsembleJsonPath.empty()) {
+    std::fprintf(stderr,
+                 "error: --sweep and --ensemble are mutually exclusive\n");
+    return 1;
+  }
+  if (WantEnsemble && M != Mode::Run) {
+    std::fprintf(stderr, "error: --sweep/--ensemble need --run\n");
+    return 1;
+  }
+  if (WantEnsemble && !TissueSpec.empty()) {
+    std::fprintf(stderr,
+                 "error: --sweep/--ensemble cannot combine with --tissue\n");
+    return 1;
+  }
+  if (MemberCells < 1) {
+    std::fprintf(stderr, "error: --member-cells must be >= 1\n");
+    return 1;
+  }
 
   // Eagerly validate a custom pipeline string so a typo is one clear error
   // even before any model is parsed.
@@ -758,8 +807,12 @@ int main(int argc, char **argv) {
           return 1;
         }
       }
+      // The ensemble model owns the lowered CompiledModel; declared before
+      // S so it outlives the runner built on it.
+      std::optional<sim::EnsembleModel> EMod;
       std::unique_ptr<sim::Simulator> S;
       sim::TissueSimulator *TissueSim = nullptr;
+      sim::EnsembleRunner *EnsSim = nullptr;
       if (Tissue) {
         sim::TissueOptions TO;
         TO.Grid = Grid;
@@ -793,6 +846,65 @@ int main(int argc, char **argv) {
           TS->enableActivationMap(-20.0);
         TissueSim = TS.get();
         S = std::move(TS);
+      } else if (WantEnsemble) {
+        Expected<sim::EnsembleSpec> Spec =
+            !SweepSpec.empty()
+                ? sim::EnsembleSpec::fromSweep(SweepSpec, MemberCells)
+                : sim::EnsembleSpec::fromJsonFile(EnsembleJsonPath,
+                                                  MemberCells);
+        if (!Spec) {
+          std::fprintf(stderr, "error: %s\n",
+                       Spec.status().message().c_str());
+          return 1;
+        }
+        // The sweep lowers its swept parameters to per-cell externals and
+        // compiles the lowered model ONCE under the configuration the
+        // driver already resolved (so --width=auto applies to the whole
+        // population). That needs the raw ModelInfo, not the compiled
+        // model above.
+        DiagnosticEngine EnsDiags;
+        auto EnsInfo = easyml::compileModelInfo(Name, Source, EnsDiags);
+        if (!EnsInfo) {
+          std::fprintf(stderr, "%s", EnsDiags.str().c_str());
+          return 1;
+        }
+        Expected<sim::EnsembleModel> Built = sim::buildEnsembleModel(
+            *EnsInfo, std::move(*Spec), Model.config());
+        if (!Built) {
+          std::fprintf(stderr, "error: %s\n",
+                       Built.status().message().c_str());
+          return 1;
+        }
+        EMod.emplace(std::move(*Built));
+        // Native tier for the lowered kernel, keyed off the base compile
+        // key extended with the lowering (the base model's cached .so
+        // must never serve the lowered program).
+        if (Tier != exec::EngineTier::VM) {
+          uint64_t LowerKey = compiler::fnv1a64("ensemble", R.CacheKey);
+          for (const std::string &P : EMod->Swept)
+            LowerKey = compiler::fnv1a64(P, LowerKey);
+          compiler::NativeAttachResult N = compiler::getOrEmitNativeKernel(
+              *EMod->Model, LowerKey, Name + "_ensemble");
+          if (N)
+            EMod->Model->attachNative(std::move(N.Kernel));
+          else if (Tier == exec::EngineTier::Native)
+            std::fprintf(stderr,
+                         "warning: native tier unavailable for the "
+                         "ensemble kernel, running on the VM: %s\n",
+                         N.Err.message().c_str());
+        }
+        auto ER = std::make_unique<sim::EnsembleRunner>(*EMod, Opts);
+        std::string SweptNames;
+        for (const std::string &P : EMod->Swept) {
+          if (!SweptNames.empty())
+            SweptNames += ",";
+          SweptNames += P;
+        }
+        std::printf("ensemble: %lld members x %lld cells (swept: %s)\n",
+                    (long long)ER->numMembers(),
+                    (long long)ER->cellsPerMember(), SweptNames.c_str());
+        EnsSim = ER.get();
+        S = std::move(ER);
       } else {
         S = std::make_unique<sim::Simulator>(Model, Opts);
       }
@@ -824,9 +936,11 @@ int main(int argc, char **argv) {
                   exec::engineConfigName(Model.config()).c_str(),
                   (long long)S->options().NumCells,
                   (long long)S->options().NumSteps, S->time());
-      if (Tier != exec::EngineTier::VM)
+      if (Tier != exec::EngineTier::VM) {
+        const exec::CompiledModel &RunModel = EnsSim ? *EMod->Model : Model;
         std::printf("engine tier: %s\n",
-                    Model.usingNativeTier() ? "native" : "vm (fallback)");
+                    RunModel.usingNativeTier() ? "native" : "vm (fallback)");
+      }
       if (S->interrupted())
         std::printf("interrupted at step %lld (%s)%s%s\n",
                     (long long)S->stepsDone(),
@@ -844,6 +958,28 @@ int main(int argc, char **argv) {
           std::printf("conduction velocity = n/a (wavefront did not reach "
                       "nodes %lld..%lld)\n",
                       CvA, CvB);
+      }
+      if (EnsSim) {
+        // Partial-result delivery: quarantined members are reported, not
+        // fatal — the sweep still exits 0 with every member accounted for.
+        std::printf("ensemble members: %lld ok, %lld quarantined\n",
+                    (long long)EnsSim->membersOk(),
+                    (long long)EnsSim->membersQuarantined());
+        if (!MemberStatsPath.empty()) {
+          std::ofstream Out(MemberStatsPath,
+                            std::ios::binary | std::ios::trunc);
+          std::string Ndjson = EnsSim->memberStatsNdjson();
+          Out << Ndjson;
+          Out.flush();
+          if (!Out) {
+            std::fprintf(stderr, "error: cannot write member stats to %s\n",
+                         MemberStatsPath.c_str());
+            return 1;
+          }
+          std::printf("wrote member stats: %s (%lld members)\n",
+                      MemberStatsPath.c_str(),
+                      (long long)EnsSim->numMembers());
+        }
       }
       std::printf("state checksum = %.9g\n", S->stateChecksum());
       std::printf("guard rails: %s\n", RunGuard ? "on" : "off");

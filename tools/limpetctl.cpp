@@ -49,11 +49,24 @@ void printUsage() {
       "           [--engine vm|native|auto] [--autotune] [--wait]\n"
       "           [--tissue NX[xNY]] [--dx D] [--sigma S]\n"
       "           [--diffusion ftcs|cn] [--stim PROTO]\n"
+      "           [--sweep EXPR] [--member-cells N]\n"
       "  cancel   --id N\n"
       "  wait     --id N      poll until the job is terminal\n"
       "  status   [--id N]\n"
       "  stats    [--tenant T]\n"
-      "  ping | shutdown\n");
+      "  ping | shutdown\n"
+      "connection:\n"
+      "  --retry N            retry a refused connect up to N times with\n"
+      "                       exponential backoff + jitter (daemon restart\n"
+      "                       windows; default 0 = fail on the first error)\n"
+      "  --connect-timeout S  keep retrying the connect for up to S seconds\n"
+      "                       (implies retrying even with --retry 0)\n"
+      "ensemble:\n"
+      "  --sweep EXPR         submit a fault-isolated parameter sweep\n"
+      "                       ('gK=0.1:0.5:5;gNa=7,11' grid grammar); the\n"
+      "                       terminal event reports members_ok /\n"
+      "                       members_quarantined (docs/ENSEMBLE.md)\n"
+      "  --member-cells N     cells per sweep member (default 1)\n");
 }
 
 #ifndef _WIN32
@@ -122,6 +135,50 @@ private:
   std::string Buf;
 };
 
+/// Connects with bounded retries: exponential backoff (25 ms doubling to
+/// a 1 s cap) with +-25% jitter, so a fleet of clients waiting out a
+/// daemon restart window does not reconnect in lockstep. Retries continue
+/// while either budget remains: up to \p MaxRetries extra attempts, or
+/// until the \p TimeoutSec wall-clock budget expires (TimeoutSec <= 0 =
+/// attempt budget only).
+bool connectWithRetry(Client &C, const std::string &Path, int MaxRetries,
+                      double TimeoutSec) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             TimeoutSec > 0 ? TimeoutSec : 0));
+  unsigned Seed =
+      unsigned(::getpid()) ^
+      unsigned(Clock::now().time_since_epoch().count());
+  double DelayMs = 25;
+  for (int Attempt = 0;; ++Attempt) {
+    if (C.connect(Path))
+      return true;
+    if (Attempt >= MaxRetries &&
+        !(TimeoutSec > 0 && Clock::now() < Deadline))
+      return false;
+    if (TimeoutSec > 0 && Clock::now() >= Deadline)
+      return false;
+    // rand_r keeps the jitter per-process deterministic-free without
+    // dragging in <random>; +-25% around the current backoff step.
+    double Jitter = 0.75 + 0.5 * (double(rand_r(&Seed)) / double(RAND_MAX));
+    double SleepMs = DelayMs * Jitter;
+    if (TimeoutSec > 0) {
+      double LeftMs =
+          std::chrono::duration<double, std::milli>(Deadline - Clock::now())
+              .count();
+      if (LeftMs <= 0)
+        return false;
+      if (SleepMs > LeftMs)
+        SleepMs = LeftMs;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(SleepMs));
+    DelayMs = DelayMs * 2 < 1000 ? DelayMs * 2 : 1000;
+  }
+}
+
 /// Exit code for a terminal job state (scriptable by the smoke harness).
 int exitCodeFor(const std::string &State) {
   if (State == "finished")
@@ -188,6 +245,8 @@ int main(int argc, char **argv) {
   JsonValue Cfg = JsonValue::object();
   bool Wait = false;
   uint64_t WaitId = 0;
+  int ConnectRetries = 0;
+  double ConnectTimeoutSec = 0;
 
   auto valued = [&](const std::string &Arg, int &I, const char *Flag,
                     std::string &Out) {
@@ -253,6 +312,15 @@ int main(int argc, char **argv) {
       Req.set("tissue_method", JsonValue::string(Val));
     else if (valued(Arg, I, "--stim", Val))
       Req.set("tissue_stim", JsonValue::string(Val));
+    else if (valued(Arg, I, "--sweep", Val))
+      Req.set("ensemble_sweep", JsonValue::string(Val));
+    else if (valued(Arg, I, "--member-cells", Val))
+      Req.set("ensemble_cells_per",
+              JsonValue::number(double(std::atoll(Val.c_str()))));
+    else if (valued(Arg, I, "--retry", Val))
+      ConnectRetries = std::atoi(Val.c_str());
+    else if (valued(Arg, I, "--connect-timeout", Val))
+      ConnectTimeoutSec = std::atof(Val.c_str());
     else if (valued(Arg, I, "--id", Val)) {
       WaitId = uint64_t(std::atoll(Val.c_str()));
       Req.set("id", JsonValue::number(double(WaitId)));
@@ -290,7 +358,7 @@ int main(int argc, char **argv) {
     Req.set("config", std::move(Cfg));
 
   Client C;
-  if (!C.connect(Socket)) {
+  if (!connectWithRetry(C, Socket, ConnectRetries, ConnectTimeoutSec)) {
     std::fprintf(stderr, "error: cannot connect to '%s'\n", Socket.c_str());
     return 1;
   }
@@ -334,8 +402,17 @@ int main(int argc, char **argv) {
       continue;
     }
     if (isTerminalState(Event) &&
-        uint64_t(Resp->numberOr("id", 0)) == SubmittedId)
+        uint64_t(Resp->numberOr("id", 0)) == SubmittedId) {
+      // Ensemble partial-result summary, human-readable next to the raw
+      // NDJSON: "997/1000 ok, 3 quarantined".
+      if (const JsonValue *Ok = Resp->find("members_ok")) {
+        int64_t NOk = int64_t(Ok->asNumber());
+        int64_t NQ = Resp->intOr("members_quarantined", 0);
+        std::fprintf(stderr, "members: %lld/%lld ok, %lld quarantined\n",
+                     (long long)NOk, (long long)(NOk + NQ), (long long)NQ);
+      }
       return exitCodeFor(Event);
+    }
   }
 #endif
 }
